@@ -1,0 +1,49 @@
+//! End-to-end synthesis latency (DGGT) on representative queries of both
+//! domains — the interactive-use claim of the paper is that these sit well
+//! under the 100 ms perception threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlquery::{SynthesisConfig, Synthesizer};
+use std::time::Duration;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_dggt");
+    group.sample_size(20);
+
+    let textedit = Synthesizer::new(
+        nlquery::domains::textedit::domain().unwrap(),
+        SynthesisConfig::default().timeout(Duration::from_secs(10)),
+    );
+    for (label, query) in [
+        ("textedit/simple", "delete every word"),
+        ("textedit/medium", "insert \":\" at the start of each line"),
+        (
+            "textedit/hard",
+            "if a sentence starts with \"-\", add \":\" after 14 characters",
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| textedit.synthesize(query)));
+    }
+
+    let ast = Synthesizer::new(
+        nlquery::domains::astmatcher::domain().unwrap(),
+        SynthesisConfig::default().timeout(Duration::from_secs(10)),
+    );
+    for (label, query) in [
+        ("astmatcher/simple", "find cxx methods that are virtual"),
+        (
+            "astmatcher/medium",
+            "find function declarations named \"main\"",
+        ),
+        (
+            "astmatcher/hard",
+            "find cxx constructor expressions which declare a cxx method named \"PI\"",
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| ast.synthesize(query)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

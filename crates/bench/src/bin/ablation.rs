@@ -1,0 +1,65 @@
+//! Ablation — contribution of each optimization (research question Q3).
+//!
+//! Runs the TextEditing corpus under DGGT with each of the three
+//! optimizations toggled off in turn (and HISyn as the reference),
+//! reporting total time, accuracy and pruning counters. Mirrors the
+//! paper's §VII-B3 case study at corpus scale.
+
+use std::time::Instant;
+
+use nlquery::domains::evaluate;
+use nlquery::{SynthesisConfig, Synthesizer};
+use nlquery_bench::{domains, fmt_time, timeout};
+
+fn main() {
+    println!("Ablation — optimization contributions (TextEditing corpus)");
+    println!("{}", "=".repeat(76));
+    println!(
+        "{:<28} {:>12} {:>9} {:>9}",
+        "Configuration", "total time", "accuracy", "timeouts"
+    );
+    let (domain, cases) = domains().into_iter().next().expect("textedit");
+    let configs: Vec<(&str, SynthesisConfig)> = vec![
+        ("DGGT (all opts)", SynthesisConfig::default()),
+        (
+            "DGGT - grammar pruning",
+            SynthesisConfig::default().grammar_pruning(false),
+        ),
+        (
+            "DGGT - size pruning",
+            SynthesisConfig::default().size_pruning(false),
+        ),
+        (
+            "DGGT - orphan relocation",
+            SynthesisConfig::default().orphan_relocation(false),
+        ),
+        (
+            "DGGT - all three",
+            SynthesisConfig::default()
+                .grammar_pruning(false)
+                .size_pruning(false)
+                .orphan_relocation(false),
+        ),
+        ("HISyn baseline", SynthesisConfig::hisyn_baseline()),
+        (
+            "HISyn + grammar pruning",
+            SynthesisConfig::hisyn_baseline().grammar_pruning(true),
+        ),
+        (
+            "HISyn + size pruning",
+            SynthesisConfig::hisyn_baseline().size_pruning(true),
+        ),
+    ];
+    for (label, cfg) in configs {
+        let synth = Synthesizer::new(domain.clone(), cfg.timeout(timeout()));
+        let t0 = Instant::now();
+        let report = evaluate(&synth, &cases);
+        println!(
+            "{:<28} {:>12} {:>8.1}% {:>9}",
+            label,
+            fmt_time(t0.elapsed()),
+            100.0 * report.accuracy(),
+            report.timeouts(),
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! §VI — computational complexity: `O(Π_l p_l^{e_l})` vs `O(Σ_l p_l^{e_l})`.
+//!
+//! Sweeps the synthetic workload generator over dependency depth, sibling
+//! fan-out and candidate paths per edge, and times step 5 of both engines
+//! (the NLP front end is bypassed — the workload hands the engines a
+//! prepared query graph, isolating the paper's bottleneck).
+
+use std::time::{Duration, Instant};
+
+use nlquery::domains::workload::{generate, WorkloadSpec};
+use nlquery::{dggt, edge2path, hisyn, Deadline, SynthesisConfig, SynthesisStats};
+use nlquery_bench::fmt_time;
+
+fn main() {
+    println!("Complexity sweep — HISyn O(prod p^e) vs DGGT O(sum p^e)");
+    println!("{}", "=".repeat(86));
+    println!(
+        "{:>5} {:>6} {:>6} {:>14} {:>12} {:>12} {:>9}",
+        "depth", "fanout", "paths", "theor. combos", "t-HISyn", "t-DGGT", "speedup"
+    );
+    let budget = Duration::from_secs(2);
+    for &(depth, fanout, paths) in &[
+        (1usize, 2usize, 2usize),
+        (1, 2, 4),
+        (1, 3, 4),
+        (2, 2, 2),
+        (2, 2, 3),
+        (2, 2, 4),
+        (2, 3, 3),
+        (3, 2, 2),
+        (3, 2, 3),
+    ] {
+        let spec = WorkloadSpec { depth, fanout, paths_per_edge: paths };
+        let w = generate(spec).expect("workload builds");
+        let cfg = SynthesisConfig::default();
+        let map = edge2path::compute(&w.query, &w.w2a, &w.domain, cfg.search_limits);
+
+        let t0 = Instant::now();
+        let mut hs = SynthesisStats::default();
+        let hd = Deadline::new(budget);
+        let hres = hisyn::synthesize(
+            &w.domain,
+            &w.query,
+            &w.w2a,
+            &map,
+            &SynthesisConfig::hisyn_baseline(),
+            &hd,
+            &mut hs,
+        );
+        let t_hisyn = t0.elapsed();
+        let hisyn_label = match hres {
+            Ok(Some(_)) => fmt_time(t_hisyn),
+            Ok(None) => format!("{} (none)", fmt_time(t_hisyn)),
+            Err(_) => format!(">{}", fmt_time(budget)),
+        };
+
+        let t1 = Instant::now();
+        let mut ds = SynthesisStats::default();
+        let dd = Deadline::new(budget);
+        let _ = dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &cfg, &dd, &mut ds)
+            .expect("DGGT within budget");
+        let t_dggt = t1.elapsed();
+
+        println!(
+            "{:>5} {:>6} {:>6} {:>14.3e} {:>12} {:>12} {:>8.1}x",
+            depth,
+            fanout,
+            paths,
+            spec.combination_count(),
+            hisyn_label,
+            fmt_time(t_dggt),
+            t_hisyn.as_secs_f64() / t_dggt.as_secs_f64().max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 7 — execution-time distribution.
+//!
+//! Prints, per domain and engine, the fraction of queries in each response
+//! time bucket (the paper reports <0.1 s, 0.1-1 s, >1 s), plus an ASCII
+//! bar rendering of the distribution.
+
+use std::time::Duration;
+
+use nlquery_bench::{domains, run_domain};
+
+const BUCKETS: &[(&str, Duration)] = &[
+    ("<10ms", Duration::from_millis(10)),
+    ("<0.1s", Duration::from_millis(100)),
+    ("<1s", Duration::from_secs(1)),
+];
+
+fn bucketize(times: &[Duration]) -> Vec<(String, usize)> {
+    let mut counts = vec![0usize; BUCKETS.len() + 1];
+    for &t in times {
+        let mut placed = false;
+        for (i, &(_, limit)) in BUCKETS.iter().enumerate() {
+            if t < limit {
+                counts[i] += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            counts[BUCKETS.len()] += 1;
+        }
+    }
+    let mut out: Vec<(String, usize)> = BUCKETS
+        .iter()
+        .zip(&counts)
+        .map(|(&(label, _), &c)| (label.to_string(), c))
+        .collect();
+    out.push((">1s".to_string(), counts[BUCKETS.len()]));
+    out
+}
+
+fn main() {
+    println!("Figure 7 — execution time distribution");
+    println!("{}", "=".repeat(72));
+    for (domain, cases) in domains() {
+        let run = run_domain(&domain, &cases);
+        println!("\n{}", run.name);
+        for (engine, report) in [("DGGT", &run.dggt), ("HISyn", &run.hisyn)] {
+            let times = report.times();
+            let total = times.len().max(1);
+            print!("  {engine:<6}");
+            for (label, count) in bucketize(&times) {
+                print!(" {label}: {:>5.1}%", 100.0 * count as f64 / total as f64);
+            }
+            println!();
+            for (label, count) in bucketize(&times) {
+                let width = 50 * count / total;
+                println!("    {label:>6} |{}", "#".repeat(width));
+            }
+        }
+    }
+}

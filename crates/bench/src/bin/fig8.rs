@@ -1,0 +1,55 @@
+//! Figure 8 — accumulated execution time.
+//!
+//! `time(x)` = total time to synthesize cases 0..x. The paper's plot shows
+//! the DGGT curve rising far more slowly than HISyn's; this binary prints
+//! the two series (sampled every few cases) per domain, plus an ASCII
+//! sketch.
+
+use std::time::Duration;
+
+use nlquery_bench::{domains, fmt_time, run_domain};
+
+fn accumulate(times: &[Duration]) -> Vec<Duration> {
+    let mut total = Duration::ZERO;
+    times
+        .iter()
+        .map(|&t| {
+            total += t;
+            total
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Figure 8 — accumulated execution time");
+    println!("{}", "=".repeat(72));
+    for (domain, cases) in domains() {
+        let run = run_domain(&domain, &cases);
+        let acc_d = accumulate(&run.dggt.times());
+        let acc_h = accumulate(&run.hisyn.times());
+        println!("\n{} (case idx: DGGT / HISyn accumulated)", run.name);
+        let step = (acc_d.len() / 10).max(1);
+        for i in (0..acc_d.len()).step_by(step).chain([acc_d.len() - 1]) {
+            println!(
+                "  {:>4}: {:>10} / {:>10}",
+                i,
+                fmt_time(acc_d[i]),
+                fmt_time(acc_h[i])
+            );
+        }
+        let max = acc_h.last().copied().unwrap_or(Duration::ZERO);
+        if max > Duration::ZERO {
+            println!("  sketch (normalized to HISyn total):");
+            for (label, series) in [("HISyn", &acc_h), ("DGGT", &acc_d)] {
+                let cols: String = (0..20)
+                    .map(|c| {
+                        let idx = (c * (series.len() - 1)) / 19;
+                        let frac = series[idx].as_secs_f64() / max.as_secs_f64();
+                        b" .:-=+*#@"[((frac * 8.0) as usize).min(8)] as char
+                    })
+                    .collect();
+                println!("    {label:<6} [{cols}]");
+            }
+        }
+    }
+}

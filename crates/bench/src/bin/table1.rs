@@ -1,0 +1,19 @@
+//! Table I — testing domains and test cases.
+//!
+//! Prints the domain inventory (description, #APIs, #queries) and a few
+//! example query/codelet pairs, mirroring the paper's Table I.
+
+fn main() {
+    println!("Table I — Testing domains and test cases");
+    println!("{}", "=".repeat(72));
+    for (domain, cases) in nlquery_bench::domains() {
+        println!("\nDomain: {}", domain.name());
+        println!("  #APIs:    {}", domain.api_count());
+        println!("  #Queries: {}", cases.len());
+        println!("  Examples:");
+        for case in cases.iter().step_by((cases.len() / 3).max(1)).take(3) {
+            println!("    {}) {}", case.id + 1, case.query);
+            println!("       -> {}", case.ground_truth);
+        }
+    }
+}

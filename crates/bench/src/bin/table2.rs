@@ -1,0 +1,43 @@
+//! Table II — performance comparison (speedup and accuracy, both domains,
+//! both engines, under a timeout).
+//!
+//! Paper reference (20 s timeout, their hardware):
+//!
+//! ```text
+//! Domain       Speedup(max/mean/median)   Accuracy HISyn   Accuracy DGGT
+//! ASTMatcher   537.7 / 25.02 / 3.463      0.744            0.765
+//! TextEditing  1887  / 133.2 / 12.86      0.675            0.791
+//! ```
+//!
+//! The reproduction target is the *shape*: large max speedups, mean ≫
+//! median (a heavy tail of hard queries), and DGGT accuracy above HISyn
+//! because DGGT times out less and relocates orphans.
+
+use nlquery_bench::{domains, run_domain, timeout};
+
+fn main() {
+    println!(
+        "Table II — performance comparison ({}s timeout)",
+        timeout().as_secs_f64()
+    );
+    println!("{}", "=".repeat(78));
+    println!(
+        "{:<13} {:>10} {:>10} {:>10}   {:>9} {:>9}  {:>8} {:>8}",
+        "Domain", "Max", "Mean", "Median", "acc-HISyn", "acc-DGGT", "TO-HISyn", "TO-DGGT"
+    );
+    for (domain, cases) in domains() {
+        let run = run_domain(&domain, &cases);
+        let (max, mean, median) = run.speedup_stats();
+        println!(
+            "{:<13} {:>9.1}x {:>9.1}x {:>9.2}x   {:>9.3} {:>9.3}  {:>8} {:>8}",
+            run.name,
+            max,
+            mean,
+            median,
+            run.hisyn.accuracy(),
+            run.dggt.accuracy(),
+            run.hisyn.timeouts(),
+            run.dggt.timeouts(),
+        );
+    }
+}

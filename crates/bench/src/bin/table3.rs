@@ -1,0 +1,78 @@
+//! Table III — detailed results of the DGGT algorithm on the hardest
+//! cases.
+//!
+//! For the four TextEditing queries on which HISyn is slowest, prints the
+//! per-case breakdown the paper reports: number of dependency edges,
+//! original candidate paths and theoretical combinations (HISyn
+//! treatment), paths after orphan relocation, sibling combinations, how
+//! many combinations grammar-based and size-based pruning removed, the
+//! number actually merged, and the speedup.
+
+use nlquery::{Outcome, SynthesisConfig, Synthesizer};
+use nlquery_bench::{domains, fmt_time, timeout};
+
+fn main() {
+    let (domain, cases) = domains().into_iter().next().expect("textedit domain");
+    let dggt = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::default().timeout(timeout()),
+    );
+    let hisyn = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::hisyn_baseline().timeout(timeout()),
+    );
+
+    // Find the 4 HISyn-hardest cases.
+    let mut timed: Vec<(usize, std::time::Duration)> = cases
+        .iter()
+        .map(|c| {
+            let r = hisyn.synthesize(&c.query);
+            let t = if r.outcome == Outcome::Timeout {
+                timeout()
+            } else {
+                r.elapsed
+            };
+            (c.id, t)
+        })
+        .collect();
+    timed.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+    let hardest: Vec<usize> = timed.iter().take(4).map(|&(id, _)| id).collect();
+
+    println!("Table III — detailed DGGT results on the 4 HISyn-hardest TextEditing cases");
+    println!("{}", "=".repeat(104));
+    println!(
+        "{:>3} {:>5} {:>9} {:>12} {:>9} {:>10} {:>9} {:>8} {:>7}  {:>9} {:>9} {:>9}",
+        "Ex", "#dep", "#orig", "#orig comb", "#reloc", "#sib comb", "gram-pr", "size-pr",
+        "merged", "t-HISyn", "t-DGGT", "speedup"
+    );
+    for (ex, &id) in hardest.iter().enumerate() {
+        let case = &cases[id];
+        let rh = hisyn.synthesize(&case.query);
+        let th = if rh.outcome == Outcome::Timeout {
+            timeout()
+        } else {
+            rh.elapsed
+        };
+        let rd = dggt.synthesize(&case.query);
+        let s = &rd.stats;
+        let speedup = th.as_secs_f64() / rd.elapsed.as_secs_f64().max(1e-9);
+        let marker = if rh.outcome == Outcome::Timeout { ">" } else { "" };
+        println!(
+            "{:>3} {:>5} {:>9} {:>12.3e} {:>9} {:>10} {:>9} {:>8} {:>7}  {:>9} {:>9} {:>6}{:.0}x",
+            ex + 1,
+            s.dep_edges,
+            s.orig_paths,
+            s.orig_combinations,
+            s.paths_after_relocation,
+            s.sibling_combinations,
+            s.pruned_grammar,
+            s.pruned_size,
+            s.merged_combinations,
+            fmt_time(th),
+            fmt_time(rd.elapsed),
+            marker,
+            speedup,
+        );
+        println!("      query: {}", case.query);
+    }
+}

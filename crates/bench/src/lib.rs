@@ -1,0 +1,156 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every binary in this crate reproduces one table or figure of the DGGT
+//! paper (CGO 2022); this library holds the common runner: evaluate a
+//! corpus under both engines, collect per-case timings, and compute the
+//! paper's metrics (speedups, accuracy under timeout, time-bucket
+//! distributions, accumulated time).
+//!
+//! The timeout defaults to 2 s (the paper uses 20 s on their hardware);
+//! set `NLQUERY_TIMEOUT_SECS` to change it. Shapes — who wins, by what
+//! factor, where the distribution mass sits — are the reproduction target,
+//! not absolute numbers.
+
+use std::time::Duration;
+
+use nlquery::domains::{evaluate, CorpusReport, QueryCase};
+use nlquery::{Domain, SynthesisConfig, Synthesizer};
+
+/// Per-query timing comparison between two engines.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Case id.
+    pub id: usize,
+    /// Baseline (HISyn) time.
+    pub hisyn: Duration,
+    /// DGGT time.
+    pub dggt: Duration,
+}
+
+impl Comparison {
+    /// `t(HISyn) / t(DGGT)` — the paper's speedup metric.
+    pub fn speedup(&self) -> f64 {
+        let d = self.dggt.as_secs_f64().max(1e-9);
+        self.hisyn.as_secs_f64() / d
+    }
+}
+
+/// The evaluation of one domain under both engines.
+#[derive(Debug)]
+pub struct DomainRun {
+    /// Domain name.
+    pub name: String,
+    /// DGGT corpus report.
+    pub dggt: CorpusReport,
+    /// HISyn corpus report.
+    pub hisyn: CorpusReport,
+    /// Per-case comparisons (corpus order).
+    pub comparisons: Vec<Comparison>,
+}
+
+impl DomainRun {
+    /// Max / mean / median speedup across the corpus.
+    pub fn speedup_stats(&self) -> (f64, f64, f64) {
+        let mut s: Vec<f64> = self.comparisons.iter().map(Comparison::speedup).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+        let max = s.last().copied().unwrap_or(0.0);
+        let mean = s.iter().sum::<f64>() / s.len().max(1) as f64;
+        let median = s.get(s.len() / 2).copied().unwrap_or(0.0);
+        (max, mean, median)
+    }
+}
+
+/// The per-query timeout: `NLQUERY_TIMEOUT_SECS` or 2 s.
+pub fn timeout() -> Duration {
+    std::env::var("NLQUERY_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2))
+}
+
+/// Loads both evaluation domains with their corpora.
+pub fn domains() -> Vec<(Domain, Vec<QueryCase>)> {
+    vec![
+        (
+            nlquery::domains::textedit::domain().expect("embedded domain builds"),
+            nlquery::domains::textedit::queries(),
+        ),
+        (
+            nlquery::domains::astmatcher::domain().expect("embedded domain builds"),
+            nlquery::domains::astmatcher::queries(),
+        ),
+    ]
+}
+
+/// Runs one domain under both engines.
+pub fn run_domain(domain: &Domain, cases: &[QueryCase]) -> DomainRun {
+    let dggt_synth = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::default().timeout(timeout()),
+    );
+    let hisyn_synth = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::hisyn_baseline().timeout(timeout()),
+    );
+    let dggt = evaluate(&dggt_synth, cases);
+    let hisyn = evaluate(&hisyn_synth, cases);
+    let comparisons = dggt
+        .cases
+        .iter()
+        .zip(&hisyn.cases)
+        .map(|(d, h)| Comparison {
+            id: d.id,
+            hisyn: h.elapsed,
+            dggt: d.elapsed,
+        })
+        .collect();
+    DomainRun {
+        name: domain.name().to_string(),
+        dggt,
+        hisyn,
+        comparisons,
+    }
+}
+
+/// Formats a duration in human units (µs/ms/s).
+pub fn fmt_time(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_ratio() {
+        let c = Comparison {
+            id: 0,
+            hisyn: Duration::from_millis(100),
+            dggt: Duration::from_millis(10),
+        };
+        assert!((c.speedup() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn timeout_default() {
+        // Unless overridden in the environment.
+        if std::env::var("NLQUERY_TIMEOUT_SECS").is_err() {
+            assert_eq!(timeout(), Duration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_time(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_time(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,274 @@
+//! Code generation trees (CGTs).
+//!
+//! A CGT is a subgraph of the grammar graph formed by fusing candidate
+//! grammar paths (merging common nodes and edges). A *valid* CGT is
+//! grammatically usable: every non-terminal commits to at most one "or"
+//! alternative, non-API nodes have at most one parent, and everything is
+//! reachable from the tree's top. The smallest valid CGT (fewest APIs) is
+//! the synthesis result.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId};
+
+/// A code generation tree: node and edge sets over a grammar graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cgt {
+    /// Grammar nodes in the tree.
+    pub nodes: BTreeSet<NodeId>,
+    /// Grammar edges in the tree.
+    pub edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl Cgt {
+    /// An empty CGT.
+    pub fn new() -> Cgt {
+        Cgt::default()
+    }
+
+    /// A CGT containing a single node (a partial CGT for a leaf API).
+    pub fn singleton(node: NodeId) -> Cgt {
+        let mut cgt = Cgt::new();
+        cgt.nodes.insert(node);
+        cgt
+    }
+
+    /// Builds the CGT of one grammar path.
+    pub fn from_path(path: &GrammarPath, graph: &GrammarGraph) -> Cgt {
+        Cgt {
+            nodes: path.cgt_nodes(graph),
+            edges: path.cgt_edges(graph),
+        }
+    }
+
+    /// Fuses another CGT into this one (union of nodes and edges — the
+    /// paper's merging of common nodes/edges).
+    pub fn merge(&mut self, other: &Cgt) {
+        self.nodes.extend(other.nodes.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Fuses a grammar path into this CGT.
+    pub fn absorb_path(&mut self, path: &GrammarPath, graph: &GrammarGraph) {
+        self.nodes.extend(path.cgt_nodes(graph));
+        self.edges.extend(path.cgt_edges(graph));
+    }
+
+    /// Number of API *occurrences* — the CGT size the synthesizer
+    /// minimizes ("for the shortest code to be produced", §IV-B).
+    ///
+    /// API nodes are shared across grammar contexts, so the same API can
+    /// occur in several derivations of one tree and then appears several
+    /// times in the rendered codelet; occurrences, not distinct nodes, are
+    /// what codelet length measures. An occurrence is an incoming
+    /// derivation→API edge; API nodes with no incoming edge (leaf partial
+    /// CGTs) count once.
+    pub fn api_count(&self, graph: &GrammarGraph) -> usize {
+        let mut count = 0;
+        let mut covered: BTreeSet<NodeId> = BTreeSet::new();
+        for &(from, to) in &self.edges {
+            if graph.is_derivation(from) && graph.is_api(to) {
+                count += 1;
+                covered.insert(to);
+            }
+        }
+        count
+            + self
+                .nodes
+                .iter()
+                .filter(|&&n| graph.is_api(n) && !covered.contains(&n))
+                .count()
+    }
+
+    /// Whether every non-terminal selects at most one "or" alternative.
+    pub fn is_or_consistent(&self, graph: &GrammarGraph) -> bool {
+        let mut chosen: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        for &(from, to) in &self.edges {
+            if graph.is_nonterminal(from) && graph.is_derivation(to) {
+                if let Some(&prev) = chosen.get(&from) {
+                    if prev != to {
+                        return false;
+                    }
+                } else {
+                    chosen.insert(from, to);
+                }
+            }
+        }
+        true
+    }
+
+    /// The topmost node: a node with no incoming CGT edge. Prefers the
+    /// grammar root when present; returns `None` when the CGT is empty or
+    /// has no unique top among several candidates (the smallest id wins for
+    /// determinism in that degenerate case).
+    pub fn top(&self, graph: &GrammarGraph) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        if self.nodes.contains(&graph.root()) {
+            return Some(graph.root());
+        }
+        let targets: BTreeSet<NodeId> = self.edges.iter().map(|&(_, to)| to).collect();
+        self.nodes.iter().copied().find(|n| !targets.contains(n))
+    }
+
+    /// Whether every node is reachable from the top. API nodes are shared
+    /// across grammar contexts, so merging two path sets that only touch at
+    /// an API node can leave one context dangling — this check catches it.
+    pub fn is_connected(&self, graph: &GrammarGraph) -> bool {
+        if self.nodes.len() <= 1 {
+            return true;
+        }
+        let Some(top) = self.top(graph) else {
+            return false;
+        };
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = VecDeque::from([top]);
+        seen.insert(top);
+        while let Some(cur) = queue.pop_front() {
+            for &(from, to) in &self.edges {
+                if from == cur && seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+
+    /// Structural validity: or-consistency, at most one parent per non-API
+    /// node, and full reachability from the top.
+    ///
+    /// API nodes may have several parents — grammar graphs share one node
+    /// per API name, so an API used in two argument positions legitimately
+    /// has two incoming edges.
+    pub fn is_valid(&self, graph: &GrammarGraph) -> bool {
+        if !self.is_or_consistent(graph) {
+            return false;
+        }
+        // Parent counts.
+        let mut parents: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for &(_, to) in &self.edges {
+            *parents.entry(to).or_default() += 1;
+        }
+        for (&node, &count) in &parents {
+            if count > 1 && !graph.is_api(node) {
+                return false;
+            }
+        }
+        // Edge endpoints must be CGT nodes and real grammar edges.
+        for &(from, to) in &self.edges {
+            if !self.nodes.contains(&from) || !self.nodes.contains(&to) {
+                return false;
+            }
+            if graph.edge_kind(from, to).is_none() {
+                return false;
+            }
+        }
+        // Connectivity from the top.
+        let Some(top) = self.top(graph) else {
+            return self.nodes.len() <= 1;
+        };
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = VecDeque::from([top]);
+        seen.insert(top);
+        while let Some(cur) = queue.pop_front() {
+            for &(from, to) in &self.edges {
+                if from == cur && seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::SearchLimits;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn path(g: &GrammarGraph, from: &str, to: &str) -> GrammarPath {
+        let a = g.api_node(from).unwrap();
+        let b = g.api_node(to).unwrap();
+        let paths = g.paths_between(a, b, SearchLimits::default());
+        assert!(!paths.is_empty(), "{from}->{to}");
+        paths[0].clone()
+    }
+
+    #[test]
+    fn merging_two_paths_is_valid() {
+        let g = graph();
+        let mut cgt = Cgt::from_path(&path(&g, "INSERT", "STRING"), &g);
+        cgt.absorb_path(&path(&g, "INSERT", "START"), &g);
+        assert!(cgt.is_valid(&g), "{cgt:?}");
+        // APIs: INSERT, STRING, START.
+        assert_eq!(cgt.api_count(&g), 3);
+    }
+
+    #[test]
+    fn conflicting_or_edges_invalidate() {
+        let g = graph();
+        let mut cgt = Cgt::from_path(&path(&g, "INSERT", "START"), &g);
+        cgt.absorb_path(&path(&g, "INSERT", "POSITION"), &g);
+        assert!(!cgt.is_or_consistent(&g));
+        assert!(!cgt.is_valid(&g));
+    }
+
+    #[test]
+    fn top_prefers_grammar_root() {
+        let g = graph();
+        let insert = g.api_node("INSERT").unwrap();
+        let root_paths = g.paths_from_root(insert, SearchLimits::default());
+        let cgt = Cgt::from_path(&root_paths[0], &g);
+        assert_eq!(cgt.top(&g), Some(g.root()));
+    }
+
+    #[test]
+    fn empty_cgt() {
+        let g = graph();
+        let cgt = Cgt::new();
+        assert_eq!(cgt.top(&g), None);
+        assert_eq!(cgt.api_count(&g), 0);
+        assert!(cgt.is_valid(&g));
+    }
+
+    #[test]
+    fn singleton_is_valid() {
+        let g = graph();
+        let cgt = Cgt::singleton(g.api_node("STRING").unwrap());
+        assert!(cgt.is_valid(&g));
+        assert_eq!(cgt.api_count(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_pieces_are_invalid() {
+        let g = graph();
+        let mut cgt = Cgt::singleton(g.api_node("STRING").unwrap());
+        cgt.nodes.insert(g.api_node("START").unwrap());
+        assert!(!cgt.is_valid(&g));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let g = graph();
+        let a = Cgt::from_path(&path(&g, "INSERT", "STRING"), &g);
+        let b = Cgt::from_path(&path(&g, "INSERT", "START"), &g);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.nodes.is_superset(&a.nodes));
+        assert!(m.nodes.is_superset(&b.nodes));
+        assert_eq!(m.edges.len(), a.edges.union(&b.edges).count());
+    }
+}

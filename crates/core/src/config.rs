@@ -1,0 +1,172 @@
+//! Synthesis configuration.
+
+use std::time::Duration;
+
+use nlquery_grammar::SearchLimits;
+
+/// Which step-5 algorithm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The exhaustive HISyn baseline: enumerate every combination of
+    /// candidate grammar paths and merge each into a candidate CGT.
+    HiSyn,
+    /// Dynamic grammar graph-based translation (the paper's contribution).
+    #[default]
+    Dggt,
+}
+
+/// Configuration of a [`crate::Synthesizer`].
+///
+/// The defaults reproduce the paper's setup: DGGT with all three
+/// optimizations on and a 20-second timeout (scale it down for quick runs).
+///
+/// # Example
+///
+/// ```rust
+/// use std::time::Duration;
+/// use nlquery_core::{Engine, SynthesisConfig};
+///
+/// let cfg = SynthesisConfig::default()
+///     .engine(Engine::HiSyn)
+///     .timeout(Duration::from_secs(2))
+///     .grammar_pruning(false);
+/// assert_eq!(cfg.engine, Engine::HiSyn);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisConfig {
+    /// The step-5 algorithm.
+    pub engine: Engine,
+    /// Wall-clock budget per query; exceeding it yields
+    /// [`crate::Outcome::Timeout`].
+    pub timeout: Duration,
+    /// Grammar-based pruning of conflicting-"or" combinations (§V-A).
+    pub grammar_pruning: bool,
+    /// Size-based pruning of oversized combinations (§V-C).
+    pub size_pruning: bool,
+    /// Orphan-node relocation (§V-B). When off, orphans are attached to the
+    /// grammar root as in HISyn.
+    pub orphan_relocation: bool,
+    /// Maximum candidate APIs kept per query word (WordToAPI map width).
+    pub max_candidates: usize,
+    /// Minimum semantic-match score for a candidate API.
+    pub min_score: f64,
+    /// Limits applied to the reversed all-path search.
+    pub search_limits: SearchLimits,
+    /// Maximum number of relocated-graph variants tried per query when
+    /// orphan relocation proposes several governors.
+    pub max_orphan_variants: usize,
+    /// How many best partial CGTs each dynamic-grammar-graph node keeps
+    /// for conflict-repairing backtracks.
+    pub dggt_beam: usize,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            engine: Engine::Dggt,
+            timeout: Duration::from_secs(20),
+            grammar_pruning: true,
+            size_pruning: true,
+            orphan_relocation: true,
+            max_candidates: 6,
+            min_score: 0.3,
+            search_limits: SearchLimits::default(),
+            max_orphan_variants: 8,
+            dggt_beam: 12,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A configuration reproducing the HISyn baseline: exhaustive
+    /// enumeration, no grammar-based pruning, no orphan relocation (orphans
+    /// attach to the grammar root).
+    pub fn hisyn_baseline() -> SynthesisConfig {
+        SynthesisConfig {
+            engine: Engine::HiSyn,
+            grammar_pruning: false,
+            size_pruning: false,
+            orphan_relocation: false,
+            ..SynthesisConfig::default()
+        }
+    }
+
+    /// Sets the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the per-query timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Toggles grammar-based pruning.
+    pub fn grammar_pruning(mut self, on: bool) -> Self {
+        self.grammar_pruning = on;
+        self
+    }
+
+    /// Toggles size-based pruning.
+    pub fn size_pruning(mut self, on: bool) -> Self {
+        self.size_pruning = on;
+        self
+    }
+
+    /// Toggles orphan-node relocation.
+    pub fn orphan_relocation(mut self, on: bool) -> Self {
+        self.orphan_relocation = on;
+        self
+    }
+
+    /// Sets the WordToAPI candidate cap.
+    pub fn max_candidates(mut self, k: usize) -> Self {
+        self.max_candidates = k;
+        self
+    }
+
+    /// Sets the minimum semantic-match score.
+    pub fn min_score(mut self, s: f64) -> Self {
+        self.min_score = s;
+        self
+    }
+
+    /// Sets the path-search limits.
+    pub fn search_limits(mut self, limits: SearchLimits) -> Self {
+        self.search_limits = limits;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_dggt() {
+        let cfg = SynthesisConfig::default();
+        assert_eq!(cfg.engine, Engine::Dggt);
+        assert!(cfg.grammar_pruning && cfg.size_pruning && cfg.orphan_relocation);
+        assert_eq!(cfg.timeout, Duration::from_secs(20));
+    }
+
+    #[test]
+    fn hisyn_baseline_disables_new_optimizations() {
+        let cfg = SynthesisConfig::hisyn_baseline();
+        assert_eq!(cfg.engine, Engine::HiSyn);
+        assert!(!cfg.grammar_pruning);
+        assert!(!cfg.orphan_relocation);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SynthesisConfig::default()
+            .max_candidates(2)
+            .min_score(0.5)
+            .timeout(Duration::from_millis(100));
+        assert_eq!(cfg.max_candidates, 2);
+        assert_eq!(cfg.timeout, Duration::from_millis(100));
+    }
+}

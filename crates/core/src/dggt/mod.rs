@@ -1,0 +1,924 @@
+//! Step 5, DGGT — dynamic grammar graph-based translation (§IV).
+//!
+//! DGGT replaces HISyn's global enumeration with dynamic programming over
+//! the query dependency graph. Processing dependency nodes bottom-up, it
+//! records for every (query node, candidate API) pair the *optimal partial
+//! CGT* — the smallest code generation tree covering that node's subtree
+//! when the node resolves to that API — in a [`DynamicGrammarGraph`]. A
+//! node's entry is built by combining, per child, one candidate grammar
+//! path with the child's recorded optimum; sibling combinations pass
+//! through grammar-based pruning (§V-A) and size-based pruning (§V-C)
+//! before the surviving few are merged into prefix trees. The final
+//! answer joins the root's optimal partial CGT with a grammar-root path.
+//!
+//! Complexity drops from `O(Π_l p_l^{e_l})` to `O(Σ_l p_l^{e_l})`: each
+//! sibling group is enumerated once instead of once per combination of all
+//! the *other* levels.
+//!
+//! Each entry keeps a small beam of best partials (not just one) so the
+//! final join can step past cross-level "or" conflicts, which the
+//! per-level optimizations cannot see.
+
+use std::collections::BTreeMap;
+
+use nlquery_grammar::NodeId;
+
+use crate::engine::{BestCgt, Deadline, TimedOut};
+use crate::opt::grammar_prune::{combination_conflicts, or_signature};
+use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats, WordToApi};
+
+/// How often inner loops poll the deadline.
+const DEADLINE_STRIDE: u64 = 256;
+
+/// An optimal (or beam-kept) partial CGT recorded at a dynamic-grammar-graph
+/// node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialCgt {
+    /// The partial tree: the subtree rooted at this entry's API covering
+    /// the query node's dependants.
+    pub cgt: Cgt,
+    /// Its API count (`min_size` when this is the entry's first partial).
+    pub size: usize,
+    /// Sum of the chosen grammar-path sizes — the tie-breaker preferring
+    /// less "semantic stretching" among equally small CGTs.
+    pub path_len: usize,
+    /// Accumulated WordToAPI match score (in milli-units) of the
+    /// assignment — the second tie-breaker, preferring better matches.
+    pub score_milli: u64,
+    /// The partial tree's top grammar node — the occurrence context a
+    /// parent path must share to merge connectedly. The beam keeps
+    /// alternatives per distinct top.
+    pub top: Option<NodeId>,
+    /// Grammar occurrences (derivation → API edges) *claimed* by query
+    /// nodes in this partial, sorted. Two query words must not be
+    /// explained by one occurrence — ':' and '-' cannot both be the same
+    /// `STRING` slot — so merges require disjoint claims.
+    pub claimed: Vec<(NodeId, NodeId)>,
+    /// Which occurrence each query node claimed (unsorted, parallel to the
+    /// assignment minus the subtree root, whose claim the parent makes).
+    pub node_claims: Vec<(usize, (NodeId, NodeId))>,
+    /// Query-node → API-node choices made inside this partial.
+    pub assignment: Vec<(usize, NodeId)>,
+}
+
+/// Merges two sorted claim lists, or `None` on overlap.
+fn merge_claims(
+    a: &[(NodeId, NodeId)],
+    b: &[(NodeId, NodeId)],
+) -> Option<Vec<(NodeId, NodeId)>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => return None,
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    Some(out)
+}
+
+/// The occurrence a path's sink claims: its final derivation → API edge.
+fn sink_claim(path: &nlquery_grammar::GrammarPath) -> (NodeId, NodeId) {
+    let n = path.chain.len();
+    debug_assert!(n >= 2, "paths have at least a derivation and a sink");
+    (path.chain[n - 2], path.chain[n - 1])
+}
+
+impl PartialCgt {
+    /// The lexicographic objective: smallest CGT first, then shortest
+    /// paths, then highest match score.
+    pub fn key(&self) -> (usize, usize, std::cmp::Reverse<u64>) {
+        (self.size, self.path_len, std::cmp::Reverse(self.score_milli))
+    }
+}
+
+/// The dynamic grammar graph: `(query node, API node) → best partial CGTs`.
+///
+/// This is the memo table of §IV-B; the paper's `min_cgt`/`min_size` fields
+/// are the first element of each entry's beam.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGrammarGraph {
+    entries: BTreeMap<(usize, NodeId), Vec<PartialCgt>>,
+}
+
+impl DynamicGrammarGraph {
+    /// The best partial CGT for `(query node, api)`, if recorded.
+    pub fn best(&self, query_node: usize, api: NodeId) -> Option<&PartialCgt> {
+        self.entries.get(&(query_node, api)).and_then(|v| v.first())
+    }
+
+    /// The beam of partials for `(query node, api)`.
+    pub fn beam(&self, query_node: usize, api: NodeId) -> &[PartialCgt] {
+        self.entries
+            .get(&(query_node, api))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of `(query node, api)` nodes in the dynamic grammar graph.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many partials the beam keeps per distinct top node. Different
+    /// tops are different grammar occurrence contexts; a parent path can
+    /// only merge with a matching context, so diversity across tops matters
+    /// more than depth within one.
+    const PER_TOP: usize = 2;
+
+    fn insert(&mut self, key: (usize, NodeId), partial: PartialCgt, beam: usize) {
+        let slot = self.entries.entry(key).or_default();
+        if slot.iter().any(|p| p.cgt == partial.cgt) {
+            return;
+        }
+        let same_top = slot.iter().filter(|p| p.top == partial.top).count();
+        if same_top >= Self::PER_TOP {
+            // Replace the worst same-top entry if the new one is better.
+            let worst = slot
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.top == partial.top)
+                .max_by_key(|(_, p)| p.key())
+                .map(|(i, _)| i)
+                .expect("same_top > 0");
+            if partial.key() < slot[worst].key() {
+                slot.remove(worst);
+            } else {
+                return;
+            }
+        }
+        let pos = slot
+            .binary_search_by(|p| p.key().cmp(&partial.key()))
+            .unwrap_or_else(|e| e);
+        slot.insert(pos, partial);
+        // Evict overall-worst entries, but never below one entry per top.
+        while slot.len() > beam {
+            let mut removed = false;
+            for i in (0..slot.len()).rev() {
+                let top = slot[i].top;
+                if slot.iter().filter(|p| p.top == top).count() > 1 {
+                    slot.remove(i);
+                    removed = true;
+                    break;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+}
+
+/// Runs DGGT, returning the smallest valid CGT.
+///
+/// The `map` must already have orphans resolved (relocated into
+/// `query.edges`, or attached to the grammar root as extra `gov: None`
+/// edges).
+///
+/// # Errors
+///
+/// Returns [`TimedOut`] when the deadline expires.
+pub fn synthesize(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let (dyng, best) = synthesize_with_graph(domain, query, w2a, map, config, deadline, stats)?;
+    let _ = dyng;
+    Ok(best)
+}
+
+/// Like [`synthesize`], additionally returning the dynamic grammar graph
+/// for inspection (tests, diagnostics, benchmarks).
+///
+/// # Errors
+///
+/// Returns [`TimedOut`] when the deadline expires.
+pub fn synthesize_with_graph(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+) -> Result<(DynamicGrammarGraph, Option<BestCgt>), TimedOut> {
+    let graph = domain.graph();
+    let n = query.nodes.len();
+    let Some(root) = query.root else {
+        return Ok((DynamicGrammarGraph::default(), None));
+    };
+
+    // Children as recorded in the EdgeToPath map (gov = Some(n)).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &map.edges {
+        if let Some(gov) = e.gov {
+            children[gov].push(e.dep);
+        }
+    }
+
+    // Bottom-up processing order: a node is ready when all its map-children
+    // are processed. Handles detached orphan subtrees uniformly.
+    let order = bottom_up_order(n, &children);
+
+    let mut dyng = DynamicGrammarGraph::default();
+    let mut polls: u64 = 0;
+
+    for &node in &order {
+        deadline.check()?;
+        let kids = &children[node];
+        // Positional weighting: earlier query words bind their best
+        // candidates first. Ties between mirrored assignments ("move the
+        // first WORD to the end of the LINE") resolve toward giving the
+        // earlier word its higher-scored API.
+        let pos_weight = 1000.0 - 8.0 * node.min(100) as f64;
+        let candidate_apis: Vec<(NodeId, u64)> = w2a
+            .of(node)
+            .iter()
+            .filter_map(|c| {
+                graph
+                    .api_node(&c.api)
+                    .map(|id| (id, (c.score * pos_weight) as u64))
+            })
+            .collect();
+
+        if kids.is_empty() {
+            // "For each leaf node … the algorithm generates API nodes."
+            for (api, score) in candidate_apis {
+                dyng.insert(
+                    (node, api),
+                    PartialCgt {
+                        cgt: Cgt::singleton(api),
+                        size: 1,
+                        path_len: 0,
+                        score_milli: score,
+                        top: Some(api),
+                        claimed: Vec::new(),
+                        node_claims: Vec::new(),
+                        assignment: vec![(node, api)],
+                    },
+                    config.dggt_beam,
+                );
+            }
+            continue;
+        }
+
+        for &(api, api_score) in &candidate_apis {
+            // Options per child: (prepared path, child dep-api).
+            let mut options: Vec<Vec<Option_>> = Vec::with_capacity(kids.len());
+            let mut feasible = true;
+            for &child in kids {
+                let Some(edge) = map.edge_for(child) else {
+                    feasible = false;
+                    break;
+                };
+                let mut opts = Vec::new();
+                for pc in &edge.paths {
+                    if pc.gov_api != Some(api) {
+                        continue;
+                    }
+                    let Some(child_best) = dyng.best(child, pc.dep_api) else {
+                        continue;
+                    };
+                    opts.push(Option_ {
+                        child,
+                        dep_api: pc.dep_api,
+                        claim: sink_claim(&pc.path),
+                        chain: pc.path.chain.clone(),
+                        cgt: Cgt::from_path(&pc.path, graph),
+                        size_excl_sink: pc.path.size_excluding_sink(graph),
+                        path_size: pc.path.size(graph),
+                        bonus_milli: pc.bonus_milli,
+                        sig: or_signature(&pc.path, graph),
+                        child_best_size: child_best.size,
+                    });
+                }
+                if opts.is_empty() {
+                    feasible = false;
+                    break;
+                }
+                options.push(opts);
+            }
+            if !feasible {
+                continue;
+            }
+
+            let product: u64 = options
+                .iter()
+                .map(|o| o.len() as u64)
+                .try_fold(1u64, |acc, l| acc.checked_mul(l))
+                .unwrap_or(u64::MAX);
+            if kids.len() >= 2 {
+                stats.sibling_combinations = stats.sibling_combinations.saturating_add(product);
+            }
+
+            // Streaming enumeration with grammar- and size-based pruning.
+            let mut running_min_upper = usize::MAX;
+            let mut indices = vec![0usize; options.len()];
+            'combos: loop {
+                polls += 1;
+                if polls % DEADLINE_STRIDE == 0 {
+                    deadline.check()?;
+                }
+                let chosen: Vec<&Option_> = indices
+                    .iter()
+                    .zip(&options)
+                    .map(|(&i, opts)| &opts[i])
+                    .collect();
+
+                let mut skip = false;
+                // Two sibling dependents must not ride the *identical*
+                // grammar path: a codelet mentions each of them separately
+                // ("replace A with B" needs both string slots).
+                for i in 0..chosen.len() {
+                    for j in (i + 1)..chosen.len() {
+                        if chosen[i].chain == chosen[j].chain {
+                            skip = true;
+                        }
+                    }
+                }
+                if skip {
+                    stats.pruned_grammar += 1;
+                }
+                if !skip && config.grammar_pruning && chosen.len() >= 2 {
+                    let sigs: Vec<&Vec<(NodeId, NodeId)>> =
+                        chosen.iter().map(|o| &o.sig).collect();
+                    if combination_conflicts(&sigs) {
+                        stats.pruned_grammar += 1;
+                        skip = true;
+                    }
+                }
+                if !skip && config.size_pruning {
+                    let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
+                    let lower = chosen
+                        .iter()
+                        .map(|o| o.size_excl_sink)
+                        .max()
+                        .unwrap_or(0)
+                        + child_sum;
+                    if lower > running_min_upper {
+                        stats.pruned_size += 1;
+                        skip = true;
+                    } else {
+                        let sum: usize = chosen.iter().map(|o| o.size_excl_sink).sum();
+                        let upper = sum - (chosen.len() - 1).min(sum) + child_sum;
+                        running_min_upper = running_min_upper.min(upper);
+                    }
+                }
+                if !skip {
+                    stats.merged_combinations += 1;
+                    // Merge the prefix tree of the chosen paths.
+                    let mut prefix = Cgt::new();
+                    for o in &chosen {
+                        prefix.merge(&o.cgt);
+                    }
+                    if prefix.is_or_consistent(graph) {
+                        // Join with each child's best consistent partial.
+                        if let Some(partial) = join_children(
+                            graph,
+                            node,
+                            api,
+                            api_score,
+                            &prefix,
+                            &chosen,
+                            &dyng,
+                            config.dggt_beam,
+                        ) {
+                            dyng.insert((node, api), partial, config.dggt_beam);
+                        }
+                    }
+                }
+
+                // Odometer.
+                let mut pos = indices.len();
+                loop {
+                    if pos == 0 {
+                        break 'combos;
+                    }
+                    pos -= 1;
+                    indices[pos] += 1;
+                    if indices[pos] < options[pos].len() {
+                        break;
+                    }
+                    indices[pos] = 0;
+                }
+            }
+        }
+    }
+
+    // Final join: grammar-root path + root entry (+ root-attached orphans).
+    let best = final_join(graph, map, &dyng, root, deadline)?;
+    Ok((dyng, best))
+}
+
+struct Option_ {
+    child: usize,
+    dep_api: NodeId,
+    claim: (NodeId, NodeId),
+    chain: Vec<NodeId>,
+    cgt: Cgt,
+    size_excl_sink: usize,
+    path_size: usize,
+    bonus_milli: u64,
+    sig: Vec<(NodeId, NodeId)>,
+    child_best_size: usize,
+}
+
+fn bottom_up_order(n: usize, children: &[Vec<usize>]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut processed = vec![false; n];
+    loop {
+        let mut progressed = false;
+        for node in 0..n {
+            if processed[node] {
+                continue;
+            }
+            if children[node].iter().all(|&c| processed[c]) {
+                processed[node] = true;
+                order.push(node);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_children(
+    graph: &nlquery_grammar::GrammarGraph,
+    node: usize,
+    api: NodeId,
+    api_score: u64,
+    prefix: &Cgt,
+    chosen: &[&Option_],
+    dyng: &DynamicGrammarGraph,
+    beam: usize,
+) -> Option<PartialCgt> {
+    let mut cgt = prefix.clone();
+    let mut assignment = vec![(node, api)];
+    let mut node_claims: Vec<(usize, (NodeId, NodeId))> = Vec::new();
+    let mut path_len = 0usize;
+    let mut score_milli = api_score;
+    // Claims of the chosen paths themselves: each child's sink occupies
+    // one grammar occurrence.
+    let mut claimed: Vec<(NodeId, NodeId)> = Vec::new();
+    for o in chosen {
+        let mut with_claim = claimed.clone();
+        match merge_claims(&with_claim, &[o.claim]) {
+            Some(c) => with_claim = c,
+            None => return None,
+        }
+        claimed = with_claim;
+    }
+    for o in chosen {
+        path_len += o.path_size;
+        score_milli += o.bonus_milli;
+        // Try the child's beam until one merges or-consistently with
+        // disjoint occurrence claims.
+        let mut merged = false;
+        for partial in dyng.beam(o.child, o.dep_api).iter().take(beam) {
+            let Some(new_claims) = merge_claims(&claimed, &partial.claimed) else {
+                continue;
+            };
+            let mut trial = cgt.clone();
+            trial.merge(&partial.cgt);
+            // The child's partial must land in the same grammar occurrence
+            // the prefix path chose; or-consistency alone cannot see a
+            // dangling duplicate context (API nodes are shared).
+            if trial.is_or_consistent(graph) && trial.is_connected(graph) {
+                cgt = trial;
+                claimed = new_claims;
+                assignment.extend(partial.assignment.iter().copied());
+                node_claims.push((o.child, o.claim));
+                node_claims.extend(partial.node_claims.iter().copied());
+                path_len += partial.path_len;
+                score_milli += partial.score_milli;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            return None;
+        }
+    }
+    let size = cgt.api_count(graph);
+    let top = cgt.top(graph);
+    Some(PartialCgt {
+        cgt,
+        size,
+        path_len,
+        score_milli,
+        top,
+        claimed,
+        node_claims,
+        assignment,
+    })
+}
+
+fn final_join(
+    graph: &nlquery_grammar::GrammarGraph,
+    map: &EdgeToPath,
+    dyng: &DynamicGrammarGraph,
+    root: usize,
+    deadline: &Deadline,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let root_edge = map
+        .edges
+        .iter()
+        .find(|e| e.gov.is_none() && e.dep == root);
+    let orphan_edges: Vec<_> = map
+        .edges
+        .iter()
+        .filter(|e| e.gov.is_none() && e.dep != root)
+        .collect();
+
+    let mut best: Option<BestCgt> = None;
+    let Some(root_edge) = root_edge else {
+        return Ok(None);
+    };
+
+    let mut best_key: Option<(usize, usize, std::cmp::Reverse<u64>)> = None;
+    for pc in &root_edge.paths {
+        deadline.check()?;
+        for partial in dyng.beam(root, pc.dep_api) {
+            let mut cgt = partial.cgt.clone();
+            cgt.absorb_path(&pc.path, graph);
+            if !cgt.is_or_consistent(graph) {
+                continue;
+            }
+            let mut assignment = partial.assignment.clone();
+            let mut node_claims = partial.node_claims.clone();
+            node_claims.push((root, sink_claim(&pc.path)));
+            let mut path_len = partial.path_len + pc.path.size(graph);
+            let mut score_milli = partial.score_milli;
+            let Some(mut claimed) = merge_claims(&partial.claimed, &[sink_claim(&pc.path)])
+            else {
+                continue;
+            };
+
+            // Greedily absorb each root-attached orphan with its cheapest
+            // consistent option.
+            let mut ok = true;
+            for oe in &orphan_edges {
+                let mut options: Vec<(usize, &crate::PathCandidate, &PartialCgt)> = Vec::new();
+                for opc in &oe.paths {
+                    for op in dyng.beam(oe.dep, opc.dep_api) {
+                        options.push((
+                            opc.path.size_excluding_sink(graph) + op.size,
+                            opc,
+                            op,
+                        ));
+                    }
+                }
+                options.sort_by_key(|(cost, pc, _)| (*cost, pc.id));
+                let mut absorbed = false;
+                // Many root paths tie in cost but differ in which command
+                // head they pass through; enough must be tried to find the
+                // or-consistent one.
+                for (_, opc, op) in options.into_iter().take(64) {
+                    let Some(with_path) = merge_claims(&claimed, &[sink_claim(&opc.path)])
+                    else {
+                        continue;
+                    };
+                    let Some(new_claims) = merge_claims(&with_path, &op.claimed) else {
+                        continue;
+                    };
+                    let mut trial = cgt.clone();
+                    trial.absorb_path(&opc.path, graph);
+                    trial.merge(&op.cgt);
+                    if trial.is_or_consistent(graph) && trial.is_connected(graph) {
+                        cgt = trial;
+                        claimed = new_claims;
+                        assignment.extend(op.assignment.iter().copied());
+                        node_claims.push((oe.dep, sink_claim(&opc.path)));
+                        node_claims.extend(op.node_claims.iter().copied());
+                        path_len += opc.path.size(graph) + op.path_len;
+                        score_milli += op.score_milli;
+                        absorbed = true;
+                        break;
+                    }
+                }
+                if !absorbed {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+
+            if cgt.is_valid(graph) {
+                let size = cgt.api_count(graph);
+                let key = (size, path_len, std::cmp::Reverse(score_milli));
+                if best_key.is_none_or(|bk| key < bk) {
+                    best_key = Some(key);
+                    best = Some(BestCgt {
+                        cgt,
+                        size,
+                        assignment,
+                        node_claims,
+                    });
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge2path;
+    use crate::{QueryEdge, QueryNode};
+    use nlquery_grammar::{GrammarGraph, SearchLimits};
+    use nlquery_nlp::{ApiCandidate, ApiDoc, DepRel, Pos};
+    use std::time::Duration;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos iter
+            string     ::= STRING
+            pos        ::= POSITION | START | pos_arg
+            pos_arg    ::= AFTER string | STARTFROM string
+            iter       ::= ITERATIONSCOPE iter_arg | LINESCOPE
+            iter_arg   ::= scope cond
+            scope      ::= LINESCOPE | DOCSCOPE
+            cond       ::= CONTAINS entity | ALL
+            entity     ::= NUMBERTOKEN | STRING
+            "#,
+        )
+        .unwrap();
+        Domain::builder("t")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string", 0),
+                ApiDoc::new("STRING", &["string"], "a string", 1),
+                ApiDoc::new("POSITION", &["position"], "a position", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("AFTER", &["after"], "after a string", 0),
+                ApiDoc::new("STARTFROM", &["start", "from"], "counted from the start", 0),
+                ApiDoc::new("ITERATIONSCOPE", &["iteration", "scope"], "iterate", 0),
+                ApiDoc::new("LINESCOPE", &["line"], "lines", 0),
+                ApiDoc::new("DOCSCOPE", &["document"], "document", 0),
+                ApiDoc::new("CONTAINS", &["contain"], "contains", 0),
+                ApiDoc::new("ALL", &["all", "every"], "all", 0),
+                ApiDoc::new("NUMBERTOKEN", &["number"], "numbers", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    fn qnode(id: usize, word: &str) -> QueryNode {
+        QueryNode {
+            id,
+            words: vec![word.to_string()],
+            pos: Pos::Noun,
+            literal: None,
+        }
+    }
+
+    fn cand(api: &str) -> ApiCandidate {
+        ApiCandidate { api: api.to_string(), score: 1.0 }
+    }
+
+    /// The paper's Figure 3/4/5 query structure:
+    /// insert -> {string, start, line}; line as a leaf under start? No —
+    /// insert -> string(obj), start(at), line nested under start(of).
+    fn paper_setup() -> (QueryGraph, WordToApi) {
+        let q = QueryGraph {
+            nodes: vec![
+                qnode(0, "insert"),
+                qnode(1, "string"),
+                qnode(2, "start"),
+                qnode(3, "line"),
+            ],
+            edges: vec![
+                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
+                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+                QueryEdge { gov: 0, dep: 3, rel: DepRel::Nmod("in".into()) },
+            ],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![
+                vec![cand("INSERT")],
+                vec![cand("STRING")],
+                vec![cand("START"), cand("STARTFROM")],
+                vec![cand("LINESCOPE")],
+            ],
+        };
+        (q, w2a)
+    }
+
+    fn run(
+        d: &Domain,
+        q: &QueryGraph,
+        w2a: &WordToApi,
+        cfg: &SynthesisConfig,
+    ) -> (DynamicGrammarGraph, Option<BestCgt>, SynthesisStats) {
+        let map = edge2path::compute(q, w2a, d, SearchLimits::default());
+        let deadline = Deadline::new(Duration::from_secs(10));
+        let mut stats = SynthesisStats::default();
+        let (g, b) =
+            synthesize_with_graph(d, q, w2a, &map, cfg, &deadline, &mut stats).unwrap();
+        (g, b, stats)
+    }
+
+    #[test]
+    fn solves_paper_example() {
+        let d = domain();
+        let (q, w2a) = paper_setup();
+        let cfg = SynthesisConfig::default();
+        let (dyng, best, stats) = run(&d, &q, &w2a, &cfg);
+        let best = best.expect("solution exists");
+        assert!(best.cgt.is_valid(d.graph()), "{:?}", best.cgt);
+        // Optimal: INSERT, STRING, START, LINESCOPE = 4 APIs.
+        assert_eq!(best.size, 4);
+        // The dynamic grammar graph recorded entries for all nodes.
+        assert!(dyng.len() >= 4);
+        assert!(stats.sibling_combinations >= 2);
+    }
+
+    #[test]
+    fn matches_hisyn_minimum() {
+        // Losslessness: DGGT finds a CGT of the same minimal size as the
+        // exhaustive baseline.
+        let d = domain();
+        let (q, w2a) = paper_setup();
+        let map = edge2path::compute(&q, &w2a, &d, SearchLimits::default());
+        let deadline = Deadline::new(Duration::from_secs(10));
+
+        let mut hs = SynthesisStats::default();
+        let h = crate::hisyn::synthesize(
+            &d,
+            &q,
+            &w2a,
+            &map,
+            &SynthesisConfig::hisyn_baseline(),
+            &deadline,
+            &mut hs,
+        )
+        .unwrap()
+        .expect("baseline finds solution");
+
+        let cfg = SynthesisConfig::default();
+        let (_, best, _) = run(&d, &q, &w2a, &cfg);
+        assert_eq!(best.unwrap().size, h.size);
+    }
+
+    #[test]
+    fn grammar_pruning_counts() {
+        let d = domain();
+        let (q, mut w2a) = paper_setup();
+        // Make "start" more ambiguous to create conflicting or-choices.
+        w2a.candidates[2].push(cand("POSITION"));
+        let cfg = SynthesisConfig::default();
+        let (_, best, stats) = run(&d, &q, &w2a, &cfg);
+        assert!(best.is_some());
+        assert!(
+            stats.pruned_grammar > 0 || stats.pruned_size > 0,
+            "expected some pruning: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pruning_does_not_change_result() {
+        let d = domain();
+        let (q, mut w2a) = paper_setup();
+        w2a.candidates[2].push(cand("POSITION"));
+        let with = SynthesisConfig::default();
+        let without = SynthesisConfig::default()
+            .grammar_pruning(false)
+            .size_pruning(false);
+        let (_, a, _) = run(&d, &q, &w2a, &with);
+        let (_, b, _) = run(&d, &q, &w2a, &without);
+        assert_eq!(a.unwrap().size, b.unwrap().size);
+    }
+
+    #[test]
+    fn single_node_query() {
+        let d = domain();
+        let q = QueryGraph {
+            nodes: vec![qnode(0, "insert")],
+            edges: vec![],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![vec![cand("INSERT")]],
+        };
+        let cfg = SynthesisConfig::default();
+        let (_, best, _) = run(&d, &q, &w2a, &cfg);
+        assert_eq!(best.unwrap().size, 1);
+    }
+
+    #[test]
+    fn rootless_query_returns_none() {
+        let d = domain();
+        let q = QueryGraph::default();
+        let w2a = WordToApi::default();
+        let cfg = SynthesisConfig::default();
+        let (dyng, best, _) = run(&d, &q, &w2a, &cfg);
+        assert!(best.is_none());
+        assert!(dyng.is_empty());
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let d = domain();
+        let (q, w2a) = paper_setup();
+        let map = edge2path::compute(&q, &w2a, &d, SearchLimits::default());
+        let deadline = Deadline::new(Duration::ZERO);
+        let mut stats = SynthesisStats::default();
+        let r = synthesize(
+            &d,
+            &q,
+            &w2a,
+            &map,
+            &SynthesisConfig::default(),
+            &deadline,
+            &mut stats,
+        );
+        assert_eq!(r, Err(TimedOut));
+    }
+
+    #[test]
+    fn beam_keeps_two_best_per_top() {
+        let mut dyng = DynamicGrammarGraph::default();
+        let api = NodeId::from_index(0);
+        for size in [5usize, 3, 4, 2, 7] {
+            let mut cgt = Cgt::new();
+            // Unique node sets so dedup does not collapse them.
+            for i in 0..size {
+                cgt.nodes.insert(NodeId::from_index(100 + size * 10 + i));
+            }
+            dyng.insert(
+                (0, api),
+                PartialCgt { cgt, size, path_len: 0, score_milli: 0, top: None, claimed: vec![], node_claims: vec![], assignment: vec![] },
+                3,
+            );
+        }
+        // All entries share top=None: the per-top cap keeps the best two.
+        let beam = dyng.beam(0, api);
+        assert_eq!(
+            beam.iter().map(|p| p.size).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(dyng.best(0, api).unwrap().size, 2);
+    }
+
+    #[test]
+    fn beam_keeps_contexts_with_distinct_tops() {
+        let mut dyng = DynamicGrammarGraph::default();
+        let api = NodeId::from_index(0);
+        for (size, top) in [(2usize, 10usize), (3, 10), (4, 20), (9, 30)] {
+            let mut cgt = Cgt::new();
+            for i in 0..size {
+                cgt.nodes.insert(NodeId::from_index(100 + size * 10 + i));
+            }
+            dyng.insert(
+                (0, api),
+                PartialCgt {
+                    cgt,
+                    size,
+                    path_len: 0,
+                    score_milli: 0,
+                    top: Some(NodeId::from_index(top)),
+                    claimed: vec![],
+                    node_claims: vec![],
+                    assignment: vec![],
+                },
+                3,
+            );
+        }
+        // Even with beam 3 exceeded, the worst entry of a multi-entry top
+        // is evicted before any top loses its only representative.
+        let beam = dyng.beam(0, api);
+        let tops: Vec<usize> = beam.iter().filter_map(|p| p.top.map(|t| t.index())).collect();
+        assert!(tops.contains(&10) && tops.contains(&20) && tops.contains(&30), "{tops:?}");
+        assert_eq!(beam.len(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Target-domain definition: grammar + API documentation + literal policy.
+
+use nlquery_grammar::GrammarGraph;
+use nlquery_nlp::{ApiDoc, SemanticMatcher, SynonymLexicon};
+
+use crate::SynthesisError;
+
+/// A synthesis target domain.
+///
+/// Bundles the three inputs of an NLU-driven synthesizer (§II): the
+/// context-free grammar (as a [`GrammarGraph`]), the API documentation (as
+/// a [`SemanticMatcher`] built over [`ApiDoc`]s), and domain policies for
+/// literals.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    name: String,
+    graph: GrammarGraph,
+    matcher: SemanticMatcher,
+    literal_api: Option<String>,
+    quote_literals: bool,
+    intent_verbs: Vec<String>,
+    stopwords: Vec<String>,
+}
+
+impl Domain {
+    /// Starts building a domain.
+    pub fn builder(name: &str) -> DomainBuilder {
+        DomainBuilder {
+            name: name.to_string(),
+            graph: None,
+            docs: Vec::new(),
+            synonyms: None,
+            literal_api: None,
+            quote_literals: false,
+            stopwords: Vec::new(),
+            intent_verbs: vec![
+                "find".to_string(),
+                "search".to_string(),
+                "list".to_string(),
+                "show".to_string(),
+                "locate".to_string(),
+                "give".to_string(),
+                "look".to_string(),
+            ],
+        }
+    }
+
+    /// The domain name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grammar graph.
+    pub fn graph(&self) -> &GrammarGraph {
+        &self.graph
+    }
+
+    /// The word↔API semantic matcher.
+    pub fn matcher(&self) -> &SemanticMatcher {
+        &self.matcher
+    }
+
+    /// The API that quoted string literals map to (e.g. `STRING` in the
+    /// text-editing DSL), if the domain treats literals as standalone
+    /// entities. When `None`, literals are folded into their governor word
+    /// as slot payloads (e.g. `hasName("PI")`).
+    pub fn literal_api(&self) -> Option<&str> {
+        self.literal_api.as_deref()
+    }
+
+    /// Whether rendered expressions put quotes around literal arguments
+    /// (`hasName("PI")` vs `STRING(:)`).
+    pub fn quote_literals(&self) -> bool {
+        self.quote_literals
+    }
+
+    /// Generic intent verbs ("find", "search"…) that carry no API of their
+    /// own and are dropped by query-graph pruning when they match nothing.
+    pub fn intent_verbs(&self) -> &[String] {
+        &self.intent_verbs
+    }
+
+    /// Domain stopwords: words that must never map to an API even when
+    /// they textually hit one (e.g. "all" hitting `isCatchAll` in the
+    /// matcher domain).
+    pub fn stopwords(&self) -> &[String] {
+        &self.stopwords
+    }
+
+    /// Number of APIs in the domain (as listed in the documentation).
+    pub fn api_count(&self) -> usize {
+        self.matcher.docs().len()
+    }
+}
+
+/// Builder for [`Domain`] (see [`Domain::builder`]).
+#[derive(Debug)]
+pub struct DomainBuilder {
+    name: String,
+    graph: Option<GrammarGraph>,
+    docs: Vec<ApiDoc>,
+    synonyms: Option<SynonymLexicon>,
+    literal_api: Option<String>,
+    quote_literals: bool,
+    intent_verbs: Vec<String>,
+    stopwords: Vec<String>,
+}
+
+impl DomainBuilder {
+    /// Sets the grammar graph (required).
+    pub fn graph(mut self, graph: GrammarGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Sets the API documentation (required, non-empty).
+    pub fn docs(mut self, docs: Vec<ApiDoc>) -> Self {
+        self.docs = docs;
+        self
+    }
+
+    /// Sets a custom synonym lexicon (defaults to the built-in one).
+    pub fn synonyms(mut self, synonyms: SynonymLexicon) -> Self {
+        self.synonyms = Some(synonyms);
+        self
+    }
+
+    /// Maps quoted string literals to a standalone API.
+    pub fn literal_api(mut self, api: &str) -> Self {
+        self.literal_api = Some(api.to_string());
+        self
+    }
+
+    /// Quotes literal arguments in rendered expressions.
+    pub fn quote_literals(mut self, on: bool) -> Self {
+        self.quote_literals = on;
+        self
+    }
+
+    /// Replaces the intent-verb list.
+    pub fn intent_verbs(mut self, verbs: &[&str]) -> Self {
+        self.intent_verbs = verbs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the domain stopwords (never mapped to APIs).
+    pub fn stopwords(mut self, words: &[&str]) -> Self {
+        self.stopwords = words.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Builds the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidDomain`] when the grammar or docs
+    /// are missing, when a documented API does not appear in the grammar,
+    /// or when `literal_api` names an unknown API.
+    pub fn build(self) -> Result<Domain, SynthesisError> {
+        let graph = self.graph.ok_or_else(|| SynthesisError::InvalidDomain {
+            message: "grammar graph not set".to_string(),
+        })?;
+        if self.docs.is_empty() {
+            return Err(SynthesisError::InvalidDomain {
+                message: "API documentation is empty".to_string(),
+            });
+        }
+        for doc in &self.docs {
+            if graph.api_node(&doc.name).is_none() {
+                return Err(SynthesisError::InvalidDomain {
+                    message: format!("documented API `{}` does not appear in the grammar", doc.name),
+                });
+            }
+        }
+        if let Some(api) = &self.literal_api {
+            if graph.api_node(api).is_none() {
+                return Err(SynthesisError::InvalidDomain {
+                    message: format!("literal API `{api}` does not appear in the grammar"),
+                });
+            }
+        }
+        let matcher = SemanticMatcher::new(self.docs, self.synonyms.unwrap_or_default());
+        Ok(Domain {
+            name: self.name,
+            graph,
+            matcher,
+            literal_api: self.literal_api,
+            quote_literals: self.quote_literals,
+            intent_verbs: self.intent_verbs,
+            stopwords: self.stopwords,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse("cmd ::= INSERT string\nstring ::= STRING").unwrap()
+    }
+
+    #[test]
+    fn builds_valid_domain() {
+        let d = Domain::builder("t")
+            .graph(graph())
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts", 0),
+                ApiDoc::new("STRING", &["string"], "a string", 1),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap();
+        assert_eq!(d.name(), "t");
+        assert_eq!(d.api_count(), 2);
+        assert_eq!(d.literal_api(), Some("STRING"));
+    }
+
+    #[test]
+    fn rejects_missing_graph() {
+        let err = Domain::builder("t")
+            .docs(vec![ApiDoc::new("X", &[], "", 0)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::InvalidDomain { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_docs() {
+        let err = Domain::builder("t").graph(graph()).build().unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn rejects_unknown_documented_api() {
+        let err = Domain::builder("t")
+            .graph(graph())
+            .docs(vec![ApiDoc::new("MISSING", &["m"], "", 0)])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("MISSING"));
+    }
+
+    #[test]
+    fn rejects_unknown_literal_api() {
+        let err = Domain::builder("t")
+            .graph(graph())
+            .docs(vec![ApiDoc::new("INSERT", &["insert"], "", 0)])
+            .literal_api("NOPE")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn default_intent_verbs_include_find() {
+        let d = Domain::builder("t")
+            .graph(graph())
+            .docs(vec![ApiDoc::new("INSERT", &["insert"], "", 0)])
+            .build()
+            .unwrap();
+        assert!(d.intent_verbs().iter().any(|v| v == "find"));
+    }
+}

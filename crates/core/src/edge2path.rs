@@ -1,0 +1,457 @@
+//! Step 4 — EdgeToPath: candidate grammar paths per dependency edge.
+//!
+//! For every edge `gov → dep` of the pruned query graph, the reversed
+//! all-path search finds every grammar path connecting a candidate API of
+//! `gov` to a candidate API of `dep`. The dependency root gets a *pseudo
+//! edge* from the grammar root. Edges for which **no** candidate pair is
+//! connected mark their dependent as an *orphan node* (§V-B).
+
+use std::collections::HashMap;
+
+use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId, PathId, SearchLimits};
+use nlquery_nlp::DepRel;
+
+use crate::{Domain, QueryGraph, WordToApi};
+
+/// Minimum matcher score at which a preposition "claims" an API for the
+/// relation-affinity bonus ("before" → `BEFORE`).
+const AFFINITY_MIN_SCORE: f64 = 0.7;
+
+/// Score bonus (milli-units) granted to a path that passes through an API
+/// the edge's preposition names.
+const AFFINITY_BONUS: u64 = 300;
+
+/// Memo for path searches within one query: orphan relocation re-runs
+/// EdgeToPath on several graph variants whose edges mostly repeat the same
+/// (source, sink) pairs.
+#[derive(Debug, Default)]
+pub struct PathCache {
+    between: HashMap<(NodeId, NodeId), Vec<GrammarPath>>,
+    from_root: HashMap<NodeId, Vec<GrammarPath>>,
+}
+
+impl PathCache {
+    /// Creates an empty cache.
+    pub fn new() -> PathCache {
+        PathCache::default()
+    }
+
+    fn between(
+        &mut self,
+        graph: &GrammarGraph,
+        from: NodeId,
+        to: NodeId,
+        limits: SearchLimits,
+    ) -> &[GrammarPath] {
+        self.between
+            .entry((from, to))
+            .or_insert_with(|| graph.paths_between(from, to, limits))
+    }
+
+    fn from_root(
+        &mut self,
+        graph: &GrammarGraph,
+        to: NodeId,
+        limits: SearchLimits,
+    ) -> &[GrammarPath] {
+        self.from_root
+            .entry(to)
+            .or_insert_with(|| graph.paths_from_root(to, limits))
+    }
+}
+
+/// One candidate grammar path for a dependency edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathCandidate {
+    /// The paper-style path id (`edge.path`).
+    pub id: PathId,
+    /// The governor-side API node; `None` when the path starts at the
+    /// grammar root (root pseudo-edge, HISyn orphan attachment).
+    pub gov_api: Option<NodeId>,
+    /// The dependent-side API node (the path's sink).
+    pub dep_api: NodeId,
+    /// Relation-affinity bonus (milli-units): granted when the dependency
+    /// edge's preposition semantically names an API on this path
+    /// ("split … *before* X" prefers paths through `BEFORE`).
+    pub bonus_milli: u64,
+    /// The path itself.
+    pub path: GrammarPath,
+}
+
+/// All path candidates of one dependency edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeCandidates {
+    /// Edge index within the [`EdgeToPath`] (0 is the root pseudo-edge).
+    pub edge_index: usize,
+    /// Governor query node; `None` for the root pseudo-edge and for
+    /// root-attached orphans.
+    pub gov: Option<usize>,
+    /// Dependent query node.
+    pub dep: usize,
+    /// Candidate paths.
+    pub paths: Vec<PathCandidate>,
+}
+
+/// The EdgeToPath map plus orphan diagnosis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeToPath {
+    /// Per-edge candidates. Edge 0 is the root pseudo-edge; real edges
+    /// follow in query-graph edge order (edges with no paths are omitted —
+    /// their dependents appear in [`EdgeToPath::orphans`]).
+    pub edges: Vec<EdgeCandidates>,
+    /// Query nodes unreachable from their governor (or unattached in the
+    /// parse): the orphan nodes.
+    pub orphans: Vec<usize>,
+}
+
+impl EdgeToPath {
+    /// Total number of candidate paths across all edges.
+    pub fn total_paths(&self) -> usize {
+        self.edges.iter().map(|e| e.paths.len()).sum()
+    }
+
+    /// Product over edges of per-edge path counts — the theoretical
+    /// combination count `Π_l p_l^{e_l}` of §III-A (as `f64`; it overflows
+    /// integers on hard queries).
+    pub fn combination_count(&self) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| !e.paths.is_empty())
+            .map(|e| e.paths.len() as f64)
+            .product()
+    }
+
+    /// The edge whose dependent is `dep`, if present.
+    pub fn edge_for(&self, dep: usize) -> Option<&EdgeCandidates> {
+        self.edges.iter().find(|e| e.dep == dep)
+    }
+}
+
+/// Computes the EdgeToPath map for a pruned query graph.
+///
+/// `limits` bounds the reversed all-path search. Orphans are *diagnosed*
+/// here; attaching them (to the grammar root à la HISyn, or by relocation à
+/// la DGGT) is the caller's decision.
+pub fn compute(
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    domain: &Domain,
+    limits: SearchLimits,
+) -> EdgeToPath {
+    compute_cached(query, w2a, domain, limits, &mut PathCache::new())
+}
+
+/// [`compute`] with an external [`PathCache`], reused across orphan
+/// relocation variants of the same query.
+pub fn compute_cached(
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    domain: &Domain,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+) -> EdgeToPath {
+    let graph = domain.graph();
+    let mut result = EdgeToPath::default();
+    let mut edge_index = 0;
+
+    // APIs named by a preposition ("before" → BEFORE): paths through them
+    // get a score bonus on edges labelled with that preposition.
+    let affinity_apis = |rel: &DepRel| -> Vec<NodeId> {
+        let DepRel::Nmod(prep) = rel else {
+            return Vec::new();
+        };
+        domain
+            .matcher()
+            .candidates(prep, 4, AFFINITY_MIN_SCORE)
+            .into_iter()
+            .filter_map(|c| graph.api_node(&c.api))
+            .collect()
+    };
+
+    // Sort an edge's candidates by ascending path size (then chain) and cap
+    // the total per edge: the shortest paths are the ones the smallest-CGT
+    // objective can use; the cap bounds the per-edge fan-out on very
+    // permissive grammars.
+    let finalize = |paths: &mut Vec<PathCandidate>, edge_index: usize| {
+        paths.sort_by_key(|pc| (pc.path.size(graph), pc.path.chain.clone()));
+        paths.truncate(limits.max_paths);
+        for (i, pc) in paths.iter_mut().enumerate() {
+            pc.id = PathId {
+                edge: edge_index as u32,
+                path: i as u32,
+            };
+        }
+    };
+
+    // Root pseudo-edge.
+    if let Some(root) = query.root {
+        let mut paths = Vec::new();
+        for cand in w2a.of(root) {
+            if let Some(api) = graph.api_node(&cand.api) {
+                for p in cache.from_root(graph, api, limits) {
+                    paths.push(PathCandidate {
+                        id: PathId { edge: 0, path: 0 },
+                        gov_api: None,
+                        dep_api: api,
+                        bonus_milli: 0,
+                        path: p.clone(),
+                    });
+                }
+            }
+        }
+        if paths.is_empty() {
+            result.orphans.push(root);
+        } else {
+            finalize(&mut paths, edge_index);
+            result.edges.push(EdgeCandidates {
+                edge_index,
+                gov: None,
+                dep: root,
+                paths,
+            });
+            edge_index += 1;
+        }
+    }
+
+    // Real dependency edges.
+    for qe in &query.edges {
+        let affine = affinity_apis(&qe.rel);
+        let mut paths = Vec::new();
+        for gc in w2a.of(qe.gov) {
+            let Some(ga) = graph.api_node(&gc.api) else {
+                continue;
+            };
+            for dc in w2a.of(qe.dep) {
+                let Some(da) = graph.api_node(&dc.api) else {
+                    continue;
+                };
+                for p in cache.between(graph, ga, da, limits) {
+                    let bonus = if !affine.is_empty()
+                        && p.api_nodes(graph).iter().any(|n| affine.contains(n))
+                    {
+                        AFFINITY_BONUS
+                    } else {
+                        0
+                    };
+                    paths.push(PathCandidate {
+                        id: PathId { edge: 0, path: 0 },
+                        gov_api: Some(ga),
+                        dep_api: da,
+                        bonus_milli: bonus,
+                        path: p.clone(),
+                    });
+                }
+            }
+        }
+        if paths.is_empty() {
+            result.orphans.push(qe.dep);
+        } else {
+            finalize(&mut paths, edge_index);
+            result.edges.push(EdgeCandidates {
+                edge_index,
+                gov: Some(qe.gov),
+                dep: qe.dep,
+                paths,
+            });
+            edge_index += 1;
+        }
+    }
+
+    // Unattached nodes are orphans too.
+    for u in query.unattached() {
+        if !result.orphans.contains(&u) {
+            result.orphans.push(u);
+        }
+    }
+    result
+}
+
+/// Adds a root pseudo-edge for an orphan node — the HISyn treatment
+/// ("regards an orphan node as the child of the root", searching all paths
+/// from the grammar root to the orphan's candidate APIs).
+pub fn attach_orphan_to_root(
+    map: &mut EdgeToPath,
+    orphan: usize,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    limits: SearchLimits,
+) {
+    let edge_index = map.edges.len();
+    let mut paths = Vec::new();
+    for cand in w2a.of(orphan) {
+        if let Some(api) = graph.api_node(&cand.api) {
+            for p in graph.paths_from_root(api, limits) {
+                paths.push(PathCandidate {
+                    id: PathId { edge: 0, path: 0 },
+                    gov_api: None,
+                    dep_api: api,
+                    bonus_milli: 0,
+                    path: p,
+                });
+            }
+        }
+    }
+    paths.sort_by_key(|pc| (pc.path.size(graph), pc.path.chain.clone()));
+    paths.truncate(limits.max_paths);
+    for (i, pc) in paths.iter_mut().enumerate() {
+        pc.id = PathId {
+            edge: edge_index as u32,
+            path: i as u32,
+        };
+    }
+    if !paths.is_empty() {
+        map.edges.push(EdgeCandidates {
+            edge_index,
+            gov: None,
+            dep: orphan,
+            paths,
+        });
+        map.orphans.retain(|&o| o != orphan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryEdge, QueryNode};
+    use nlquery_nlp::{ApiCandidate, ApiDoc, DepRel, Pos};
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap();
+        Domain::builder("t")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts", 0),
+                ApiDoc::new("STRING", &["string"], "a string", 1),
+                ApiDoc::new("POSITION", &["position"], "a position", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn qnode(id: usize, word: &str) -> QueryNode {
+        QueryNode {
+            id,
+            words: vec![word.to_string()],
+            pos: Pos::Noun,
+            literal: None,
+        }
+    }
+
+    fn cand(api: &str) -> ApiCandidate {
+        ApiCandidate {
+            api: api.to_string(),
+            score: 1.0,
+        }
+    }
+
+    fn setup() -> (QueryGraph, WordToApi) {
+        let q = QueryGraph {
+            nodes: vec![qnode(0, "insert"), qnode(1, "string"), qnode(2, "start")],
+            edges: vec![
+                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
+                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+            ],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![
+                vec![cand("INSERT")],
+                vec![cand("STRING")],
+                vec![cand("START"), cand("POSITION")],
+            ],
+        };
+        (q, w2a)
+    }
+
+    #[test]
+    fn computes_root_edge_and_real_edges() {
+        let d = domain();
+        let g = d.graph();
+        let (q, w2a) = setup();
+        let map = compute(&q, &w2a, &d, SearchLimits::default());
+        assert_eq!(map.edges.len(), 3);
+        assert_eq!(map.edges[0].gov, None);
+        assert_eq!(map.edges[0].dep, 0);
+        assert_eq!(map.edges[0].paths.len(), 1); // root -> INSERT
+        assert_eq!(map.edges[1].paths.len(), 1); // INSERT -> STRING
+        assert_eq!(map.edges[2].paths.len(), 2); // INSERT -> {START, POSITION}
+        assert!(map.orphans.is_empty());
+        assert_eq!(map.total_paths(), 4);
+        assert!((map.combination_count() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ambiguous_candidates_multiply_paths() {
+        let d = domain();
+        let g = d.graph();
+        let (q, mut w2a) = setup();
+        // Give "start" an extra bogus candidate that has no path.
+        w2a.candidates[2].push(cand("STRING"));
+        let map = compute(&q, &w2a, &d, SearchLimits::default());
+        // STRING adds one more INSERT->STRING path on edge 2.
+        assert_eq!(map.edges[2].paths.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_dependent_is_orphan() {
+        let d = domain();
+        let g = d.graph();
+        let (mut q, mut w2a) = setup();
+        q.edges.push(QueryEdge { gov: 1, dep: 2, rel: DepRel::Obj });
+        q.edges.remove(1); // now: insert->string, string->start
+        w2a.candidates[2] = vec![cand("START")];
+        let map = compute(&q, &w2a, &d, SearchLimits::default());
+        // STRING is not an ancestor of START.
+        assert_eq!(map.orphans, vec![2]);
+    }
+
+    #[test]
+    fn orphan_can_attach_to_root() {
+        let d = domain();
+        let g = d.graph();
+        let (mut q, w2a) = setup();
+        q.edges.remove(1);
+        q.edges.push(QueryEdge { gov: 1, dep: 2, rel: DepRel::Obj });
+        let mut map = compute(&q, &w2a, &d, SearchLimits::default());
+        assert_eq!(map.orphans, vec![2]);
+        attach_orphan_to_root(&mut map, 2, &w2a, g, SearchLimits::default());
+        assert!(map.orphans.is_empty());
+        let last = map.edges.last().unwrap();
+        assert_eq!(last.dep, 2);
+        assert!(last.paths.iter().all(|p| p.gov_api.is_none()));
+        // Root->START and root->POSITION paths exist.
+        assert_eq!(last.paths.len(), 2);
+    }
+
+    #[test]
+    fn unattached_node_is_orphan() {
+        let d = domain();
+        let g = d.graph();
+        let (mut q, mut w2a) = setup();
+        q.nodes.push(qnode(3, "stray"));
+        w2a.candidates.push(vec![cand("POSITION")]);
+        let map = compute(&q, &w2a, &d, SearchLimits::default());
+        assert!(map.orphans.contains(&3));
+    }
+
+    #[test]
+    fn rootless_graph_yields_empty_map() {
+        let d = domain();
+        let g = d.graph();
+        let q = QueryGraph::default();
+        let w2a = WordToApi::default();
+        let map = compute(&q, &w2a, &d, SearchLimits::default());
+        assert!(map.edges.is_empty());
+        assert!(map.orphans.is_empty());
+    }
+}

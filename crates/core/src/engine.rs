@@ -1,0 +1,90 @@
+//! Shared engine types: search results and wall-clock deadlines.
+
+use std::time::{Duration, Instant};
+
+use nlquery_grammar::NodeId;
+
+use crate::Cgt;
+
+/// The best code generation tree found by an engine, with the query-node →
+//  API assignment needed for literal binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestCgt {
+    /// The merged tree.
+    pub cgt: Cgt,
+    /// Its API count (the minimized objective).
+    pub size: usize,
+    /// Which API node each query node ended up mapped to.
+    pub assignment: Vec<(usize, NodeId)>,
+    /// Which grammar *occurrence* (derivation → API edge) each query node
+    /// claimed — the key for binding the node's literal to the right slot
+    /// when one API serves several argument positions.
+    pub node_claims: Vec<(usize, (NodeId, NodeId))>,
+}
+
+/// Signal: the wall-clock budget ran out mid-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+/// A wall-clock deadline checked inside hot loops.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// Starts a deadline `budget` from now.
+    pub fn new(budget: Duration) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Time since the deadline started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Returns `Err(TimedOut)` when expired — convenient with `?`.
+    pub fn check(&self) -> Result<(), TimedOut> {
+        if self.expired() {
+            Err(TimedOut)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_not_expired() {
+        let d = Deadline::new(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::new(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.check(), Err(TimedOut));
+    }
+
+    #[test]
+    fn elapsed_grows() {
+        let d = Deadline::new(Duration::from_secs(1));
+        let a = d.elapsed();
+        let b = d.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthesis error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the synthesis pipeline.
+///
+/// A timeout is *not* an error here — the pipeline reports it through
+/// [`crate::Outcome::Timeout`] together with its statistics, because the
+/// paper's evaluation counts timeouts as wrong-but-measured cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The domain definition is inconsistent (e.g. documentation names an
+    /// API missing from the grammar).
+    InvalidDomain {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidDomain { message } => {
+                write!(f, "invalid domain definition: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SynthesisError::InvalidDomain {
+            message: "API `FOO` not in grammar".to_string(),
+        };
+        assert!(e.to_string().contains("FOO"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

@@ -1,0 +1,318 @@
+//! Step 6 — TreeToExpression: render the smallest CGT as a DSL expression.
+//!
+//! The CGT is traversed depth-first from its top; "the children of a node
+//! are regarded as parameters of the API in their parent node" (§II). A
+//! derivation whose first child is an API becomes a call of that API with
+//! the remaining parts as arguments; literal slots are filled from
+//! [`LiteralPool`] bindings collected during synthesis.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use nlquery_grammar::{GrammarGraph, NodeId};
+
+use crate::{Cgt, Domain};
+
+/// Literal values available to fill API slots.
+///
+/// Literals are *bound* to the grammar occurrence — the
+/// (derivation, API) edge — their query word claimed, so that two words
+/// mapping to the same API fill their own slots (`REPLACE(STRING(a),
+/// STRING(b))`, `STARTSWITH(STRING(-))` vs the insert's `STRING(:)`).
+/// Occurrence-less bindings attach at the API level; unfilled slots draw
+/// from a fallback queue in query order.
+#[derive(Debug, Clone, Default)]
+pub struct LiteralPool {
+    bound_occ: BTreeMap<(NodeId, NodeId), VecDeque<String>>,
+    bound_api: BTreeMap<NodeId, VecDeque<String>>,
+    fallback: VecDeque<String>,
+}
+
+impl LiteralPool {
+    /// Creates an empty pool.
+    pub fn new() -> LiteralPool {
+        LiteralPool::default()
+    }
+
+    /// Binds a literal to a specific grammar occurrence (FIFO).
+    pub fn bind_occurrence(&mut self, occurrence: (NodeId, NodeId), literal: String) {
+        self.bound_occ.entry(occurrence).or_default().push_back(literal);
+    }
+
+    /// Binds a literal to an API node (FIFO per node).
+    pub fn bind(&mut self, api: NodeId, literal: String) {
+        self.bound_api.entry(api).or_default().push_back(literal);
+    }
+
+    /// Adds a fallback literal consumed by any unfilled slot.
+    pub fn push_fallback(&mut self, literal: String) {
+        self.fallback.push_back(literal);
+    }
+
+    fn take(&mut self, parent: Option<NodeId>, api: NodeId) -> Option<String> {
+        if let Some(parent) = parent {
+            if let Some(queue) = self.bound_occ.get_mut(&(parent, api)) {
+                if let Some(lit) = queue.pop_front() {
+                    return Some(lit);
+                }
+            }
+        }
+        if let Some(queue) = self.bound_api.get_mut(&api) {
+            if let Some(lit) = queue.pop_front() {
+                return Some(lit);
+            }
+        }
+        self.fallback.pop_front()
+    }
+}
+
+/// Renders a CGT into the final DSL expression.
+///
+/// Returns `None` when the CGT is empty or its top is not renderable.
+pub fn render_expression(domain: &Domain, cgt: &Cgt, pool: &mut LiteralPool) -> Option<String> {
+    let graph = domain.graph();
+    let top = cgt.top(graph)?;
+    let mut r = Renderer {
+        domain,
+        graph,
+        cgt,
+        pool,
+    };
+    let parts = r.render_node(top, 0);
+    match parts.len() {
+        0 => None,
+        _ => Some(
+            parts
+                .iter()
+                .map(Part::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+    }
+}
+
+/// A rendered fragment: an API call or plain text (already-folded call).
+#[derive(Debug, Clone)]
+enum Part {
+    Call { name: String, args: Vec<String> },
+}
+
+impl Part {
+    fn to_string(&self) -> String {
+        match self {
+            Part::Call { name, args } => format!("{}({})", name, args.join(", ")),
+        }
+    }
+}
+
+/// Folds a head-first derivation's parts: the head call absorbs the rest
+/// as arguments (`INSERT insert_arg` renders as `INSERT(args…)`). Only
+/// called when the derivation's first child is an API node; other
+/// derivations pass their parts through unchanged.
+fn fold_head(parts: Vec<Part>) -> Vec<Part> {
+    let mut iter = parts.into_iter();
+    let Some(first) = iter.next() else {
+        return Vec::new();
+    };
+    let rest: Vec<Part> = iter.collect();
+    if rest.is_empty() {
+        return vec![first];
+    }
+    let Part::Call { name, mut args } = first;
+    args.extend(rest.iter().map(Part::to_string));
+    vec![Part::Call { name, args }]
+}
+
+struct Renderer<'a> {
+    domain: &'a Domain,
+    graph: &'a GrammarGraph,
+    cgt: &'a Cgt,
+    pool: &'a mut LiteralPool,
+}
+
+/// Depth guard against pathological CGTs.
+const MAX_DEPTH: usize = 64;
+
+impl Renderer<'_> {
+    fn render_node(&mut self, node: NodeId, depth: usize) -> Vec<Part> {
+        if depth > MAX_DEPTH {
+            return Vec::new();
+        }
+        if self.graph.is_api(node) {
+            return vec![self.render_api(None, node)];
+        }
+        if self.graph.is_nonterminal(node) {
+            // Follow the chosen or-edge (a valid CGT has at most one).
+            let chosen = self
+                .graph
+                .node(node)
+                .children
+                .iter()
+                .copied()
+                .find(|&d| self.cgt.edges.contains(&(node, d)));
+            return match chosen {
+                Some(d) => self.render_node(d, depth + 1),
+                None => Vec::new(),
+            };
+        }
+        // Derivation: walk children in grammar order (duplicates render
+        // per occurrence), skipping sub-trees the CGT does not mention.
+        let children: Vec<NodeId> = self.graph.node(node).children.clone();
+        let head_first = children.first().is_some_and(|&c| self.graph.is_api(c));
+        let mut parts = Vec::new();
+        for child in children {
+            if self.graph.is_api(child) {
+                // API nodes are shared across derivations; only the edge
+                // says whether *this* occurrence is in the tree.
+                if self.cgt.edges.contains(&(node, child)) {
+                    parts.push(self.render_api(Some(node), child));
+                }
+            } else if self.cgt.edges.contains(&(node, child)) {
+                parts.extend(self.render_node(child, depth + 1));
+            }
+        }
+        if head_first {
+            fold_head(parts)
+        } else {
+            parts
+        }
+    }
+
+    fn render_api(&mut self, parent: Option<NodeId>, node: NodeId) -> Part {
+        let name = self.graph.node(node).label();
+        let slots = self
+            .domain
+            .matcher()
+            .doc(&name)
+            .map(|d| d.literal_slots)
+            .unwrap_or(0);
+        let mut args = Vec::new();
+        for _ in 0..slots {
+            if let Some(lit) = self.pool.take(parent, node) {
+                if self.domain.quote_literals() {
+                    args.push(format!("\"{lit}\""));
+                } else {
+                    args.push(lit);
+                }
+            }
+        }
+        Part::Call { name, args }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::{GrammarGraph, SearchLimits};
+    use nlquery_nlp::ApiDoc;
+
+    fn domain(quote: bool) -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | REPLACE replace_arg
+            insert_arg ::= string pos
+            replace_arg ::= string string
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap();
+        let mut b = Domain::builder("t")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts", 0),
+                ApiDoc::new("REPLACE", &["replace"], "replaces", 0),
+                ApiDoc::new("STRING", &["string"], "a string", 1),
+                ApiDoc::new("POSITION", &["position"], "a position", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+            ])
+            .literal_api("STRING");
+        if quote {
+            b = b.quote_literals(true);
+        }
+        b.build().unwrap()
+    }
+
+    fn build_cgt(d: &Domain, pairs: &[(&str, &str)], root_api: &str) -> Cgt {
+        let g = d.graph();
+        let mut cgt = Cgt::new();
+        let root_paths = g.paths_from_root(g.api_node(root_api).unwrap(), SearchLimits::default());
+        cgt.absorb_path(&root_paths[0], g);
+        for (from, to) in pairs {
+            let a = g.api_node(from).unwrap();
+            let b = g.api_node(to).unwrap();
+            let paths = g.paths_between(a, b, SearchLimits::default());
+            cgt.absorb_path(&paths[0], g);
+        }
+        cgt
+    }
+
+    #[test]
+    fn renders_nested_call() {
+        let d = domain(false);
+        let cgt = build_cgt(&d, &[("INSERT", "STRING"), ("INSERT", "START")], "INSERT");
+        let mut pool = LiteralPool::new();
+        pool.bind(d.graph().api_node("STRING").unwrap(), ":".to_string());
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "INSERT(STRING(:), START())");
+    }
+
+    #[test]
+    fn quotes_literals_when_configured() {
+        let d = domain(true);
+        let cgt = build_cgt(&d, &[("INSERT", "STRING")], "INSERT");
+        let mut pool = LiteralPool::new();
+        pool.bind(d.graph().api_node("STRING").unwrap(), "PI".to_string());
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "INSERT(STRING(\"PI\"))");
+    }
+
+    #[test]
+    fn repeated_child_occurrence_renders_twice() {
+        let d = domain(false);
+        let cgt = build_cgt(&d, &[("REPLACE", "STRING")], "REPLACE");
+        let mut pool = LiteralPool::new();
+        let string = d.graph().api_node("STRING").unwrap();
+        pool.bind(string, "a".to_string());
+        pool.bind(string, "b".to_string());
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "REPLACE(STRING(a), STRING(b))");
+    }
+
+    #[test]
+    fn unfilled_slot_renders_empty() {
+        let d = domain(false);
+        let cgt = build_cgt(&d, &[("INSERT", "STRING")], "INSERT");
+        let mut pool = LiteralPool::new();
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "INSERT(STRING())");
+    }
+
+    #[test]
+    fn fallback_literals_fill_in_order() {
+        let d = domain(false);
+        let cgt = build_cgt(&d, &[("REPLACE", "STRING")], "REPLACE");
+        let mut pool = LiteralPool::new();
+        pool.push_fallback("x".to_string());
+        pool.push_fallback("y".to_string());
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "REPLACE(STRING(x), STRING(y))");
+    }
+
+    #[test]
+    fn empty_cgt_renders_none() {
+        let d = domain(false);
+        let mut pool = LiteralPool::new();
+        assert_eq!(render_expression(&d, &Cgt::new(), &mut pool), None);
+    }
+
+    #[test]
+    fn unmentioned_argument_subtrees_are_omitted() {
+        let d = domain(false);
+        // Only INSERT -> STRING; `pos` is unmentioned.
+        let cgt = build_cgt(&d, &[("INSERT", "STRING")], "INSERT");
+        let mut pool = LiteralPool::new();
+        pool.bind(d.graph().api_node("STRING").unwrap(), ":".to_string());
+        let expr = render_expression(&d, &cgt, &mut pool).unwrap();
+        assert_eq!(expr, "INSERT(STRING(:))");
+    }
+}

@@ -1,0 +1,339 @@
+//! Step 5, HISyn baseline — exhaustive PathMerging.
+//!
+//! "This step enumerates every combination of the grammar paths of all the
+//! edges in the pruned dependency graph. For each combination, it tries to
+//! merge the grammar paths to form a tree" (§II). The combination count is
+//! `Π_l p_l^{e_l}` — exponential in the query's dependency structure, which
+//! is exactly the bottleneck the paper measures (90.2 % of HISyn's time on
+//! slow queries).
+//!
+//! The enumeration honours the configuration's optional grammar-based and
+//! size-based pruning flags so ablations can measure each optimization on
+//! top of the baseline; the faithful HISyn configuration
+//! ([`crate::SynthesisConfig::hisyn_baseline`]) disables both.
+
+use nlquery_grammar::NodeId;
+
+use crate::engine::{BestCgt, Deadline, TimedOut};
+use crate::opt::grammar_prune::{combination_conflicts, or_signature};
+use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats, WordToApi};
+
+/// How often the inner loop polls the deadline.
+const DEADLINE_STRIDE: u64 = 256;
+
+/// Runs the exhaustive search, returning the smallest valid CGT.
+///
+/// # Errors
+///
+/// Returns [`TimedOut`] when the deadline expires mid-enumeration.
+pub fn synthesize(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let graph = domain.graph();
+    // WordToAPI scores in milli-units per (query node, api node).
+    let score_of = |node: usize, api: NodeId| -> u64 {
+        // Positional weighting, mirroring DGGT: earlier query words bind
+        // their best candidates first on ties.
+        let pos_weight = 1000.0 - 8.0 * node.min(100) as f64;
+        w2a.of(node)
+            .iter()
+            .find(|c| graph.api_node(&c.api) == Some(api))
+            .map(|c| (c.score * pos_weight) as u64)
+            .unwrap_or(0)
+    };
+    let edges: Vec<_> = map.edges.iter().filter(|e| !e.paths.is_empty()).collect();
+    if edges.is_empty() {
+        return Ok(None);
+    }
+
+    // Pre-compute per-candidate CGTs, sizes and conflict signatures.
+    struct Prepared {
+        cgt: Cgt,
+        size: usize,
+        claim: (NodeId, NodeId),
+        sig: Vec<(NodeId, NodeId)>,
+        gov_api: Option<NodeId>,
+        dep_api: NodeId,
+        bonus_milli: u64,
+    }
+    let prepared: Vec<Vec<Prepared>> = edges
+        .iter()
+        .map(|e| {
+            e.paths
+                .iter()
+                .map(|pc| {
+                    let cgt = Cgt::from_path(&pc.path, graph);
+                    let size = cgt.api_count(graph);
+                    let n = pc.path.chain.len();
+                    Prepared {
+                        cgt,
+                        size,
+                        claim: (pc.path.chain[n - 2], pc.path.chain[n - 1]),
+                        sig: or_signature(&pc.path, graph),
+                        gov_api: pc.gov_api,
+                        dep_api: pc.dep_api,
+                        bonus_milli: pc.bonus_milli,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let n_nodes = query.nodes.len();
+    let mut best: Option<BestCgt> = None;
+    let mut best_key: Option<(usize, usize, std::cmp::Reverse<u64>)> = None;
+    let mut indices = vec![0usize; edges.len()];
+    let mut visited: u64 = 0;
+
+    'combos: loop {
+        visited += 1;
+        if visited % DEADLINE_STRIDE == 0 {
+            deadline.check()?;
+        }
+        stats.enumerated_combinations += 1;
+
+        let chosen: Vec<&Prepared> = indices
+            .iter()
+            .zip(&prepared)
+            .map(|(&i, paths)| &paths[i])
+            .collect();
+
+        // API consistency: every query node must resolve to one API across
+        // all chosen paths.
+        let mut assignment: Vec<Option<NodeId>> = vec![None; n_nodes];
+        let mut consistent = true;
+        for (edge, p) in edges.iter().zip(&chosen) {
+            if let Some(gov) = edge.gov {
+                match assignment[gov] {
+                    Some(a) if Some(a) != p.gov_api => {
+                        consistent = false;
+                        break;
+                    }
+                    _ => assignment[gov] = p.gov_api,
+                }
+            }
+            match assignment[edge.dep] {
+                Some(a) if a != p.dep_api => {
+                    consistent = false;
+                    break;
+                }
+                _ => assignment[edge.dep] = Some(p.dep_api),
+            }
+        }
+
+        if consistent {
+            let mut skip = false;
+            // Two edges must not claim the identical grammar occurrence
+            // (each query word is mentioned separately in the codelet).
+            for i in 0..chosen.len() {
+                for j in (i + 1)..chosen.len() {
+                    if chosen[i].claim == chosen[j].claim {
+                        skip = true;
+                    }
+                }
+            }
+            if !skip && config.grammar_pruning {
+                let sigs: Vec<&Vec<(NodeId, NodeId)>> = chosen.iter().map(|p| &p.sig).collect();
+                if combination_conflicts(&sigs) {
+                    stats.pruned_grammar += 1;
+                    skip = true;
+                }
+            }
+            if !skip && config.size_pruning {
+                if let Some((bs, _, _)) = best_key {
+                    let lower = chosen.iter().map(|p| p.size).max().unwrap_or(0);
+                    if lower > bs {
+                        stats.pruned_size += 1;
+                        skip = true;
+                    }
+                }
+            }
+            if !skip {
+                stats.merged_combinations += 1;
+                let mut cgt = Cgt::new();
+                for p in &chosen {
+                    cgt.merge(&p.cgt);
+                }
+                if cgt.is_valid(graph) {
+                    let size = cgt.api_count(graph);
+                    let path_len: usize = chosen.iter().map(|p| p.size).sum();
+                    let pairs: Vec<(usize, NodeId)> = assignment
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(q, a)| a.map(|a| (q, a)))
+                        .collect();
+                    let score: u64 = pairs.iter().map(|&(q, a)| score_of(q, a)).sum::<u64>()
+                        + chosen.iter().map(|p| p.bonus_milli).sum::<u64>();
+                    let key = (size, path_len, std::cmp::Reverse(score));
+                    if best_key.is_none_or(|bk| key < bk) {
+                        best_key = Some(key);
+                        let node_claims = edges
+                            .iter()
+                            .zip(&chosen)
+                            .map(|(e, p)| (e.dep, p.claim))
+                            .collect();
+                        best = Some(BestCgt {
+                            cgt,
+                            size,
+                            assignment: pairs,
+                            node_claims,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Odometer.
+        let mut pos = indices.len();
+        loop {
+            if pos == 0 {
+                break 'combos;
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < prepared[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge2path;
+    use crate::{QueryEdge, QueryNode, WordToApi};
+    use nlquery_grammar::{GrammarGraph, SearchLimits};
+    use nlquery_nlp::{ApiCandidate, ApiDoc, DepRel, Pos};
+    use std::time::Duration;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap();
+        Domain::builder("t")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts", 0),
+                ApiDoc::new("STRING", &["string"], "a string", 1),
+                ApiDoc::new("POSITION", &["position"], "a position", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    fn qnode(id: usize, word: &str) -> QueryNode {
+        QueryNode {
+            id,
+            words: vec![word.to_string()],
+            pos: Pos::Noun,
+            literal: None,
+        }
+    }
+
+    fn cand(api: &str) -> ApiCandidate {
+        ApiCandidate { api: api.to_string(), score: 1.0 }
+    }
+
+    fn setup() -> (QueryGraph, WordToApi) {
+        let q = QueryGraph {
+            nodes: vec![qnode(0, "insert"), qnode(1, "string"), qnode(2, "start")],
+            edges: vec![
+                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
+                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+            ],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![
+                vec![cand("INSERT")],
+                vec![cand("STRING")],
+                vec![cand("START"), cand("POSITION")],
+            ],
+        };
+        (q, w2a)
+    }
+
+    #[test]
+    fn finds_smallest_valid_cgt() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let map = edge2path::compute(&q, &w2a, &d, SearchLimits::default());
+        let deadline = Deadline::new(Duration::from_secs(5));
+        let mut stats = SynthesisStats::default();
+        let cfg = SynthesisConfig::hisyn_baseline();
+        let best = synthesize(&d, &q, &w2a, &map, &cfg, &deadline, &mut stats)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.size, 3); // INSERT, STRING, START (or POSITION)
+        assert!(best.cgt.is_valid(d.graph()));
+        assert!(stats.enumerated_combinations >= 2);
+        // All three query nodes assigned.
+        assert_eq!(best.assignment.len(), 3);
+    }
+
+    #[test]
+    fn times_out_on_zero_budget() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let map = edge2path::compute(&q, &w2a, &d, SearchLimits::default());
+        // Enough combinations to hit the deadline poll.
+        let deadline = Deadline::new(Duration::ZERO);
+        let mut stats = SynthesisStats::default();
+        let cfg = SynthesisConfig::hisyn_baseline();
+        // The tiny search space may finish before the first poll; accept
+        // either outcome but require no panic.
+        let _ = synthesize(&d, &q, &w2a, &map, &cfg, &deadline, &mut stats);
+    }
+
+    #[test]
+    fn empty_map_returns_none() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let map = EdgeToPath::default();
+        let deadline = Deadline::new(Duration::from_secs(1));
+        let mut stats = SynthesisStats::default();
+        let cfg = SynthesisConfig::hisyn_baseline();
+        assert_eq!(
+            synthesize(&d, &q, &w2a, &map, &cfg, &deadline, &mut stats).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn grammar_pruning_reduces_merges() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let map = edge2path::compute(&q, &w2a, &d, SearchLimits::default());
+        let deadline = Deadline::new(Duration::from_secs(5));
+
+        let mut plain = SynthesisStats::default();
+        let cfg_plain = SynthesisConfig::hisyn_baseline();
+        synthesize(&d, &q, &w2a, &map, &cfg_plain, &deadline, &mut plain).unwrap();
+
+        let mut pruned = SynthesisStats::default();
+        let cfg_pruned = SynthesisConfig::hisyn_baseline().grammar_pruning(true);
+        let best = synthesize(&d, &q, &w2a, &map, &cfg_pruned, &deadline, &mut pruned)
+            .unwrap()
+            .unwrap();
+        assert!(pruned.merged_combinations <= plain.merged_combinations);
+        assert_eq!(best.size, 3);
+    }
+}

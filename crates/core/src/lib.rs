@@ -1,0 +1,76 @@
+//! NLU-driven natural-language program synthesis.
+//!
+//! This crate implements the synthesis pipeline of the DGGT paper (Nan,
+//! Guan, Shen — "Enabling Near Real-Time NLU-Driven Natural Language
+//! Programming through Dynamic Grammar Graph-Based Translation", CGO 2022):
+//!
+//! 1. **Dependency parsing** (via [`nlquery_nlp`]);
+//! 2. **Query-graph pruning** — [`prune`];
+//! 3. **WordToAPI** — [`word2api`];
+//! 4. **EdgeToPath** — [`edge2path`] (reversed all-path search);
+//! 5. **PathMerging** — either the exhaustive [`hisyn`] baseline or the
+//!    paper's [`dggt`] dynamic-programming algorithm, with the
+//!    [`opt`] optimizations (grammar-based pruning, size-based pruning,
+//!    orphan-node relocation);
+//! 6. **TreeToExpression** — [`expr`].
+//!
+//! The entry point is [`Synthesizer`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use nlquery_core::{Domain, Engine, SynthesisConfig, Synthesizer};
+//! use nlquery_nlp::ApiDoc;
+//! use nlquery_grammar::GrammarGraph;
+//!
+//! let graph = GrammarGraph::parse(
+//!     "command ::= INSERT string pos\n\
+//!      string  ::= STRING\n\
+//!      pos     ::= START | END",
+//! )?;
+//! let docs = vec![
+//!     ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+//!     ApiDoc::new("STRING", &["string"], "a string constant", 1),
+//!     ApiDoc::new("START", &["start"], "the start of the line", 0),
+//!     ApiDoc::new("END", &["end"], "the end of the line", 0),
+//! ];
+//! let domain = Domain::builder("mini")
+//!     .graph(graph)
+//!     .docs(docs)
+//!     .literal_api("STRING")
+//!     .build()?;
+//! let synth = Synthesizer::new(domain, SynthesisConfig::default().engine(Engine::Dggt));
+//! let result = synth.synthesize("insert \":\" at the start");
+//! assert_eq!(result.expression.as_deref(), Some("INSERT(STRING(:), START())"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cgt;
+mod config;
+pub mod dggt;
+mod engine;
+mod domain;
+pub mod edge2path;
+mod error;
+pub mod expr;
+pub mod hisyn;
+pub mod opt;
+mod pipeline;
+pub mod prune;
+mod query;
+mod stats;
+pub mod word2api;
+
+pub use cgt::Cgt;
+pub use config::{Engine, SynthesisConfig};
+pub use domain::{Domain, DomainBuilder};
+pub use edge2path::{EdgeCandidates, EdgeToPath, PathCache, PathCandidate};
+pub use engine::{BestCgt, Deadline, TimedOut};
+pub use error::SynthesisError;
+pub use pipeline::{Outcome, Synthesis, Synthesizer};
+pub use query::{QueryEdge, QueryGraph, QueryNode};
+pub use stats::SynthesisStats;
+pub use word2api::WordToApi;

@@ -1,0 +1,125 @@
+//! Grammar-based pruning (§V-A).
+//!
+//! Given a set of "or" edges that share the same non-terminal as source,
+//! only one may be selected in a valid CGT. Two candidate paths form a
+//! *conflict paths pair* when merging them would select two different "or"
+//! alternatives of the same non-terminal. Combinations containing any
+//! conflict pair are pruned before the (expensive) merge.
+
+use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId};
+
+/// The sorted list of "or" edges a path commits to — its conflict
+/// signature.
+pub fn or_signature(path: &GrammarPath, graph: &GrammarGraph) -> Vec<(NodeId, NodeId)> {
+    let mut sig = path.or_edges(graph);
+    sig.sort();
+    sig.dedup();
+    sig
+}
+
+/// Whether two signatures conflict: same non-terminal, different
+/// derivation.
+pub fn signatures_conflict(a: &[(NodeId, NodeId)], b: &[(NodeId, NodeId)]) -> bool {
+    // Merge-join over sorted signatures.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Same non-terminal: any differing derivation conflicts.
+                let nt = a[i].0;
+                let mut derivs_a = Vec::new();
+                while i < a.len() && a[i].0 == nt {
+                    derivs_a.push(a[i].1);
+                    i += 1;
+                }
+                while j < b.len() && b[j].0 == nt {
+                    if !derivs_a.contains(&b[j].1) {
+                        return true;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whether a combination of paths (by signature index) contains a conflict
+/// pair. `sigs` holds one signature per chosen path.
+pub fn combination_conflicts(sigs: &[&Vec<(NodeId, NodeId)>]) -> bool {
+    for i in 0..sigs.len() {
+        for j in (i + 1)..sigs.len() {
+            if signatures_conflict(sigs[i], sigs[j]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::SearchLimits;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn sig(g: &GrammarGraph, from: &str, to: &str) -> Vec<(NodeId, NodeId)> {
+        let a = g.api_node(from).unwrap();
+        let b = g.api_node(to).unwrap();
+        let paths = g.paths_between(a, b, SearchLimits::default());
+        or_signature(&paths[0], g)
+    }
+
+    #[test]
+    fn alternative_positions_conflict() {
+        let g = graph();
+        let s1 = sig(&g, "INSERT", "START");
+        let s2 = sig(&g, "INSERT", "POSITION");
+        assert!(signatures_conflict(&s1, &s2));
+        assert!(signatures_conflict(&s2, &s1));
+    }
+
+    #[test]
+    fn compatible_paths_do_not_conflict() {
+        let g = graph();
+        let s1 = sig(&g, "INSERT", "START");
+        let s2 = sig(&g, "INSERT", "STRING");
+        assert!(!signatures_conflict(&s1, &s2));
+    }
+
+    #[test]
+    fn self_is_never_conflicting() {
+        let g = graph();
+        let s = sig(&g, "INSERT", "START");
+        assert!(!signatures_conflict(&s, &s));
+    }
+
+    #[test]
+    fn combination_check_finds_any_pair() {
+        let g = graph();
+        let s1 = sig(&g, "INSERT", "STRING");
+        let s2 = sig(&g, "INSERT", "START");
+        let s3 = sig(&g, "INSERT", "POSITION");
+        assert!(combination_conflicts(&[&s1, &s2, &s3]));
+        assert!(!combination_conflicts(&[&s1, &s2]));
+        assert!(!combination_conflicts(&[]));
+    }
+
+    #[test]
+    fn empty_signatures_never_conflict() {
+        assert!(!signatures_conflict(&[], &[]));
+    }
+}

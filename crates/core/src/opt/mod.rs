@@ -1,0 +1,15 @@
+//! The paper's search-space optimizations.
+//!
+//! * [`grammar_prune`] — grammar-based pruning (§V-A): combinations whose
+//!   paths commit to conflicting "or" alternatives are grammatically
+//!   impossible and never merged.
+//! * [`size_prune`] — size-based pruning (§V-C): cheap min/max bounds on a
+//!   combination's merged size rule out combinations that cannot beat the
+//!   best known bound.
+//! * [`orphan`] — orphan-node relocation (§V-B): dependency nodes whose
+//!   governor has no grammar path to them are re-attached under their true
+//!   governor using grammar ancestor/descendant knowledge.
+
+pub mod grammar_prune;
+pub mod orphan;
+pub mod size_prune;

@@ -1,0 +1,294 @@
+//! Orphan-node relocation (§V-B).
+//!
+//! When a dependency edge `n₁ → n₂` has no candidate grammar path, `n₁` is
+//! not the real governor of `n₂` — `n₂` is an *orphan*. HISyn attaches
+//! orphans to the grammar root, which explodes the candidate path count.
+//! Relocation instead consults the grammar: if some candidate API of a
+//! non-orphan node `m` is a grammar *ancestor* of a candidate API of the
+//! orphan, an edge `m → n₂` plausibly belongs in the dependency graph. One
+//! augmented query graph is produced per plausible location (capped); the
+//! synthesizer runs on each and keeps the smallest CGT.
+
+use nlquery_grammar::GrammarGraph;
+use nlquery_nlp::DepRel;
+
+use crate::{QueryEdge, QueryGraph, WordToApi};
+
+/// A plausible new governor for an orphan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// The orphan query node.
+    pub orphan: usize,
+    /// The proposed governor query node.
+    pub governor: usize,
+}
+
+/// Finds the plausible governors of `orphan`, best-first.
+///
+/// A node `m` qualifies when one of its candidate APIs is a grammar
+/// ancestor of one of the orphan's candidate APIs. Candidates are ordered
+/// deepest-first (more specific governors first) and exclude other orphans.
+pub fn locations_for(
+    orphan: usize,
+    orphans: &[usize],
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+) -> Vec<Location> {
+    let mut depth_of = vec![usize::MAX; query.nodes.len()];
+    for (d, level) in query.levels().iter().enumerate() {
+        for &n in level {
+            depth_of[n] = d;
+        }
+    }
+    let mut found: Vec<(usize, Location)> = Vec::new();
+    for m in 0..query.nodes.len() {
+        if m == orphan || orphans.contains(&m) || depth_of[m] == usize::MAX {
+            continue;
+        }
+        let qualifies = w2a.of(m).iter().any(|gc| {
+            graph.api_node(&gc.api).is_some_and(|ga| {
+                w2a.of(orphan).iter().any(|oc| {
+                    graph
+                        .api_node(&oc.api)
+                        .is_some_and(|oa| graph.is_api_descendant(ga, oa))
+                })
+            })
+        });
+        if qualifies {
+            found.push((depth_of[m], Location { orphan, governor: m }));
+        }
+    }
+    // Deepest governors first; ties by node order for determinism.
+    found.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.governor.cmp(&b.1.governor)));
+    found.into_iter().map(|(_, l)| l).collect()
+}
+
+/// One per-orphan choice when building variants: a new governor, or
+/// dropping the orphan from the synthesis problem entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Placement {
+    Relocate(Location),
+    Drop(usize),
+}
+
+/// A relocated query-graph variant plus the orphans it dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// The rewired query graph.
+    pub graph: QueryGraph,
+    /// Orphans excluded from the problem in this variant (their subtree
+    /// semantics are given up — a last resort when every placement makes
+    /// the problem infeasible, e.g. "the first word of *every* line" where
+    /// "first" and "every" compete for the same occurrence slot).
+    pub dropped: Vec<usize>,
+}
+
+/// Builds the augmented query-graph variants for a set of orphans.
+///
+/// Each variant picks one placement per orphan: a plausible governor
+/// (best-first), or — ranked last — dropping the orphan. The cartesian
+/// product is capped at `max_variants`. Orphans with no plausible location
+/// at all keep their original detached state (the pipeline root-attaches
+/// them).
+pub fn relocation_variants(
+    query: &QueryGraph,
+    orphans: &[usize],
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    max_variants: usize,
+) -> Vec<Variant> {
+    let per_orphan: Vec<Vec<Placement>> = orphans
+        .iter()
+        .map(|&o| {
+            let mut options: Vec<Placement> = locations_for(o, orphans, query, w2a, graph)
+                .into_iter()
+                .map(Placement::Relocate)
+                .collect();
+            if !options.is_empty() {
+                options.push(Placement::Drop(o));
+            }
+            options
+        })
+        .filter(|opts| !opts.is_empty())
+        .collect();
+    if per_orphan.is_empty() {
+        return Vec::new();
+    }
+    // Best-first cartesian product, capped.
+    let mut variants = Vec::new();
+    let mut indices = vec![0usize; per_orphan.len()];
+    loop {
+        let mut g = query.clone();
+        let mut dropped = Vec::new();
+        for (opts, &idx) in per_orphan.iter().zip(&indices) {
+            match &opts[idx] {
+                Placement::Relocate(loc) => {
+                    // Detach any existing edge to the orphan, then
+                    // re-attach.
+                    g.edges.retain(|e| e.dep != loc.orphan);
+                    g.edges.push(QueryEdge {
+                        gov: loc.governor,
+                        dep: loc.orphan,
+                        rel: DepRel::Obj,
+                    });
+                }
+                Placement::Drop(o) => {
+                    g.edges.retain(|e| e.dep != *o && e.gov != *o);
+                    dropped.push(*o);
+                }
+            }
+        }
+        variants.push(Variant { graph: g, dropped });
+        if variants.len() >= max_variants {
+            break;
+        }
+        // Odometer increment.
+        let mut pos = per_orphan.len();
+        loop {
+            if pos == 0 {
+                return variants;
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < per_orphan[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_nlp::{ApiCandidate, Pos};
+
+    use crate::QueryNode;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= string
+            string     ::= STRING
+            pos        ::= START | POSITION
+            iter       ::= LINESCOPE
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn qnode(id: usize, word: &str) -> QueryNode {
+        QueryNode {
+            id,
+            words: vec![word.to_string()],
+            pos: Pos::Noun,
+            literal: None,
+        }
+    }
+
+    fn cand(api: &str) -> ApiCandidate {
+        ApiCandidate { api: api.to_string(), score: 1.0 }
+    }
+
+    /// insert -> string, with "start" and "line" unattached (orphans), as
+    /// in Figure 6 of the paper.
+    fn setup() -> (QueryGraph, WordToApi) {
+        let q = QueryGraph {
+            nodes: vec![
+                qnode(0, "insert"),
+                qnode(1, "string"),
+                qnode(2, "start"),
+                qnode(3, "line"),
+            ],
+            edges: vec![QueryEdge {
+                gov: 0,
+                dep: 1,
+                rel: nlquery_nlp::DepRel::Obj,
+            }],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![
+                vec![cand("INSERT")],
+                vec![cand("STRING")],
+                vec![cand("START")],
+                vec![cand("LINESCOPE")],
+            ],
+        };
+        (q, w2a)
+    }
+
+    #[test]
+    fn relocates_under_grammar_ancestor() {
+        let g = graph();
+        let (q, w2a) = setup();
+        let locs = locations_for(2, &[2, 3], &q, &w2a, &g);
+        // INSERT is the ancestor of START; "string" (STRING) is not.
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].governor, 0);
+    }
+
+    #[test]
+    fn variant_attaches_both_orphans() {
+        let g = graph();
+        let (q, w2a) = setup();
+        let variants = relocation_variants(&q, &[2, 3], &w2a, &g, 8);
+        // One governor each plus the drop fallback: 2×2 variants, the
+        // all-relocate one first.
+        assert_eq!(variants.len(), 4);
+        assert!(variants[0].dropped.is_empty());
+        assert_eq!(variants[3].dropped.len(), 2);
+        let v = &variants[0];
+        assert!(v.graph.unattached().is_empty(), "{}", v.graph.render());
+        assert_eq!(v.graph.parent(2), Some(0));
+        assert_eq!(v.graph.parent(3), Some(0));
+    }
+
+    #[test]
+    fn no_location_yields_no_variants() {
+        let g = graph();
+        let (mut q, mut w2a) = setup();
+        // Make the orphan's API unreachable from every non-orphan node.
+        q.nodes.push(qnode(4, "mystery"));
+        w2a.candidates = vec![
+            vec![cand("STRING")], // "insert" now maps to STRING (leaf)
+            vec![cand("STRING")],
+            vec![],
+            vec![],
+            vec![cand("INSERT")],
+        ];
+        let variants = relocation_variants(&q, &[4], &w2a, &g, 8);
+        assert!(variants.is_empty());
+    }
+
+    #[test]
+    fn variants_capped() {
+        let g = graph();
+        let (mut q, mut w2a) = setup();
+        // Two plausible governors for orphan "start": give node 1 an
+        // INSERT candidate as well.
+        w2a.candidates[1].push(cand("INSERT"));
+        q.nodes.push(qnode(4, "pad"));
+        w2a.candidates.push(vec![]);
+        let variants = relocation_variants(&q, &[2, 3], &w2a, &g, 2);
+        assert_eq!(variants.len(), 2);
+        assert!(variants[0].dropped.is_empty());
+    }
+
+    #[test]
+    fn deeper_governor_ranked_first() {
+        let g = graph();
+        let (mut q, mut w2a) = setup();
+        // Node 1 ("string") also gets DELETE (ancestor of STRING — not of
+        // START). Give it INSERT instead to make it a plausible governor
+        // deeper than node 0.
+        w2a.candidates[1] = vec![cand("INSERT")];
+        q.edges[0].rel = nlquery_nlp::DepRel::Obj;
+        let locs = locations_for(2, &[2], &q, &w2a, &g);
+        assert_eq!(locs.first().map(|l| l.governor), Some(1));
+    }
+}

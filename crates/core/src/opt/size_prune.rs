@@ -1,0 +1,105 @@
+//! Size-based pruning (§V-C).
+//!
+//! For a combination `c = {p₁ … pₙ}` of candidate paths, the merged size
+//! is bounded without merging:
+//!
+//! ```text
+//! max_i size(pᵢ)  ≤  size(c)  ≤  Σ size(pᵢ) − (n − 1)
+//! ```
+//!
+//! The upper bound is reached when only the shared source API merges; the
+//! lower bound when paths overlap maximally. Across all combinations
+//! `C = {c₁ … cₘ}`, any `c` with `c.lower > min_j(cⱼ.upper)` cannot be the
+//! minimum and is pruned before merging.
+
+/// Cheap size bounds of a path combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComboBounds {
+    /// Lower bound on the merged combination's API count.
+    pub lower: usize,
+    /// Upper bound on the merged combination's API count.
+    pub upper: usize,
+}
+
+/// Computes [`ComboBounds`] from the APIs-per-path sizes of a combination.
+///
+/// # Panics
+///
+/// Panics if `path_sizes` is empty.
+pub fn bounds(path_sizes: &[usize]) -> ComboBounds {
+    assert!(!path_sizes.is_empty(), "a combination has at least one path");
+    let lower = *path_sizes.iter().max().expect("non-empty");
+    let sum: usize = path_sizes.iter().sum();
+    let upper = sum.saturating_sub(path_sizes.len() - 1);
+    ComboBounds {
+        lower,
+        upper: upper.max(lower),
+    }
+}
+
+/// Returns the indices of combinations that survive size-based pruning:
+/// those whose lower bound does not exceed the smallest upper bound
+/// (`C.min_size` in the paper's notation).
+pub fn survivors(all: &[ComboBounds]) -> Vec<usize> {
+    let Some(min_upper) = all.iter().map(|b| b.upper).min() else {
+        return Vec::new();
+    };
+    all.iter()
+        .enumerate()
+        .filter(|(_, b)| b.lower <= min_upper)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_single_path() {
+        let b = bounds(&[5]);
+        assert_eq!(b, ComboBounds { lower: 5, upper: 5 });
+    }
+
+    #[test]
+    fn bounds_multi_path() {
+        // Paths of sizes 3, 2, 2: upper = 7 - 2 = 5, lower = 3.
+        let b = bounds(&[3, 2, 2]);
+        assert_eq!(b.lower, 3);
+        assert_eq!(b.upper, 5);
+    }
+
+    #[test]
+    fn upper_never_below_lower() {
+        // Degenerate all-ones combination: sum - (n-1) = 1.
+        let b = bounds(&[1, 1, 1, 1]);
+        assert_eq!(b.lower, 1);
+        assert_eq!(b.upper, 1);
+    }
+
+    #[test]
+    fn paper_example_prunes_larger_combo() {
+        // §V-C: c1 has min=max=5, c2 has min=max=6 → c2 pruned.
+        let c1 = ComboBounds { lower: 5, upper: 5 };
+        let c2 = ComboBounds { lower: 6, upper: 6 };
+        assert_eq!(survivors(&[c1, c2]), vec![0]);
+    }
+
+    #[test]
+    fn overlapping_bounds_all_survive() {
+        let c1 = ComboBounds { lower: 3, upper: 8 };
+        let c2 = ComboBounds { lower: 5, upper: 6 };
+        assert_eq!(survivors(&[c1, c2]), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_survivors() {
+        assert!(survivors(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn bounds_reject_empty() {
+        bounds(&[]);
+    }
+}

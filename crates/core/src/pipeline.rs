@@ -1,0 +1,474 @@
+//! The six-step synthesis pipeline.
+
+use std::time::{Duration, Instant};
+
+use nlquery_nlp::DepParser;
+
+use crate::engine::{BestCgt, Deadline};
+use crate::expr::{render_expression, LiteralPool};
+use crate::opt::orphan::relocation_variants;
+use crate::{
+    dggt, edge2path, hisyn, prune, Cgt, Domain, EdgeToPath, Engine, QueryGraph, SynthesisConfig,
+    SynthesisStats, WordToApi,
+};
+
+/// How a synthesis run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A codelet was produced.
+    Success,
+    /// The wall-clock budget expired (counted as an error in the paper's
+    /// accuracy metric).
+    Timeout,
+    /// The query produced no usable dependency structure.
+    NoParse,
+    /// The search finished but found no valid code generation tree.
+    NoResult,
+}
+
+/// The result of synthesizing one query.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// The synthesized DSL expression (on [`Outcome::Success`]).
+    pub expression: Option<String>,
+    /// The winning code generation tree.
+    pub cgt: Option<Cgt>,
+    /// Instrumentation counters.
+    pub stats: SynthesisStats,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// An NLU-driven synthesizer for one domain.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    domain: Domain,
+    config: SynthesisConfig,
+    parser: DepParser,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer.
+    pub fn new(domain: Domain, config: SynthesisConfig) -> Synthesizer {
+        Synthesizer {
+            domain,
+            config,
+            parser: DepParser::new(),
+        }
+    }
+
+    /// The target domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. to switch engines between runs).
+    pub fn set_config(&mut self, config: SynthesisConfig) {
+        self.config = config;
+    }
+
+    /// Runs the full pipeline on a natural-language query.
+    pub fn synthesize(&self, query: &str) -> Synthesis {
+        let deadline = Deadline::new(self.config.timeout);
+        let mut stats = SynthesisStats::default();
+
+        // Steps 1-2: dependency parsing + pruning (+3: WordToAPI).
+        let t0 = Instant::now();
+        let dep = self.parser.parse(query);
+        stats.t_parse = t0.elapsed();
+        let t1 = Instant::now();
+        let (qgraph, w2a) = prune::prune(&dep, &self.domain, &self.config);
+        stats.t_word2api = t1.elapsed();
+
+        if qgraph.root.is_none() || qgraph.nodes.is_empty() {
+            return Synthesis {
+                outcome: Outcome::NoParse,
+                expression: None,
+                cgt: None,
+                stats,
+                elapsed: deadline.elapsed(),
+            };
+        }
+
+        if deadline.expired() {
+            return Synthesis {
+                outcome: Outcome::Timeout,
+                expression: None,
+                cgt: None,
+                stats,
+                elapsed: deadline.elapsed(),
+            };
+        }
+
+        // Step 4: EdgeToPath.
+        let t2 = Instant::now();
+        let mut cache = edge2path::PathCache::new();
+        let map = edge2path::compute_cached(
+            &qgraph,
+            &w2a,
+            &self.domain,
+            self.config.search_limits,
+            &mut cache,
+        );
+        stats.t_edge2path = t2.elapsed();
+        stats.dep_edges = map.edges.len() + map.orphans.len();
+        stats.orphans = map.orphans.len();
+
+        // "Before relocation" numbers: the HISyn treatment attaches every
+        // orphan to the grammar root.
+        let mut root_attached = map.clone();
+        for o in map.orphans.clone() {
+            edge2path::attach_orphan_to_root(
+                &mut root_attached,
+                o,
+                &w2a,
+                self.domain.graph(),
+                self.config.search_limits,
+            );
+        }
+        stats.orig_paths = root_attached.total_paths();
+        stats.orig_combinations = root_attached.combination_count();
+
+        if deadline.expired() {
+            return Synthesis {
+                outcome: Outcome::Timeout,
+                expression: None,
+                cgt: None,
+                stats,
+                elapsed: deadline.elapsed(),
+            };
+        }
+
+        // Step 5: path merging.
+        let t3 = Instant::now();
+        let merged = self.run_engine(
+            &qgraph,
+            &w2a,
+            &map,
+            &root_attached,
+            &mut cache,
+            &deadline,
+            &mut stats,
+        );
+        stats.t_merge = t3.elapsed();
+
+        let (best, final_query) = match merged {
+            Ok(result) => result,
+            Err(_) => {
+                return Synthesis {
+                    outcome: Outcome::Timeout,
+                    expression: None,
+                    cgt: None,
+                    stats,
+                    elapsed: deadline.elapsed(),
+                }
+            }
+        };
+
+        // Step 6: TreeToExpression.
+        match best {
+            Some(best) => {
+                let mut pool = LiteralPool::new();
+                let mut bound_nodes = Vec::new();
+                for &(qnode, api) in &best.assignment {
+                    if let Some(lit) = &final_query.nodes[qnode].literal {
+                        // Prefer the exact occurrence the node claimed; an
+                        // API-level binding covers engines/paths without
+                        // occurrence info.
+                        if let Some(&(_, occ)) = best
+                            .node_claims
+                            .iter()
+                            .find(|(n, occ)| *n == qnode && occ.1 == api)
+                        {
+                            pool.bind_occurrence(occ, lit.clone());
+                        } else {
+                            pool.bind(api, lit.clone());
+                        }
+                        bound_nodes.push(qnode);
+                    }
+                }
+                for node in &final_query.nodes {
+                    if let Some(lit) = &node.literal {
+                        if !bound_nodes.contains(&node.id) {
+                            pool.push_fallback(lit.clone());
+                        }
+                    }
+                }
+                let expression = render_expression(&self.domain, &best.cgt, &mut pool);
+                Synthesis {
+                    outcome: if expression.is_some() {
+                        Outcome::Success
+                    } else {
+                        Outcome::NoResult
+                    },
+                    expression,
+                    cgt: Some(best.cgt),
+                    stats,
+                    elapsed: deadline.elapsed(),
+                }
+            }
+            None => Synthesis {
+                outcome: Outcome::NoResult,
+                expression: None,
+                cgt: None,
+                stats,
+                elapsed: deadline.elapsed(),
+            },
+        }
+    }
+
+    /// Step 5 dispatch, returning the best CGT and the query-graph variant
+    /// it was found in (relocation may rewire edges; node ids are stable).
+    #[allow(clippy::too_many_arguments)]
+    fn run_engine(
+        &self,
+        qgraph: &QueryGraph,
+        w2a: &WordToApi,
+        map: &EdgeToPath,
+        root_attached: &EdgeToPath,
+        cache: &mut edge2path::PathCache,
+        deadline: &Deadline,
+        stats: &mut SynthesisStats,
+    ) -> Result<(Option<BestCgt>, QueryGraph), crate::TimedOut> {
+        match self.config.engine {
+            Engine::HiSyn => {
+                stats.paths_after_relocation = root_attached.total_paths();
+                let best = hisyn::synthesize(
+                    &self.domain,
+                    qgraph,
+                    w2a,
+                    root_attached,
+                    &self.config,
+                    deadline,
+                    stats,
+                )?;
+                Ok((best, qgraph.clone()))
+            }
+            Engine::Dggt => {
+                if self.config.orphan_relocation && !map.orphans.is_empty() {
+                    let variants = relocation_variants(
+                        qgraph,
+                        &map.orphans,
+                        w2a,
+                        self.domain.graph(),
+                        self.config.max_orphan_variants,
+                    );
+                    stats.orphan_variants = variants.len();
+                    // Variants that drop orphans give up query semantics;
+                    // prefer complete variants regardless of CGT size.
+                    let mut best: Option<(BestCgt, QueryGraph)> = None;
+                    let mut best_key: Option<(usize, usize)> = None;
+                    for variant in &variants {
+                        let mut vmap = edge2path::compute_cached(
+                            &variant.graph,
+                            w2a,
+                            &self.domain,
+                            self.config.search_limits,
+                            cache,
+                        );
+                        for o in vmap.orphans.clone() {
+                            // Orphans this variant deliberately dropped are
+                            // excluded from the problem, not root-attached.
+                            if variant.dropped.contains(&o) {
+                                continue;
+                            }
+                            edge2path::attach_orphan_to_root(
+                                &mut vmap,
+                                o,
+                                w2a,
+                                self.domain.graph(),
+                                self.config.search_limits,
+                            );
+                        }
+                        let mut vstats = SynthesisStats::default();
+                        let result = dggt::synthesize(
+                            &self.domain,
+                            &variant.graph,
+                            w2a,
+                            &vmap,
+                            &self.config,
+                            deadline,
+                            &mut vstats,
+                        )?;
+                        stats.absorb(&vstats);
+                        if let Some(candidate) = result {
+                            let key = (variant.dropped.len(), candidate.size);
+                            if best_key.is_none_or(|bk| key < bk) {
+                                best_key = Some(key);
+                                stats.paths_after_relocation = vmap.total_paths();
+                                best = Some((candidate, variant.graph.clone()));
+                            }
+                        }
+                    }
+                    if let Some((b, g)) = best {
+                        return Ok((Some(b), g));
+                    }
+                    // Fallback: no variant succeeded — HISyn treatment.
+                    stats.paths_after_relocation = root_attached.total_paths();
+                    let best = dggt::synthesize(
+                        &self.domain,
+                        qgraph,
+                        w2a,
+                        root_attached,
+                        &self.config,
+                        deadline,
+                        stats,
+                    )?;
+                    Ok((best, qgraph.clone()))
+                } else {
+                    stats.paths_after_relocation = root_attached.total_paths();
+                    let best = dggt::synthesize(
+                        &self.domain,
+                        qgraph,
+                        w2a,
+                        root_attached,
+                        &self.config,
+                        deadline,
+                        stats,
+                    )?;
+                    Ok((best, qgraph.clone()))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= entity iter
+            string     ::= STRING
+            entity     ::= STRING | WORDTOKEN | NUMBERTOKEN
+            pos        ::= START | END | POSITION
+            iter       ::= ITERATIONSCOPE iter_arg | LINESCOPE
+            iter_arg   ::= scope cond
+            scope      ::= LINESCOPE | DOCSCOPE
+            cond       ::= CONTAINS centity | ALL
+            centity    ::= NUMBERTOKEN | WORDTOKEN | STRING
+            "#,
+        )
+        .unwrap();
+        Domain::builder("textedit-mini")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+                ApiDoc::new("DELETE", &["delete"], "deletes an entity", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
+                ApiDoc::new("NUMBERTOKEN", &["number", "numeral"], "a number token", 0),
+                ApiDoc::new("START", &["start"], "the start of the scope", 0),
+                ApiDoc::new("END", &["end"], "the end of the scope", 0),
+                ApiDoc::new("POSITION", &["position", "character"], "a character position", 1),
+                ApiDoc::new("ITERATIONSCOPE", &["iteration"], "iterate with a condition", 0),
+                ApiDoc::new("LINESCOPE", &["line"], "over lines", 0),
+                ApiDoc::new("DOCSCOPE", &["document"], "the whole document", 0),
+                ApiDoc::new("CONTAINS", &["contain"], "scope contains entity", 0),
+                ApiDoc::new("ALL", &["all", "every"], "all occurrences", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_insert() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        let r = synth.synthesize("insert \":\" at the start of each line");
+        assert_eq!(r.outcome, Outcome::Success, "{:?}", r.stats);
+        let expr = r.expression.unwrap();
+        assert!(expr.starts_with("INSERT(STRING(:)"), "{expr}");
+        assert!(expr.contains("START()"), "{expr}");
+    }
+
+    #[test]
+    fn hisyn_and_dggt_agree_under_same_orphan_treatment() {
+        // Losslessness (§VII-B2): DGGT is an acceleration of HISyn's
+        // search, so with identical orphan treatment (root attachment) the
+        // two engines produce the same expression.
+        let d = domain();
+        let dggt = Synthesizer::new(
+            d.clone(),
+            SynthesisConfig::default().orphan_relocation(false),
+        );
+        let hisyn = Synthesizer::new(d, SynthesisConfig::hisyn_baseline());
+        for q in [
+            "insert \":\" at the start of each line",
+            "delete every word",
+            "append \"-\" at the end of each line containing numbers",
+        ] {
+            let a = dggt.synthesize(q);
+            let b = hisyn.synthesize(q);
+            assert_eq!(a.expression, b.expression, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn relocation_recovers_queries_root_attachment_loses() {
+        // The accuracy edge of DGGT in the paper comes from fewer
+        // timeouts *and* orphan relocation finding trees that the HISyn
+        // orphan treatment cannot.
+        let d = domain();
+        let with = Synthesizer::new(d.clone(), SynthesisConfig::default());
+        let without = Synthesizer::new(
+            d,
+            SynthesisConfig::default().orphan_relocation(false),
+        );
+        let q = "append \"-\" at the end of each line containing numbers";
+        let a = with.synthesize(q);
+        let b = without.synthesize(q);
+        assert_eq!(a.outcome, Outcome::Success, "{:?}", a.stats);
+        assert!(
+            b.expression.is_none() || a.expression.is_some(),
+            "relocation must not lose queries root attachment wins"
+        );
+    }
+
+    #[test]
+    fn empty_query_is_no_parse() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        let r = synth.synthesize("");
+        assert_eq!(r.outcome, Outcome::NoParse);
+    }
+
+    #[test]
+    fn nonsense_query_is_no_parse_or_no_result() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        let r = synth.synthesize("the quick brown fox");
+        assert_ne!(r.outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        let r = synth.synthesize("insert \":\" at the start of each line");
+        assert!(r.stats.dep_edges >= 3, "{:?}", r.stats);
+        assert!(r.stats.orig_paths > 0);
+        assert!(r.stats.orig_combinations >= 1.0);
+        assert!(r.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let cfg = SynthesisConfig::default().timeout(Duration::ZERO);
+        let synth = Synthesizer::new(domain(), cfg);
+        let r = synth.synthesize("insert \":\" at the start of each line");
+        assert_eq!(r.outcome, Outcome::Timeout);
+    }
+}

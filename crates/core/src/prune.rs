@@ -1,0 +1,493 @@
+//! Step 2 — query-graph pruning (fused with step 3's candidate lookup).
+//!
+//! Starting from the raw dependency graph, pruning:
+//!
+//! * drops generic *intent verbs* ("find", "search", …) at the root and
+//!   promotes their object ("find constructor expressions" roots at the
+//!   expressions node);
+//! * folds numeric modifiers and — in domains without a literal API —
+//!   quoted literals into their governor as slot payloads
+//!   (`hasName("PI")`);
+//! * merges compound/adjectival modifiers into their head when one API's
+//!   keywords cover the whole phrase ("constructor expressions" →
+//!   `cxxConstructExpr`);
+//! * removes every remaining word with no candidate API (articles,
+//!   prepositions, filler), splicing grandchildren up.
+//!
+//! The output is the *pruned dependency graph* ([`QueryGraph`]) plus the
+//! WordToAPI map ([`WordToApi`]) — steps 2 and 3 of the paper's pipeline.
+
+use nlquery_nlp::{ApiCandidate, DepGraph, DepRel, Pos};
+
+use crate::word2api::{full_coverage_score, phrase_candidates, WordToApi};
+use crate::{Domain, QueryEdge, QueryGraph, QueryNode, SynthesisConfig};
+
+/// Minimum full-coverage score at which a modifier merges into its head.
+/// Keyword scores carry a coverage factor of `0.6 + 0.4/#keywords`, so a
+/// phrase fully covering a three-keyword API scores ≈ 0.73 before synonym
+/// discounts.
+const MERGE_THRESHOLD: f64 = 0.55;
+
+/// Prunes a dependency graph and computes the WordToAPI map.
+pub fn prune(dep: &DepGraph, domain: &Domain, config: &SynthesisConfig) -> (QueryGraph, WordToApi) {
+    let mut work = Workspace::from_dep(dep);
+    work.drop_intent_roots(domain);
+    work.fold_numbers();
+    work.fold_literals(domain);
+    work.merge_modifiers(domain);
+    work.assign_candidates(domain, config);
+    work.drop_unmatched();
+    work.into_query_graph()
+}
+
+#[derive(Debug, Clone)]
+struct WorkNode {
+    words: Vec<(usize, String)>, // (original index, lemma) kept in query order
+    pos: Pos,
+    literal: Option<String>,
+    parent: Option<(usize, DepRel)>,
+    alive: bool,
+    candidates: Vec<ApiCandidate>,
+    fixed_candidates: bool,
+}
+
+#[derive(Debug)]
+struct Workspace {
+    nodes: Vec<WorkNode>,
+    root: Option<usize>,
+}
+
+impl Workspace {
+    fn from_dep(dep: &DepGraph) -> Workspace {
+        let mut nodes: Vec<WorkNode> = dep
+            .nodes()
+            .iter()
+            .map(|n| WorkNode {
+                words: vec![(n.index, n.lemma.clone())],
+                pos: n.pos,
+                literal: n.literal.clone(),
+                parent: None,
+                alive: true,
+                candidates: Vec::new(),
+                fixed_candidates: false,
+            })
+            .collect();
+        for e in dep.edges() {
+            nodes[e.dep].parent = Some((e.gov, e.rel.clone()));
+        }
+        Workspace {
+            nodes,
+            root: dep.root(),
+        }
+    }
+
+    fn children(&self, id: usize) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive && self.nodes[i].parent.as_ref().map(|p| p.0) == Some(id))
+            .collect()
+    }
+
+    /// Kills `id`, splicing its children to its parent (or to
+    /// `new_parent`).
+    fn remove(&mut self, id: usize, new_parent: Option<usize>) {
+        let parent = new_parent.or(self.nodes[id].parent.as_ref().map(|p| p.0));
+        for c in self.children(id) {
+            match parent {
+                Some(p) => {
+                    let rel = self.nodes[c].parent.as_ref().map(|pr| pr.1.clone());
+                    self.nodes[c].parent = Some((p, rel.unwrap_or(DepRel::Obj)));
+                }
+                None => self.nodes[c].parent = None,
+            }
+        }
+        self.nodes[id].alive = false;
+        self.nodes[id].parent = None;
+    }
+
+    fn drop_intent_roots(&mut self, domain: &Domain) {
+        for _ in 0..2 {
+            let Some(root) = self.root else { return };
+            let node = &self.nodes[root];
+            let is_intent = node.words.len() == 1
+                && domain.intent_verbs().iter().any(|v| *v == node.words[0].1);
+            if !is_intent {
+                return;
+            }
+            let kids = self.children(root);
+            // Prefer the object child as the new root.
+            let new_root = kids
+                .iter()
+                .copied()
+                .find(|&c| {
+                    matches!(
+                        self.nodes[c].parent.as_ref().map(|p| &p.1),
+                        Some(DepRel::Obj) | Some(DepRel::Nmod(_)) | Some(DepRel::Lit)
+                    )
+                })
+                .or_else(|| kids.first().copied());
+            let Some(new_root) = new_root else {
+                return;
+            };
+            self.nodes[new_root].parent = None;
+            self.remove(root, Some(new_root));
+            self.root = Some(new_root);
+        }
+    }
+
+    fn fold_numbers(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive || self.nodes[i].pos != Pos::Num {
+                continue;
+            }
+            if let Some((gov, DepRel::NumMod)) = self.nodes[i].parent.clone() {
+                if let Some(lit) = self.nodes[i].literal.clone() {
+                    if self.nodes[gov].literal.is_none() {
+                        self.nodes[gov].literal = Some(lit);
+                    }
+                }
+                self.remove(i, None);
+            }
+        }
+    }
+
+    fn fold_literals(&mut self, domain: &Domain) {
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive
+                || !matches!(self.nodes[i].pos, Pos::Literal | Pos::Num)
+            {
+                continue;
+            }
+            match domain.literal_api() {
+                Some(api) => {
+                    // The literal is a standalone entity (STRING in the
+                    // text-editing DSL).
+                    self.nodes[i].candidates = vec![ApiCandidate {
+                        api: api.to_string(),
+                        score: 1.0,
+                    }];
+                    self.nodes[i].fixed_candidates = true;
+                }
+                None => {
+                    // Fold the literal into its governor as a slot payload.
+                    if let Some((gov, _)) = self.nodes[i].parent.clone() {
+                        if let Some(lit) = self.nodes[i].literal.clone() {
+                            if self.nodes[gov].literal.is_none() {
+                                self.nodes[gov].literal = Some(lit);
+                            }
+                        }
+                        self.remove(i, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_modifiers(&mut self, domain: &Domain) {
+        // Visit dependents in reverse query order so inner modifiers merge
+        // before outer ones ("cxx" then "constructor" into "expressions").
+        let order: Vec<usize> = (0..self.nodes.len()).rev().collect();
+        for i in order {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let Some((gov, rel)) = self.nodes[i].parent.clone() else {
+                continue;
+            };
+            if !matches!(rel, DepRel::Compound | DepRel::Amod) {
+                continue;
+            }
+            if self.nodes[i].fixed_candidates || self.nodes[i].pos == Pos::Literal {
+                continue;
+            }
+            // Candidate merged phrase, in query order.
+            let mut merged = self.nodes[gov].words.clone();
+            merged.extend(self.nodes[i].words.iter().cloned());
+            merged.sort_by_key(|(idx, _)| *idx);
+            let phrase: Vec<String> = merged.iter().map(|(_, w)| w.clone()).collect();
+            if let Some((_, score)) = full_coverage_score(domain.matcher(), &phrase) {
+                if score >= MERGE_THRESHOLD {
+                    self.nodes[gov].words = merged;
+                    if self.nodes[gov].literal.is_none() {
+                        self.nodes[gov].literal = self.nodes[i].literal.clone();
+                    }
+                    self.remove(i, Some(gov));
+                }
+            }
+        }
+    }
+
+    fn assign_candidates(&mut self, domain: &Domain, config: &SynthesisConfig) {
+        for node in &mut self.nodes {
+            if !node.alive || node.fixed_candidates {
+                continue;
+            }
+            // Function words never map to APIs no matter what they hit
+            // textually ("for" must not become `forStmt`). Determiners are
+            // the one exception: quantifiers like "every" legitimately map
+            // (→ `ALL` in the text-editing DSL).
+            if matches!(
+                node.pos,
+                Pos::Prep | Pos::Wh | Pos::Aux | Pos::Conj | Pos::Pron | Pos::Adv
+            ) {
+                node.candidates = Vec::new();
+                continue;
+            }
+            let words: Vec<String> = node
+                .words
+                .iter()
+                .map(|(_, w)| w.clone())
+                .filter(|w| !domain.stopwords().iter().any(|s| s == w))
+                .collect();
+            node.candidates = phrase_candidates(
+                domain.matcher(),
+                &words,
+                config.max_candidates,
+                config.min_score,
+            );
+        }
+    }
+
+    fn drop_unmatched(&mut self) {
+        // Promote past a matchless root first.
+        for _ in 0..3 {
+            let Some(root) = self.root else { break };
+            if !self.nodes[root].candidates.is_empty() {
+                break;
+            }
+            let kids = self.children(root);
+            let Some(&new_root) = kids
+                .iter()
+                .find(|&&c| !self.nodes[c].candidates.is_empty())
+                .or_else(|| kids.first())
+            else {
+                break;
+            };
+            self.nodes[new_root].parent = None;
+            self.remove(root, Some(new_root));
+            self.root = Some(new_root);
+        }
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive || Some(i) == self.root {
+                continue;
+            }
+            if self.nodes[i].candidates.is_empty() {
+                self.remove(i, None);
+            }
+        }
+    }
+
+    fn into_query_graph(self) -> (QueryGraph, WordToApi) {
+        let mut remap: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut nodes = Vec::new();
+        let mut candidates = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            remap[i] = Some(nodes.len());
+            nodes.push(QueryNode {
+                id: nodes.len(),
+                words: n.words.iter().map(|(_, w)| w.clone()).collect(),
+                pos: n.pos,
+                literal: n.literal.clone(),
+            });
+            candidates.push(n.candidates.clone());
+        }
+        let mut edges = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            if let Some((gov, rel)) = &n.parent {
+                if let (Some(g), Some(d)) = (remap[*gov], remap[i]) {
+                    if g != d {
+                        edges.push(QueryEdge {
+                            gov: g,
+                            dep: d,
+                            rel: rel.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let root = self.root.and_then(|r| remap[r]);
+        (
+            QueryGraph { nodes, edges, root },
+            WordToApi { candidates },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::{ApiDoc, DepParser};
+
+    fn textedit_domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= entity iter
+            string     ::= STRING
+            entity     ::= STRING | WORDTOKEN | NUMBERTOKEN
+            pos        ::= START | END | POSITION
+            iter       ::= LINESCOPE | ALL
+            "#,
+        )
+        .unwrap();
+        Domain::builder("textedit")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+                ApiDoc::new("DELETE", &["delete"], "deletes the entity", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
+                ApiDoc::new("NUMBERTOKEN", &["number"], "a number token", 0),
+                ApiDoc::new("START", &["start"], "the start of the scope", 0),
+                ApiDoc::new("END", &["end"], "the end of the scope", 0),
+                ApiDoc::new("POSITION", &["position", "character"], "a character position", 1),
+                ApiDoc::new("LINESCOPE", &["line"], "iterate over lines", 0),
+                ApiDoc::new("ALL", &["all", "every"], "all occurrences", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    fn run(domain: &Domain, q: &str) -> (QueryGraph, WordToApi) {
+        let dep = DepParser::new().parse(q);
+        prune(&dep, domain, &SynthesisConfig::default())
+    }
+
+    #[test]
+    fn drops_function_words() {
+        let d = textedit_domain();
+        let (g, _) = run(&d, "insert a string at the start of each line");
+        let phrases: Vec<String> = g.nodes.iter().map(|n| n.phrase()).collect();
+        assert!(!phrases.contains(&"a".to_string()), "{phrases:?}");
+        assert!(!phrases.contains(&"the".to_string()), "{phrases:?}");
+        assert!(phrases.contains(&"insert".to_string()));
+        assert!(phrases.contains(&"start".to_string()));
+        assert!(phrases.contains(&"line".to_string()));
+    }
+
+    #[test]
+    fn quantifier_every_is_kept() {
+        let d = textedit_domain();
+        let (g, w2a) = run(&d, "delete every word");
+        let every = g.nodes.iter().position(|n| n.phrase() == "every");
+        assert!(every.is_some(), "{}", g.render());
+        assert!(w2a.of(every.unwrap()).iter().any(|c| c.api == "ALL"));
+    }
+
+    #[test]
+    fn literal_becomes_string_node() {
+        let d = textedit_domain();
+        let (g, w2a) = run(&d, "insert \":\" at the start");
+        let lit = g
+            .nodes
+            .iter()
+            .position(|n| n.literal.as_deref() == Some(":"))
+            .expect("literal node kept");
+        assert_eq!(w2a.of(lit)[0].api, "STRING");
+    }
+
+    #[test]
+    fn number_folds_into_governor() {
+        let d = textedit_domain();
+        let (g, _) = run(&d, "add \":\" after 14 characters");
+        let pos_node = g
+            .nodes
+            .iter()
+            .find(|n| n.phrase() == "characters")
+            .expect("characters kept");
+        assert_eq!(pos_node.literal.as_deref(), Some("14"));
+        assert!(!g.nodes.iter().any(|n| n.phrase() == "14"));
+    }
+
+    #[test]
+    fn root_preserved_and_edges_spliced() {
+        let d = textedit_domain();
+        let (g, _) = run(&d, "insert a string at the start of each line");
+        let root = g.root.unwrap();
+        assert_eq!(g.nodes[root].phrase(), "insert");
+        // start -> line survives the removal of "of"/"each" style words.
+        let start = g.nodes.iter().position(|n| n.phrase() == "start").unwrap();
+        let line = g.nodes.iter().position(|n| n.phrase() == "line").unwrap();
+        assert!(
+            g.edges.iter().any(|e| e.gov == start && e.dep == line),
+            "{}",
+            g.render()
+        );
+    }
+
+    fn ast_domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            top     ::= cxxConstructExpr inner | callExpr inner
+            inner   ::= hasName | hasDeclaration top
+            "#,
+        )
+        .unwrap();
+        Domain::builder("ast")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new(
+                    "cxxConstructExpr",
+                    &["cxx", "constructor", "expression"],
+                    "matches c++ constructor expressions",
+                    0,
+                ),
+                ApiDoc::new("callExpr", &["call", "expression"], "matches call expressions", 0),
+                ApiDoc::new("hasName", &["name"], "matches by name", 1),
+                ApiDoc::new("hasDeclaration", &["declaration"], "matches the declaration", 0),
+            ])
+            .quote_literals(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn intent_verb_root_promoted() {
+        let d = ast_domain();
+        let (g, _) = run(&d, "find call expressions");
+        let root = g.root.unwrap();
+        assert!(
+            g.nodes[root].phrase().contains("expression"),
+            "{}",
+            g.render()
+        );
+        assert!(!g.nodes.iter().any(|n| n.phrase() == "find"));
+    }
+
+    #[test]
+    fn compound_merges_into_full_coverage_api() {
+        let d = ast_domain();
+        let (g, w2a) = run(&d, "find cxx constructor expressions");
+        assert_eq!(g.nodes.len(), 1, "{}", g.render());
+        assert_eq!(w2a.of(0)[0].api, "cxxConstructExpr");
+    }
+
+    #[test]
+    fn literal_folds_into_governor_without_literal_api() {
+        let d = ast_domain();
+        let (g, _) = run(&d, "find expressions named \"PI\"");
+        let named = g
+            .nodes
+            .iter()
+            .find(|n| n.phrase().contains("name"))
+            .expect("named kept");
+        assert_eq!(named.literal.as_deref(), Some("PI"));
+        assert!(!g.nodes.iter().any(|n| n.literal.as_deref() == Some("PI") && n.pos == Pos::Literal));
+    }
+
+    #[test]
+    fn empty_query_survives() {
+        let d = textedit_domain();
+        let (g, w2a) = run(&d, "");
+        assert!(g.nodes.is_empty());
+        assert!(w2a.candidates.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! The pruned query graph — the synthesizer's view of a query.
+
+use nlquery_nlp::{DepRel, Pos};
+
+/// A node of the pruned dependency graph: one content word (or a merged
+/// compound like "constructor expressions"), possibly carrying a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryNode {
+    /// Dense node id within the [`QueryGraph`].
+    pub id: usize,
+    /// The words backing this node, in query order (head last for merged
+    /// compounds).
+    pub words: Vec<String>,
+    /// Part of speech of the head word.
+    pub pos: Pos,
+    /// A literal payload (quoted string or number) to fill a DSL slot.
+    pub literal: Option<String>,
+}
+
+impl QueryNode {
+    /// The words joined with spaces — the unit the WordToAPI step matches.
+    pub fn phrase(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// An edge of the pruned dependency graph (governor → dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEdge {
+    /// Governor node id.
+    pub gov: usize,
+    /// Dependent node id.
+    pub dep: usize,
+    /// The dependency relation (kept for diagnostics).
+    pub rel: DepRel,
+}
+
+/// The pruned dependency graph: a tree over content words rooted at the
+/// main verb (or promoted object).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryGraph {
+    /// Nodes in query order.
+    pub nodes: Vec<QueryNode>,
+    /// Tree edges.
+    pub edges: Vec<QueryEdge>,
+    /// Root node id.
+    pub root: Option<usize>,
+}
+
+impl QueryGraph {
+    /// Children of `id`.
+    pub fn children(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.gov == id)
+            .map(|e| e.dep)
+            .collect()
+    }
+
+    /// The governor of `id`, if attached.
+    pub fn parent(&self, id: usize) -> Option<usize> {
+        self.edges.iter().find(|e| e.dep == id).map(|e| e.gov)
+    }
+
+    /// Node ids with no governor that are not the root.
+    pub fn unattached(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| Some(i) != self.root && self.parent(i).is_none())
+            .collect()
+    }
+
+    /// Nodes grouped by depth from the root (level 0 = root). Unattached
+    /// nodes are *not* included; callers decide their fate (orphan
+    /// relocation or root attachment).
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        let mut depth = vec![usize::MAX; self.nodes.len()];
+        depth[root] = 0;
+        let mut frontier = vec![root];
+        let mut levels = vec![vec![root]];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for c in self.children(n) {
+                    if depth[c] == usize::MAX {
+                        depth[c] = depth[n] + 1;
+                        next.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next.clone());
+            frontier = next;
+        }
+        levels
+    }
+
+    /// Nodes in bottom-up order (deepest level first, root last; within a
+    /// level, query order).
+    pub fn bottom_up(&self) -> Vec<usize> {
+        self.levels().into_iter().rev().flatten().collect()
+    }
+
+    /// Renders the graph for diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(r) = self.root {
+            out.push_str(&format!("root: {}\n", self.nodes[r].phrase()));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "{} -{}-> {}\n",
+                self.nodes[e.gov].phrase(),
+                e.rel,
+                self.nodes[e.dep].phrase()
+            ));
+        }
+        for u in self.unattached() {
+            out.push_str(&format!("(unattached: {})\n", self.nodes[u].phrase()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn node(id: usize, word: &str) -> QueryNode {
+        QueryNode {
+            id,
+            words: vec![word.to_string()],
+            pos: Pos::Noun,
+            literal: None,
+        }
+    }
+
+    fn graph() -> QueryGraph {
+        QueryGraph {
+            nodes: vec![node(0, "insert"), node(1, "string"), node(2, "start"), node(3, "line")],
+            edges: vec![
+                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
+                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+                QueryEdge { gov: 2, dep: 3, rel: DepRel::Nmod("of".into()) },
+            ],
+            root: Some(0),
+        }
+    }
+
+    #[test]
+    fn levels_and_bottom_up() {
+        let g = graph();
+        assert_eq!(g.levels(), vec![vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(g.bottom_up(), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn unattached_excluded_from_levels() {
+        let mut g = graph();
+        g.nodes.push(node(4, "stray"));
+        assert_eq!(g.unattached(), vec![4]);
+        let all: Vec<usize> = g.levels().into_iter().flatten().collect();
+        assert!(!all.contains(&4));
+    }
+
+    #[test]
+    fn phrase_joins_words() {
+        let n = QueryNode {
+            id: 0,
+            words: vec!["constructor".into(), "expressions".into()],
+            pos: Pos::Noun,
+            literal: None,
+        };
+        assert_eq!(n.phrase(), "constructor expressions");
+    }
+
+    #[test]
+    fn empty_graph_has_no_levels() {
+        let g = QueryGraph::default();
+        assert!(g.levels().is_empty());
+        assert!(g.unattached().is_empty());
+    }
+}

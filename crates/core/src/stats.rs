@@ -1,0 +1,89 @@
+//! Per-synthesis instrumentation.
+//!
+//! These counters back Table III of the paper: original path counts,
+//! theoretical combination counts, the effect of orphan relocation, and how
+//! many combinations each pruning stage removed.
+
+use std::time::Duration;
+
+/// Counters recorded during one synthesis run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SynthesisStats {
+    /// Dependency edges in the pruned query graph (including the implicit
+    /// root edge).
+    pub dep_edges: usize,
+    /// Total candidate grammar paths before orphan relocation (HISyn
+    /// treatment: orphans attached to the grammar root).
+    pub orig_paths: usize,
+    /// Theoretical number of path combinations before relocation
+    /// (product over edges of per-edge path counts).
+    pub orig_combinations: f64,
+    /// Total candidate paths after orphan relocation.
+    pub paths_after_relocation: usize,
+    /// Sibling-level combinations considered by the engine (sum over
+    /// sibling groups of per-group products).
+    pub sibling_combinations: u64,
+    /// Combinations removed by grammar-based pruning.
+    pub pruned_grammar: u64,
+    /// Combinations removed by size-based pruning.
+    pub pruned_size: u64,
+    /// Combinations actually merged into prefix trees.
+    pub merged_combinations: u64,
+    /// Number of orphan nodes detected.
+    pub orphans: usize,
+    /// Number of relocated-graph variants synthesized.
+    pub orphan_variants: usize,
+    /// Combinations the HISyn enumeration visited (HISyn engine only).
+    pub enumerated_combinations: u64,
+    /// Time spent in dependency parsing + pruning (steps 1-2).
+    pub t_parse: Duration,
+    /// Time spent in WordToAPI (step 3).
+    pub t_word2api: Duration,
+    /// Time spent in EdgeToPath (step 4).
+    pub t_edge2path: Duration,
+    /// Time spent merging / in the DP (steps 5-6).
+    pub t_merge: Duration,
+}
+
+impl SynthesisStats {
+    /// Sums counters from a sub-run (used when orphan relocation
+    /// synthesizes several graph variants).
+    pub fn absorb(&mut self, other: &SynthesisStats) {
+        self.sibling_combinations += other.sibling_combinations;
+        self.pruned_grammar += other.pruned_grammar;
+        self.pruned_size += other.pruned_size;
+        self.merged_combinations += other.merged_combinations;
+        self.enumerated_combinations += other.enumerated_combinations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = SynthesisStats {
+            pruned_grammar: 5,
+            merged_combinations: 2,
+            ..SynthesisStats::default()
+        };
+        let b = SynthesisStats {
+            pruned_grammar: 3,
+            merged_combinations: 1,
+            pruned_size: 7,
+            ..SynthesisStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.pruned_grammar, 8);
+        assert_eq!(a.merged_combinations, 3);
+        assert_eq!(a.pruned_size, 7);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SynthesisStats::default();
+        assert_eq!(s.dep_edges, 0);
+        assert_eq!(s.orig_combinations, 0.0);
+    }
+}

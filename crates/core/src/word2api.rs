@@ -1,0 +1,180 @@
+//! Step 3 — WordToAPI: map each query node to candidate APIs.
+//!
+//! Single words go straight through the [`SemanticMatcher`]. Multi-word
+//! phrases (merged compounds like "constructor expressions") score each API
+//! by the *mean* of its per-word scores, so an API whose keywords cover the
+//! whole phrase (e.g. `cxxConstructExpr`) dominates partial matches
+//! (e.g. `callExpr`).
+
+use nlquery_nlp::{ApiCandidate, SemanticMatcher};
+
+/// The WordToAPI map: candidate APIs per query-graph node, ranked by
+/// descending score.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WordToApi {
+    /// `candidates[node id]` — the ranked candidates of that node.
+    pub candidates: Vec<Vec<ApiCandidate>>,
+}
+
+impl WordToApi {
+    /// The candidates of node `id` (empty slice when out of range).
+    pub fn of(&self, id: usize) -> &[ApiCandidate] {
+        self.candidates.get(id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether node `id` has at least one candidate.
+    pub fn has_candidates(&self, id: usize) -> bool {
+        !self.of(id).is_empty()
+    }
+}
+
+/// Width of the internal per-word candidate pool used before phrase
+/// combination.
+const POOL: usize = 24;
+
+/// Scores the candidate APIs of a (possibly multi-word) phrase.
+///
+/// Returns candidates sorted by descending score, capped at `k`, filtered
+/// at `min_score`.
+pub fn phrase_candidates(
+    matcher: &SemanticMatcher,
+    words: &[String],
+    k: usize,
+    min_score: f64,
+) -> Vec<ApiCandidate> {
+    match words {
+        [] => Vec::new(),
+        [w] => matcher.candidates(w, k, min_score),
+        _ => {
+            let mut scores: std::collections::BTreeMap<String, (f64, usize)> =
+                std::collections::BTreeMap::new();
+            for w in words {
+                for c in matcher.candidates(w, POOL, 0.0) {
+                    let entry = scores.entry(c.api).or_insert((0.0, 0));
+                    entry.0 += c.score;
+                    entry.1 += 1;
+                }
+            }
+            let n = words.len() as f64;
+            let mut ranked: Vec<ApiCandidate> = scores
+                .into_iter()
+                .map(|(api, (sum, _covered))| ApiCandidate {
+                    api,
+                    score: sum / n,
+                })
+                .filter(|c| c.score >= min_score)
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("scores are finite")
+                    .then_with(|| a.api.cmp(&b.api))
+            });
+            ranked.truncate(k);
+            ranked
+        }
+    }
+}
+
+/// Per-word score below which a hit does not count toward full coverage:
+/// description-only hits (≈ 0.35) must not let "virtual method" merge into
+/// `isVirtual` just because its description mentions methods.
+const COVERAGE_MIN_WORD_SCORE: f64 = 0.5;
+
+/// The best score an API reaches where **every** word of the phrase
+/// contributes a keyword-strength score — the signal used to decide
+/// whether to merge a compound into one node.
+pub fn full_coverage_score(matcher: &SemanticMatcher, words: &[String]) -> Option<(String, f64)> {
+    if words.is_empty() {
+        return None;
+    }
+    let mut scores: std::collections::BTreeMap<String, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for w in words {
+        for c in matcher.candidates(w, POOL, COVERAGE_MIN_WORD_SCORE) {
+            let entry = scores.entry(c.api).or_insert((0.0, 0));
+            entry.0 += c.score;
+            entry.1 += 1;
+        }
+    }
+    let n = words.len();
+    scores
+        .into_iter()
+        .filter(|(_, (_, covered))| *covered == n)
+        .map(|(api, (sum, _))| (api, sum / n as f64))
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("scores are finite")
+                .then_with(|| b.0.cmp(&a.0))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_nlp::{ApiDoc, SynonymLexicon};
+
+    fn matcher() -> SemanticMatcher {
+        SemanticMatcher::new(
+            vec![
+                ApiDoc::new(
+                    "cxxConstructExpr",
+                    &["cxx", "constructor", "expression"],
+                    "matches c++ constructor call expressions",
+                    0,
+                ),
+                ApiDoc::new("callExpr", &["call", "expression"], "matches call expressions", 0),
+                ApiDoc::new("hasName", &["name"], "matches a declaration by name", 1),
+            ],
+            SynonymLexicon::new(),
+        )
+    }
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn single_word_passthrough() {
+        let m = matcher();
+        let c = phrase_candidates(&m, &words(&["name"]), 4, 0.3);
+        assert_eq!(c[0].api, "hasName");
+    }
+
+    #[test]
+    fn phrase_prefers_full_coverage() {
+        let m = matcher();
+        let c = phrase_candidates(&m, &words(&["constructor", "expressions"]), 4, 0.3);
+        assert_eq!(c[0].api, "cxxConstructExpr", "{c:?}");
+        // callExpr only covers "expressions".
+        let call = c.iter().find(|c| c.api == "callExpr");
+        assert!(call.is_none_or(|c| c.score < 0.9));
+    }
+
+    #[test]
+    fn full_coverage_score_requires_all_words() {
+        let m = matcher();
+        let best = full_coverage_score(&m, &words(&["constructor", "expressions"])).unwrap();
+        assert_eq!(best.0, "cxxConstructExpr");
+        assert!(best.1 >= 0.7);
+        // "purple expressions": no API covers "purple".
+        assert!(full_coverage_score(&m, &words(&["purple", "expressions"])).is_none());
+    }
+
+    #[test]
+    fn empty_phrase_has_no_candidates() {
+        let m = matcher();
+        assert!(phrase_candidates(&m, &[], 4, 0.3).is_empty());
+        assert!(full_coverage_score(&m, &[]).is_none());
+    }
+
+    #[test]
+    fn word_to_api_accessors() {
+        let map = WordToApi {
+            candidates: vec![vec![ApiCandidate { api: "X".into(), score: 1.0 }], vec![]],
+        };
+        assert!(map.has_candidates(0));
+        assert!(!map.has_candidates(1));
+        assert!(map.of(99).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Generated stratified composition grammar for ASTMatcher.
+//!
+//! Clang matchers compose recursively (`callExpr(hasArgument(floatLiteral()))`).
+//! Code generation trees are subgraphs of the grammar graph, so a
+//! non-terminal cannot be instantiated twice with different alternatives in
+//! one tree; to keep "or"-consistency meaningful the recursion is
+//! *stratified*: the grammar is unrolled to [`LEVELS`] nesting levels with
+//! level-indexed non-terminals (`declm0`, `declm1`, …). Each matcher takes
+//! up to two argument matchers (`args ::= inner | inner inner2`), with the
+//! second position using duplicated non-terminals for the same
+//! conflict-freedom reason.
+//!
+//! This substitution (documented in DESIGN.md) bounds nesting depth at
+//! three node-matcher levels — enough for every query in the corpus — while
+//! preserving the path-explosion characteristics the paper measures.
+
+use std::fmt::Write as _;
+
+use super::catalog::{
+    NodeClass, TraversalTarget, NARROWING_MATCHERS, NODE_MATCHERS, TRAVERSAL_MATCHERS,
+};
+
+/// Number of node-matcher nesting levels.
+pub const LEVELS: usize = 3;
+
+fn class_stub(class: NodeClass) -> &'static str {
+    match class {
+        NodeClass::Decl => "decl",
+        NodeClass::Expr => "expr",
+        NodeClass::Op => "op",
+        NodeClass::Lit => "lit",
+        NodeClass::Stmt => "stmt",
+        NodeClass::Type => "type",
+    }
+}
+
+const ALL_CLASSES: [NodeClass; 6] = [
+    NodeClass::Decl,
+    NodeClass::Expr,
+    NodeClass::Op,
+    NodeClass::Lit,
+    NodeClass::Stmt,
+    NodeClass::Type,
+];
+
+/// Generates the BNF text of the stratified matcher grammar.
+pub fn bnf() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "top ::= any0");
+    for level in 0..LEVELS {
+        // any{l}
+        let alts: Vec<String> = ALL_CLASSES
+            .iter()
+            .map(|&c| format!("{}m{}", class_stub(c), level))
+            .collect();
+        let _ = writeln!(out, "any{level} ::= {}", alts.join(" | "));
+        // Expressions, operators and literals are all clang expressions.
+        let _ = writeln!(
+            out,
+            "exprlike{level} ::= exprm{level} | opm{level} | litm{level}"
+        );
+
+        for &class in &ALL_CLASSES {
+            let stub = class_stub(class);
+            // classm{l} ::= one derivation per node matcher of the class.
+            let alts: Vec<String> = NODE_MATCHERS
+                .iter()
+                .filter(|(_, c, ..)| *c == class)
+                .map(|(name, ..)| format!("{name} {stub}args{level}"))
+                .collect();
+            let _ = writeln!(out, "{stub}m{level} ::= {}", alts.join(" | "));
+            // args: one or two argument positions.
+            let _ = writeln!(
+                out,
+                "{stub}args{level} ::= {stub}inner{level} | {stub}inner{level} {stub}inner{level}b"
+            );
+            for suffix in ["", "b"] {
+                let mut alts: Vec<String> = Vec::new();
+                for (name, _, _, classes, slots) in NARROWING_MATCHERS {
+                    let _ = slots;
+                    if classes.contains(&class) {
+                        alts.push((*name).to_string());
+                    }
+                }
+                if level + 1 < LEVELS {
+                    for (name, _, _, sources, target) in TRAVERSAL_MATCHERS {
+                        if sources.contains(&class) {
+                            let target_nt = match target {
+                                TraversalTarget::Any => format!("any{}", level + 1),
+                                TraversalTarget::ExprLike => format!("exprlike{}", level + 1),
+                                TraversalTarget::Class(c) => {
+                                    format!("{}m{}", class_stub(*c), level + 1)
+                                }
+                            };
+                            alts.push(format!("{name} {target_nt}"));
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{stub}inner{level}{suffix} ::= {}",
+                    alts.join(" | ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+
+    #[test]
+    fn generated_bnf_parses() {
+        let text = bnf();
+        let g = GrammarGraph::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(g.api_node("callExpr").is_some());
+        assert!(g.api_node("hasName").is_some());
+        assert!(g.api_node("floatLiteral").is_some());
+    }
+
+    #[test]
+    fn nesting_reaches_three_levels() {
+        let g = GrammarGraph::parse(&bnf()).unwrap();
+        let call = g.api_node("callExpr").unwrap();
+        let has_arg = g.api_node("hasArgument").unwrap();
+        let float = g.api_node("floatLiteral").unwrap();
+        assert!(g.is_api_descendant(call, has_arg));
+        assert!(g.is_api_descendant(call, float));
+        // Two levels of node nesting: callExpr -> ... -> callExpr.
+        assert!(g.is_api_descendant(call, call));
+    }
+
+    #[test]
+    fn class_restrictions_hold() {
+        let g = GrammarGraph::parse(&bnf()).unwrap();
+        let binop = g.api_node("binaryOperator").unwrap();
+        let has_name = g.api_node("hasName").unwrap();
+        let has_op_name = g.api_node("hasOperatorName").unwrap();
+        // Operators take hasOperatorName but never hasName directly...
+        assert!(g.is_api_descendant(binop, has_op_name));
+        // (hasName is still reachable through a nested decl matcher via
+        // hasCondition->expr... it is NOT a *direct* argument; the
+        // descendant check is transitive, so assert at the grammar level:
+        // no opinner derivation contains hasName.)
+        let mut direct = false;
+        for id in g.node_ids() {
+            if g.is_derivation(id) {
+                let label = g.node(id).label();
+                if label.starts_with("opinner") {
+                    direct |= g.node(id).children.contains(&has_name);
+                }
+            }
+        }
+        assert!(!direct, "hasName must not be a direct operator argument");
+    }
+
+    #[test]
+    fn deepest_level_has_no_traversals() {
+        let g = GrammarGraph::parse(&bnf()).unwrap();
+        let last = LEVELS - 1;
+        for stub in ["declinner", "exprinner"] {
+            let nt = g.nonterminal_node(&format!("{stub}{last}")).unwrap();
+            for &d in &g.node(nt).children {
+                for &c in &g.node(d).children {
+                    assert!(
+                        g.is_api(c),
+                        "level {last} inner rules must be narrowing-only"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The 100-query ASTMatcher corpus.
+
+use crate::QueryCase;
+
+/// The corpus: 100 query/ground-truth pairs.
+pub fn queries() -> Vec<QueryCase> {
+    let mut cases = Vec::new();
+    let mut push = |query: String, truth: String| {
+        let id = cases.len();
+        cases.push(QueryCase { id, query, ground_truth: truth });
+    };
+
+    // ---- Family 1: node matcher + hasName. Depth 2.
+    for (phrase, api, name) in [
+        ("function declarations", "functionDecl", "main"),
+        ("variable declarations", "varDecl", "count"),
+        ("cxx method declarations", "cxxMethodDecl", "PI"),
+        ("namespace declarations", "namespaceDecl", "std"),
+        ("field declarations", "fieldDecl", "data"),
+        ("enum declarations", "enumDecl", "Color"),
+        ("class declarations", "cxxRecordDecl", "Vector"),
+        ("parameter declarations", "parmVarDecl", "argc"),
+    ] {
+        push(
+            format!("find {phrase} named \"{name}\""),
+            format!("{api}(hasName(\"{name}\"))"),
+        );
+    }
+
+    // ---- Family 2: operators by operator name. Depth 2.
+    for (phrase, api, op) in [
+        ("binary operators", "binaryOperator", "*"),
+        ("binary operators", "binaryOperator", "+"),
+        ("unary operators", "unaryOperator", "!"),
+        ("compound assignment operators", "compoundAssignOperator", "+="),
+    ] {
+        push(
+            format!("list all {phrase} named \"{op}\""),
+            format!("{api}(hasOperatorName(\"{op}\"))"),
+        );
+    }
+
+    // ---- Family 3: expressions with argument matchers. Depth 3.
+    for (phrase, api, arg_phrase, arg_api) in [
+        ("call expressions", "callExpr", "a float literal", "floatLiteral"),
+        ("call expressions", "callExpr", "a string literal", "stringLiteral"),
+        ("call expressions", "callExpr", "an integer literal", "integerLiteral"),
+        ("constructor expressions", "cxxConstructExpr", "a character literal", "characterLiteral"),
+    ] {
+        push(
+            format!("search for {phrase} whose argument is {arg_phrase}"),
+            format!("{api}(hasArgument({arg_api}()))"),
+        );
+    }
+
+    // ---- Family 4: declaration nesting. Depth 3-4.
+    for (outer_phrase, outer, inner_phrase, inner, name) in [
+        ("cxx constructor expressions", "cxxConstructExpr", "a cxx method", "cxxMethodDecl", "PI"),
+        ("call expressions", "callExpr", "a function", "functionDecl", "printf"),
+        ("declaration reference expressions", "declRefExpr", "a variable", "varDecl", "sum"),
+    ] {
+        push(
+            format!("find {outer_phrase} which declare {inner_phrase} named \"{name}\""),
+            format!("{outer}(hasDeclaration({inner}(hasName(\"{name}\"))))"),
+        );
+    }
+
+    // ---- Family 5: predicate narrowing. Depth 2.
+    for (phrase, api, pred_word, pred) in [
+        ("cxx methods", "cxxMethodDecl", "virtual", "isVirtual"),
+        ("cxx methods", "cxxMethodDecl", "const", "isConst"),
+        ("cxx methods", "cxxMethodDecl", "pure", "isPure"),
+        ("functions", "functionDecl", "variadic", "isVariadic"),
+        ("functions", "functionDecl", "inline", "isInline"),
+        ("fields", "fieldDecl", "public", "isPublic"),
+        ("constructors", "cxxConstructorDecl", "explicit", "isExplicit"),
+    ] {
+        push(
+            format!("find {phrase} that are {pred_word}"),
+            format!("{api}({pred}())"),
+        );
+    }
+
+    // ---- Family 6: statements with conditions/bodies. Depth 3.
+    for (phrase, api, inner_word, inner_api) in [
+        ("for loops", "forStmt", "a binary operator", "binaryOperator"),
+        ("for loops", "forStmt", "a call expression", "callExpr"),
+        ("switch statements", "switchStmt", "a member expression", "memberExpr"),
+    ] {
+        push(
+            format!("find {phrase} whose condition is {inner_word}"),
+            format!("{api}(hasCondition({inner_api}()))"),
+        );
+    }
+    push(
+        "find for loops whose body is a compound statement".to_string(),
+        "forStmt(hasBody(compoundStmt()))".to_string(),
+    );
+    push(
+        "find lambda expressions whose body is a compound statement".to_string(),
+        "lambdaExpr(hasBody(compoundStmt()))".to_string(),
+    );
+
+    // ---- Family 7: functions by return type. Depth 3.
+    for (type_phrase, type_api) in [
+        ("a pointer type", "pointerType"),
+        ("a reference type", "referenceType"),
+        ("an enum type", "enumType"),
+        ("an auto type", "autoType"),
+    ] {
+        push(
+            format!("find functions that return {type_phrase}"),
+            format!("functionDecl(returns({type_api}()))"),
+        );
+    }
+
+    // ---- Family 8: operators with operand matchers. Depth 3.
+    for (side_word, side_api) in [("left", "hasLHS"), ("right", "hasRHS")] {
+        for (inner_phrase, inner_api) in [
+            ("an integer literal", "integerLiteral"),
+            ("a declaration reference expression", "declRefExpr"),
+        ] {
+            push(
+                format!("find binary operators whose {side_word} operand is {inner_phrase}"),
+                format!("binaryOperator({side_api}({inner_api}()))"),
+            );
+        }
+    }
+
+    // ---- Family 9: literals by value. Depth 2.
+    for (phrase, api, val) in [
+        ("integer literals", "integerLiteral", "42"),
+        ("integer literals", "integerLiteral", "0"),
+        ("string literals", "stringLiteral", "hello"),
+        ("float literals", "floatLiteral", "3.14"),
+    ] {
+        push(
+            format!("find {phrase} which equal \"{val}\""),
+            format!("{api}(equals(\"{val}\"))"),
+        );
+    }
+
+    // ---- Family 10: parameter/argument counts. Depth 2.
+    for (n, phrase, api, narrow) in [
+        ("2", "functions", "functionDecl", "parameterCountIs"),
+        ("3", "cxx methods", "cxxMethodDecl", "parameterCountIs"),
+        ("1", "call expressions", "callExpr", "argumentCountIs"),
+        ("0", "call expressions", "callExpr", "argumentCountIs"),
+    ] {
+        push(
+            format!("find {phrase} whose count is \"{n}\""),
+            format!("{api}({narrow}(\"{n}\"))"),
+        );
+    }
+
+    // ---- Family 11: predicate-only narrowing, wider sweep. Depth 2.
+    for (phrase, api, pred_word, pred) in [
+        ("cxx methods", "cxxMethodDecl", "override", "isOverride"),
+        ("cxx methods", "cxxMethodDecl", "final", "isFinal"),
+        ("functions", "functionDecl", "deleted", "isDeleted"),
+        ("functions", "functionDecl", "defaulted", "isDefaulted"),
+        ("functions", "functionDecl", "main", "isMain"),
+        ("fields", "fieldDecl", "private", "isPrivate"),
+        ("fields", "fieldDecl", "protected", "isProtected"),
+        ("constructors", "cxxConstructorDecl", "implicit", "isImplicit"),
+        ("variables", "varDecl", "constexpr", "isConstexpr"),
+        ("enums", "enumDecl", "scoped", "isScoped"),
+        ("records", "recordDecl", "union", "isUnion"),
+        ("records", "recordDecl", "struct", "isStruct"),
+    ] {
+        push(
+            format!("find {phrase} that are {pred_word}"),
+            format!("{api}({pred}())"),
+        );
+    }
+
+    // ---- Family 12: constructor kinds. Depth 2.
+    for (kind_word, pred) in [
+        ("copy", "isCopyConstructor"),
+        ("move", "isMoveConstructor"),
+        ("default", "isDefaultConstructor"),
+    ] {
+        push(
+            format!("find {kind_word} constructors"),
+            format!("cxxConstructorDecl({pred}())"),
+        );
+    }
+
+    // ---- Family 13: storage predicates. Depth 2.
+    for (phrase, pred_words, pred) in [
+        ("variables", "local storage", "hasLocalStorage"),
+        ("variables", "global storage", "hasGlobalStorage"),
+        ("variables", "static storage duration", "hasStaticStorageDuration"),
+        ("parameters", "a default argument", "hasDefaultArgument"),
+    ] {
+        let api = if phrase == "variables" { "varDecl" } else { "parmVarDecl" };
+        push(
+            format!("find {phrase} which have {pred_words}"),
+            format!("{api}({pred}())"),
+        );
+    }
+
+    // ---- Family 14: nested declaration/expression chains. Depth 3-4.
+    for (outer_phrase, outer, trav_word, trav, inner_phrase, inner) in [
+        ("classes", "cxxRecordDecl", "have a method", "hasMethod", "", "cxxMethodDecl"),
+        ("functions", "functionDecl", "have a parameter", "hasParameter", "", "parmVarDecl"),
+    ] {
+        let _ = (trav_word, inner_phrase);
+        push(
+            format!("find {outer_phrase} which {trav_word} named \"{}\"", "run"),
+            format!("{outer}({trav}({inner}(hasName(\"run\"))))"),
+        );
+    }
+    for (outer_phrase, outer, inner_phrase, inner) in [
+        ("variable declarations", "varDecl", "a lambda expression", "lambdaExpr"),
+        ("variable declarations", "varDecl", "an integer literal", "integerLiteral"),
+    ] {
+        push(
+            format!("find {outer_phrase} whose initializer is {inner_phrase}"),
+            format!("{outer}(hasInitializer({inner}()))"),
+        );
+    }
+
+    // ---- Family 15: bare type matchers. Depth 1.
+    for (phrase, api) in [
+        ("pointer types", "pointerType"),
+        ("reference types", "referenceType"),
+        ("array types", "arrayType"),
+        ("builtin types", "builtinType"),
+    ] {
+        push(format!("find all {phrase}"), format!("{api}()"));
+    }
+
+    // ---- Family 16: casts and new/delete. Depth 2-3.
+    for (phrase, api) in [
+        ("implicit cast expressions", "implicitCastExpr"),
+        ("static cast expressions", "cxxStaticCastExpr"),
+        ("dynamic cast expressions", "cxxDynamicCastExpr"),
+        ("const cast expressions", "cxxConstCastExpr"),
+    ] {
+        push(
+            format!("find {phrase} whose source expression is a declaration reference expression"),
+            format!("{api}(hasSourceExpression(declRefExpr()))"),
+        );
+    }
+    push(
+        "find all null pointer literals".to_string(),
+        "cxxNullPtrLiteralExpr()".to_string(),
+    );
+    push(
+        "find all character literals".to_string(),
+        "characterLiteral()".to_string(),
+    );
+
+    // ---- Family 17: descendant/ancestor traversals. Depth 3.
+    for (outer_phrase, outer, inner_phrase, inner) in [
+        ("for loops", "forStmt", "a call expression", "callExpr"),
+        ("switch statements", "switchStmt", "a throw expression", "cxxThrowExpr"),
+        ("compound statements", "compoundStmt", "a return statement", "returnStmt"),
+        ("lambda expressions", "lambdaExpr", "a goto statement", "gotoStmt"),
+    ] {
+        push(
+            format!("find {outer_phrase} which have a descendant which is {inner_phrase}"),
+            format!("{outer}(hasDescendant({inner}()))"),
+        );
+    }
+
+    // ---- Family 18: bare node matchers (smoke coverage of the catalogue).
+    for (phrase, api) in [
+        ("lambda expressions", "lambdaExpr"),
+        ("member expressions", "memberExpr"),
+        ("array subscript expressions", "arraySubscriptExpr"),
+        ("paren expressions", "parenExpr"),
+        ("conditional operators", "conditionalOperator"),
+        ("break statements", "breakStmt"),
+        ("continue statements", "continueStmt"),
+        ("goto statements", "gotoStmt"),
+        ("namespace declarations", "namespaceDecl"),
+        ("friend declarations", "friendDecl"),
+        ("typedef declarations", "typedefDecl"),
+        ("enum constant declarations", "enumConstantDecl"),
+    ] {
+        push(format!("find all {phrase}"), format!("{api}()"));
+    }
+
+    // ---- Family 19: operator names, wider sweep. Depth 2.
+    for op in ["-", "/", "%", "==", "!=", "<", "<=", "&&"] {
+        push(
+            format!("find binary operators named \"{op}\""),
+            format!("binaryOperator(hasOperatorName(\"{op}\"))"),
+        );
+    }
+
+    // ---- Family 20: more storage/access predicates. Depth 2.
+    push(
+        "find functions which have static storage".to_string(),
+        "functionDecl(isStaticStorageClass())".to_string(),
+    );
+    push(
+        "find variables that are exception variables".to_string(),
+        "varDecl(isExceptionVariable())".to_string(),
+    );
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_nonempty_and_unique() {
+        let qs = queries();
+        assert!(qs.len() >= 25);
+        let mut texts: Vec<&str> = qs.iter().map(|q| q.query.as_str()).collect();
+        texts.sort();
+        let n = texts.len();
+        texts.dedup();
+        assert_eq!(n, texts.len());
+    }
+
+    #[test]
+    fn ground_truth_balanced() {
+        for q in queries() {
+            assert_eq!(
+                q.ground_truth.matches('(').count(),
+                q.ground_truth.matches(')').count()
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Query corpora and accuracy evaluation.
+
+use std::time::Duration;
+
+use nlquery_core::{Outcome, Synthesizer};
+
+/// One evaluation case: a natural-language query and its ground-truth DSL
+/// expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryCase {
+    /// Case id within its corpus (0-based).
+    pub id: usize,
+    /// The natural-language query.
+    pub query: String,
+    /// The expected DSL expression.
+    pub ground_truth: String,
+}
+
+impl QueryCase {
+    /// Convenience constructor.
+    pub fn new(id: usize, query: &str, ground_truth: &str) -> QueryCase {
+        QueryCase {
+            id,
+            query: query.to_string(),
+            ground_truth: ground_truth.to_string(),
+        }
+    }
+}
+
+/// Normalizes an expression for comparison: strips all whitespace.
+///
+/// "A synthesized DSL code is correct if it is identical to the ground
+/// truth code in terms of both the set of APIs, arguments, and their
+/// relative order" — textual identity modulo whitespace.
+pub fn normalize_expression(expr: &str) -> String {
+    expr.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Outcome of one evaluated case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case id.
+    pub id: usize,
+    /// Whether the synthesized expression matched the ground truth.
+    pub correct: bool,
+    /// Whether the case timed out.
+    pub timeout: bool,
+    /// Synthesis wall-clock time (the timeout value for timeouts).
+    pub elapsed: Duration,
+    /// The expression produced, if any.
+    pub produced: Option<String>,
+}
+
+/// Aggregate results over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusReport {
+    /// Per-case results, in corpus order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl CorpusReport {
+    /// Synthesis accuracy: correct cases / total cases.
+    pub fn accuracy(&self) -> f64 {
+        if self.cases.is_empty() {
+            return 0.0;
+        }
+        self.cases.iter().filter(|c| c.correct).count() as f64 / self.cases.len() as f64
+    }
+
+    /// Number of timeouts.
+    pub fn timeouts(&self) -> usize {
+        self.cases.iter().filter(|c| c.timeout).count()
+    }
+
+    /// Per-case times in corpus order.
+    pub fn times(&self) -> Vec<Duration> {
+        self.cases.iter().map(|c| c.elapsed).collect()
+    }
+
+    /// Fraction of cases finishing strictly under `limit`.
+    pub fn fraction_under(&self, limit: Duration) -> f64 {
+        if self.cases.is_empty() {
+            return 0.0;
+        }
+        self.cases.iter().filter(|c| c.elapsed < limit).count() as f64 / self.cases.len() as f64
+    }
+}
+
+/// Runs a synthesizer over a corpus.
+///
+/// Timeouts are recorded with the configured timeout as their time (the
+/// paper records 20 s for unfinished cases) and counted as incorrect.
+pub fn evaluate(synth: &Synthesizer, cases: &[QueryCase]) -> CorpusReport {
+    let mut report = CorpusReport::default();
+    for case in cases {
+        let r = synth.synthesize(&case.query);
+        let timeout = r.outcome == Outcome::Timeout;
+        let elapsed = if timeout {
+            synth.config().timeout
+        } else {
+            r.elapsed
+        };
+        let correct = r
+            .expression
+            .as_deref()
+            .is_some_and(|e| normalize_expression(e) == normalize_expression(&case.ground_truth));
+        report.cases.push(CaseResult {
+            id: case.id,
+            correct,
+            timeout,
+            elapsed,
+            produced: r.expression,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_ignores_whitespace() {
+        assert_eq!(
+            normalize_expression("INSERT( STRING(:),  START() )"),
+            normalize_expression("INSERT(STRING(:),START())")
+        );
+        assert_ne!(
+            normalize_expression("INSERT(STRING(:))"),
+            normalize_expression("DELETE(STRING(:))")
+        );
+    }
+
+    #[test]
+    fn empty_report_accuracy_zero() {
+        let r = CorpusReport::default();
+        assert_eq!(r.accuracy(), 0.0);
+        assert_eq!(r.timeouts(), 0);
+        assert_eq!(r.fraction_under(Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = CorpusReport {
+            cases: vec![
+                CaseResult {
+                    id: 0,
+                    correct: true,
+                    timeout: false,
+                    elapsed: Duration::from_millis(10),
+                    produced: Some("X()".into()),
+                },
+                CaseResult {
+                    id: 1,
+                    correct: false,
+                    timeout: true,
+                    elapsed: Duration::from_secs(20),
+                    produced: None,
+                },
+            ],
+        };
+        assert_eq!(report.accuracy(), 0.5);
+        assert_eq!(report.timeouts(), 1);
+        assert_eq!(report.fraction_under(Duration::from_secs(1)), 0.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluation domains for NLU-driven synthesis.
+//!
+//! The DGGT paper evaluates on two domains; this crate rebuilds both from
+//! scratch, plus a synthetic workload generator for complexity studies:
+//!
+//! * [`textedit`] — the TextEditing command DSL (after Desai et al.), 52
+//!   APIs, with a 200-query corpus;
+//! * [`astmatcher`] — clang's LibASTMatchers (curated catalogue of real
+//!   matcher names with a stratified composition grammar), with a
+//!   100-query corpus;
+//! * [`workload`] — parameterized synthetic grammars/queries that sweep
+//!   dependency depth, sibling fan-out and paths-per-edge for the
+//!   complexity experiments (§VI).
+//!
+//! # Example
+//!
+//! ```rust
+//! use nlquery_core::{SynthesisConfig, Synthesizer};
+//!
+//! let domain = nlquery_domains::textedit::domain()?;
+//! let synth = Synthesizer::new(domain, SynthesisConfig::default());
+//! let r = synth.synthesize("delete every word");
+//! assert!(r.expression.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astmatcher;
+mod corpus;
+pub mod textedit;
+pub mod workload;
+
+pub use corpus::{evaluate, normalize_expression, CaseResult, CorpusReport, QueryCase};

@@ -1,0 +1,229 @@
+//! The TextEditing command DSL (after Desai et al. [9]).
+//!
+//! "A command language that aims to free Office suite application end-users
+//! from understanding syntax and semantics of regular expressions,
+//! conditionals, and loops" — 52 APIs: editing commands, text entities,
+//! positions, and an iteration/condition sub-language
+//! (`IterationScope(scope, BConditionOccurrence(condition, occurrence))`).
+//!
+//! The grammar gives every argument position its own non-terminal so that
+//! "or"-consistency (the foundation of grammar-based pruning) reflects real
+//! conflicts only: two argument positions choosing different entities is
+//! legal, one position choosing two is not.
+
+mod queries;
+
+pub use queries::queries;
+
+use nlquery_core::{Domain, SynthesisError};
+use nlquery_grammar::GrammarGraph;
+use nlquery_nlp::ApiDoc;
+
+/// The BNF of the TextEditing DSL.
+pub const BNF: &str = r#"
+program      ::= command
+command      ::= INSERT insert_arg | DELETE delete_arg | REPLACE replace_arg
+               | MOVE move_arg | COPY copy_arg | PRINT print_arg
+               | SELECT select_arg | MERGE merge_arg | SPLIT split_arg
+               | CLEAR clear_arg | UPPERCASE case_arg | LOWERCASE case_arg
+               | CAPITALIZE case_arg | REVERSE case_arg | INDENT case_arg
+               | TRIM case_arg
+insert_arg   ::= istring ipos iter
+istring      ::= STRING
+ipos         ::= START | END | POSITION | ipos_rel
+ipos_rel     ::= BEFORE pentity | AFTER pentity | BETWEEN bw1 bw2
+pentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | PARATOKEN | TABTOKEN | SELECTED
+bw1          ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN
+bw2          ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN
+delete_arg   ::= dentity iter
+dentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | PARATOKEN | EMPTYTOKEN | TABTOKEN | SELECTED
+replace_arg  ::= rentity rstring iter
+rentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | TABTOKEN | SELECTED
+rstring      ::= STRING
+move_arg     ::= mentity mpos iter
+mentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | SELECTED
+mpos         ::= START | END | POSITION | mpos_rel
+mpos_rel     ::= BEFORE mpentity | AFTER mpentity
+mpentity     ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN | SENTENCETOKEN
+copy_arg     ::= centity cpos iter
+centity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | SELECTED
+cpos         ::= START | END | POSITION | cpos_rel
+cpos_rel     ::= BEFORE cpentity | AFTER cpentity
+cpentity     ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN | SENTENCETOKEN
+print_arg    ::= prentity iter
+prentity     ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | PARATOKEN | EMPTYTOKEN | SELECTED
+select_arg   ::= sentity iter
+sentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | PARATOKEN | EMPTYTOKEN
+merge_arg    ::= mgscope iter
+mgscope      ::= LINESCOPE | WORDSCOPE | SENTENCESCOPE | PARASCOPE | SELECTSCOPE
+split_arg    ::= spscope sppos iter
+spscope      ::= LINESCOPE | WORDSCOPE | SENTENCESCOPE | PARASCOPE | SELECTSCOPE
+sppos        ::= POSITION | sppos_rel
+sppos_rel    ::= BEFORE sppentity | AFTER sppentity
+sppentity    ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN
+clear_arg    ::= clscope iter
+clscope      ::= LINESCOPE | DOCSCOPE | WORDSCOPE | SENTENCESCOPE | PARASCOPE
+               | SELECTSCOPE | CHARSCOPE
+case_arg     ::= caentity iter
+caentity     ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+               | SENTENCETOKEN | PARATOKEN | SELECTED
+iter         ::= IterationScope iter_arg
+iter_arg     ::= itscope cond
+itscope      ::= LINESCOPE | DOCSCOPE | WORDSCOPE | SENTENCESCOPE | PARASCOPE
+               | SELECTSCOPE | CHARSCOPE
+cond         ::= BConditionOccurrence cond_arg
+cond_arg     ::= bcond occ
+bcond        ::= CONTAINS bentity | STARTSWITH bentity | ENDSWITH bentity
+               | EQUALS bentity | MATCHES nstring | NOT nbcond
+bentity      ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | EMPTYTOKEN | TABTOKEN
+nbcond       ::= CONTAINS nbentity | STARTSWITH nbentity | ENDSWITH nbentity
+               | EQUALS nbentity
+nbentity     ::= STRING | WORDTOKEN | NUMBERTOKEN | CHARTOKEN | EMPTYTOKEN | TABTOKEN
+nstring      ::= STRING
+occ          ::= ALL | FIRST | LAST | NTH | EVERYOTHER
+"#;
+
+/// The API documentation of the TextEditing DSL (52 APIs).
+pub fn docs() -> Vec<ApiDoc> {
+    vec![
+        // Commands (16).
+        ApiDoc::new("INSERT", &["insert"], "inserts a string at a position in the iteration scope", 0),
+        ApiDoc::new("DELETE", &["delete"], "deletes the entity in the iteration scope", 0),
+        ApiDoc::new("REPLACE", &["replace"], "replaces the entity with a string", 0),
+        ApiDoc::new("MOVE", &["move"], "moves the entity to a position", 0),
+        ApiDoc::new("COPY", &["copy"], "copies the entity to a position", 0),
+        ApiDoc::new("PRINT", &["print"], "prints the entity", 0),
+        ApiDoc::new("SELECT", &["select"], "selects the entity", 0),
+        ApiDoc::new("MERGE", &["merge", "join"], "merges the scope units together", 0),
+        ApiDoc::new("SPLIT", &["split"], "splits the scope units at a position", 0),
+        ApiDoc::new("CLEAR", &["clear"], "clears the scope contents", 0),
+        ApiDoc::new("UPPERCASE", &["uppercase"], "turns the entity into upper case", 0),
+        ApiDoc::new("LOWERCASE", &["lowercase"], "turns the entity into lower case", 0),
+        ApiDoc::new("CAPITALIZE", &["capitalize"], "capitalizes the entity", 0),
+        ApiDoc::new("REVERSE", &["reverse"], "reverses the entity", 0),
+        ApiDoc::new("INDENT", &["indent"], "indents the entity", 0),
+        ApiDoc::new("TRIM", &["trim"], "trims whitespace around the entity", 0),
+        // Entities (10).
+        ApiDoc::new("STRING", &["string"], "a string constant written by the user", 1),
+        ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
+        ApiDoc::new("NUMBERTOKEN", &["number", "numeral", "digit"], "a number token", 0),
+        ApiDoc::new("CHARTOKEN", &["character"], "a character token", 0),
+        ApiDoc::new("LINETOKEN", &["line"], "a whole line token", 0),
+        ApiDoc::new("SENTENCETOKEN", &["sentence"], "a sentence token", 0),
+        ApiDoc::new("PARATOKEN", &["paragraph"], "a paragraph token", 0),
+        ApiDoc::new("EMPTYTOKEN", &["empty", "blank"], "an empty entity", 0),
+        ApiDoc::new("TABTOKEN", &["tab"], "a tab character token", 0),
+        ApiDoc::new("SELECTED", &["selection", "selected"], "the current selection", 0),
+        // Positions (6).
+        ApiDoc::new("START", &["start", "beginning"], "the start of the scope unit", 0),
+        ApiDoc::new("END", &["end"], "the end of the scope unit", 0),
+        ApiDoc::new("POSITION", &["position", "character", "offset"], "a position given as a count of characters", 1),
+        ApiDoc::new("BEFORE", &["before"], "the position right before an entity", 0),
+        ApiDoc::new("AFTER", &["after"], "the position right after an entity", 0),
+        ApiDoc::new("BETWEEN", &["between"], "the position between two entities", 0),
+        // Scopes (7).
+        ApiDoc::new("LINESCOPE", &["line", "scope"], "iterate over the lines of the document", 0),
+        ApiDoc::new("DOCSCOPE", &["document", "file", "scope"], "the whole document", 0),
+        ApiDoc::new("WORDSCOPE", &["word", "scope"], "iterate over words", 0),
+        ApiDoc::new("SENTENCESCOPE", &["sentence", "scope"], "iterate over sentences", 0),
+        ApiDoc::new("PARASCOPE", &["paragraph", "scope"], "iterate over paragraphs", 0),
+        ApiDoc::new("SELECTSCOPE", &["selection", "scope"], "iterate over the selection", 0),
+        ApiDoc::new("CHARSCOPE", &["character", "scope"], "iterate over characters", 0),
+        // Iteration & condition (13).
+        ApiDoc::new("IterationScope", &["iteration", "scope"], "applies the command over a scope with a condition", 0),
+        ApiDoc::new("BConditionOccurrence", &["condition", "occurrence"], "filters scope units by a boolean condition and occurrence selector", 0),
+        ApiDoc::new("CONTAINS", &["contain", "containing"], "true when the scope unit contains the entity", 0),
+        ApiDoc::new("STARTSWITH", &["start", "with"], "true when the scope unit starts with the entity", 0),
+        ApiDoc::new("ENDSWITH", &["end", "with"], "true when the scope unit ends with the entity", 0),
+        ApiDoc::new("EQUALS", &["equal"], "true when the scope unit equals the entity", 0),
+        ApiDoc::new("MATCHES", &["match", "pattern"], "true when the scope unit matches the pattern string", 0),
+        ApiDoc::new("NOT", &["not", "without"], "negates a condition", 0),
+        ApiDoc::new("ALL", &["all", "every", "each"], "all occurrences", 0),
+        ApiDoc::new("FIRST", &["first"], "the first occurrence", 0),
+        ApiDoc::new("LAST", &["last"], "the last occurrence", 0),
+        ApiDoc::new("NTH", &["nth"], "the n-th occurrence given as a number", 1),
+        ApiDoc::new("EVERYOTHER", &["other", "alternate"], "every other occurrence", 0),
+    ]
+}
+
+/// Builds the TextEditing domain.
+///
+/// # Errors
+///
+/// Propagates grammar or domain-validation failures (none are expected for
+/// the embedded definitions).
+pub fn domain() -> Result<Domain, SynthesisError> {
+    let graph = GrammarGraph::parse(BNF).map_err(|e| SynthesisError::InvalidDomain {
+        message: format!("textedit grammar: {e}"),
+    })?;
+    Domain::builder("TextEditing")
+        .graph(graph)
+        .docs(docs())
+        .literal_api("STRING")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_parses() {
+        let g = GrammarGraph::parse(BNF).unwrap();
+        assert!(g.api_node("INSERT").is_some());
+        assert!(g.api_node("IterationScope").is_some());
+    }
+
+    #[test]
+    fn has_52_apis() {
+        assert_eq!(docs().len(), 52);
+        let g = GrammarGraph::parse(BNF).unwrap();
+        assert_eq!(g.api_nodes().len(), 52);
+    }
+
+    #[test]
+    fn every_grammar_api_documented() {
+        let g = GrammarGraph::parse(BNF).unwrap();
+        let documented: Vec<String> = docs().into_iter().map(|d| d.name).collect();
+        for (name, _) in g.api_nodes() {
+            assert!(documented.contains(name), "undocumented API {name}");
+        }
+    }
+
+    #[test]
+    fn domain_builds() {
+        let d = domain().unwrap();
+        assert_eq!(d.name(), "TextEditing");
+        assert_eq!(d.api_count(), 52);
+        assert_eq!(d.literal_api(), Some("STRING"));
+    }
+
+    #[test]
+    fn insert_reaches_condition_subgrammar() {
+        let d = domain().unwrap();
+        let g = d.graph();
+        let insert = g.api_node("INSERT").unwrap();
+        for api in ["STRING", "START", "LINESCOPE", "CONTAINS", "NUMBERTOKEN", "ALL"] {
+            let node = g.api_node(api).unwrap();
+            assert!(g.is_api_descendant(insert, node), "INSERT should reach {api}");
+        }
+    }
+
+    #[test]
+    fn contains_does_not_reach_occurrences() {
+        // occ is a sibling of bcond — exactly the structure that creates
+        // orphans for "every" in "every line containing numbers".
+        let d = domain().unwrap();
+        let g = d.graph();
+        let contains = g.api_node("CONTAINS").unwrap();
+        let all = g.api_node("ALL").unwrap();
+        assert!(!g.is_api_descendant(contains, all));
+    }
+}

@@ -1,0 +1,478 @@
+//! The 200-query TextEditing corpus.
+//!
+//! The original corpus of Desai et al. is not public; this corpus is
+//! authored from parameterized realistic templates that preserve the
+//! paper-relevant distribution: dependency depth 1-4, sibling fan-out up
+//! to 4, ambiguous words with several candidate APIs, and constructions
+//! that trip the dependency parser into producing orphans.
+
+use crate::QueryCase;
+
+/// The corpus: 200 query/ground-truth pairs.
+pub fn queries() -> Vec<QueryCase> {
+    let mut cases = Vec::new();
+    let mut push = |query: String, truth: String| {
+        let id = cases.len();
+        cases.push(QueryCase { id, query, ground_truth: truth });
+    };
+
+    // ---- Family 1: plain inserts at start/end (literal × position ×
+    // scope unit). Depth 2-3.
+    for (lit, pos_word, pos_api) in [
+        (":", "start", "START"),
+        ("-", "start", "START"),
+        ("#", "start", "START"),
+        (">", "start", "START"),
+        (";", "end", "END"),
+        (".", "end", "END"),
+        ("!", "end", "END"),
+        ("::", "end", "END"),
+    ] {
+        for (unit_word, unit_api) in [("line", "LINESCOPE"), ("sentence", "SENTENCESCOPE"), ("paragraph", "PARASCOPE")] {
+            push(
+                format!("insert \"{lit}\" at the {pos_word} of each {unit_word}"),
+                format!(
+                    "INSERT(STRING({lit}), {pos_api}(), IterationScope({unit_api}(), BConditionOccurrence(ALL())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 2: append/add with a containment condition. Depth 3-4,
+    // orphan-heavy ("every" and the gerund relocate).
+    for (verb, lit) in [("append", ":"), ("add", "*"), ("insert", "-"), ("append", ";")] {
+        for (ent_word, ent_api) in [
+            ("numerals", "NUMBERTOKEN"),
+            ("numbers", "NUMBERTOKEN"),
+            ("tabs", "TABTOKEN"),
+        ] {
+            push(
+                format!("{verb} \"{lit}\" in every line containing {ent_word}"),
+                format!(
+                    "INSERT(STRING({lit}), IterationScope(LINESCOPE(), BConditionOccurrence(CONTAINS({ent_api}()), ALL())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 3: deletes over entities with quantifiers. Depth 2.
+    for (ent_word, ent_api) in [
+        ("word", "WORDTOKEN"),
+        ("number", "NUMBERTOKEN"),
+        ("character", "CHARTOKEN"),
+        ("line", "LINETOKEN"),
+        ("sentence", "SENTENCETOKEN"),
+        ("paragraph", "PARATOKEN"),
+        ("tab", "TABTOKEN"),
+    ] {
+        push(
+            format!("delete every {ent_word}"),
+            format!("DELETE({ent_api}(), IterationScope(BConditionOccurrence(ALL())))"),
+        );
+        push(
+            format!("delete the first {ent_word}"),
+            format!("DELETE({ent_api}(), IterationScope(BConditionOccurrence(FIRST())))"),
+        );
+        push(
+            format!("delete the last {ent_word}"),
+            format!("DELETE({ent_api}(), IterationScope(BConditionOccurrence(LAST())))"),
+        );
+    }
+
+    // ---- Family 4: delete lines with a condition. Depth 3-4.
+    for (cond_word, cond_api) in [("containing", "CONTAINS"), ("starting with", "STARTSWITH"), ("ending with", "ENDSWITH")] {
+        for (lit, _) in [("#", ""), ("//", ""), ("TODO", "")] {
+            push(
+                format!("delete every line {cond_word} \"{lit}\""),
+                format!(
+                    "DELETE(LINETOKEN(), IterationScope(BConditionOccurrence({cond_api}(STRING({lit})), ALL())))"
+                ),
+            );
+        }
+    }
+    push(
+        "delete all empty lines".to_string(),
+        // The minimal reading: the empty entity deleted over lines.
+        "DELETE(EMPTYTOKEN(), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))".to_string(),
+    );
+
+    // ---- Family 5: replaces. Depth 2-3, two literals.
+    for (a, b) in [
+        ("foo", "bar"),
+        (";", ","),
+        ("\t", " "),
+        ("colour", "color"),
+        ("--", "-"),
+    ] {
+        push(
+            format!("replace \"{a}\" with \"{b}\" in every line"),
+            format!(
+                "REPLACE(STRING({a}), STRING({b}), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"
+            ),
+        );
+        push(
+            format!("replace every \"{a}\" with \"{b}\""),
+            format!("REPLACE(STRING({a}), STRING({b}), IterationScope(BConditionOccurrence(ALL())))"),
+        );
+    }
+
+    // ---- Family 6: conditional insert with character positions. Depth 4.
+    for (lit, n) in [(":", 14), ("-", 3), (";", 7), ("#", 1)] {
+        push(
+            format!("if a sentence starts with \"-\", add \"{lit}\" after {n} characters"),
+            format!(
+                "INSERT(STRING({lit}), POSITION({n}), IterationScope(SENTENCESCOPE(), BConditionOccurrence(STARTSWITH(STRING(-)))))"
+            ),
+        );
+    }
+
+    // ---- Family 7: moves and copies. Depth 3.
+    for (verb, api) in [("move", "MOVE"), ("copy", "COPY")] {
+        for (ent_word, ent_api) in [("word", "WORDTOKEN"), ("sentence", "SENTENCETOKEN"), ("line", "LINETOKEN")] {
+            push(
+                format!("{verb} the first {ent_word} to the end of the line"),
+                format!(
+                    "{api}({ent_api}(), END(), IterationScope(LINESCOPE(), BConditionOccurrence(FIRST())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 8: print/select with conditions. Depth 3.
+    for (verb, api) in [("print", "PRINT"), ("select", "SELECT")] {
+        for (ent_word, ent_api, cond_lit) in [
+            ("line", "LINETOKEN", "error"),
+            ("sentence", "SENTENCETOKEN", "?"),
+            ("word", "WORDTOKEN", "re"),
+        ] {
+            push(
+                format!("{verb} every {ent_word} containing \"{cond_lit}\""),
+                format!(
+                    "{api}({ent_api}(), IterationScope(BConditionOccurrence(CONTAINS(STRING({cond_lit})), ALL())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 9: case transforms. Depth 2.
+    for (verb, api) in [
+        ("uppercase", "UPPERCASE"),
+        ("lowercase", "LOWERCASE"),
+        ("capitalize", "CAPITALIZE"),
+        ("reverse", "REVERSE"),
+        ("indent", "INDENT"),
+        ("trim", "TRIM"),
+    ] {
+        push(
+            format!("{verb} every word"),
+            format!("{api}(WORDTOKEN(), IterationScope(BConditionOccurrence(ALL())))"),
+        );
+        push(
+            format!("{verb} the first sentence"),
+            format!("{api}(SENTENCETOKEN(), IterationScope(BConditionOccurrence(FIRST())))"),
+        );
+    }
+
+    // ---- Family 10: merge/split/clear on scopes. Depth 2.
+    for (scope_word, scope_api) in [("lines", "LINESCOPE"), ("sentences", "SENTENCESCOPE"), ("paragraphs", "PARASCOPE")] {
+        push(
+            format!("merge all {scope_word}"),
+            format!("MERGE({scope_api}(), IterationScope(BConditionOccurrence(ALL())))"),
+        );
+    }
+    push(
+        "clear the document".to_string(),
+        "CLEAR(DOCSCOPE())".to_string(),
+    );
+    push(
+        "clear every line".to_string(),
+        "CLEAR(LINESCOPE(), IterationScope(BConditionOccurrence(ALL())))".to_string(),
+    );
+
+    // ---- Family 11: inserts before/after entities. Depth 3-4.
+    for (lit, rel_word, rel_api) in [
+        (":", "before", "BEFORE"),
+        ("-", "before", "BEFORE"),
+        (";", "after", "AFTER"),
+        (",", "after", "AFTER"),
+    ] {
+        for (ent_word, ent_api) in [("word", "WORDTOKEN"), ("number", "NUMBERTOKEN")] {
+            push(
+                format!("insert \"{lit}\" {rel_word} each {ent_word}"),
+                format!(
+                    "INSERT(STRING({lit}), {rel_api}({ent_api}()), IterationScope(BConditionOccurrence(ALL())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 12: deletes restricted to a scope. Depth 3.
+    for (ent_word, ent_api) in [("word", "WORDTOKEN"), ("number", "NUMBERTOKEN"), ("tab", "TABTOKEN")] {
+        for (scope_word, scope_api) in [("line", "LINESCOPE"), ("sentence", "SENTENCESCOPE")] {
+            push(
+                format!("delete the first {ent_word} of every {scope_word}"),
+                format!(
+                    "DELETE({ent_api}(), IterationScope({scope_api}(), BConditionOccurrence(FIRST())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 13: lines that start/end with. Depth 4, relative-clause
+    // parses.
+    for (lit, cond_word, cond_api) in [
+        ("#", "starts with", "STARTSWITH"),
+        (">", "starts with", "STARTSWITH"),
+        (".", "ends with", "ENDSWITH"),
+        (";", "ends with", "ENDSWITH"),
+    ] {
+        push(
+            format!("delete every line which {cond_word} \"{lit}\""),
+            format!(
+                "DELETE(LINETOKEN(), IterationScope(BConditionOccurrence({cond_api}(STRING({lit})), ALL())))"
+            ),
+        );
+        push(
+            format!("print every line which {cond_word} \"{lit}\""),
+            format!(
+                "PRINT(LINETOKEN(), IterationScope(BConditionOccurrence({cond_api}(STRING({lit})), ALL())))"
+            ),
+        );
+    }
+
+    // ---- Family 14: complex conditional edits — deep dependency graphs
+    // with high sibling fan-out, the HISyn worst case (Table III shape).
+    for (lit, n, scope_word, scope_api) in [
+        (":", 14, "sentence", "SENTENCESCOPE"),
+        ("-", 5, "line", "LINESCOPE"),
+        ("#", 2, "paragraph", "PARASCOPE"),
+        (";", 9, "sentence", "SENTENCESCOPE"),
+    ] {
+        push(
+            format!(
+                "if a {scope_word} starts with \"{lit}\", insert \"{lit}\" after {n} characters of every {scope_word}"
+            ),
+            format!(
+                "INSERT(STRING({lit}), POSITION({n}), IterationScope({scope_api}(), BConditionOccurrence(STARTSWITH(STRING({lit})), ALL())))"
+            ),
+        );
+    }
+    for (a, b, ent_word, ent_api) in [
+        ("foo", "bar", "numbers", "NUMBERTOKEN"),
+        ("--", "-", "tabs", "TABTOKEN"),
+        (";;", ";", "numerals", "NUMBERTOKEN"),
+    ] {
+        push(
+            format!("replace \"{a}\" with \"{b}\" in every line containing {ent_word}"),
+            format!(
+                "REPLACE(STRING({a}), STRING({b}), IterationScope(LINESCOPE(), BConditionOccurrence(CONTAINS({ent_api}()), ALL())))"
+            ),
+        );
+        push(
+            format!("replace every \"{a}\" with \"{b}\" in each sentence containing {ent_word}"),
+            format!(
+                "REPLACE(STRING({a}), STRING({b}), IterationScope(SENTENCESCOPE(), BConditionOccurrence(CONTAINS({ent_api}()), ALL())))"
+            ),
+        );
+    }
+
+    // ---- Family 15: quantified case transforms over scopes with
+    // conditions — orphan-heavy.
+    for (verb, api) in [("uppercase", "UPPERCASE"), ("lowercase", "LOWERCASE"), ("capitalize", "CAPITALIZE")] {
+        for (ent_word, ent_api, lit) in [
+            ("word", "WORDTOKEN", "todo"),
+            ("sentence", "SENTENCETOKEN", "!"),
+        ] {
+            push(
+                format!("{verb} every {ent_word} containing \"{lit}\""),
+                format!(
+                    "{api}({ent_api}(), IterationScope(BConditionOccurrence(CONTAINS(STRING({lit})), ALL())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 16: moves/copies with before/after anchors. Depth 4.
+    for (verb, api) in [("move", "MOVE"), ("copy", "COPY")] {
+        for (lit, rel_word, rel_api) in [("#", "before", "BEFORE"), (";", "after", "AFTER")] {
+            push(
+                format!("{verb} the first word {rel_word} \"{lit}\""),
+                format!(
+                    "{api}(WORDTOKEN(), {rel_api}(STRING({lit})), IterationScope(BConditionOccurrence(FIRST())))"
+                ),
+            );
+        }
+    }
+
+    // ---- Family 17: prints and selections of specific occurrences.
+    for (verb, api) in [("print", "PRINT"), ("select", "SELECT")] {
+        for (ord_word, ord_api) in [("first", "FIRST"), ("last", "LAST")] {
+            for (ent_word, ent_api) in [("line", "LINETOKEN"), ("paragraph", "PARATOKEN")] {
+                push(
+                    format!("{verb} the {ord_word} {ent_word}"),
+                    format!(
+                        "{api}({ent_api}(), IterationScope(BConditionOccurrence({ord_api}())))"
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- Family 18: deletions with equality / emptiness conditions.
+    for (lit, unit_word) in [("x", "line"), ("0", "line"), ("end", "sentence")] {
+        push(
+            format!("delete every {unit_word} which equals \"{lit}\""),
+            format!(
+                "DELETE({}(), IterationScope(BConditionOccurrence(EQUALS(STRING({lit})), ALL())))",
+                if unit_word == "line" { "LINETOKEN" } else { "SENTENCETOKEN" }
+            ),
+        );
+    }
+    for (verb, api) in [("trim", "TRIM"), ("indent", "INDENT"), ("reverse", "REVERSE")] {
+        push(
+            format!("{verb} every line containing tabs"),
+            format!(
+                "{api}(LINETOKEN(), IterationScope(BConditionOccurrence(CONTAINS(TABTOKEN()), ALL())))"
+            ),
+        );
+    }
+
+    // ---- Family 19: inserts with literal anchors. Two literals + deep
+    // iteration — wide sibling groups under the verb.
+    for (lit, anchor) in [(":", "::"), ("-", "="), (";", ".")] {
+        push(
+            format!("insert \"{lit}\" before \"{anchor}\" in every line"),
+            format!(
+                "INSERT(STRING({lit}), BEFORE(STRING({anchor})), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"
+            ),
+        );
+        push(
+            format!("insert \"{lit}\" after \"{anchor}\" in each sentence"),
+            format!(
+                "INSERT(STRING({lit}), AFTER(STRING({anchor})), IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"
+            ),
+        );
+    }
+
+    // ---- Family 20: split/merge/clear refinements.
+    for (scope_word, scope_api) in [("lines", "LINESCOPE"), ("sentences", "SENTENCESCOPE")] {
+        push(
+            format!("split every {} at \"{}\"", scope_word.trim_end_matches('s'), ","),
+            format!(
+                "SPLIT({scope_api}(), AFTER(STRING(,)), IterationScope(BConditionOccurrence(ALL())))"
+            ),
+        );
+    }
+    push(
+        "clear every paragraph containing \"DRAFT\"".to_string(),
+        "CLEAR(PARASCOPE(), IterationScope(BConditionOccurrence(CONTAINS(STRING(DRAFT)), ALL())))"
+            .to_string(),
+    );
+    push(
+        "merge every paragraph containing \"cont\"".to_string(),
+        "MERGE(PARASCOPE(), IterationScope(BConditionOccurrence(CONTAINS(STRING(cont)), ALL())))"
+            .to_string(),
+    );
+
+    // ---- Family 21: selections of the whole document / selection scope.
+    push(
+        "uppercase the selection".to_string(),
+        "UPPERCASE(SELECTED())".to_string(),
+    );
+    push(
+        "delete the selection".to_string(),
+        "DELETE(SELECTED())".to_string(),
+    );
+    push(
+        "lowercase the selection".to_string(),
+        "LOWERCASE(SELECTED())".to_string(),
+    );
+
+    // ---- Family 23: prepend/append synonym phrasings — the synonym
+    // lexicon maps them all to INSERT.
+    for (verb, lit) in [("prepend", "*"), ("prepend", ">"), ("add", "|"), ("put", "~")] {
+        for (unit_word, unit_api) in [("line", "LINESCOPE"), ("paragraph", "PARASCOPE")] {
+            push(
+                format!("{verb} \"{lit}\" at the start of every {unit_word}"),
+                format!(
+                    "INSERT(STRING({lit}), START(), IterationScope({unit_api}(), BConditionOccurrence(ALL())))"
+                ),
+            );
+        }
+    }
+    for (ent_word, ent_api) in [
+        ("word", "WORDTOKEN"),
+        ("number", "NUMBERTOKEN"),
+        ("character", "CHARTOKEN"),
+        ("tab", "TABTOKEN"),
+    ] {
+        push(
+            format!("remove every {ent_word}"),
+            format!("DELETE({ent_api}(), IterationScope(BConditionOccurrence(ALL())))"),
+        );
+        push(
+            format!("erase the last {ent_word}"),
+            format!("DELETE({ent_api}(), IterationScope(BConditionOccurrence(LAST())))"),
+        );
+    }
+    for (verb, api, lit) in [
+        ("print", "PRINT", "warn"),
+        ("select", "SELECT", "fix"),
+        ("delete", "DELETE", "tmp"),
+    ] {
+        push(
+            format!("{verb} every sentence which contains \"{lit}\""),
+            format!(
+                "{api}(SENTENCETOKEN(), IterationScope(BConditionOccurrence(CONTAINS(STRING({lit})), ALL())))"
+            ),
+        );
+    }
+
+    // ---- Family 22: counting-style deletes at numbered positions.
+    for (n, unit_word, unit_api) in [(3, "line", "LINESCOPE"), (5, "sentence", "SENTENCESCOPE")] {
+        push(
+            format!("split every {unit_word} after {n} characters"),
+            format!(
+                "SPLIT({unit_api}(), POSITION({n}), IterationScope(BConditionOccurrence(ALL())))"
+            ),
+        );
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_large_and_unique() {
+        let qs = queries();
+        assert!(qs.len() >= 150, "only {} queries", qs.len());
+        let mut texts: Vec<&str> = qs.iter().map(|q| q.query.as_str()).collect();
+        texts.sort();
+        let n = texts.len();
+        texts.dedup();
+        assert_eq!(n, texts.len(), "duplicate queries in corpus");
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        for (i, q) in queries().iter().enumerate() {
+            assert_eq!(q.id, i);
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_wellformed() {
+        for q in queries() {
+            let gt = &q.ground_truth;
+            assert_eq!(
+                gt.matches('(').count(),
+                gt.matches(')').count(),
+                "unbalanced parens in {gt}"
+            );
+            assert!(!gt.trim().is_empty());
+        }
+    }
+}

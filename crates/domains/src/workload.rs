@@ -1,0 +1,257 @@
+//! Synthetic workload generator for complexity studies (§VI).
+//!
+//! The paper's complexity claim — HISyn is `O(Π_l p_l^{e_l})`, DGGT is
+//! `O(Σ_l p_l^{e_l})` — is a function of three parameters: dependency
+//! depth, sibling fan-out per level, and candidate paths per edge. This
+//! generator builds a synthetic grammar and matching query graphs where all
+//! three are dialable, so benchmarks can sweep them independently of the
+//! NLP front end.
+//!
+//! The grammar shape: a root command `ROOT` with `fanout` argument slots;
+//! each slot accepts one of `paths_per_edge` alternative wrapper chains
+//! that end in a per-slot leaf API; wrappers nest `depth` levels. Every
+//! wrapper alternative produces a distinct grammar path for the same
+//! dependency edge, so each edge has exactly `paths_per_edge` candidates.
+
+use nlquery_core::{Domain, QueryEdge, QueryGraph, QueryNode, SynthesisError, WordToApi};
+use nlquery_grammar::GrammarGraph;
+use nlquery_nlp::{ApiCandidate, ApiDoc, DepRel, Pos};
+
+/// Parameters of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Dependency-tree depth (number of levels below the root).
+    pub depth: usize,
+    /// Children per internal dependency node.
+    pub fanout: usize,
+    /// Candidate grammar paths per dependency edge.
+    pub paths_per_edge: usize,
+}
+
+impl WorkloadSpec {
+    /// Theoretical HISyn combination count `Π_l p^{e_l}`.
+    pub fn combination_count(&self) -> f64 {
+        let mut total = 1f64;
+        let mut edges_at_level = self.fanout as f64;
+        for _ in 0..self.depth {
+            total *= (self.paths_per_edge as f64).powf(edges_at_level);
+            edges_at_level *= self.fanout as f64;
+        }
+        total
+    }
+}
+
+/// A generated workload: domain plus a ready-made query graph and
+/// WordToAPI map (the synthetic workload bypasses the NLP front end — the
+/// complexity experiment isolates step 5).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The synthetic domain.
+    pub domain: Domain,
+    /// The query graph with the requested shape.
+    pub query: QueryGraph,
+    /// Candidates: one API per node (path multiplicity comes from wrapper
+    /// alternatives in the grammar).
+    pub w2a: WordToApi,
+}
+
+/// Generates a synthetic workload.
+///
+/// # Errors
+///
+/// Propagates domain-construction failures (not expected for generated
+/// definitions).
+///
+/// # Panics
+///
+/// Panics if any parameter is zero or the shape exceeds 10 000 dependency
+/// nodes.
+pub fn generate(spec: WorkloadSpec) -> Result<Workload, SynthesisError> {
+    assert!(
+        spec.depth >= 1 && spec.fanout >= 1 && spec.paths_per_edge >= 1,
+        "workload parameters must be positive"
+    );
+
+    // --- Dependency tree nodes, breadth-first.
+    let mut nodes = vec![QueryNode {
+        id: 0,
+        words: vec!["root".to_string()],
+        pos: Pos::Verb,
+        literal: None,
+    }];
+    let mut edges = Vec::new();
+    let mut frontier = vec![0usize];
+    for _level in 0..spec.depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..spec.fanout {
+                let id = nodes.len();
+                assert!(id < 10_000, "workload too large");
+                nodes.push(QueryNode {
+                    id,
+                    words: vec![format!("w{id}")],
+                    pos: Pos::Noun,
+                    literal: None,
+                });
+                edges.push(QueryEdge {
+                    gov: parent,
+                    dep: id,
+                    rel: DepRel::Obj,
+                });
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+
+    // --- Grammar. Each node i gets API `A{i}`; an edge parent->child is
+    // realized by `paths_per_edge` wrapper alternatives:
+    //   slot_{i} ::= W{i}_0 leaf_{i} | W{i}_1 leaf_{i} | ...   (or-choices)
+    //   leaf_{i} ::= A{i} args_{i}
+    // where args_{i} lists the child slots of node i.
+    let mut bnf = String::new();
+    let mut docs: Vec<ApiDoc> = Vec::new();
+    use std::fmt::Write as _;
+
+    let children_of = |i: usize| -> Vec<usize> {
+        edges
+            .iter()
+            .filter(|e| e.gov == i)
+            .map(|e| e.dep)
+            .collect::<Vec<_>>()
+    };
+
+    let _ = writeln!(bnf, "top ::= node_0");
+    for i in 0..nodes.len() {
+        let kids = children_of(i);
+        let slots: String = kids
+            .iter()
+            .map(|k| format!(" slot_{k}"))
+            .collect::<Vec<_>>()
+            .join("");
+        let _ = writeln!(bnf, "node_{i} ::= A{i}{slots}");
+        docs.push(ApiDoc::new(
+            &format!("A{i}"),
+            &[&format!("w{i}")],
+            "synthetic api",
+            0,
+        ));
+        for &k in &kids {
+            let alts: Vec<String> = (0..spec.paths_per_edge)
+                .map(|p| format!("W{k}x{p} node_{k}"))
+                .collect();
+            let _ = writeln!(bnf, "slot_{k} ::= {}", alts.join(" | "));
+            for p in 0..spec.paths_per_edge {
+                docs.push(ApiDoc::new(
+                    &format!("W{k}x{p}"),
+                    &[&format!("wrap{k}x{p}")],
+                    "synthetic wrapper",
+                    0,
+                ));
+            }
+        }
+    }
+    // Root word keyword fix-up: node 0's keyword is "root"… keep "w0" too.
+    docs[0] = ApiDoc::new("A0", &["root", "w0"], "synthetic root api", 0);
+
+    let graph = GrammarGraph::parse(&bnf).map_err(|e| SynthesisError::InvalidDomain {
+        message: format!("workload grammar: {e}"),
+    })?;
+    let domain = Domain::builder("synthetic").graph(graph).docs(docs).build()?;
+
+    let w2a = WordToApi {
+        candidates: (0..nodes.len())
+            .map(|i| {
+                vec![ApiCandidate {
+                    api: format!("A{i}"),
+                    score: 1.0,
+                }]
+            })
+            .collect(),
+    };
+
+    Ok(Workload {
+        domain,
+        query: QueryGraph {
+            nodes,
+            edges,
+            root: Some(0),
+        },
+        w2a,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_core::{edge2path, SynthesisConfig};
+    use nlquery_grammar::SearchLimits;
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 3 };
+        let w = generate(spec).unwrap();
+        // 1 + 2 + 4 nodes.
+        assert_eq!(w.query.nodes.len(), 7);
+        assert_eq!(w.query.edges.len(), 6);
+        assert_eq!(w.query.levels().len(), 3);
+    }
+
+    #[test]
+    fn paths_per_edge_realized() {
+        let spec = WorkloadSpec { depth: 1, fanout: 2, paths_per_edge: 4 };
+        let w = generate(spec).unwrap();
+        let map = edge2path::compute(
+            &w.query,
+            &w.w2a,
+            &w.domain,
+            SearchLimits::default(),
+        );
+        // Root edge + 2 real edges.
+        assert_eq!(map.edges.len(), 3);
+        for e in &map.edges[1..] {
+            assert_eq!(e.paths.len(), 4, "edge {e:?}");
+        }
+        assert!(map.orphans.is_empty());
+    }
+
+    #[test]
+    fn combination_count_formula() {
+        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 2 };
+        // Level 1: 2 edges → 2^2; level 2: 4 edges → 2^4; total 2^6 = 64.
+        assert_eq!(spec.combination_count(), 64.0);
+    }
+
+    #[test]
+    fn dggt_solves_generated_workload() {
+        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 3 };
+        let w = generate(spec).unwrap();
+        let map = edge2path::compute(
+            &w.query,
+            &w.w2a,
+            &w.domain,
+            SearchLimits::default(),
+        );
+        let deadline = nlquery_core::Deadline::new(std::time::Duration::from_secs(10));
+        let mut stats = nlquery_core::SynthesisStats::default();
+        let best = nlquery_core::dggt::synthesize(
+            &w.domain,
+            &w.query,
+            &w.w2a,
+            &map,
+            &SynthesisConfig::default(),
+            &deadline,
+            &mut stats,
+        )
+        .unwrap()
+        .expect("solvable");
+        // APIs: 7 node APIs + 6 wrappers (one per edge).
+        assert_eq!(best.size, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parameters_rejected() {
+        let _ = generate(WorkloadSpec { depth: 0, fanout: 1, paths_per_edge: 1 });
+    }
+}

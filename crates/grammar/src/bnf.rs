@@ -1,0 +1,334 @@
+//! A small Backus-Naur-form front end.
+//!
+//! The DGGT paper takes the context-free grammar of the target domain
+//! "written in Backus-Naur form (BNF) and converted to a directed graph".
+//! This module is that front end: it parses a plain-text BNF dialect into a
+//! [`Grammar`] value that [`crate::GrammarGraph::from_grammar`] consumes.
+//!
+//! # Dialect
+//!
+//! ```text
+//! rule_name ::= SYMBOL other_rule | ALTERNATIVE
+//! ```
+//!
+//! * One rule per line; blank lines and `#`-comments are ignored.
+//! * A line may be continued by indenting the continuation with `|`.
+//! * Identifiers made of lowercase letters, digits and `_` are
+//!   **non-terminals**; everything else (contains an uppercase letter) is a
+//!   **terminal/API symbol**.
+//! * The left-hand side of the first rule is the start symbol.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::GrammarError;
+
+/// A grammar symbol: either a reference to a non-terminal rule or a
+/// terminal API name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// Reference to another rule by name.
+    NonTerminal(String),
+    /// A terminal symbol naming a DSL API (e.g. `INSERT`, `callExpr`).
+    Api(String),
+}
+
+impl Symbol {
+    /// The symbol's name regardless of kind.
+    pub fn name(&self) -> &str {
+        match self {
+            Symbol::NonTerminal(n) | Symbol::Api(n) => n,
+        }
+    }
+
+    /// Whether the symbol is a terminal API.
+    pub fn is_api(&self) -> bool {
+        matches!(self, Symbol::Api(_))
+    }
+}
+
+/// One alternative (a full right-hand side) of a production rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alternative {
+    /// The ordered symbols concatenated by this alternative.
+    pub symbols: Vec<Symbol>,
+}
+
+/// A production rule: a non-terminal and its alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Non-terminal name on the left-hand side.
+    pub name: String,
+    /// The alternatives separated by `|` in the BNF source.
+    pub alternatives: Vec<Alternative>,
+}
+
+/// A parsed context-free grammar.
+///
+/// The first rule's left-hand side is the start symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    rules: Vec<Rule>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl Grammar {
+    /// Parses BNF text into a grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError`] when the text is syntactically malformed,
+    /// defines a rule twice, contains an empty alternative, or contains no
+    /// rules at all. A lowercase identifier with no defining rule is a
+    /// *terminal* (clang matcher names like `decl` are all-lowercase).
+    pub fn parse(text: &str) -> Result<Grammar, GrammarError> {
+        let mut rules: Vec<Rule> = Vec::new();
+        let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+
+        // Pass 1: collect rule names so right-hand sides can tell apart a
+        // non-terminal reference from an all-lowercase terminal (clang
+        // matchers like `decl` or `callee` are legitimate terminals).
+        let mut defined: BTreeSet<String> = BTreeSet::new();
+        for raw_line in text.lines() {
+            let line = strip_comment(raw_line).trim();
+            if let Some((lhs, _)) = line.split_once("::=") {
+                defined.insert(lhs.trim().to_string());
+            }
+        }
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((lhs, rhs)) = line.split_once("::=") {
+                let name = lhs.trim();
+                if !is_nonterminal_name(name) {
+                    return Err(GrammarError::Syntax {
+                        line: line_no,
+                        message: format!(
+                            "left-hand side `{name}` must be a lowercase identifier"
+                        ),
+                    });
+                }
+                if by_name.contains_key(name) {
+                    return Err(GrammarError::DuplicateRule {
+                        name: name.to_string(),
+                    });
+                }
+                let alternatives = parse_alternatives(rhs, line_no, name, &defined)?;
+                by_name.insert(name.to_string(), rules.len());
+                rules.push(Rule {
+                    name: name.to_string(),
+                    alternatives,
+                });
+            } else if line.starts_with('|') {
+                let rule = rules.last_mut().ok_or(GrammarError::Syntax {
+                    line: line_no,
+                    message: "continuation `|` before any rule".to_string(),
+                })?;
+                let name = rule.name.clone();
+                let mut alts = parse_alternatives(&line[1..], line_no, &name, &defined)?;
+                rule.alternatives.append(&mut alts);
+            } else {
+                return Err(GrammarError::Syntax {
+                    line: line_no,
+                    message: "expected `name ::= ...` or a `|` continuation".to_string(),
+                });
+            }
+        }
+
+        if rules.is_empty() {
+            return Err(GrammarError::Empty);
+        }
+
+        debug_assert!(rules.iter().all(|r| r.alternatives.iter().all(|a| a
+            .symbols
+            .iter()
+            .all(|s| !matches!(s, Symbol::NonTerminal(n) if !by_name.contains_key(n))))));
+
+        Ok(Grammar { rules, by_name })
+    }
+
+    /// The rules in definition order; the first rule is the start symbol.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Looks up a rule by its non-terminal name.
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.by_name.get(name).map(|&i| &self.rules[i])
+    }
+
+    /// Name of the start symbol (the first rule).
+    pub fn start_symbol(&self) -> &str {
+        &self.rules[0].name
+    }
+
+    /// All distinct terminal API names appearing in the grammar, sorted.
+    pub fn api_names(&self) -> Vec<&str> {
+        let mut set = BTreeSet::new();
+        for rule in &self.rules {
+            for alt in &rule.alternatives {
+                for sym in &alt.symbols {
+                    if let Symbol::Api(name) = sym {
+                        set.insert(name.as_str());
+                    }
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn is_nonterminal_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+}
+
+fn parse_alternatives(
+    rhs: &str,
+    line: usize,
+    rule: &str,
+    defined: &BTreeSet<String>,
+) -> Result<Vec<Alternative>, GrammarError> {
+    let mut alternatives = Vec::new();
+    for alt_text in rhs.split('|') {
+        let symbols: Vec<Symbol> = alt_text
+            .split_whitespace()
+            .map(|tok| {
+                if is_nonterminal_name(tok) && defined.contains(tok) {
+                    Symbol::NonTerminal(tok.to_string())
+                } else {
+                    Symbol::Api(tok.to_string())
+                }
+            })
+            .collect();
+        if symbols.is_empty() {
+            return Err(GrammarError::EmptyAlternative {
+                rule: rule.to_string(),
+            });
+        }
+        for sym in &symbols {
+            if sym.name().contains("::=") {
+                return Err(GrammarError::Syntax {
+                    line,
+                    message: "unexpected `::=` inside a right-hand side".to_string(),
+                });
+            }
+        }
+        alternatives.push(Alternative { symbols });
+    }
+    Ok(alternatives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDIT_BNF: &str = r#"
+        # The running example of the paper (Figure 4).
+        command    ::= INSERT insert_arg | DELETE delete_arg
+        insert_arg ::= string pos iter
+        delete_arg ::= string
+        string     ::= STRING
+        pos        ::= POSITION | START
+        iter       ::= LINESCOPE
+    "#;
+
+    #[test]
+    fn parses_running_example() {
+        let g = Grammar::parse(EDIT_BNF).unwrap();
+        assert_eq!(g.start_symbol(), "command");
+        assert_eq!(g.rules().len(), 6);
+        let pos = g.rule("pos").unwrap();
+        assert_eq!(pos.alternatives.len(), 2);
+        assert_eq!(
+            g.api_names(),
+            vec!["DELETE", "INSERT", "LINESCOPE", "POSITION", "START", "STRING"]
+        );
+    }
+
+    #[test]
+    fn distinguishes_terminals_from_nonterminals() {
+        let g = Grammar::parse("a ::= B c\nc ::= D").unwrap();
+        let alt = &g.rule("a").unwrap().alternatives[0];
+        assert_eq!(alt.symbols[0], Symbol::Api("B".to_string()));
+        assert_eq!(alt.symbols[1], Symbol::NonTerminal("c".to_string()));
+    }
+
+    #[test]
+    fn camel_case_is_terminal() {
+        // clang matcher names like `callExpr` contain uppercase letters and
+        // are therefore terminals, not rule references.
+        let g = Grammar::parse("m ::= callExpr").unwrap();
+        assert_eq!(g.api_names(), vec!["callExpr"]);
+    }
+
+    #[test]
+    fn continuation_lines_extend_previous_rule() {
+        let g = Grammar::parse("a ::= B\n | C\n | D").unwrap();
+        assert_eq!(g.rule("a").unwrap().alternatives.len(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = Grammar::parse("\n# comment only\na ::= B # trailing\n\n").unwrap();
+        assert_eq!(g.rules().len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_rule() {
+        let err = Grammar::parse("a ::= B\na ::= C").unwrap_err();
+        assert_eq!(
+            err,
+            GrammarError::DuplicateRule {
+                name: "a".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn lowercase_without_rule_is_terminal() {
+        // clang matchers like `decl` and `callee` are all-lowercase
+        // terminals; only identifiers with a defining rule are
+        // non-terminals.
+        let g = Grammar::parse("a ::= decl b
+b ::= callee").unwrap();
+        assert_eq!(g.api_names(), vec!["callee", "decl"]);
+        let alt = &g.rule("a").unwrap().alternatives[0];
+        assert_eq!(alt.symbols[1], Symbol::NonTerminal("b".to_string()));
+    }
+
+    #[test]
+    fn rejects_empty_grammar() {
+        assert_eq!(Grammar::parse("  \n# nothing\n").unwrap_err(), GrammarError::Empty);
+    }
+
+    #[test]
+    fn rejects_empty_alternative() {
+        let err = Grammar::parse("a ::= B |").unwrap_err();
+        assert!(matches!(err, GrammarError::EmptyAlternative { .. }));
+    }
+
+    #[test]
+    fn rejects_uppercase_lhs() {
+        let err = Grammar::parse("Bad ::= X").unwrap_err();
+        assert!(matches!(err, GrammarError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_dangling_continuation() {
+        let err = Grammar::parse("| B").unwrap_err();
+        assert!(matches!(err, GrammarError::Syntax { .. }));
+    }
+}

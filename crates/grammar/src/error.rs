@@ -1,0 +1,71 @@
+//! Error types for grammar parsing and graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing BNF text or building a grammar graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GrammarError {
+    /// A BNF line could not be parsed.
+    Syntax {
+        /// 1-based line number within the BNF source.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The same non-terminal was defined by two separate rules.
+    DuplicateRule {
+        /// Name of the non-terminal defined twice.
+        name: String,
+    },
+    /// The grammar has no rules at all.
+    Empty,
+    /// A production has an empty alternative, which grammar graphs do not
+    /// support (use an explicit epsilon API instead).
+    EmptyAlternative {
+        /// Name of the rule with the empty alternative.
+        rule: String,
+    },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            GrammarError::DuplicateRule { name } => {
+                write!(f, "non-terminal `{name}` is defined more than once")
+            }
+            GrammarError::Empty => write!(f, "grammar contains no rules"),
+            GrammarError::EmptyAlternative { rule } => {
+                write!(f, "rule `{rule}` has an empty alternative")
+            }
+        }
+    }
+}
+
+impl Error for GrammarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let err = GrammarError::Syntax {
+            line: 3,
+            message: "missing `::=`".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("syntax error"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GrammarError>();
+    }
+}

@@ -1,0 +1,653 @@
+//! The directed *grammar graph* representation of a context-free grammar.
+//!
+//! Following the paper (§II, §IV-A), a grammar graph has three node kinds:
+//!
+//! * **non-terminal nodes** — one per grammar rule (e.g. `insert_arg`);
+//! * **derivation nodes** — one per alternative right-hand side of a rule
+//!   (e.g. `string pos iter`);
+//! * **API nodes** — one per terminal API name (e.g. `STRING`), shared
+//!   across all the derivations that mention it.
+//!
+//! and two edge kinds:
+//!
+//! * **"or" edges** (non-terminal → derivation) — alternatives; choosing two
+//!   different "or" edges out of the same non-terminal is grammatically
+//!   impossible, the fact exploited by grammar-based pruning;
+//! * **concatenation edges** (derivation → symbol) — the ordered symbols of
+//!   one right-hand side.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Grammar, GrammarError, Symbol};
+
+/// Identifier of a node inside a [`GrammarGraph`].
+///
+/// `NodeId`s are dense indices; they are only meaningful relative to the
+/// graph that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Useful for tests and serialization; an id is only meaningful for
+    /// the graph it came from.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a grammar-graph node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A non-terminal symbol of the grammar.
+    NonTerminal {
+        /// The rule name.
+        name: String,
+    },
+    /// One alternative right-hand side of a rule.
+    Derivation {
+        /// Name of the rule this derivation belongs to.
+        rule: String,
+        /// Index of the alternative within the rule.
+        alt: usize,
+    },
+    /// A terminal API symbol.
+    Api {
+        /// The API name as written in the grammar.
+        name: String,
+    },
+}
+
+/// A node of the grammar graph: its kind plus adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarNode {
+    /// What the node represents.
+    pub kind: NodeKind,
+    /// Outgoing edges in grammar order.
+    pub children: Vec<NodeId>,
+    /// Incoming edges (reverse adjacency), used by the reversed all-path
+    /// search.
+    pub parents: Vec<NodeId>,
+}
+
+impl GrammarNode {
+    /// A short human-readable label for debugging and rendering.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            NodeKind::NonTerminal { name } => name.clone(),
+            NodeKind::Derivation { rule, alt } => format!("{rule}#{alt}"),
+            NodeKind::Api { name } => name.clone(),
+        }
+    }
+}
+
+/// The kind of a grammar-graph edge, derivable from its endpoint kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Non-terminal → derivation: mutually exclusive alternatives.
+    Or,
+    /// Derivation → symbol: concatenated sibling.
+    Concat,
+}
+
+/// A directed grammar graph built from a [`Grammar`].
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_grammar::{Grammar, GrammarGraph, NodeKind};
+///
+/// let g = Grammar::parse("pos ::= POSITION | START")?;
+/// let graph = GrammarGraph::from_grammar(&g)?;
+/// let pos = graph.nonterminal_node("pos").unwrap();
+/// // `pos` has two or-edges, one per alternative.
+/// assert_eq!(graph.node(pos).children.len(), 2);
+/// # Ok::<(), nlquery_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrammarGraph {
+    nodes: Vec<GrammarNode>,
+    root: NodeId,
+    api_index: Vec<(String, NodeId)>,
+    nt_index: Vec<(String, NodeId)>,
+    /// For every API node, the set of API nodes reachable strictly below it
+    /// (descendants through any of its derivations' sibling subtrees).
+    descendants: Vec<BTreeSet<NodeId>>,
+    /// For every API node, the APIs that can appear as its *direct*
+    /// arguments: reachable from its derivations' sibling subtrees without
+    /// passing through a derivation headed by another API.
+    direct_args: Vec<BTreeSet<NodeId>>,
+    /// Dense downward reachability: `reach[i]` has bit `j` set when node
+    /// `j` is reachable from node `i` following child edges (including
+    /// `i` itself). Used to prune dead branches in the reversed all-path
+    /// search.
+    reach: Vec<Vec<u64>>,
+}
+
+impl GrammarGraph {
+    /// Builds the grammar graph of `grammar`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError::Empty`] if the grammar has no rules (already
+    /// prevented by [`Grammar::parse`], but validated again for direct
+    /// construction paths).
+    pub fn from_grammar(grammar: &Grammar) -> Result<GrammarGraph, GrammarError> {
+        if grammar.rules().is_empty() {
+            return Err(GrammarError::Empty);
+        }
+        let mut nodes: Vec<GrammarNode> = Vec::new();
+        let mut api_index: Vec<(String, NodeId)> = Vec::new();
+        let mut nt_index: Vec<(String, NodeId)> = Vec::new();
+
+        let push = |nodes: &mut Vec<GrammarNode>, kind: NodeKind| -> NodeId {
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(GrammarNode {
+                kind,
+                children: Vec::new(),
+                parents: Vec::new(),
+            });
+            id
+        };
+
+        // Pass 1: create non-terminal nodes.
+        for rule in grammar.rules() {
+            let id = push(
+                &mut nodes,
+                NodeKind::NonTerminal {
+                    name: rule.name.clone(),
+                },
+            );
+            nt_index.push((rule.name.clone(), id));
+        }
+        nt_index.sort();
+
+        let find_nt = |index: &[(String, NodeId)], name: &str| -> NodeId {
+            let pos = index
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .expect("validated grammar references only defined non-terminals");
+            index[pos].1
+        };
+
+        // Pass 2: derivation and API nodes plus edges.
+        for rule in grammar.rules() {
+            let nt_id = find_nt(&nt_index, &rule.name);
+            for (alt_idx, alt) in rule.alternatives.iter().enumerate() {
+                let d_id = push(
+                    &mut nodes,
+                    NodeKind::Derivation {
+                        rule: rule.name.clone(),
+                        alt: alt_idx,
+                    },
+                );
+                nodes[nt_id.index()].children.push(d_id);
+                nodes[d_id.index()].parents.push(nt_id);
+                for sym in &alt.symbols {
+                    let child_id = match sym {
+                        Symbol::NonTerminal(name) => find_nt(&nt_index, name),
+                        Symbol::Api(name) => {
+                            match api_index.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                                Ok(pos) => api_index[pos].1,
+                                Err(pos) => {
+                                    let id =
+                                        push(&mut nodes, NodeKind::Api { name: name.clone() });
+                                    api_index.insert(pos, (name.clone(), id));
+                                    id
+                                }
+                            }
+                        }
+                    };
+                    nodes[d_id.index()].children.push(child_id);
+                    nodes[child_id.index()].parents.push(d_id);
+                }
+            }
+        }
+
+        let root = find_nt(&nt_index, grammar.start_symbol());
+        let mut graph = GrammarGraph {
+            nodes,
+            root,
+            api_index,
+            nt_index,
+            descendants: Vec::new(),
+            direct_args: Vec::new(),
+            reach: Vec::new(),
+        };
+        graph.reach = graph.compute_reach();
+        graph.descendants = graph.compute_descendants();
+        graph.direct_args = graph.compute_direct_args();
+        Ok(graph)
+    }
+
+    /// Convenience: parse BNF text and build the graph in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`GrammarError`] from parsing or construction.
+    pub fn parse(bnf: &str) -> Result<GrammarGraph, GrammarError> {
+        GrammarGraph::from_grammar(&Grammar::parse(bnf)?)
+    }
+
+    /// The node payload for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &GrammarNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes (never true for a built graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root non-terminal node (start symbol).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Looks up the API node with the given terminal name.
+    pub fn api_node(&self, name: &str) -> Option<NodeId> {
+        self.api_index
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|pos| self.api_index[pos].1)
+    }
+
+    /// Looks up the non-terminal node with the given rule name.
+    pub fn nonterminal_node(&self, name: &str) -> Option<NodeId> {
+        self.nt_index
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|pos| self.nt_index[pos].1)
+    }
+
+    /// All API nodes with their names, sorted by name.
+    pub fn api_nodes(&self) -> &[(String, NodeId)] {
+        &self.api_index
+    }
+
+    /// The kind of the edge `from → to`.
+    ///
+    /// Returns `None` if there is no such edge.
+    pub fn edge_kind(&self, from: NodeId, to: NodeId) -> Option<EdgeKind> {
+        if !self.nodes[from.index()].children.contains(&to) {
+            return None;
+        }
+        match self.nodes[from.index()].kind {
+            NodeKind::NonTerminal { .. } => Some(EdgeKind::Or),
+            NodeKind::Derivation { .. } => Some(EdgeKind::Concat),
+            NodeKind::Api { .. } => None,
+        }
+    }
+
+    /// Whether `id` is an API node.
+    pub fn is_api(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Api { .. })
+    }
+
+    /// Whether `id` is a non-terminal node.
+    pub fn is_nonterminal(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::NonTerminal { .. })
+    }
+
+    /// Whether `id` is a derivation node.
+    pub fn is_derivation(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Derivation { .. })
+    }
+
+    /// The API children of a derivation node, in grammar order.
+    pub fn api_children(&self, derivation: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[derivation.index()]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.is_api(c))
+    }
+
+    /// The API nodes reachable strictly below API node `api` (through the
+    /// sibling subtrees of any derivation containing it).
+    ///
+    /// This is the ancestor/descendant relation used by orphan-node
+    /// relocation (§V-B): `b ∈ descendant_apis(a)` iff the grammar allows a
+    /// codelet in which `b` appears inside an argument of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `api` is not an API node of this graph.
+    pub fn descendant_apis(&self, api: NodeId) -> &BTreeSet<NodeId> {
+        assert!(self.is_api(api), "descendant_apis requires an API node");
+        &self.descendants[api.index()]
+    }
+
+    /// Whether API `b` can appear inside (an argument subtree of) API `a`.
+    pub fn is_api_descendant(&self, a: NodeId, b: NodeId) -> bool {
+        self.descendant_apis(a).contains(&b)
+    }
+
+    /// The APIs that can be a *direct* argument of API `api`: reachable
+    /// from a derivation containing `api` without crossing a derivation
+    /// headed by another API. `isVirtual` is a direct argument of
+    /// `cxxMethodDecl`; `floatLiteral` is not a direct argument of
+    /// `callExpr` (it sits behind `hasArgument`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `api` is not an API node of this graph.
+    pub fn direct_api_args(&self, api: NodeId) -> &BTreeSet<NodeId> {
+        assert!(self.is_api(api), "direct_api_args requires an API node");
+        &self.direct_args[api.index()]
+    }
+
+    /// Whether `b` can be a direct argument of `a` (see
+    /// [`GrammarGraph::direct_api_args`]).
+    pub fn is_direct_api_arg(&self, a: NodeId, b: NodeId) -> bool {
+        self.direct_api_args(a).contains(&b)
+    }
+
+    fn compute_direct_args(&self) -> Vec<BTreeSet<NodeId>> {
+        // reach-without-crossing-API-headed-derivations, to a fixpoint.
+        let n = self.nodes.len();
+        let mut reach: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in self.node_ids() {
+                if self.is_api(id) {
+                    continue;
+                }
+                let mut merged: BTreeSet<NodeId> = BTreeSet::new();
+                if self.is_derivation(id) {
+                    let apis: Vec<NodeId> = self.api_children(id).collect();
+                    if apis.is_empty() {
+                        for &child in &self.nodes[id.index()].children {
+                            merged.extend(reach[child.index()].iter().copied());
+                        }
+                    } else {
+                        // An API-headed derivation contributes only its
+                        // head(s); what lies below are *their* arguments.
+                        merged.extend(apis);
+                    }
+                } else {
+                    for &child in &self.nodes[id.index()].children {
+                        merged.extend(reach[child.index()].iter().copied());
+                    }
+                }
+                if merged.len() > reach[id.index()].len() {
+                    reach[id.index()] = merged;
+                    changed = true;
+                }
+            }
+        }
+        let mut result: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        for id in self.node_ids() {
+            if !self.is_api(id) {
+                continue;
+            }
+            let mut set = BTreeSet::new();
+            for &derivation in &self.nodes[id.index()].parents {
+                for &sibling in &self.nodes[derivation.index()].children {
+                    if sibling != id && !self.is_api(sibling) {
+                        set.extend(reach[sibling.index()].iter().copied());
+                    }
+                }
+            }
+            result[id.index()] = set;
+        }
+        result
+    }
+
+    /// Whether node `to` is reachable from node `from` following child
+    /// edges (reflexive: every node reaches itself).
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let word = to.index() / 64;
+        let bit = to.index() % 64;
+        self.reach[from.index()][word] & (1u64 << bit) != 0
+    }
+
+    fn compute_reach(&self) -> Vec<Vec<u64>> {
+        let n = self.nodes.len();
+        let words = n.div_ceil(64);
+        let mut reach = vec![vec![0u64; words]; n];
+        for i in 0..n {
+            reach[i][i / 64] |= 1u64 << (i % 64);
+        }
+        // Fixpoint: the graph may be cyclic.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                // Union children's sets into node i without aliasing.
+                let children = self.nodes[i].children.clone();
+                for child in children {
+                    let (a, b) = if i < child.index() {
+                        let (lo, hi) = reach.split_at_mut(child.index());
+                        (&mut lo[i], &hi[0][..])
+                    } else if i > child.index() {
+                        let (lo, hi) = reach.split_at_mut(i);
+                        (&mut hi[0], &lo[child.index()][..])
+                    } else {
+                        continue;
+                    };
+                    for (w, &cw) in a.iter_mut().zip(b.iter()) {
+                        let merged = *w | cw;
+                        if merged != *w {
+                            *w = merged;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    fn compute_descendants(&self) -> Vec<BTreeSet<NodeId>> {
+        // First compute, for every node, the set of API nodes reachable by
+        // walking downward (through or- and concat-edges). Iterate to a
+        // fixpoint because grammars may be recursive.
+        let n = self.nodes.len();
+        let mut reach: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        for id in self.node_ids() {
+            if self.is_api(id) {
+                reach[id.index()].insert(id);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in self.node_ids() {
+                if self.is_api(id) {
+                    continue;
+                }
+                let mut merged: BTreeSet<NodeId> = BTreeSet::new();
+                for &child in &self.nodes[id.index()].children {
+                    merged.extend(reach[child.index()].iter().copied());
+                }
+                if merged.len() > reach[id.index()].len() {
+                    reach[id.index()] = merged;
+                    changed = true;
+                }
+            }
+        }
+        // An API's descendants are the APIs reachable from the non-API
+        // siblings in any derivation that contains it, excluding itself
+        // unless genuinely reachable below.
+        let mut result: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        for id in self.node_ids() {
+            if !self.is_api(id) {
+                continue;
+            }
+            let mut set = BTreeSet::new();
+            for &derivation in &self.nodes[id.index()].parents {
+                for &sibling in &self.nodes[derivation.index()].children {
+                    if sibling != id && !self.is_api(sibling) {
+                        set.extend(reach[sibling.index()].iter().copied());
+                    }
+                }
+            }
+            result[id.index()] = set;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= string
+            string     ::= STRING
+            pos        ::= POSITION | START
+            iter       ::= LINESCOPE
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_all_node_kinds() {
+        let g = example();
+        assert!(g.nonterminal_node("command").is_some());
+        assert!(g.api_node("INSERT").is_some());
+        assert!(g.api_node("missing").is_none());
+        assert_eq!(g.root(), g.nonterminal_node("command").unwrap());
+        // 6 non-terminals, 8 derivations (2+1+1+1+2+1), 6 APIs.
+        assert_eq!(g.len(), 6 + 8 + 6);
+    }
+
+    #[test]
+    fn api_nodes_are_shared() {
+        // STRING appears under both insert_arg and delete_arg but must be a
+        // single node.
+        let g = example();
+        let string = g.api_node("STRING").unwrap();
+        // STRING has one parent: the single derivation of rule `string`.
+        assert_eq!(g.node(string).parents.len(), 1);
+    }
+
+    #[test]
+    fn edge_kinds_follow_source_node() {
+        let g = example();
+        let pos = g.nonterminal_node("pos").unwrap();
+        let d = g.node(pos).children[0];
+        assert_eq!(g.edge_kind(pos, d), Some(EdgeKind::Or));
+        let api = g.node(d).children[0];
+        assert_eq!(g.edge_kind(d, api), Some(EdgeKind::Concat));
+        assert_eq!(g.edge_kind(pos, api), None);
+    }
+
+    #[test]
+    fn parents_are_reverse_of_children() {
+        let g = example();
+        for id in g.node_ids() {
+            for &child in &g.node(id).children {
+                assert!(g.node(child).parents.contains(&id));
+            }
+            for &parent in &g.node(id).parents {
+                assert!(g.node(parent).children.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_apis_cross_derivation() {
+        let g = example();
+        let insert = g.api_node("INSERT").unwrap();
+        let string = g.api_node("STRING").unwrap();
+        let start = g.api_node("START").unwrap();
+        let delete = g.api_node("DELETE").unwrap();
+        assert!(g.is_api_descendant(insert, string));
+        assert!(g.is_api_descendant(insert, start));
+        assert!(g.is_api_descendant(delete, string));
+        // START takes no arguments: no descendants.
+        assert!(g.descendant_apis(start).is_empty());
+        // STRING is not an ancestor of INSERT.
+        assert!(!g.is_api_descendant(string, insert));
+    }
+
+    #[test]
+    fn descendants_handle_recursion() {
+        let g = GrammarGraph::parse(
+            r#"
+            expr ::= NOT expr | ATOM
+            "#,
+        )
+        .unwrap();
+        let not = g.api_node("NOT").unwrap();
+        let atom = g.api_node("ATOM").unwrap();
+        assert!(g.is_api_descendant(not, atom));
+        // NOT can nest under itself.
+        assert!(g.is_api_descendant(not, not));
+    }
+
+    #[test]
+    fn direct_args_stop_at_api_headed_derivations() {
+        let g = GrammarGraph::parse(
+            r#"
+            top   ::= CTOR args
+            args  ::= inner
+            inner ::= ISCOPY | HAS deep
+            deep  ::= METHOD margs
+            margs ::= ISVIRT
+            "#,
+        )
+        .unwrap();
+        let ctor = g.api_node("CTOR").unwrap();
+        let iscopy = g.api_node("ISCOPY").unwrap();
+        let has = g.api_node("HAS").unwrap();
+        let method = g.api_node("METHOD").unwrap();
+        let isvirt = g.api_node("ISVIRT").unwrap();
+        // ISCOPY and HAS are direct arguments of CTOR…
+        assert!(g.is_direct_api_arg(ctor, iscopy));
+        assert!(g.is_direct_api_arg(ctor, has));
+        // …but METHOD sits behind the HAS head, and ISVIRT behind METHOD.
+        assert!(!g.is_direct_api_arg(ctor, method));
+        assert!(!g.is_direct_api_arg(ctor, isvirt));
+        assert!(g.is_direct_api_arg(has, method));
+        assert!(g.is_direct_api_arg(method, isvirt));
+        // Descendant reachability is transitive where direct args are not.
+        assert!(g.is_api_descendant(ctor, isvirt));
+    }
+
+    #[test]
+    fn api_children_in_order() {
+        let g = GrammarGraph::parse("r ::= A mid B\nmid ::= M").unwrap();
+        let r = g.nonterminal_node("r").unwrap();
+        let d = g.node(r).children[0];
+        let kids: Vec<String> = g
+            .api_children(d)
+            .map(|c| g.node(c).label())
+            .collect();
+        assert_eq!(kids, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Grammar graphs for NLU-driven program synthesis.
+//!
+//! This crate implements the grammar-side substrate of the DGGT paper
+//! (Nan, Guan, Shen — CGO 2022): a context-free grammar in BNF is converted
+//! into a directed *grammar graph* whose nodes are non-terminals, derivations
+//! (production right-hand sides) and API terminals, and whose edges are
+//! *concatenation* edges (derivation → symbol) and *"or"* edges
+//! (non-terminal → derivation, alternatives).
+//!
+//! On top of the graph it provides the *reversed all-path search* used by
+//! step 4 (EdgeToPath) of the synthesis pipeline: enumerating all simple
+//! downward walks between two API nodes, or from the grammar root to an API
+//! node.
+//!
+//! # Example
+//!
+//! ```rust
+//! use nlquery_grammar::{Grammar, GrammarGraph};
+//!
+//! let bnf = r#"
+//!     command ::= INSERT string pos
+//!     string  ::= STRING
+//!     pos     ::= START | END
+//! "#;
+//! let grammar = Grammar::parse(bnf)?;
+//! let graph = GrammarGraph::from_grammar(&grammar)?;
+//! let insert = graph.api_node("INSERT").unwrap();
+//! let start = graph.api_node("START").unwrap();
+//! let paths = graph.paths_between(insert, start, Default::default());
+//! assert_eq!(paths.len(), 1);
+//! # Ok::<(), nlquery_grammar::GrammarError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bnf;
+mod error;
+mod graph;
+mod path;
+mod voted;
+
+pub use bnf::{Alternative, Grammar, Rule, Symbol};
+pub use error::GrammarError;
+pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind};
+pub use path::{GrammarPath, PathId, SearchLimits};
+pub use voted::{PathVotedGraph, VoteCount};

@@ -1,0 +1,566 @@
+//! Grammar paths and the *reversed all-path search* (step 4, EdgeToPath).
+//!
+//! A *grammar path* connects an ancestor API to a descendant API through the
+//! grammar graph. For the dependency edge `insert → string`, the search
+//! "starts from the grammar graph node that contains one of the candidate
+//! APIs of *string*, and follows the grammar graph backward until reaching a
+//! node that contains one of the candidate APIs of *insert*" (§II).
+//!
+//! A path is stored as the forward *chain* of grammar-graph nodes from the
+//! derivation containing the source API down to the sink API node. The APIs
+//! *on* the path are the sink plus every API child of every derivation on
+//! the chain (the "heads" of the derivations the path passes through) —
+//! exactly the APIs that merging this path into a code generation tree drags
+//! into the final expression.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{GrammarGraph, NodeId};
+
+/// Identifier for a grammar path within one synthesis problem.
+///
+/// The paper labels paths `2.1`, `3.2`, … — edge index dot path index. The
+/// same scheme is kept here for readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId {
+    /// Index of the dependency edge this path is a candidate for.
+    pub edge: u32,
+    /// Index of the path among the edge's candidates.
+    pub path: u32,
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.edge + 1, self.path + 1)
+    }
+}
+
+/// Limits applied to the all-path search to keep recursive grammars finite
+/// and bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum number of paths returned per (source, sink) pair.
+    pub max_paths: usize,
+    /// Maximum chain length (number of grammar nodes on a path).
+    pub max_depth: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_paths: 512,
+            max_depth: 40,
+        }
+    }
+}
+
+/// A downward walk in the grammar graph from an ancestor API (or the
+/// grammar root) to a descendant API.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GrammarPath {
+    /// The source API node; `None` for paths that start at the grammar root
+    /// (used for the dependency root and, in the HISyn baseline, for orphan
+    /// nodes).
+    pub source: Option<NodeId>,
+    /// The sink API node.
+    pub sink: NodeId,
+    /// Forward chain of grammar nodes. For API-to-API paths the chain
+    /// starts at the derivation node containing `source`; for root paths it
+    /// starts at the root non-terminal. It always ends at `sink`.
+    pub chain: Vec<NodeId>,
+}
+
+impl GrammarPath {
+    /// All API nodes on the path: the sink, the source (if any), and every
+    /// API child of every derivation node on the chain.
+    pub fn api_nodes(&self, graph: &GrammarGraph) -> BTreeSet<NodeId> {
+        let mut apis = BTreeSet::new();
+        apis.insert(self.sink);
+        if let Some(src) = self.source {
+            apis.insert(src);
+        }
+        for &node in &self.chain {
+            if graph.is_derivation(node) {
+                apis.extend(graph.api_children(node));
+            }
+        }
+        apis
+    }
+
+    /// The number of APIs on the path — `size(p)` in §V-C.
+    pub fn size(&self, graph: &GrammarGraph) -> usize {
+        self.api_nodes(graph).len()
+    }
+
+    /// The number of APIs on the path excluding the sink. This is the
+    /// *length of a path edge* in the dynamic grammar graph: the sink's own
+    /// APIs are already accounted for by the sink node's `min_size`.
+    pub fn size_excluding_sink(&self, graph: &GrammarGraph) -> usize {
+        let mut apis = self.api_nodes(graph);
+        apis.remove(&self.sink);
+        apis.len()
+    }
+
+    /// The "or" edges on the path: `(non-terminal, derivation)` pairs where
+    /// the path commits to one alternative of a rule. Grammar-based pruning
+    /// compares these across paths.
+    pub fn or_edges(&self, graph: &GrammarGraph) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for pair in self.chain.windows(2) {
+            if graph.is_nonterminal(pair[0]) && graph.is_derivation(pair[1]) {
+                edges.push((pair[0], pair[1]));
+            }
+        }
+        edges
+    }
+
+    /// The full set of grammar nodes this path contributes to a code
+    /// generation tree: the chain plus the API children of every derivation
+    /// on the chain, plus the source API.
+    pub fn cgt_nodes(&self, graph: &GrammarGraph) -> BTreeSet<NodeId> {
+        let mut nodes: BTreeSet<NodeId> = self.chain.iter().copied().collect();
+        if let Some(src) = self.source {
+            nodes.insert(src);
+        }
+        for &node in &self.chain {
+            if graph.is_derivation(node) {
+                nodes.extend(graph.api_children(node));
+            }
+        }
+        nodes
+    }
+
+    /// The grammar edges this path contributes to a code generation tree.
+    pub fn cgt_edges(&self, graph: &GrammarGraph) -> BTreeSet<(NodeId, NodeId)> {
+        let mut edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for pair in self.chain.windows(2) {
+            edges.insert((pair[0], pair[1]));
+        }
+        for &node in &self.chain {
+            if graph.is_derivation(node) {
+                for api in graph.api_children(node) {
+                    edges.insert((node, api));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The topmost node of the chain (the shared-prefix anchor when merging
+    /// sibling paths).
+    pub fn top(&self) -> NodeId {
+        self.chain[0]
+    }
+
+    /// Renders the path as `A -> x -> y -> B` using node labels.
+    pub fn render(&self, graph: &GrammarGraph) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(src) = self.source {
+            parts.push(graph.node(src).label());
+        }
+        parts.extend(self.chain.iter().map(|&n| graph.node(n).label()));
+        parts.join(" -> ")
+    }
+}
+
+impl GrammarGraph {
+    /// All simple downward paths from API `from` to API `to`, found by the
+    /// reversed all-path search.
+    ///
+    /// The search walks *backward* from `to` through reverse edges
+    /// (API ← derivation ← non-terminal ← derivation …) and emits a path
+    /// whenever the current derivation contains `from` as a direct API
+    /// child, stopping that branch. Chains never repeat a node (simple
+    /// paths), which keeps recursive grammars finite; `limits` additionally
+    /// bounds depth and the number of results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not an API node.
+    pub fn paths_between(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        limits: SearchLimits,
+    ) -> Vec<GrammarPath> {
+        assert!(self.is_api(from) && self.is_api(to), "endpoints must be API nodes");
+        self.search_windows(Target::Api(from), to, limits)
+    }
+
+    /// All simple downward paths from the grammar root to API `to`.
+    ///
+    /// Used for the dependency-graph root and, in the HISyn baseline, for
+    /// orphan nodes (which HISyn attaches to the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not an API node.
+    pub fn paths_from_root(&self, to: NodeId, limits: SearchLimits) -> Vec<GrammarPath> {
+        assert!(self.is_api(to), "sink must be an API node");
+        self.search_windows(Target::Root, to, limits)
+    }
+
+    /// Iterative-deepening driver: explores chains in increasing length
+    /// windows so that, when `limits.max_paths` truncates the result, the
+    /// *shortest* paths are the ones kept. Dead branches are pruned with
+    /// the precomputed downward-reachability relation.
+    fn search_windows(
+        &self,
+        target: Target,
+        to: NodeId,
+        limits: SearchLimits,
+    ) -> Vec<GrammarPath> {
+        // Nodes worth stepping onto: those reachable downward from the
+        // search's origin (a derivation containing the source API, or the
+        // grammar root).
+        let origins: Vec<NodeId> = match target {
+            Target::Api(from) => self.node(from).parents.clone(),
+            Target::Root => vec![self.root()],
+        };
+        let mut results = Vec::new();
+        const WINDOW: usize = 4;
+        let mut lo = 0usize;
+        while lo < limits.max_depth && results.len() < limits.max_paths {
+            let hi = (lo + WINDOW).min(limits.max_depth);
+            let mut window_results = Vec::new();
+            let mut chain: Vec<NodeId> = vec![to];
+            let mut on_chain = vec![false; self.len()];
+            on_chain[to.index()] = true;
+            self.search_up(
+                target,
+                to,
+                &mut chain,
+                &mut on_chain,
+                (lo, hi),
+                limits.max_paths - results.len(),
+                &origins,
+                &mut window_results,
+            );
+            window_results.sort();
+            results.extend(window_results);
+            lo = hi;
+        }
+        results.truncate(limits.max_paths);
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_up(
+        &self,
+        target: Target,
+        sink: NodeId,
+        chain: &mut Vec<NodeId>,
+        on_chain: &mut [bool],
+        window: (usize, usize),
+        max_results: usize,
+        origins: &[NodeId],
+        results: &mut Vec<GrammarPath>,
+    ) {
+        let (emit_above, depth_cap) = window;
+        if results.len() >= max_results || chain.len() >= depth_cap {
+            return;
+        }
+        let current = *chain.last().expect("chain is never empty");
+        // Walk to each parent. The chain is built in backward (sink-first)
+        // order and reversed on emission.
+        for &parent in &self.node(current).parents {
+            if on_chain[parent.index()] {
+                continue;
+            }
+            // Dead-branch pruning: the parent must be on a downward walk
+            // from one of the origins, or no emission can ever happen
+            // above it.
+            if !origins.iter().any(|&o| self.reaches(o, parent)) {
+                continue;
+            }
+            chain.push(parent);
+            on_chain[parent.index()] = true;
+
+            let mut matched = false;
+            if self.is_derivation(parent) {
+                if let Target::Api(from) = target {
+                    // A derivation "contains" an API if it is a direct
+                    // child. Require a non-trivial chain when from == sink.
+                    let contains = self
+                        .node(parent)
+                        .children
+                        .iter()
+                        .any(|&c| c == from && (from != sink || chain.len() > 2));
+                    if contains {
+                        matched = true;
+                        if chain.len() > emit_above {
+                            let mut fwd: Vec<NodeId> = chain.clone();
+                            fwd.reverse();
+                            results.push(GrammarPath {
+                                source: Some(from),
+                                sink,
+                                chain: fwd,
+                            });
+                        }
+                    }
+                }
+            } else if self.is_nonterminal(parent) {
+                if let Target::Root = target {
+                    if parent == self.root() {
+                        matched = true;
+                        if chain.len() > emit_above {
+                            let mut fwd: Vec<NodeId> = chain.clone();
+                            fwd.reverse();
+                            results.push(GrammarPath {
+                                source: None,
+                                sink,
+                                chain: fwd,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // "Until reaching": a matched branch stops; otherwise continue
+            // upward.
+            if !matched {
+                self.search_up(
+                    target, sink, chain, on_chain, window, max_results, origins, results,
+                );
+            }
+
+            on_chain[parent.index()] = false;
+            chain.pop();
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Target {
+    Api(NodeId),
+    Root,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example grammar (Figure 4), extended with the
+    /// iteration sub-grammar so paths pass through intermediate API heads.
+    fn paper_grammar() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= string
+            string     ::= STRING
+            pos        ::= POSITION | START | pos_arg
+            pos_arg    ::= AFTER string | STARTFROM string
+            iter       ::= ITERATIONSCOPE iter_arg | LINESCOPE
+            iter_arg   ::= scope cond
+            scope      ::= LINESCOPE | DOCSCOPE
+            cond       ::= CONTAINS entity | ALL
+            entity     ::= NUMBERTOKEN | STRING
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn path_strings(g: &GrammarGraph, paths: &[GrammarPath]) -> Vec<String> {
+        paths.iter().map(|p| p.render(g)).collect()
+    }
+
+    #[test]
+    fn finds_single_path() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let position = g.api_node("POSITION").unwrap();
+        let paths = g.paths_between(insert, position, SearchLimits::default());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.source, Some(insert));
+        assert_eq!(p.sink, position);
+        assert_eq!(p.top(), g.node(g.nonterminal_node("command").unwrap()).children[0]);
+    }
+
+    #[test]
+    fn finds_multiple_paths_for_ambiguous_sink() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let string = g.api_node("STRING").unwrap();
+        // STRING is reachable from INSERT via insert_arg.string, via
+        // pos.pos_arg.AFTER/STARTFROM.string, and via iter..cond.entity.
+        let paths = g.paths_between(insert, string, SearchLimits::default());
+        assert!(
+            paths.len() >= 4,
+            "expected at least 4 INSERT->STRING paths, got: {:#?}",
+            path_strings(&g, &paths)
+        );
+        for p in &paths {
+            assert_eq!(p.sink, string);
+            assert!(p.chain.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn path_apis_include_intermediate_heads() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let numbertoken = g.api_node("NUMBERTOKEN").unwrap();
+        let paths = g.paths_between(insert, numbertoken, SearchLimits::default());
+        assert_eq!(paths.len(), 1, "{:#?}", path_strings(&g, &paths));
+        let apis: Vec<String> = paths[0]
+            .api_nodes(&g)
+            .into_iter()
+            .map(|n| g.node(n).label())
+            .collect();
+        // INSERT, ITERATIONSCOPE, CONTAINS, NUMBERTOKEN all sit on the path.
+        assert!(apis.contains(&"INSERT".to_string()));
+        assert!(apis.contains(&"ITERATIONSCOPE".to_string()));
+        assert!(apis.contains(&"CONTAINS".to_string()));
+        assert!(apis.contains(&"NUMBERTOKEN".to_string()));
+        assert_eq!(paths[0].size(&g), 4);
+        assert_eq!(paths[0].size_excluding_sink(&g), 3);
+    }
+
+    #[test]
+    fn no_path_when_not_descendant() {
+        let g = paper_grammar();
+        let string = g.api_node("STRING").unwrap();
+        let insert = g.api_node("INSERT").unwrap();
+        assert!(g
+            .paths_between(string, insert, SearchLimits::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn root_paths_reach_start_symbol() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let paths = g.paths_from_root(insert, SearchLimits::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].source, None);
+        assert_eq!(paths[0].chain[0], g.root());
+    }
+
+    #[test]
+    fn root_paths_to_deep_api_are_plural() {
+        let g = paper_grammar();
+        let string = g.api_node("STRING").unwrap();
+        let paths = g.paths_from_root(string, SearchLimits::default());
+        // Through INSERT's string/pos_arg/entity slots and DELETE's string.
+        assert!(
+            paths.len() >= 5,
+            "expected >=5 root->STRING paths, got {:#?}",
+            path_strings(&g, &paths)
+        );
+    }
+
+    #[test]
+    fn or_edges_identified() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let position = g.api_node("POSITION").unwrap();
+        let paths = g.paths_between(insert, position, SearchLimits::default());
+        let or_edges = paths[0].or_edges(&g);
+        let pos_nt = g.nonterminal_node("pos").unwrap();
+        assert!(or_edges.iter().any(|&(nt, _)| nt == pos_nt));
+    }
+
+    #[test]
+    fn recursion_stays_finite() {
+        let g = GrammarGraph::parse(
+            r#"
+            expr ::= NOT expr | AND expr expr | ATOM
+            "#,
+        )
+        .unwrap();
+        let not = g.api_node("NOT").unwrap();
+        let atom = g.api_node("ATOM").unwrap();
+        let paths = g.paths_between(not, atom, SearchLimits::default());
+        // Simple-path restriction: chains cannot revisit the `expr`
+        // non-terminal, so only the one-step nesting appears.
+        assert!(!paths.is_empty());
+        for p in &paths {
+            let mut seen = std::collections::BTreeSet::new();
+            for &n in &p.chain {
+                assert!(seen.insert(n), "chain revisits {}", g.node(n).label());
+            }
+        }
+    }
+
+    #[test]
+    fn self_nesting_through_same_derivation_is_not_a_simple_path() {
+        // API nodes are shared, so nesting NOT under itself through the
+        // single `NOT expr` derivation would revisit that derivation node;
+        // the simple-path restriction rejects it.
+        let g = GrammarGraph::parse("expr ::= NOT expr | ATOM").unwrap();
+        let not = g.api_node("NOT").unwrap();
+        assert!(g.paths_between(not, not, SearchLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn self_nesting_through_distinct_occurrences_is_found() {
+        // When the API occurs in two distinct derivations, a genuine
+        // self-path exists and is non-trivial.
+        let g = GrammarGraph::parse(
+            r#"
+            a ::= NOT b
+            b ::= NOT c | ATOM
+            c ::= ATOM
+            "#,
+        )
+        .unwrap();
+        let not = g.api_node("NOT").unwrap();
+        let paths = g.paths_between(not, not, SearchLimits::default());
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].chain.len() > 2, "trivial self-path emitted");
+    }
+
+    #[test]
+    fn limits_cap_results() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let string = g.api_node("STRING").unwrap();
+        let limited = g.paths_between(
+            insert,
+            string,
+            SearchLimits {
+                max_paths: 2,
+                max_depth: 40,
+            },
+        );
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn depth_limit_prunes_long_chains() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let numbertoken = g.api_node("NUMBERTOKEN").unwrap();
+        let limited = g.paths_between(
+            insert,
+            numbertoken,
+            SearchLimits {
+                max_paths: 512,
+                max_depth: 4,
+            },
+        );
+        assert!(limited.is_empty());
+    }
+
+    #[test]
+    fn cgt_edges_are_consistent_with_nodes() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let numbertoken = g.api_node("NUMBERTOKEN").unwrap();
+        let paths = g.paths_between(insert, numbertoken, SearchLimits::default());
+        let nodes = paths[0].cgt_nodes(&g);
+        for (a, b) in paths[0].cgt_edges(&g) {
+            assert!(nodes.contains(&a) && nodes.contains(&b));
+            assert!(g.node(a).children.contains(&b));
+        }
+    }
+
+    #[test]
+    fn path_id_renders_like_the_paper() {
+        let id = PathId { edge: 1, path: 0 };
+        assert_eq!(id.to_string(), "2.1");
+    }
+}

@@ -1,0 +1,169 @@
+//! The *path-voted grammar graph* (§IV-A).
+//!
+//! Labelling every grammar-graph edge with the candidate grammar paths that
+//! cover it yields a path-voted grammar graph. An edge "has more votes if it
+//! is covered by more grammar paths"; the vote structure is what
+//! grammar-based pruning inspects to find conflicting "or" edges, and it is
+//! also a useful diagnostic for understanding why a query is expensive.
+
+use std::collections::BTreeMap;
+
+use crate::{GrammarGraph, GrammarPath, NodeId, PathId};
+
+/// Number of candidate paths covering one grammar edge.
+pub type VoteCount = usize;
+
+/// A grammar graph annotated with, per edge, the candidate paths covering
+/// it.
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_grammar::{GrammarGraph, PathId, PathVotedGraph, SearchLimits};
+///
+/// let g = GrammarGraph::parse("cmd ::= INSERT pos\npos ::= START | END")?;
+/// let insert = g.api_node("INSERT").unwrap();
+/// let start = g.api_node("START").unwrap();
+/// let paths = g.paths_between(insert, start, SearchLimits::default());
+/// let ids: Vec<PathId> = (0..paths.len() as u32)
+///     .map(|i| PathId { edge: 0, path: i })
+///     .collect();
+/// let voted = PathVotedGraph::new(&g, paths.iter().zip(ids.iter().copied()));
+/// assert!(voted.max_votes() >= 1);
+/// # Ok::<(), nlquery_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PathVotedGraph {
+    votes: BTreeMap<(NodeId, NodeId), Vec<PathId>>,
+}
+
+impl PathVotedGraph {
+    /// Builds the vote annotation for the given `(path, id)` pairs.
+    pub fn new<'a, I>(graph: &GrammarGraph, paths: I) -> PathVotedGraph
+    where
+        I: IntoIterator<Item = (&'a GrammarPath, PathId)>,
+    {
+        let mut votes: BTreeMap<(NodeId, NodeId), Vec<PathId>> = BTreeMap::new();
+        for (path, id) in paths {
+            for edge in path.cgt_edges(graph) {
+                votes.entry(edge).or_default().push(id);
+            }
+        }
+        for ids in votes.values_mut() {
+            ids.sort();
+            ids.dedup();
+        }
+        PathVotedGraph { votes }
+    }
+
+    /// The paths voting for edge `from → to`.
+    pub fn votes_for(&self, from: NodeId, to: NodeId) -> &[PathId] {
+        self.votes
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of votes on edge `from → to`.
+    pub fn vote_count(&self, from: NodeId, to: NodeId) -> VoteCount {
+        self.votes_for(from, to).len()
+    }
+
+    /// The highest vote count across all edges (0 when no paths were
+    /// registered).
+    pub fn max_votes(&self) -> VoteCount {
+        self.votes.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(edge, voting paths)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Vec<PathId>)> {
+        self.votes.iter()
+    }
+
+    /// Groups of conflicting "or" edges: for every non-terminal with two or
+    /// more voted "or" edges, the list of `(derivation, voting paths)`
+    /// alternatives. Any two paths that vote for *different* derivations in
+    /// the same group form a *conflict paths pair* (§V-A).
+    pub fn conflict_or_groups(
+        &self,
+        graph: &GrammarGraph,
+    ) -> Vec<(NodeId, Vec<(NodeId, Vec<PathId>)>)> {
+        let mut by_nt: BTreeMap<NodeId, Vec<(NodeId, Vec<PathId>)>> = BTreeMap::new();
+        for (&(from, to), ids) in &self.votes {
+            if graph.is_nonterminal(from) && graph.is_derivation(to) {
+                by_nt.entry(from).or_default().push((to, ids.clone()));
+            }
+        }
+        by_nt
+            .into_iter()
+            .filter(|(_, alts)| alts.len() >= 2)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchLimits;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg
+            insert_arg ::= string pos
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn votes_accumulate_on_shared_prefix() {
+        let g = graph();
+        let insert = g.api_node("INSERT").unwrap();
+        let string = g.api_node("STRING").unwrap();
+        let start = g.api_node("START").unwrap();
+        let p1 = g.paths_between(insert, string, SearchLimits::default());
+        let p2 = g.paths_between(insert, start, SearchLimits::default());
+        assert_eq!(p1.len(), 1);
+        assert_eq!(p2.len(), 1);
+        let id1 = PathId { edge: 0, path: 0 };
+        let id2 = PathId { edge: 1, path: 0 };
+        let voted = PathVotedGraph::new(&g, [(&p1[0], id1), (&p2[0], id2)]);
+
+        // The shared edge command#0 -> INSERT gets both votes.
+        let cmd = g.nonterminal_node("command").unwrap();
+        let d = g.node(cmd).children[0];
+        assert_eq!(voted.vote_count(d, insert), 2);
+        assert_eq!(voted.max_votes(), 2);
+        // The STRING leaf edge gets only path 1's vote.
+        let string_nt = g.nonterminal_node("string").unwrap();
+        let string_d = g.node(string_nt).children[0];
+        assert_eq!(voted.votes_for(string_d, string), &[id1]);
+    }
+
+    #[test]
+    fn conflict_groups_require_two_alternatives() {
+        let g = graph();
+        let insert = g.api_node("INSERT").unwrap();
+        let position = g.api_node("POSITION").unwrap();
+        let start = g.api_node("START").unwrap();
+        let pp = g.paths_between(insert, position, SearchLimits::default());
+        let ps = g.paths_between(insert, start, SearchLimits::default());
+        let idp = PathId { edge: 0, path: 0 };
+        let ids = PathId { edge: 1, path: 0 };
+        let voted = PathVotedGraph::new(&g, [(&pp[0], idp), (&ps[0], ids)]);
+        let groups = voted.conflict_or_groups(&g);
+        let pos_nt = g.nonterminal_node("pos").unwrap();
+        let group = groups.iter().find(|(nt, _)| *nt == pos_nt);
+        assert!(group.is_some(), "pos must have a conflict group");
+        assert_eq!(group.unwrap().1.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_votes() {
+        let voted = PathVotedGraph::default();
+        assert_eq!(voted.max_votes(), 0);
+    }
+}

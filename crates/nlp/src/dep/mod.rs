@@ -1,0 +1,398 @@
+//! Query dependency graphs and the rule-based dependency parser.
+//!
+//! A *query dependency graph* (paper §II, step 1) has one node per query
+//! word and directed edges from a *governor* to its *dependent*, labelled
+//! with a *dependency type*. For "insert a string at the start of each
+//! line", the edge `insert → string` is labelled `obj`.
+
+mod parser;
+
+pub use parser::DepParser;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::Pos;
+
+/// A dependency relation label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DepRel {
+    /// The clause root (no governor).
+    Root,
+    /// Direct object: `insert → string`.
+    Obj,
+    /// Nominal subject: `starts → sentence`.
+    Subj,
+    /// Nominal modifier through a preposition; carries the preposition
+    /// ("at", "of", …): `insert → start (nmod:at)`.
+    Nmod(String),
+    /// Adjectival modifier: `line → empty`.
+    Amod,
+    /// Clausal modifier of a noun (gerunds, relative clauses):
+    /// `line → containing`.
+    Acl,
+    /// Adverbial clause ("if a sentence starts with …" modifying the main
+    /// verb).
+    Advcl,
+    /// Coordinated conjunct: `insert → print` in "insert … and print …".
+    Conj,
+    /// Compound noun: `expression → constructor` in
+    /// "constructor expressions".
+    Compound,
+    /// Numeric modifier: `characters → 14`.
+    NumMod,
+    /// A literal attached to a word: `named → "PI"`.
+    Lit,
+}
+
+impl DepRel {
+    /// Short label used in renderings ("obj", "nmod:at", …).
+    pub fn label(&self) -> String {
+        match self {
+            DepRel::Root => "root".to_string(),
+            DepRel::Obj => "obj".to_string(),
+            DepRel::Subj => "subj".to_string(),
+            DepRel::Nmod(p) => format!("nmod:{p}"),
+            DepRel::Amod => "amod".to_string(),
+            DepRel::Acl => "acl".to_string(),
+            DepRel::Advcl => "advcl".to_string(),
+            DepRel::Conj => "conj".to_string(),
+            DepRel::Compound => "compound".to_string(),
+            DepRel::NumMod => "nummod".to_string(),
+            DepRel::Lit => "lit".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DepRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A node of the query dependency graph: one query word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepNode {
+    /// Position of the word in the (non-punctuation) token sequence.
+    pub index: usize,
+    /// The surface word as written.
+    pub word: String,
+    /// Lower-cased form used for matching.
+    pub lemma: String,
+    /// Part of speech.
+    pub pos: Pos,
+    /// For literal/number tokens, the literal content to fill DSL slots.
+    pub literal: Option<String>,
+}
+
+/// A governor → dependent edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Node index of the governor.
+    pub gov: usize,
+    /// Node index of the dependent.
+    pub dep: usize,
+    /// The dependency type.
+    pub rel: DepRel,
+}
+
+/// A query dependency graph.
+///
+/// Shape: a tree (or forest, when parsing leaves stray subtrees) over the
+/// word nodes, rooted at the main verb.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepGraph {
+    nodes: Vec<DepNode>,
+    edges: Vec<DepEdge>,
+    root: Option<usize>,
+}
+
+impl DepGraph {
+    /// Creates a graph from parts. `edges` must reference valid node
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node index out of range.
+    pub fn new(nodes: Vec<DepNode>, edges: Vec<DepEdge>, root: Option<usize>) -> DepGraph {
+        for e in &edges {
+            assert!(e.gov < nodes.len() && e.dep < nodes.len(), "edge out of range");
+        }
+        if let Some(r) = root {
+            assert!(r < nodes.len(), "root out of range");
+        }
+        DepGraph { nodes, edges, root }
+    }
+
+    /// The word nodes in sentence order.
+    pub fn nodes(&self) -> &[DepNode] {
+        &self.nodes
+    }
+
+    /// The dependency edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// The root node index (main verb), if any node exists.
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// The node at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: usize) -> &DepNode {
+        &self.nodes[index]
+    }
+
+    /// Number of word nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children (dependents) of `index` with their relations.
+    pub fn children(&self, index: usize) -> impl Iterator<Item = (&DepEdge, &DepNode)> {
+        self.edges
+            .iter()
+            .filter(move |e| e.gov == index)
+            .map(move |e| (e, &self.nodes[e.dep]))
+    }
+
+    /// The governor of `index`, if any.
+    pub fn parent(&self, index: usize) -> Option<(&DepEdge, &DepNode)> {
+        self.edges
+            .iter()
+            .find(|e| e.dep == index)
+            .map(|e| (e, &self.nodes[e.gov]))
+    }
+
+    /// Nodes with no governor and not the root — stray subtree heads.
+    pub fn unattached(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| Some(i) != self.root && self.parent(i).is_none())
+            .collect()
+    }
+
+    /// Breadth-first levels from the root: `levels()[0]` is the root,
+    /// `levels()[1]` its dependents, etc. Unattached nodes are appended to
+    /// level 1 (mirroring HISyn's treatment of strays as root children).
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        let mut depth: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        depth[root] = Some(0);
+        let mut queue = VecDeque::from([root]);
+        let mut max_depth = 0;
+        while let Some(cur) = queue.pop_front() {
+            let d = depth[cur].expect("queued nodes have depth");
+            for e in self.edges.iter().filter(|e| e.gov == cur) {
+                if depth[e.dep].is_none() {
+                    depth[e.dep] = Some(d + 1);
+                    max_depth = max_depth.max(d + 1);
+                    queue.push_back(e.dep);
+                }
+            }
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
+        for (i, d) in depth.iter().enumerate() {
+            if let Some(d) = d {
+                levels[*d].push(i);
+            }
+        }
+        for i in self.unattached() {
+            if levels.len() < 2 {
+                levels.resize(2, Vec::new());
+            }
+            levels[1].push(i);
+        }
+        levels
+    }
+
+    /// Renders the graph as one `gov -rel-> dep` line per edge, in edge
+    /// order — convenient in tests and error messages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(r) = self.root {
+            out.push_str(&format!("root: {}\n", self.nodes[r].word));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "{} -{}-> {}\n",
+                self.nodes[e.gov].word,
+                e.rel,
+                self.nodes[e.dep].word
+            ));
+        }
+        out
+    }
+
+    /// Removes the nodes for which `keep` returns `false`, splicing their
+    /// dependents up to their governor. Used by query-graph pruning
+    /// (step 2).
+    ///
+    /// Edges from a removed node's governor to its dependents inherit the
+    /// dependents' relations. The root is never removed.
+    pub fn retain<F>(&self, keep: F) -> DepGraph
+    where
+        F: Fn(&DepNode) -> bool,
+    {
+        let keep_flags: Vec<bool> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Some(i) == self.root || keep(n))
+            .collect();
+
+        // Map every node to its nearest kept ancestor-or-self.
+        let lift = |mut i: usize| -> Option<usize> {
+            loop {
+                if keep_flags[i] {
+                    return Some(i);
+                }
+                match self.edges.iter().find(|e| e.dep == i) {
+                    Some(e) => i = e.gov,
+                    None => return None,
+                }
+            }
+        };
+
+        let mut remap: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut nodes = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if keep_flags[i] {
+                remap[i] = Some(nodes.len());
+                let mut n = node.clone();
+                n.index = nodes.len();
+                nodes.push(n);
+            }
+        }
+        let mut edges = Vec::new();
+        for e in &self.edges {
+            if !keep_flags[e.dep] {
+                continue;
+            }
+            if let Some(gov) = lift(e.gov) {
+                let (Some(g), Some(d)) = (remap[gov], remap[e.dep]) else {
+                    continue;
+                };
+                if g != d {
+                    edges.push(DepEdge {
+                        gov: g,
+                        dep: d,
+                        rel: e.rel.clone(),
+                    });
+                }
+            }
+        }
+        let root = self.root.and_then(|r| remap[r]);
+        DepGraph { nodes, edges, root }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(i: usize, w: &str, pos: Pos) -> DepNode {
+        DepNode {
+            index: i,
+            word: w.to_string(),
+            lemma: w.to_lowercase(),
+            pos,
+            literal: None,
+        }
+    }
+
+    fn chain_graph() -> DepGraph {
+        // insert -> string ; insert -> start ; start -> line
+        DepGraph::new(
+            vec![
+                word(0, "insert", Pos::Verb),
+                word(1, "string", Pos::Noun),
+                word(2, "start", Pos::Noun),
+                word(3, "line", Pos::Noun),
+            ],
+            vec![
+                DepEdge { gov: 0, dep: 1, rel: DepRel::Obj },
+                DepEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+                DepEdge { gov: 2, dep: 3, rel: DepRel::Nmod("of".into()) },
+            ],
+            Some(0),
+        )
+    }
+
+    #[test]
+    fn levels_are_bfs_depths() {
+        let g = chain_graph();
+        let levels = g.levels();
+        assert_eq!(levels, vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let g = chain_graph();
+        assert_eq!(g.parent(3).unwrap().1.word, "start");
+        assert!(g.parent(0).is_none());
+        let kids: Vec<&str> = g.children(0).map(|(_, n)| n.word.as_str()).collect();
+        assert_eq!(kids, vec!["string", "start"]);
+    }
+
+    #[test]
+    fn unattached_nodes_listed() {
+        let mut g = chain_graph();
+        g.nodes.push(word(4, "stray", Pos::Noun));
+        assert_eq!(g.unattached(), vec![4]);
+        // And they land on level 1.
+        assert!(g.levels()[1].contains(&4));
+    }
+
+    #[test]
+    fn retain_splices_grandchildren() {
+        let g = chain_graph();
+        // Drop "start": "line" must become a child of "insert".
+        let pruned = g.retain(|n| n.word != "start");
+        assert_eq!(pruned.len(), 3);
+        let insert = 0;
+        let kids: Vec<&str> = pruned
+            .children(insert)
+            .map(|(_, n)| n.word.as_str())
+            .collect();
+        assert_eq!(kids, vec!["string", "line"]);
+    }
+
+    #[test]
+    fn retain_never_drops_root() {
+        let g = chain_graph();
+        let pruned = g.retain(|_| false);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned.node(pruned.root().unwrap()).word, "insert");
+    }
+
+    #[test]
+    fn render_mentions_relations() {
+        let g = chain_graph();
+        let text = g.render();
+        assert!(text.contains("insert -obj-> string"));
+        assert!(text.contains("start -nmod:of-> line"));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn new_validates_edges() {
+        DepGraph::new(
+            vec![word(0, "a", Pos::Noun)],
+            vec![DepEdge { gov: 0, dep: 5, rel: DepRel::Obj }],
+            Some(0),
+        );
+    }
+}

@@ -1,0 +1,665 @@
+//! The rule-based dependency parser.
+//!
+//! A single left-to-right scan with pending-attachment state, tuned for the
+//! imperative programming queries of the paper's two domains. It covers:
+//!
+//! * imperative roots ("**insert** a string …");
+//! * direct objects and literal objects ("insert → string", `named → "PI"`);
+//! * prepositional attachment with per-preposition anchor rules
+//!   ("at the start" anchors to the verb, "of each line" to the noun);
+//! * gerund and relative clauses ("line **containing** numerals",
+//!   "expressions **which declare** …");
+//! * subordinate "if/when" clauses attached as `advcl`;
+//! * verb and noun coordination ("… **and** print …");
+//! * copulas and "whose" possessives ("whose argument **is** a float
+//!   literal").
+//!
+//! The parser is intentionally *not* perfect: like the real NLU tooling the
+//! paper builds on, it errs on some constructions, which downstream shows up
+//! as orphan nodes — exactly the situation the paper's orphan-node
+//! relocation optimization addresses.
+
+use crate::dep::{DepEdge, DepGraph, DepNode, DepRel};
+use crate::pos::{Pos, PosTagger};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Rule-based dependency parser for programming queries.
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_nlp::DepParser;
+///
+/// let g = DepParser::new().parse("append \":\" in every line containing numerals");
+/// // The gerund "containing" modifies "line".
+/// let line = g.nodes().iter().position(|n| n.word == "line").unwrap();
+/// let acl: Vec<&str> = g.children(line).map(|(_, n)| n.word.as_str()).collect();
+/// assert!(acl.contains(&"containing"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DepParser {
+    tagger: PosTagger,
+}
+
+impl DepParser {
+    /// Creates a parser with the default tagger.
+    pub fn new() -> DepParser {
+        DepParser::default()
+    }
+
+    /// Parses a query into its dependency graph.
+    pub fn parse(&self, query: &str) -> DepGraph {
+        let tokens = tokenize(query);
+        let tags = self.tagger.tag(&tokens);
+        self.parse_tagged(&tokens, &tags)
+    }
+
+    /// Parses pre-tokenized, pre-tagged input (useful for tests that need
+    /// to force a tagging).
+    pub fn parse_tagged(&self, tokens: &[Token], tags: &[Pos]) -> DepGraph {
+        assert_eq!(tokens.len(), tags.len(), "one tag per token");
+        // Build nodes for non-punctuation tokens, remembering the mapping.
+        let mut nodes: Vec<DepNode> = Vec::new();
+        let mut node_of_token: Vec<Option<usize>> = vec![None; tokens.len()];
+        for (t_idx, (tok, &pos)) in tokens.iter().zip(tags).enumerate() {
+            if pos == Pos::Punct {
+                continue;
+            }
+            let idx = nodes.len();
+            node_of_token[t_idx] = Some(idx);
+            nodes.push(DepNode {
+                index: idx,
+                word: tok.text.clone(),
+                lemma: tok.lower(),
+                pos,
+                literal: match tok.kind {
+                    TokenKind::Literal | TokenKind::Number => Some(tok.text.clone()),
+                    _ => None,
+                },
+            });
+        }
+
+        let mut st = ScanState::new(nodes.len());
+        for (t_idx, tok) in tokens.iter().enumerate() {
+            let pos = tags[t_idx];
+            if pos == Pos::Punct {
+                st.adjacent_noun = None;
+                if tok.text == "," {
+                    st.clause_break();
+                }
+                continue;
+            }
+            let idx = node_of_token[t_idx].expect("non-punct token has a node");
+            st.step(idx, &nodes[idx], pos);
+        }
+        st.finish();
+
+        DepGraph::new(nodes, st.edges, st.root)
+    }
+}
+
+/// Which preposition anchors where.
+fn prep_prefers_noun(prep: &str) -> bool {
+    matches!(prep, "of" | "with" | "without")
+}
+
+struct ScanState {
+    edges: Vec<DepEdge>,
+    root: Option<usize>,
+    /// The verb currently receiving objects.
+    current_verb: Option<usize>,
+    /// Most recent noun (for compounds, gerund attachment, "of"-anchors).
+    last_noun: Option<usize>,
+    /// Most recent content word of any category (anchor heuristics).
+    last_content: Option<(usize, Pos)>,
+    /// The immediately preceding token, when it was a noun — true
+    /// adjacency, reset by *any* other token. Drives compound-noun runs.
+    adjacent_noun: Option<usize>,
+    /// Pending preposition: (anchor node, preposition lemma).
+    pending_prep: Option<(usize, String)>,
+    /// Pending determiner/adjective/number modifiers for the next noun.
+    pending_mods: Vec<(usize, DepRel)>,
+    /// Subject stashed before its clause verb appears.
+    pending_subj: Option<usize>,
+    /// In a subordinate ("if"/"when") clause whose verb should attach to
+    /// the main verb as advcl.
+    subordinate: bool,
+    /// Subordinate clause verb awaiting the main verb.
+    pending_advcl: Option<usize>,
+    /// A wh-word was seen; the next verb is a relative-clause verb.
+    pending_wh: bool,
+    /// A "whose" was seen; the next noun attaches to last_noun.
+    pending_whose: bool,
+    /// A copula ("is") was seen after `Some(noun)`.
+    pending_copula: Option<usize>,
+    /// A coordination ("and"/"or"/"then") is pending.
+    pending_conj: bool,
+    /// Verbs that already received an object.
+    has_obj: Vec<bool>,
+}
+
+impl ScanState {
+    fn new(n: usize) -> ScanState {
+        ScanState {
+            edges: Vec::new(),
+            root: None,
+            current_verb: None,
+            last_noun: None,
+            last_content: None,
+            adjacent_noun: None,
+            pending_prep: None,
+            pending_mods: Vec::new(),
+            pending_subj: None,
+            subordinate: false,
+            pending_advcl: None,
+            pending_wh: false,
+            pending_whose: false,
+            pending_copula: None,
+            pending_conj: false,
+            has_obj: vec![false; n],
+        }
+    }
+
+    fn attach(&mut self, gov: usize, dep: usize, rel: DepRel) {
+        if gov != dep && !self.edges.iter().any(|e| e.dep == dep) {
+            self.edges.push(DepEdge { gov, dep, rel });
+        }
+    }
+
+    /// Re-parent: used when a compound head displaces its modifier.
+    fn replace_dependent(&mut self, old_dep: usize, new_dep: usize) -> bool {
+        if let Some(e) = self.edges.iter_mut().find(|e| e.dep == old_dep) {
+            let gov = e.gov;
+            let rel = e.rel.clone();
+            if gov == new_dep {
+                return false;
+            }
+            e.dep = new_dep;
+            let _ = (gov, rel);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clause_break(&mut self) {
+        self.pending_prep = None;
+        self.pending_mods.clear();
+        self.pending_wh = false;
+        self.pending_whose = false;
+        self.pending_copula = None;
+        if self.subordinate {
+            // End of a fronted subordinate clause: the main clause follows.
+            self.subordinate = false;
+            self.current_verb = None;
+            self.last_noun = None;
+        }
+    }
+
+    fn step(&mut self, idx: usize, node: &DepNode, pos: Pos) {
+        match pos {
+            Pos::Det => {
+                // Determiners carry no synthesis semantics except
+                // "every/each/all/any" which the pruner keeps via the noun;
+                // record a det edge for realism.
+                self.pending_mods.push((idx, DepRel::Amod));
+            }
+            Pos::Adj => self.pending_mods.push((idx, DepRel::Amod)),
+            Pos::Adv => { /* ignored */ }
+            Pos::Num => self.step_number(idx),
+            Pos::Conj => match node.lemma.as_str() {
+                "if" | "when" | "while" => {
+                    self.subordinate = true;
+                }
+                "and" | "or" | "but" | "then" => {
+                    self.pending_conj = true;
+                }
+                _ => {}
+            },
+            Pos::Wh => {
+                if node.lemma == "whose" {
+                    self.pending_whose = true;
+                } else {
+                    self.pending_wh = true;
+                }
+            }
+            Pos::Aux => {
+                self.pending_copula = self.last_noun;
+            }
+            Pos::Prep => {
+                let anchor = self.prep_anchor(&node.lemma);
+                if let Some(anchor) = anchor {
+                    self.pending_prep = Some((anchor, node.lemma.clone()));
+                }
+            }
+            Pos::Pron => { /* ignored */ }
+            Pos::Verb => self.step_verb(idx, &node.lemma),
+            Pos::Noun | Pos::Other => self.step_noun(idx),
+            Pos::Literal => self.step_literal(idx),
+            Pos::Punct => unreachable!("punctuation filtered by caller"),
+        }
+        if pos.is_content() {
+            self.last_content = Some((idx, pos));
+        }
+        self.adjacent_noun = match pos {
+            Pos::Noun | Pos::Other => Some(idx),
+            _ => None,
+        };
+    }
+
+    fn prep_anchor(&self, prep: &str) -> Option<usize> {
+        if prep_prefers_noun(prep) {
+            // "of"/"with(out)" prefer the adjacent noun, falling back to
+            // the verb — except when the immediately preceding content word
+            // is the clause verb ("starts with").
+            if let Some((idx, Pos::Verb)) = self.last_content {
+                return Some(idx);
+            }
+            return self.last_noun.or(self.current_verb);
+        }
+        // Locative prepositions anchor to the verb ("insert … at the
+        // start"), falling back to the last noun.
+        self.current_verb.or(self.last_noun)
+    }
+
+    fn step_number(&mut self, idx: usize) {
+        // A number modifies the following noun ("14 characters"); when no
+        // noun follows it acts as a nominal itself ("move to 5"). Defer via
+        // pending_mods; `finish` resolves the nominal case.
+        self.pending_mods.push((idx, DepRel::NumMod));
+    }
+
+    fn step_verb(&mut self, idx: usize, lemma: &str) {
+        // Gerunds/participles directly modify the preceding noun.
+        let is_gerund_or_participle =
+            (lemma.ends_with("ing") || lemma.ends_with("ed")) && self.last_noun.is_some();
+
+        if self.root.is_none() && !self.subordinate {
+            self.root = Some(idx);
+            self.current_verb = Some(idx);
+            if let Some(subj) = self.pending_subj.take() {
+                self.attach(idx, subj, DepRel::Subj);
+            }
+            if let Some(sub) = self.pending_advcl.take() {
+                self.attach(idx, sub, DepRel::Advcl);
+            }
+            return;
+        }
+
+        if self.subordinate && self.pending_advcl.is_none() {
+            // Clause verb of a fronted "if/when" clause.
+            if let Some(subj) = self.pending_subj.take() {
+                self.attach(idx, subj, DepRel::Subj);
+            }
+            self.pending_advcl = Some(idx);
+            self.current_verb = Some(idx);
+            return;
+        }
+
+        if self.pending_wh {
+            self.pending_wh = false;
+            if let Some(noun) = self.last_noun {
+                self.attach(noun, idx, DepRel::Acl);
+            } else if let Some(root) = self.root {
+                self.attach(root, idx, DepRel::Advcl);
+            }
+            self.current_verb = Some(idx);
+            return;
+        }
+
+        if self.pending_conj {
+            self.pending_conj = false;
+            if let Some(root) = self.root {
+                self.attach(root, idx, DepRel::Conj);
+            }
+            self.current_verb = Some(idx);
+            self.last_noun = None;
+            return;
+        }
+
+        if is_gerund_or_participle {
+            let noun = self.last_noun.expect("checked above");
+            self.attach(noun, idx, DepRel::Acl);
+            self.current_verb = Some(idx);
+            return;
+        }
+
+        // A bare verb after a noun ("a sentence starts …"): the noun is its
+        // subject.
+        if let Some(noun) = self.last_noun.take() {
+            if self.parent_of(noun).is_none() || self.subordinate {
+                self.attach(idx, noun, DepRel::Subj);
+            } else {
+                self.attach(noun, idx, DepRel::Acl);
+            }
+            if self.root.is_none() && !self.subordinate {
+                self.root = Some(idx);
+            }
+            self.current_verb = Some(idx);
+            return;
+        }
+
+        // Fallback: treat as coordinated with the root.
+        if let Some(root) = self.root {
+            self.attach(root, idx, DepRel::Conj);
+        } else {
+            self.root = Some(idx);
+        }
+        self.current_verb = Some(idx);
+    }
+
+    fn step_noun(&mut self, idx: usize) {
+        // Attach pending modifiers (det/adj/num) below this noun.
+        let mods = std::mem::take(&mut self.pending_mods);
+        for (m, rel) in mods {
+            self.attach(idx, m, rel);
+        }
+
+        // Compound run: an immediately preceding noun is displaced by this
+        // head ("constructor expressions" → expressions -compound->
+        // constructor, with expressions taking over constructor's place).
+        if let Some(prev) = self.adjacent_noun {
+            let had_parent = self.replace_dependent(prev, idx);
+            self.attach(idx, prev, DepRel::Compound);
+            self.last_noun = Some(idx);
+            if !had_parent && self.pending_subj == Some(prev) {
+                self.pending_subj = Some(idx);
+            }
+            return;
+        }
+
+        if self.pending_whose {
+            self.pending_whose = false;
+            if let Some(noun) = self.last_noun {
+                self.attach(noun, idx, DepRel::Nmod("whose".to_string()));
+                self.last_noun = Some(idx);
+                return;
+            }
+        }
+
+        if let Some(subject) = self.pending_copula.take() {
+            // "argument is a float literal" → argument -obj-> literal.
+            self.attach(subject, idx, DepRel::Obj);
+            self.last_noun = Some(idx);
+            return;
+        }
+
+        if let Some((anchor, prep)) = self.pending_prep.take() {
+            self.attach(anchor, idx, DepRel::Nmod(prep));
+            self.last_noun = Some(idx);
+            return;
+        }
+
+        if self.pending_conj {
+            self.pending_conj = false;
+            if let Some(noun) = self.last_noun {
+                self.attach(noun, idx, DepRel::Conj);
+                return;
+            }
+        }
+
+        if let Some(verb) = self.current_verb {
+            if !self.has_obj[verb] {
+                self.has_obj[verb] = true;
+                self.attach(verb, idx, DepRel::Obj);
+                self.last_noun = Some(idx);
+                return;
+            }
+        }
+
+        if self.root.is_none() && self.current_verb.is_none() {
+            // Noun before its clause verb: subject-in-waiting.
+            if self.pending_subj.is_none() {
+                self.pending_subj = Some(idx);
+                self.last_noun = Some(idx);
+                return;
+            }
+        }
+
+        // Fallback: a second bare noun after the verb's object chains as a
+        // modifier of the previous noun.
+        if let Some(noun) = self.last_noun {
+            self.attach(noun, idx, DepRel::Compound);
+        }
+        self.last_noun = Some(idx);
+    }
+
+    fn step_literal(&mut self, idx: usize) {
+        if let Some((anchor, prep)) = self.pending_prep.take() {
+            self.attach(anchor, idx, DepRel::Nmod(prep));
+            return;
+        }
+        if let Some((prev, prev_pos)) = self.last_content {
+            if prev_pos == Pos::Verb {
+                // `named "PI"`, `insert ":"`.
+                self.attach(prev, idx, DepRel::Lit);
+                if let Some(v) = self.current_verb {
+                    if v == prev {
+                        self.has_obj[v] = true;
+                    }
+                }
+                return;
+            }
+        }
+        if let Some(verb) = self.current_verb {
+            if !self.has_obj[verb] {
+                self.has_obj[verb] = true;
+                self.attach(verb, idx, DepRel::Lit);
+                return;
+            }
+        }
+        if let Some(noun) = self.last_noun {
+            self.attach(noun, idx, DepRel::Lit);
+            return;
+        }
+        // Literal with nothing before it: leave unattached (orphan).
+    }
+
+    fn parent_of(&self, idx: usize) -> Option<usize> {
+        self.edges.iter().find(|e| e.dep == idx).map(|e| e.gov)
+    }
+
+    fn finish(&mut self) {
+        // Unconsumed numeric modifiers become nominal attachments.
+        let mods = std::mem::take(&mut self.pending_mods);
+        for (m, rel) in mods {
+            if rel == DepRel::NumMod {
+                if let Some((anchor, prep)) = self.pending_prep.take() {
+                    self.attach(anchor, m, DepRel::Nmod(prep));
+                } else if let Some(verb) = self.current_verb {
+                    self.attach(verb, m, DepRel::Obj);
+                }
+            }
+        }
+        // A stashed subject with no verb: attach to root if any.
+        if let (Some(subj), Some(root)) = (self.pending_subj.take(), self.root) {
+            self.attach(root, subj, DepRel::Subj);
+        }
+        // A subordinate verb that never met a main verb becomes the root.
+        if self.root.is_none() {
+            self.root = self.pending_advcl.take();
+        } else if let Some(sub) = self.pending_advcl.take() {
+            let root = self.root.expect("checked");
+            self.attach(root, sub, DepRel::Advcl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> DepGraph {
+        DepParser::new().parse(q)
+    }
+
+    fn edge_words(g: &DepGraph) -> Vec<(String, String, String)> {
+        g.edges()
+            .iter()
+            .map(|e| {
+                (
+                    g.node(e.gov).word.clone(),
+                    e.rel.label(),
+                    g.node(e.dep).word.clone(),
+                )
+            })
+            .collect()
+    }
+
+    fn has_edge(g: &DepGraph, gov: &str, rel: &str, dep: &str) -> bool {
+        edge_words(g)
+            .iter()
+            .any(|(gw, r, dw)| gw == gov && r == rel && dw == dep)
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Figure 3: "insert a string at the start of each line".
+        let g = parse("insert a string at the start of each line");
+        assert_eq!(g.node(g.root().unwrap()).word, "insert");
+        assert!(has_edge(&g, "insert", "obj", "string"), "{}", g.render());
+        assert!(has_edge(&g, "insert", "nmod:at", "start"), "{}", g.render());
+        assert!(has_edge(&g, "start", "nmod:of", "line"), "{}", g.render());
+    }
+
+    #[test]
+    fn gerund_clause() {
+        // Table I example 1: 'Append ":" in every line containing numerals.'
+        let g = parse("append \":\" in every line containing numerals");
+        assert!(has_edge(&g, "append", "lit", ":"), "{}", g.render());
+        assert!(has_edge(&g, "append", "nmod:in", "line"), "{}", g.render());
+        assert!(has_edge(&g, "line", "acl", "containing"), "{}", g.render());
+        assert!(
+            has_edge(&g, "containing", "obj", "numerals"),
+            "{}",
+            g.render()
+        );
+    }
+
+    #[test]
+    fn fronted_conditional_clause() {
+        // Table I example 2: 'if a sentence starts with "-", add ":" after
+        // 14 characters'.
+        let g = parse("if a sentence starts with \"-\", add \":\" after 14 characters");
+        assert_eq!(g.node(g.root().unwrap()).word, "add");
+        assert!(has_edge(&g, "add", "advcl", "starts"), "{}", g.render());
+        assert!(has_edge(&g, "starts", "subj", "sentence"), "{}", g.render());
+        assert!(has_edge(&g, "starts", "nmod:with", "-"), "{}", g.render());
+        assert!(has_edge(&g, "add", "lit", ":"), "{}", g.render());
+        assert!(
+            has_edge(&g, "add", "nmod:after", "characters"),
+            "{}",
+            g.render()
+        );
+        assert!(has_edge(&g, "characters", "nummod", "14"), "{}", g.render());
+    }
+
+    #[test]
+    fn relative_clause_with_named_literal() {
+        // Table I example 5: 'find cxx constructor expressions which declare
+        // a cxx method named "PI"'.
+        let g = parse("find cxx constructor expressions which declare a cxx method named \"PI\"");
+        assert_eq!(g.node(g.root().unwrap()).word, "find");
+        assert!(has_edge(&g, "find", "obj", "expressions"), "{}", g.render());
+        assert!(
+            has_edge(&g, "expressions", "compound", "constructor"),
+            "{}",
+            g.render()
+        );
+        assert!(
+            has_edge(&g, "expressions", "acl", "declare"),
+            "{}",
+            g.render()
+        );
+        assert!(has_edge(&g, "declare", "obj", "method"), "{}", g.render());
+        assert!(has_edge(&g, "method", "acl", "named"), "{}", g.render());
+        assert!(has_edge(&g, "named", "lit", "PI"), "{}", g.render());
+    }
+
+    #[test]
+    fn whose_copula() {
+        // Table I example 6: 'search for call expressions whose argument is
+        // a float literal'.
+        let g = parse("search for call expressions whose argument is a float literal");
+        assert!(
+            has_edge(&g, "expressions", "nmod:whose", "argument"),
+            "{}",
+            g.render()
+        );
+        assert!(has_edge(&g, "argument", "obj", "literal"), "{}", g.render());
+        // "float" hangs off "literal" — as amod or compound depending on
+        // its tagging; both merge into the head during pruning.
+        assert!(
+            has_edge(&g, "literal", "amod", "float")
+                || has_edge(&g, "literal", "compound", "float"),
+            "{}",
+            g.render()
+        );
+    }
+
+    #[test]
+    fn verb_coordination() {
+        let g = parse("delete the first word and print the line");
+        assert!(has_edge(&g, "delete", "conj", "print"), "{}", g.render());
+        assert!(has_edge(&g, "delete", "obj", "word"), "{}", g.render());
+        assert!(has_edge(&g, "print", "obj", "line"), "{}", g.render());
+    }
+
+    #[test]
+    fn amod_attachment() {
+        let g = parse("delete all empty lines");
+        assert!(has_edge(&g, "lines", "amod", "empty"), "{}", g.render());
+        assert!(has_edge(&g, "delete", "obj", "lines"), "{}", g.render());
+    }
+
+    #[test]
+    fn starts_with_anchors_to_verb() {
+        let g = parse("delete every line which starts with \"#\"");
+        assert!(has_edge(&g, "line", "acl", "starts"), "{}", g.render());
+        assert!(has_edge(&g, "starts", "nmod:with", "#"), "{}", g.render());
+    }
+
+    #[test]
+    fn empty_query() {
+        let g = parse("");
+        assert!(g.is_empty());
+        assert_eq!(g.root(), None);
+    }
+
+    #[test]
+    fn single_word() {
+        let g = parse("undo");
+        assert_eq!(g.len(), 1);
+        // Unknown word defaults nominal; no verb → no root edges.
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn every_node_has_at_most_one_parent() {
+        for q in [
+            "insert a string at the start of each line",
+            "append \":\" in every line containing numerals",
+            "if a sentence starts with \"-\", add \":\" after 14 characters",
+            "find cxx constructor expressions which declare a cxx method named \"PI\"",
+            "search for call expressions whose argument is a float literal",
+            "delete the first word and print the line",
+        ] {
+            let g = parse(q);
+            for i in 0..g.len() {
+                let parents = g.edges().iter().filter(|e| e.dep == i).count();
+                assert!(parents <= 1, "node {} of {:?} has {} parents", i, q, parents);
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_edges() {
+        for q in [
+            "insert a string at the start of each line",
+            "list all binary operators named \"*\"",
+        ] {
+            let g = parse(q);
+            assert!(g.edges().iter().all(|e| e.gov != e.dep), "{}", g.render());
+        }
+    }
+}

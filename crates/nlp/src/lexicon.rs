@@ -1,0 +1,119 @@
+//! Closed-class and domain word lists backing the POS tagger.
+//!
+//! The lists are tuned for imperative programming queries of the kind the
+//! paper evaluates ("insert a string at the start of each line", "find cxx
+//! constructor expressions which declare a method named PI").
+
+/// Determiners.
+pub(crate) const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "every", "each", "all", "any", "some", "this", "these", "those", "no",
+    "both", "either",
+];
+
+/// Prepositions. `to` is handled separately (particle vs preposition).
+pub(crate) const PREPOSITIONS: &[&str] = &[
+    "at", "in", "on", "of", "with", "from", "before", "after", "into", "by", "for", "within",
+    "under", "over", "between", "without", "inside", "onto", "until", "as", "to", "per",
+    "through",
+];
+
+/// Coordinating / subordinating conjunctions.
+pub(crate) const CONJUNCTIONS: &[&str] = &["and", "or", "but", "if", "then", "when", "while"];
+
+/// Relative / wh-words introducing relative clauses.
+pub(crate) const WH_WORDS: &[&str] = &["which", "who", "whose", "where", "that"];
+
+/// Pronouns.
+pub(crate) const PRONOUNS: &[&str] = &["it", "them", "its", "they", "itself"];
+
+/// Modals and auxiliaries (rare in imperative queries but appear in
+/// relative clauses: "which is a float literal").
+pub(crate) const AUXILIARIES: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "do", "does",
+    "can", "should", "must", "may",
+];
+
+/// Words that are verbs in this domain (imperative commands and clause
+/// verbs).
+pub(crate) const VERBS: &[&str] = &[
+    "insert", "add", "append", "prepend", "delete", "remove", "erase", "drop", "replace",
+    "substitute", "change", "swap", "move", "copy", "duplicate", "print", "select", "find",
+    "search", "list", "locate", "get", "show", "extract", "convert", "make", "turn", "put",
+    "place", "highlight", "merge", "split", "capitalize", "uppercase", "lowercase", "trim",
+    "strip", "wrap", "indent", "clear", "declare", "declares", "declare", "contain",
+    "contains", "containing", "starts", "ends", "begins", "starting", "ending", "beginning",
+    "named", "called", "matching", "matches", "having", "take", "takes", "return", "returns",
+    "returning", "define", "defines", "defining", "use", "uses", "using", "modify", "refer",
+    "refers", "referring", "point", "points", "pointing", "override", "overrides", "throw",
+    "throws", "inherit", "inherits", "derive", "derives", "implement", "implements", "assign",
+    "assigns", "invoke", "invokes", "access", "accesses", "reverse", "count", "join",
+    "equal", "equals",
+];
+
+/// Words that are nouns in this domain.
+pub(crate) const NOUNS: &[&str] = &[
+    "string", "strings", "line", "lines", "word", "words", "character", "characters", "char",
+    "chars", "sentence", "sentences", "paragraph", "paragraphs", "document", "documents",
+    "text", "number", "numbers", "numeral", "numerals", "digit", "digits", "letter",
+    "letters", "position", "positions", "occurrence", "occurrences", "beginning", "expression",
+    "expressions", "statement", "statements", "function", "functions", "method", "methods",
+    "class", "classes", "constructor", "constructors", "destructor", "destructors",
+    "variable", "variables", "argument", "arguments", "parameter", "parameters", "operator",
+    "operators", "literal", "literals", "declaration", "declarations", "loop", "loops",
+    "pointer", "pointers", "reference", "references", "type", "types", "field", "fields",
+    "member", "members", "call", "calls", "integer", "integers", "float", "floats", "comment",
+    "comments", "cast", "casts", "name", "names", "value", "values", "record", "records",
+    "struct", "structs", "union", "unions", "enum", "enums", "template", "templates",
+    "lambda", "lambdas", "namespace", "namespaces", "label", "labels", "array", "arrays",
+    "condition", "conditions", "body", "bodies", "initializer", "initializers", "base",
+    "bases", "column", "columns", "tab", "tabs", "space", "spaces", "bracket", "brackets",
+    "quote", "quotes", "comma", "commas", "period", "periods", "colon", "colons", "cell",
+    "cells", "token", "tokens", "item", "items", "entry", "entries", "selection", "cursor",
+    "clipboard", "file", "files", "substring", "prefix", "suffix", "whitespace", "newline",
+    "delimiter", "delimiters", "caller", "callee", "operand", "operands", "subscript",
+    "bool", "boolean",
+];
+
+/// Words that are adjectives in this domain.
+pub(crate) const ADJECTIVES: &[&str] = &[
+    "first", "last", "second", "third", "nth", "next", "previous", "empty", "blank",
+    "non-empty", "binary", "unary", "const", "constant", "static", "virtual", "public",
+    "private", "protected", "pure", "default", "explicit", "implicit", "global", "local",
+    "numeric", "alphabetic", "uppercase", "lowercase", "odd", "even", "new", "whole",
+    "entire", "same", "floating", "integral", "cxx", "c", "member", "compound",
+];
+
+/// Words that can be verb or noun; context decides.
+pub(crate) const VERB_NOUN_AMBIGUOUS: &[&str] = &[
+    "start", "end", "match", "name", "copy", "print", "call", "return", "cast", "comment",
+    "count", "label", "begin", "select", "point", "reference", "base", "list",
+];
+
+pub(crate) fn contains(list: &[&str], word: &str) -> bool {
+    list.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_domain_words_present() {
+        assert!(contains(VERBS, "insert"));
+        assert!(contains(NOUNS, "line"));
+        assert!(contains(DETERMINERS, "every"));
+        assert!(contains(PREPOSITIONS, "after"));
+        assert!(contains(VERB_NOUN_AMBIGUOUS, "start"));
+    }
+
+    #[test]
+    fn lists_have_no_duplicates() {
+        for list in [DETERMINERS, PREPOSITIONS, CONJUNCTIONS, WH_WORDS, PRONOUNS] {
+            let mut sorted: Vec<&str> = list.to_vec();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(before, sorted.len());
+        }
+    }
+}

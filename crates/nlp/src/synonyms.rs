@@ -1,0 +1,223 @@
+//! Synonym lexicon for semantic word↔API matching.
+//!
+//! The paper's WordToAPI step matches query words against API documentation
+//! "via NLU techniques". This crate substitutes a curated synonym lexicon
+//! (the role WordNet plays in the original): each group lists words that
+//! count as semantically equivalent after stemming. Membership is symmetric
+//! and transitive within a group.
+
+use std::collections::BTreeMap;
+
+use crate::stem;
+
+/// Groups of inter-substitutable words. All comparisons happen on stems.
+#[derive(Debug, Clone)]
+pub struct SynonymLexicon {
+    /// stem → group id.
+    group_of: BTreeMap<String, usize>,
+    /// group id → member stems.
+    groups: Vec<Vec<String>>,
+}
+
+/// The built-in groups, tuned for the text-editing and code-analysis
+/// domains.
+const DEFAULT_GROUPS: &[&[&str]] = &[
+    &["insert", "add", "append", "prepend", "put", "place", "attach"],
+    &["delete", "remove", "erase", "drop", "eliminate", "discard", "cut"],
+    &["replace", "substitute", "swap", "change", "exchange"],
+    &["move", "shift", "relocate"],
+    &["copy", "duplicate", "clone"],
+    &["print", "show", "display", "output", "list"],
+    &["select", "choose", "pick", "highlight"],
+    &["find", "search", "locate", "lookup", "get", "identify", "match"],
+    &["start", "begin", "beginning", "front", "head", "starts", "begins"],
+    &["end", "finish", "tail", "back", "ends"],
+    &["line", "row"],
+    &["word", "token"],
+    &["character", "char", "symbol"],
+    &["number", "numeral", "digit", "numeric", "integer"],
+    &["string", "text"],
+    &["sentence", "phrase"],
+    &["paragraph", "passage"],
+    &["document", "file", "buffer"],
+    &["contain", "include", "have", "hold", "with"],
+    &["every", "each", "all", "any"],
+    &["first", "initial"],
+    &["last", "final"],
+    &["empty", "blank"],
+    &["position", "place", "location", "spot", "offset"],
+    &["occurrence", "instance", "appearance"],
+    &["before", "preceding", "prior"],
+    &["after", "following", "behind"],
+    &["uppercase", "capitalize", "capital"],
+    &["lowercase", "small"],
+    &["function", "routine", "procedure"],
+    &["method", "memberfunction"],
+    &["class", "record"],
+    &["variable", "var"],
+    &["argument", "arg", "operand"],
+    &["parameter", "param"],
+    &["declare", "define", "declaration", "definition"],
+    &["call", "invoke", "invocation"],
+    &["return", "yield"],
+    &["expression", "expr"],
+    &["statement", "stmt"],
+    &["constructor", "ctor"],
+    &["destructor", "dtor"],
+    &["operator", "op"],
+    &["literal", "constant", "value"],
+    &["pointer", "ptr"],
+    &["reference", "ref"],
+    &["type", "kind"],
+    &["field", "member", "attribute"],
+    &["name", "identifier", "named", "called"],
+    &["loop", "iteration", "iterate"],
+    &["condition", "conditional", "predicate"],
+    &["binary", "infix"],
+    &["unary", "prefix"],
+    &["count", "tally"],
+    &["join", "merge", "concatenate", "combine"],
+    &["split", "divide", "separate"],
+    &["trim", "strip"],
+    &["comment", "annotation"],
+    &["float", "floating", "double", "real"],
+];
+
+impl Default for SynonymLexicon {
+    fn default() -> Self {
+        SynonymLexicon::from_groups(DEFAULT_GROUPS.iter().map(|g| g.iter().copied()))
+    }
+}
+
+impl SynonymLexicon {
+    /// Builds a lexicon with the built-in groups.
+    pub fn new() -> SynonymLexicon {
+        SynonymLexicon::default()
+    }
+
+    /// Builds a lexicon from explicit groups. Words are stemmed; a word may
+    /// appear in only one group (later occurrences are ignored).
+    pub fn from_groups<'a, I, G>(groups: I) -> SynonymLexicon
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = &'a str>,
+    {
+        let mut lex = SynonymLexicon {
+            group_of: BTreeMap::new(),
+            groups: Vec::new(),
+        };
+        for group in groups {
+            let id = lex.groups.len();
+            let mut members = Vec::new();
+            for word in group {
+                let s = stem(word);
+                if let std::collections::btree_map::Entry::Vacant(e) = lex.group_of.entry(s.clone())
+                {
+                    e.insert(id);
+                    members.push(s);
+                }
+            }
+            lex.groups.push(members);
+        }
+        lex
+    }
+
+    /// Extends the lexicon with an additional group (e.g. domain-specific
+    /// vocabulary contributed by a DSL author).
+    pub fn add_group<'a, G>(&mut self, group: G)
+    where
+        G: IntoIterator<Item = &'a str>,
+    {
+        let id = self.groups.len();
+        let mut members = Vec::new();
+        for word in group {
+            let s = stem(word);
+            if let std::collections::btree_map::Entry::Vacant(e) = self.group_of.entry(s.clone()) {
+                e.insert(id);
+                members.push(s);
+            }
+        }
+        self.groups.push(members);
+    }
+
+    /// Whether two words (any inflection) are synonymous: equal stems or
+    /// members of the same group.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        let sa = stem(a);
+        let sb = stem(b);
+        if sa == sb {
+            return true;
+        }
+        match (self.group_of.get(&sa), self.group_of.get(&sb)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
+    }
+
+    /// All stems synonymous with `word`, including its own stem.
+    pub fn expand(&self, word: &str) -> Vec<String> {
+        let s = stem(word);
+        let mut result = vec![s.clone()];
+        if let Some(&g) = self.group_of.get(&s) {
+            for member in &self.groups[g] {
+                if *member != s {
+                    result.push(member.clone());
+                }
+            }
+        }
+        result
+    }
+
+    /// Number of synonym groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_groups_cover_domain_verbs() {
+        let lex = SynonymLexicon::new();
+        assert!(lex.are_synonyms("insert", "append"));
+        assert!(lex.are_synonyms("appended", "inserting"));
+        assert!(lex.are_synonyms("delete", "remove"));
+        assert!(!lex.are_synonyms("insert", "delete"));
+    }
+
+    #[test]
+    fn same_stem_is_synonym_without_group() {
+        let lex = SynonymLexicon::new();
+        assert!(lex.are_synonyms("zorp", "zorps"));
+    }
+
+    #[test]
+    fn expand_includes_self_first() {
+        let lex = SynonymLexicon::new();
+        let ex = lex.expand("lines");
+        assert_eq!(ex[0], "line");
+        assert!(ex.contains(&"row".to_string()));
+    }
+
+    #[test]
+    fn custom_group_extension() {
+        let mut lex = SynonymLexicon::new();
+        assert!(!lex.are_synonyms("frobnicate", "tweak"));
+        lex.add_group(["frobnicate", "tweak"]);
+        assert!(lex.are_synonyms("frobnicate", "tweak"));
+    }
+
+    #[test]
+    fn word_keeps_first_group_membership() {
+        let mut lex = SynonymLexicon::new();
+        let before = lex.expand("insert");
+        lex.add_group(["insert", "unrelated"]);
+        // "insert" stays in its original group.
+        assert_eq!(lex.expand("insert"), before);
+        // "unrelated" joined the new (now singleton-with-insert-dropped)
+        // group and is not a synonym of insert.
+        assert!(!lex.are_synonyms("insert", "unrelated"));
+    }
+}

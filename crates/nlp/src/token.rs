@@ -1,0 +1,261 @@
+//! Tokenization of natural-language queries.
+//!
+//! The tokenizer is literal-aware: quoted spans (`":"`, `'foo'`) become
+//! single [`TokenKind::Literal`] tokens whose unquoted text is preserved —
+//! the synthesizer later fills DSL literal slots (e.g. `STRING(:)`,
+//! `hasName("PI")`) from them in order of appearance.
+
+/// The kind of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word (possibly with internal hyphens).
+    Word,
+    /// A number written with digits (`14`, `3.5`).
+    Number,
+    /// A quoted string literal; [`Token::text`] holds the unquoted content.
+    Literal,
+    /// Punctuation (comma, period, parentheses…).
+    Punct,
+}
+
+/// A single token of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Token text. For [`TokenKind::Literal`] this is the content without
+    /// the surrounding quotes.
+    pub text: String,
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the original query.
+    pub offset: usize,
+}
+
+impl Token {
+    /// The lower-cased text, the form used for lexicon lookups.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+/// Tokenizes a query.
+///
+/// Splitting rules:
+/// * double- or single-quoted spans become one [`TokenKind::Literal`] token
+///   (unterminated quotes fall back to per-character handling);
+/// * runs of digits (with optional one `.`) become [`TokenKind::Number`];
+/// * runs of alphabetic characters, `-` and `_` become [`TokenKind::Word`];
+/// * every other non-space character is a [`TokenKind::Punct`] token.
+///
+/// # Example
+///
+/// ```rust
+/// use nlquery_nlp::{tokenize, TokenKind};
+///
+/// let toks = tokenize("append \":\" in every line");
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[1].kind, TokenKind::Literal);
+/// assert_eq!(toks[1].text, ":");
+/// ```
+pub fn tokenize(query: &str) -> Vec<Token> {
+    let bytes: Vec<char> = query.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    // Track byte offsets alongside char indices.
+    let mut byte_offsets: Vec<usize> = Vec::with_capacity(bytes.len() + 1);
+    {
+        let mut off = 0;
+        for c in &bytes {
+            byte_offsets.push(off);
+            off += c.len_utf8();
+        }
+        byte_offsets.push(off);
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c == '"' || c == '\'' {
+            // A quoted literal. An apostrophe inside a word ("line's") is
+            // not an opening quote.
+            let is_intra_word_apostrophe = c == '\''
+                && start > 0
+                && bytes[start - 1].is_alphanumeric()
+                && start + 1 < bytes.len()
+                && bytes[start + 1].is_alphanumeric();
+            if !is_intra_word_apostrophe {
+                if let Some(end) = (start + 1..bytes.len()).find(|&j| bytes[j] == c) {
+                    let content: String = bytes[start + 1..end].iter().collect();
+                    tokens.push(Token {
+                        text: content,
+                        kind: TokenKind::Literal,
+                        offset: byte_offsets[start],
+                    });
+                    i = end + 1;
+                    continue;
+                }
+            }
+            // Unterminated quote or apostrophe: treat as punctuation.
+            tokens.push(Token {
+                text: c.to_string(),
+                kind: TokenKind::Punct,
+                offset: byte_offsets[start],
+            });
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = start;
+            let mut seen_dot = false;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit() || (bytes[j] == '.' && !seen_dot))
+            {
+                if bytes[j] == '.' {
+                    // Only treat `.` as part of a number when a digit
+                    // follows ("3.5", not "14.").
+                    if j + 1 >= bytes.len() || !bytes[j + 1].is_ascii_digit() {
+                        break;
+                    }
+                    seen_dot = true;
+                }
+                j += 1;
+            }
+            tokens.push(Token {
+                text: bytes[start..j].iter().collect(),
+                kind: TokenKind::Number,
+                offset: byte_offsets[start],
+            });
+            i = j;
+            continue;
+        }
+        if c.is_alphabetic() {
+            let mut j = start;
+            while j < bytes.len()
+                && (bytes[j].is_alphanumeric()
+                    || bytes[j] == '-'
+                    || bytes[j] == '_'
+                    || (bytes[j] == '\''
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].is_alphanumeric()))
+            {
+                j += 1;
+            }
+            tokens.push(Token {
+                text: bytes[start..j].iter().collect(),
+                kind: TokenKind::Word,
+                offset: byte_offsets[start],
+            });
+            i = j;
+            continue;
+        }
+        tokens.push(Token {
+            text: c.to_string(),
+            kind: TokenKind::Punct,
+            offset: byte_offsets[start],
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(q: &str) -> Vec<TokenKind> {
+        tokenize(q).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_literal() {
+        let toks = tokenize("append \":\" in every line containing numerals");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "append", ":", "in", "every", "line", "containing", "numerals"
+            ]
+        );
+        assert_eq!(toks[1].kind, TokenKind::Literal);
+    }
+
+    #[test]
+    fn single_quoted_literal() {
+        let toks = tokenize("add '-' before each word");
+        assert_eq!(toks[1].kind, TokenKind::Literal);
+        assert_eq!(toks[1].text, "-");
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("add \":\" after 14 characters");
+        assert_eq!(toks[3].kind, TokenKind::Number);
+        assert_eq!(toks[3].text, "14");
+    }
+
+    #[test]
+    fn decimal_number_and_trailing_period() {
+        let toks = tokenize("move 3.5 units.");
+        assert_eq!(toks[1].text, "3.5");
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn punctuation_split() {
+        assert_eq!(
+            kinds("delete, then print"),
+            vec![
+                TokenKind::Word,
+                TokenKind::Punct,
+                TokenKind::Word,
+                TokenKind::Word
+            ]
+        );
+    }
+
+    #[test]
+    fn intra_word_apostrophe_stays_in_word() {
+        let toks = tokenize("delete the line's end");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["delete", "the", "line's", "end"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_punct() {
+        let toks = tokenize("say \"hello");
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+        assert_eq!(toks[2].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn empty_literal_preserved() {
+        let toks = tokenize("replace \"\" everywhere");
+        assert_eq!(toks[1].kind, TokenKind::Literal);
+        assert_eq!(toks[1].text, "");
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = tokenize("ab \"x\" cd");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 7);
+    }
+
+    #[test]
+    fn empty_query_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t ").is_empty());
+    }
+
+    #[test]
+    fn hyphenated_word_is_one_token() {
+        let toks = tokenize("non-empty lines");
+        assert_eq!(toks[0].text, "non-empty");
+        assert_eq!(toks.len(), 2);
+    }
+}

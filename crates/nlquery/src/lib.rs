@@ -1,0 +1,46 @@
+//! **nlquery** — near real-time NLU-driven natural language programming.
+//!
+//! A from-scratch Rust reproduction of *"Enabling Near Real-Time
+//! NLU-Driven Natural Language Programming through Dynamic Grammar
+//! Graph-Based Translation"* (Nan, Guan, Shen — CGO 2022): an NL-to-code
+//! synthesizer that needs no training data, only the target DSL's grammar
+//! and API documentation.
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! * [`nlp`] — deterministic NLP substrate (tokenizer, POS tagger,
+//!   dependency parser, semantic word↔API matcher);
+//! * [`grammar`] — BNF grammars, grammar graphs, reversed all-path search;
+//! * the core pipeline ([`Synthesizer`], [`SynthesisConfig`]) with both
+//!   step-5 engines: the exhaustive HISyn baseline and the paper's DGGT
+//!   dynamic-programming algorithm plus its three optimizations;
+//! * [`domains`] — the two evaluation domains (TextEditing, clang
+//!   ASTMatcher) with their query corpora, and a synthetic workload
+//!   generator.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use nlquery::{SynthesisConfig, Synthesizer};
+//!
+//! let domain = nlquery::domains::textedit::domain()?;
+//! let synthesizer = Synthesizer::new(domain, SynthesisConfig::default());
+//! let result = synthesizer.synthesize("delete every word");
+//! assert_eq!(
+//!     result.expression.as_deref(),
+//!     Some("DELETE(WORDTOKEN(), IterationScope(BConditionOccurrence(ALL())))")
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the repository's `examples/` for an interactive editing assistant,
+//! an ASTMatcher helper, and a bring-your-own-DSL walkthrough; the
+//! `nlquery-bench` crate regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nlquery_core::*;
+pub use nlquery_domains as domains;
+pub use nlquery_grammar as grammar;
+pub use nlquery_nlp as nlp;

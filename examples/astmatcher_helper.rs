@@ -1,0 +1,46 @@
+//! An IDE-style helper for clang's LibASTMatchers: type what you want to
+//! find in C++ code, get the matcher expression — the second evaluation
+//! domain of the paper. Also demonstrates inspecting synthesis statistics.
+//!
+//! ```sh
+//! cargo run --example astmatcher_helper [-- "your query here"]
+//! ```
+
+use nlquery::{Outcome, SynthesisConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let domain = nlquery::domains::astmatcher::domain()?;
+    let synthesizer = Synthesizer::new(domain, SynthesisConfig::default());
+
+    let user_query: Option<String> = std::env::args().nth(1);
+    let queries: Vec<String> = match user_query {
+        Some(q) => vec![q],
+        None => [
+            "find function declarations named \"main\"",
+            "search for call expressions whose argument is a float literal",
+            "find cxx methods that are virtual",
+            "list all binary operators named \"*\"",
+            "find cxx constructor expressions which declare a cxx method named \"PI\"",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
+    };
+
+    for query in &queries {
+        let r = synthesizer.synthesize(query);
+        println!("query: {query}");
+        match r.outcome {
+            Outcome::Success => {
+                println!("  matcher: {}", r.expression.expect("success has code"));
+            }
+            other => println!("  no matcher: {other:?}"),
+        }
+        println!(
+            "  stats: {} dep edges, {} candidate paths, {:.0} theoretical combinations, {:?}",
+            r.stats.dep_edges, r.stats.orig_paths, r.stats.orig_combinations, r.elapsed
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Bringing your own DSL: define a grammar in BNF, document its APIs, and
+//! the synthesizer handles the rest — the extensibility argument of the
+//! NLU-driven approach (no training data, just the API reference).
+//!
+//! The toy domain: a smart-home command language.
+//!
+//! ```sh
+//! cargo run --example custom_domain
+//! ```
+
+use nlquery::nlp::ApiDoc;
+use nlquery::grammar::GrammarGraph;
+use nlquery::{Domain, SynthesisConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bnf = r#"
+        program   ::= command
+        command   ::= TURNON device when | TURNOFF device when | DIM device level when
+        device    ::= LIGHT room | THERMOSTAT | SPEAKER room | FAN room
+        room      ::= KITCHEN | BEDROOM | LIVINGROOM | BATHROOM
+        level     ::= LEVEL
+        when      ::= NOW | AT time | AFTER time
+        time      ::= TIMEVALUE
+    "#;
+    let graph = GrammarGraph::parse(bnf)?;
+
+    let docs = vec![
+        ApiDoc::new("TURNON", &["turn", "on", "enable"], "turns a device on", 0),
+        ApiDoc::new("TURNOFF", &["turn", "off", "disable"], "turns a device off", 0),
+        ApiDoc::new("DIM", &["dim"], "dims a light to a level", 0),
+        ApiDoc::new("LIGHT", &["light", "lamp"], "a light in a room", 0),
+        ApiDoc::new("THERMOSTAT", &["thermostat", "heating"], "the thermostat", 0),
+        ApiDoc::new("SPEAKER", &["speaker", "music"], "a speaker in a room", 0),
+        ApiDoc::new("FAN", &["fan"], "a fan in a room", 0),
+        ApiDoc::new("KITCHEN", &["kitchen"], "the kitchen", 0),
+        ApiDoc::new("BEDROOM", &["bedroom"], "the bedroom", 0),
+        ApiDoc::new("LIVINGROOM", &["lounge", "livingroom"], "the living room or lounge", 0),
+        ApiDoc::new("BATHROOM", &["bathroom"], "the bathroom", 0),
+        ApiDoc::new("LEVEL", &["percent", "level"], "a brightness level", 1),
+        ApiDoc::new("NOW", &["now", "immediately"], "right away", 0),
+        ApiDoc::new("AT", &["at"], "at a point in time", 0),
+        ApiDoc::new("AFTER", &["after"], "after a delay", 0),
+        ApiDoc::new("TIMEVALUE", &["time", "clock", "minute", "hour"], "a time value", 1),
+    ];
+
+    let domain = Domain::builder("smart-home")
+        .graph(graph)
+        .docs(docs)
+        .build()?;
+    let synthesizer = Synthesizer::new(domain, SynthesisConfig::default());
+
+    for query in [
+        "turn on the light in the kitchen",
+        "disable the fan in the bedroom",
+        "dim the light in the bathroom",
+        "enable the speaker in the lounge",
+    ] {
+        let r = synthesizer.synthesize(query);
+        println!("{query:<42} => {}", r.expression.unwrap_or_else(|| "(none)".into()));
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Quickstart: synthesize a text-editing codelet from plain English.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nlquery::{Outcome, SynthesisConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A domain bundles the DSL grammar, the API documentation, and the
+    // literal policy. TextEditing ships with the crate.
+    let domain = nlquery::domains::textedit::domain()?;
+
+    // Default configuration: DGGT engine with grammar-based pruning,
+    // size-based pruning and orphan relocation all on.
+    let synthesizer = Synthesizer::new(domain, SynthesisConfig::default());
+
+    let query = "insert \":\" at the start of each line";
+    let result = synthesizer.synthesize(query);
+
+    match result.outcome {
+        Outcome::Success => {
+            println!("query:   {query}");
+            println!("codelet: {}", result.expression.expect("success has code"));
+            println!("took:    {:?}", result.elapsed);
+        }
+        other => println!("synthesis did not succeed: {other:?}"),
+    }
+    Ok(())
+}

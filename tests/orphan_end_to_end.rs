@@ -1,0 +1,85 @@
+//! Orphan-node relocation (§V-B) end to end: queries whose dependency
+//! parses leave nodes without grammatical governors still synthesize, and
+//! relocation beats the HISyn root-attachment treatment.
+
+use std::time::Duration;
+
+use nlquery::{Outcome, SynthesisConfig, Synthesizer};
+
+/// Queries known to produce orphans under the rule-based parser (the
+/// quantifier and the gerund detach from their surface governors).
+const ORPHAN_QUERIES: &[&str] = &[
+    "append \":\" in every line containing numerals",
+    "print every line containing \"error\"",
+    "delete the first word of every line",
+    "move the first word to the end of the line",
+];
+
+#[test]
+fn orphan_queries_do_produce_orphans() {
+    let synth = Synthesizer::new(
+        nlquery::domains::textedit::domain().unwrap(),
+        SynthesisConfig::default().timeout(Duration::from_secs(5)),
+    );
+    let mut saw_orphans = 0;
+    for q in ORPHAN_QUERIES {
+        let r = synth.synthesize(q);
+        if r.stats.orphans > 0 {
+            saw_orphans += 1;
+        }
+    }
+    assert!(saw_orphans >= 3, "only {saw_orphans} queries produced orphans");
+}
+
+#[test]
+fn relocation_synthesizes_every_orphan_query() {
+    let synth = Synthesizer::new(
+        nlquery::domains::textedit::domain().unwrap(),
+        SynthesisConfig::default().timeout(Duration::from_secs(5)),
+    );
+    for q in ORPHAN_QUERIES {
+        let r = synth.synthesize(q);
+        assert_eq!(r.outcome, Outcome::Success, "{q}: {:?}", r.stats);
+    }
+}
+
+#[test]
+fn relocation_reduces_candidate_paths() {
+    // The paper's Table III: relocation shrinks the path count versus the
+    // root-attachment treatment.
+    let synth = Synthesizer::new(
+        nlquery::domains::textedit::domain().unwrap(),
+        SynthesisConfig::default().timeout(Duration::from_secs(5)),
+    );
+    let r = synth.synthesize("append \":\" in every line containing numerals");
+    assert_eq!(r.outcome, Outcome::Success);
+    assert!(
+        r.stats.paths_after_relocation < r.stats.orig_paths,
+        "reloc {} vs orig {}",
+        r.stats.paths_after_relocation,
+        r.stats.orig_paths
+    );
+}
+
+#[test]
+fn relocation_never_loses_to_root_attachment() {
+    let domain = nlquery::domains::textedit::domain().unwrap();
+    let with = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::default().timeout(Duration::from_secs(5)),
+    );
+    let without = Synthesizer::new(
+        domain,
+        SynthesisConfig::default()
+            .orphan_relocation(false)
+            .timeout(Duration::from_secs(5)),
+    );
+    for q in ORPHAN_QUERIES {
+        let a = with.synthesize(q);
+        let b = without.synthesize(q);
+        assert!(
+            !(a.expression.is_none() && b.expression.is_some()),
+            "relocation lost a query root attachment wins: {q}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the grammar and core crates: path-search soundness on random
+//! grammars, the §V-C size bounds, grammar-pruning exactness, and DGGT's
+//! minimality against the exhaustive baseline on random workloads.
+
+use proptest::prelude::*;
+
+use nlquery::domains::workload::{generate, WorkloadSpec};
+use nlquery::grammar::{GrammarGraph, SearchLimits};
+use nlquery::{dggt, edge2path, hisyn, Cgt, Deadline, SynthesisConfig, SynthesisStats};
+use std::time::Duration;
+
+/// A small random grammar: layered rules so that every non-terminal is
+/// defined and the graph stays acyclic-ish but multi-path.
+fn arb_grammar() -> impl Strategy<Value = String> {
+    // layers: number of rule layers (2..4); width: alternatives per rule.
+    (2usize..4, 1usize..4, proptest::collection::vec(0u8..4, 4..16)).prop_map(
+        |(layers, width, seeds)| {
+            let mut bnf = String::new();
+            let mut seed_iter = seeds.into_iter().cycle();
+            let mut next = move || seed_iter.next().expect("cycle is infinite") as usize;
+            bnf.push_str("root ::= R0 l0\n");
+            for layer in 0..layers {
+                let mut alts = Vec::new();
+                for alt in 0..width {
+                    let api = format!("A{layer}X{alt}");
+                    if layer + 1 < layers {
+                        // Half the alternatives recurse into the next layer.
+                        if next() % 2 == 0 {
+                            alts.push(format!("{api} l{}", layer + 1));
+                        } else {
+                            alts.push(api);
+                        }
+                    } else {
+                        alts.push(api);
+                    }
+                }
+                bnf.push_str(&format!("l{layer} ::= {}\n", alts.join(" | ")));
+            }
+            bnf
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn path_search_is_sound(bnf in arb_grammar()) {
+        let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
+        let apis: Vec<_> = g.api_nodes().to_vec();
+        for (_, from) in &apis {
+            for (_, to) in &apis {
+                for p in g.paths_between(*from, *to, SearchLimits::default()) {
+                    // Endpoints match.
+                    prop_assert_eq!(p.source, Some(*from));
+                    prop_assert_eq!(p.sink, *to);
+                    // Every consecutive chain pair is a real grammar edge.
+                    for w in p.chain.windows(2) {
+                        prop_assert!(
+                            g.node(w[0]).children.contains(&w[1]),
+                            "bogus edge on path"
+                        );
+                    }
+                    // Simple path: no repeated nodes.
+                    let mut seen = std::collections::BTreeSet::new();
+                    for n in &p.chain {
+                        prop_assert!(seen.insert(*n), "chain revisits a node");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_paths_start_at_root(bnf in arb_grammar()) {
+        let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
+        for (_, api) in g.api_nodes() {
+            for p in g.paths_from_root(*api, SearchLimits::default()) {
+                prop_assert_eq!(p.chain[0], g.root());
+                prop_assert_eq!(*p.chain.last().expect("nonempty"), *api);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cgt_size_within_bounds(bnf in arb_grammar()) {
+        // §V-C: max(size(p_i)) <= size(merge(c)) <= sum(size(p_i)).
+        let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
+        let apis: Vec<_> = g.api_nodes().to_vec();
+        let root_api = apis.first().expect("grammar has APIs").1;
+        let paths = g.paths_from_root(root_api, SearchLimits::default());
+        for (_, to) in apis.iter().take(4) {
+            let more = g.paths_from_root(*to, SearchLimits::default());
+            for a in paths.iter().take(3) {
+                for b in more.iter().take(3) {
+                    let mut cgt = Cgt::from_path(a, &g);
+                    cgt.absorb_path(b, &g);
+                    let merged = cgt.api_count(&g);
+                    let sa = a.size(&g);
+                    let sb = b.size(&g);
+                    prop_assert!(merged <= sa + sb, "{merged} > {sa}+{sb}");
+                    prop_assert!(merged >= sa.max(sb) && merged >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dggt_matches_exhaustive_minimum(
+        depth in 1usize..3,
+        fanout in 1usize..3,
+        paths in 1usize..4,
+    ) {
+        // Losslessness on random synthetic workloads: DGGT's minimum CGT
+        // size equals the exhaustive baseline's.
+        let w = generate(WorkloadSpec { depth, fanout, paths_per_edge: paths })
+            .expect("workload builds");
+        let cfg = SynthesisConfig::default();
+        let map = edge2path::compute(&w.query, &w.w2a, &w.domain, cfg.search_limits);
+        let deadline = Deadline::new(Duration::from_secs(20));
+
+        let mut ds = SynthesisStats::default();
+        let d = dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &cfg, &deadline, &mut ds)
+            .expect("no timeout")
+            .expect("solvable");
+        let mut hs = SynthesisStats::default();
+        let h = hisyn::synthesize(
+            &w.domain,
+            &w.query,
+            &w.w2a,
+            &map,
+            &SynthesisConfig::hisyn_baseline(),
+            &deadline,
+            &mut hs,
+        )
+        .expect("no timeout")
+        .expect("solvable");
+        prop_assert_eq!(d.size, h.size);
+    }
+
+    #[test]
+    fn pruning_preserves_dggt_result(
+        depth in 1usize..3,
+        fanout in 1usize..3,
+        paths in 1usize..4,
+    ) {
+        let w = generate(WorkloadSpec { depth, fanout, paths_per_edge: paths })
+            .expect("workload builds");
+        let deadline = Deadline::new(Duration::from_secs(20));
+        let with = SynthesisConfig::default();
+        let without = SynthesisConfig::default()
+            .grammar_pruning(false)
+            .size_pruning(false);
+        let map = edge2path::compute(&w.query, &w.w2a, &w.domain, with.search_limits);
+
+        let mut s1 = SynthesisStats::default();
+        let a = dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &with, &deadline, &mut s1)
+            .expect("no timeout")
+            .expect("solvable");
+        let mut s2 = SynthesisStats::default();
+        let b = dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &without, &deadline, &mut s2)
+            .expect("no timeout")
+            .expect("solvable");
+        prop_assert_eq!(a.size, b.size);
+        // And the pruned run never merges more combinations.
+        prop_assert!(s1.merged_combinations <= s2.merged_combinations);
+    }
+}
