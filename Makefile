@@ -1,0 +1,21 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
+# steps as the CI gate. Keep the two in sync.
+
+.PHONY: ci build test fmt clippy bench-batch
+
+ci: build test fmt clippy
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+fmt:
+	cargo fmt --all -- --check
+
+clippy:
+	cargo clippy --all-targets -- -D warnings
+
+bench-batch:
+	cargo run --release --bin batch_throughput

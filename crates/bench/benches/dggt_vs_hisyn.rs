@@ -1,50 +1,47 @@
 //! Step-5 engine comparison on synthetic workloads (the §VI complexity
-//! claim, as a Criterion benchmark): HISyn cost grows with the *product*
-//! of per-edge path counts, DGGT with the *sum*.
+//! claim): HISyn cost grows with the *product* of per-edge path counts,
+//! DGGT with the *sum*.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nlquery::domains::workload::{generate, WorkloadSpec};
 use nlquery::{dggt, edge2path, hisyn, Deadline, SynthesisConfig, SynthesisStats};
+use nlquery_bench::harness::Group;
 use std::time::Duration;
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dggt_vs_hisyn");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("dggt_vs_hisyn");
 
     for &(depth, fanout, paths) in &[(1usize, 2usize, 3usize), (2, 2, 2), (2, 2, 3)] {
-        let spec = WorkloadSpec { depth, fanout, paths_per_edge: paths };
+        let spec = WorkloadSpec {
+            depth,
+            fanout,
+            paths_per_edge: paths,
+        };
         let w = generate(spec).unwrap();
         let cfg = SynthesisConfig::default();
         let map = edge2path::compute(&w.query, &w.w2a, &w.domain, cfg.search_limits);
         let label = format!("d{depth}f{fanout}p{paths}");
 
-        group.bench_with_input(BenchmarkId::new("dggt", &label), &(), |b, ()| {
-            b.iter(|| {
-                let mut stats = SynthesisStats::default();
-                let deadline = Deadline::new(Duration::from_secs(30));
-                dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &cfg, &deadline, &mut stats)
-                    .unwrap()
-            })
+        group.bench(&format!("dggt/{label}"), || {
+            let mut stats = SynthesisStats::default();
+            let deadline = Deadline::new(Duration::from_secs(30));
+            dggt::synthesize(
+                &w.domain, &w.query, &w.w2a, &map, &cfg, &deadline, &mut stats,
+            )
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("hisyn", &label), &(), |b, ()| {
-            b.iter(|| {
-                let mut stats = SynthesisStats::default();
-                let deadline = Deadline::new(Duration::from_secs(30));
-                hisyn::synthesize(
-                    &w.domain,
-                    &w.query,
-                    &w.w2a,
-                    &map,
-                    &SynthesisConfig::hisyn_baseline(),
-                    &deadline,
-                    &mut stats,
-                )
-                .unwrap()
-            })
+        group.bench(&format!("hisyn/{label}"), || {
+            let mut stats = SynthesisStats::default();
+            let deadline = Deadline::new(Duration::from_secs(30));
+            hisyn::synthesize(
+                &w.domain,
+                &w.query,
+                &w.w2a,
+                &map,
+                &SynthesisConfig::hisyn_baseline(),
+                &deadline,
+                &mut stats,
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -1,38 +1,34 @@
 //! Reversed all-path search micro-benchmarks (step 4's primitive).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlquery::grammar::SearchLimits;
+use nlquery_bench::harness::Group;
 
-fn bench_path_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("path_search");
+fn main() {
+    let mut group = Group::new("path_search");
 
     let te = nlquery::domains::textedit::domain().unwrap();
     let g = te.graph();
     let insert = g.api_node("INSERT").unwrap();
     let string = g.api_node("STRING").unwrap();
     let all = g.api_node("ALL").unwrap();
-    group.bench_function("textedit/INSERT->STRING", |b| {
-        b.iter(|| g.paths_between(insert, string, SearchLimits::default()))
+    group.bench("textedit/INSERT->STRING", || {
+        g.paths_between(insert, string, SearchLimits::default())
     });
-    group.bench_function("textedit/INSERT->ALL", |b| {
-        b.iter(|| g.paths_between(insert, all, SearchLimits::default()))
+    group.bench("textedit/INSERT->ALL", || {
+        g.paths_between(insert, all, SearchLimits::default())
     });
-    group.bench_function("textedit/root->STRING", |b| {
-        b.iter(|| g.paths_from_root(string, SearchLimits::default()))
+    group.bench("textedit/root->STRING", || {
+        g.paths_from_root(string, SearchLimits::default())
     });
 
     let ast = nlquery::domains::astmatcher::domain().unwrap();
     let ag = ast.graph();
     let call = ag.api_node("callExpr").unwrap();
     let has_name = ag.api_node("hasName").unwrap();
-    group.bench_function("astmatcher/callExpr->hasName", |b| {
-        b.iter(|| ag.paths_between(call, has_name, SearchLimits::default()))
+    group.bench("astmatcher/callExpr->hasName", || {
+        ag.paths_between(call, has_name, SearchLimits::default())
     });
-    group.bench_function("astmatcher/root->hasName", |b| {
-        b.iter(|| ag.paths_from_root(has_name, SearchLimits::default()))
+    group.bench("astmatcher/root->hasName", || {
+        ag.paths_from_root(has_name, SearchLimits::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_path_search);
-criterion_main!(benches);

@@ -2,13 +2,12 @@
 //! domains — the interactive-use claim of the paper is that these sit well
 //! under the 100 ms perception threshold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlquery::{SynthesisConfig, Synthesizer};
+use nlquery_bench::harness::Group;
 use std::time::Duration;
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis_dggt");
-    group.sample_size(20);
+fn main() {
+    let mut group = Group::new("synthesis_dggt");
 
     let textedit = Synthesizer::new(
         nlquery::domains::textedit::domain().unwrap(),
@@ -22,7 +21,7 @@ fn bench_synthesis(c: &mut Criterion) {
             "if a sentence starts with \"-\", add \":\" after 14 characters",
         ),
     ] {
-        group.bench_function(label, |b| b.iter(|| textedit.synthesize(query)));
+        group.bench(label, || textedit.synthesize(query));
     }
 
     let ast = Synthesizer::new(
@@ -40,10 +39,6 @@ fn bench_synthesis(c: &mut Criterion) {
             "find cxx constructor expressions which declare a cxx method named \"PI\"",
         ),
     ] {
-        group.bench_function(label, |b| b.iter(|| ast.synthesize(query)));
+        group.bench(label, || ast.synthesize(query));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_synthesis);
-criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Batch synthesis throughput: queries/sec at 1, 2, 4, N workers on the
+//! astmatcher corpus, with cross-query memo-cache counters.
+//!
+//! For each worker count the corpus (tiled a few times, as a service
+//! replaying popular query shapes would see it) runs twice on one
+//! `BatchEngine`: a **cold** pass starting from an empty memo cache and a
+//! **warm** pass reusing it. Cold-pass scaling isolates the worker pool;
+//! the warm pass shows the cross-query memoization win. On single-core
+//! hosts the pool cannot speed anything up — the memo cache is then the
+//! only lever, and the warm rows still show it.
+
+use nlquery::domains::astmatcher;
+use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
+use nlquery_bench::{fmt_time, timeout};
+
+/// How many times the corpus is tiled into one batch.
+const TILES: usize = 4;
+
+fn report_line(label: &str, report: &BatchReport, baseline_qps: Option<f64>) {
+    let s = &report.stats;
+    let qps = s.queries_per_sec();
+    let speedup = baseline_qps
+        .map(|b| format!("  {:>5.2}x vs 1 worker", qps / b))
+        .unwrap_or_default();
+    println!(
+        "{label:<18} {:>6} queries in {:>10}  {qps:>8.1} q/s  util {:>5.1}%  cache {:>6} hits / {:>6} misses ({:>5.1}% hit rate){speedup}",
+        s.total,
+        fmt_time(s.wall),
+        s.worker_utilization() * 100.0,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.hit_rate() * 100.0,
+    );
+}
+
+fn stage_breakdown(report: &BatchReport) {
+    let s = &report.stats;
+    println!(
+        "                   stages: parse {} | prune {} | word2api {} | edge2path {} | merge {} | print {}",
+        fmt_time(s.t_parse),
+        fmt_time(s.t_prune),
+        fmt_time(s.t_word2api),
+        fmt_time(s.t_edge2path),
+        fmt_time(s.t_merge),
+        fmt_time(s.t_print),
+    );
+}
+
+fn main() {
+    let domain = astmatcher::domain().expect("embedded domain builds");
+    let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    let queries: Vec<String> = std::iter::repeat_with(|| corpus.clone())
+        .take(TILES)
+        .flatten()
+        .collect();
+    let config = SynthesisConfig::default().timeout(timeout());
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, 4, available];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    println!(
+        "batch_throughput: {} queries ({} corpus x {TILES}), {available} hardware threads, {}s timeout\n",
+        queries.len(),
+        corpus.len(),
+        timeout().as_secs_f64(),
+    );
+
+    let mut cold_baseline: Option<f64> = None;
+    for &workers in &worker_counts {
+        let engine = BatchEngine::with_options(
+            domain.clone(),
+            config.clone(),
+            BatchOptions {
+                workers,
+                cache_capacity: 4096,
+            },
+        );
+        let cold = engine.synthesize_batch(&queries);
+        let warm = engine.synthesize_batch(&queries);
+        report_line(&format!("{workers} worker(s) cold"), &cold, cold_baseline);
+        report_line(&format!("{workers} worker(s) warm"), &warm, None);
+        if workers == 1 {
+            stage_breakdown(&cold);
+            cold_baseline = Some(cold.stats.queries_per_sec());
+        }
+        let failures = cold.stats.timeouts + cold.stats.no_parse + cold.stats.no_result;
+        if failures > 0 {
+            println!(
+                "                   outcomes: {} ok, {} timeout, {} no-parse, {} no-result",
+                cold.stats.successes,
+                cold.stats.timeouts,
+                cold.stats.no_parse,
+                cold.stats.no_result,
+            );
+        }
+        println!();
+    }
+}

@@ -30,7 +30,11 @@ fn main() {
         (3, 2, 2),
         (3, 2, 3),
     ] {
-        let spec = WorkloadSpec { depth, fanout, paths_per_edge: paths };
+        let spec = WorkloadSpec {
+            depth,
+            fanout,
+            paths_per_edge: paths,
+        };
         let w = generate(spec).expect("workload builds");
         let cfg = SynthesisConfig::default();
         let map = edge2path::compute(&w.query, &w.w2a, &w.domain, cfg.search_limits);

@@ -42,8 +42,18 @@ fn main() {
     println!("{}", "=".repeat(104));
     println!(
         "{:>3} {:>5} {:>9} {:>12} {:>9} {:>10} {:>9} {:>8} {:>7}  {:>9} {:>9} {:>9}",
-        "Ex", "#dep", "#orig", "#orig comb", "#reloc", "#sib comb", "gram-pr", "size-pr",
-        "merged", "t-HISyn", "t-DGGT", "speedup"
+        "Ex",
+        "#dep",
+        "#orig",
+        "#orig comb",
+        "#reloc",
+        "#sib comb",
+        "gram-pr",
+        "size-pr",
+        "merged",
+        "t-HISyn",
+        "t-DGGT",
+        "speedup"
     );
     for (ex, &id) in hardest.iter().enumerate() {
         let case = &cases[id];
@@ -56,7 +66,11 @@ fn main() {
         let rd = dggt.synthesize(&case.query);
         let s = &rd.stats;
         let speedup = th.as_secs_f64() / rd.elapsed.as_secs_f64().max(1e-9);
-        let marker = if rh.outcome == Outcome::Timeout { ">" } else { "" };
+        let marker = if rh.outcome == Outcome::Timeout {
+            ">"
+        } else {
+            ""
+        };
         println!(
             "{:>3} {:>5} {:>9} {:>12.3e} {:>9} {:>10} {:>9} {:>8} {:>7}  {:>9} {:>9} {:>6}{:.0}x",
             ex + 1,

@@ -1,0 +1,118 @@
+//! A minimal, std-only micro-benchmark harness.
+//!
+//! Replaces Criterion (a registry dependency the offline build cannot
+//! fetch) for the `benches/` targets: warm up, run a fixed number of timed
+//! samples of a closure, and report min / median / mean per-iteration time.
+//! Sample counts stay small by default so `cargo bench` finishes quickly;
+//! the `heavy-bench` feature (or `NLQUERY_BENCH_SAMPLES`) raises them for
+//! paper-grade runs.
+
+use std::time::{Duration, Instant};
+
+use crate::fmt_time;
+
+/// Default timed samples per benchmark.
+#[cfg(not(feature = "heavy-bench"))]
+const DEFAULT_SAMPLES: usize = 10;
+/// Default timed samples per benchmark (paper-grade).
+#[cfg(feature = "heavy-bench")]
+const DEFAULT_SAMPLES: usize = 100;
+
+/// Samples per benchmark: `NLQUERY_BENCH_SAMPLES` or the feature default.
+pub fn samples() -> usize {
+    std::env::var("NLQUERY_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
+
+/// Summary of one benchmark's timed samples.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark label.
+    pub name: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// A named group of benchmarks (mirrors Criterion's `benchmark_group`).
+pub struct Group {
+    name: String,
+    results: Vec<Summary>,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Group {
+        println!("# {name}");
+        Group {
+            name: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing one line: 2 warmup calls, then [`samples`] timed
+    /// calls. The closure's return value is black-boxed to keep the
+    /// optimizer from deleting the work.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..2 {
+            std::hint::black_box(f());
+        }
+        let n = samples();
+        let mut times = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / n as u32;
+        println!(
+            "{}/{label:<32} min {:>10}  median {:>10}  mean {:>10}  ({n} samples)",
+            self.name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+        );
+        self.results.push(Summary {
+            name: format!("{}/{label}", self.name),
+            min,
+            median,
+            mean,
+            samples: n,
+        });
+    }
+
+    /// The summaries collected so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_summary() {
+        let mut g = Group::new("t");
+        g.bench("noop", || 1 + 1);
+        assert_eq!(g.results().len(), 1);
+        assert_eq!(g.results()[0].samples, samples());
+        assert!(g.results()[0].mean >= g.results()[0].min);
+    }
+
+    #[test]
+    fn samples_default_positive() {
+        assert!(samples() > 0);
+    }
+}

@@ -11,6 +11,9 @@
 //! factor, where the distribution mass sits — are the reproduction target,
 //! not absolute numbers.
 
+pub mod harness;
+pub mod rng;
+
 use std::time::Duration;
 
 use nlquery::domains::{evaluate, CorpusReport, QueryCase};

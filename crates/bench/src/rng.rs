@@ -1,0 +1,101 @@
+//! A tiny deterministic PRNG (xorshift64*), replacing the `rand` crate so
+//! the workspace builds with no registry access.
+//!
+//! Statistical quality is far beyond what benchmark shuffling and randomized
+//! tests need, and determinism-by-seed is a feature: every bench run and
+//! every CI run sees the same sequence.
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a nonzero seed (zero is mapped to a fixed
+    /// odd constant — xorshift has a zero fixpoint).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is empty");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `lo..hi` (half-open; `hi > lo`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = XorShift64::new(9);
+        let mut v: Vec<usize> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 32-element shuffle is a no-op with p≈1/32!");
+    }
+}

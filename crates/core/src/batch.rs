@@ -1,0 +1,468 @@
+//! Concurrent batch synthesis for one domain.
+//!
+//! [`BatchEngine`] synthesizes a slice of queries on a std-only
+//! work-stealing worker pool (`std::thread::scope` + `std::sync::mpsc`
+//! channels — no external dependencies): each worker owns a deque of query
+//! indices and steals from the back of its neighbours' deques when its own
+//! runs dry. All workers share one cross-query
+//! [`SharedPathCache`], so structurally repeated EdgeToPath searches —
+//! common in corpora where many queries exercise the same API
+//! neighbourhoods — resolve from the memo instead of re-searching the
+//! grammar graph.
+//!
+//! Results are written back by input index, so a batch is **bit-identical**
+//! to running [`Synthesizer::synthesize`] sequentially on each query, at
+//! any worker count (timings and memo counters aside).
+//!
+//! ```rust
+//! use nlquery_core::{BatchEngine, Domain, SynthesisConfig};
+//! use nlquery_grammar::GrammarGraph;
+//! use nlquery_nlp::ApiDoc;
+//!
+//! let graph = GrammarGraph::parse("command ::= DELETE entity\nentity ::= WORD")?;
+//! let domain = Domain::builder("mini")
+//!     .graph(graph)
+//!     .docs(vec![
+//!         ApiDoc::new("DELETE", &["delete"], "deletes an entity", 0),
+//!         ApiDoc::new("WORD", &["word"], "a word", 0),
+//!     ])
+//!     .build()?;
+//! let engine = BatchEngine::new(domain, SynthesisConfig::default());
+//! let report = engine.synthesize_batch(&["delete the word", "delete a word"]);
+//! assert_eq!(report.results.len(), 2);
+//! assert!(report.stats.cache.hits > 0, "second query reuses the memo");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::memo::{CacheStats, SharedPathCache};
+use crate::pipeline::{Outcome, Synthesis, Synthesizer};
+use crate::{Domain, SynthesisConfig};
+
+/// Tuning knobs of a [`BatchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads; 0 means `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// LRU capacity (entries) of the shared EdgeToPath memo cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Per-worker utilization counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Queries this worker synthesized.
+    pub queries: usize,
+    /// Queries it stole from other workers' deques.
+    pub stolen: usize,
+    /// Time it spent synthesizing (as opposed to idling on empty deques).
+    pub busy: Duration,
+}
+
+/// Aggregate statistics of one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub total: usize,
+    /// Runs that produced an expression.
+    pub successes: usize,
+    /// Runs that hit the wall-clock budget.
+    pub timeouts: usize,
+    /// Runs with no usable dependency structure.
+    pub no_parse: usize,
+    /// Runs that finished without a valid tree.
+    pub no_result: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Sum of per-query synthesis times (≈ CPU time across workers).
+    pub cpu: Duration,
+    /// Summed per-stage durations across all queries.
+    pub t_parse: Duration,
+    /// Summed pruning time.
+    pub t_prune: Duration,
+    /// Summed WordToAPI time.
+    pub t_word2api: Duration,
+    /// Summed EdgeToPath time.
+    pub t_edge2path: Duration,
+    /// Summed merge/DP time.
+    pub t_merge: Duration,
+    /// Summed expression-rendering time.
+    pub t_print: Duration,
+    /// Shared memo-cache counters at the end of the batch (cumulative over
+    /// the engine's lifetime, not just this batch).
+    pub cache: CacheStats,
+    /// Per-worker utilization, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl BatchStats {
+    /// Synthesized queries per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean worker utilization: busy time over `workers × wall`, in 0..=1.
+    pub fn worker_utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers.len() as f64;
+        if denom > 0.0 {
+            (self
+                .workers
+                .iter()
+                .map(|w| w.busy.as_secs_f64())
+                .sum::<f64>()
+                / denom)
+                .min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one batch: per-query results (input order) plus
+/// aggregate statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One [`Synthesis`] per input query, in input order.
+    pub results: Vec<Synthesis>,
+    /// Aggregate counters.
+    pub stats: BatchStats,
+}
+
+/// A concurrent batch synthesizer for one domain.
+///
+/// The engine owns a [`Synthesizer`] and a [`SharedPathCache`] that
+/// persists across [`BatchEngine::synthesize_batch`] calls — repeated
+/// batches over structurally similar queries get warmer and warmer.
+#[derive(Debug)]
+pub struct BatchEngine {
+    synthesizer: Synthesizer,
+    workers: usize,
+    cache: Arc<SharedPathCache>,
+}
+
+impl BatchEngine {
+    /// Creates an engine with default [`BatchOptions`].
+    pub fn new(domain: Domain, config: SynthesisConfig) -> BatchEngine {
+        BatchEngine::with_options(domain, config, BatchOptions::default())
+    }
+
+    /// Creates an engine with explicit worker count and cache capacity.
+    pub fn with_options(
+        domain: Domain,
+        config: SynthesisConfig,
+        options: BatchOptions,
+    ) -> BatchEngine {
+        let workers = if options.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            options.workers
+        };
+        BatchEngine {
+            synthesizer: Synthesizer::new(domain, config),
+            workers,
+            cache: Arc::new(SharedPathCache::new(options.cache_capacity)),
+        }
+    }
+
+    /// The underlying sequential synthesizer.
+    pub fn synthesizer(&self) -> &Synthesizer {
+        &self.synthesizer
+    }
+
+    /// The cross-query memo cache (shared across batches and workers).
+    pub fn cache(&self) -> &Arc<SharedPathCache> {
+        &self.cache
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Synthesizes every query concurrently; results come back in input
+    /// order and are identical to sequential [`Synthesizer::synthesize`]
+    /// output at any worker count.
+    pub fn synthesize_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> BatchReport {
+        let started = Instant::now();
+        let workers = self.workers.min(queries.len()).max(1);
+
+        // Initial distribution: contiguous chunks, one deque per worker.
+        // Workers pop their own deque from the front and steal from the
+        // back of the busiest neighbour when empty.
+        let chunk = queries.len().div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (w * chunk..((w + 1) * chunk).min(queries.len())).collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+
+        let mut results: Vec<Option<Synthesis>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let mut worker_stats = vec![WorkerStats::default(); workers];
+
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, usize, Box<Synthesis>)>();
+            let (stat_tx, stat_rx) = mpsc::channel::<(usize, WorkerStats)>();
+            for worker in 0..workers {
+                let tx = tx.clone();
+                let stat_tx = stat_tx.clone();
+                let deques = &deques;
+                let cache = &self.cache;
+                let synthesizer = &self.synthesizer;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        // Own deque first (front), then steal (back).
+                        let mut claim = deques[worker].lock().expect("deque lock").pop_front();
+                        let mut stolen = false;
+                        if claim.is_none() {
+                            for victim in 1..workers {
+                                let v = (worker + victim) % workers;
+                                claim = deques[v].lock().expect("deque lock").pop_back();
+                                if claim.is_some() {
+                                    stolen = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(index) = claim else { break };
+                        let t = Instant::now();
+                        let synthesis =
+                            synthesizer.synthesize_shared(queries[index].as_ref(), cache);
+                        stats.busy += t.elapsed();
+                        stats.queries += 1;
+                        stats.stolen += usize::from(stolen);
+                        tx.send((worker, index, Box::new(synthesis)))
+                            .expect("result channel open");
+                    }
+                    stat_tx.send((worker, stats)).expect("stat channel open");
+                });
+            }
+            drop(tx);
+            drop(stat_tx);
+            for (_, index, synthesis) in rx {
+                results[index] = Some(*synthesis);
+            }
+            for (worker, stats) in stat_rx {
+                worker_stats[worker] = stats;
+            }
+        });
+
+        let results: Vec<Synthesis> = results
+            .into_iter()
+            .map(|r| r.expect("every index synthesized"))
+            .collect();
+
+        let mut stats = BatchStats {
+            total: results.len(),
+            wall: started.elapsed(),
+            cache: self.cache.stats(),
+            workers: worker_stats,
+            ..BatchStats::default()
+        };
+        for r in &results {
+            match r.outcome {
+                Outcome::Success => stats.successes += 1,
+                Outcome::Timeout => stats.timeouts += 1,
+                Outcome::NoParse => stats.no_parse += 1,
+                Outcome::NoResult => stats.no_result += 1,
+            }
+            stats.cpu += r.elapsed;
+            stats.t_parse += r.stats.t_parse;
+            stats.t_prune += r.stats.t_prune;
+            stats.t_word2api += r.stats.t_word2api;
+            stats.t_edge2path += r.stats.t_edge2path;
+            stats.t_merge += r.stats.t_merge;
+            stats.t_print += r.stats.t_print;
+        }
+        BatchReport { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos
+            delete_arg ::= entity
+            string     ::= STRING
+            entity     ::= STRING | WORDTOKEN
+            pos        ::= START | END
+            "#,
+        )
+        .unwrap();
+        Domain::builder("batch-mini")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+                ApiDoc::new("DELETE", &["delete"], "deletes an entity", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    const QUERIES: [&str; 6] = [
+        "insert \":\" at the start",
+        "delete the word",
+        "insert \"-\" at the end",
+        "delete every word",
+        "insert \"#\" at the start",
+        "",
+    ];
+
+    #[test]
+    fn batch_matches_sequential_at_any_worker_count() {
+        let d = domain();
+        let sequential = Synthesizer::new(d.clone(), SynthesisConfig::default());
+        let expected: Vec<_> = QUERIES.iter().map(|q| sequential.synthesize(q)).collect();
+        for workers in [1, 2, 3, 8] {
+            let engine = BatchEngine::with_options(
+                d.clone(),
+                SynthesisConfig::default(),
+                BatchOptions {
+                    workers,
+                    cache_capacity: 64,
+                },
+            );
+            let report = engine.synthesize_batch(&QUERIES);
+            assert_eq!(report.results.len(), expected.len());
+            for (got, want) in report.results.iter().zip(&expected) {
+                assert_eq!(got.outcome, want.outcome, "workers={workers}");
+                assert_eq!(got.expression, want.expression, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_structure_hits_cache() {
+        let engine = BatchEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 2,
+                cache_capacity: 64,
+            },
+        );
+        let report = engine.synthesize_batch(&QUERIES);
+        assert!(
+            report.stats.cache.hits > 0,
+            "structurally repeated queries must hit: {:?}",
+            report.stats.cache
+        );
+        // Per-query memo counters surface through SynthesisStats too.
+        let memo_total: u64 = report
+            .results
+            .iter()
+            .map(|r| r.stats.memo_hits + r.stats.memo_misses)
+            .sum();
+        assert_eq!(
+            memo_total,
+            report.stats.cache.hits + report.stats.cache.misses
+        );
+    }
+
+    #[test]
+    fn outcome_counters_add_up() {
+        let engine = BatchEngine::new(domain(), SynthesisConfig::default());
+        let report = engine.synthesize_batch(&QUERIES);
+        let s = &report.stats;
+        assert_eq!(s.total, QUERIES.len());
+        assert_eq!(s.successes + s.timeouts + s.no_parse + s.no_result, s.total);
+        assert!(s.no_parse >= 1, "the empty query cannot parse");
+        assert!(s.successes >= 4, "{s:?}");
+        assert!(s.wall > Duration::ZERO);
+        assert!(s.cpu >= s.wall / 2, "cpu aggregates per-query time");
+    }
+
+    #[test]
+    fn worker_stats_cover_all_queries() {
+        let engine = BatchEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 3,
+                cache_capacity: 64,
+            },
+        );
+        let report = engine.synthesize_batch(&QUERIES);
+        assert_eq!(report.stats.workers.len(), 3);
+        let worked: usize = report.stats.workers.iter().map(|w| w.queries).sum();
+        assert_eq!(worked, QUERIES.len());
+        let utilization = report.stats.worker_utilization();
+        assert!((0.0..=1.0).contains(&utilization));
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report() {
+        let engine = BatchEngine::new(domain(), SynthesisConfig::default());
+        let report = engine.synthesize_batch::<&str>(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.total, 0);
+        assert_eq!(report.stats.queries_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn more_workers_than_queries_is_fine() {
+        let engine = BatchEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 64,
+                cache_capacity: 64,
+            },
+        );
+        let report = engine.synthesize_batch(&["delete the word"]);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.stats.workers.len(), 1, "pool clamps to batch size");
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let engine = BatchEngine::new(domain(), SynthesisConfig::default());
+        let first = engine.synthesize_batch(&QUERIES);
+        let second = engine.synthesize_batch(&QUERIES);
+        assert!(
+            second.stats.cache.hits > first.stats.cache.hits,
+            "second batch reuses the first batch's memo: {:?} vs {:?}",
+            second.stats.cache,
+            first.stats.cache
+        );
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.expression, b.expression);
+        }
+    }
+}

@@ -62,10 +62,7 @@ pub struct PartialCgt {
 }
 
 /// Merges two sorted claim lists, or `None` on overlap.
-fn merge_claims(
-    a: &[(NodeId, NodeId)],
-    b: &[(NodeId, NodeId)],
-) -> Option<Vec<(NodeId, NodeId)>> {
+fn merge_claims(a: &[(NodeId, NodeId)], b: &[(NodeId, NodeId)]) -> Option<Vec<(NodeId, NodeId)>> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -97,7 +94,11 @@ impl PartialCgt {
     /// The lexicographic objective: smallest CGT first, then shortest
     /// paths, then highest match score.
     pub fn key(&self) -> (usize, usize, std::cmp::Reverse<u64>) {
-        (self.size, self.path_len, std::cmp::Reverse(self.score_milli))
+        (
+            self.size,
+            self.path_len,
+            std::cmp::Reverse(self.score_milli),
+        )
     }
 }
 
@@ -335,7 +336,7 @@ pub fn synthesize_with_graph(
             let mut indices = vec![0usize; options.len()];
             'combos: loop {
                 polls += 1;
-                if polls % DEADLINE_STRIDE == 0 {
+                if polls.is_multiple_of(DEADLINE_STRIDE) {
                     deadline.check()?;
                 }
                 let chosen: Vec<&Option_> = indices
@@ -359,8 +360,7 @@ pub fn synthesize_with_graph(
                     stats.pruned_grammar += 1;
                 }
                 if !skip && config.grammar_pruning && chosen.len() >= 2 {
-                    let sigs: Vec<&Vec<(NodeId, NodeId)>> =
-                        chosen.iter().map(|o| &o.sig).collect();
+                    let sigs: Vec<&Vec<(NodeId, NodeId)>> = chosen.iter().map(|o| &o.sig).collect();
                     if combination_conflicts(&sigs) {
                         stats.pruned_grammar += 1;
                         skip = true;
@@ -368,12 +368,8 @@ pub fn synthesize_with_graph(
                 }
                 if !skip && config.size_pruning {
                     let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
-                    let lower = chosen
-                        .iter()
-                        .map(|o| o.size_excl_sink)
-                        .max()
-                        .unwrap_or(0)
-                        + child_sum;
+                    let lower =
+                        chosen.iter().map(|o| o.size_excl_sink).max().unwrap_or(0) + child_sum;
                     if lower > running_min_upper {
                         stats.pruned_size += 1;
                         skip = true;
@@ -543,10 +539,7 @@ fn final_join(
     root: usize,
     deadline: &Deadline,
 ) -> Result<Option<BestCgt>, TimedOut> {
-    let root_edge = map
-        .edges
-        .iter()
-        .find(|e| e.gov.is_none() && e.dep == root);
+    let root_edge = map.edges.iter().find(|e| e.gov.is_none() && e.dep == root);
     let orphan_edges: Vec<_> = map
         .edges
         .iter()
@@ -572,8 +565,7 @@ fn final_join(
             node_claims.push((root, sink_claim(&pc.path)));
             let mut path_len = partial.path_len + pc.path.size(graph);
             let mut score_milli = partial.score_milli;
-            let Some(mut claimed) = merge_claims(&partial.claimed, &[sink_claim(&pc.path)])
-            else {
+            let Some(mut claimed) = merge_claims(&partial.claimed, &[sink_claim(&pc.path)]) else {
                 continue;
             };
 
@@ -584,11 +576,7 @@ fn final_join(
                 let mut options: Vec<(usize, &crate::PathCandidate, &PartialCgt)> = Vec::new();
                 for opc in &oe.paths {
                     for op in dyng.beam(oe.dep, opc.dep_api) {
-                        options.push((
-                            opc.path.size_excluding_sink(graph) + op.size,
-                            opc,
-                            op,
-                        ));
+                        options.push((opc.path.size_excluding_sink(graph) + op.size, opc, op));
                     }
                 }
                 options.sort_by_key(|(cost, pc, _)| (*cost, pc.id));
@@ -597,8 +585,7 @@ fn final_join(
                 // head they pass through; enough must be tried to find the
                 // or-consistent one.
                 for (_, opc, op) in options.into_iter().take(64) {
-                    let Some(with_path) = merge_claims(&claimed, &[sink_claim(&opc.path)])
-                    else {
+                    let Some(with_path) = merge_claims(&claimed, &[sink_claim(&opc.path)]) else {
                         continue;
                     };
                     let Some(new_claims) = merge_claims(&with_path, &op.claimed) else {
@@ -702,7 +689,10 @@ mod tests {
     }
 
     fn cand(api: &str) -> ApiCandidate {
-        ApiCandidate { api: api.to_string(), score: 1.0 }
+        ApiCandidate {
+            api: api.to_string(),
+            score: 1.0,
+        }
     }
 
     /// The paper's Figure 3/4/5 query structure:
@@ -717,9 +707,21 @@ mod tests {
                 qnode(3, "line"),
             ],
             edges: vec![
-                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
-                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
-                QueryEdge { gov: 0, dep: 3, rel: DepRel::Nmod("in".into()) },
+                QueryEdge {
+                    gov: 0,
+                    dep: 1,
+                    rel: DepRel::Obj,
+                },
+                QueryEdge {
+                    gov: 0,
+                    dep: 2,
+                    rel: DepRel::Nmod("at".into()),
+                },
+                QueryEdge {
+                    gov: 0,
+                    dep: 3,
+                    rel: DepRel::Nmod("in".into()),
+                },
             ],
             root: Some(0),
         };
@@ -743,8 +745,7 @@ mod tests {
         let map = edge2path::compute(q, w2a, d, SearchLimits::default());
         let deadline = Deadline::new(Duration::from_secs(10));
         let mut stats = SynthesisStats::default();
-        let (g, b) =
-            synthesize_with_graph(d, q, w2a, &map, cfg, &deadline, &mut stats).unwrap();
+        let (g, b) = synthesize_with_graph(d, q, w2a, &map, cfg, &deadline, &mut stats).unwrap();
         (g, b, stats)
     }
 
@@ -877,16 +878,22 @@ mod tests {
             }
             dyng.insert(
                 (0, api),
-                PartialCgt { cgt, size, path_len: 0, score_milli: 0, top: None, claimed: vec![], node_claims: vec![], assignment: vec![] },
+                PartialCgt {
+                    cgt,
+                    size,
+                    path_len: 0,
+                    score_milli: 0,
+                    top: None,
+                    claimed: vec![],
+                    node_claims: vec![],
+                    assignment: vec![],
+                },
                 3,
             );
         }
         // All entries share top=None: the per-top cap keeps the best two.
         let beam = dyng.beam(0, api);
-        assert_eq!(
-            beam.iter().map(|p| p.size).collect::<Vec<_>>(),
-            vec![2, 3]
-        );
+        assert_eq!(beam.iter().map(|p| p.size).collect::<Vec<_>>(), vec![2, 3]);
         assert_eq!(dyng.best(0, api).unwrap().size, 2);
     }
 
@@ -917,8 +924,14 @@ mod tests {
         // Even with beam 3 exceeded, the worst entry of a multi-entry top
         // is evicted before any top loses its only representative.
         let beam = dyng.beam(0, api);
-        let tops: Vec<usize> = beam.iter().filter_map(|p| p.top.map(|t| t.index())).collect();
-        assert!(tops.contains(&10) && tops.contains(&20) && tops.contains(&30), "{tops:?}");
+        let tops: Vec<usize> = beam
+            .iter()
+            .filter_map(|p| p.top.map(|t| t.index()))
+            .collect();
+        assert!(
+            tops.contains(&10) && tops.contains(&20) && tops.contains(&30),
+            "{tops:?}"
+        );
         assert_eq!(beam.len(), 3);
     }
 }

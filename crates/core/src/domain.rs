@@ -168,7 +168,10 @@ impl DomainBuilder {
         for doc in &self.docs {
             if graph.api_node(&doc.name).is_none() {
                 return Err(SynthesisError::InvalidDomain {
-                    message: format!("documented API `{}` does not appear in the grammar", doc.name),
+                    message: format!(
+                        "documented API `{}` does not appear in the grammar",
+                        doc.name
+                    ),
                 });
             }
         }

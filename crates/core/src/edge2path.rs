@@ -5,12 +5,22 @@
 //! `gov` to a candidate API of `dep`. The dependency root gets a *pseudo
 //! edge* from the grammar root. Edges for which **no** candidate pair is
 //! connected mark their dependent as an *orphan node* (§V-B).
+//!
+//! Search results are memoized at two levels: a per-query [`PathCache`]
+//! (orphan relocation re-runs EdgeToPath on several graph variants whose
+//! edges mostly repeat the same searches) and an optional cross-query
+//! [`SharedPathCache`] holding finalized per-edge candidate lists keyed by
+//! the candidate-set hashes — the grammar graph is immutable per domain,
+//! so structurally repeated edges across queries resolve without touching
+//! the grammar at all.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId, PathId, SearchLimits};
 use nlquery_nlp::DepRel;
 
+use crate::memo::{MemoKey, RawPath, SharedPathCache};
 use crate::{Domain, QueryGraph, WordToApi};
 
 /// Minimum matcher score at which a preposition "claims" an API for the
@@ -21,19 +31,39 @@ const AFFINITY_MIN_SCORE: f64 = 0.7;
 /// the edge's preposition names.
 const AFFINITY_BONUS: u64 = 300;
 
-/// Memo for path searches within one query: orphan relocation re-runs
-/// EdgeToPath on several graph variants whose edges mostly repeat the same
-/// (source, sink) pairs.
+/// Memo for path searches within one query, optionally layered over a
+/// cross-query [`SharedPathCache`].
 #[derive(Debug, Default)]
 pub struct PathCache {
     between: HashMap<(NodeId, NodeId), Vec<GrammarPath>>,
     from_root: HashMap<NodeId, Vec<GrammarPath>>,
+    shared: Option<Arc<SharedPathCache>>,
+    shared_hits: u64,
+    shared_misses: u64,
 }
 
 impl PathCache {
-    /// Creates an empty cache.
+    /// Creates an empty query-local cache.
     pub fn new() -> PathCache {
         PathCache::default()
+    }
+
+    /// Creates a query-local cache layered over a cross-query memo.
+    pub fn with_shared(shared: Arc<SharedPathCache>) -> PathCache {
+        PathCache {
+            shared: Some(shared),
+            ..PathCache::default()
+        }
+    }
+
+    /// Cross-query memo hits observed through this cache.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Cross-query memo misses observed through this cache.
+    pub fn shared_misses(&self) -> u64 {
+        self.shared_misses
     }
 
     fn between(
@@ -48,7 +78,7 @@ impl PathCache {
             .or_insert_with(|| graph.paths_between(from, to, limits))
     }
 
-    fn from_root(
+    fn root_paths(
         &mut self,
         graph: &GrammarGraph,
         to: NodeId,
@@ -57,6 +87,30 @@ impl PathCache {
         self.from_root
             .entry(to)
             .or_insert_with(|| graph.paths_from_root(to, limits))
+    }
+
+    /// Cross-query lookup; `None` when no shared cache is attached.
+    fn lookup_edge(&mut self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
+        let shared = self.shared.as_ref()?;
+        match shared.get(key) {
+            Some(value) => {
+                self.shared_hits += 1;
+                Some(value)
+            }
+            None => {
+                self.shared_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a computed edge result to the shared cache (no-op handle
+    /// when none is attached).
+    fn store_edge(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+        match &self.shared {
+            Some(shared) => shared.insert(key, value),
+            None => Arc::new(value),
+        }
     }
 }
 
@@ -127,6 +181,121 @@ impl EdgeToPath {
     }
 }
 
+/// Sorted, deduplicated candidate API nodes of one query node — the
+/// canonical form hashed into cross-query [`MemoKey`]s.
+fn candidate_apis(w2a: &WordToApi, node: usize, graph: &GrammarGraph) -> Vec<NodeId> {
+    let mut apis: Vec<NodeId> = w2a
+        .of(node)
+        .iter()
+        .filter_map(|c| graph.api_node(&c.api))
+        .collect();
+    apis.sort_unstable();
+    apis.dedup();
+    apis
+}
+
+/// Finalizes a raw candidate list: ascending path size, then chain, then
+/// source (a total order — insertion order never matters), truncated to the
+/// per-edge cap. The shortest paths are the ones the smallest-CGT objective
+/// can use; the cap bounds the per-edge fan-out on very permissive
+/// grammars.
+fn sort_and_truncate(raw: &mut Vec<RawPath>, graph: &GrammarGraph, limits: SearchLimits) {
+    raw.sort_by_key(|rp| (rp.path.size(graph), rp.path.chain.clone(), rp.path.source));
+    raw.truncate(limits.max_paths);
+}
+
+/// Memoized root-pseudo-edge search: every path from the grammar root to a
+/// candidate API of `node`.
+fn root_edge_paths(
+    node: usize,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+) -> Arc<Vec<RawPath>> {
+    let apis = candidate_apis(w2a, node, graph);
+    let key = MemoKey::from_root(&apis, limits);
+    if let Some(raw) = cache.lookup_edge(key) {
+        return raw;
+    }
+    let mut raw = Vec::new();
+    for &api in &apis {
+        for p in cache.root_paths(graph, api, limits) {
+            raw.push(RawPath {
+                gov_api: None,
+                dep_api: api,
+                path: p.clone(),
+            });
+        }
+    }
+    sort_and_truncate(&mut raw, graph, limits);
+    cache.store_edge(key, raw)
+}
+
+/// Memoized real-edge search: every path from a candidate API of `gov` to
+/// a candidate API of `dep`.
+fn between_edge_paths(
+    gov: usize,
+    dep: usize,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+) -> Arc<Vec<RawPath>> {
+    let gov_apis = candidate_apis(w2a, gov, graph);
+    let dep_apis = candidate_apis(w2a, dep, graph);
+    let key = MemoKey::between(&gov_apis, &dep_apis, limits);
+    if let Some(raw) = cache.lookup_edge(key) {
+        return raw;
+    }
+    let mut raw = Vec::new();
+    for &ga in &gov_apis {
+        for &da in &dep_apis {
+            for p in cache.between(graph, ga, da, limits) {
+                raw.push(RawPath {
+                    gov_api: Some(ga),
+                    dep_api: da,
+                    path: p.clone(),
+                });
+            }
+        }
+    }
+    sort_and_truncate(&mut raw, graph, limits);
+    cache.store_edge(key, raw)
+}
+
+/// Stamps per-edge metadata onto a finalized raw list: path ids and the
+/// relation-affinity bonus (both depend on the edge, not the search).
+fn to_candidates(
+    raw: &[RawPath],
+    edge_index: usize,
+    affine: &[NodeId],
+    graph: &GrammarGraph,
+) -> Vec<PathCandidate> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, rp)| {
+            let bonus = if !affine.is_empty()
+                && rp.path.api_nodes(graph).iter().any(|n| affine.contains(n))
+            {
+                AFFINITY_BONUS
+            } else {
+                0
+            };
+            PathCandidate {
+                id: PathId {
+                    edge: edge_index as u32,
+                    path: i as u32,
+                },
+                gov_api: rp.gov_api,
+                dep_api: rp.dep_api,
+                bonus_milli: bonus,
+                path: rp.path.clone(),
+            }
+        })
+        .collect()
+}
+
 /// Computes the EdgeToPath map for a pruned query graph.
 ///
 /// `limits` bounds the reversed all-path search. Orphans are *diagnosed*
@@ -142,7 +311,8 @@ pub fn compute(
 }
 
 /// [`compute`] with an external [`PathCache`], reused across orphan
-/// relocation variants of the same query.
+/// relocation variants of the same query — and, when the cache carries a
+/// [`SharedPathCache`], across queries.
 pub fn compute_cached(
     query: &QueryGraph,
     w2a: &WordToApi,
@@ -168,46 +338,17 @@ pub fn compute_cached(
             .collect()
     };
 
-    // Sort an edge's candidates by ascending path size (then chain) and cap
-    // the total per edge: the shortest paths are the ones the smallest-CGT
-    // objective can use; the cap bounds the per-edge fan-out on very
-    // permissive grammars.
-    let finalize = |paths: &mut Vec<PathCandidate>, edge_index: usize| {
-        paths.sort_by_key(|pc| (pc.path.size(graph), pc.path.chain.clone()));
-        paths.truncate(limits.max_paths);
-        for (i, pc) in paths.iter_mut().enumerate() {
-            pc.id = PathId {
-                edge: edge_index as u32,
-                path: i as u32,
-            };
-        }
-    };
-
     // Root pseudo-edge.
     if let Some(root) = query.root {
-        let mut paths = Vec::new();
-        for cand in w2a.of(root) {
-            if let Some(api) = graph.api_node(&cand.api) {
-                for p in cache.from_root(graph, api, limits) {
-                    paths.push(PathCandidate {
-                        id: PathId { edge: 0, path: 0 },
-                        gov_api: None,
-                        dep_api: api,
-                        bonus_milli: 0,
-                        path: p.clone(),
-                    });
-                }
-            }
-        }
-        if paths.is_empty() {
+        let raw = root_edge_paths(root, w2a, graph, limits, cache);
+        if raw.is_empty() {
             result.orphans.push(root);
         } else {
-            finalize(&mut paths, edge_index);
             result.edges.push(EdgeCandidates {
                 edge_index,
                 gov: None,
                 dep: root,
-                paths,
+                paths: to_candidates(&raw, edge_index, &[], graph),
             });
             edge_index += 1;
         }
@@ -215,43 +356,16 @@ pub fn compute_cached(
 
     // Real dependency edges.
     for qe in &query.edges {
-        let affine = affinity_apis(&qe.rel);
-        let mut paths = Vec::new();
-        for gc in w2a.of(qe.gov) {
-            let Some(ga) = graph.api_node(&gc.api) else {
-                continue;
-            };
-            for dc in w2a.of(qe.dep) {
-                let Some(da) = graph.api_node(&dc.api) else {
-                    continue;
-                };
-                for p in cache.between(graph, ga, da, limits) {
-                    let bonus = if !affine.is_empty()
-                        && p.api_nodes(graph).iter().any(|n| affine.contains(n))
-                    {
-                        AFFINITY_BONUS
-                    } else {
-                        0
-                    };
-                    paths.push(PathCandidate {
-                        id: PathId { edge: 0, path: 0 },
-                        gov_api: Some(ga),
-                        dep_api: da,
-                        bonus_milli: bonus,
-                        path: p.clone(),
-                    });
-                }
-            }
-        }
-        if paths.is_empty() {
+        let raw = between_edge_paths(qe.gov, qe.dep, w2a, graph, limits, cache);
+        if raw.is_empty() {
             result.orphans.push(qe.dep);
         } else {
-            finalize(&mut paths, edge_index);
+            let affine = affinity_apis(&qe.rel);
             result.edges.push(EdgeCandidates {
                 edge_index,
                 gov: Some(qe.gov),
                 dep: qe.dep,
-                paths,
+                paths: to_candidates(&raw, edge_index, &affine, graph),
             });
             edge_index += 1;
         }
@@ -276,35 +390,28 @@ pub fn attach_orphan_to_root(
     graph: &GrammarGraph,
     limits: SearchLimits,
 ) {
+    attach_orphan_to_root_cached(map, orphan, w2a, graph, limits, &mut PathCache::new())
+}
+
+/// [`attach_orphan_to_root`] through an external [`PathCache`], so orphan
+/// attachment shares the same per-query and cross-query memo as
+/// [`compute_cached`].
+pub fn attach_orphan_to_root_cached(
+    map: &mut EdgeToPath,
+    orphan: usize,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+) {
     let edge_index = map.edges.len();
-    let mut paths = Vec::new();
-    for cand in w2a.of(orphan) {
-        if let Some(api) = graph.api_node(&cand.api) {
-            for p in graph.paths_from_root(api, limits) {
-                paths.push(PathCandidate {
-                    id: PathId { edge: 0, path: 0 },
-                    gov_api: None,
-                    dep_api: api,
-                    bonus_milli: 0,
-                    path: p,
-                });
-            }
-        }
-    }
-    paths.sort_by_key(|pc| (pc.path.size(graph), pc.path.chain.clone()));
-    paths.truncate(limits.max_paths);
-    for (i, pc) in paths.iter_mut().enumerate() {
-        pc.id = PathId {
-            edge: edge_index as u32,
-            path: i as u32,
-        };
-    }
-    if !paths.is_empty() {
+    let raw = root_edge_paths(orphan, w2a, graph, limits, cache);
+    if !raw.is_empty() {
         map.edges.push(EdgeCandidates {
             edge_index,
             gov: None,
             dep: orphan,
-            paths,
+            paths: to_candidates(&raw, edge_index, &[], graph),
         });
         map.orphans.retain(|&o| o != orphan);
     }
@@ -358,8 +465,16 @@ mod tests {
         let q = QueryGraph {
             nodes: vec![qnode(0, "insert"), qnode(1, "string"), qnode(2, "start")],
             edges: vec![
-                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
-                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+                QueryEdge {
+                    gov: 0,
+                    dep: 1,
+                    rel: DepRel::Obj,
+                },
+                QueryEdge {
+                    gov: 0,
+                    dep: 2,
+                    rel: DepRel::Nmod("at".into()),
+                },
             ],
             root: Some(0),
         };
@@ -376,7 +491,6 @@ mod tests {
     #[test]
     fn computes_root_edge_and_real_edges() {
         let d = domain();
-        let g = d.graph();
         let (q, w2a) = setup();
         let map = compute(&q, &w2a, &d, SearchLimits::default());
         assert_eq!(map.edges.len(), 3);
@@ -393,7 +507,6 @@ mod tests {
     #[test]
     fn ambiguous_candidates_multiply_paths() {
         let d = domain();
-        let g = d.graph();
         let (q, mut w2a) = setup();
         // Give "start" an extra bogus candidate that has no path.
         w2a.candidates[2].push(cand("STRING"));
@@ -405,9 +518,12 @@ mod tests {
     #[test]
     fn unreachable_dependent_is_orphan() {
         let d = domain();
-        let g = d.graph();
         let (mut q, mut w2a) = setup();
-        q.edges.push(QueryEdge { gov: 1, dep: 2, rel: DepRel::Obj });
+        q.edges.push(QueryEdge {
+            gov: 1,
+            dep: 2,
+            rel: DepRel::Obj,
+        });
         q.edges.remove(1); // now: insert->string, string->start
         w2a.candidates[2] = vec![cand("START")];
         let map = compute(&q, &w2a, &d, SearchLimits::default());
@@ -421,7 +537,11 @@ mod tests {
         let g = d.graph();
         let (mut q, w2a) = setup();
         q.edges.remove(1);
-        q.edges.push(QueryEdge { gov: 1, dep: 2, rel: DepRel::Obj });
+        q.edges.push(QueryEdge {
+            gov: 1,
+            dep: 2,
+            rel: DepRel::Obj,
+        });
         let mut map = compute(&q, &w2a, &d, SearchLimits::default());
         assert_eq!(map.orphans, vec![2]);
         attach_orphan_to_root(&mut map, 2, &w2a, g, SearchLimits::default());
@@ -436,7 +556,6 @@ mod tests {
     #[test]
     fn unattached_node_is_orphan() {
         let d = domain();
-        let g = d.graph();
         let (mut q, mut w2a) = setup();
         q.nodes.push(qnode(3, "stray"));
         w2a.candidates.push(vec![cand("POSITION")]);
@@ -447,11 +566,41 @@ mod tests {
     #[test]
     fn rootless_graph_yields_empty_map() {
         let d = domain();
-        let g = d.graph();
         let q = QueryGraph::default();
         let w2a = WordToApi::default();
         let map = compute(&q, &w2a, &d, SearchLimits::default());
         assert!(map.edges.is_empty());
         assert!(map.orphans.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_hits_on_repeated_structure() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let shared = std::sync::Arc::new(SharedPathCache::new(64));
+
+        let mut cold = PathCache::with_shared(std::sync::Arc::clone(&shared));
+        let a = compute_cached(&q, &w2a, &d, SearchLimits::default(), &mut cold);
+        assert_eq!(cold.shared_hits(), 0);
+        assert_eq!(cold.shared_misses(), 3); // root + 2 real edges
+
+        let mut warm = PathCache::with_shared(std::sync::Arc::clone(&shared));
+        let b = compute_cached(&q, &w2a, &d, SearchLimits::default(), &mut warm);
+        assert_eq!(warm.shared_hits(), 3, "every edge is memoized");
+        assert_eq!(warm.shared_misses(), 0);
+        assert_eq!(a, b, "memoized results are identical to computed ones");
+    }
+
+    #[test]
+    fn shared_cache_does_not_change_results() {
+        let d = domain();
+        let (q, w2a) = setup();
+        let shared = std::sync::Arc::new(SharedPathCache::new(64));
+        let plain = compute(&q, &w2a, &d, SearchLimits::default());
+        for _ in 0..3 {
+            let mut cache = PathCache::with_shared(std::sync::Arc::clone(&shared));
+            let cached = compute_cached(&q, &w2a, &d, SearchLimits::default(), &mut cache);
+            assert_eq!(plain, cached);
+        }
     }
 }

@@ -35,7 +35,10 @@ impl LiteralPool {
 
     /// Binds a literal to a specific grammar occurrence (FIFO).
     pub fn bind_occurrence(&mut self, occurrence: (NodeId, NodeId), literal: String) {
-        self.bound_occ.entry(occurrence).or_default().push_back(literal);
+        self.bound_occ
+            .entry(occurrence)
+            .or_default()
+            .push_back(literal);
     }
 
     /// Binds a literal to an API node (FIFO per node).
@@ -83,7 +86,7 @@ pub fn render_expression(domain: &Domain, cgt: &Cgt, pool: &mut LiteralPool) -> 
         _ => Some(
             parts
                 .iter()
-                .map(Part::to_string)
+                .map(Part::render)
                 .collect::<Vec<_>>()
                 .join(", "),
         ),
@@ -97,7 +100,7 @@ enum Part {
 }
 
 impl Part {
-    fn to_string(&self) -> String {
+    fn render(&self) -> String {
         match self {
             Part::Call { name, args } => format!("{}({})", name, args.join(", ")),
         }
@@ -118,7 +121,7 @@ fn fold_head(parts: Vec<Part>) -> Vec<Part> {
         return vec![first];
     }
     let Part::Call { name, mut args } = first;
-    args.extend(rest.iter().map(Part::to_string));
+    args.extend(rest.iter().map(Part::render));
     vec![Part::Call { name, args }]
 }
 

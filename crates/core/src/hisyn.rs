@@ -93,7 +93,7 @@ pub fn synthesize(
 
     'combos: loop {
         visited += 1;
-        if visited % DEADLINE_STRIDE == 0 {
+        if visited.is_multiple_of(DEADLINE_STRIDE) {
             deadline.check()?;
         }
         stats.enumerated_combinations += 1;
@@ -249,15 +249,26 @@ mod tests {
     }
 
     fn cand(api: &str) -> ApiCandidate {
-        ApiCandidate { api: api.to_string(), score: 1.0 }
+        ApiCandidate {
+            api: api.to_string(),
+            score: 1.0,
+        }
     }
 
     fn setup() -> (QueryGraph, WordToApi) {
         let q = QueryGraph {
             nodes: vec![qnode(0, "insert"), qnode(1, "string"), qnode(2, "start")],
             edges: vec![
-                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
-                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
+                QueryEdge {
+                    gov: 0,
+                    dep: 1,
+                    rel: DepRel::Obj,
+                },
+                QueryEdge {
+                    gov: 0,
+                    dep: 2,
+                    rel: DepRel::Nmod("at".into()),
+                },
             ],
             root: Some(0),
         };

@@ -48,15 +48,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod cgt;
 mod config;
 pub mod dggt;
-mod engine;
 mod domain;
 pub mod edge2path;
+mod engine;
 mod error;
 pub mod expr;
 pub mod hisyn;
+pub mod memo;
 pub mod opt;
 mod pipeline;
 pub mod prune;
@@ -64,12 +66,14 @@ mod query;
 mod stats;
 pub mod word2api;
 
+pub use batch::{BatchEngine, BatchOptions, BatchReport, BatchStats, WorkerStats};
 pub use cgt::Cgt;
 pub use config::{Engine, SynthesisConfig};
 pub use domain::{Domain, DomainBuilder};
 pub use edge2path::{EdgeCandidates, EdgeToPath, PathCache, PathCandidate};
 pub use engine::{BestCgt, Deadline, TimedOut};
 pub use error::SynthesisError;
+pub use memo::{CacheStats, MemoDirection, MemoKey, SharedPathCache};
 pub use pipeline::{Outcome, Synthesis, Synthesizer};
 pub use query::{QueryEdge, QueryGraph, QueryNode};
 pub use stats::SynthesisStats;

@@ -1,0 +1,365 @@
+//! Cross-query memoization of EdgeToPath search results.
+//!
+//! The grammar graph is immutable per domain, so the set of grammar paths
+//! connecting one candidate-API set to another never changes between
+//! queries — yet the seed pipeline re-ran the reversed all-path search for
+//! every query. [`SharedPathCache`] memoizes finalized per-edge path lists
+//! across queries (and across the threads of a
+//! [`BatchEngine`](crate::BatchEngine)), keyed by
+//! `(governor candidate-set hash, dependent candidate-set hash, direction)`
+//! with an LRU bound and hit/miss/eviction counters.
+//!
+//! Cached values are *raw* candidates: sorted, truncated to the search
+//! limits, but without relation-affinity bonuses or path ids — both depend
+//! on the specific dependency edge, so they are applied at retrieval time
+//! by [`edge2path`](crate::edge2path).
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nlquery_grammar::{GrammarPath, NodeId, SearchLimits};
+
+/// Which kind of path search a memo entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoDirection {
+    /// `paths_from_root` searches (root pseudo-edge, orphan attachment).
+    FromRoot,
+    /// `paths_between` searches (real dependency edges).
+    Between,
+}
+
+/// Cache key for one edge-level search.
+///
+/// The hashes cover the sorted, deduplicated candidate-API sets of the
+/// governor and dependent sides plus the active [`SearchLimits`]; two
+/// dependency edges with the same candidate sets share an entry no matter
+/// which queries they came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Hash of the governor-side candidate set (0 for root searches).
+    pub gov: u64,
+    /// Hash of the dependent-side candidate set.
+    pub dep: u64,
+    /// Search direction.
+    pub direction: MemoDirection,
+}
+
+/// One memoized candidate path: finalized order, no per-edge metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawPath {
+    /// Governor-side API (`None` for root searches).
+    pub gov_api: Option<NodeId>,
+    /// Dependent-side API (the path's sink).
+    pub dep_api: NodeId,
+    /// The grammar path.
+    pub path: GrammarPath,
+}
+
+/// Snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn hash_apis(apis: &[NodeId], limits: SearchLimits) -> u64 {
+    let mut h = DefaultHasher::new();
+    limits.max_paths.hash(&mut h);
+    limits.max_depth.hash(&mut h);
+    for api in apis {
+        api.hash(&mut h);
+    }
+    h.finish()
+}
+
+impl MemoKey {
+    /// Key for a `paths_between` search over two candidate sets. Callers
+    /// must pass sorted, deduplicated sets so that equal sets hash equally.
+    pub fn between(gov_apis: &[NodeId], dep_apis: &[NodeId], limits: SearchLimits) -> MemoKey {
+        MemoKey {
+            gov: hash_apis(gov_apis, limits),
+            dep: hash_apis(dep_apis, limits),
+            direction: MemoDirection::Between,
+        }
+    }
+
+    /// Key for a `paths_from_root` search over a candidate set.
+    pub fn from_root(dep_apis: &[NodeId], limits: SearchLimits) -> MemoKey {
+        MemoKey {
+            gov: 0,
+            dep: hash_apis(dep_apis, limits),
+            direction: MemoDirection::FromRoot,
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<Vec<RawPath>>,
+    stamp: u64,
+}
+
+struct Lru {
+    map: HashMap<MemoKey, Entry>,
+    stamp: u64,
+}
+
+/// Thread-safe, LRU-bounded memo cache for EdgeToPath search results,
+/// shared across queries (and across batch workers) of one domain.
+///
+/// ```rust
+/// use nlquery_core::memo::{MemoKey, SharedPathCache};
+/// use nlquery_grammar::SearchLimits;
+///
+/// let cache = SharedPathCache::new(128);
+/// let key = MemoKey::from_root(&[], SearchLimits::default());
+/// assert!(cache.get(key).is_none());
+/// cache.insert(key, Vec::new());
+/// assert!(cache.get(key).is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+pub struct SharedPathCache {
+    inner: Mutex<Lru>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedPathCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPathCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedPathCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> SharedPathCache {
+        SharedPathCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                stamp: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a memoized search, refreshing its LRU stamp. Counts a hit
+    /// or a miss.
+    pub fn get(&self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
+        let mut lru = self.inner.lock().expect("cache lock");
+        lru.stamp += 1;
+        let stamp = lru.stamp;
+        match lru.map.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let value = Arc::clone(&entry.value);
+                drop(lru);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(lru);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a search result, evicting the least-recently-used entry
+    /// when full. Returns the shared handle (the stored value if another
+    /// thread raced this insert and won).
+    pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+        let mut lru = self.inner.lock().expect("cache lock");
+        lru.stamp += 1;
+        let stamp = lru.stamp;
+        if let Some(existing) = lru.map.get_mut(&key) {
+            // A concurrent worker computed the same entry first; keep it so
+            // every holder shares one allocation.
+            existing.stamp = stamp;
+            return Arc::clone(&existing.value);
+        }
+        if lru.map.len() >= self.capacity {
+            if let Some(oldest) = lru.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                lru.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let value = Arc::new(value);
+        lru.map.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                stamp,
+            },
+        );
+        value
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache lock").map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache lock").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(n: u64) -> MemoKey {
+        MemoKey {
+            gov: n,
+            dep: n,
+            direction: MemoDirection::Between,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = SharedPathCache::new(8);
+        assert!(cache.get(key(1)).is_none());
+        cache.insert(key(1), Vec::new());
+        assert!(cache.get(key(1)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SharedPathCache::new(2);
+        cache.insert(key(1), Vec::new());
+        cache.insert(key(2), Vec::new());
+        // Touch 1 so that 2 is the LRU entry.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), Vec::new());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(key(1)).is_some(), "recently used entry survives");
+        assert!(cache.get(key(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(key(3)).is_some());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = SharedPathCache::new(4);
+        for n in 0..100 {
+            cache.insert(key(n), Vec::new());
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.capacity, 4);
+        assert_eq!(s.evictions, 96);
+    }
+
+    #[test]
+    fn racing_insert_keeps_first_value() {
+        let cache = SharedPathCache::new(8);
+        let first = cache.insert(key(1), Vec::new());
+        let second = cache.insert(key(1), Vec::new());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = SharedPathCache::new(0);
+        cache.insert(key(1), Vec::new());
+        cache.insert(key(2), Vec::new());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = SharedPathCache::new(8);
+        cache.insert(key(1), Vec::new());
+        assert!(cache.get(key(1)).is_some());
+        cache.clear();
+        assert!(cache.get(key(1)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(SharedPathCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for n in 0..16 {
+                    // All threads insert the same 16 keys; later threads hit.
+                    if cache.get(key(n)).is_none() {
+                        cache.insert(key(n), Vec::new());
+                    }
+                    let _ = t;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 16);
+        assert_eq!(s.hits + s.misses, 64);
+        assert!(s.hits >= 16, "cross-thread lookups must hit: {s:?}");
+    }
+
+    #[test]
+    fn key_is_order_insensitive_after_sorting() {
+        // Key construction is over caller-sorted sets; equal sets produce
+        // equal keys, different sets different keys (w.h.p.).
+        let limits = SearchLimits::default();
+        let a = MemoKey::from_root(&[], limits);
+        let b = MemoKey::from_root(&[], limits);
+        assert_eq!(a, b);
+        let tighter = SearchLimits {
+            max_paths: 1,
+            ..limits
+        };
+        assert_ne!(
+            MemoKey::from_root(&[], limits),
+            MemoKey::from_root(&[], tighter),
+            "limits are part of the key"
+        );
+    }
+}

@@ -42,8 +42,8 @@ pub fn locations_for(
         }
     }
     let mut found: Vec<(usize, Location)> = Vec::new();
-    for m in 0..query.nodes.len() {
-        if m == orphan || orphans.contains(&m) || depth_of[m] == usize::MAX {
+    for (m, &depth) in depth_of.iter().enumerate() {
+        if m == orphan || orphans.contains(&m) || depth == usize::MAX {
             continue;
         }
         let qualifies = w2a.of(m).iter().any(|gc| {
@@ -56,7 +56,13 @@ pub fn locations_for(
             })
         });
         if qualifies {
-            found.push((depth_of[m], Location { orphan, governor: m }));
+            found.push((
+                depth_of[m],
+                Location {
+                    orphan,
+                    governor: m,
+                },
+            ));
         }
     }
     // Deepest governors first; ties by node order for determinism.
@@ -191,7 +197,10 @@ mod tests {
     }
 
     fn cand(api: &str) -> ApiCandidate {
-        ApiCandidate { api: api.to_string(), score: 1.0 }
+        ApiCandidate {
+            api: api.to_string(),
+            score: 1.0,
+        }
     }
 
     /// insert -> string, with "start" and "line" unattached (orphans), as

@@ -27,7 +27,10 @@ pub struct ComboBounds {
 ///
 /// Panics if `path_sizes` is empty.
 pub fn bounds(path_sizes: &[usize]) -> ComboBounds {
-    assert!(!path_sizes.is_empty(), "a combination has at least one path");
+    assert!(
+        !path_sizes.is_empty(),
+        "a combination has at least one path"
+    );
     let lower = *path_sizes.iter().max().expect("non-empty");
     let sum: usize = path_sizes.iter().sum();
     let upper = sum.saturating_sub(path_sizes.len() - 1);

@@ -1,11 +1,13 @@
 //! The six-step synthesis pipeline.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nlquery_nlp::DepParser;
 
 use crate::engine::{BestCgt, Deadline};
 use crate::expr::{render_expression, LiteralPool};
+use crate::memo::SharedPathCache;
 use crate::opt::orphan::relocation_variants;
 use crate::{
     dggt, edge2path, hisyn, prune, Cgt, Domain, EdgeToPath, Engine, QueryGraph, SynthesisConfig,
@@ -78,6 +80,31 @@ impl Synthesizer {
 
     /// Runs the full pipeline on a natural-language query.
     pub fn synthesize(&self, query: &str) -> Synthesis {
+        let mut cache = edge2path::PathCache::new();
+        self.synthesize_with(query, &mut cache)
+    }
+
+    /// [`Synthesizer::synthesize`] backed by a cross-query
+    /// [`SharedPathCache`]: EdgeToPath searches whose candidate sets were
+    /// already resolved — by an earlier query, or concurrently by another
+    /// worker of a [`crate::BatchEngine`] — are served from the memo. The
+    /// result is identical to [`Synthesizer::synthesize`]; only
+    /// [`SynthesisStats::memo_hits`] / [`SynthesisStats::memo_misses`] and
+    /// the timings differ.
+    pub fn synthesize_shared(&self, query: &str, shared: &Arc<SharedPathCache>) -> Synthesis {
+        let mut cache = edge2path::PathCache::with_shared(Arc::clone(shared));
+        self.synthesize_with(query, &mut cache)
+    }
+
+    /// The pipeline body, generic over the path-cache layering.
+    fn synthesize_with(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {
+        let mut synthesis = self.run_pipeline(query, cache);
+        synthesis.stats.memo_hits = cache.shared_hits();
+        synthesis.stats.memo_misses = cache.shared_misses();
+        synthesis
+    }
+
+    fn run_pipeline(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {
         let deadline = Deadline::new(self.config.timeout);
         let mut stats = SynthesisStats::default();
 
@@ -85,9 +112,9 @@ impl Synthesizer {
         let t0 = Instant::now();
         let dep = self.parser.parse(query);
         stats.t_parse = t0.elapsed();
-        let t1 = Instant::now();
-        let (qgraph, w2a) = prune::prune(&dep, &self.domain, &self.config);
-        stats.t_word2api = t1.elapsed();
+        let (qgraph, w2a, prune_timing) = prune::prune_timed(&dep, &self.domain, &self.config);
+        stats.t_prune = prune_timing.t_prune;
+        stats.t_word2api = prune_timing.t_word2api;
 
         if qgraph.root.is_none() || qgraph.nodes.is_empty() {
             return Synthesis {
@@ -111,15 +138,13 @@ impl Synthesizer {
 
         // Step 4: EdgeToPath.
         let t2 = Instant::now();
-        let mut cache = edge2path::PathCache::new();
         let map = edge2path::compute_cached(
             &qgraph,
             &w2a,
             &self.domain,
             self.config.search_limits,
-            &mut cache,
+            cache,
         );
-        stats.t_edge2path = t2.elapsed();
         stats.dep_edges = map.edges.len() + map.orphans.len();
         stats.orphans = map.orphans.len();
 
@@ -127,14 +152,16 @@ impl Synthesizer {
         // orphan to the grammar root.
         let mut root_attached = map.clone();
         for o in map.orphans.clone() {
-            edge2path::attach_orphan_to_root(
+            edge2path::attach_orphan_to_root_cached(
                 &mut root_attached,
                 o,
                 &w2a,
                 self.domain.graph(),
                 self.config.search_limits,
+                cache,
             );
         }
+        stats.t_edge2path = t2.elapsed();
         stats.orig_paths = root_attached.total_paths();
         stats.orig_combinations = root_attached.combination_count();
 
@@ -155,7 +182,7 @@ impl Synthesizer {
             &w2a,
             &map,
             &root_attached,
-            &mut cache,
+            cache,
             &deadline,
             &mut stats,
         );
@@ -175,6 +202,7 @@ impl Synthesizer {
         };
 
         // Step 6: TreeToExpression.
+        let t4 = Instant::now();
         match best {
             Some(best) => {
                 let mut pool = LiteralPool::new();
@@ -204,6 +232,7 @@ impl Synthesizer {
                     }
                 }
                 let expression = render_expression(&self.domain, &best.cgt, &mut pool);
+                stats.t_print = t4.elapsed();
                 Synthesis {
                     outcome: if expression.is_some() {
                         Outcome::Success
@@ -281,12 +310,13 @@ impl Synthesizer {
                             if variant.dropped.contains(&o) {
                                 continue;
                             }
-                            edge2path::attach_orphan_to_root(
+                            edge2path::attach_orphan_to_root_cached(
                                 &mut vmap,
                                 o,
                                 w2a,
                                 self.domain.graph(),
                                 self.config.search_limits,
+                                cache,
                             );
                         }
                         let mut vstats = SynthesisStats::default();
@@ -375,8 +405,18 @@ mod tests {
                 ApiDoc::new("NUMBERTOKEN", &["number", "numeral"], "a number token", 0),
                 ApiDoc::new("START", &["start"], "the start of the scope", 0),
                 ApiDoc::new("END", &["end"], "the end of the scope", 0),
-                ApiDoc::new("POSITION", &["position", "character"], "a character position", 1),
-                ApiDoc::new("ITERATIONSCOPE", &["iteration"], "iterate with a condition", 0),
+                ApiDoc::new(
+                    "POSITION",
+                    &["position", "character"],
+                    "a character position",
+                    1,
+                ),
+                ApiDoc::new(
+                    "ITERATIONSCOPE",
+                    &["iteration"],
+                    "iterate with a condition",
+                    0,
+                ),
                 ApiDoc::new("LINESCOPE", &["line"], "over lines", 0),
                 ApiDoc::new("DOCSCOPE", &["document"], "the whole document", 0),
                 ApiDoc::new("CONTAINS", &["contain"], "scope contains entity", 0),
@@ -426,10 +466,7 @@ mod tests {
         // orphan treatment cannot.
         let d = domain();
         let with = Synthesizer::new(d.clone(), SynthesisConfig::default());
-        let without = Synthesizer::new(
-            d,
-            SynthesisConfig::default().orphan_relocation(false),
-        );
+        let without = Synthesizer::new(d, SynthesisConfig::default().orphan_relocation(false));
         let q = "append \"-\" at the end of each line containing numbers";
         let a = with.synthesize(q);
         let b = without.synthesize(q);

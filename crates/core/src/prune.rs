@@ -28,16 +28,46 @@ use crate::{Domain, QueryEdge, QueryGraph, QueryNode, SynthesisConfig};
 /// discounts.
 const MERGE_THRESHOLD: f64 = 0.55;
 
+/// Wall-clock split of one [`prune`] run: the graph-rewriting phases
+/// (step 2) versus the WordToAPI candidate lookup (step 3) — the two steps
+/// are fused in this module but instrumented separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneTiming {
+    /// Time in graph rewriting (intent-root dropping, folding, modifier
+    /// merging, unmatched-word removal).
+    pub t_prune: std::time::Duration,
+    /// Time in the semantic candidate lookup.
+    pub t_word2api: std::time::Duration,
+}
+
 /// Prunes a dependency graph and computes the WordToAPI map.
 pub fn prune(dep: &DepGraph, domain: &Domain, config: &SynthesisConfig) -> (QueryGraph, WordToApi) {
+    let (graph, w2a, _) = prune_timed(dep, domain, config);
+    (graph, w2a)
+}
+
+/// [`prune`] with a per-phase wall-clock split for stage instrumentation.
+pub fn prune_timed(
+    dep: &DepGraph,
+    domain: &Domain,
+    config: &SynthesisConfig,
+) -> (QueryGraph, WordToApi, PruneTiming) {
+    let mut timing = PruneTiming::default();
+    let t0 = std::time::Instant::now();
     let mut work = Workspace::from_dep(dep);
     work.drop_intent_roots(domain);
     work.fold_numbers();
     work.fold_literals(domain);
     work.merge_modifiers(domain);
+    timing.t_prune = t0.elapsed();
+    let t1 = std::time::Instant::now();
     work.assign_candidates(domain, config);
+    timing.t_word2api = t1.elapsed();
+    let t2 = std::time::Instant::now();
     work.drop_unmatched();
-    work.into_query_graph()
+    let (graph, w2a) = work.into_query_graph();
+    timing.t_prune += t2.elapsed();
+    (graph, w2a, timing)
 }
 
 #[derive(Debug, Clone)]
@@ -83,7 +113,9 @@ impl Workspace {
 
     fn children(&self, id: usize) -> Vec<usize> {
         (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].alive && self.nodes[i].parent.as_ref().map(|p| p.0) == Some(id))
+            .filter(|&i| {
+                self.nodes[i].alive && self.nodes[i].parent.as_ref().map(|p| p.0) == Some(id)
+            })
             .collect()
     }
 
@@ -152,9 +184,7 @@ impl Workspace {
 
     fn fold_literals(&mut self, domain: &Domain) {
         for i in 0..self.nodes.len() {
-            if !self.nodes[i].alive
-                || !matches!(self.nodes[i].pos, Pos::Literal | Pos::Num)
-            {
+            if !self.nodes[i].alive || !matches!(self.nodes[i].pos, Pos::Literal | Pos::Num) {
                 continue;
             }
             match domain.literal_api() {
@@ -311,10 +341,7 @@ impl Workspace {
             }
         }
         let root = self.root.and_then(|r| remap[r]);
-        (
-            QueryGraph { nodes, edges, root },
-            WordToApi { candidates },
-        )
+        (QueryGraph { nodes, edges, root }, WordToApi { candidates })
     }
 }
 
@@ -347,7 +374,12 @@ mod tests {
                 ApiDoc::new("NUMBERTOKEN", &["number"], "a number token", 0),
                 ApiDoc::new("START", &["start"], "the start of the scope", 0),
                 ApiDoc::new("END", &["end"], "the end of the scope", 0),
-                ApiDoc::new("POSITION", &["position", "character"], "a character position", 1),
+                ApiDoc::new(
+                    "POSITION",
+                    &["position", "character"],
+                    "a character position",
+                    1,
+                ),
                 ApiDoc::new("LINESCOPE", &["line"], "iterate over lines", 0),
                 ApiDoc::new("ALL", &["all", "every"], "all occurrences", 0),
             ])
@@ -440,9 +472,19 @@ mod tests {
                     "matches c++ constructor expressions",
                     0,
                 ),
-                ApiDoc::new("callExpr", &["call", "expression"], "matches call expressions", 0),
+                ApiDoc::new(
+                    "callExpr",
+                    &["call", "expression"],
+                    "matches call expressions",
+                    0,
+                ),
                 ApiDoc::new("hasName", &["name"], "matches by name", 1),
-                ApiDoc::new("hasDeclaration", &["declaration"], "matches the declaration", 0),
+                ApiDoc::new(
+                    "hasDeclaration",
+                    &["declaration"],
+                    "matches the declaration",
+                    0,
+                ),
             ])
             .quote_literals(true)
             .build()
@@ -480,7 +522,10 @@ mod tests {
             .find(|n| n.phrase().contains("name"))
             .expect("named kept");
         assert_eq!(named.literal.as_deref(), Some("PI"));
-        assert!(!g.nodes.iter().any(|n| n.literal.as_deref() == Some("PI") && n.pos == Pos::Literal));
+        assert!(!g
+            .nodes
+            .iter()
+            .any(|n| n.literal.as_deref() == Some("PI") && n.pos == Pos::Literal));
     }
 
     #[test]

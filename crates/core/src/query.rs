@@ -141,11 +141,28 @@ mod tests {
 
     fn graph() -> QueryGraph {
         QueryGraph {
-            nodes: vec![node(0, "insert"), node(1, "string"), node(2, "start"), node(3, "line")],
+            nodes: vec![
+                node(0, "insert"),
+                node(1, "string"),
+                node(2, "start"),
+                node(3, "line"),
+            ],
             edges: vec![
-                QueryEdge { gov: 0, dep: 1, rel: DepRel::Obj },
-                QueryEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
-                QueryEdge { gov: 2, dep: 3, rel: DepRel::Nmod("of".into()) },
+                QueryEdge {
+                    gov: 0,
+                    dep: 1,
+                    rel: DepRel::Obj,
+                },
+                QueryEdge {
+                    gov: 0,
+                    dep: 2,
+                    rel: DepRel::Nmod("at".into()),
+                },
+                QueryEdge {
+                    gov: 2,
+                    dep: 3,
+                    rel: DepRel::Nmod("of".into()),
+                },
             ],
             root: Some(0),
         }

@@ -35,17 +35,38 @@ pub struct SynthesisStats {
     pub orphan_variants: usize,
     /// Combinations the HISyn enumeration visited (HISyn engine only).
     pub enumerated_combinations: u64,
-    /// Time spent in dependency parsing + pruning (steps 1-2).
+    /// Time spent in dependency parsing (step 1).
     pub t_parse: Duration,
+    /// Time spent pruning the query graph (step 2).
+    pub t_prune: Duration,
     /// Time spent in WordToAPI (step 3).
     pub t_word2api: Duration,
     /// Time spent in EdgeToPath (step 4).
     pub t_edge2path: Duration,
-    /// Time spent merging / in the DP (steps 5-6).
+    /// Time spent merging / in the DP (step 5).
     pub t_merge: Duration,
+    /// Time spent rendering the expression (step 6, TreeToExpression).
+    pub t_print: Duration,
+    /// Cross-query memo-cache hits during this run's EdgeToPath searches
+    /// (0 unless the synthesizer ran with a shared cache).
+    pub memo_hits: u64,
+    /// Cross-query memo-cache misses during this run's EdgeToPath searches.
+    pub memo_misses: u64,
 }
 
 impl SynthesisStats {
+    /// Sum of all per-stage durations (parse, prune, WordToAPI,
+    /// EdgeToPath, merge, print) — the instrumented fraction of a run's
+    /// wall-clock time.
+    pub fn stage_total(&self) -> Duration {
+        self.t_parse
+            + self.t_prune
+            + self.t_word2api
+            + self.t_edge2path
+            + self.t_merge
+            + self.t_print
+    }
+
     /// Sums counters from a sub-run (used when orphan relocation
     /// synthesizes several graph variants).
     pub fn absorb(&mut self, other: &SynthesisStats) {

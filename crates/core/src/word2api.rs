@@ -123,7 +123,12 @@ mod tests {
                     "matches c++ constructor call expressions",
                     0,
                 ),
-                ApiDoc::new("callExpr", &["call", "expression"], "matches call expressions", 0),
+                ApiDoc::new(
+                    "callExpr",
+                    &["call", "expression"],
+                    "matches call expressions",
+                    0,
+                ),
                 ApiDoc::new("hasName", &["name"], "matches a declaration by name", 1),
             ],
             SynonymLexicon::new(),
@@ -171,7 +176,13 @@ mod tests {
     #[test]
     fn word_to_api_accessors() {
         let map = WordToApi {
-            candidates: vec![vec![ApiCandidate { api: "X".into(), score: 1.0 }], vec![]],
+            candidates: vec![
+                vec![ApiCandidate {
+                    api: "X".into(),
+                    score: 1.0,
+                }],
+                vec![],
+            ],
         };
         assert!(map.has_candidates(0));
         assert!(!map.has_candidates(1));

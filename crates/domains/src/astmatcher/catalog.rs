@@ -26,103 +26,543 @@ pub enum NodeClass {
 }
 
 /// A node matcher entry: `(name, class, keywords, description)`.
-pub type NodeEntry = (&'static str, NodeClass, &'static [&'static str], &'static str);
+pub type NodeEntry = (
+    &'static str,
+    NodeClass,
+    &'static [&'static str],
+    &'static str,
+);
 
 /// Node matchers.
 pub const NODE_MATCHERS: &[NodeEntry] = &[
     // Declarations.
-    ("cxxRecordDecl", NodeClass::Decl, &["cxx", "class", "record", "declaration"], "matches C++ class declarations"),
-    ("cxxMethodDecl", NodeClass::Decl, &["cxx", "method", "declaration"], "matches C++ method declarations"),
-    ("cxxConstructorDecl", NodeClass::Decl, &["cxx", "constructor", "declaration"], "matches C++ constructor declarations"),
-    ("cxxDestructorDecl", NodeClass::Decl, &["cxx", "destructor", "declaration"], "matches C++ destructor declarations"),
-    ("cxxConversionDecl", NodeClass::Decl, &["cxx", "conversion", "declaration"], "matches C++ conversion operator declarations"),
-    ("functionDecl", NodeClass::Decl, &["function", "declaration"], "matches function declarations"),
-    ("functionTemplateDecl", NodeClass::Decl, &["function", "template", "declaration"], "matches function template declarations"),
-    ("classTemplateDecl", NodeClass::Decl, &["cxx", "class", "template", "declaration"], "matches class template declarations"),
-    ("varDecl", NodeClass::Decl, &["variable", "declaration"], "matches variable declarations"),
-    ("fieldDecl", NodeClass::Decl, &["field", "member", "declaration"], "matches field declarations inside records"),
-    ("parmVarDecl", NodeClass::Decl, &["parameter", "variable", "declaration"], "matches parameter variable declarations"),
-    ("enumDecl", NodeClass::Decl, &["enum", "declaration"], "matches enum declarations"),
-    ("enumConstantDecl", NodeClass::Decl, &["enum", "constant", "declaration"], "matches enum constant declarations"),
-    ("namespaceDecl", NodeClass::Decl, &["namespace", "declaration"], "matches namespace declarations"),
-    ("recordDecl", NodeClass::Decl, &["record", "struct", "declaration"], "matches class struct and union declarations"),
-    ("typedefDecl", NodeClass::Decl, &["typedef", "declaration"], "matches typedef declarations"),
-    ("usingDecl", NodeClass::Decl, &["using", "declaration"], "matches using declarations"),
-    ("friendDecl", NodeClass::Decl, &["friend", "declaration"], "matches friend declarations"),
-    ("labelDecl", NodeClass::Decl, &["label", "declaration"], "matches label declarations"),
-    ("namedDecl", NodeClass::Decl, &["named", "declaration"], "matches declarations with a name"),
-    ("declaratorDecl", NodeClass::Decl, &["declarator", "declaration"], "matches declarator declarations"),
-    ("decl", NodeClass::Decl, &["declaration"], "matches any declaration"),
+    (
+        "cxxRecordDecl",
+        NodeClass::Decl,
+        &["cxx", "class", "record", "declaration"],
+        "matches C++ class declarations",
+    ),
+    (
+        "cxxMethodDecl",
+        NodeClass::Decl,
+        &["cxx", "method", "declaration"],
+        "matches C++ method declarations",
+    ),
+    (
+        "cxxConstructorDecl",
+        NodeClass::Decl,
+        &["cxx", "constructor", "declaration"],
+        "matches C++ constructor declarations",
+    ),
+    (
+        "cxxDestructorDecl",
+        NodeClass::Decl,
+        &["cxx", "destructor", "declaration"],
+        "matches C++ destructor declarations",
+    ),
+    (
+        "cxxConversionDecl",
+        NodeClass::Decl,
+        &["cxx", "conversion", "declaration"],
+        "matches C++ conversion operator declarations",
+    ),
+    (
+        "functionDecl",
+        NodeClass::Decl,
+        &["function", "declaration"],
+        "matches function declarations",
+    ),
+    (
+        "functionTemplateDecl",
+        NodeClass::Decl,
+        &["function", "template", "declaration"],
+        "matches function template declarations",
+    ),
+    (
+        "classTemplateDecl",
+        NodeClass::Decl,
+        &["cxx", "class", "template", "declaration"],
+        "matches class template declarations",
+    ),
+    (
+        "varDecl",
+        NodeClass::Decl,
+        &["variable", "declaration"],
+        "matches variable declarations",
+    ),
+    (
+        "fieldDecl",
+        NodeClass::Decl,
+        &["field", "member", "declaration"],
+        "matches field declarations inside records",
+    ),
+    (
+        "parmVarDecl",
+        NodeClass::Decl,
+        &["parameter", "variable", "declaration"],
+        "matches parameter variable declarations",
+    ),
+    (
+        "enumDecl",
+        NodeClass::Decl,
+        &["enum", "declaration"],
+        "matches enum declarations",
+    ),
+    (
+        "enumConstantDecl",
+        NodeClass::Decl,
+        &["enum", "constant", "declaration"],
+        "matches enum constant declarations",
+    ),
+    (
+        "namespaceDecl",
+        NodeClass::Decl,
+        &["namespace", "declaration"],
+        "matches namespace declarations",
+    ),
+    (
+        "recordDecl",
+        NodeClass::Decl,
+        &["record", "struct", "declaration"],
+        "matches class struct and union declarations",
+    ),
+    (
+        "typedefDecl",
+        NodeClass::Decl,
+        &["typedef", "declaration"],
+        "matches typedef declarations",
+    ),
+    (
+        "usingDecl",
+        NodeClass::Decl,
+        &["using", "declaration"],
+        "matches using declarations",
+    ),
+    (
+        "friendDecl",
+        NodeClass::Decl,
+        &["friend", "declaration"],
+        "matches friend declarations",
+    ),
+    (
+        "labelDecl",
+        NodeClass::Decl,
+        &["label", "declaration"],
+        "matches label declarations",
+    ),
+    (
+        "namedDecl",
+        NodeClass::Decl,
+        &["named", "declaration"],
+        "matches declarations with a name",
+    ),
+    (
+        "declaratorDecl",
+        NodeClass::Decl,
+        &["declarator", "declaration"],
+        "matches declarator declarations",
+    ),
+    (
+        "decl",
+        NodeClass::Decl,
+        &["declaration"],
+        "matches any declaration",
+    ),
     // Expressions.
-    ("callExpr", NodeClass::Expr, &["call", "expression"], "matches call expressions"),
-    ("cxxMemberCallExpr", NodeClass::Expr, &["cxx", "member", "call", "expression"], "matches member call expressions"),
-    ("cxxOperatorCallExpr", NodeClass::Expr, &["cxx", "operator", "call", "expression"], "matches overloaded operator call expressions"),
-    ("cxxConstructExpr", NodeClass::Expr, &["cxx", "constructor", "expression"], "matches C++ constructor call expressions"),
-    ("cxxNewExpr", NodeClass::Expr, &["cxx", "new", "expression"], "matches new expressions"),
-    ("cxxDeleteExpr", NodeClass::Expr, &["cxx", "delete", "expression"], "matches delete expressions"),
-    ("cxxThisExpr", NodeClass::Expr, &["cxx", "this", "expression"], "matches this expressions"),
-    ("cxxThrowExpr", NodeClass::Expr, &["cxx", "throw", "expression"], "matches throw expressions"),
-    ("memberExpr", NodeClass::Expr, &["member", "expression"], "matches member access expressions"),
-    ("declRefExpr", NodeClass::Expr, &["declaration", "reference", "expression"], "matches expressions referencing a declaration"),
-    ("arraySubscriptExpr", NodeClass::Expr, &["array", "subscript", "expression"], "matches array subscript expressions"),
-    ("initListExpr", NodeClass::Expr, &["initializer", "list", "expression"], "matches initializer list expressions"),
-    ("implicitCastExpr", NodeClass::Expr, &["implicit", "cast", "expression"], "matches implicit cast expressions"),
-    ("cStyleCastExpr", NodeClass::Expr, &["c", "style", "cast", "expression"], "matches C-style cast expressions"),
-    ("cxxStaticCastExpr", NodeClass::Expr, &["cxx", "static", "cast", "expression"], "matches static_cast expressions"),
-    ("cxxDynamicCastExpr", NodeClass::Expr, &["cxx", "dynamic", "cast", "expression"], "matches dynamic_cast expressions"),
-    ("cxxReinterpretCastExpr", NodeClass::Expr, &["cxx", "reinterpret", "cast", "expression"], "matches reinterpret_cast expressions"),
-    ("cxxConstCastExpr", NodeClass::Expr, &["cxx", "const", "cast", "expression"], "matches const_cast expressions"),
-    ("lambdaExpr", NodeClass::Expr, &["lambda", "expression"], "matches lambda expressions"),
-    ("parenExpr", NodeClass::Expr, &["paren", "expression"], "matches parenthesized expressions"),
-    ("cxxDefaultArgExpr", NodeClass::Expr, &["cxx", "default", "argument", "expression"], "matches default argument expressions"),
-    ("expr", NodeClass::Expr, &["expression"], "matches any expression"),
+    (
+        "callExpr",
+        NodeClass::Expr,
+        &["call", "expression"],
+        "matches call expressions",
+    ),
+    (
+        "cxxMemberCallExpr",
+        NodeClass::Expr,
+        &["cxx", "member", "call", "expression"],
+        "matches member call expressions",
+    ),
+    (
+        "cxxOperatorCallExpr",
+        NodeClass::Expr,
+        &["cxx", "operator", "call", "expression"],
+        "matches overloaded operator call expressions",
+    ),
+    (
+        "cxxConstructExpr",
+        NodeClass::Expr,
+        &["cxx", "constructor", "expression"],
+        "matches C++ constructor call expressions",
+    ),
+    (
+        "cxxNewExpr",
+        NodeClass::Expr,
+        &["cxx", "new", "expression"],
+        "matches new expressions",
+    ),
+    (
+        "cxxDeleteExpr",
+        NodeClass::Expr,
+        &["cxx", "delete", "expression"],
+        "matches delete expressions",
+    ),
+    (
+        "cxxThisExpr",
+        NodeClass::Expr,
+        &["cxx", "this", "expression"],
+        "matches this expressions",
+    ),
+    (
+        "cxxThrowExpr",
+        NodeClass::Expr,
+        &["cxx", "throw", "expression"],
+        "matches throw expressions",
+    ),
+    (
+        "memberExpr",
+        NodeClass::Expr,
+        &["member", "expression"],
+        "matches member access expressions",
+    ),
+    (
+        "declRefExpr",
+        NodeClass::Expr,
+        &["declaration", "reference", "expression"],
+        "matches expressions referencing a declaration",
+    ),
+    (
+        "arraySubscriptExpr",
+        NodeClass::Expr,
+        &["array", "subscript", "expression"],
+        "matches array subscript expressions",
+    ),
+    (
+        "initListExpr",
+        NodeClass::Expr,
+        &["initializer", "list", "expression"],
+        "matches initializer list expressions",
+    ),
+    (
+        "implicitCastExpr",
+        NodeClass::Expr,
+        &["implicit", "cast", "expression"],
+        "matches implicit cast expressions",
+    ),
+    (
+        "cStyleCastExpr",
+        NodeClass::Expr,
+        &["c", "style", "cast", "expression"],
+        "matches C-style cast expressions",
+    ),
+    (
+        "cxxStaticCastExpr",
+        NodeClass::Expr,
+        &["cxx", "static", "cast", "expression"],
+        "matches static_cast expressions",
+    ),
+    (
+        "cxxDynamicCastExpr",
+        NodeClass::Expr,
+        &["cxx", "dynamic", "cast", "expression"],
+        "matches dynamic_cast expressions",
+    ),
+    (
+        "cxxReinterpretCastExpr",
+        NodeClass::Expr,
+        &["cxx", "reinterpret", "cast", "expression"],
+        "matches reinterpret_cast expressions",
+    ),
+    (
+        "cxxConstCastExpr",
+        NodeClass::Expr,
+        &["cxx", "const", "cast", "expression"],
+        "matches const_cast expressions",
+    ),
+    (
+        "lambdaExpr",
+        NodeClass::Expr,
+        &["lambda", "expression"],
+        "matches lambda expressions",
+    ),
+    (
+        "parenExpr",
+        NodeClass::Expr,
+        &["paren", "expression"],
+        "matches parenthesized expressions",
+    ),
+    (
+        "cxxDefaultArgExpr",
+        NodeClass::Expr,
+        &["cxx", "default", "argument", "expression"],
+        "matches default argument expressions",
+    ),
+    (
+        "expr",
+        NodeClass::Expr,
+        &["expression"],
+        "matches any expression",
+    ),
     // Operators.
-    ("binaryOperator", NodeClass::Op, &["binary", "operator"], "matches binary operator expressions"),
-    ("unaryOperator", NodeClass::Op, &["unary", "operator"], "matches unary operator expressions"),
-    ("conditionalOperator", NodeClass::Op, &["conditional", "operator", "ternary"], "matches conditional ternary operator expressions"),
-    ("compoundAssignOperator", NodeClass::Op, &["compound", "assignment", "operator"], "matches compound assignment operator expressions"),
+    (
+        "binaryOperator",
+        NodeClass::Op,
+        &["binary", "operator"],
+        "matches binary operator expressions",
+    ),
+    (
+        "unaryOperator",
+        NodeClass::Op,
+        &["unary", "operator"],
+        "matches unary operator expressions",
+    ),
+    (
+        "conditionalOperator",
+        NodeClass::Op,
+        &["conditional", "operator", "ternary"],
+        "matches conditional ternary operator expressions",
+    ),
+    (
+        "compoundAssignOperator",
+        NodeClass::Op,
+        &["compound", "assignment", "operator"],
+        "matches compound assignment operator expressions",
+    ),
     // Literals.
-    ("integerLiteral", NodeClass::Lit, &["integer", "literal"], "matches integer literals"),
-    ("floatLiteral", NodeClass::Lit, &["float", "literal"], "matches float literals"),
-    ("stringLiteral", NodeClass::Lit, &["string", "literal"], "matches string literals"),
-    ("characterLiteral", NodeClass::Lit, &["character", "literal"], "matches character literals"),
-    ("cxxBoolLiteral", NodeClass::Lit, &["cxx", "bool", "literal"], "matches boolean literals"),
-    ("cxxNullPtrLiteralExpr", NodeClass::Lit, &["cxx", "null", "pointer", "literal"], "matches nullptr literals"),
+    (
+        "integerLiteral",
+        NodeClass::Lit,
+        &["integer", "literal"],
+        "matches integer literals",
+    ),
+    (
+        "floatLiteral",
+        NodeClass::Lit,
+        &["float", "literal"],
+        "matches float literals",
+    ),
+    (
+        "stringLiteral",
+        NodeClass::Lit,
+        &["string", "literal"],
+        "matches string literals",
+    ),
+    (
+        "characterLiteral",
+        NodeClass::Lit,
+        &["character", "literal"],
+        "matches character literals",
+    ),
+    (
+        "cxxBoolLiteral",
+        NodeClass::Lit,
+        &["cxx", "bool", "literal"],
+        "matches boolean literals",
+    ),
+    (
+        "cxxNullPtrLiteralExpr",
+        NodeClass::Lit,
+        &["cxx", "null", "pointer", "literal"],
+        "matches nullptr literals",
+    ),
     // Statements.
-    ("ifStmt", NodeClass::Stmt, &["if", "statement"], "matches if statements"),
-    ("forStmt", NodeClass::Stmt, &["for", "loop", "statement"], "matches for loop statements"),
-    ("whileStmt", NodeClass::Stmt, &["while", "loop", "statement"], "matches while loop statements"),
-    ("doStmt", NodeClass::Stmt, &["do", "loop", "statement"], "matches do-while loop statements"),
-    ("cxxForRangeStmt", NodeClass::Stmt, &["cxx", "range", "for", "loop", "statement"], "matches range-based for loop statements"),
-    ("switchStmt", NodeClass::Stmt, &["switch", "statement"], "matches switch statements"),
-    ("caseStmt", NodeClass::Stmt, &["case", "statement"], "matches case statements inside switches"),
-    ("defaultStmt", NodeClass::Stmt, &["default", "statement"], "matches default statements inside switches"),
-    ("breakStmt", NodeClass::Stmt, &["break", "statement"], "matches break statements"),
-    ("continueStmt", NodeClass::Stmt, &["continue", "statement"], "matches continue statements"),
-    ("returnStmt", NodeClass::Stmt, &["return", "statement"], "matches return statements"),
-    ("gotoStmt", NodeClass::Stmt, &["goto", "statement"], "matches goto statements"),
-    ("labelStmt", NodeClass::Stmt, &["label", "statement"], "matches label statements"),
-    ("compoundStmt", NodeClass::Stmt, &["compound", "statement", "block"], "matches compound statements"),
-    ("declStmt", NodeClass::Stmt, &["declaration", "statement"], "matches declaration statements"),
-    ("nullStmt", NodeClass::Stmt, &["null", "statement"], "matches null statements"),
-    ("cxxTryStmt", NodeClass::Stmt, &["cxx", "try", "statement"], "matches try statements"),
-    ("cxxCatchStmt", NodeClass::Stmt, &["cxx", "catch", "statement"], "matches catch statements"),
-    ("stmt", NodeClass::Stmt, &["statement"], "matches any statement"),
+    (
+        "ifStmt",
+        NodeClass::Stmt,
+        &["if", "statement"],
+        "matches if statements",
+    ),
+    (
+        "forStmt",
+        NodeClass::Stmt,
+        &["for", "loop", "statement"],
+        "matches for loop statements",
+    ),
+    (
+        "whileStmt",
+        NodeClass::Stmt,
+        &["while", "loop", "statement"],
+        "matches while loop statements",
+    ),
+    (
+        "doStmt",
+        NodeClass::Stmt,
+        &["do", "loop", "statement"],
+        "matches do-while loop statements",
+    ),
+    (
+        "cxxForRangeStmt",
+        NodeClass::Stmt,
+        &["cxx", "range", "for", "loop", "statement"],
+        "matches range-based for loop statements",
+    ),
+    (
+        "switchStmt",
+        NodeClass::Stmt,
+        &["switch", "statement"],
+        "matches switch statements",
+    ),
+    (
+        "caseStmt",
+        NodeClass::Stmt,
+        &["case", "statement"],
+        "matches case statements inside switches",
+    ),
+    (
+        "defaultStmt",
+        NodeClass::Stmt,
+        &["default", "statement"],
+        "matches default statements inside switches",
+    ),
+    (
+        "breakStmt",
+        NodeClass::Stmt,
+        &["break", "statement"],
+        "matches break statements",
+    ),
+    (
+        "continueStmt",
+        NodeClass::Stmt,
+        &["continue", "statement"],
+        "matches continue statements",
+    ),
+    (
+        "returnStmt",
+        NodeClass::Stmt,
+        &["return", "statement"],
+        "matches return statements",
+    ),
+    (
+        "gotoStmt",
+        NodeClass::Stmt,
+        &["goto", "statement"],
+        "matches goto statements",
+    ),
+    (
+        "labelStmt",
+        NodeClass::Stmt,
+        &["label", "statement"],
+        "matches label statements",
+    ),
+    (
+        "compoundStmt",
+        NodeClass::Stmt,
+        &["compound", "statement", "block"],
+        "matches compound statements",
+    ),
+    (
+        "declStmt",
+        NodeClass::Stmt,
+        &["declaration", "statement"],
+        "matches declaration statements",
+    ),
+    (
+        "nullStmt",
+        NodeClass::Stmt,
+        &["null", "statement"],
+        "matches null statements",
+    ),
+    (
+        "cxxTryStmt",
+        NodeClass::Stmt,
+        &["cxx", "try", "statement"],
+        "matches try statements",
+    ),
+    (
+        "cxxCatchStmt",
+        NodeClass::Stmt,
+        &["cxx", "catch", "statement"],
+        "matches catch statements",
+    ),
+    (
+        "stmt",
+        NodeClass::Stmt,
+        &["statement"],
+        "matches any statement",
+    ),
     // Types.
-    ("qualType", NodeClass::Type, &["qualified", "type"], "matches qualified types"),
-    ("pointerType", NodeClass::Type, &["pointer", "type"], "matches pointer types"),
-    ("referenceType", NodeClass::Type, &["reference", "type"], "matches reference types"),
-    ("lValueReferenceType", NodeClass::Type, &["lvalue", "reference", "type"], "matches lvalue reference types"),
-    ("rValueReferenceType", NodeClass::Type, &["rvalue", "reference", "type"], "matches rvalue reference types"),
-    ("arrayType", NodeClass::Type, &["array", "type"], "matches array types"),
-    ("constantArrayType", NodeClass::Type, &["constant", "array", "type"], "matches constant-size array types"),
-    ("builtinType", NodeClass::Type, &["builtin", "type"], "matches builtin types"),
-    ("enumType", NodeClass::Type, &["enum", "type"], "matches enum types"),
-    ("recordType", NodeClass::Type, &["record", "type"], "matches record types"),
-    ("templateSpecializationType", NodeClass::Type, &["template", "specialization", "type"], "matches template specialization types"),
-    ("autoType", NodeClass::Type, &["auto", "type"], "matches auto-deduced types"),
-    ("functionType", NodeClass::Type, &["function", "type"], "matches function types"),
-    ("typedefType", NodeClass::Type, &["typedef", "type"], "matches typedef types"),
+    (
+        "qualType",
+        NodeClass::Type,
+        &["qualified", "type"],
+        "matches qualified types",
+    ),
+    (
+        "pointerType",
+        NodeClass::Type,
+        &["pointer", "type"],
+        "matches pointer types",
+    ),
+    (
+        "referenceType",
+        NodeClass::Type,
+        &["reference", "type"],
+        "matches reference types",
+    ),
+    (
+        "lValueReferenceType",
+        NodeClass::Type,
+        &["lvalue", "reference", "type"],
+        "matches lvalue reference types",
+    ),
+    (
+        "rValueReferenceType",
+        NodeClass::Type,
+        &["rvalue", "reference", "type"],
+        "matches rvalue reference types",
+    ),
+    (
+        "arrayType",
+        NodeClass::Type,
+        &["array", "type"],
+        "matches array types",
+    ),
+    (
+        "constantArrayType",
+        NodeClass::Type,
+        &["constant", "array", "type"],
+        "matches constant-size array types",
+    ),
+    (
+        "builtinType",
+        NodeClass::Type,
+        &["builtin", "type"],
+        "matches builtin types",
+    ),
+    (
+        "enumType",
+        NodeClass::Type,
+        &["enum", "type"],
+        "matches enum types",
+    ),
+    (
+        "recordType",
+        NodeClass::Type,
+        &["record", "type"],
+        "matches record types",
+    ),
+    (
+        "templateSpecializationType",
+        NodeClass::Type,
+        &["template", "specialization", "type"],
+        "matches template specialization types",
+    ),
+    (
+        "autoType",
+        NodeClass::Type,
+        &["auto", "type"],
+        "matches auto-deduced types",
+    ),
+    (
+        "functionType",
+        NodeClass::Type,
+        &["function", "type"],
+        "matches function types",
+    ),
+    (
+        "typedefType",
+        NodeClass::Type,
+        &["typedef", "type"],
+        "matches typedef types",
+    ),
 ];
 
 /// A traversal matcher: `(name, keywords, description, source classes,
@@ -152,36 +592,216 @@ use NodeClass::*;
 
 /// Traversal matchers.
 pub const TRAVERSAL_MATCHERS: &[TraversalEntry] = &[
-    ("has", &["has", "child"], "matches nodes with a direct child matching the inner matcher", &[Decl, Expr, Op, Lit, Stmt], TraversalTarget::Any),
-    ("hasDescendant", &["has", "descendant"], "matches nodes with a descendant matching the inner matcher", &[Decl, Expr, Op, Lit, Stmt], TraversalTarget::Any),
-    ("hasAncestor", &["has", "ancestor"], "matches nodes with an ancestor matching the inner matcher", &[Decl, Expr, Op, Lit, Stmt], TraversalTarget::Any),
-    ("hasParent", &["has", "parent"], "matches nodes whose parent matches the inner matcher", &[Decl, Expr, Op, Lit, Stmt], TraversalTarget::Any),
-    ("forEachDescendant", &["for", "each", "descendant"], "matches each descendant matching the inner matcher", &[Decl, Expr, Stmt], TraversalTarget::Any),
-    ("hasArgument", &["has", "argument"], "matches call or constructor expressions with an argument matching the inner matcher", &[Expr], TraversalTarget::Any),
-    ("hasAnyArgument", &["has", "any", "argument"], "matches expressions where any argument matches the inner matcher", &[Expr], TraversalTarget::Any),
-    ("hasDeclaration", &["declares", "declaration", "has"], "matches nodes whose referenced declaration matches the inner matcher", &[Expr], TraversalTarget::Class(Decl)),
-    ("callee", &["callee", "calls", "called"], "matches call expressions whose callee declaration matches the inner matcher", &[Expr], TraversalTarget::Class(Decl)),
-    ("hasObjectExpression", &["has", "object", "expression"], "matches member expressions with an object matching the inner matcher", &[Expr], TraversalTarget::ExprLike),
-    ("hasSourceExpression", &["has", "source", "expression"], "matches cast expressions whose source matches the inner matcher", &[Expr], TraversalTarget::ExprLike),
-    ("hasType", &["has", "type"], "matches declarations and expressions whose type matches the inner matcher", &[Decl, Expr], TraversalTarget::Class(Type)),
-    ("hasMethod", &["has", "method"], "matches class declarations with a method matching the inner matcher", &[Decl], TraversalTarget::Class(Decl)),
-    ("hasParameter", &["has", "parameter"], "matches function declarations with a parameter matching the inner matcher", &[Decl], TraversalTarget::Class(Decl)),
-    ("hasAnyParameter", &["has", "any", "parameter"], "matches functions where any parameter matches the inner matcher", &[Decl], TraversalTarget::Class(Decl)),
-    ("hasBody", &["has", "body"], "matches functions or loops whose body matches the inner matcher", &[Decl, Stmt], TraversalTarget::Class(Stmt)),
-    ("hasInitializer", &["has", "initializer"], "matches variable declarations with an initializer matching the inner matcher", &[Decl], TraversalTarget::ExprLike),
-    ("returns", &["returns", "return", "type"], "matches function declarations whose return type matches the inner matcher", &[Decl], TraversalTarget::Class(Type)),
-    ("hasCondition", &["has", "condition"], "matches statements or operators whose condition matches the inner matcher", &[Stmt, Op], TraversalTarget::ExprLike),
-    ("hasThen", &["has", "then", "branch"], "matches if statements whose then branch matches the inner matcher", &[Stmt], TraversalTarget::Class(Stmt)),
-    ("hasElse", &["has", "else", "branch"], "matches if statements whose else branch matches the inner matcher", &[Stmt], TraversalTarget::Class(Stmt)),
-    ("hasLoopInit", &["has", "loop", "initializer"], "matches for statements whose init matches the inner matcher", &[Stmt], TraversalTarget::Class(Stmt)),
-    ("hasIncrement", &["has", "increment"], "matches for statements whose increment matches the inner matcher", &[Stmt], TraversalTarget::ExprLike),
-    ("hasLHS", &["has", "left", "operand"], "matches operators whose left-hand side matches the inner matcher", &[Op], TraversalTarget::ExprLike),
-    ("hasRHS", &["has", "right", "operand"], "matches operators whose right-hand side matches the inner matcher", &[Op], TraversalTarget::ExprLike),
-    ("hasEitherOperand", &["has", "either", "operand"], "matches operators where either operand matches the inner matcher", &[Op], TraversalTarget::ExprLike),
-    ("hasUnaryOperand", &["has", "unary", "operand"], "matches unary operators whose operand matches the inner matcher", &[Op], TraversalTarget::ExprLike),
-    ("pointee", &["pointee"], "matches pointer or reference types whose pointee matches the inner matcher", &[Type], TraversalTarget::Class(Type)),
-    ("hasElementType", &["has", "element", "type"], "matches array types whose element type matches the inner matcher", &[Type], TraversalTarget::Class(Type)),
-    ("hasCanonicalType", &["has", "canonical", "type"], "matches types whose canonical form matches the inner matcher", &[Type], TraversalTarget::Class(Type)),
+    (
+        "has",
+        &["has", "child"],
+        "matches nodes with a direct child matching the inner matcher",
+        &[Decl, Expr, Op, Lit, Stmt],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasDescendant",
+        &["has", "descendant"],
+        "matches nodes with a descendant matching the inner matcher",
+        &[Decl, Expr, Op, Lit, Stmt],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasAncestor",
+        &["has", "ancestor"],
+        "matches nodes with an ancestor matching the inner matcher",
+        &[Decl, Expr, Op, Lit, Stmt],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasParent",
+        &["has", "parent"],
+        "matches nodes whose parent matches the inner matcher",
+        &[Decl, Expr, Op, Lit, Stmt],
+        TraversalTarget::Any,
+    ),
+    (
+        "forEachDescendant",
+        &["for", "each", "descendant"],
+        "matches each descendant matching the inner matcher",
+        &[Decl, Expr, Stmt],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasArgument",
+        &["has", "argument"],
+        "matches call or constructor expressions with an argument matching the inner matcher",
+        &[Expr],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasAnyArgument",
+        &["has", "any", "argument"],
+        "matches expressions where any argument matches the inner matcher",
+        &[Expr],
+        TraversalTarget::Any,
+    ),
+    (
+        "hasDeclaration",
+        &["declares", "declaration", "has"],
+        "matches nodes whose referenced declaration matches the inner matcher",
+        &[Expr],
+        TraversalTarget::Class(Decl),
+    ),
+    (
+        "callee",
+        &["callee", "calls", "called"],
+        "matches call expressions whose callee declaration matches the inner matcher",
+        &[Expr],
+        TraversalTarget::Class(Decl),
+    ),
+    (
+        "hasObjectExpression",
+        &["has", "object", "expression"],
+        "matches member expressions with an object matching the inner matcher",
+        &[Expr],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasSourceExpression",
+        &["has", "source", "expression"],
+        "matches cast expressions whose source matches the inner matcher",
+        &[Expr],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasType",
+        &["has", "type"],
+        "matches declarations and expressions whose type matches the inner matcher",
+        &[Decl, Expr],
+        TraversalTarget::Class(Type),
+    ),
+    (
+        "hasMethod",
+        &["has", "method"],
+        "matches class declarations with a method matching the inner matcher",
+        &[Decl],
+        TraversalTarget::Class(Decl),
+    ),
+    (
+        "hasParameter",
+        &["has", "parameter"],
+        "matches function declarations with a parameter matching the inner matcher",
+        &[Decl],
+        TraversalTarget::Class(Decl),
+    ),
+    (
+        "hasAnyParameter",
+        &["has", "any", "parameter"],
+        "matches functions where any parameter matches the inner matcher",
+        &[Decl],
+        TraversalTarget::Class(Decl),
+    ),
+    (
+        "hasBody",
+        &["has", "body"],
+        "matches functions or loops whose body matches the inner matcher",
+        &[Decl, Stmt],
+        TraversalTarget::Class(Stmt),
+    ),
+    (
+        "hasInitializer",
+        &["has", "initializer"],
+        "matches variable declarations with an initializer matching the inner matcher",
+        &[Decl],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "returns",
+        &["returns", "return", "type"],
+        "matches function declarations whose return type matches the inner matcher",
+        &[Decl],
+        TraversalTarget::Class(Type),
+    ),
+    (
+        "hasCondition",
+        &["has", "condition"],
+        "matches statements or operators whose condition matches the inner matcher",
+        &[Stmt, Op],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasThen",
+        &["has", "then", "branch"],
+        "matches if statements whose then branch matches the inner matcher",
+        &[Stmt],
+        TraversalTarget::Class(Stmt),
+    ),
+    (
+        "hasElse",
+        &["has", "else", "branch"],
+        "matches if statements whose else branch matches the inner matcher",
+        &[Stmt],
+        TraversalTarget::Class(Stmt),
+    ),
+    (
+        "hasLoopInit",
+        &["has", "loop", "initializer"],
+        "matches for statements whose init matches the inner matcher",
+        &[Stmt],
+        TraversalTarget::Class(Stmt),
+    ),
+    (
+        "hasIncrement",
+        &["has", "increment"],
+        "matches for statements whose increment matches the inner matcher",
+        &[Stmt],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasLHS",
+        &["has", "left", "operand"],
+        "matches operators whose left-hand side matches the inner matcher",
+        &[Op],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasRHS",
+        &["has", "right", "operand"],
+        "matches operators whose right-hand side matches the inner matcher",
+        &[Op],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasEitherOperand",
+        &["has", "either", "operand"],
+        "matches operators where either operand matches the inner matcher",
+        &[Op],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "hasUnaryOperand",
+        &["has", "unary", "operand"],
+        "matches unary operators whose operand matches the inner matcher",
+        &[Op],
+        TraversalTarget::ExprLike,
+    ),
+    (
+        "pointee",
+        &["pointee"],
+        "matches pointer or reference types whose pointee matches the inner matcher",
+        &[Type],
+        TraversalTarget::Class(Type),
+    ),
+    (
+        "hasElementType",
+        &["has", "element", "type"],
+        "matches array types whose element type matches the inner matcher",
+        &[Type],
+        TraversalTarget::Class(Type),
+    ),
+    (
+        "hasCanonicalType",
+        &["has", "canonical", "type"],
+        "matches types whose canonical form matches the inner matcher",
+        &[Type],
+        TraversalTarget::Class(Type),
+    ),
 ];
 
 /// A narrowing matcher: `(name, keywords, description, classes, literal
@@ -196,58 +816,364 @@ pub type NarrowingEntry = (
 
 /// Narrowing matchers.
 pub const NARROWING_MATCHERS: &[NarrowingEntry] = &[
-    ("hasName", &["name", "named"], "matches named declarations with the given name", &[Decl], 1),
-    ("matchesName", &["matches", "name", "pattern"], "matches named declarations whose name matches the regular expression", &[Decl], 1),
-    ("hasOperatorName", &["operator", "name"], "matches operators with the given operator name", &[Op], 1),
-    ("isConst", &["const"], "matches methods or types that are const", &[Decl, Type], 0),
-    ("isConstexpr", &["constexpr"], "matches declarations that are constexpr", &[Decl, Stmt], 0),
-    ("isVirtual", &["virtual"], "matches methods that are virtual", &[Decl], 0),
-    ("isPure", &["pure", "abstract"], "matches methods that are pure virtual", &[Decl], 0),
-    ("isOverride", &["override"], "matches methods marked override", &[Decl], 0),
-    ("isFinal", &["final"], "matches methods or classes marked final", &[Decl], 0),
-    ("isStaticStorageClass", &["static", "storage"], "matches declarations with static storage class", &[Decl], 0),
-    ("isPublic", &["public"], "matches declarations with public access", &[Decl], 0),
-    ("isPrivate", &["private"], "matches declarations with private access", &[Decl], 0),
-    ("isProtected", &["protected"], "matches declarations with protected access", &[Decl], 0),
-    ("isImplicit", &["implicit"], "matches declarations added implicitly", &[Decl, Expr], 0),
-    ("isExplicit", &["explicit"], "matches constructors marked explicit", &[Decl], 0),
-    ("isDefinition", &["definition"], "matches declarations that are definitions", &[Decl], 0),
-    ("isDeleted", &["deleted"], "matches deleted function declarations", &[Decl], 0),
-    ("isDefaulted", &["defaulted"], "matches defaulted function declarations", &[Decl], 0),
-    ("isInline", &["inline"], "matches inline function declarations", &[Decl], 0),
+    (
+        "hasName",
+        &["name", "named"],
+        "matches named declarations with the given name",
+        &[Decl],
+        1,
+    ),
+    (
+        "matchesName",
+        &["matches", "name", "pattern"],
+        "matches named declarations whose name matches the regular expression",
+        &[Decl],
+        1,
+    ),
+    (
+        "hasOperatorName",
+        &["operator", "name"],
+        "matches operators with the given operator name",
+        &[Op],
+        1,
+    ),
+    (
+        "isConst",
+        &["const"],
+        "matches methods or types that are const",
+        &[Decl, Type],
+        0,
+    ),
+    (
+        "isConstexpr",
+        &["constexpr"],
+        "matches declarations that are constexpr",
+        &[Decl, Stmt],
+        0,
+    ),
+    (
+        "isVirtual",
+        &["virtual"],
+        "matches methods that are virtual",
+        &[Decl],
+        0,
+    ),
+    (
+        "isPure",
+        &["pure", "abstract"],
+        "matches methods that are pure virtual",
+        &[Decl],
+        0,
+    ),
+    (
+        "isOverride",
+        &["override"],
+        "matches methods marked override",
+        &[Decl],
+        0,
+    ),
+    (
+        "isFinal",
+        &["final"],
+        "matches methods or classes marked final",
+        &[Decl],
+        0,
+    ),
+    (
+        "isStaticStorageClass",
+        &["static", "storage"],
+        "matches declarations with static storage class",
+        &[Decl],
+        0,
+    ),
+    (
+        "isPublic",
+        &["public"],
+        "matches declarations with public access",
+        &[Decl],
+        0,
+    ),
+    (
+        "isPrivate",
+        &["private"],
+        "matches declarations with private access",
+        &[Decl],
+        0,
+    ),
+    (
+        "isProtected",
+        &["protected"],
+        "matches declarations with protected access",
+        &[Decl],
+        0,
+    ),
+    (
+        "isImplicit",
+        &["implicit"],
+        "matches declarations added implicitly",
+        &[Decl, Expr],
+        0,
+    ),
+    (
+        "isExplicit",
+        &["explicit"],
+        "matches constructors marked explicit",
+        &[Decl],
+        0,
+    ),
+    (
+        "isDefinition",
+        &["definition"],
+        "matches declarations that are definitions",
+        &[Decl],
+        0,
+    ),
+    (
+        "isDeleted",
+        &["deleted"],
+        "matches deleted function declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isDefaulted",
+        &["defaulted"],
+        "matches defaulted function declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isInline",
+        &["inline"],
+        "matches inline function declarations",
+        &[Decl],
+        0,
+    ),
     ("isMain", &["main"], "matches the main function", &[Decl], 0),
-    ("isVariadic", &["variadic"], "matches variadic functions", &[Decl], 0),
-    ("isTemplateInstantiation", &["template", "instantiation"], "matches template instantiations", &[Decl], 0),
-    ("isCopyConstructor", &["copy", "constructor"], "matches copy constructors", &[Decl], 0),
-    ("isMoveConstructor", &["move", "constructor"], "matches move constructors", &[Decl], 0),
-    ("isDefaultConstructor", &["default", "constructor"], "matches default constructors", &[Decl], 0),
-    ("isUnion", &["union"], "matches union declarations", &[Decl], 0),
-    ("isClass", &["class"], "matches class declarations", &[Decl], 0),
-    ("isStruct", &["struct"], "matches struct declarations", &[Decl], 0),
-    ("isScoped", &["scoped"], "matches scoped enum declarations", &[Decl], 0),
-    ("isBitField", &["bit", "field"], "matches bit-field declarations", &[Decl], 0),
-    ("hasBitWidth", &["bit", "width"], "matches bit-fields with the given width", &[Decl], 1),
-    ("hasDefaultArgument", &["default", "argument"], "matches parameters with a default argument", &[Decl], 0),
-    ("hasLocalStorage", &["local", "storage"], "matches variables with local storage", &[Decl], 0),
-    ("hasGlobalStorage", &["global", "storage"], "matches variables with global storage", &[Decl], 0),
-    ("hasStaticStorageDuration", &["static", "storage", "duration"], "matches variables with static storage duration", &[Decl], 0),
-    ("isExceptionVariable", &["exception", "variable"], "matches exception variables in catch clauses", &[Decl], 0),
-    ("parameterCountIs", &["parameter", "count"], "matches functions with the given number of parameters", &[Decl], 1),
-    ("argumentCountIs", &["argument", "count"], "matches call expressions with the given number of arguments", &[Expr], 1),
-    ("isArrow", &["arrow"], "matches member expressions using arrow access", &[Expr], 0),
-    ("isListInitialization", &["list", "initialization"], "matches constructor calls using list initialization", &[Expr], 0),
-    ("equals", &["equals", "value"], "matches literals equal to the given value", &[Lit], 1),
-    ("isInteger", &["integer"], "matches integer types", &[Type], 0),
-    ("isSignedInteger", &["signed", "integer"], "matches signed integer types", &[Type], 0),
-    ("isUnsignedInteger", &["unsigned", "integer"], "matches unsigned integer types", &[Type], 0),
-    ("isAnyCharacter", &["character"], "matches character types", &[Type], 0),
-    ("isAnyPointer", &["pointer"], "matches pointer types", &[Type], 0),
-    ("isConstQualified", &["const", "qualified"], "matches const-qualified types", &[Type], 0),
-    ("isVolatileQualified", &["volatile", "qualified"], "matches volatile-qualified types", &[Type], 0),
-    ("hasSize", &["has", "size"], "matches constant array types with the given size", &[Type], 1),
-    ("isCatchAll", &["catch", "all"], "matches catch-all handlers", &[Stmt], 0),
-    ("isExpansionInMainFile", &["expansion", "main", "file"], "matches nodes expanded in the main file", &[Decl, Expr, Stmt], 0),
-    ("isExpansionInSystemHeader", &["expansion", "system", "header"], "matches nodes expanded in system headers", &[Decl, Expr, Stmt], 0),
+    (
+        "isVariadic",
+        &["variadic"],
+        "matches variadic functions",
+        &[Decl],
+        0,
+    ),
+    (
+        "isTemplateInstantiation",
+        &["template", "instantiation"],
+        "matches template instantiations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isCopyConstructor",
+        &["copy", "constructor"],
+        "matches copy constructors",
+        &[Decl],
+        0,
+    ),
+    (
+        "isMoveConstructor",
+        &["move", "constructor"],
+        "matches move constructors",
+        &[Decl],
+        0,
+    ),
+    (
+        "isDefaultConstructor",
+        &["default", "constructor"],
+        "matches default constructors",
+        &[Decl],
+        0,
+    ),
+    (
+        "isUnion",
+        &["union"],
+        "matches union declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isClass",
+        &["class"],
+        "matches class declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isStruct",
+        &["struct"],
+        "matches struct declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isScoped",
+        &["scoped"],
+        "matches scoped enum declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "isBitField",
+        &["bit", "field"],
+        "matches bit-field declarations",
+        &[Decl],
+        0,
+    ),
+    (
+        "hasBitWidth",
+        &["bit", "width"],
+        "matches bit-fields with the given width",
+        &[Decl],
+        1,
+    ),
+    (
+        "hasDefaultArgument",
+        &["default", "argument"],
+        "matches parameters with a default argument",
+        &[Decl],
+        0,
+    ),
+    (
+        "hasLocalStorage",
+        &["local", "storage"],
+        "matches variables with local storage",
+        &[Decl],
+        0,
+    ),
+    (
+        "hasGlobalStorage",
+        &["global", "storage"],
+        "matches variables with global storage",
+        &[Decl],
+        0,
+    ),
+    (
+        "hasStaticStorageDuration",
+        &["static", "storage", "duration"],
+        "matches variables with static storage duration",
+        &[Decl],
+        0,
+    ),
+    (
+        "isExceptionVariable",
+        &["exception", "variable"],
+        "matches exception variables in catch clauses",
+        &[Decl],
+        0,
+    ),
+    (
+        "parameterCountIs",
+        &["parameter", "count"],
+        "matches functions with the given number of parameters",
+        &[Decl],
+        1,
+    ),
+    (
+        "argumentCountIs",
+        &["argument", "count"],
+        "matches call expressions with the given number of arguments",
+        &[Expr],
+        1,
+    ),
+    (
+        "isArrow",
+        &["arrow"],
+        "matches member expressions using arrow access",
+        &[Expr],
+        0,
+    ),
+    (
+        "isListInitialization",
+        &["list", "initialization"],
+        "matches constructor calls using list initialization",
+        &[Expr],
+        0,
+    ),
+    (
+        "equals",
+        &["equals", "value"],
+        "matches literals equal to the given value",
+        &[Lit],
+        1,
+    ),
+    (
+        "isInteger",
+        &["integer"],
+        "matches integer types",
+        &[Type],
+        0,
+    ),
+    (
+        "isSignedInteger",
+        &["signed", "integer"],
+        "matches signed integer types",
+        &[Type],
+        0,
+    ),
+    (
+        "isUnsignedInteger",
+        &["unsigned", "integer"],
+        "matches unsigned integer types",
+        &[Type],
+        0,
+    ),
+    (
+        "isAnyCharacter",
+        &["character"],
+        "matches character types",
+        &[Type],
+        0,
+    ),
+    (
+        "isAnyPointer",
+        &["pointer"],
+        "matches pointer types",
+        &[Type],
+        0,
+    ),
+    (
+        "isConstQualified",
+        &["const", "qualified"],
+        "matches const-qualified types",
+        &[Type],
+        0,
+    ),
+    (
+        "isVolatileQualified",
+        &["volatile", "qualified"],
+        "matches volatile-qualified types",
+        &[Type],
+        0,
+    ),
+    (
+        "hasSize",
+        &["has", "size"],
+        "matches constant array types with the given size",
+        &[Type],
+        1,
+    ),
+    (
+        "isCatchAll",
+        &["catch", "all"],
+        "matches catch-all handlers",
+        &[Stmt],
+        0,
+    ),
+    (
+        "isExpansionInMainFile",
+        &["expansion", "main", "file"],
+        "matches nodes expanded in the main file",
+        &[Decl, Expr, Stmt],
+        0,
+    ),
+    (
+        "isExpansionInSystemHeader",
+        &["expansion", "system", "header"],
+        "matches nodes expanded in system headers",
+        &[Decl, Expr, Stmt],
+        0,
+    ),
 ];
 
 #[cfg(test)]

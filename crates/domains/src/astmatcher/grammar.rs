@@ -96,11 +96,7 @@ pub fn bnf() -> String {
                         }
                     }
                 }
-                let _ = writeln!(
-                    out,
-                    "{stub}inner{level}{suffix} ::= {}",
-                    alts.join(" | ")
-                );
+                let _ = writeln!(out, "{stub}inner{level}{suffix} ::= {}", alts.join(" | "));
             }
         }
     }

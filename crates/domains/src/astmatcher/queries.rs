@@ -7,7 +7,11 @@ pub fn queries() -> Vec<QueryCase> {
     let mut cases = Vec::new();
     let mut push = |query: String, truth: String| {
         let id = cases.len();
-        cases.push(QueryCase { id, query, ground_truth: truth });
+        cases.push(QueryCase {
+            id,
+            query,
+            ground_truth: truth,
+        });
     };
 
     // ---- Family 1: node matcher + hasName. Depth 2.
@@ -32,7 +36,11 @@ pub fn queries() -> Vec<QueryCase> {
         ("binary operators", "binaryOperator", "*"),
         ("binary operators", "binaryOperator", "+"),
         ("unary operators", "unaryOperator", "!"),
-        ("compound assignment operators", "compoundAssignOperator", "+="),
+        (
+            "compound assignment operators",
+            "compoundAssignOperator",
+            "+=",
+        ),
     ] {
         push(
             format!("list all {phrase} named \"{op}\""),
@@ -42,10 +50,30 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 3: expressions with argument matchers. Depth 3.
     for (phrase, api, arg_phrase, arg_api) in [
-        ("call expressions", "callExpr", "a float literal", "floatLiteral"),
-        ("call expressions", "callExpr", "a string literal", "stringLiteral"),
-        ("call expressions", "callExpr", "an integer literal", "integerLiteral"),
-        ("constructor expressions", "cxxConstructExpr", "a character literal", "characterLiteral"),
+        (
+            "call expressions",
+            "callExpr",
+            "a float literal",
+            "floatLiteral",
+        ),
+        (
+            "call expressions",
+            "callExpr",
+            "a string literal",
+            "stringLiteral",
+        ),
+        (
+            "call expressions",
+            "callExpr",
+            "an integer literal",
+            "integerLiteral",
+        ),
+        (
+            "constructor expressions",
+            "cxxConstructExpr",
+            "a character literal",
+            "characterLiteral",
+        ),
     ] {
         push(
             format!("search for {phrase} whose argument is {arg_phrase}"),
@@ -55,9 +83,27 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 4: declaration nesting. Depth 3-4.
     for (outer_phrase, outer, inner_phrase, inner, name) in [
-        ("cxx constructor expressions", "cxxConstructExpr", "a cxx method", "cxxMethodDecl", "PI"),
-        ("call expressions", "callExpr", "a function", "functionDecl", "printf"),
-        ("declaration reference expressions", "declRefExpr", "a variable", "varDecl", "sum"),
+        (
+            "cxx constructor expressions",
+            "cxxConstructExpr",
+            "a cxx method",
+            "cxxMethodDecl",
+            "PI",
+        ),
+        (
+            "call expressions",
+            "callExpr",
+            "a function",
+            "functionDecl",
+            "printf",
+        ),
+        (
+            "declaration reference expressions",
+            "declRefExpr",
+            "a variable",
+            "varDecl",
+            "sum",
+        ),
     ] {
         push(
             format!("find {outer_phrase} which declare {inner_phrase} named \"{name}\""),
@@ -73,7 +119,12 @@ pub fn queries() -> Vec<QueryCase> {
         ("functions", "functionDecl", "variadic", "isVariadic"),
         ("functions", "functionDecl", "inline", "isInline"),
         ("fields", "fieldDecl", "public", "isPublic"),
-        ("constructors", "cxxConstructorDecl", "explicit", "isExplicit"),
+        (
+            "constructors",
+            "cxxConstructorDecl",
+            "explicit",
+            "isExplicit",
+        ),
     ] {
         push(
             format!("find {phrase} that are {pred_word}"),
@@ -83,9 +134,19 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 6: statements with conditions/bodies. Depth 3.
     for (phrase, api, inner_word, inner_api) in [
-        ("for loops", "forStmt", "a binary operator", "binaryOperator"),
+        (
+            "for loops",
+            "forStmt",
+            "a binary operator",
+            "binaryOperator",
+        ),
         ("for loops", "forStmt", "a call expression", "callExpr"),
-        ("switch statements", "switchStmt", "a member expression", "memberExpr"),
+        (
+            "switch statements",
+            "switchStmt",
+            "a member expression",
+            "memberExpr",
+        ),
     ] {
         push(
             format!("find {phrase} whose condition is {inner_word}"),
@@ -162,7 +223,12 @@ pub fn queries() -> Vec<QueryCase> {
         ("functions", "functionDecl", "main", "isMain"),
         ("fields", "fieldDecl", "private", "isPrivate"),
         ("fields", "fieldDecl", "protected", "isProtected"),
-        ("constructors", "cxxConstructorDecl", "implicit", "isImplicit"),
+        (
+            "constructors",
+            "cxxConstructorDecl",
+            "implicit",
+            "isImplicit",
+        ),
         ("variables", "varDecl", "constexpr", "isConstexpr"),
         ("enums", "enumDecl", "scoped", "isScoped"),
         ("records", "recordDecl", "union", "isUnion"),
@@ -190,10 +256,18 @@ pub fn queries() -> Vec<QueryCase> {
     for (phrase, pred_words, pred) in [
         ("variables", "local storage", "hasLocalStorage"),
         ("variables", "global storage", "hasGlobalStorage"),
-        ("variables", "static storage duration", "hasStaticStorageDuration"),
+        (
+            "variables",
+            "static storage duration",
+            "hasStaticStorageDuration",
+        ),
         ("parameters", "a default argument", "hasDefaultArgument"),
     ] {
-        let api = if phrase == "variables" { "varDecl" } else { "parmVarDecl" };
+        let api = if phrase == "variables" {
+            "varDecl"
+        } else {
+            "parmVarDecl"
+        };
         push(
             format!("find {phrase} which have {pred_words}"),
             format!("{api}({pred}())"),
@@ -202,8 +276,22 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 14: nested declaration/expression chains. Depth 3-4.
     for (outer_phrase, outer, trav_word, trav, inner_phrase, inner) in [
-        ("classes", "cxxRecordDecl", "have a method", "hasMethod", "", "cxxMethodDecl"),
-        ("functions", "functionDecl", "have a parameter", "hasParameter", "", "parmVarDecl"),
+        (
+            "classes",
+            "cxxRecordDecl",
+            "have a method",
+            "hasMethod",
+            "",
+            "cxxMethodDecl",
+        ),
+        (
+            "functions",
+            "functionDecl",
+            "have a parameter",
+            "hasParameter",
+            "",
+            "parmVarDecl",
+        ),
     ] {
         let _ = (trav_word, inner_phrase);
         push(
@@ -212,8 +300,18 @@ pub fn queries() -> Vec<QueryCase> {
         );
     }
     for (outer_phrase, outer, inner_phrase, inner) in [
-        ("variable declarations", "varDecl", "a lambda expression", "lambdaExpr"),
-        ("variable declarations", "varDecl", "an integer literal", "integerLiteral"),
+        (
+            "variable declarations",
+            "varDecl",
+            "a lambda expression",
+            "lambdaExpr",
+        ),
+        (
+            "variable declarations",
+            "varDecl",
+            "an integer literal",
+            "integerLiteral",
+        ),
     ] {
         push(
             format!("find {outer_phrase} whose initializer is {inner_phrase}"),
@@ -255,9 +353,24 @@ pub fn queries() -> Vec<QueryCase> {
     // ---- Family 17: descendant/ancestor traversals. Depth 3.
     for (outer_phrase, outer, inner_phrase, inner) in [
         ("for loops", "forStmt", "a call expression", "callExpr"),
-        ("switch statements", "switchStmt", "a throw expression", "cxxThrowExpr"),
-        ("compound statements", "compoundStmt", "a return statement", "returnStmt"),
-        ("lambda expressions", "lambdaExpr", "a goto statement", "gotoStmt"),
+        (
+            "switch statements",
+            "switchStmt",
+            "a throw expression",
+            "cxxThrowExpr",
+        ),
+        (
+            "compound statements",
+            "compoundStmt",
+            "a return statement",
+            "returnStmt",
+        ),
+        (
+            "lambda expressions",
+            "lambdaExpr",
+            "a goto statement",
+            "gotoStmt",
+        ),
     ] {
         push(
             format!("find {outer_phrase} which have a descendant which is {inner_phrase}"),

@@ -94,62 +94,202 @@ occ          ::= ALL | FIRST | LAST | NTH | EVERYOTHER
 pub fn docs() -> Vec<ApiDoc> {
     vec![
         // Commands (16).
-        ApiDoc::new("INSERT", &["insert"], "inserts a string at a position in the iteration scope", 0),
-        ApiDoc::new("DELETE", &["delete"], "deletes the entity in the iteration scope", 0),
-        ApiDoc::new("REPLACE", &["replace"], "replaces the entity with a string", 0),
+        ApiDoc::new(
+            "INSERT",
+            &["insert"],
+            "inserts a string at a position in the iteration scope",
+            0,
+        ),
+        ApiDoc::new(
+            "DELETE",
+            &["delete"],
+            "deletes the entity in the iteration scope",
+            0,
+        ),
+        ApiDoc::new(
+            "REPLACE",
+            &["replace"],
+            "replaces the entity with a string",
+            0,
+        ),
         ApiDoc::new("MOVE", &["move"], "moves the entity to a position", 0),
         ApiDoc::new("COPY", &["copy"], "copies the entity to a position", 0),
         ApiDoc::new("PRINT", &["print"], "prints the entity", 0),
         ApiDoc::new("SELECT", &["select"], "selects the entity", 0),
-        ApiDoc::new("MERGE", &["merge", "join"], "merges the scope units together", 0),
-        ApiDoc::new("SPLIT", &["split"], "splits the scope units at a position", 0),
+        ApiDoc::new(
+            "MERGE",
+            &["merge", "join"],
+            "merges the scope units together",
+            0,
+        ),
+        ApiDoc::new(
+            "SPLIT",
+            &["split"],
+            "splits the scope units at a position",
+            0,
+        ),
         ApiDoc::new("CLEAR", &["clear"], "clears the scope contents", 0),
-        ApiDoc::new("UPPERCASE", &["uppercase"], "turns the entity into upper case", 0),
-        ApiDoc::new("LOWERCASE", &["lowercase"], "turns the entity into lower case", 0),
+        ApiDoc::new(
+            "UPPERCASE",
+            &["uppercase"],
+            "turns the entity into upper case",
+            0,
+        ),
+        ApiDoc::new(
+            "LOWERCASE",
+            &["lowercase"],
+            "turns the entity into lower case",
+            0,
+        ),
         ApiDoc::new("CAPITALIZE", &["capitalize"], "capitalizes the entity", 0),
         ApiDoc::new("REVERSE", &["reverse"], "reverses the entity", 0),
         ApiDoc::new("INDENT", &["indent"], "indents the entity", 0),
         ApiDoc::new("TRIM", &["trim"], "trims whitespace around the entity", 0),
         // Entities (10).
-        ApiDoc::new("STRING", &["string"], "a string constant written by the user", 1),
+        ApiDoc::new(
+            "STRING",
+            &["string"],
+            "a string constant written by the user",
+            1,
+        ),
         ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
-        ApiDoc::new("NUMBERTOKEN", &["number", "numeral", "digit"], "a number token", 0),
+        ApiDoc::new(
+            "NUMBERTOKEN",
+            &["number", "numeral", "digit"],
+            "a number token",
+            0,
+        ),
         ApiDoc::new("CHARTOKEN", &["character"], "a character token", 0),
         ApiDoc::new("LINETOKEN", &["line"], "a whole line token", 0),
         ApiDoc::new("SENTENCETOKEN", &["sentence"], "a sentence token", 0),
         ApiDoc::new("PARATOKEN", &["paragraph"], "a paragraph token", 0),
         ApiDoc::new("EMPTYTOKEN", &["empty", "blank"], "an empty entity", 0),
         ApiDoc::new("TABTOKEN", &["tab"], "a tab character token", 0),
-        ApiDoc::new("SELECTED", &["selection", "selected"], "the current selection", 0),
+        ApiDoc::new(
+            "SELECTED",
+            &["selection", "selected"],
+            "the current selection",
+            0,
+        ),
         // Positions (6).
-        ApiDoc::new("START", &["start", "beginning"], "the start of the scope unit", 0),
+        ApiDoc::new(
+            "START",
+            &["start", "beginning"],
+            "the start of the scope unit",
+            0,
+        ),
         ApiDoc::new("END", &["end"], "the end of the scope unit", 0),
-        ApiDoc::new("POSITION", &["position", "character", "offset"], "a position given as a count of characters", 1),
-        ApiDoc::new("BEFORE", &["before"], "the position right before an entity", 0),
+        ApiDoc::new(
+            "POSITION",
+            &["position", "character", "offset"],
+            "a position given as a count of characters",
+            1,
+        ),
+        ApiDoc::new(
+            "BEFORE",
+            &["before"],
+            "the position right before an entity",
+            0,
+        ),
         ApiDoc::new("AFTER", &["after"], "the position right after an entity", 0),
-        ApiDoc::new("BETWEEN", &["between"], "the position between two entities", 0),
+        ApiDoc::new(
+            "BETWEEN",
+            &["between"],
+            "the position between two entities",
+            0,
+        ),
         // Scopes (7).
-        ApiDoc::new("LINESCOPE", &["line", "scope"], "iterate over the lines of the document", 0),
-        ApiDoc::new("DOCSCOPE", &["document", "file", "scope"], "the whole document", 0),
+        ApiDoc::new(
+            "LINESCOPE",
+            &["line", "scope"],
+            "iterate over the lines of the document",
+            0,
+        ),
+        ApiDoc::new(
+            "DOCSCOPE",
+            &["document", "file", "scope"],
+            "the whole document",
+            0,
+        ),
         ApiDoc::new("WORDSCOPE", &["word", "scope"], "iterate over words", 0),
-        ApiDoc::new("SENTENCESCOPE", &["sentence", "scope"], "iterate over sentences", 0),
-        ApiDoc::new("PARASCOPE", &["paragraph", "scope"], "iterate over paragraphs", 0),
-        ApiDoc::new("SELECTSCOPE", &["selection", "scope"], "iterate over the selection", 0),
-        ApiDoc::new("CHARSCOPE", &["character", "scope"], "iterate over characters", 0),
+        ApiDoc::new(
+            "SENTENCESCOPE",
+            &["sentence", "scope"],
+            "iterate over sentences",
+            0,
+        ),
+        ApiDoc::new(
+            "PARASCOPE",
+            &["paragraph", "scope"],
+            "iterate over paragraphs",
+            0,
+        ),
+        ApiDoc::new(
+            "SELECTSCOPE",
+            &["selection", "scope"],
+            "iterate over the selection",
+            0,
+        ),
+        ApiDoc::new(
+            "CHARSCOPE",
+            &["character", "scope"],
+            "iterate over characters",
+            0,
+        ),
         // Iteration & condition (13).
-        ApiDoc::new("IterationScope", &["iteration", "scope"], "applies the command over a scope with a condition", 0),
-        ApiDoc::new("BConditionOccurrence", &["condition", "occurrence"], "filters scope units by a boolean condition and occurrence selector", 0),
-        ApiDoc::new("CONTAINS", &["contain", "containing"], "true when the scope unit contains the entity", 0),
-        ApiDoc::new("STARTSWITH", &["start", "with"], "true when the scope unit starts with the entity", 0),
-        ApiDoc::new("ENDSWITH", &["end", "with"], "true when the scope unit ends with the entity", 0),
-        ApiDoc::new("EQUALS", &["equal"], "true when the scope unit equals the entity", 0),
-        ApiDoc::new("MATCHES", &["match", "pattern"], "true when the scope unit matches the pattern string", 0),
+        ApiDoc::new(
+            "IterationScope",
+            &["iteration", "scope"],
+            "applies the command over a scope with a condition",
+            0,
+        ),
+        ApiDoc::new(
+            "BConditionOccurrence",
+            &["condition", "occurrence"],
+            "filters scope units by a boolean condition and occurrence selector",
+            0,
+        ),
+        ApiDoc::new(
+            "CONTAINS",
+            &["contain", "containing"],
+            "true when the scope unit contains the entity",
+            0,
+        ),
+        ApiDoc::new(
+            "STARTSWITH",
+            &["start", "with"],
+            "true when the scope unit starts with the entity",
+            0,
+        ),
+        ApiDoc::new(
+            "ENDSWITH",
+            &["end", "with"],
+            "true when the scope unit ends with the entity",
+            0,
+        ),
+        ApiDoc::new(
+            "EQUALS",
+            &["equal"],
+            "true when the scope unit equals the entity",
+            0,
+        ),
+        ApiDoc::new(
+            "MATCHES",
+            &["match", "pattern"],
+            "true when the scope unit matches the pattern string",
+            0,
+        ),
         ApiDoc::new("NOT", &["not", "without"], "negates a condition", 0),
         ApiDoc::new("ALL", &["all", "every", "each"], "all occurrences", 0),
         ApiDoc::new("FIRST", &["first"], "the first occurrence", 0),
         ApiDoc::new("LAST", &["last"], "the last occurrence", 0),
         ApiDoc::new("NTH", &["nth"], "the n-th occurrence given as a number", 1),
-        ApiDoc::new("EVERYOTHER", &["other", "alternate"], "every other occurrence", 0),
+        ApiDoc::new(
+            "EVERYOTHER",
+            &["other", "alternate"],
+            "every other occurrence",
+            0,
+        ),
     ]
 }
 
@@ -210,9 +350,19 @@ mod tests {
         let d = domain().unwrap();
         let g = d.graph();
         let insert = g.api_node("INSERT").unwrap();
-        for api in ["STRING", "START", "LINESCOPE", "CONTAINS", "NUMBERTOKEN", "ALL"] {
+        for api in [
+            "STRING",
+            "START",
+            "LINESCOPE",
+            "CONTAINS",
+            "NUMBERTOKEN",
+            "ALL",
+        ] {
             let node = g.api_node(api).unwrap();
-            assert!(g.is_api_descendant(insert, node), "INSERT should reach {api}");
+            assert!(
+                g.is_api_descendant(insert, node),
+                "INSERT should reach {api}"
+            );
         }
     }
 

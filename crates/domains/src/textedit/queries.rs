@@ -13,7 +13,11 @@ pub fn queries() -> Vec<QueryCase> {
     let mut cases = Vec::new();
     let mut push = |query: String, truth: String| {
         let id = cases.len();
-        cases.push(QueryCase { id, query, ground_truth: truth });
+        cases.push(QueryCase {
+            id,
+            query,
+            ground_truth: truth,
+        });
     };
 
     // ---- Family 1: plain inserts at start/end (literal × position ×
@@ -28,7 +32,11 @@ pub fn queries() -> Vec<QueryCase> {
         ("!", "end", "END"),
         ("::", "end", "END"),
     ] {
-        for (unit_word, unit_api) in [("line", "LINESCOPE"), ("sentence", "SENTENCESCOPE"), ("paragraph", "PARASCOPE")] {
+        for (unit_word, unit_api) in [
+            ("line", "LINESCOPE"),
+            ("sentence", "SENTENCESCOPE"),
+            ("paragraph", "PARASCOPE"),
+        ] {
             push(
                 format!("insert \"{lit}\" at the {pos_word} of each {unit_word}"),
                 format!(
@@ -40,7 +48,12 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 2: append/add with a containment condition. Depth 3-4,
     // orphan-heavy ("every" and the gerund relocate).
-    for (verb, lit) in [("append", ":"), ("add", "*"), ("insert", "-"), ("append", ";")] {
+    for (verb, lit) in [
+        ("append", ":"),
+        ("add", "*"),
+        ("insert", "-"),
+        ("append", ";"),
+    ] {
         for (ent_word, ent_api) in [
             ("numerals", "NUMBERTOKEN"),
             ("numbers", "NUMBERTOKEN"),
@@ -80,7 +93,11 @@ pub fn queries() -> Vec<QueryCase> {
     }
 
     // ---- Family 4: delete lines with a condition. Depth 3-4.
-    for (cond_word, cond_api) in [("containing", "CONTAINS"), ("starting with", "STARTSWITH"), ("ending with", "ENDSWITH")] {
+    for (cond_word, cond_api) in [
+        ("containing", "CONTAINS"),
+        ("starting with", "STARTSWITH"),
+        ("ending with", "ENDSWITH"),
+    ] {
         for (lit, _) in [("#", ""), ("//", ""), ("TODO", "")] {
             push(
                 format!("delete every line {cond_word} \"{lit}\""),
@@ -93,7 +110,8 @@ pub fn queries() -> Vec<QueryCase> {
     push(
         "delete all empty lines".to_string(),
         // The minimal reading: the empty entity deleted over lines.
-        "DELETE(EMPTYTOKEN(), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))".to_string(),
+        "DELETE(EMPTYTOKEN(), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"
+            .to_string(),
     );
 
     // ---- Family 5: replaces. Depth 2-3, two literals.
@@ -112,7 +130,9 @@ pub fn queries() -> Vec<QueryCase> {
         );
         push(
             format!("replace every \"{a}\" with \"{b}\""),
-            format!("REPLACE(STRING({a}), STRING({b}), IterationScope(BConditionOccurrence(ALL())))"),
+            format!(
+                "REPLACE(STRING({a}), STRING({b}), IterationScope(BConditionOccurrence(ALL())))"
+            ),
         );
     }
 
@@ -128,7 +148,11 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 7: moves and copies. Depth 3.
     for (verb, api) in [("move", "MOVE"), ("copy", "COPY")] {
-        for (ent_word, ent_api) in [("word", "WORDTOKEN"), ("sentence", "SENTENCETOKEN"), ("line", "LINETOKEN")] {
+        for (ent_word, ent_api) in [
+            ("word", "WORDTOKEN"),
+            ("sentence", "SENTENCETOKEN"),
+            ("line", "LINETOKEN"),
+        ] {
             push(
                 format!("{verb} the first {ent_word} to the end of the line"),
                 format!(
@@ -174,7 +198,11 @@ pub fn queries() -> Vec<QueryCase> {
     }
 
     // ---- Family 10: merge/split/clear on scopes. Depth 2.
-    for (scope_word, scope_api) in [("lines", "LINESCOPE"), ("sentences", "SENTENCESCOPE"), ("paragraphs", "PARASCOPE")] {
+    for (scope_word, scope_api) in [
+        ("lines", "LINESCOPE"),
+        ("sentences", "SENTENCESCOPE"),
+        ("paragraphs", "PARASCOPE"),
+    ] {
         push(
             format!("merge all {scope_word}"),
             format!("MERGE({scope_api}(), IterationScope(BConditionOccurrence(ALL())))"),
@@ -207,7 +235,11 @@ pub fn queries() -> Vec<QueryCase> {
     }
 
     // ---- Family 12: deletes restricted to a scope. Depth 3.
-    for (ent_word, ent_api) in [("word", "WORDTOKEN"), ("number", "NUMBERTOKEN"), ("tab", "TABTOKEN")] {
+    for (ent_word, ent_api) in [
+        ("word", "WORDTOKEN"),
+        ("number", "NUMBERTOKEN"),
+        ("tab", "TABTOKEN"),
+    ] {
         for (scope_word, scope_api) in [("line", "LINESCOPE"), ("sentence", "SENTENCESCOPE")] {
             push(
                 format!("delete the first {ent_word} of every {scope_word}"),
@@ -278,7 +310,11 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 15: quantified case transforms over scopes with
     // conditions — orphan-heavy.
-    for (verb, api) in [("uppercase", "UPPERCASE"), ("lowercase", "LOWERCASE"), ("capitalize", "CAPITALIZE")] {
+    for (verb, api) in [
+        ("uppercase", "UPPERCASE"),
+        ("lowercase", "LOWERCASE"),
+        ("capitalize", "CAPITALIZE"),
+    ] {
         for (ent_word, ent_api, lit) in [
             ("word", "WORDTOKEN", "todo"),
             ("sentence", "SENTENCETOKEN", "!"),
@@ -324,11 +360,19 @@ pub fn queries() -> Vec<QueryCase> {
             format!("delete every {unit_word} which equals \"{lit}\""),
             format!(
                 "DELETE({}(), IterationScope(BConditionOccurrence(EQUALS(STRING({lit})), ALL())))",
-                if unit_word == "line" { "LINETOKEN" } else { "SENTENCETOKEN" }
+                if unit_word == "line" {
+                    "LINETOKEN"
+                } else {
+                    "SENTENCETOKEN"
+                }
             ),
         );
     }
-    for (verb, api) in [("trim", "TRIM"), ("indent", "INDENT"), ("reverse", "REVERSE")] {
+    for (verb, api) in [
+        ("trim", "TRIM"),
+        ("indent", "INDENT"),
+        ("reverse", "REVERSE"),
+    ] {
         push(
             format!("{verb} every line containing tabs"),
             format!(
@@ -390,7 +434,12 @@ pub fn queries() -> Vec<QueryCase> {
 
     // ---- Family 23: prepend/append synonym phrasings — the synonym
     // lexicon maps them all to INSERT.
-    for (verb, lit) in [("prepend", "*"), ("prepend", ">"), ("add", "|"), ("put", "~")] {
+    for (verb, lit) in [
+        ("prepend", "*"),
+        ("prepend", ">"),
+        ("add", "|"),
+        ("put", "~"),
+    ] {
         for (unit_word, unit_api) in [("line", "LINESCOPE"), ("paragraph", "PARASCOPE")] {
             push(
                 format!("{verb} \"{lit}\" at the start of every {unit_word}"),

@@ -157,7 +157,10 @@ pub fn generate(spec: WorkloadSpec) -> Result<Workload, SynthesisError> {
     let graph = GrammarGraph::parse(&bnf).map_err(|e| SynthesisError::InvalidDomain {
         message: format!("workload grammar: {e}"),
     })?;
-    let domain = Domain::builder("synthetic").graph(graph).docs(docs).build()?;
+    let domain = Domain::builder("synthetic")
+        .graph(graph)
+        .docs(docs)
+        .build()?;
 
     let w2a = WordToApi {
         candidates: (0..nodes.len())
@@ -189,7 +192,11 @@ mod tests {
 
     #[test]
     fn shape_matches_spec() {
-        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 3 };
+        let spec = WorkloadSpec {
+            depth: 2,
+            fanout: 2,
+            paths_per_edge: 3,
+        };
         let w = generate(spec).unwrap();
         // 1 + 2 + 4 nodes.
         assert_eq!(w.query.nodes.len(), 7);
@@ -199,14 +206,13 @@ mod tests {
 
     #[test]
     fn paths_per_edge_realized() {
-        let spec = WorkloadSpec { depth: 1, fanout: 2, paths_per_edge: 4 };
+        let spec = WorkloadSpec {
+            depth: 1,
+            fanout: 2,
+            paths_per_edge: 4,
+        };
         let w = generate(spec).unwrap();
-        let map = edge2path::compute(
-            &w.query,
-            &w.w2a,
-            &w.domain,
-            SearchLimits::default(),
-        );
+        let map = edge2path::compute(&w.query, &w.w2a, &w.domain, SearchLimits::default());
         // Root edge + 2 real edges.
         assert_eq!(map.edges.len(), 3);
         for e in &map.edges[1..] {
@@ -217,21 +223,24 @@ mod tests {
 
     #[test]
     fn combination_count_formula() {
-        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 2 };
+        let spec = WorkloadSpec {
+            depth: 2,
+            fanout: 2,
+            paths_per_edge: 2,
+        };
         // Level 1: 2 edges → 2^2; level 2: 4 edges → 2^4; total 2^6 = 64.
         assert_eq!(spec.combination_count(), 64.0);
     }
 
     #[test]
     fn dggt_solves_generated_workload() {
-        let spec = WorkloadSpec { depth: 2, fanout: 2, paths_per_edge: 3 };
+        let spec = WorkloadSpec {
+            depth: 2,
+            fanout: 2,
+            paths_per_edge: 3,
+        };
         let w = generate(spec).unwrap();
-        let map = edge2path::compute(
-            &w.query,
-            &w.w2a,
-            &w.domain,
-            SearchLimits::default(),
-        );
+        let map = edge2path::compute(&w.query, &w.w2a, &w.domain, SearchLimits::default());
         let deadline = nlquery_core::Deadline::new(std::time::Duration::from_secs(10));
         let mut stats = nlquery_core::SynthesisStats::default();
         let best = nlquery_core::dggt::synthesize(
@@ -252,6 +261,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_parameters_rejected() {
-        let _ = generate(WorkloadSpec { depth: 0, fanout: 1, paths_per_edge: 1 });
+        let _ = generate(WorkloadSpec {
+            depth: 0,
+            fanout: 1,
+            paths_per_edge: 1,
+        });
     }
 }

@@ -106,9 +106,7 @@ impl Grammar {
                 if !is_nonterminal_name(name) {
                     return Err(GrammarError::Syntax {
                         line: line_no,
-                        message: format!(
-                            "left-hand side `{name}` must be a lowercase identifier"
-                        ),
+                        message: format!("left-hand side `{name}` must be a lowercase identifier"),
                     });
                 }
                 if by_name.contains_key(name) {
@@ -122,13 +120,13 @@ impl Grammar {
                     name: name.to_string(),
                     alternatives,
                 });
-            } else if line.starts_with('|') {
+            } else if let Some(rest) = line.strip_prefix('|') {
                 let rule = rules.last_mut().ok_or(GrammarError::Syntax {
                     line: line_no,
                     message: "continuation `|` before any rule".to_string(),
                 })?;
                 let name = rule.name.clone();
-                let mut alts = parse_alternatives(&line[1..], line_no, &name, &defined)?;
+                let mut alts = parse_alternatives(rest, line_no, &name, &defined)?;
                 rule.alternatives.append(&mut alts);
             } else {
                 return Err(GrammarError::Syntax {
@@ -254,7 +252,14 @@ mod tests {
         assert_eq!(pos.alternatives.len(), 2);
         assert_eq!(
             g.api_names(),
-            vec!["DELETE", "INSERT", "LINESCOPE", "POSITION", "START", "STRING"]
+            vec![
+                "DELETE",
+                "INSERT",
+                "LINESCOPE",
+                "POSITION",
+                "START",
+                "STRING"
+            ]
         );
     }
 
@@ -302,8 +307,11 @@ mod tests {
         // clang matchers like `decl` and `callee` are all-lowercase
         // terminals; only identifiers with a defining rule are
         // non-terminals.
-        let g = Grammar::parse("a ::= decl b
-b ::= callee").unwrap();
+        let g = Grammar::parse(
+            "a ::= decl b
+b ::= callee",
+        )
+        .unwrap();
         assert_eq!(g.api_names(), vec!["callee", "decl"]);
         let alt = &g.rule("a").unwrap().alternatives[0];
         assert_eq!(alt.symbols[1], Symbol::NonTerminal("b".to_string()));
@@ -311,7 +319,10 @@ b ::= callee").unwrap();
 
     #[test]
     fn rejects_empty_grammar() {
-        assert_eq!(Grammar::parse("  \n# nothing\n").unwrap_err(), GrammarError::Empty);
+        assert_eq!(
+            Grammar::parse("  \n# nothing\n").unwrap_err(),
+            GrammarError::Empty
+        );
     }
 
     #[test]

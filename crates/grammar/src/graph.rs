@@ -202,8 +202,7 @@ impl GrammarGraph {
                             match api_index.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
                                 Ok(pos) => api_index[pos].1,
                                 Err(pos) => {
-                                    let id =
-                                        push(&mut nodes, NodeKind::Api { name: name.clone() });
+                                    let id = push(&mut nodes, NodeKind::Api { name: name.clone() });
                                     api_index.insert(pos, (name.clone(), id));
                                     id
                                 }
@@ -644,10 +643,7 @@ mod tests {
         let g = GrammarGraph::parse("r ::= A mid B\nmid ::= M").unwrap();
         let r = g.nonterminal_node("r").unwrap();
         let d = g.node(r).children[0];
-        let kids: Vec<String> = g
-            .api_children(d)
-            .map(|c| g.node(c).label())
-            .collect();
+        let kids: Vec<String> = g.api_children(d).map(|c| g.node(c).label()).collect();
         assert_eq!(kids, vec!["A", "B"]);
     }
 }

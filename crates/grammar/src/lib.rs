@@ -44,4 +44,4 @@ pub use bnf::{Alternative, Grammar, Rule, Symbol};
 pub use error::GrammarError;
 pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind};
 pub use path::{GrammarPath, PathId, SearchLimits};
-pub use voted::{PathVotedGraph, VoteCount};
+pub use voted::{OrAlternative, PathVotedGraph, VoteCount};

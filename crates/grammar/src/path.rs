@@ -184,7 +184,10 @@ impl GrammarGraph {
         to: NodeId,
         limits: SearchLimits,
     ) -> Vec<GrammarPath> {
-        assert!(self.is_api(from) && self.is_api(to), "endpoints must be API nodes");
+        assert!(
+            self.is_api(from) && self.is_api(to),
+            "endpoints must be API nodes"
+        );
         self.search_windows(Target::Api(from), to, limits)
     }
 
@@ -205,12 +208,7 @@ impl GrammarGraph {
     /// windows so that, when `limits.max_paths` truncates the result, the
     /// *shortest* paths are the ones kept. Dead branches are pruned with
     /// the precomputed downward-reachability relation.
-    fn search_windows(
-        &self,
-        target: Target,
-        to: NodeId,
-        limits: SearchLimits,
-    ) -> Vec<GrammarPath> {
+    fn search_windows(&self, target: Target, to: NodeId, limits: SearchLimits) -> Vec<GrammarPath> {
         // Nodes worth stepping onto: those reachable downward from the
         // search's origin (a derivation containing the source API, or the
         // grammar root).
@@ -321,7 +319,14 @@ impl GrammarGraph {
             // upward.
             if !matched {
                 self.search_up(
-                    target, sink, chain, on_chain, window, max_results, origins, results,
+                    target,
+                    sink,
+                    chain,
+                    on_chain,
+                    window,
+                    max_results,
+                    origins,
+                    results,
                 );
             }
 
@@ -376,7 +381,10 @@ mod tests {
         let p = &paths[0];
         assert_eq!(p.source, Some(insert));
         assert_eq!(p.sink, position);
-        assert_eq!(p.top(), g.node(g.nonterminal_node("command").unwrap()).children[0]);
+        assert_eq!(
+            p.top(),
+            g.node(g.nonterminal_node("command").unwrap()).children[0]
+        );
     }
 
     #[test]
@@ -492,7 +500,9 @@ mod tests {
         // the simple-path restriction rejects it.
         let g = GrammarGraph::parse("expr ::= NOT expr | ATOM").unwrap();
         let not = g.api_node("NOT").unwrap();
-        assert!(g.paths_between(not, not, SearchLimits::default()).is_empty());
+        assert!(g
+            .paths_between(not, not, SearchLimits::default())
+            .is_empty());
     }
 
     #[test]

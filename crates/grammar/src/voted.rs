@@ -13,6 +13,10 @@ use crate::{GrammarGraph, GrammarPath, NodeId, PathId};
 /// Number of candidate paths covering one grammar edge.
 pub type VoteCount = usize;
 
+/// One voted "or" alternative: the derivation node plus the paths voting
+/// for it.
+pub type OrAlternative = (NodeId, Vec<PathId>);
+
 /// A grammar graph annotated with, per edge, the candidate paths covering
 /// it.
 ///
@@ -84,11 +88,8 @@ impl PathVotedGraph {
     /// more voted "or" edges, the list of `(derivation, voting paths)`
     /// alternatives. Any two paths that vote for *different* derivations in
     /// the same group form a *conflict paths pair* (§V-A).
-    pub fn conflict_or_groups(
-        &self,
-        graph: &GrammarGraph,
-    ) -> Vec<(NodeId, Vec<(NodeId, Vec<PathId>)>)> {
-        let mut by_nt: BTreeMap<NodeId, Vec<(NodeId, Vec<PathId>)>> = BTreeMap::new();
+    pub fn conflict_or_groups(&self, graph: &GrammarGraph) -> Vec<(NodeId, Vec<OrAlternative>)> {
+        let mut by_nt: BTreeMap<NodeId, Vec<OrAlternative>> = BTreeMap::new();
         for (&(from, to), ids) in &self.votes {
             if graph.is_nonterminal(from) && graph.is_derivation(to) {
                 by_nt.entry(from).or_default().push((to, ids.clone()));

@@ -117,7 +117,10 @@ impl DepGraph {
     /// Panics if an edge references a node index out of range.
     pub fn new(nodes: Vec<DepNode>, edges: Vec<DepEdge>, root: Option<usize>) -> DepGraph {
         for e in &edges {
-            assert!(e.gov < nodes.len() && e.dep < nodes.len(), "edge out of range");
+            assert!(
+                e.gov < nodes.len() && e.dep < nodes.len(),
+                "edge out of range"
+            );
         }
         if let Some(r) = root {
             assert!(r < nodes.len(), "root out of range");
@@ -228,9 +231,7 @@ impl DepGraph {
         for e in &self.edges {
             out.push_str(&format!(
                 "{} -{}-> {}\n",
-                self.nodes[e.gov].word,
-                e.rel,
-                self.nodes[e.dep].word
+                self.nodes[e.gov].word, e.rel, self.nodes[e.dep].word
             ));
         }
         out
@@ -323,9 +324,21 @@ mod tests {
                 word(3, "line", Pos::Noun),
             ],
             vec![
-                DepEdge { gov: 0, dep: 1, rel: DepRel::Obj },
-                DepEdge { gov: 0, dep: 2, rel: DepRel::Nmod("at".into()) },
-                DepEdge { gov: 2, dep: 3, rel: DepRel::Nmod("of".into()) },
+                DepEdge {
+                    gov: 0,
+                    dep: 1,
+                    rel: DepRel::Obj,
+                },
+                DepEdge {
+                    gov: 0,
+                    dep: 2,
+                    rel: DepRel::Nmod("at".into()),
+                },
+                DepEdge {
+                    gov: 2,
+                    dep: 3,
+                    rel: DepRel::Nmod("of".into()),
+                },
             ],
             Some(0),
         )
@@ -391,7 +404,11 @@ mod tests {
     fn new_validates_edges() {
         DepGraph::new(
             vec![word(0, "a", Pos::Noun)],
-            vec![DepEdge { gov: 0, dep: 5, rel: DepRel::Obj }],
+            vec![DepEdge {
+                gov: 0,
+                dep: 5,
+                rel: DepRel::Obj,
+            }],
             Some(0),
         );
     }

@@ -450,9 +450,8 @@ impl ScanState {
         }
         if let Some(noun) = self.last_noun {
             self.attach(noun, idx, DepRel::Lit);
-            return;
         }
-        // Literal with nothing before it: leave unattached (orphan).
+        // Otherwise: literal with nothing before it, leave unattached (orphan).
     }
 
     fn parent_of(&self, idx: usize) -> Option<usize> {
@@ -647,7 +646,13 @@ mod tests {
             let g = parse(q);
             for i in 0..g.len() {
                 let parents = g.edges().iter().filter(|e| e.dep == i).count();
-                assert!(parents <= 1, "node {} of {:?} has {} parents", i, q, parents);
+                assert!(
+                    parents <= 1,
+                    "node {} of {:?} has {} parents",
+                    i,
+                    q,
+                    parents
+                );
             }
         }
     }

@@ -102,7 +102,10 @@ impl PosTagger {
             // but opens a command).
             let lexicon_nonverb = lexicon::contains(lexicon::NOUNS, low)
                 || lexicon::contains(lexicon::ADJECTIVES, low)
-                || matches!(tags[i], Pos::Conj | Pos::Prep | Pos::Det | Pos::Wh | Pos::Aux | Pos::Pron);
+                || matches!(
+                    tags[i],
+                    Pos::Conj | Pos::Prep | Pos::Det | Pos::Wh | Pos::Aux | Pos::Pron
+                );
             if i == first_word_index(tokens)
                 && tokens[i].kind == TokenKind::Word
                 && (ambiguous || !lexicon_nonverb)
@@ -128,7 +131,11 @@ impl PosTagger {
                     // forms stay nominal ("declaration reference
                     // expressions").
                     Some(Pos::Noun) => {
-                        tags[i] = if low.ends_with('s') { Pos::Verb } else { Pos::Noun };
+                        tags[i] = if low.ends_with('s') {
+                            Pos::Verb
+                        } else {
+                            Pos::Noun
+                        };
                     }
                     _ => {
                         tags[i] = Pos::Noun;
@@ -230,7 +237,10 @@ fn initial_tag(token: &Token, low: &str) -> Pos {
     if lexicon::contains(lexicon::ADJECTIVES, low) {
         return Pos::Adj;
     }
-    if matches!(low, "first" | "second" | "third" | "fourth" | "fifth" | "once" | "twice") {
+    if matches!(
+        low,
+        "first" | "second" | "third" | "fourth" | "fifth" | "once" | "twice"
+    ) {
         return Pos::Num;
     }
     // Suffix heuristics for open-class words outside the lexicon.
@@ -264,10 +274,7 @@ mod tests {
     fn tag_query(q: &str) -> Vec<(String, Pos)> {
         let toks = tokenize(q);
         let tags = PosTagger::new().tag(&toks);
-        toks.iter()
-            .map(|t| t.text.clone())
-            .zip(tags)
-            .collect()
+        toks.iter().map(|t| t.text.clone()).zip(tags).collect()
     }
 
     fn tag_of(q: &str, word: &str) -> Pos {
@@ -310,10 +317,7 @@ mod tests {
     #[test]
     fn that_is_det_before_noun_wh_before_verb() {
         assert_eq!(tag_of("delete that line", "that"), Pos::Det);
-        assert_eq!(
-            tag_of("find calls that return a pointer", "that"),
-            Pos::Wh
-        );
+        assert_eq!(tag_of("find calls that return a pointer", "that"), Pos::Wh);
     }
 
     #[test]
@@ -326,7 +330,10 @@ mod tests {
     #[test]
     fn gerund_is_verb() {
         assert_eq!(
-            tag_of("append \":\" in every line containing numerals", "containing"),
+            tag_of(
+                "append \":\" in every line containing numerals",
+                "containing"
+            ),
             Pos::Verb
         );
     }

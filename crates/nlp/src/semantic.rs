@@ -155,8 +155,8 @@ impl SemanticMatcher {
 }
 
 const STOPWORDS: &[&str] = &[
-    "the", "and", "for", "that", "this", "with", "from", "into", "are", "its", "can", "one",
-    "all", "any", "not", "but", "was", "has", "have", "will", "which", "when", "where", "given",
+    "the", "and", "for", "that", "this", "with", "from", "into", "are", "its", "can", "one", "all",
+    "any", "not", "but", "was", "has", "have", "will", "which", "when", "where", "given",
     "matches", "matching", "match",
 ];
 

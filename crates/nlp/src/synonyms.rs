@@ -22,15 +22,35 @@ pub struct SynonymLexicon {
 /// The built-in groups, tuned for the text-editing and code-analysis
 /// domains.
 const DEFAULT_GROUPS: &[&[&str]] = &[
-    &["insert", "add", "append", "prepend", "put", "place", "attach"],
-    &["delete", "remove", "erase", "drop", "eliminate", "discard", "cut"],
+    &[
+        "insert", "add", "append", "prepend", "put", "place", "attach",
+    ],
+    &[
+        "delete",
+        "remove",
+        "erase",
+        "drop",
+        "eliminate",
+        "discard",
+        "cut",
+    ],
     &["replace", "substitute", "swap", "change", "exchange"],
     &["move", "shift", "relocate"],
     &["copy", "duplicate", "clone"],
     &["print", "show", "display", "output", "list"],
     &["select", "choose", "pick", "highlight"],
-    &["find", "search", "locate", "lookup", "get", "identify", "match"],
-    &["start", "begin", "beginning", "front", "head", "starts", "begins"],
+    &[
+        "find", "search", "locate", "lookup", "get", "identify", "match",
+    ],
+    &[
+        "start",
+        "begin",
+        "beginning",
+        "front",
+        "head",
+        "starts",
+        "begins",
+    ],
     &["end", "finish", "tail", "back", "ends"],
     &["line", "row"],
     &["word", "token"],

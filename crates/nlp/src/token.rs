@@ -110,9 +110,7 @@ pub fn tokenize(query: &str) -> Vec<Token> {
         if c.is_ascii_digit() {
             let mut j = start;
             let mut seen_dot = false;
-            while j < bytes.len()
-                && (bytes[j].is_ascii_digit() || (bytes[j] == '.' && !seen_dot))
-            {
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || (bytes[j] == '.' && !seen_dot)) {
                 if bytes[j] == '.' {
                     // Only treat `.` as part of a number when a digit
                     // follows ("3.5", not "14.").
@@ -137,9 +135,7 @@ pub fn tokenize(query: &str) -> Vec<Token> {
                 && (bytes[j].is_alphanumeric()
                     || bytes[j] == '-'
                     || bytes[j] == '_'
-                    || (bytes[j] == '\''
-                        && j + 1 < bytes.len()
-                        && bytes[j + 1].is_alphanumeric()))
+                    || (bytes[j] == '\'' && j + 1 < bytes.len() && bytes[j + 1].is_alphanumeric()))
             {
                 j += 1;
             }
@@ -176,7 +172,13 @@ mod tests {
         assert_eq!(
             texts,
             vec![
-                "append", ":", "in", "every", "line", "containing", "numerals"
+                "append",
+                ":",
+                "in",
+                "every",
+                "line",
+                "containing",
+                "numerals"
             ]
         );
         assert_eq!(toks[1].kind, TokenKind::Literal);

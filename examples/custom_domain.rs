@@ -8,8 +8,8 @@
 //! cargo run --example custom_domain
 //! ```
 
-use nlquery::nlp::ApiDoc;
 use nlquery::grammar::GrammarGraph;
+use nlquery::nlp::ApiDoc;
 use nlquery::{Domain, SynthesisConfig, Synthesizer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,21 +26,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let docs = vec![
         ApiDoc::new("TURNON", &["turn", "on", "enable"], "turns a device on", 0),
-        ApiDoc::new("TURNOFF", &["turn", "off", "disable"], "turns a device off", 0),
+        ApiDoc::new(
+            "TURNOFF",
+            &["turn", "off", "disable"],
+            "turns a device off",
+            0,
+        ),
         ApiDoc::new("DIM", &["dim"], "dims a light to a level", 0),
         ApiDoc::new("LIGHT", &["light", "lamp"], "a light in a room", 0),
-        ApiDoc::new("THERMOSTAT", &["thermostat", "heating"], "the thermostat", 0),
+        ApiDoc::new(
+            "THERMOSTAT",
+            &["thermostat", "heating"],
+            "the thermostat",
+            0,
+        ),
         ApiDoc::new("SPEAKER", &["speaker", "music"], "a speaker in a room", 0),
         ApiDoc::new("FAN", &["fan"], "a fan in a room", 0),
         ApiDoc::new("KITCHEN", &["kitchen"], "the kitchen", 0),
         ApiDoc::new("BEDROOM", &["bedroom"], "the bedroom", 0),
-        ApiDoc::new("LIVINGROOM", &["lounge", "livingroom"], "the living room or lounge", 0),
+        ApiDoc::new(
+            "LIVINGROOM",
+            &["lounge", "livingroom"],
+            "the living room or lounge",
+            0,
+        ),
         ApiDoc::new("BATHROOM", &["bathroom"], "the bathroom", 0),
         ApiDoc::new("LEVEL", &["percent", "level"], "a brightness level", 1),
         ApiDoc::new("NOW", &["now", "immediately"], "right away", 0),
         ApiDoc::new("AT", &["at"], "at a point in time", 0),
         ApiDoc::new("AFTER", &["after"], "after a delay", 0),
-        ApiDoc::new("TIMEVALUE", &["time", "clock", "minute", "hour"], "a time value", 1),
+        ApiDoc::new(
+            "TIMEVALUE",
+            &["time", "clock", "minute", "hour"],
+            "a time value",
+            1,
+        ),
     ];
 
     let domain = Domain::builder("smart-home")
@@ -56,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "enable the speaker in the lounge",
     ] {
         let r = synthesizer.synthesize(query);
-        println!("{query:<42} => {}", r.expression.unwrap_or_else(|| "(none)".into()));
+        println!(
+            "{query:<42} => {}",
+            r.expression.unwrap_or_else(|| "(none)".into())
+        );
     }
     Ok(())
 }

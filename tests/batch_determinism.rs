@@ -1,0 +1,106 @@
+//! Batch synthesis must be a pure acceleration: for any worker count, the
+//! per-query results of [`BatchEngine`] are identical to running the
+//! sequential [`Synthesizer`] on each query — expression, outcome, CGT, and
+//! the non-timing counters all match byte for byte.
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{BatchEngine, BatchOptions, Engine, Synthesis, SynthesisConfig, Synthesizer};
+
+/// The comparable projection of a synthesis result: everything except
+/// wall-clock timings and memo counters (which legitimately vary).
+fn fingerprint(s: &Synthesis) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|edges={} orig_paths={} orphans={} variants={} merged={}",
+        s.outcome,
+        s.expression,
+        s.cgt,
+        s.stats.dep_edges,
+        s.stats.orig_paths,
+        s.stats.orphans,
+        s.stats.orphan_variants,
+        s.stats.merged_combinations,
+    )
+}
+
+fn assert_batch_matches_sequential(domain: nlquery::Domain, queries: &[String], engine: Engine) {
+    let config = SynthesisConfig::default().engine(engine);
+    let sequential = Synthesizer::new(domain.clone(), config.clone());
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| fingerprint(&sequential.synthesize(q)))
+        .collect();
+
+    for workers in [1, 2, 4, 7] {
+        let batch = BatchEngine::with_options(
+            domain.clone(),
+            config.clone(),
+            BatchOptions {
+                workers,
+                cache_capacity: 1024,
+            },
+        );
+        let report = batch.synthesize_batch(queries);
+        assert_eq!(report.results.len(), expected.len());
+        for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                &fingerprint(got),
+                want,
+                "workers={workers} query #{i}: {:?}",
+                queries[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn textedit_corpus_is_deterministic_across_worker_counts() {
+    let queries: Vec<String> = textedit::queries().into_iter().map(|c| c.query).collect();
+    assert_batch_matches_sequential(
+        textedit::domain().expect("domain builds"),
+        &queries,
+        Engine::Dggt,
+    );
+}
+
+#[test]
+fn astmatcher_corpus_is_deterministic_across_worker_counts() {
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    assert_batch_matches_sequential(
+        astmatcher::domain().expect("domain builds"),
+        &queries,
+        Engine::Dggt,
+    );
+}
+
+#[test]
+fn hisyn_engine_is_deterministic_too() {
+    // The memo cache sits below both step-5 engines; HISyn batches must be
+    // exact as well.
+    let queries: Vec<String> = textedit::queries()
+        .into_iter()
+        .take(8)
+        .map(|c| c.query)
+        .collect();
+    assert_batch_matches_sequential(
+        textedit::domain().expect("domain builds"),
+        &queries,
+        Engine::HiSyn,
+    );
+}
+
+#[test]
+fn repeated_corpus_reports_cache_hits() {
+    // Structurally repeated queries across a corpus must produce memo hits
+    // — the cross-query win the cache exists for.
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    let engine = BatchEngine::new(
+        astmatcher::domain().expect("domain builds"),
+        SynthesisConfig::default(),
+    );
+    let report = engine.synthesize_batch(&queries);
+    assert!(
+        report.stats.cache.hits > 0,
+        "no cross-query reuse on the astmatcher corpus: {:?}",
+        report.stats.cache
+    );
+}

@@ -28,7 +28,10 @@ fn orphan_queries_do_produce_orphans() {
             saw_orphans += 1;
         }
     }
-    assert!(saw_orphans >= 3, "only {saw_orphans} queries produced orphans");
+    assert!(
+        saw_orphans >= 3,
+        "only {saw_orphans} queries produced orphans"
+    );
 }
 
 #[test]

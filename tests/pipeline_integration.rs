@@ -38,7 +38,9 @@ fn figure3_running_example_reproduces() {
     let r = textedit().synthesize("insert \":\" at the start of each line");
     assert_eq!(
         r.expression.as_deref(),
-        Some("INSERT(STRING(:), START(), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))")
+        Some(
+            "INSERT(STRING(:), START(), IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"
+        )
     );
 }
 
@@ -68,7 +70,10 @@ fn astmatcher_examples_reproduce() {
 fn literals_bind_to_their_own_slots() {
     let r = textedit().synthesize("replace \"foo\" with \"bar\" in every line");
     let expr = r.expression.expect("succeeds");
-    assert!(expr.contains("STRING(foo)") && expr.contains("STRING(bar)"), "{expr}");
+    assert!(
+        expr.contains("STRING(foo)") && expr.contains("STRING(bar)"),
+        "{expr}"
+    );
     let foo = expr.find("STRING(foo)").unwrap();
     let bar = expr.find("STRING(bar)").unwrap();
     assert!(foo < bar, "source before replacement: {expr}");
@@ -95,14 +100,24 @@ fn near_real_time_on_the_paper_examples() {
     ] {
         let r = synth.synthesize(q);
         assert_eq!(r.outcome, Outcome::Success);
-        assert!(r.elapsed < Duration::from_secs(1), "{q} took {:?}", r.elapsed);
+        assert!(
+            r.elapsed < Duration::from_secs(1),
+            "{q} took {:?}",
+            r.elapsed
+        );
     }
 }
 
 #[test]
 fn garbage_in_no_crash_out() {
     let synth = textedit();
-    for q in ["", "   ", "🦀🦀🦀", "the of and with", "delete delete delete delete"] {
+    for q in [
+        "",
+        "   ",
+        "🦀🦀🦀",
+        "the of and with",
+        "delete delete delete delete",
+    ] {
         let _ = synth.synthesize(q); // must not panic
     }
 }
@@ -114,9 +129,8 @@ fn timeout_is_respected() {
         domain,
         SynthesisConfig::hisyn_baseline().timeout(Duration::from_millis(50)),
     );
-    let r = synth.synthesize(
-        "find cxx constructor expressions which declare a cxx method named \"PI\"",
-    );
+    let r = synth
+        .synthesize("find cxx constructor expressions which declare a cxx method named \"PI\"");
     // HISyn on this query far exceeds 50 ms; the run must stop near it.
     // Individual pipeline stages (path search in particular) are not
     // interruptible mid-stage, so allow generous slack for debug builds.

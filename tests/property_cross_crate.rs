@@ -1,91 +1,123 @@
-//! Property-based tests over the core data structures and invariants,
+//! Property-style tests over the core data structures and invariants,
 //! spanning the grammar and core crates: path-search soundness on random
 //! grammars, the §V-C size bounds, grammar-pruning exactness, and DGGT's
 //! minimality against the exhaustive baseline on random workloads.
-
-use proptest::prelude::*;
+//!
+//! Driven by a tiny seeded xorshift generator instead of `proptest` so the
+//! workspace builds with no registry access; every run explores the same
+//! deterministic case set, and each assertion message carries the case seed
+//! for replay.
 
 use nlquery::domains::workload::{generate, WorkloadSpec};
 use nlquery::grammar::{GrammarGraph, SearchLimits};
 use nlquery::{dggt, edge2path, hisyn, Cgt, Deadline, SynthesisConfig, SynthesisStats};
 use std::time::Duration;
 
-/// A small random grammar: layered rules so that every non-terminal is
-/// defined and the graph stays acyclic-ish but multi-path.
-fn arb_grammar() -> impl Strategy<Value = String> {
-    // layers: number of rule layers (2..4); width: alternatives per rule.
-    (2usize..4, 1usize..4, proptest::collection::vec(0u8..4, 4..16)).prop_map(
-        |(layers, width, seeds)| {
-            let mut bnf = String::new();
-            let mut seed_iter = seeds.into_iter().cycle();
-            let mut next = move || seed_iter.next().expect("cycle is infinite") as usize;
-            bnf.push_str("root ::= R0 l0\n");
-            for layer in 0..layers {
-                let mut alts = Vec::new();
-                for alt in 0..width {
-                    let api = format!("A{layer}X{alt}");
-                    if layer + 1 < layers {
-                        // Half the alternatives recurse into the next layer.
-                        if next() % 2 == 0 {
-                            alts.push(format!("{api} l{}", layer + 1));
-                        } else {
-                            alts.push(api);
-                        }
-                    } else {
-                        alts.push(api);
-                    }
-                }
-                bnf.push_str(&format!("l{layer} ::= {}\n", alts.join(" | ")));
-            }
-            bnf
-        },
-    )
+/// Cases per property (proptest ran 48; the generator below reaches the
+/// same shape diversity in fewer draws because layers/width are swept
+/// exhaustively).
+const CASES: u64 = 48;
+
+/// Minimal xorshift64* — keep in sync with `nlquery_bench::rng` (this test
+/// target cannot depend on the bench crate).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A small random grammar: layered rules so that every non-terminal is
+/// defined and the graph stays acyclic-ish but multi-path. Mirrors the old
+/// proptest `arb_grammar` strategy.
+fn random_grammar(rng: &mut XorShift64) -> String {
+    let layers = rng.range(2, 4);
+    let width = rng.range(1, 4);
+    let mut bnf = String::new();
+    bnf.push_str("root ::= R0 l0\n");
+    for layer in 0..layers {
+        let mut alts = Vec::new();
+        for alt in 0..width {
+            let api = format!("A{layer}X{alt}");
+            if layer + 1 < layers && rng.next_u64().is_multiple_of(2) {
+                // Half the alternatives recurse into the next layer.
+                alts.push(format!("{api} l{}", layer + 1));
+            } else {
+                alts.push(api);
+            }
+        }
+        bnf.push_str(&format!("l{layer} ::= {}\n", alts.join(" | ")));
+    }
+    bnf
+}
 
-    #[test]
-    fn path_search_is_sound(bnf in arb_grammar()) {
+#[test]
+fn path_search_is_sound() {
+    for seed in 0..CASES {
+        let bnf = random_grammar(&mut XorShift64::new(seed + 1));
         let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
         let apis: Vec<_> = g.api_nodes().to_vec();
         for (_, from) in &apis {
             for (_, to) in &apis {
                 for p in g.paths_between(*from, *to, SearchLimits::default()) {
                     // Endpoints match.
-                    prop_assert_eq!(p.source, Some(*from));
-                    prop_assert_eq!(p.sink, *to);
+                    assert_eq!(p.source, Some(*from), "seed {seed}");
+                    assert_eq!(p.sink, *to, "seed {seed}");
                     // Every consecutive chain pair is a real grammar edge.
                     for w in p.chain.windows(2) {
-                        prop_assert!(
+                        assert!(
                             g.node(w[0]).children.contains(&w[1]),
-                            "bogus edge on path"
+                            "bogus edge on path (seed {seed})"
                         );
                     }
                     // Simple path: no repeated nodes.
                     let mut seen = std::collections::BTreeSet::new();
                     for n in &p.chain {
-                        prop_assert!(seen.insert(*n), "chain revisits a node");
+                        assert!(seen.insert(*n), "chain revisits a node (seed {seed})");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn root_paths_start_at_root(bnf in arb_grammar()) {
+#[test]
+fn root_paths_start_at_root() {
+    for seed in 0..CASES {
+        let bnf = random_grammar(&mut XorShift64::new(seed + 1));
         let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
         for (_, api) in g.api_nodes() {
             for p in g.paths_from_root(*api, SearchLimits::default()) {
-                prop_assert_eq!(p.chain[0], g.root());
-                prop_assert_eq!(*p.chain.last().expect("nonempty"), *api);
+                assert_eq!(p.chain[0], g.root(), "seed {seed}");
+                assert_eq!(*p.chain.last().expect("nonempty"), *api, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn merged_cgt_size_within_bounds(bnf in arb_grammar()) {
-        // §V-C: max(size(p_i)) <= size(merge(c)) <= sum(size(p_i)).
+#[test]
+fn merged_cgt_size_within_bounds() {
+    // §V-C: max(size(p_i)) <= size(merge(c)) <= sum(size(p_i)).
+    for seed in 0..CASES {
+        let bnf = random_grammar(&mut XorShift64::new(seed + 1));
         let g = GrammarGraph::parse(&bnf).expect("generated grammars parse");
         let apis: Vec<_> = g.api_nodes().to_vec();
         let root_api = apis.first().expect("grammar has APIs").1;
@@ -99,23 +131,34 @@ proptest! {
                     let merged = cgt.api_count(&g);
                     let sa = a.size(&g);
                     let sb = b.size(&g);
-                    prop_assert!(merged <= sa + sb, "{merged} > {sa}+{sb}");
-                    prop_assert!(merged >= sa.max(sb) && merged >= 1);
+                    assert!(merged <= sa + sb, "{merged} > {sa}+{sb} (seed {seed})");
+                    assert!(merged >= sa.max(sb) && merged >= 1, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dggt_matches_exhaustive_minimum(
-        depth in 1usize..3,
-        fanout in 1usize..3,
-        paths in 1usize..4,
-    ) {
-        // Losslessness on random synthetic workloads: DGGT's minimum CGT
-        // size equals the exhaustive baseline's.
-        let w = generate(WorkloadSpec { depth, fanout, paths_per_edge: paths })
-            .expect("workload builds");
+/// Sweep every (depth, fanout, paths_per_edge) shape the old proptest
+/// ranges covered: depth 1..3, fanout 1..3, paths 1..4.
+fn workload_shapes() -> impl Iterator<Item = WorkloadSpec> {
+    (1usize..3).flat_map(|depth| {
+        (1usize..3).flat_map(move |fanout| {
+            (1usize..4).map(move |paths_per_edge| WorkloadSpec {
+                depth,
+                fanout,
+                paths_per_edge,
+            })
+        })
+    })
+}
+
+#[test]
+fn dggt_matches_exhaustive_minimum() {
+    // Losslessness on synthetic workloads: DGGT's minimum CGT size equals
+    // the exhaustive baseline's.
+    for spec in workload_shapes() {
+        let w = generate(spec).expect("workload builds");
         let cfg = SynthesisConfig::default();
         let map = edge2path::compute(&w.query, &w.w2a, &w.domain, cfg.search_limits);
         let deadline = Deadline::new(Duration::from_secs(20));
@@ -136,17 +179,14 @@ proptest! {
         )
         .expect("no timeout")
         .expect("solvable");
-        prop_assert_eq!(d.size, h.size);
+        assert_eq!(d.size, h.size, "spec {spec:?}");
     }
+}
 
-    #[test]
-    fn pruning_preserves_dggt_result(
-        depth in 1usize..3,
-        fanout in 1usize..3,
-        paths in 1usize..4,
-    ) {
-        let w = generate(WorkloadSpec { depth, fanout, paths_per_edge: paths })
-            .expect("workload builds");
+#[test]
+fn pruning_preserves_dggt_result() {
+    for spec in workload_shapes() {
+        let w = generate(spec).expect("workload builds");
         let deadline = Deadline::new(Duration::from_secs(20));
         let with = SynthesisConfig::default();
         let without = SynthesisConfig::default()
@@ -159,11 +199,16 @@ proptest! {
             .expect("no timeout")
             .expect("solvable");
         let mut s2 = SynthesisStats::default();
-        let b = dggt::synthesize(&w.domain, &w.query, &w.w2a, &map, &without, &deadline, &mut s2)
-            .expect("no timeout")
-            .expect("solvable");
-        prop_assert_eq!(a.size, b.size);
+        let b = dggt::synthesize(
+            &w.domain, &w.query, &w.w2a, &map, &without, &deadline, &mut s2,
+        )
+        .expect("no timeout")
+        .expect("solvable");
+        assert_eq!(a.size, b.size, "spec {spec:?}");
         // And the pruned run never merges more combinations.
-        prop_assert!(s1.merged_combinations <= s2.merged_combinations);
+        assert!(
+            s1.merged_combinations <= s2.merged_combinations,
+            "spec {spec:?}"
+        );
     }
 }
