@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
 # steps as the CI gate. Keep the two in sync.
 
-.PHONY: ci build test fmt clippy bench-batch
+.PHONY: ci build test fmt clippy bench-batch bench-json
 
 ci: build test fmt clippy
 
@@ -19,3 +19,6 @@ clippy:
 
 bench-batch:
 	cargo run --release --bin batch_throughput
+
+bench-json:
+	NLQUERY_BENCH_JSON=BENCH_throughput.json cargo run --release --bin batch_throughput

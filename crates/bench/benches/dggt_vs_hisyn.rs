@@ -43,5 +43,26 @@ fn main() {
             )
             .unwrap()
         });
+
+        // Same engines on the reference `BTreeSet` representation — the
+        // before/after comparison for the bitset CGT kernel.
+        let cfg_ref = cfg.clone().cgt_kernel(false);
+        group.bench(&format!("dggt-ref/{label}"), || {
+            let mut stats = SynthesisStats::default();
+            let deadline = Deadline::new(Duration::from_secs(30));
+            dggt::synthesize(
+                &w.domain, &w.query, &w.w2a, &map, &cfg_ref, &deadline, &mut stats,
+            )
+            .unwrap()
+        });
+        let hisyn_ref = SynthesisConfig::hisyn_baseline().cgt_kernel(false);
+        group.bench(&format!("hisyn-ref/{label}"), || {
+            let mut stats = SynthesisStats::default();
+            let deadline = Deadline::new(Duration::from_secs(30));
+            hisyn::synthesize(
+                &w.domain, &w.query, &w.w2a, &map, &hisyn_ref, &deadline, &mut stats,
+            )
+            .unwrap()
+        });
     }
 }

@@ -1,0 +1,91 @@
+//! Microbench for the bitset CGT kernel: the trial-merge primitive
+//! (fuse two partial CGTs, check or-consistency and connectivity) on the
+//! reference `BTreeSet` representation versus the arena-backed kernel.
+//!
+//! This is the inner loop of `join_children`/`final_join` and HISyn's
+//! PathMerging; each sample runs every ordered pair drawn from a pool of
+//! real grammar paths of the named domain.
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::grammar::{BitCgt, CgtArena, GrammarGraph, SearchLimits};
+use nlquery::{Cgt, Domain};
+use nlquery_bench::harness::Group;
+
+/// Pool size: trials per sample = POOL².
+const POOL: usize = 48;
+
+/// Real grammar-path CGTs of `graph`, in both representations.
+fn pool(graph: &GrammarGraph) -> Vec<(Cgt, BitCgt)> {
+    let layout = graph.cgt_layout();
+    let limits = SearchLimits {
+        max_paths: 4,
+        max_depth: 40,
+    };
+    let apis: Vec<_> = graph.api_nodes().to_vec();
+    let mut out = Vec::new();
+    'fill: for (_, from) in &apis {
+        for p in graph.paths_from_root(*from, limits) {
+            let cgt = Cgt::from_path(&p, graph);
+            let bits = cgt.to_bits(layout);
+            out.push((cgt, bits));
+            if out.len() >= POOL {
+                break 'fill;
+            }
+        }
+        for (_, to) in apis.iter().take(8) {
+            for p in graph.paths_between(*from, *to, limits) {
+                let cgt = Cgt::from_path(&p, graph);
+                let bits = cgt.to_bits(layout);
+                out.push((cgt, bits));
+                if out.len() >= POOL {
+                    break 'fill;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_domain(group: &mut Group, name: &str, domain: &Domain) {
+    let graph = domain.graph();
+    let layout = graph.cgt_layout();
+    let pool = pool(graph);
+
+    group.bench(&format!("{name}/reference"), || {
+        let mut accepted = 0usize;
+        for (a, _) in &pool {
+            for (b, _) in &pool {
+                let mut trial = a.clone();
+                trial.merge(b);
+                if trial.is_or_consistent(graph) && trial.is_connected(graph) {
+                    accepted += 1;
+                }
+            }
+        }
+        accepted
+    });
+
+    let mut arena = CgtArena::new();
+    group.bench(&format!("{name}/kernel"), || {
+        let mut accepted = 0usize;
+        for (_, a) in &pool {
+            for (_, b) in &pool {
+                let mut trial = arena.alloc(layout);
+                trial.copy_from(a);
+                if trial.try_merge(b, layout) && arena.is_connected(&trial, layout) {
+                    accepted += 1;
+                }
+                arena.release(trial);
+            }
+        }
+        accepted
+    });
+}
+
+fn main() {
+    let mut group = Group::new("merge_kernel");
+    let te = textedit::domain().expect("domain builds");
+    let am = astmatcher::domain().expect("domain builds");
+    bench_domain(&mut group, "textedit", &te);
+    bench_domain(&mut group, "astmatcher", &am);
+}

@@ -8,6 +8,11 @@
 //! the warm pass shows the cross-query memoization win. On single-core
 //! hosts the pool cannot speed anything up — the memo cache is then the
 //! only lever, and the warm rows still show it.
+//!
+//! Besides the human-readable table, every run writes a machine-readable
+//! summary (q/s, per-stage timings, memo hit rates per row) to
+//! `BENCH_throughput.json` — or the path in `NLQUERY_BENCH_JSON` — so CI
+//! can archive the perf trajectory across commits.
 
 use nlquery::domains::astmatcher;
 use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
@@ -46,6 +51,63 @@ fn stage_breakdown(report: &BatchReport) {
     );
 }
 
+/// One row of the machine-readable summary.
+struct JsonRow {
+    workers: usize,
+    pass: &'static str,
+    report: BatchReport,
+}
+
+/// Serializes the collected rows as JSON by hand (the workspace is
+/// std-only; the schema is flat enough that string assembly is safe —
+/// every value is a number or a fixed keyword).
+fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"batch_throughput\",\n  \"corpus\": \"astmatcher\",\n  \"corpus_queries\": {corpus_len},\n  \"tiles\": {TILES},\n  \"timeout_secs\": {},\n  \"rows\": [\n",
+        timeout().as_secs_f64(),
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let s = &row.report.stats;
+        out.push_str(&format!(
+            concat!(
+                "    {{\"workers\": {}, \"pass\": \"{}\", \"queries\": {}, ",
+                "\"wall_secs\": {:.6}, \"queries_per_sec\": {:.3}, ",
+                "\"worker_utilization\": {:.4}, ",
+                "\"successes\": {}, \"timeouts\": {}, \"no_parse\": {}, \"no_result\": {}, ",
+                "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"stage_secs\": {{\"parse\": {:.6}, \"prune\": {:.6}, \"word2api\": {:.6}, ",
+                "\"edge2path\": {:.6}, \"merge\": {:.6}, \"print\": {:.6}}}}}{}\n",
+            ),
+            row.workers,
+            row.pass,
+            s.total,
+            s.wall.as_secs_f64(),
+            s.queries_per_sec(),
+            s.worker_utilization(),
+            s.successes,
+            s.timeouts,
+            s.no_parse,
+            s.no_result,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.hit_rate(),
+            s.t_parse.as_secs_f64(),
+            s.t_prune.as_secs_f64(),
+            s.t_word2api.as_secs_f64(),
+            s.t_edge2path.as_secs_f64(),
+            s.t_merge.as_secs_f64(),
+            s.t_print.as_secs_f64(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let domain = astmatcher::domain().expect("embedded domain builds");
     let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
@@ -69,6 +131,7 @@ fn main() {
         timeout().as_secs_f64(),
     );
 
+    let mut rows: Vec<JsonRow> = Vec::new();
     let mut cold_baseline: Option<f64> = None;
     for &workers in &worker_counts {
         let engine = BatchEngine::with_options(
@@ -98,5 +161,19 @@ fn main() {
             );
         }
         println!();
+        rows.push(JsonRow {
+            workers,
+            pass: "cold",
+            report: cold,
+        });
+        rows.push(JsonRow {
+            workers,
+            pass: "warm",
+            report: warm,
+        });
     }
+
+    let json_path =
+        std::env::var("NLQUERY_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    write_json(&json_path, &rows, corpus.len());
 }

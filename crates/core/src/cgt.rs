@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId};
+use nlquery_grammar::{BitCgt, CgtLayout, GrammarGraph, GrammarPath, NodeId};
 
 /// A code generation tree: node and edge sets over a grammar graph.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,6 +52,31 @@ impl Cgt {
     pub fn absorb_path(&mut self, path: &GrammarPath, graph: &GrammarGraph) {
         self.nodes.extend(path.cgt_nodes(graph));
         self.edges.extend(path.cgt_edges(graph));
+    }
+
+    /// Converts this CGT into the bitset kernel representation.
+    pub fn to_bits(&self, layout: &CgtLayout) -> BitCgt {
+        let mut bits = BitCgt::empty(layout);
+        for &node in &self.nodes {
+            bits.insert_node(node);
+        }
+        for &(from, to) in &self.edges {
+            let inserted = bits.insert_grammar_edge(layout, from, to);
+            debug_assert!(inserted, "edge {from:?}->{to:?} missing from layout");
+        }
+        bits
+    }
+
+    /// Reconstructs a reference CGT from the bitset kernel representation.
+    pub fn from_bits(bits: &BitCgt, layout: &CgtLayout) -> Cgt {
+        let mut cgt = Cgt::new();
+        for node in bits.iter_nodes() {
+            cgt.nodes.insert(node);
+        }
+        for (from, to) in bits.iter_edges(layout) {
+            cgt.edges.insert((from, to));
+        }
+        cgt
     }
 
     /// Number of API *occurrences* — the CGT size the synthesizer

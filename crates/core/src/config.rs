@@ -58,6 +58,11 @@ pub struct SynthesisConfig {
     /// How many best partial CGTs each dynamic-grammar-graph node keeps
     /// for conflict-repairing backtracks.
     pub dggt_beam: usize,
+    /// Run trial merges on the bitset CGT kernel (word-wise OR plus
+    /// incremental or-conflict checks) instead of the `BTreeSet`-backed
+    /// reference representation. Purely a representation switch: results
+    /// are bit-identical either way.
+    pub cgt_kernel: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -73,6 +78,7 @@ impl Default for SynthesisConfig {
             search_limits: SearchLimits::default(),
             max_orphan_variants: 8,
             dggt_beam: 12,
+            cgt_kernel: true,
         }
     }
 }
@@ -136,6 +142,12 @@ impl SynthesisConfig {
     /// Sets the path-search limits.
     pub fn search_limits(mut self, limits: SearchLimits) -> Self {
         self.search_limits = limits;
+        self
+    }
+
+    /// Toggles the bitset CGT merge kernel.
+    pub fn cgt_kernel(mut self, on: bool) -> Self {
+        self.cgt_kernel = on;
         self
     }
 }

@@ -21,7 +21,7 @@
 
 use std::collections::BTreeMap;
 
-use nlquery_grammar::NodeId;
+use nlquery_grammar::{BitCgt, CgtArena, CgtLayout, NodeId};
 
 use crate::engine::{BestCgt, Deadline, TimedOut};
 use crate::opt::grammar_prune::{combination_conflicts, or_signature};
@@ -37,6 +37,9 @@ pub struct PartialCgt {
     /// The partial tree: the subtree rooted at this entry's API covering
     /// the query node's dependants.
     pub cgt: Cgt,
+    /// The same tree in kernel representation, populated when the bitset
+    /// kernel is on so later merges skip the set → bitset conversion.
+    pub bits: Option<BitCgt>,
     /// Its API count (`min_size` when this is the entry's first partial).
     pub size: usize,
     /// Sum of the chosen grammar-path sizes — the tie-breaker preferring
@@ -223,6 +226,11 @@ pub fn synthesize_with_graph(
     stats: &mut SynthesisStats,
 ) -> Result<(DynamicGrammarGraph, Option<BestCgt>), TimedOut> {
     let graph = domain.graph();
+    // With the kernel on, trial merges run on bitset words; `None` selects
+    // the reference `BTreeSet` path. Enumeration order, claims, pruning and
+    // stats are shared — only the merge/validity predicates differ.
+    let kernel: Option<&CgtLayout> = config.cgt_kernel.then(|| graph.cgt_layout());
+    let mut arena = CgtArena::new();
     let n = query.nodes.len();
     let Some(root) = query.root else {
         return Ok((DynamicGrammarGraph::default(), None));
@@ -264,10 +272,12 @@ pub fn synthesize_with_graph(
         if kids.is_empty() {
             // "For each leaf node … the algorithm generates API nodes."
             for (api, score) in candidate_apis {
+                let cgt = Cgt::singleton(api);
                 dyng.insert(
                     (node, api),
                     PartialCgt {
-                        cgt: Cgt::singleton(api),
+                        bits: kernel.map(|l| cgt.to_bits(l)),
+                        cgt,
                         size: 1,
                         path_len: 0,
                         score_milli: score,
@@ -299,12 +309,14 @@ pub fn synthesize_with_graph(
                     let Some(child_best) = dyng.best(child, pc.dep_api) else {
                         continue;
                     };
+                    let cgt = Cgt::from_path(&pc.path, graph);
                     opts.push(Option_ {
                         child,
                         dep_api: pc.dep_api,
                         claim: sink_claim(&pc.path),
                         chain: pc.path.chain.clone(),
-                        cgt: Cgt::from_path(&pc.path, graph),
+                        bits: kernel.map(|l| cgt.to_bits(l)),
+                        cgt,
                         size_excl_sink: pc.path.size_excluding_sink(graph),
                         path_size: pc.path.size(graph),
                         bonus_milli: pc.bonus_milli,
@@ -381,24 +393,53 @@ pub fn synthesize_with_graph(
                 }
                 if !skip {
                     stats.merged_combinations += 1;
-                    // Merge the prefix tree of the chosen paths.
-                    let mut prefix = Cgt::new();
-                    for o in &chosen {
-                        prefix.merge(&o.cgt);
-                    }
-                    if prefix.is_or_consistent(graph) {
-                        // Join with each child's best consistent partial.
-                        if let Some(partial) = join_children(
-                            graph,
-                            node,
-                            api,
-                            api_score,
-                            &prefix,
-                            &chosen,
-                            &dyng,
-                            config.dggt_beam,
-                        ) {
-                            dyng.insert((node, api), partial, config.dggt_beam);
+                    if let Some(layout) = kernel {
+                        // Merge the prefix tree of the chosen paths; each
+                        // path is individually or-consistent, so sequential
+                        // incremental try-merges succeed exactly when the
+                        // full union is or-consistent.
+                        let mut prefix = arena.alloc(layout);
+                        let consistent = chosen.iter().all(|o| {
+                            let bits = o.bits.as_ref().expect("kernel options carry bits");
+                            prefix.try_merge(bits, layout)
+                        });
+                        if consistent {
+                            // Join with each child's best consistent partial.
+                            if let Some(partial) = join_children_kernel(
+                                layout,
+                                &mut arena,
+                                node,
+                                api,
+                                api_score,
+                                &prefix,
+                                &chosen,
+                                &dyng,
+                                config.dggt_beam,
+                            ) {
+                                dyng.insert((node, api), partial, config.dggt_beam);
+                            }
+                        }
+                        arena.release(prefix);
+                    } else {
+                        // Merge the prefix tree of the chosen paths.
+                        let mut prefix = Cgt::new();
+                        for o in &chosen {
+                            prefix.merge(&o.cgt);
+                        }
+                        if prefix.is_or_consistent(graph) {
+                            // Join with each child's best consistent partial.
+                            if let Some(partial) = join_children(
+                                graph,
+                                node,
+                                api,
+                                api_score,
+                                &prefix,
+                                &chosen,
+                                &dyng,
+                                config.dggt_beam,
+                            ) {
+                                dyng.insert((node, api), partial, config.dggt_beam);
+                            }
                         }
                     }
                 }
@@ -421,7 +462,10 @@ pub fn synthesize_with_graph(
     }
 
     // Final join: grammar-root path + root entry (+ root-attached orphans).
-    let best = final_join(graph, map, &dyng, root, deadline)?;
+    let best = match kernel {
+        Some(layout) => final_join_kernel(graph, layout, &mut arena, map, &dyng, root, deadline)?,
+        None => final_join(graph, map, &dyng, root, deadline)?,
+    };
     Ok((dyng, best))
 }
 
@@ -430,6 +474,7 @@ struct Option_ {
     dep_api: NodeId,
     claim: (NodeId, NodeId),
     chain: Vec<NodeId>,
+    bits: Option<BitCgt>,
     cgt: Cgt,
     size_excl_sink: usize,
     path_size: usize,
@@ -438,23 +483,44 @@ struct Option_ {
     child_best_size: usize,
 }
 
+/// Bottom-up (post-order) processing order over the dependency children
+/// lists: every node appears after all its children. Nodes on dependency
+/// cycles — and nodes depending on them — are omitted, as they can never
+/// become ready. Any topological order yields the same dynamic grammar
+/// graph, since an entry reads only its children's completed entries.
 fn bottom_up_order(n: usize, children: &[Vec<usize>]) -> Vec<usize> {
+    const UNSEEN: u8 = 0;
+    const OPEN: u8 = 1;
+    const DONE: u8 = 2;
+    const DEAD: u8 = 3;
+    let mut state = vec![UNSEEN; n];
     let mut order = Vec::with_capacity(n);
-    let mut processed = vec![false; n];
-    loop {
-        let mut progressed = false;
-        for node in 0..n {
-            if processed[node] {
-                continue;
-            }
-            if children[node].iter().all(|&c| processed[c]) {
-                processed[node] = true;
-                order.push(node);
-                progressed = true;
-            }
+    // Iterative DFS: (node, next child index to visit).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if state[start] != UNSEEN {
+            continue;
         }
-        if !progressed {
-            break;
+        state[start] = OPEN;
+        stack.push((start, 0));
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if let Some(&child) = children[node].get(*idx) {
+                *idx += 1;
+                if state[child] == UNSEEN {
+                    state[child] = OPEN;
+                    stack.push((child, 0));
+                }
+            } else {
+                stack.pop();
+                // A child still OPEN here is a back-edge (cycle); a DEAD
+                // child poisons its ancestors.
+                if children[node].iter().all(|&c| state[c] == DONE) {
+                    state[node] = DONE;
+                    order.push(node);
+                } else {
+                    state[node] = DEAD;
+                }
+            }
         }
     }
     order
@@ -522,6 +588,93 @@ fn join_children(
     let top = cgt.top(graph);
     Some(PartialCgt {
         cgt,
+        bits: None,
+        size,
+        path_len,
+        score_milli,
+        top,
+        claimed,
+        node_claims,
+        assignment,
+    })
+}
+
+/// Kernel counterpart of [`join_children`]: identical enumeration and
+/// claim handling, with trial merges run as bitset try-merges plus the
+/// arena connectivity check. The reference `Cgt` is materialized once, on
+/// acceptance.
+#[allow(clippy::too_many_arguments)]
+fn join_children_kernel(
+    layout: &CgtLayout,
+    arena: &mut CgtArena,
+    node: usize,
+    api: NodeId,
+    api_score: u64,
+    prefix: &BitCgt,
+    chosen: &[&Option_],
+    dyng: &DynamicGrammarGraph,
+    beam: usize,
+) -> Option<PartialCgt> {
+    let mut cgt = arena.alloc(layout);
+    cgt.copy_from(prefix);
+    let mut assignment = vec![(node, api)];
+    let mut node_claims: Vec<(usize, (NodeId, NodeId))> = Vec::new();
+    let mut path_len = 0usize;
+    let mut score_milli = api_score;
+    // Claims of the chosen paths themselves: each child's sink occupies
+    // one grammar occurrence.
+    let mut claimed: Vec<(NodeId, NodeId)> = Vec::new();
+    for o in chosen {
+        match merge_claims(&claimed, &[o.claim]) {
+            Some(c) => claimed = c,
+            None => {
+                arena.release(cgt);
+                return None;
+            }
+        }
+    }
+    for o in chosen {
+        path_len += o.path_size;
+        score_milli += o.bonus_milli;
+        // Try the child's beam until one merges or-consistently with
+        // disjoint occurrence claims.
+        let mut merged = false;
+        for partial in dyng.beam(o.child, o.dep_api).iter().take(beam) {
+            let Some(new_claims) = merge_claims(&claimed, &partial.claimed) else {
+                continue;
+            };
+            let bits = partial
+                .bits
+                .as_ref()
+                .expect("kernel beam entries carry bits");
+            let mut trial = arena.alloc(layout);
+            trial.copy_from(&cgt);
+            // The child's partial must land in the same grammar occurrence
+            // the prefix path chose; or-consistency alone cannot see a
+            // dangling duplicate context (API nodes are shared).
+            if trial.try_merge(bits, layout) && arena.is_connected(&trial, layout) {
+                arena.release(std::mem::replace(&mut cgt, trial));
+                claimed = new_claims;
+                assignment.extend(partial.assignment.iter().copied());
+                node_claims.push((o.child, o.claim));
+                node_claims.extend(partial.node_claims.iter().copied());
+                path_len += partial.path_len;
+                score_milli += partial.score_milli;
+                merged = true;
+                break;
+            }
+            arena.release(trial);
+        }
+        if !merged {
+            arena.release(cgt);
+            return None;
+        }
+    }
+    let size = cgt.api_count(layout);
+    let top = cgt.top(layout);
+    Some(PartialCgt {
+        cgt: Cgt::from_bits(&cgt, layout),
+        bits: Some(cgt),
         size,
         path_len,
         score_milli,
@@ -628,6 +781,140 @@ fn final_join(
                     });
                 }
             }
+        }
+    }
+    Ok(best)
+}
+
+/// Kernel counterpart of [`final_join`]: same candidate enumeration,
+/// claim handling and best-key selection, with the per-candidate absorb /
+/// or-check / connectivity trials run on arena-backed bitsets. Path CGTs
+/// are converted to bits once per path instead of re-absorbed per trial;
+/// the winning tree is materialized as a reference `Cgt` only when it
+/// improves the best key.
+fn final_join_kernel(
+    graph: &nlquery_grammar::GrammarGraph,
+    layout: &CgtLayout,
+    arena: &mut CgtArena,
+    map: &EdgeToPath,
+    dyng: &DynamicGrammarGraph,
+    root: usize,
+    deadline: &Deadline,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let root_edge = map.edges.iter().find(|e| e.gov.is_none() && e.dep == root);
+    let orphan_edges: Vec<_> = map
+        .edges
+        .iter()
+        .filter(|e| e.gov.is_none() && e.dep != root)
+        .collect();
+
+    let mut best: Option<BestCgt> = None;
+    let Some(root_edge) = root_edge else {
+        return Ok(None);
+    };
+
+    // Bit form of every orphan path, aligned with `orphan_edges[i].paths`.
+    let orphan_bits: Vec<Vec<BitCgt>> = orphan_edges
+        .iter()
+        .map(|oe| {
+            oe.paths
+                .iter()
+                .map(|opc| Cgt::from_path(&opc.path, graph).to_bits(layout))
+                .collect()
+        })
+        .collect();
+
+    let mut best_key: Option<(usize, usize, std::cmp::Reverse<u64>)> = None;
+    for pc in &root_edge.paths {
+        deadline.check()?;
+        let path_bits = Cgt::from_path(&pc.path, graph).to_bits(layout);
+        for partial in dyng.beam(root, pc.dep_api) {
+            let bits = partial
+                .bits
+                .as_ref()
+                .expect("kernel beam entries carry bits");
+            let mut cgt = arena.alloc(layout);
+            cgt.copy_from(bits);
+            if !cgt.try_merge(&path_bits, layout) {
+                arena.release(cgt);
+                continue;
+            }
+            let mut assignment = partial.assignment.clone();
+            let mut node_claims = partial.node_claims.clone();
+            node_claims.push((root, sink_claim(&pc.path)));
+            let mut path_len = partial.path_len + pc.path.size(graph);
+            let mut score_milli = partial.score_milli;
+            let Some(mut claimed) = merge_claims(&partial.claimed, &[sink_claim(&pc.path)]) else {
+                arena.release(cgt);
+                continue;
+            };
+
+            // Greedily absorb each root-attached orphan with its cheapest
+            // consistent option.
+            let mut ok = true;
+            for (oe, oe_bits) in orphan_edges.iter().zip(&orphan_bits) {
+                let mut options: Vec<(usize, usize, &crate::PathCandidate, &PartialCgt)> =
+                    Vec::new();
+                for (pi, opc) in oe.paths.iter().enumerate() {
+                    for op in dyng.beam(oe.dep, opc.dep_api) {
+                        options.push((opc.path.size_excluding_sink(graph) + op.size, pi, opc, op));
+                    }
+                }
+                options.sort_by_key(|(cost, _, pc, _)| (*cost, pc.id));
+                let mut absorbed = false;
+                // Many root paths tie in cost but differ in which command
+                // head they pass through; enough must be tried to find the
+                // or-consistent one.
+                for (_, pi, opc, op) in options.into_iter().take(64) {
+                    let Some(with_path) = merge_claims(&claimed, &[sink_claim(&opc.path)]) else {
+                        continue;
+                    };
+                    let Some(new_claims) = merge_claims(&with_path, &op.claimed) else {
+                        continue;
+                    };
+                    let op_bits = op.bits.as_ref().expect("kernel beam entries carry bits");
+                    let mut trial = arena.alloc(layout);
+                    trial.copy_from(&cgt);
+                    if trial.try_merge(&oe_bits[pi], layout)
+                        && trial.try_merge(op_bits, layout)
+                        && arena.is_connected(&trial, layout)
+                    {
+                        arena.release(std::mem::replace(&mut cgt, trial));
+                        claimed = new_claims;
+                        assignment.extend(op.assignment.iter().copied());
+                        node_claims.push((oe.dep, sink_claim(&opc.path)));
+                        node_claims.extend(op.node_claims.iter().copied());
+                        path_len += opc.path.size(graph) + op.path_len;
+                        score_milli += op.score_milli;
+                        absorbed = true;
+                        break;
+                    }
+                    arena.release(trial);
+                }
+                if !absorbed {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                arena.release(cgt);
+                continue;
+            }
+
+            if arena.is_valid(&cgt, layout) {
+                let size = cgt.api_count(layout);
+                let key = (size, path_len, std::cmp::Reverse(score_milli));
+                if best_key.is_none_or(|bk| key < bk) {
+                    best_key = Some(key);
+                    best = Some(BestCgt {
+                        cgt: Cgt::from_bits(&cgt, layout),
+                        size,
+                        assignment,
+                        node_claims,
+                    });
+                }
+            }
+            arena.release(cgt);
         }
     }
     Ok(best)
@@ -880,6 +1167,7 @@ mod tests {
                 (0, api),
                 PartialCgt {
                     cgt,
+                    bits: None,
                     size,
                     path_len: 0,
                     score_milli: 0,
@@ -910,6 +1198,7 @@ mod tests {
                 (0, api),
                 PartialCgt {
                     cgt,
+                    bits: None,
                     size,
                     path_len: 0,
                     score_milli: 0,

@@ -181,11 +181,11 @@ impl Renderer<'_> {
     }
 
     fn render_api(&mut self, parent: Option<NodeId>, node: NodeId) -> Part {
-        let name = self.graph.node(node).label();
+        let name = self.graph.node(node).label_str();
         let slots = self
             .domain
             .matcher()
-            .doc(&name)
+            .doc(name)
             .map(|d| d.literal_slots)
             .unwrap_or(0);
         let mut args = Vec::new();
@@ -198,7 +198,10 @@ impl Renderer<'_> {
                 }
             }
         }
-        Part::Call { name, args }
+        Part::Call {
+            name: name.to_string(),
+            args,
+        }
     }
 }
 

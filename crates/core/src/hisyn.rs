@@ -12,7 +12,7 @@
 //! top of the baseline; the faithful HISyn configuration
 //! ([`crate::SynthesisConfig::hisyn_baseline`]) disables both.
 
-use nlquery_grammar::NodeId;
+use nlquery_grammar::{BitCgt, CgtArena, CgtLayout, NodeId};
 
 use crate::engine::{BestCgt, Deadline, TimedOut};
 use crate::opt::grammar_prune::{combination_conflicts, or_signature};
@@ -36,6 +36,10 @@ pub fn synthesize(
     stats: &mut SynthesisStats,
 ) -> Result<Option<BestCgt>, TimedOut> {
     let graph = domain.graph();
+    // With the kernel on, each trial merge is word-wise ORs plus the arena
+    // validity check instead of `BTreeSet` clones and tree walks.
+    let kernel: Option<&CgtLayout> = config.cgt_kernel.then(|| graph.cgt_layout());
+    let mut arena = CgtArena::new();
     // WordToAPI scores in milli-units per (query node, api node).
     let score_of = |node: usize, api: NodeId| -> u64 {
         // Positional weighting, mirroring DGGT: earlier query words bind
@@ -55,6 +59,7 @@ pub fn synthesize(
     // Pre-compute per-candidate CGTs, sizes and conflict signatures.
     struct Prepared {
         cgt: Cgt,
+        bits: Option<BitCgt>,
         size: usize,
         claim: (NodeId, NodeId),
         sig: Vec<(NodeId, NodeId)>,
@@ -72,6 +77,7 @@ pub fn synthesize(
                     let size = cgt.api_count(graph);
                     let n = pc.path.chain.len();
                     Prepared {
+                        bits: kernel.map(|l| cgt.to_bits(l)),
                         cgt,
                         size,
                         claim: (pc.path.chain[n - 2], pc.path.chain[n - 1]),
@@ -156,34 +162,76 @@ pub fn synthesize(
             }
             if !skip {
                 stats.merged_combinations += 1;
-                let mut cgt = Cgt::new();
-                for p in &chosen {
-                    cgt.merge(&p.cgt);
-                }
-                if cgt.is_valid(graph) {
-                    let size = cgt.api_count(graph);
-                    let path_len: usize = chosen.iter().map(|p| p.size).sum();
-                    let pairs: Vec<(usize, NodeId)> = assignment
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(q, a)| a.map(|a| (q, a)))
-                        .collect();
-                    let score: u64 = pairs.iter().map(|&(q, a)| score_of(q, a)).sum::<u64>()
-                        + chosen.iter().map(|p| p.bonus_milli).sum::<u64>();
-                    let key = (size, path_len, std::cmp::Reverse(score));
-                    if best_key.is_none_or(|bk| key < bk) {
-                        best_key = Some(key);
-                        let node_claims = edges
+                // Fuse the chosen paths and keep the tree only when valid.
+                // Kernel and reference agree predicate-for-predicate; the
+                // kernel rejects without materializing set unions, and the
+                // reference `Cgt` is built only when the best key improves.
+                if let Some(layout) = kernel {
+                    let mut fused = arena.alloc(layout);
+                    // Each path is individually or-consistent, so a failed
+                    // incremental try-merge means the union is
+                    // or-inconsistent — invalid either way.
+                    let merged = chosen.iter().all(|p| {
+                        let pb = p.bits.as_ref().expect("kernel paths carry bits");
+                        fused.try_merge(pb, layout)
+                    });
+                    if merged && arena.is_valid(&fused, layout) {
+                        let size = fused.api_count(layout);
+                        let path_len: usize = chosen.iter().map(|p| p.size).sum();
+                        let pairs: Vec<(usize, NodeId)> = assignment
                             .iter()
-                            .zip(&chosen)
-                            .map(|(e, p)| (e.dep, p.claim))
+                            .enumerate()
+                            .filter_map(|(q, a)| a.map(|a| (q, a)))
                             .collect();
-                        best = Some(BestCgt {
-                            cgt,
-                            size,
-                            assignment: pairs,
-                            node_claims,
-                        });
+                        let score: u64 = pairs.iter().map(|&(q, a)| score_of(q, a)).sum::<u64>()
+                            + chosen.iter().map(|p| p.bonus_milli).sum::<u64>();
+                        let key = (size, path_len, std::cmp::Reverse(score));
+                        if best_key.is_none_or(|bk| key < bk) {
+                            best_key = Some(key);
+                            let node_claims = edges
+                                .iter()
+                                .zip(&chosen)
+                                .map(|(e, p)| (e.dep, p.claim))
+                                .collect();
+                            best = Some(BestCgt {
+                                cgt: Cgt::from_bits(&fused, layout),
+                                size,
+                                assignment: pairs,
+                                node_claims,
+                            });
+                        }
+                    }
+                    arena.release(fused);
+                } else {
+                    let mut cgt = Cgt::new();
+                    for p in &chosen {
+                        cgt.merge(&p.cgt);
+                    }
+                    if cgt.is_valid(graph) {
+                        let size = cgt.api_count(graph);
+                        let path_len: usize = chosen.iter().map(|p| p.size).sum();
+                        let pairs: Vec<(usize, NodeId)> = assignment
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(q, a)| a.map(|a| (q, a)))
+                            .collect();
+                        let score: u64 = pairs.iter().map(|&(q, a)| score_of(q, a)).sum::<u64>()
+                            + chosen.iter().map(|p| p.bonus_milli).sum::<u64>();
+                        let key = (size, path_len, std::cmp::Reverse(score));
+                        if best_key.is_none_or(|bk| key < bk) {
+                            best_key = Some(key);
+                            let node_claims = edges
+                                .iter()
+                                .zip(&chosen)
+                                .map(|(e, p)| (e.dep, p.claim))
+                                .collect();
+                            best = Some(BestCgt {
+                                cgt,
+                                size,
+                                assignment: pairs,
+                                node_claims,
+                            });
+                        }
                     }
                 }
             }

@@ -144,7 +144,7 @@ mod tests {
         let mut direct = false;
         for id in g.node_ids() {
             if g.is_derivation(id) {
-                let label = g.node(id).label();
+                let label = g.node(id).label_str();
                 if label.starts_with("opinner") {
                     direct |= g.node(id).children.contains(&has_name);
                 }

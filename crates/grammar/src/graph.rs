@@ -81,16 +81,21 @@ pub struct GrammarNode {
     /// Incoming edges (reverse adjacency), used by the reversed all-path
     /// search.
     pub parents: Vec<NodeId>,
+    /// Precomputed human-readable label, so hot callers can borrow it
+    /// instead of formatting a fresh `String` per call.
+    label: String,
 }
 
 impl GrammarNode {
-    /// A short human-readable label for debugging and rendering.
+    /// A short human-readable label for debugging and rendering (owned;
+    /// prefer [`GrammarNode::label_str`] on hot paths).
     pub fn label(&self) -> String {
-        match &self.kind {
-            NodeKind::NonTerminal { name } => name.clone(),
-            NodeKind::Derivation { rule, alt } => format!("{rule}#{alt}"),
-            NodeKind::Api { name } => name.clone(),
-        }
+        self.label.clone()
+    }
+
+    /// The label as a borrowed string — no allocation.
+    pub fn label_str(&self) -> &str {
+        &self.label
     }
 }
 
@@ -135,6 +140,8 @@ pub struct GrammarGraph {
     /// `i` itself). Used to prune dead branches in the reversed all-path
     /// search.
     reach: Vec<Vec<u64>>,
+    /// Precomputed tables for the bitset CGT kernel (see [`crate::kernel`]).
+    layout: crate::CgtLayout,
 }
 
 impl GrammarGraph {
@@ -155,10 +162,16 @@ impl GrammarGraph {
 
         let push = |nodes: &mut Vec<GrammarNode>, kind: NodeKind| -> NodeId {
             let id = NodeId(nodes.len() as u32);
+            let label = match &kind {
+                NodeKind::NonTerminal { name } => name.clone(),
+                NodeKind::Derivation { rule, alt } => format!("{rule}#{alt}"),
+                NodeKind::Api { name } => name.clone(),
+            };
             nodes.push(GrammarNode {
                 kind,
                 children: Vec::new(),
                 parents: Vec::new(),
+                label,
             });
             id
         };
@@ -224,10 +237,12 @@ impl GrammarGraph {
             descendants: Vec::new(),
             direct_args: Vec::new(),
             reach: Vec::new(),
+            layout: crate::CgtLayout::default(),
         };
         graph.reach = graph.compute_reach();
         graph.descendants = graph.compute_descendants();
         graph.direct_args = graph.compute_direct_args();
+        graph.layout = crate::CgtLayout::build(&graph);
         Ok(graph)
     }
 
@@ -426,6 +441,17 @@ impl GrammarGraph {
         let word = to.index() / 64;
         let bit = to.index() % 64;
         self.reach[from.index()][word] & (1u64 << bit) != 0
+    }
+
+    /// The dense downward-reachability row of `from` (one bit per node).
+    pub(crate) fn reach_row(&self, from: NodeId) -> &[u64] {
+        &self.reach[from.index()]
+    }
+
+    /// The precomputed bitset-kernel layout of this grammar (see
+    /// [`crate::kernel`]).
+    pub fn cgt_layout(&self) -> &crate::CgtLayout {
+        &self.layout
     }
 
     fn compute_reach(&self) -> Vec<Vec<u64>> {

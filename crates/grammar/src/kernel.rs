@@ -1,0 +1,635 @@
+//! The bitset CGT kernel: fixed-width bitset representation of partial
+//! code generation trees.
+//!
+//! The synthesis hot path (DGGT's `join_children`/`final_join` and HISyn's
+//! merge loop) performs millions of *trial merges*: fuse two partial CGTs,
+//! check that no non-terminal commits to two "or" alternatives, and check
+//! that the result stays connected. On the `BTreeSet`-backed
+//! representation every trial clones allocating trees and re-walks them.
+//!
+//! This module precomputes a per-grammar [`CgtLayout`] — a dense table
+//! giving every grammar edge a small index, contiguous *or-group* ranges
+//! for the alternatives of each multi-derivation non-terminal, and
+//! per-node out-edge masks — so a partial CGT becomes a handful of `u64`
+//! words ([`BitCgt`]). A trial merge is then a word-wise OR plus an
+//! incremental or-conflict check (new edges only; rejected without
+//! materializing anything), connectivity is a bitset-driven traversal
+//! over the precomputed out-edge masks, and `api_count`/`top` are a few
+//! masked popcounts. A reusable [`CgtArena`] recycles scratch buffers so
+//! the per-merge cost is O(words) bit operations with no allocation.
+//!
+//! The kernel is semantically bit-identical to the reference set
+//! implementation: node/edge membership, `api_count`, `top`,
+//! or-consistency, connectivity and validity all agree predicate-for-
+//! predicate (property-tested against the reference on both evaluation
+//! domains).
+
+use std::collections::BTreeSet;
+
+use crate::{GrammarGraph, NodeId};
+
+/// Sentinel meaning "this edge belongs to no or-group".
+const NO_GROUP: u32 = u32::MAX;
+
+/// Iterates the set bits of a word slice as `usize` indices.
+fn for_each_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            f(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Precomputed dense tables mapping one grammar graph onto the bitset
+/// kernel: the edge index space, or-group ranges, per-node out-edge masks
+/// and API masks.
+///
+/// Built once per grammar by [`GrammarGraph::cgt_layout`]; immutable and
+/// shared by every query over the domain.
+#[derive(Debug, Clone, Default)]
+pub struct CgtLayout {
+    /// Number of `u64` words in a node bitset.
+    node_words: usize,
+    /// Number of `u64` words in an edge bitset.
+    edge_words: usize,
+    /// Every distinct grammar edge, sorted by `(from, to)`; an edge's
+    /// position here is its dense *edge index*.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Per-edge or-group index ([`NO_GROUP`] when the edge is not an
+    /// alternative of a multi-derivation non-terminal).
+    edge_group: Vec<u32>,
+    /// Per-group contiguous edge-index range `[start, end)`. Alternatives
+    /// of one non-terminal share a source node, so they sort contiguously.
+    groups: Vec<(u32, u32)>,
+    /// Per grammar node, the mask (over edge indices) of its out-edges.
+    out_edges: Vec<Vec<u64>>,
+    /// Node mask of API nodes.
+    api_nodes: Vec<u64>,
+    /// Edge mask of derivation → API edges (API *occurrences*).
+    api_edges: Vec<u64>,
+    /// Node index of the grammar root.
+    root: usize,
+}
+
+impl CgtLayout {
+    /// Builds the layout tables for `graph`.
+    pub fn build(graph: &GrammarGraph) -> CgtLayout {
+        let n = graph.len();
+        let node_words = n.div_ceil(64).max(1);
+
+        // Children lists may mention a symbol twice in one derivation; the
+        // reference CGT stores edge *sets*, so the edge table dedups.
+        let mut edge_set: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for id in graph.node_ids() {
+            for &child in &graph.node(id).children {
+                edge_set.insert((id, child));
+            }
+        }
+        let edges: Vec<(NodeId, NodeId)> = edge_set.into_iter().collect();
+        let m = edges.len();
+        let edge_words = m.div_ceil(64).max(1);
+
+        // Or-groups: contiguous runs of edges out of one non-terminal with
+        // at least two alternatives (a single alternative cannot conflict).
+        let mut edge_group = vec![NO_GROUP; m];
+        let mut groups: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0;
+        while i < m {
+            let from = edges[i].0;
+            let mut j = i + 1;
+            while j < m && edges[j].0 == from {
+                j += 1;
+            }
+            if graph.is_nonterminal(from) && j - i >= 2 {
+                let g = groups.len() as u32;
+                groups.push((i as u32, j as u32));
+                for slot in &mut edge_group[i..j] {
+                    *slot = g;
+                }
+            }
+            i = j;
+        }
+
+        let mut out_edges = vec![vec![0u64; edge_words]; n];
+        let mut api_edges = vec![0u64; edge_words];
+        for (e, &(from, to)) in edges.iter().enumerate() {
+            out_edges[from.index()][e / 64] |= 1u64 << (e % 64);
+            if graph.is_derivation(from) && graph.is_api(to) {
+                api_edges[e / 64] |= 1u64 << (e % 64);
+            }
+        }
+        let mut api_nodes = vec![0u64; node_words];
+        for id in graph.node_ids() {
+            if graph.is_api(id) {
+                api_nodes[id.index() / 64] |= 1u64 << (id.index() % 64);
+            }
+        }
+
+        CgtLayout {
+            node_words,
+            edge_words,
+            edges,
+            edge_group,
+            groups,
+            out_edges,
+            api_nodes,
+            api_edges,
+            root: graph.root().index(),
+        }
+    }
+
+    /// The dense index of grammar edge `from → to`, if it exists.
+    pub fn edge_index(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.edges.binary_search(&(from, to)).ok()
+    }
+
+    /// The endpoints of the edge with dense index `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `e` is out of range.
+    pub fn edge(&self, e: usize) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Number of distinct grammar edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of or-groups (non-terminals with ≥ 2 alternatives).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// A partial CGT in kernel representation: bitsets over the grammar's
+/// node and edge index spaces.
+///
+/// Beyond the node and edge membership words (mirroring the reference
+/// set representation exactly), two derived bitsets are maintained
+/// incrementally because they are pure unions: `targets` (nodes with an
+/// incoming CGT edge — the complement of top candidates) and `covered`
+/// (API nodes owned by a derivation→API edge — the nodes `api_count`
+/// must not double-count). Merging ORs all four.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitCgt {
+    nodes: Vec<u64>,
+    edges: Vec<u64>,
+    targets: Vec<u64>,
+    covered: Vec<u64>,
+}
+
+impl BitCgt {
+    /// An empty CGT sized for `layout`.
+    pub fn empty(layout: &CgtLayout) -> BitCgt {
+        BitCgt {
+            nodes: vec![0; layout.node_words],
+            edges: vec![0; layout.edge_words],
+            targets: vec![0; layout.node_words],
+            covered: vec![0; layout.node_words],
+        }
+    }
+
+    /// Zeroes all words (keeping capacity).
+    pub fn clear(&mut self) {
+        for w in self
+            .nodes
+            .iter_mut()
+            .chain(&mut self.edges)
+            .chain(&mut self.targets)
+            .chain(&mut self.covered)
+        {
+            *w = 0;
+        }
+    }
+
+    /// Overwrites this CGT with a copy of `other` (equal widths assumed).
+    pub fn copy_from(&mut self, other: &BitCgt) {
+        self.nodes.copy_from_slice(&other.nodes);
+        self.edges.copy_from_slice(&other.edges);
+        self.targets.copy_from_slice(&other.targets);
+        self.covered.copy_from_slice(&other.covered);
+    }
+
+    /// Adds a grammar node (no edges).
+    pub fn insert_node(&mut self, node: NodeId) {
+        self.nodes[node.index() / 64] |= 1u64 << (node.index() % 64);
+    }
+
+    /// Adds the grammar edge `from → to`. Returns `false` (and does
+    /// nothing) when no such grammar edge exists. Node membership is
+    /// tracked separately — callers add endpoints via
+    /// [`BitCgt::insert_node`], mirroring the reference representation.
+    pub fn insert_grammar_edge(&mut self, layout: &CgtLayout, from: NodeId, to: NodeId) -> bool {
+        let Some(e) = layout.edge_index(from, to) else {
+            return false;
+        };
+        self.insert_edge_idx(layout, e);
+        true
+    }
+
+    fn insert_edge_idx(&mut self, layout: &CgtLayout, e: usize) {
+        self.edges[e / 64] |= 1u64 << (e % 64);
+        let to = layout.edges[e].1.index();
+        self.targets[to / 64] |= 1u64 << (to % 64);
+        if layout.api_edges[e / 64] & (1u64 << (e % 64)) != 0 {
+            self.covered[to / 64] |= 1u64 << (to % 64);
+        }
+    }
+
+    /// Whether the CGT has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.iter().all(|&w| w == 0)
+    }
+
+    /// Number of nodes in the CGT.
+    pub fn node_count(&self) -> usize {
+        popcount(&self.nodes)
+    }
+
+    /// Unconditional fuse: word-wise OR of all four bitsets. All four are
+    /// unions of per-edge/per-node contributions, so OR preserves the
+    /// derived `targets`/`covered` invariants exactly.
+    pub fn merge(&mut self, other: &BitCgt) {
+        for (a, b) in self.nodes.iter_mut().zip(&other.nodes) {
+            *a |= b;
+        }
+        for (a, b) in self.edges.iter_mut().zip(&other.edges) {
+            *a |= b;
+        }
+        for (a, b) in self.targets.iter_mut().zip(&other.targets) {
+            *a |= b;
+        }
+        for (a, b) in self.covered.iter_mut().zip(&other.covered) {
+            *a |= b;
+        }
+    }
+
+    /// Trial merge with incremental or-conflict detection: fuses `other`
+    /// into `self` and returns `true`, unless some edge of `other` not yet
+    /// in `self` selects an or-alternative whose group already has a
+    /// *different* member in `self` — then returns `false` and leaves
+    /// `self` untouched.
+    ///
+    /// Assumes both operands are individually or-consistent (every CGT the
+    /// synthesizer builds is), which makes the new-edges-only check
+    /// equivalent to re-validating the whole union.
+    pub fn try_merge(&mut self, other: &BitCgt, layout: &CgtLayout) -> bool {
+        for (w, (&ow, &sw)) in other.edges.iter().zip(&self.edges).enumerate() {
+            let mut new = ow & !sw;
+            while new != 0 {
+                let e = w * 64 + new.trailing_zeros() as usize;
+                let g = layout.edge_group[e];
+                if g != NO_GROUP {
+                    let (start, end) = layout.groups[g as usize];
+                    // `e` itself is not in `self`, so any group member
+                    // found there is a conflicting sibling alternative.
+                    if self.any_edge_in_range(start as usize, end as usize) {
+                        return false;
+                    }
+                }
+                new &= new - 1;
+            }
+        }
+        self.merge(other);
+        true
+    }
+
+    /// Whether any edge bit is set in `[start, end)`.
+    fn any_edge_in_range(&self, start: usize, end: usize) -> bool {
+        let (sw, sb) = (start / 64, start % 64);
+        let (ew, eb) = (end / 64, end % 64);
+        if sw == ew {
+            return self.edges[sw] & (((1u64 << (eb - sb)) - 1) << sb) != 0;
+        }
+        if self.edges[sw] & !((1u64 << sb) - 1) != 0 {
+            return true;
+        }
+        if self.edges[sw + 1..ew].iter().any(|&w| w != 0) {
+            return true;
+        }
+        eb != 0 && self.edges[ew] & ((1u64 << eb) - 1) != 0
+    }
+
+    /// Whether every non-terminal selects at most one "or" alternative —
+    /// the full (non-incremental) check, for CGTs of unknown provenance.
+    pub fn is_or_consistent(&self, layout: &CgtLayout) -> bool {
+        let mut ok = true;
+        for &(start, end) in &layout.groups {
+            if !ok {
+                break;
+            }
+            let mut found = 0u32;
+            for e in start..end {
+                if self.edges[e as usize / 64] & (1u64 << (e % 64)) != 0 {
+                    found += 1;
+                    if found > 1 {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        ok
+    }
+
+    /// Number of API occurrences — incoming derivation→API edges plus
+    /// uncovered API nodes; identical to the reference `Cgt::api_count`.
+    pub fn api_count(&self, layout: &CgtLayout) -> usize {
+        let edge_occurrences: usize = self
+            .edges
+            .iter()
+            .zip(&layout.api_edges)
+            .map(|(&e, &m)| (e & m).count_ones() as usize)
+            .sum();
+        let uncovered: usize = self
+            .nodes
+            .iter()
+            .zip(&layout.api_nodes)
+            .zip(&self.covered)
+            .map(|((&n, &m), &c)| (n & m & !c).count_ones() as usize)
+            .sum();
+        edge_occurrences + uncovered
+    }
+
+    /// The topmost node: the grammar root when present, else the
+    /// smallest-id node with no incoming CGT edge; `None` when empty (or
+    /// when every node is an edge target).
+    pub fn top(&self, layout: &CgtLayout) -> Option<NodeId> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.nodes[layout.root / 64] & (1u64 << (layout.root % 64)) != 0 {
+            return Some(NodeId::from_index(layout.root));
+        }
+        for (w, (&n, &t)) in self.nodes.iter().zip(&self.targets).enumerate() {
+            let free = n & !t;
+            if free != 0 {
+                return Some(NodeId::from_index(w * 64 + free.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates the CGT's nodes in ascending id order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| NodeId::from_index(w * 64 + b))
+        })
+    }
+
+    /// Iterates the CGT's edges in `(from, to)` order.
+    pub fn iter_edges<'a>(
+        &'a self,
+        layout: &'a CgtLayout,
+    ) -> impl Iterator<Item = (NodeId, NodeId)> + 'a {
+        self.edges.iter().enumerate().flat_map(move |(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| layout.edges[w * 64 + b])
+        })
+    }
+}
+
+/// A reusable per-query pool of [`BitCgt`] scratch buffers plus the
+/// traversal scratch for connectivity/validity checks. Trial merges in
+/// the synthesis inner loops allocate nothing once the pool is warm.
+#[derive(Debug, Default)]
+pub struct CgtArena {
+    free: Vec<BitCgt>,
+    reached: Vec<u64>,
+    stack: Vec<u32>,
+}
+
+impl CgtArena {
+    /// An empty arena.
+    pub fn new() -> CgtArena {
+        CgtArena::default()
+    }
+
+    /// A cleared [`BitCgt`] sized for `layout`, recycled when possible.
+    pub fn alloc(&mut self, layout: &CgtLayout) -> BitCgt {
+        match self.free.pop() {
+            Some(mut b)
+                if b.nodes.len() == layout.node_words && b.edges.len() == layout.edge_words =>
+            {
+                b.clear();
+                b
+            }
+            _ => BitCgt::empty(layout),
+        }
+    }
+
+    /// Returns a scratch buffer to the pool.
+    pub fn release(&mut self, b: BitCgt) {
+        if self.free.len() < 64 {
+            self.free.push(b);
+        }
+    }
+
+    /// Whether every node of `cgt` is reachable from its top — identical
+    /// to the reference `Cgt::is_connected`, driven by the layout's
+    /// out-edge masks instead of edge-set scans.
+    pub fn is_connected(&mut self, cgt: &BitCgt, layout: &CgtLayout) -> bool {
+        let total = cgt.node_count();
+        if total <= 1 {
+            return true;
+        }
+        let Some(top) = cgt.top(layout) else {
+            return false;
+        };
+        self.reached.clear();
+        self.reached.resize(layout.node_words, 0);
+        self.stack.clear();
+        self.reached[top.index() / 64] |= 1u64 << (top.index() % 64);
+        self.stack.push(top.index() as u32);
+        let mut seen = 1usize;
+        while let Some(u) = self.stack.pop() {
+            let out = &layout.out_edges[u as usize];
+            for (w, (&ow, &ew)) in out.iter().zip(&cgt.edges).enumerate() {
+                let mut bits = ow & ew;
+                while bits != 0 {
+                    let e = w * 64 + bits.trailing_zeros() as usize;
+                    let t = layout.edges[e].1.index();
+                    if self.reached[t / 64] & (1u64 << (t % 64)) == 0 {
+                        self.reached[t / 64] |= 1u64 << (t % 64);
+                        self.stack.push(t as u32);
+                        seen += 1;
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+        seen == total
+    }
+
+    /// Structural validity — or-consistency, at most one parent per
+    /// non-API node, and connectivity — for CGTs built from grammar paths
+    /// (whose edges are real grammar edges with both endpoints present,
+    /// the two reference clauses the kernel guarantees by construction).
+    pub fn is_valid(&mut self, cgt: &BitCgt, layout: &CgtLayout) -> bool {
+        if !cgt.is_or_consistent(layout) {
+            return false;
+        }
+        // Parent counts: a non-API target hit by two distinct edges is
+        // over-parented. `reached` doubles as the seen-targets scratch.
+        self.reached.clear();
+        self.reached.resize(layout.node_words, 0);
+        let mut ok = true;
+        for_each_bit(&cgt.edges, |e| {
+            let t = layout.edges[e].1.index();
+            let (w, b) = (t / 64, 1u64 << (t % 64));
+            if self.reached[w] & b != 0 && layout.api_nodes[w] & b == 0 {
+                ok = false;
+            }
+            self.reached[w] |= b;
+        });
+        ok && self.is_connected(cgt, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> GrammarGraph {
+        GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos
+            delete_arg ::= string
+            string     ::= STRING
+            pos        ::= POSITION | START
+            "#,
+        )
+        .unwrap()
+    }
+
+    /// Bit version of `Cgt::from_path` for tests: path chain + derivation
+    /// API children.
+    fn path_bits(g: &GrammarGraph, from: &str, to: &str) -> BitCgt {
+        let a = g.api_node(from).unwrap();
+        let b = g.api_node(to).unwrap();
+        let paths = g.paths_between(a, b, crate::SearchLimits::default());
+        assert!(!paths.is_empty(), "{from}->{to}");
+        let p = &paths[0];
+        let layout = g.cgt_layout();
+        let mut bits = BitCgt::empty(layout);
+        for n in p.cgt_nodes(g) {
+            bits.insert_node(n);
+        }
+        for (f, t) in p.cgt_edges(g) {
+            assert!(bits.insert_grammar_edge(layout, f, t));
+        }
+        bits
+    }
+
+    #[test]
+    fn layout_indexes_every_edge() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut total = 0usize;
+        for id in g.node_ids() {
+            let mut dedup: BTreeSet<NodeId> = BTreeSet::new();
+            for &c in &g.node(id).children {
+                if dedup.insert(c) {
+                    assert!(layout.edge_index(id, c).is_some());
+                    total += 1;
+                }
+            }
+        }
+        assert_eq!(layout.edge_count(), total);
+        // `command` and `pos` both have two alternatives.
+        assert_eq!(layout.group_count(), 2);
+    }
+
+    #[test]
+    fn merge_and_counts_match_reference_shapes() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut cgt = path_bits(&g, "INSERT", "STRING");
+        let other = path_bits(&g, "INSERT", "START");
+        assert!(cgt.try_merge(&other, layout));
+        // APIs: INSERT, STRING, START.
+        assert_eq!(cgt.api_count(layout), 3);
+        let mut arena = CgtArena::new();
+        assert!(arena.is_connected(&cgt, layout));
+        assert!(arena.is_valid(&cgt, layout));
+    }
+
+    #[test]
+    fn conflicting_or_alternatives_reject() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut cgt = path_bits(&g, "INSERT", "START");
+        let before = cgt.clone();
+        let conflicting = path_bits(&g, "INSERT", "POSITION");
+        assert!(!cgt.try_merge(&conflicting, layout));
+        // A failed trial merge leaves the receiver untouched.
+        assert_eq!(cgt, before);
+        // The unconditional merge produces an or-inconsistent union.
+        cgt.merge(&conflicting);
+        assert!(!cgt.is_or_consistent(layout));
+    }
+
+    #[test]
+    fn top_prefers_root_then_smallest_untargeted() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut bits = BitCgt::empty(layout);
+        assert_eq!(bits.top(layout), None);
+        let string = g.api_node("STRING").unwrap();
+        bits.insert_node(string);
+        assert_eq!(bits.top(layout), Some(string));
+        bits.insert_node(g.root());
+        assert_eq!(bits.top(layout), Some(g.root()));
+    }
+
+    #[test]
+    fn singleton_and_disconnected_pieces() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut arena = CgtArena::new();
+        let mut bits = BitCgt::empty(layout);
+        bits.insert_node(g.api_node("STRING").unwrap());
+        assert!(arena.is_valid(&bits, layout));
+        assert_eq!(bits.api_count(layout), 1);
+        bits.insert_node(g.api_node("START").unwrap());
+        assert!(!arena.is_connected(&bits, layout));
+        assert!(!arena.is_valid(&bits, layout));
+    }
+
+    #[test]
+    fn iterators_round_trip() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let bits = path_bits(&g, "INSERT", "START");
+        let nodes: Vec<NodeId> = bits.iter_nodes().collect();
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        for (f, t) in bits.iter_edges(layout) {
+            assert!(nodes.contains(&f) && nodes.contains(&t));
+            assert!(g.node(f).children.contains(&t));
+        }
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let g = graph();
+        let layout = g.cgt_layout();
+        let mut arena = CgtArena::new();
+        let mut a = arena.alloc(layout);
+        a.insert_node(g.root());
+        arena.release(a);
+        let b = arena.alloc(layout);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+    }
+}

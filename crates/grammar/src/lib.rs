@@ -37,11 +37,13 @@
 mod bnf;
 mod error;
 mod graph;
+pub mod kernel;
 mod path;
 mod voted;
 
 pub use bnf::{Alternative, Grammar, Rule, Symbol};
 pub use error::GrammarError;
 pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind};
+pub use kernel::{BitCgt, CgtArena, CgtLayout};
 pub use path::{GrammarPath, PathId, SearchLimits};
 pub use voted::{OrAlternative, PathVotedGraph, VoteCount};

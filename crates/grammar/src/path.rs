@@ -210,12 +210,24 @@ impl GrammarGraph {
     /// the precomputed downward-reachability relation.
     fn search_windows(&self, target: Target, to: NodeId, limits: SearchLimits) -> Vec<GrammarPath> {
         // Nodes worth stepping onto: those reachable downward from the
-        // search's origin (a derivation containing the source API, or the
-        // grammar root).
-        let origins: Vec<NodeId> = match target {
-            Target::Api(from) => self.node(from).parents.clone(),
-            Target::Root => vec![self.root()],
+        // search's origins (the derivations containing the source API, or
+        // the grammar root). The per-origin reachability rows are OR-ed
+        // into one mask up front, so every upward step costs a single bit
+        // test instead of a scan over all origins.
+        let mut origin_reach = vec![0u64; self.len().div_ceil(64)];
+        let mut or_row = |origin: NodeId| {
+            for (acc, &word) in origin_reach.iter_mut().zip(self.reach_row(origin)) {
+                *acc |= word;
+            }
         };
+        match target {
+            Target::Api(from) => {
+                for &origin in &self.node(from).parents {
+                    or_row(origin);
+                }
+            }
+            Target::Root => or_row(self.root()),
+        }
         let mut results = Vec::new();
         const WINDOW: usize = 4;
         let mut lo = 0usize;
@@ -232,7 +244,7 @@ impl GrammarGraph {
                 &mut on_chain,
                 (lo, hi),
                 limits.max_paths - results.len(),
-                &origins,
+                &origin_reach,
                 &mut window_results,
             );
             window_results.sort();
@@ -252,7 +264,7 @@ impl GrammarGraph {
         on_chain: &mut [bool],
         window: (usize, usize),
         max_results: usize,
-        origins: &[NodeId],
+        origin_reach: &[u64],
         results: &mut Vec<GrammarPath>,
     ) {
         let (emit_above, depth_cap) = window;
@@ -269,7 +281,7 @@ impl GrammarGraph {
             // Dead-branch pruning: the parent must be on a downward walk
             // from one of the origins, or no emission can ever happen
             // above it.
-            if !origins.iter().any(|&o| self.reaches(o, parent)) {
+            if origin_reach[parent.index() / 64] & (1u64 << (parent.index() % 64)) == 0 {
                 continue;
             }
             chain.push(parent);
@@ -325,7 +337,7 @@ impl GrammarGraph {
                     on_chain,
                     window,
                     max_results,
-                    origins,
+                    origin_reach,
                     results,
                 );
             }

@@ -1,0 +1,137 @@
+//! Differential gate for the bitset CGT kernel: on both domains' full
+//! query suites, kernel-backed DGGT and HISyn must produce results
+//! identical to the pre-change `BTreeSet` implementation (which
+//! `cgt_kernel(false)` preserves verbatim) — same outcome, expression,
+//! CGT node/edge sets, and merge counters — at batch worker counts
+//! 1, 2 and 4.
+//!
+//! Queries that time out under either representation are skipped (a
+//! faster kernel legitimately finishes work the reference cannot), but a
+//! minimum compared fraction is enforced so the gate cannot silently
+//! degenerate.
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{BatchEngine, BatchOptions, Engine, Outcome, Synthesis, SynthesisConfig};
+use std::time::Duration;
+
+/// The comparable projection of one synthesis result; `None` for
+/// timeouts, which depend on representation speed.
+fn fingerprint(s: &Synthesis) -> Option<String> {
+    if s.outcome == Outcome::Timeout {
+        return None;
+    }
+    Some(format!(
+        "{:?}|{:?}|{:?}|merged={} pruned_g={} pruned_s={}",
+        s.outcome,
+        s.expression,
+        s.cgt,
+        s.stats.merged_combinations,
+        s.stats.pruned_grammar,
+        s.stats.pruned_size,
+    ))
+}
+
+fn run(
+    domain: &nlquery::Domain,
+    queries: &[String],
+    config: &SynthesisConfig,
+    workers: usize,
+) -> Vec<Option<String>> {
+    let engine = BatchEngine::with_options(
+        domain.clone(),
+        config.clone(),
+        BatchOptions {
+            workers,
+            cache_capacity: 1024,
+        },
+    );
+    let report = engine.synthesize_batch(queries);
+    assert_eq!(report.results.len(), queries.len());
+    report.results.iter().map(fingerprint).collect()
+}
+
+/// Compares the reference representation (workers=1) against the kernel
+/// at worker counts 1/2/4, skipping timeouts on either side, and requires
+/// at least `min_compared` of the suite to be comparable.
+///
+/// The floors are deliberately below the fractions a quiet machine
+/// compares (nearly 1.0 for DGGT): these suites run unoptimized where
+/// slow queries sit near the timeout, so a loaded machine legitimately
+/// converts a few more of them to (skipped) timeouts.
+fn assert_kernel_matches_reference(
+    domain: nlquery::Domain,
+    queries: &[String],
+    engine: Engine,
+    timeout: Duration,
+    min_compared: f64,
+) {
+    let kernel_cfg = SynthesisConfig::default().engine(engine).timeout(timeout);
+    let reference_cfg = kernel_cfg.clone().cgt_kernel(false);
+    let expected = run(&domain, queries, &reference_cfg, 1);
+
+    for workers in [1usize, 2, 4] {
+        let got = run(&domain, queries, &kernel_cfg, workers);
+        let mut compared = 0usize;
+        for (i, (g, w)) in got.iter().zip(&expected).enumerate() {
+            let (Some(g), Some(w)) = (g, w) else {
+                continue;
+            };
+            compared += 1;
+            assert_eq!(g, w, "workers={workers} query #{i}: {:?}", queries[i]);
+        }
+        let fraction = compared as f64 / queries.len() as f64;
+        assert!(
+            fraction >= min_compared,
+            "workers={workers}: only {compared}/{} comparable (need {min_compared})",
+            queries.len()
+        );
+    }
+}
+
+#[test]
+fn textedit_dggt_kernel_is_bit_identical() {
+    let queries: Vec<String> = textedit::queries().into_iter().map(|c| c.query).collect();
+    assert_kernel_matches_reference(
+        textedit::domain().expect("domain builds"),
+        &queries,
+        Engine::Dggt,
+        Duration::from_secs(4),
+        0.75,
+    );
+}
+
+#[test]
+fn astmatcher_dggt_kernel_is_bit_identical() {
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    assert_kernel_matches_reference(
+        astmatcher::domain().expect("domain builds"),
+        &queries,
+        Engine::Dggt,
+        Duration::from_secs(4),
+        0.75,
+    );
+}
+
+#[test]
+fn textedit_hisyn_kernel_is_bit_identical() {
+    let queries: Vec<String> = textedit::queries().into_iter().map(|c| c.query).collect();
+    assert_kernel_matches_reference(
+        textedit::domain().expect("domain builds"),
+        &queries,
+        Engine::HiSyn,
+        Duration::from_secs(1),
+        0.60,
+    );
+}
+
+#[test]
+fn astmatcher_hisyn_kernel_is_bit_identical() {
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    assert_kernel_matches_reference(
+        astmatcher::domain().expect("domain builds"),
+        &queries,
+        Engine::HiSyn,
+        Duration::from_secs(1),
+        0.30,
+    );
+}

@@ -1,0 +1,181 @@
+//! Property-style equivalence tests for the bitset CGT kernel: on random
+//! path subsets of both evaluation domains' grammars, every kernel
+//! predicate — trial-merge acceptance, `is_or_consistent`, `api_count`,
+//! `top`, `is_connected`, `is_valid` — must agree with the `BTreeSet`
+//! reference implementation, and the bitset → set round-trip must be
+//! lossless.
+//!
+//! Driven by the in-tree seeded xorshift generator (no registry access);
+//! every run replays the same deterministic case set, and assertion
+//! messages carry the seed for replay.
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::grammar::{BitCgt, CgtArena, GrammarGraph, GrammarPath, SearchLimits};
+use nlquery::Cgt;
+
+/// Random merge sequences per domain.
+const CASES: u64 = 24;
+/// Merge attempts per sequence.
+const STEPS: usize = 12;
+
+/// Minimal xorshift64* — keep in sync with `nlquery_bench::rng` (this test
+/// target cannot depend on the bench crate).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A pool of candidate grammar paths: root → API and API → API walks,
+/// capped so the pool stays small but structurally diverse.
+fn path_pool(graph: &GrammarGraph) -> Vec<GrammarPath> {
+    let limits = SearchLimits {
+        max_paths: 8,
+        max_depth: 40,
+    };
+    let apis: Vec<_> = graph.api_nodes().to_vec();
+    let mut pool = Vec::new();
+    for (_, api) in apis.iter().take(16) {
+        pool.extend(graph.paths_from_root(*api, limits));
+    }
+    for (_, from) in apis.iter().take(8) {
+        for (_, to) in apis.iter().take(8) {
+            pool.extend(graph.paths_between(*from, *to, limits));
+        }
+    }
+    assert!(pool.len() >= 8, "path pool too small: {}", pool.len());
+    pool
+}
+
+/// Merges random pool paths into an accumulator held in *both*
+/// representations, asserting the kernel mirrors the reference at every
+/// step. Only or-consistent accumulations are kept (matching the
+/// invariant the synthesizer maintains and `try_merge` documents).
+fn kernel_agrees_with_reference(graph: &GrammarGraph, seed: u64) {
+    let layout = graph.cgt_layout();
+    let pool = path_pool(graph);
+    let pool_bits: Vec<(Cgt, BitCgt)> = pool
+        .iter()
+        .map(|p| {
+            let cgt = Cgt::from_path(p, graph);
+            let bits = cgt.to_bits(layout);
+            (cgt, bits)
+        })
+        .collect();
+    let mut rng = XorShift64::new(seed + 1);
+    let mut arena = CgtArena::new();
+
+    let mut acc_ref = Cgt::new();
+    let mut acc_bits = BitCgt::empty(layout);
+    for step in 0..STEPS {
+        let (p_ref, p_bits) = &pool_bits[rng.range(0, pool_bits.len())];
+
+        // Reference trial: union, then the full or-consistency re-check.
+        let mut trial_ref = acc_ref.clone();
+        trial_ref.merge(p_ref);
+        let ref_ok = trial_ref.is_or_consistent(graph);
+
+        // Kernel trial: incremental try-merge.
+        let mut trial_bits = acc_bits.clone();
+        let kernel_ok = trial_bits.try_merge(p_bits, layout);
+        assert_eq!(
+            kernel_ok, ref_ok,
+            "merge acceptance diverged (seed {seed} step {step})"
+        );
+        if !ref_ok {
+            continue;
+        }
+        acc_ref = trial_ref;
+        acc_bits = trial_bits;
+
+        // Every predicate agrees on the accepted accumulation.
+        assert!(
+            acc_bits.is_or_consistent(layout),
+            "accepted merge inconsistent (seed {seed} step {step})"
+        );
+        assert_eq!(
+            acc_bits.api_count(layout),
+            acc_ref.api_count(graph),
+            "api_count diverged (seed {seed} step {step})"
+        );
+        assert_eq!(
+            acc_bits.top(layout),
+            acc_ref.top(graph),
+            "top diverged (seed {seed} step {step})"
+        );
+        assert_eq!(
+            arena.is_connected(&acc_bits, layout),
+            acc_ref.is_connected(graph),
+            "is_connected diverged (seed {seed} step {step})"
+        );
+        assert_eq!(
+            arena.is_valid(&acc_bits, layout),
+            acc_ref.is_valid(graph),
+            "is_valid diverged (seed {seed} step {step})"
+        );
+        // Lossless round-trip: bits → sets reproduces the reference.
+        assert_eq!(
+            Cgt::from_bits(&acc_bits, layout),
+            acc_ref,
+            "round-trip diverged (seed {seed} step {step})"
+        );
+    }
+}
+
+#[test]
+fn textedit_kernel_matches_reference() {
+    let domain = textedit::domain().expect("domain builds");
+    for seed in 0..CASES {
+        kernel_agrees_with_reference(domain.graph(), seed);
+    }
+}
+
+#[test]
+fn astmatcher_kernel_matches_reference() {
+    let domain = astmatcher::domain().expect("domain builds");
+    for seed in 0..CASES {
+        kernel_agrees_with_reference(domain.graph(), seed);
+    }
+}
+
+#[test]
+fn singleton_nodes_agree_too() {
+    // Node-only CGTs (leaf partials) exercise the uncovered-API census and
+    // the no-edge top/connectivity paths.
+    for domain in [
+        textedit::domain().expect("domain builds"),
+        astmatcher::domain().expect("domain builds"),
+    ] {
+        let graph = domain.graph();
+        let layout = graph.cgt_layout();
+        let mut arena = CgtArena::new();
+        for (_, api) in graph.api_nodes().iter().take(24) {
+            let cgt = Cgt::singleton(*api);
+            let bits = cgt.to_bits(layout);
+            assert_eq!(bits.api_count(layout), cgt.api_count(graph));
+            assert_eq!(bits.top(layout), cgt.top(graph));
+            assert_eq!(arena.is_connected(&bits, layout), cgt.is_connected(graph));
+            assert_eq!(arena.is_valid(&bits, layout), cgt.is_valid(graph));
+            assert_eq!(Cgt::from_bits(&bits, layout), cgt);
+        }
+    }
+}
