@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
 # steps as the CI gate. Keep the two in sync.
 
-.PHONY: ci build test fmt clippy bench-batch bench-json
+.PHONY: ci build test fmt clippy bench-batch bench-json bench-gate bless-golden
 
 ci: build test fmt clippy
 
@@ -22,3 +22,12 @@ bench-batch:
 
 bench-json:
 	NLQUERY_BENCH_JSON=BENCH_throughput.json cargo run --release --bin batch_throughput
+
+# The CI cold-scaling gate, locally: reduced tiling, short per-query
+# timeout, non-zero exit if cold throughput degrades with workers.
+bench-gate:
+	NLQUERY_TIMEOUT_SECS=5 NLQUERY_BENCH_TILES=2 NLQUERY_BENCH_GATE=1 cargo run --release --bin batch_throughput
+
+# Regenerate the golden corpus snapshots after a deliberate output change.
+bless-golden:
+	NLQUERY_BLESS=1 cargo test --test golden_corpus

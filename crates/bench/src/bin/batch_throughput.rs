@@ -4,22 +4,45 @@
 //! For each worker count the corpus (tiled a few times, as a service
 //! replaying popular query shapes would see it) runs twice on one
 //! `BatchEngine`: a **cold** pass starting from an empty memo cache and a
-//! **warm** pass reusing it. Cold-pass scaling isolates the worker pool;
-//! the warm pass shows the cross-query memoization win. On single-core
-//! hosts the pool cannot speed anything up — the memo cache is then the
-//! only lever, and the warm rows still show it.
+//! **warm** pass reusing it. The cache is explicitly `reset()` before
+//! every cold pass, so a cold row measures a genuine cold start even if
+//! the engine is reused, and the per-batch counter deltas reported by
+//! `BatchStats` never mix passes. Cold-pass scaling isolates the worker
+//! pool plus the single-flight dedup; the warm pass shows the cross-query
+//! memoization win. On single-core hosts the pool cannot speed anything
+//! up — the memo cache is then the only lever, and the warm rows still
+//! show it.
 //!
 //! Besides the human-readable table, every run writes a machine-readable
-//! summary (q/s, per-stage timings, memo hit rates per row) to
-//! `BENCH_throughput.json` — or the path in `NLQUERY_BENCH_JSON` — so CI
-//! can archive the perf trajectory across commits.
+//! summary (q/s, per-stage timings, memo hit/miss/dedup counters per row)
+//! to `BENCH_throughput.json` — or the path in `NLQUERY_BENCH_JSON` — so
+//! CI can archive the perf trajectory across commits.
+//!
+//! Environment knobs:
+//!
+//! - `NLQUERY_BENCH_TILES`: corpus tiling factor (default 4). CI uses a
+//!   smaller value for a quick smoke run.
+//! - `NLQUERY_BENCH_GATE=1`: exit non-zero if cold-pass throughput
+//!   *degrades* with workers — the multi-worker cold-start collapse this
+//!   bench exists to catch. On hosts with ≥2 hardware threads the gate
+//!   requires cold qps at 4 workers ≥ cold qps at 1 worker; on
+//!   single-threaded hosts (where a work-conserving pool cannot beat one
+//!   worker) it allows a 0.85× tolerance for scheduling overhead.
 
 use nlquery::domains::astmatcher;
 use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
 use nlquery_bench::{fmt_time, timeout};
 
-/// How many times the corpus is tiled into one batch.
-const TILES: usize = 4;
+/// Default corpus tiling factor (override with `NLQUERY_BENCH_TILES`).
+const DEFAULT_TILES: usize = 4;
+
+fn tiles() -> usize {
+    std::env::var("NLQUERY_BENCH_TILES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(DEFAULT_TILES)
+}
 
 fn report_line(label: &str, report: &BatchReport, baseline_qps: Option<f64>) {
     let s = &report.stats;
@@ -28,12 +51,13 @@ fn report_line(label: &str, report: &BatchReport, baseline_qps: Option<f64>) {
         .map(|b| format!("  {:>5.2}x vs 1 worker", qps / b))
         .unwrap_or_default();
     println!(
-        "{label:<18} {:>6} queries in {:>10}  {qps:>8.1} q/s  util {:>5.1}%  cache {:>6} hits / {:>6} misses ({:>5.1}% hit rate){speedup}",
+        "{label:<18} {:>6} queries in {:>10}  {qps:>8.1} q/s  util {:>5.1}%  cache {:>6} hits / {:>6} misses / {:>5} dedup ({:>5.1}% hit rate){speedup}",
         s.total,
         fmt_time(s.wall),
         s.worker_utilization() * 100.0,
         s.cache.hits,
         s.cache.misses,
+        s.cache.dedup_waits,
         s.cache.hit_rate() * 100.0,
     );
 }
@@ -62,9 +86,14 @@ struct JsonRow {
 /// std-only; the schema is flat enough that string assembly is safe —
 /// every value is a number or a fixed keyword).
 fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
+    let shards = rows
+        .first()
+        .map(|r| r.report.stats.cache.shards)
+        .unwrap_or(0);
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"batch_throughput\",\n  \"corpus\": \"astmatcher\",\n  \"corpus_queries\": {corpus_len},\n  \"tiles\": {TILES},\n  \"timeout_secs\": {},\n  \"rows\": [\n",
+        "  \"bench\": \"batch_throughput\",\n  \"corpus\": \"astmatcher\",\n  \"corpus_queries\": {corpus_len},\n  \"tiles\": {},\n  \"shards\": {shards},\n  \"timeout_secs\": {},\n  \"rows\": [\n",
+        tiles(),
         timeout().as_secs_f64(),
     ));
     for (i, row) in rows.iter().enumerate() {
@@ -75,7 +104,8 @@ fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
                 "\"wall_secs\": {:.6}, \"queries_per_sec\": {:.3}, ",
                 "\"worker_utilization\": {:.4}, ",
                 "\"successes\": {}, \"timeouts\": {}, \"no_parse\": {}, \"no_result\": {}, ",
-                "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_dedup_waits\": {}, ",
+                "\"cache_hit_rate\": {:.4}, \"shards\": {}, ",
                 "\"stage_secs\": {{\"parse\": {:.6}, \"prune\": {:.6}, \"word2api\": {:.6}, ",
                 "\"edge2path\": {:.6}, \"merge\": {:.6}, \"print\": {:.6}}}}}{}\n",
             ),
@@ -91,7 +121,9 @@ fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
             s.no_result,
             s.cache.hits,
             s.cache.misses,
+            s.cache.dedup_waits,
             s.cache.hit_rate(),
+            s.cache.shards,
             s.t_parse.as_secs_f64(),
             s.t_prune.as_secs_f64(),
             s.t_word2api.as_secs_f64(),
@@ -108,11 +140,34 @@ fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
     }
 }
 
+/// The anti-collapse gate (`NLQUERY_BENCH_GATE=1`): cold throughput must
+/// not degrade as workers are added. Returns an error message on failure.
+fn check_gate(rows: &[JsonRow], available: usize) -> Result<(), String> {
+    let cold_qps = |workers: usize| {
+        rows.iter()
+            .find(|r| r.workers == workers && r.pass == "cold")
+            .map(|r| r.report.stats.queries_per_sec())
+    };
+    let (Some(q1), Some(q4)) = (cold_qps(1), cold_qps(4)) else {
+        return Err("gate needs cold rows at 1 and 4 workers".into());
+    };
+    // A work-conserving pool cannot beat one worker on a single hardware
+    // thread; there the gate only rejects a real collapse (the seed
+    // regressed to 0.42x). With real parallelism available it is strict.
+    let floor = if available >= 2 { 1.0 } else { 0.85 };
+    if q4 < q1 * floor {
+        return Err(format!(
+            "cold-start collapse: {q4:.1} q/s at 4 workers < {floor}x of {q1:.1} q/s at 1 worker"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let domain = astmatcher::domain().expect("embedded domain builds");
     let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
     let queries: Vec<String> = std::iter::repeat_with(|| corpus.clone())
-        .take(TILES)
+        .take(tiles())
         .flatten()
         .collect();
     let config = SynthesisConfig::default().timeout(timeout());
@@ -125,9 +180,10 @@ fn main() {
     worker_counts.dedup();
 
     println!(
-        "batch_throughput: {} queries ({} corpus x {TILES}), {available} hardware threads, {}s timeout\n",
+        "batch_throughput: {} queries ({} corpus x {}), {available} hardware threads, {}s timeout\n",
         queries.len(),
         corpus.len(),
+        tiles(),
         timeout().as_secs_f64(),
     );
 
@@ -140,8 +196,12 @@ fn main() {
             BatchOptions {
                 workers,
                 cache_capacity: 4096,
+                ..BatchOptions::default()
             },
         );
+        // Belt and braces: a cold row must start from an empty cache with
+        // zeroed counters, whether or not the engine saw earlier batches.
+        engine.cache().reset();
         let cold = engine.synthesize_batch(&queries);
         let warm = engine.synthesize_batch(&queries);
         report_line(&format!("{workers} worker(s) cold"), &cold, cold_baseline);
@@ -176,4 +236,14 @@ fn main() {
     let json_path =
         std::env::var("NLQUERY_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());
     write_json(&json_path, &rows, corpus.len());
+
+    if std::env::var("NLQUERY_BENCH_GATE").is_ok_and(|v| v == "1") {
+        match check_gate(&rows, available) {
+            Ok(()) => println!("gate: cold throughput is non-degrading in worker count"),
+            Err(msg) => {
+                eprintln!("gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -51,6 +51,14 @@ pub struct BatchOptions {
     pub workers: usize,
     /// LRU capacity (entries) of the shared EdgeToPath memo cache.
     pub cache_capacity: usize,
+    /// Lock shards of the shared memo cache; 0 means
+    /// [`crate::memo::DEFAULT_SHARDS`].
+    pub cache_shards: usize,
+    /// Group queries whose pruned graphs request the same EdgeToPath memo
+    /// keys onto one worker (cold-pass locality: the group's first query
+    /// computes, the rest hit the shard without blocking). Costs one cheap
+    /// parse+prune pass over the batch before workers start.
+    pub co_schedule: bool,
 }
 
 impl Default for BatchOptions {
@@ -58,6 +66,8 @@ impl Default for BatchOptions {
         BatchOptions {
             workers: 0,
             cache_capacity: 4096,
+            cache_shards: 0,
+            co_schedule: true,
         }
     }
 }
@@ -102,8 +112,10 @@ pub struct BatchStats {
     pub t_merge: Duration,
     /// Summed expression-rendering time.
     pub t_print: Duration,
-    /// Shared memo-cache counters at the end of the batch (cumulative over
-    /// the engine's lifetime, not just this batch).
+    /// Shared memo-cache activity **of this batch** (counter deltas between
+    /// batch start and end; the `entries`/`capacity`/`shards` gauges are
+    /// absolute). The cache itself persists across batches — see
+    /// [`BatchEngine::cache`] for cumulative counters.
     pub cache: CacheStats,
     /// Per-worker utilization, indexed by worker id.
     pub workers: Vec<WorkerStats>,
@@ -156,6 +168,7 @@ pub struct BatchReport {
 pub struct BatchEngine {
     synthesizer: Synthesizer,
     workers: usize,
+    co_schedule: bool,
     cache: Arc<SharedPathCache>,
 }
 
@@ -178,10 +191,16 @@ impl BatchEngine {
         } else {
             options.workers
         };
+        let shards = if options.cache_shards == 0 {
+            crate::memo::DEFAULT_SHARDS
+        } else {
+            options.cache_shards
+        };
         BatchEngine {
             synthesizer: Synthesizer::new(domain, config),
             workers,
-            cache: Arc::new(SharedPathCache::new(options.cache_capacity)),
+            co_schedule: options.co_schedule,
+            cache: Arc::new(SharedPathCache::with_shards(options.cache_capacity, shards)),
         }
     }
 
@@ -205,19 +224,9 @@ impl BatchEngine {
     /// output at any worker count.
     pub fn synthesize_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> BatchReport {
         let started = Instant::now();
+        let cache_before = self.cache.stats();
         let workers = self.workers.min(queries.len()).max(1);
-
-        // Initial distribution: contiguous chunks, one deque per worker.
-        // Workers pop their own deque from the front and steal from the
-        // back of the busiest neighbour when empty.
-        let chunk = queries.len().div_ceil(workers);
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                Mutex::new(
-                    (w * chunk..((w + 1) * chunk).min(queries.len())).collect::<VecDeque<usize>>(),
-                )
-            })
-            .collect();
+        let deques = self.plan_deques(queries, workers);
 
         let mut results: Vec<Option<Synthesis>> = Vec::new();
         results.resize_with(queries.len(), || None);
@@ -279,7 +288,7 @@ impl BatchEngine {
         let mut stats = BatchStats {
             total: results.len(),
             wall: started.elapsed(),
-            cache: self.cache.stats(),
+            cache: self.cache.stats().delta_since(&cache_before),
             workers: worker_stats,
             ..BatchStats::default()
         };
@@ -299,6 +308,65 @@ impl BatchEngine {
             stats.t_print += r.stats.t_print;
         }
         BatchReport { results, stats }
+    }
+
+    /// Initial work distribution: one deque per worker. Workers pop their
+    /// own deque from the front and steal from the back of a neighbour's
+    /// when empty.
+    ///
+    /// With co-scheduling on (and a real pool to schedule over), queries
+    /// are first grouped by the memo-key *signature* of their pruned query
+    /// graph — the exact cache keys their EdgeToPath step will request,
+    /// derived from the cheap steps 1–3. Each group lands on one worker
+    /// (largest groups first, dealt to the least-loaded worker), so on a
+    /// cold cache the group's first query computes the searches and the
+    /// rest hit locally, while *other* workers make progress on disjoint
+    /// key groups instead of blocking on the same in-flight slots.
+    /// Otherwise the distribution is contiguous chunks in input order.
+    fn plan_deques<S: AsRef<str> + Sync>(
+        &self,
+        queries: &[S],
+        workers: usize,
+    ) -> Vec<Mutex<VecDeque<usize>>> {
+        if workers > 1 && self.co_schedule && queries.len() > workers {
+            use std::collections::HashMap;
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut by_signature: HashMap<u64, usize> = HashMap::new();
+            for (index, query) in queries.iter().enumerate() {
+                let keys = self.synthesizer.edge_memo_keys(query.as_ref());
+                let mut h = DefaultHasher::new();
+                keys.hash(&mut h);
+                let group = *by_signature.entry(h.finish()).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[group].push(index);
+            }
+            // Largest-first deal to the least-loaded worker (LPT): balances
+            // load while keeping each group on one worker. Ties break on
+            // group discovery order / lowest worker id — deterministic.
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&g| (std::cmp::Reverse(groups[g].len()), g));
+            let mut loads = vec![0usize; workers];
+            let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+            for g in order {
+                let w = (0..workers).min_by_key(|&w| (loads[w], w)).expect(">=1");
+                loads[w] += groups[g].len();
+                deques[w].extend(groups[g].iter().copied());
+            }
+            deques.into_iter().map(Mutex::new).collect()
+        } else {
+            let chunk = queries.len().div_ceil(workers);
+            (0..workers)
+                .map(|w| {
+                    Mutex::new(
+                        (w * chunk..((w + 1) * chunk).min(queries.len()))
+                            .collect::<VecDeque<usize>>(),
+                    )
+                })
+                .collect()
+        }
     }
 }
 
@@ -356,6 +424,7 @@ mod tests {
                 BatchOptions {
                     workers,
                     cache_capacity: 64,
+                    ..BatchOptions::default()
                 },
             );
             let report = engine.synthesize_batch(&QUERIES);
@@ -375,6 +444,7 @@ mod tests {
             BatchOptions {
                 workers: 2,
                 cache_capacity: 64,
+                ..BatchOptions::default()
             },
         );
         let report = engine.synthesize_batch(&QUERIES);
@@ -387,12 +457,9 @@ mod tests {
         let memo_total: u64 = report
             .results
             .iter()
-            .map(|r| r.stats.memo_hits + r.stats.memo_misses)
+            .map(|r| r.stats.memo_hits + r.stats.memo_misses + r.stats.memo_dedup_waits)
             .sum();
-        assert_eq!(
-            memo_total,
-            report.stats.cache.hits + report.stats.cache.misses
-        );
+        assert_eq!(memo_total, report.stats.cache.lookups());
     }
 
     #[test]
@@ -416,6 +483,7 @@ mod tests {
             BatchOptions {
                 workers: 3,
                 cache_capacity: 64,
+                ..BatchOptions::default()
             },
         );
         let report = engine.synthesize_batch(&QUERIES);
@@ -443,6 +511,7 @@ mod tests {
             BatchOptions {
                 workers: 64,
                 cache_capacity: 64,
+                ..BatchOptions::default()
             },
         );
         let report = engine.synthesize_batch(&["delete the word"]);
@@ -455,12 +524,15 @@ mod tests {
         let engine = BatchEngine::new(domain(), SynthesisConfig::default());
         let first = engine.synthesize_batch(&QUERIES);
         let second = engine.synthesize_batch(&QUERIES);
-        assert!(
-            second.stats.cache.hits > first.stats.cache.hits,
-            "second batch reuses the first batch's memo: {:?} vs {:?}",
-            second.stats.cache,
-            first.stats.cache
+        // Stats are per-batch deltas: the first batch pays the misses, the
+        // second resolves every lookup from the warm cache.
+        assert!(first.stats.cache.misses > 0, "{:?}", first.stats.cache);
+        assert_eq!(
+            second.stats.cache.misses, 0,
+            "warm batch recomputes nothing: {:?}",
+            second.stats.cache
         );
+        assert!(second.stats.cache.hits > 0, "{:?}", second.stats.cache);
         for (a, b) in first.results.iter().zip(&second.results) {
             assert_eq!(a.expression, b.expression);
         }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId, PathId, SearchLimits};
 use nlquery_nlp::DepRel;
 
-use crate::memo::{MemoKey, RawPath, SharedPathCache};
+use crate::memo::{Flight, FlightToken, MemoKey, RawPath, SharedPathCache};
 use crate::{Domain, QueryGraph, WordToApi};
 
 /// Minimum matcher score at which a preposition "claims" an API for the
@@ -40,6 +40,16 @@ pub struct PathCache {
     shared: Option<Arc<SharedPathCache>>,
     shared_hits: u64,
     shared_misses: u64,
+    shared_dedup_waits: u64,
+}
+
+/// Outcome of [`PathCache::begin_edge`]: either the finalized candidate
+/// list (hit, or shared after waiting on a concurrent worker), or the duty
+/// to compute it (with the single-flight leadership token when a shared
+/// cache is attached).
+enum EdgeFlight {
+    Found(Arc<Vec<RawPath>>),
+    Compute(Option<FlightToken>),
 }
 
 impl PathCache {
@@ -66,6 +76,12 @@ impl PathCache {
         self.shared_misses
     }
 
+    /// Cross-query lookups that blocked on another worker's in-flight
+    /// computation of the same key (single-flight deduplication).
+    pub fn shared_dedup_waits(&self) -> u64 {
+        self.shared_dedup_waits
+    }
+
     fn between(
         &mut self,
         graph: &GrammarGraph,
@@ -89,26 +105,36 @@ impl PathCache {
             .or_insert_with(|| graph.paths_from_root(to, limits))
     }
 
-    /// Cross-query lookup; `None` when no shared cache is attached.
-    fn lookup_edge(&mut self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
-        let shared = self.shared.as_ref()?;
-        match shared.get(key) {
-            Some(value) => {
+    /// Cross-query single-flight lookup. With a shared cache attached this
+    /// either returns the memoized list (a hit, or — after blocking on a
+    /// concurrent worker computing the same key — a dedup wait) or makes
+    /// this caller the computing leader. Without one, the caller always
+    /// computes (and [`PathCache::finish_edge`] just wraps the value).
+    fn begin_edge(&mut self, key: MemoKey) -> EdgeFlight {
+        let Some(shared) = &self.shared else {
+            return EdgeFlight::Compute(None);
+        };
+        match shared.join(key) {
+            Flight::Hit(value) => {
                 self.shared_hits += 1;
-                Some(value)
+                EdgeFlight::Found(value)
             }
-            None => {
+            Flight::Shared(value) => {
+                self.shared_dedup_waits += 1;
+                EdgeFlight::Found(value)
+            }
+            Flight::Miss(token) => {
                 self.shared_misses += 1;
-                None
+                EdgeFlight::Compute(Some(token))
             }
         }
     }
 
-    /// Publishes a computed edge result to the shared cache (no-op handle
-    /// when none is attached).
-    fn store_edge(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
-        match &self.shared {
-            Some(shared) => shared.insert(key, value),
+    /// Publishes a computed edge result, waking any workers blocked on the
+    /// flight (no-op handle when no shared cache is attached).
+    fn finish_edge(&self, token: Option<FlightToken>, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+        match token {
+            Some(token) => token.complete(value),
             None => Arc::new(value),
         }
     }
@@ -215,9 +241,10 @@ fn root_edge_paths(
 ) -> Arc<Vec<RawPath>> {
     let apis = candidate_apis(w2a, node, graph);
     let key = MemoKey::from_root(&apis, limits);
-    if let Some(raw) = cache.lookup_edge(key) {
-        return raw;
-    }
+    let token = match cache.begin_edge(key) {
+        EdgeFlight::Found(raw) => return raw,
+        EdgeFlight::Compute(token) => token,
+    };
     let mut raw = Vec::new();
     for &api in &apis {
         for p in cache.root_paths(graph, api, limits) {
@@ -229,7 +256,7 @@ fn root_edge_paths(
         }
     }
     sort_and_truncate(&mut raw, graph, limits);
-    cache.store_edge(key, raw)
+    cache.finish_edge(token, raw)
 }
 
 /// Memoized real-edge search: every path from a candidate API of `gov` to
@@ -245,9 +272,10 @@ fn between_edge_paths(
     let gov_apis = candidate_apis(w2a, gov, graph);
     let dep_apis = candidate_apis(w2a, dep, graph);
     let key = MemoKey::between(&gov_apis, &dep_apis, limits);
-    if let Some(raw) = cache.lookup_edge(key) {
-        return raw;
-    }
+    let token = match cache.begin_edge(key) {
+        EdgeFlight::Found(raw) => return raw,
+        EdgeFlight::Compute(token) => token,
+    };
     let mut raw = Vec::new();
     for &ga in &gov_apis {
         for &da in &dep_apis {
@@ -261,7 +289,36 @@ fn between_edge_paths(
         }
     }
     sort_and_truncate(&mut raw, graph, limits);
-    cache.store_edge(key, raw)
+    cache.finish_edge(token, raw)
+}
+
+/// The cross-query memo keys the EdgeToPath step will request for a pruned
+/// query graph — the root pseudo-edge plus every real dependency edge, in
+/// computation order. No search is performed; this is the cheap "shape
+/// signature" the [`BatchEngine`](crate::BatchEngine) uses to co-schedule
+/// queries that share pruned-graph edges on the same worker.
+pub fn memo_keys(
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    domain: &Domain,
+    limits: SearchLimits,
+) -> Vec<MemoKey> {
+    let graph = domain.graph();
+    let mut keys = Vec::new();
+    if let Some(root) = query.root {
+        keys.push(MemoKey::from_root(
+            &candidate_apis(w2a, root, graph),
+            limits,
+        ));
+    }
+    for qe in &query.edges {
+        keys.push(MemoKey::between(
+            &candidate_apis(w2a, qe.gov, graph),
+            &candidate_apis(w2a, qe.dep, graph),
+            limits,
+        ));
+    }
+    keys
 }
 
 /// Stamps per-edge metadata onto a finalized raw list: path ids and the

@@ -73,7 +73,9 @@ pub use domain::{Domain, DomainBuilder};
 pub use edge2path::{EdgeCandidates, EdgeToPath, PathCache, PathCandidate};
 pub use engine::{BestCgt, Deadline, TimedOut};
 pub use error::SynthesisError;
-pub use memo::{CacheStats, MemoDirection, MemoKey, SharedPathCache};
+pub use memo::{
+    CacheStats, Flight, FlightToken, MemoDirection, MemoKey, SharedPathCache, DEFAULT_SHARDS,
+};
 pub use pipeline::{Outcome, Synthesis, Synthesizer};
 pub use query::{QueryEdge, QueryGraph, QueryNode};
 pub use stats::SynthesisStats;

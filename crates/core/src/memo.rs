@@ -9,6 +9,29 @@
 //! `(governor candidate-set hash, dependent candidate-set hash, direction)`
 //! with an LRU bound and hit/miss/eviction counters.
 //!
+//! # Sharding and single-flight
+//!
+//! The cache is **sharded**: keys hash to one of N independent
+//! mutex-protected shards, so concurrent workers touching different keys
+//! never contend on one lock. Each shard is additionally a **single-flight**
+//! domain: a miss installs an *in-flight* slot before the caller goes off to
+//! run the expensive grammar search, and every other worker that requests
+//! the same key while the search runs *blocks on the one computation*
+//! instead of racing to duplicate it. The blocked lookups resolve to the
+//! leader's value and are counted as `dedup_waits` — a third lookup outcome
+//! next to `hits` and `misses`, so that
+//! `hits + misses + dedup_waits == total lookups` and **every unique key is
+//! computed exactly once** while it stays resident.
+//!
+//! The single-flight entry point is [`SharedPathCache::join`]: it returns a
+//! [`Flight`] telling the caller whether the value was ready
+//! ([`Flight::Hit`]), was computed by another worker while this one waited
+//! ([`Flight::Shared`]), or must be computed by this caller
+//! ([`Flight::Miss`] carrying a [`FlightToken`] to publish the result
+//! through). Dropping the token without completing it (e.g. on a panic in
+//! the search) wakes all waiters; one of them is promoted to the new
+//! leader, so abandonment never wedges the cache.
+//!
 //! Cached values are *raw* candidates: sorted, truncated to the search
 //! limits, but without relation-affinity bonuses or path ids — both depend
 //! on the specific dependency edge, so they are applied at retrieval time
@@ -17,12 +40,16 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use nlquery_grammar::{GrammarPath, NodeId, SearchLimits};
 
+/// Default shard count of a [`SharedPathCache`] (clamped down when the
+/// capacity is smaller, so tiny caches keep their exact entry bound).
+pub const DEFAULT_SHARDS: usize = 16;
+
 /// Which kind of path search a memo entry holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemoDirection {
     /// `paths_from_root` searches (root pseudo-edge, orphan attachment).
     FromRoot,
@@ -36,7 +63,7 @@ pub enum MemoDirection {
 /// governor and dependent sides plus the active [`SearchLimits`]; two
 /// dependency edges with the same candidate sets share an entry no matter
 /// which queries they came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemoKey {
     /// Hash of the governor-side candidate set (0 for root searches).
     pub gov: u64,
@@ -60,26 +87,53 @@ pub struct RawPath {
 /// Snapshot of the cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found a ready entry.
     pub hits: u64,
-    /// Lookups that missed.
+    /// Lookups that missed and became the computing leader for their key.
     pub misses: u64,
+    /// Lookups that found their key *in flight* and blocked on the leader's
+    /// computation instead of duplicating it.
+    pub dedup_waits: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
-    /// Entries currently held.
+    /// Entries currently held (ready entries across all shards).
     pub entries: usize,
     /// Maximum entries held.
     pub capacity: usize,
+    /// Number of independent lock shards.
+    pub shards: usize,
 }
 
 impl CacheStats {
-    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    /// Total lookups: `hits + misses + dedup_waits`.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.dedup_waits
+    }
+
+    /// Fraction of lookups served from the cache — immediately (`hits`) or
+    /// by waiting on an in-flight computation (`dedup_waits`). 0 when no
+    /// lookups happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.dedup_waits) as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self - earlier` (monotonic counters only; the
+    /// gauges `entries` / `capacity` / `shards` keep `self`'s values). Used
+    /// to report per-batch cache activity from cumulative engine counters.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            dedup_waits: self.dedup_waits.saturating_sub(earlier.dedup_waits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+            capacity: self.capacity,
+            shards: self.shards,
         }
     }
 }
@@ -120,31 +174,157 @@ struct Entry {
     stamp: u64,
 }
 
-struct Lru {
-    map: HashMap<MemoKey, Entry>,
+enum Slot {
+    /// A finished computation.
+    Ready(Entry),
+    /// A leader is computing this key; waiters block on the shard condvar.
+    InFlight,
+}
+
+struct ShardState {
+    map: HashMap<MemoKey, Slot>,
+    /// Ready entries in `map` (in-flight slots don't count toward the LRU
+    /// bound — they hold no value yet).
+    ready: usize,
     stamp: u64,
 }
 
-/// Thread-safe, LRU-bounded memo cache for EdgeToPath search results,
-/// shared across queries (and across batch workers) of one domain.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Signalled whenever an in-flight slot resolves (or is abandoned).
+    resolved: Condvar,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            state: Mutex::new(ShardState {
+                map: HashMap::new(),
+                ready: 0,
+                stamp: 0,
+            }),
+            resolved: Condvar::new(),
+        }
+    }
+}
+
+/// Outcome of a single-flight lookup ([`SharedPathCache::join`]).
+#[derive(Debug)]
+pub enum Flight {
+    /// The value was ready; counted as a hit.
+    Hit(Arc<Vec<RawPath>>),
+    /// Another worker was computing the key; this lookup blocked until the
+    /// leader published and shares its value. Counted as a `dedup_wait`.
+    Shared(Arc<Vec<RawPath>>),
+    /// This lookup is the computing leader; counted as a miss. Run the
+    /// search and publish it with [`FlightToken::complete`].
+    Miss(FlightToken),
+}
+
+/// Leadership over one in-flight cache key.
+///
+/// Obtained from [`Flight::Miss`]; the holder is the only worker computing
+/// the key. [`FlightToken::complete`] publishes the value and wakes every
+/// waiter. Dropping the token without completing it (panic, early return)
+/// removes the in-flight slot and wakes the waiters so one of them can take
+/// over — single-flight never deadlocks on an abandoned leader.
+#[derive(Debug)]
+pub struct FlightToken {
+    cache: Arc<SharedPathCache>,
+    shard: usize,
+    key: MemoKey,
+    completed: bool,
+}
+
+impl FlightToken {
+    /// The key this token leads.
+    pub fn key(&self) -> MemoKey {
+        self.key
+    }
+
+    /// Publishes the computed value, waking all waiters. Returns the shared
+    /// handle (the already-stored value in the unusual case that a direct
+    /// [`SharedPathCache::insert`] raced this flight and won).
+    pub fn complete(mut self, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+        self.completed = true;
+        let shard = &self.cache.shards[self.shard];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        state.stamp += 1;
+        let stamp = state.stamp;
+        if let Some(Slot::Ready(existing)) = state.map.get_mut(&self.key) {
+            existing.stamp = stamp;
+            let value = Arc::clone(&existing.value);
+            drop(state);
+            shard.resolved.notify_all();
+            return value;
+        }
+        self.cache.evict_to_fit(&mut state);
+        let value = Arc::new(value);
+        let previous = state.map.insert(
+            self.key,
+            Slot::Ready(Entry {
+                value: Arc::clone(&value),
+                stamp,
+            }),
+        );
+        // The slot was InFlight (the normal case) or removed by `clear`;
+        // either way a Ready entry was added.
+        debug_assert!(!matches!(previous, Some(Slot::Ready(_))));
+        state.ready += 1;
+        drop(state);
+        shard.resolved.notify_all();
+        value
+    }
+}
+
+impl Drop for FlightToken {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let shard = &self.cache.shards[self.shard];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        if matches!(state.map.get(&self.key), Some(Slot::InFlight)) {
+            state.map.remove(&self.key);
+        }
+        drop(state);
+        // Waiters re-check the slot; the first to run is the new leader.
+        shard.resolved.notify_all();
+    }
+}
+
+/// Thread-safe, sharded, LRU-bounded single-flight memo cache for
+/// EdgeToPath search results, shared across queries (and across batch
+/// workers) of one domain.
+///
+/// Keys hash to one of [`CacheStats::shards`] independent lock domains, so
+/// workers on disjoint keys never contend; within a shard, concurrent
+/// lookups of one missing key resolve to **one** computation via
+/// [`SharedPathCache::join`] (single-flight).
 ///
 /// ```rust
-/// use nlquery_core::memo::{MemoKey, SharedPathCache};
+/// use std::sync::Arc;
+/// use nlquery_core::memo::{Flight, MemoKey, SharedPathCache};
 /// use nlquery_grammar::SearchLimits;
 ///
-/// let cache = SharedPathCache::new(128);
+/// let cache = Arc::new(SharedPathCache::new(128));
 /// let key = MemoKey::from_root(&[], SearchLimits::default());
-/// assert!(cache.get(key).is_none());
-/// cache.insert(key, Vec::new());
-/// assert!(cache.get(key).is_some());
+/// // First join leads the computation…
+/// let Flight::Miss(token) = cache.join(key) else { panic!("cold cache") };
+/// token.complete(Vec::new());
+/// // …subsequent joins hit.
+/// assert!(matches!(cache.join(key), Flight::Hit(_)));
 /// assert_eq!(cache.stats().hits, 1);
 /// assert_eq!(cache.stats().misses, 1);
 /// ```
 pub struct SharedPathCache {
-    inner: Mutex<Lru>,
+    shards: Vec<Shard>,
+    /// Per-shard ready-entry bound (`capacity` split across shards).
+    shard_capacity: usize,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    dedup_waits: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -157,93 +337,243 @@ impl std::fmt::Debug for SharedPathCache {
 }
 
 impl SharedPathCache {
-    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    /// Creates a cache holding at most `capacity` entries (minimum 1),
+    /// sharded over [`DEFAULT_SHARDS`] lock domains (fewer when `capacity`
+    /// is smaller, so the entry bound stays exact).
     pub fn new(capacity: usize) -> SharedPathCache {
+        SharedPathCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to
+    /// `1..=capacity`). One shard reproduces a single global LRU domain —
+    /// useful for deterministic eviction-order tests.
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedPathCache {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
         SharedPathCache {
-            inner: Mutex::new(Lru {
-                map: HashMap::new(),
-                stamp: 0,
-            }),
-            capacity: capacity.max(1),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_capacity: capacity.div_ceil(shards),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a memoized search, refreshing its LRU stamp. Counts a hit
-    /// or a miss.
+    /// The shard a key belongs to. Key fields are already well-mixed
+    /// hashes; one multiply-shift spreads them over the shards.
+    fn shard_of(&self, key: &MemoKey) -> usize {
+        let dir = match key.direction {
+            MemoDirection::FromRoot => 0x9E37_79B9_7F4A_7C15u64,
+            MemoDirection::Between => 0xC2B2_AE3D_27D4_EB4Fu64,
+        };
+        let mixed = (key.gov ^ key.dep.rotate_left(32) ^ dir).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+
+    /// Evicts least-recently-used ready entries until the shard has room
+    /// for one more. Caller holds the shard lock.
+    fn evict_to_fit(&self, state: &mut ShardState) {
+        while state.ready >= self.shard_capacity {
+            let oldest = state
+                .map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready(e) => Some((*k, e.stamp)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|&(_, stamp)| stamp)
+                .map(|(k, _)| k);
+            let Some(oldest) = oldest else { break };
+            state.map.remove(&oldest);
+            state.ready -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Single-flight lookup: returns the value if ready ([`Flight::Hit`]),
+    /// blocks on a concurrent computation of the same key and shares its
+    /// result ([`Flight::Shared`]), or makes this caller the computing
+    /// leader ([`Flight::Miss`]).
+    ///
+    /// Every call resolves to exactly one of the three outcomes and
+    /// increments exactly one of the `hits` / `dedup_waits` / `misses`
+    /// counters, so their sum equals the number of `join` (plus `get`)
+    /// calls.
+    pub fn join(self: &Arc<Self>, key: MemoKey) -> Flight {
+        let shard_index = self.shard_of(&key);
+        let shard = &self.shards[shard_index];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut waited = false;
+        loop {
+            state.stamp += 1;
+            let stamp = state.stamp;
+            enum Decision {
+                Ready(Arc<Vec<RawPath>>),
+                Wait,
+                Lead,
+            }
+            let decision = match state.map.get_mut(&key) {
+                Some(Slot::Ready(entry)) => {
+                    entry.stamp = stamp;
+                    Decision::Ready(Arc::clone(&entry.value))
+                }
+                Some(Slot::InFlight) => Decision::Wait,
+                None => Decision::Lead,
+            };
+            match decision {
+                Decision::Ready(value) => {
+                    drop(state);
+                    return if waited {
+                        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                        Flight::Shared(value)
+                    } else {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Flight::Hit(value)
+                    };
+                }
+                Decision::Wait => {
+                    waited = true;
+                    state = shard
+                        .resolved
+                        .wait(state)
+                        .expect("cache shard lock poisoned");
+                }
+                Decision::Lead => {
+                    state.map.insert(key, Slot::InFlight);
+                    drop(state);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Flight::Miss(FlightToken {
+                        cache: Arc::clone(self),
+                        shard: shard_index,
+                        key,
+                        completed: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Non-blocking lookup, refreshing the entry's LRU stamp. Counts a hit,
+    /// or a miss when the key is absent *or still in flight* (this call
+    /// never waits; use [`SharedPathCache::join`] for deduplication).
     pub fn get(&self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
-        let mut lru = self.inner.lock().expect("cache lock");
-        lru.stamp += 1;
-        let stamp = lru.stamp;
-        match lru.map.get_mut(&key) {
-            Some(entry) => {
+        let shard = &self.shards[self.shard_of(&key)];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        state.stamp += 1;
+        let stamp = state.stamp;
+        match state.map.get_mut(&key) {
+            Some(Slot::Ready(entry)) => {
                 entry.stamp = stamp;
                 let value = Arc::clone(&entry.value);
-                drop(lru);
+                drop(state);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
-            None => {
-                drop(lru);
+            _ => {
+                drop(state);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Memoizes a search result, evicting the least-recently-used entry
-    /// when full. Returns the shared handle (the stored value if another
-    /// thread raced this insert and won).
+    /// Memoizes a search result directly, evicting the least-recently-used
+    /// entry of the key's shard when full. Returns the shared handle (the
+    /// stored value if another thread raced this insert and won). If the
+    /// key is in flight, the value resolves the flight and wakes waiters.
     pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
-        let mut lru = self.inner.lock().expect("cache lock");
-        lru.stamp += 1;
-        let stamp = lru.stamp;
-        if let Some(existing) = lru.map.get_mut(&key) {
-            // A concurrent worker computed the same entry first; keep it so
-            // every holder shares one allocation.
-            existing.stamp = stamp;
-            return Arc::clone(&existing.value);
-        }
-        if lru.map.len() >= self.capacity {
-            if let Some(oldest) = lru.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
-                lru.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_of(&key)];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        state.stamp += 1;
+        let stamp = state.stamp;
+        match state.map.get_mut(&key) {
+            Some(Slot::Ready(existing)) => {
+                // A concurrent worker stored the same entry first; keep it
+                // so every holder shares one allocation.
+                existing.stamp = stamp;
+                return Arc::clone(&existing.value);
             }
+            Some(Slot::InFlight) => {
+                self.evict_to_fit(&mut state);
+                let value = Arc::new(value);
+                state.map.insert(
+                    key,
+                    Slot::Ready(Entry {
+                        value: Arc::clone(&value),
+                        stamp,
+                    }),
+                );
+                state.ready += 1;
+                drop(state);
+                shard.resolved.notify_all();
+                return value;
+            }
+            None => {}
         }
+        self.evict_to_fit(&mut state);
         let value = Arc::new(value);
-        lru.map.insert(
+        state.map.insert(
             key,
-            Entry {
+            Slot::Ready(Entry {
                 value: Arc::clone(&value),
                 stamp,
-            },
+            }),
         );
+        state.ready += 1;
         value
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache shard lock").ready)
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache lock").map.len(),
+            entries,
             capacity: self.capacity,
+            shards: self.shards.len(),
         }
     }
 
-    /// Drops every entry (counters are kept).
+    /// Drops every ready entry (counters are kept; in-flight slots stay —
+    /// their leaders republish on completion).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache lock").map.clear();
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("cache shard lock");
+            state.map.retain(|_, slot| matches!(slot, Slot::InFlight));
+            state.ready = 0;
+        }
+    }
+
+    /// Drops every ready entry **and** zeroes all counters — a factory-new
+    /// cache, used by benchmarks to measure passes in isolation. Only call
+    /// while no batch is running.
+    pub fn reset(&self) {
+        self.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.dedup_waits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    use nlquery_grammar::GrammarGraph;
 
     fn key(n: u64) -> MemoKey {
         MemoKey {
@@ -251,6 +581,27 @@ mod tests {
             dep: n,
             direction: MemoDirection::Between,
         }
+    }
+
+    /// A NodeId to build non-empty RawPath values from (values are
+    /// distinguished by list length in these tests).
+    fn some_api() -> NodeId {
+        let graph = GrammarGraph::parse("command ::= API\n").unwrap();
+        graph.api_node("API").expect("API node exists")
+    }
+
+    fn value_of(len: usize, api: NodeId) -> Vec<RawPath> {
+        std::iter::repeat_with(|| RawPath {
+            gov_api: None,
+            dep_api: api,
+            path: GrammarPath {
+                source: None,
+                sink: api,
+                chain: Vec::new(),
+            },
+        })
+        .take(len)
+        .collect()
     }
 
     #[test]
@@ -266,7 +617,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = SharedPathCache::new(2);
+        // One shard = one global LRU domain, so eviction order is exact.
+        let cache = SharedPathCache::with_shards(2, 1);
         cache.insert(key(1), Vec::new());
         cache.insert(key(2), Vec::new());
         // Touch 1 so that 2 is the LRU entry.
@@ -285,9 +637,9 @@ mod tests {
             cache.insert(key(n), Vec::new());
         }
         let s = cache.stats();
-        assert_eq!(s.entries, 4);
+        assert!(s.entries <= 4, "{s:?}");
         assert_eq!(s.capacity, 4);
-        assert_eq!(s.evictions, 96);
+        assert_eq!(s.evictions as usize, 100 - s.entries);
     }
 
     #[test]
@@ -308,7 +660,7 @@ mod tests {
     }
 
     #[test]
-    fn clear_keeps_counters() {
+    fn clear_keeps_counters_reset_zeroes_them() {
         let cache = SharedPathCache::new(8);
         cache.insert(key(1), Vec::new());
         assert!(cache.get(key(1)).is_some());
@@ -317,6 +669,91 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 0);
         assert_eq!(s.hits, 1);
+        cache.reset();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.dedup_waits, s.evictions), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_flight_leader_then_hits() {
+        let cache = Arc::new(SharedPathCache::new(8));
+        let api = some_api();
+        let Flight::Miss(token) = cache.join(key(7)) else {
+            panic!("first join must lead");
+        };
+        let stored = token.complete(value_of(3, api));
+        assert_eq!(stored.len(), 3);
+        match cache.join(key(7)) {
+            Flight::Hit(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.dedup_waits), (1, 1, 0));
+    }
+
+    #[test]
+    fn abandoned_flight_promotes_next_caller() {
+        let cache = Arc::new(SharedPathCache::new(8));
+        let Flight::Miss(token) = cache.join(key(1)) else {
+            panic!("first join must lead");
+        };
+        drop(token); // leader gives up (e.g. panicked mid-search)
+        let Flight::Miss(token) = cache.join(key(1)) else {
+            panic!("abandoned key must be re-leadable");
+        };
+        token.complete(Vec::new());
+        assert!(matches!(cache.join(key(1)), Flight::Hit(_)));
+        assert_eq!(cache.stats().misses, 2, "both leaders count as misses");
+    }
+
+    #[test]
+    fn insert_resolves_in_flight_key() {
+        let cache = Arc::new(SharedPathCache::new(8));
+        let Flight::Miss(token) = cache.join(key(2)) else {
+            panic!("first join must lead");
+        };
+        // A direct insert (legacy path) lands while the flight is open.
+        cache.insert(key(2), Vec::new());
+        // The late completion adopts the stored value.
+        let v = token.complete(value_of(5, some_api()));
+        assert_eq!(v.len(), 0, "existing entry wins");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn waiters_block_until_leader_completes() {
+        let cache = Arc::new(SharedPathCache::new(64));
+        let api = some_api();
+        let k = key(42);
+        let barrier = Arc::new(Barrier::new(8));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                match cache.join(k) {
+                    Flight::Miss(token) => {
+                        // Hold the flight open long enough that every other
+                        // thread arrives while the key is in flight.
+                        std::thread::sleep(Duration::from_millis(50));
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        token.complete(value_of(2, api)).len()
+                    }
+                    Flight::Shared(v) | Flight::Hit(v) => v.len(),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("worker ok"), 2, "all threads share");
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.dedup_waits, 7);
+        assert_eq!(s.lookups(), 8);
     }
 
     #[test]
@@ -327,9 +764,10 @@ mod tests {
             let cache = Arc::clone(&cache);
             handles.push(std::thread::spawn(move || {
                 for n in 0..16 {
-                    // All threads insert the same 16 keys; later threads hit.
-                    if cache.get(key(n)).is_none() {
-                        cache.insert(key(n), Vec::new());
+                    // All threads join the same 16 keys; exactly one thread
+                    // computes each, the rest hit or wait.
+                    if let Flight::Miss(token) = cache.join(key(n)) {
+                        token.complete(Vec::new());
                     }
                     let _ = t;
                 }
@@ -340,8 +778,8 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!(s.entries, 16);
-        assert_eq!(s.hits + s.misses, 64);
-        assert!(s.hits >= 16, "cross-thread lookups must hit: {s:?}");
+        assert_eq!(s.lookups(), 64);
+        assert_eq!(s.misses, 16, "single-flight: one compute per key: {s:?}");
     }
 
     #[test]
@@ -361,5 +799,202 @@ mod tests {
             MemoKey::from_root(&[], tighter),
             "limits are part of the key"
         );
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let cache = Arc::new(SharedPathCache::new(8));
+        cache.insert(key(1), Vec::new());
+        let before = cache.stats();
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(2)).is_none());
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!((delta.hits, delta.misses), (1, 1));
+        assert_eq!(delta.entries, 1, "gauges are absolute");
+    }
+
+    // ------------------------------------------------------------------
+    // Seeded property test: random insert / lookup / single-flight /
+    // clear interleavings against a reference BTreeMap model that mirrors
+    // the per-shard LRU semantics (including eviction order).
+    // ------------------------------------------------------------------
+
+    /// In-tree xorshift64* (no external deps; determinism-by-seed).
+    struct XorShift64 {
+        state: u64,
+    }
+
+    impl XorShift64 {
+        fn new(seed: u64) -> XorShift64 {
+            XorShift64 {
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Reference model: one BTreeMap per shard, mirroring stamp/LRU
+    /// bookkeeping operation for operation.
+    struct Model {
+        shards: Vec<BTreeMap<MemoKey, (usize, u64)>>,
+        stamps: Vec<u64>,
+        shard_capacity: usize,
+    }
+
+    impl Model {
+        fn new(shards: usize, shard_capacity: usize) -> Model {
+            Model {
+                shards: (0..shards).map(|_| BTreeMap::new()).collect(),
+                stamps: vec![0; shards],
+                shard_capacity,
+            }
+        }
+
+        /// Mirrors `get` / the hit arm of `join`: bump stamp, refresh on
+        /// hit. Returns the stored value length on hit.
+        fn lookup(&mut self, shard: usize, key: MemoKey) -> Option<usize> {
+            self.stamps[shard] += 1;
+            let stamp = self.stamps[shard];
+            match self.shards[shard].get_mut(&key) {
+                Some((len, s)) => {
+                    *s = stamp;
+                    Some(*len)
+                }
+                None => None,
+            }
+        }
+
+        fn evict_to_fit(&mut self, shard: usize) -> Option<MemoKey> {
+            if self.shards[shard].len() < self.shard_capacity {
+                return None;
+            }
+            let oldest = self.shards[shard]
+                .iter()
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(k, _)| *k)?;
+            self.shards[shard].remove(&oldest);
+            Some(oldest)
+        }
+
+        /// Mirrors `insert` and `FlightToken::complete`: both bump the
+        /// shard stamp exactly once (a led flight's *join* bump is
+        /// mirrored by the `lookup` call at the join site).
+        fn insert(&mut self, shard: usize, key: MemoKey, len: usize) {
+            self.stamps[shard] += 1;
+            let stamp = self.stamps[shard];
+            if let Some((_, s)) = self.shards[shard].get_mut(&key) {
+                *s = stamp; // existing entry wins, stamp refreshed
+                return;
+            }
+            self.evict_to_fit(shard);
+            self.shards[shard].insert(key, (len, stamp));
+        }
+
+        fn clear(&mut self) {
+            for s in &mut self.shards {
+                s.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn property_matches_reference_model() {
+        let api = some_api();
+        for seed in 1..=6u64 {
+            let mut rng = XorShift64::new(seed);
+            // Small capacity and few shards so evictions are constant.
+            let (capacity, shards) = (8, 4);
+            let cache = Arc::new(SharedPathCache::with_shards(capacity, shards));
+            let mut model = Model::new(shards, capacity.div_ceil(shards));
+            // A fixed key universe spanning both directions.
+            let universe: Vec<MemoKey> = (0..24)
+                .map(|i| MemoKey {
+                    gov: i as u64 * 3,
+                    dep: i as u64 * 7 + 1,
+                    direction: if i % 2 == 0 {
+                        MemoDirection::Between
+                    } else {
+                        MemoDirection::FromRoot
+                    },
+                })
+                .collect();
+            let len_of = |k: &MemoKey| (k.gov % 5) as usize;
+
+            for step in 0..600 {
+                let k = universe[rng.below(universe.len())];
+                let shard = cache.shard_of(&k);
+                match rng.below(20) {
+                    0 => {
+                        cache.clear();
+                        model.clear();
+                    }
+                    1..=7 => {
+                        let got = cache.get(k).map(|v| v.len());
+                        let want = model.lookup(shard, k);
+                        assert_eq!(got, want, "seed {seed} step {step} get {k:?}");
+                    }
+                    8..=13 => {
+                        let stored = cache.insert(k, value_of(len_of(&k), api));
+                        model.insert(shard, k, len_of(&k));
+                        assert_eq!(stored.len(), len_of(&k));
+                    }
+                    _ => match cache.join(k) {
+                        Flight::Hit(v) => {
+                            let want = model.lookup(shard, k);
+                            assert_eq!(Some(v.len()), want, "seed {seed} step {step}");
+                        }
+                        Flight::Miss(token) => {
+                            let want = model.lookup(shard, k);
+                            assert_eq!(want, None, "seed {seed} step {step} led a hit");
+                            token.complete(value_of(len_of(&k), api));
+                            model.insert(shard, k, len_of(&k));
+                        }
+                        Flight::Shared(_) => unreachable!("single-threaded"),
+                    },
+                }
+
+                // Full-state equivalence: per shard, the same keys with the
+                // same stamps (LRU order) and the same values.
+                for (si, shard_ref) in cache.shards.iter().enumerate() {
+                    let state = shard_ref.state.lock().unwrap();
+                    let mut got: Vec<(MemoKey, u64, usize)> = state
+                        .map
+                        .iter()
+                        .filter_map(|(k, slot)| match slot {
+                            Slot::Ready(e) => Some((*k, e.stamp, e.value.len())),
+                            Slot::InFlight => None,
+                        })
+                        .collect();
+                    got.sort_unstable();
+                    let mut want: Vec<(MemoKey, u64, usize)> = model.shards[si]
+                        .iter()
+                        .map(|(k, &(len, stamp))| (*k, stamp, len))
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(
+                        got, want,
+                        "seed {seed} step {step} shard {si} diverged from model"
+                    );
+                    assert_eq!(state.stamp, model.stamps[si]);
+                    assert_eq!(state.ready, model.shards[si].len());
+                }
+            }
+        }
     }
 }

@@ -101,7 +101,19 @@ impl Synthesizer {
         let mut synthesis = self.run_pipeline(query, cache);
         synthesis.stats.memo_hits = cache.shared_hits();
         synthesis.stats.memo_misses = cache.shared_misses();
+        synthesis.stats.memo_dedup_waits = cache.shared_dedup_waits();
         synthesis
+    }
+
+    /// The cross-query memo keys this query's EdgeToPath step will request,
+    /// computed from steps 1–3 only (parse + prune + WordToAPI — no grammar
+    /// search). Queries with equal key sets resolve from the same cache
+    /// entries; [`crate::BatchEngine`] uses this as a locality signature to
+    /// co-schedule them on one worker.
+    pub fn edge_memo_keys(&self, query: &str) -> Vec<crate::MemoKey> {
+        let dep = self.parser.parse(query);
+        let (qgraph, w2a, _) = prune::prune_timed(&dep, &self.domain, &self.config);
+        edge2path::memo_keys(&qgraph, &w2a, &self.domain, self.config.search_limits)
     }
 
     fn run_pipeline(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {

@@ -52,6 +52,10 @@ pub struct SynthesisStats {
     pub memo_hits: u64,
     /// Cross-query memo-cache misses during this run's EdgeToPath searches.
     pub memo_misses: u64,
+    /// EdgeToPath lookups that blocked on another worker's in-flight
+    /// computation of the same key instead of duplicating it (single-flight
+    /// deduplication; 0 outside a concurrent batch).
+    pub memo_dedup_waits: u64,
 }
 
 impl SynthesisStats {

@@ -37,6 +37,7 @@ fn assert_batch_matches_sequential(domain: nlquery::Domain, queries: &[String], 
             BatchOptions {
                 workers,
                 cache_capacity: 1024,
+                ..BatchOptions::default()
             },
         );
         let report = batch.synthesize_batch(queries);
@@ -86,6 +87,46 @@ fn hisyn_engine_is_deterministic_too() {
         &queries,
         Engine::HiSyn,
     );
+}
+
+#[test]
+fn batch_stats_are_deterministic_across_worker_counts() {
+    // Beyond per-query results, the *aggregate* picture must be stable:
+    // the same outcome tallies at every worker count, and — thanks to
+    // single-flight — the same number of unique computations (`misses`)
+    // on a cold cache whether 1 or 4 workers raced for them.
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    let domain = astmatcher::domain().expect("domain builds");
+    let mut baseline: Option<(usize, usize, usize, usize, u64, u64)> = None;
+    for workers in [1, 2, 4] {
+        let engine = BatchEngine::with_options(
+            domain.clone(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers,
+                cache_capacity: 4096,
+                ..BatchOptions::default()
+            },
+        );
+        let report = engine.synthesize_batch(&queries);
+        let s = &report.stats;
+        let lookups = s.cache.lookups();
+        let fingerprint = (
+            s.successes,
+            s.timeouts,
+            s.no_parse,
+            s.no_result,
+            s.cache.misses,
+            lookups,
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(want) => assert_eq!(
+                &fingerprint, want,
+                "workers={workers}: outcome tallies and unique computations must not depend on the worker count"
+            ),
+        }
+    }
 }
 
 #[test]

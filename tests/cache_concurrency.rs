@@ -1,0 +1,303 @@
+//! Concurrency suite for the sharded single-flight [`SharedPathCache`].
+//!
+//! A seeded multi-threaded stress run (1, 2, 4 and 8 threads over
+//! overlapping key sets) locks in the cache's contract:
+//!
+//! - values read under contention are **bitwise identical** to a
+//!   sequential fill — no cross-key mixups, no torn values;
+//! - the lookup outcomes partition: `hits + misses + dedup_waits ==
+//!   total lookups`, on the cache counters and as observed by callers;
+//! - **exactly-once computation**: with ample capacity every unique key
+//!   is computed by exactly one leader no matter how many threads race
+//!   for it, and `misses == unique keys touched`.
+//!
+//! No external crates: randomness is an inline xorshift64* generator with
+//! fixed seeds, so every run exercises the same schedule-independent
+//! assertions.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use nlquery::grammar::{GrammarGraph, GrammarPath, NodeId};
+use nlquery::memo::RawPath;
+use nlquery::{Flight, MemoDirection, MemoKey, SharedPathCache};
+
+/// xorshift64* with a fixed seed — deterministic, dependency-free.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Harvests a real [`NodeId`] — the type is deliberately opaque, so tests
+/// obtain one from a parsed grammar.
+fn some_api() -> NodeId {
+    let graph = GrammarGraph::parse("command ::= API\n").expect("mini grammar parses");
+    graph.api_node("API").expect("API node exists")
+}
+
+/// A fixed universe of keys spanning both directions and enough hash
+/// diversity to cover every shard.
+fn key_universe() -> Vec<MemoKey> {
+    (0..32u64)
+        .map(|i| MemoKey {
+            gov: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            dep: i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ 0x5555,
+            direction: if i % 2 == 0 {
+                MemoDirection::Between
+            } else {
+                MemoDirection::FromRoot
+            },
+        })
+        .collect()
+}
+
+/// The deterministic "search result" for a key: length and chain shape are
+/// key-derived, so any cross-key mixup or torn write breaks bitwise
+/// equality with the reference fill.
+fn value_of(key: &MemoKey, api: NodeId) -> Vec<RawPath> {
+    let paths = (key.gov % 4 + 1) as usize;
+    let chain = (key.dep % 3 + 1) as usize;
+    (0..paths)
+        .map(|i| RawPath {
+            gov_api: match key.direction {
+                MemoDirection::Between => Some(api),
+                MemoDirection::FromRoot => None,
+            },
+            dep_api: api,
+            path: GrammarPath {
+                source: match key.direction {
+                    MemoDirection::Between => Some(api),
+                    MemoDirection::FromRoot => None,
+                },
+                sink: api,
+                chain: vec![api; chain + i],
+            },
+        })
+        .collect()
+}
+
+/// Runs `threads` workers over `lookups_per_thread` seeded lookups each and
+/// checks the invariants against a sequential reference fill.
+fn stress(threads: usize, lookups_per_thread: usize) {
+    let api = some_api();
+    let universe = key_universe();
+
+    // Reference: what a sequential fill stores for every key.
+    let reference: BTreeMap<MemoKey, Vec<RawPath>> = {
+        let cache = Arc::new(SharedPathCache::with_shards(1024, 8));
+        universe
+            .iter()
+            .map(|&k| {
+                let value = match cache.join(k) {
+                    Flight::Miss(token) => token.complete(value_of(&k, api)),
+                    other => panic!("sequential fill cannot hit: {other:?}"),
+                };
+                (k, value.as_ref().clone())
+            })
+            .collect()
+    };
+
+    // Ample capacity: no evictions, so exactly-once holds for the whole run.
+    let cache = Arc::new(SharedPathCache::with_shards(1024, 8));
+    let computed: Vec<AtomicU64> = (0..universe.len()).map(|_| AtomicU64::new(0)).collect();
+    let start = Barrier::new(threads);
+    // Per-caller outcome tallies, summed after the run.
+    let (hits, misses, waits) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = Arc::clone(&cache);
+            let (universe, computed, reference) = (&universe, &computed, &reference);
+            let (start, hits, misses, waits) = (&start, &hits, &misses, &waits);
+            scope.spawn(move || {
+                let mut rng = XorShift64::new(0xA5A5 + t as u64);
+                start.wait();
+                for _ in 0..lookups_per_thread {
+                    // Overlapping subsets: each thread sees 3/4 of the
+                    // universe, offset by thread id, so every pair of
+                    // threads shares keys without sharing all of them.
+                    let span = universe.len() * 3 / 4;
+                    let index = (t * 4 + rng.below(span)) % universe.len();
+                    let key = universe[index];
+                    let value = match cache.join(key) {
+                        Flight::Hit(v) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            v
+                        }
+                        Flight::Shared(v) => {
+                            waits.fetch_add(1, Ordering::Relaxed);
+                            v
+                        }
+                        Flight::Miss(token) => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            computed[index].fetch_add(1, Ordering::Relaxed);
+                            // Widen the in-flight window so concurrent
+                            // lookups of this key actually race the leader.
+                            thread::sleep(Duration::from_micros(100));
+                            token.complete(value_of(&key, api))
+                        }
+                    };
+                    assert_eq!(
+                        value.as_ref(),
+                        &reference[&key],
+                        "thread {t} read a value that differs from the sequential fill"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let total = (threads * lookups_per_thread) as u64;
+
+    // Outcome partition, both as counted by the cache and by the callers.
+    assert_eq!(
+        stats.hits + stats.misses + stats.dedup_waits,
+        total,
+        "threads={threads}: outcomes must partition the lookups: {stats:?}"
+    );
+    assert_eq!(stats.lookups(), total);
+    assert_eq!(stats.hits, hits.load(Ordering::Relaxed));
+    assert_eq!(stats.misses, misses.load(Ordering::Relaxed));
+    assert_eq!(stats.dedup_waits, waits.load(Ordering::Relaxed));
+
+    // Exactly-once: every touched key was computed by exactly one leader.
+    let touched: u64 = computed
+        .iter()
+        .map(|c| {
+            let n = c.load(Ordering::Relaxed);
+            assert!(n <= 1, "a key was computed {n} times");
+            n
+        })
+        .sum();
+    assert_eq!(
+        stats.misses, touched,
+        "threads={threads}: misses must equal unique keys computed"
+    );
+    assert_eq!(stats.evictions, 0, "ample capacity must never evict");
+
+    // Post-run read-back: the resident values equal the sequential fill.
+    for (index, key) in universe.iter().enumerate() {
+        if computed[index].load(Ordering::Relaxed) == 1 {
+            let value = cache.get(*key).expect("computed key stays resident");
+            assert_eq!(value.as_ref(), &reference[key]);
+        }
+    }
+}
+
+#[test]
+fn single_thread_stress() {
+    stress(1, 400);
+}
+
+#[test]
+fn two_thread_stress() {
+    stress(2, 400);
+}
+
+#[test]
+fn four_thread_stress() {
+    stress(4, 300);
+}
+
+#[test]
+fn eight_thread_stress() {
+    stress(8, 250);
+}
+
+#[test]
+fn eight_threads_racing_one_key_compute_it_once() {
+    // The sharpest form of the exactly-once claim: 8 threads released by a
+    // barrier onto one cold key. One leads, everyone else shares.
+    let api = some_api();
+    let key = MemoKey {
+        gov: 7,
+        dep: 11,
+        direction: MemoDirection::Between,
+    };
+    let cache = Arc::new(SharedPathCache::with_shards(64, 8));
+    let computed = AtomicU64::new(0);
+    let start = Barrier::new(8);
+
+    thread::scope(|scope| {
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let (computed, start) = (&computed, &start);
+            scope.spawn(move || {
+                start.wait();
+                let value = match cache.join(key) {
+                    Flight::Miss(token) => {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(Duration::from_millis(20));
+                        token.complete(value_of(&key, api))
+                    }
+                    Flight::Hit(v) | Flight::Shared(v) => v,
+                };
+                assert_eq!(value.as_ref(), &value_of(&key, api));
+            });
+        }
+    });
+
+    assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one leader");
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits + stats.dedup_waits, 7);
+    assert_eq!(stats.lookups(), 8);
+}
+
+#[test]
+fn batch_engine_counters_partition_under_contention() {
+    // End-to-end: a real batch over a corpus with heavy structural overlap
+    // must satisfy the same partition on the engine's shared cache, at
+    // every worker count.
+    use nlquery::domains::astmatcher;
+    use nlquery::{BatchEngine, BatchOptions, SynthesisConfig};
+
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    for workers in [1, 2, 4, 8] {
+        let engine = BatchEngine::with_options(
+            astmatcher::domain().expect("domain builds"),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers,
+                cache_capacity: 4096,
+                ..BatchOptions::default()
+            },
+        );
+        let report = engine.synthesize_batch(&queries);
+        let cache = &report.stats.cache;
+        let per_query: u64 = report
+            .results
+            .iter()
+            .map(|r| r.stats.memo_hits + r.stats.memo_misses + r.stats.memo_dedup_waits)
+            .sum();
+        assert_eq!(
+            per_query,
+            cache.lookups(),
+            "workers={workers}: per-query memo counters must sum to the cache totals: {cache:?}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-file snapshots of synthesized expressions for both embedded
+//! domains.
+//!
+//! Every corpus query is synthesized sequentially and the `query =>
+//! outcome/expression` lines are compared against a checked-in golden
+//! file (`tests/golden/<domain>.golden`). Any change to parsing, pruning,
+//! WordToAPI, EdgeToPath, the memo cache, or expression rendering that
+//! alters an output shows up as a readable diff here — deliberate changes
+//! are re-blessed with:
+//!
+//! ```text
+//! NLQUERY_BLESS=1 cargo test --test golden_corpus
+//! ```
+//!
+//! A generous per-query timeout keeps the snapshots stable on slow or
+//! loaded hosts (timeouts would otherwise flake the goldens).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{Domain, Outcome, SynthesisConfig, Synthesizer};
+
+fn golden_dir() -> PathBuf {
+    // Tests are registered from crates/nlquery; goldens live next to the
+    // test sources at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn render_corpus(domain: Domain, queries: &[String]) -> String {
+    let config = SynthesisConfig::default().timeout(Duration::from_secs(10));
+    let synthesizer = Synthesizer::new(domain, config);
+    let mut out = String::new();
+    for query in queries {
+        let s = synthesizer.synthesize(query);
+        let rendered = match s.outcome {
+            Outcome::Success => s.expression.as_deref().unwrap_or("<missing>").to_string(),
+            Outcome::Timeout => "<timeout>".to_string(),
+            Outcome::NoParse => "<no-parse>".to_string(),
+            Outcome::NoResult => "<no-result>".to_string(),
+        };
+        writeln!(out, "{query} => {rendered}").expect("string write");
+    }
+    out
+}
+
+fn check_golden(name: &str, domain: Domain, queries: &[String]) {
+    let actual = render_corpus(domain, queries);
+    let path = golden_dir().join(format!("{name}.golden"));
+    if std::env::var("NLQUERY_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run NLQUERY_BLESS=1 cargo test --test golden_corpus",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diff: String = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (want, got))| want != got)
+            .map(|(i, (want, got))| format!("  line {}:\n    - {want}\n    + {got}\n", i + 1))
+            .collect();
+        panic!(
+            "{name} corpus drifted from {} — re-bless with NLQUERY_BLESS=1 if deliberate.\n{diff}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn textedit_corpus_matches_golden() {
+    let queries: Vec<String> = textedit::queries().into_iter().map(|c| c.query).collect();
+    check_golden(
+        "textedit",
+        textedit::domain().expect("domain builds"),
+        &queries,
+    );
+}
+
+#[test]
+fn astmatcher_corpus_matches_golden() {
+    let queries: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    check_golden(
+        "astmatcher",
+        astmatcher::domain().expect("domain builds"),
+        &queries,
+    );
+}

@@ -43,6 +43,7 @@ fn run(
         BatchOptions {
             workers,
             cache_capacity: 1024,
+            ..BatchOptions::default()
         },
     );
     let report = engine.synthesize_batch(queries);
