@@ -1,15 +1,24 @@
 # Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
 # steps as the CI gate. Keep the two in sync.
 
-.PHONY: ci build test fmt clippy bench-batch bench-json bench-gate bless-golden
+.PHONY: ci build test test-faults fmt clippy bench-batch bench-json bench-gate bless-golden
 
-ci: build test fmt clippy
+ci: build test test-faults fmt clippy
 
 build:
 	cargo build --release
 
 test:
 	cargo test -q
+
+# The fault-isolation suite: injected panics and busted deadlines across
+# worker counts, plus the single-flight leader-panic promotion test. A
+# hung batch is exactly the bug this suite exists to catch, so the run is
+# wrapped in a hard wall-clock timeout rather than trusting the tests to
+# terminate.
+test-faults:
+	timeout --signal=KILL 600 cargo test -q --test fault_injection
+	timeout --signal=KILL 300 cargo test -q -p nlquery-core --lib -- batch:: memo::
 
 fmt:
 	cargo fmt --all -- --check

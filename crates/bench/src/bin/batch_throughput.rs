@@ -103,7 +103,8 @@ fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
                 "    {{\"workers\": {}, \"pass\": \"{}\", \"queries\": {}, ",
                 "\"wall_secs\": {:.6}, \"queries_per_sec\": {:.3}, ",
                 "\"worker_utilization\": {:.4}, ",
-                "\"successes\": {}, \"timeouts\": {}, \"no_parse\": {}, \"no_result\": {}, ",
+                "\"successes\": {}, \"timeouts\": {}, \"no_parse\": {}, ",
+                "\"no_result\": {}, \"panics\": {}, ",
                 "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_dedup_waits\": {}, ",
                 "\"cache_hit_rate\": {:.4}, \"shards\": {}, ",
                 "\"stage_secs\": {{\"parse\": {:.6}, \"prune\": {:.6}, \"word2api\": {:.6}, ",
@@ -119,6 +120,7 @@ fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
             s.timeouts,
             s.no_parse,
             s.no_result,
+            s.panics,
             s.cache.hits,
             s.cache.misses,
             s.cache.dedup_waits,
@@ -210,14 +212,16 @@ fn main() {
             stage_breakdown(&cold);
             cold_baseline = Some(cold.stats.queries_per_sec());
         }
-        let failures = cold.stats.timeouts + cold.stats.no_parse + cold.stats.no_result;
+        let failures =
+            cold.stats.timeouts + cold.stats.no_parse + cold.stats.no_result + cold.stats.panics;
         if failures > 0 {
             println!(
-                "                   outcomes: {} ok, {} timeout, {} no-parse, {} no-result",
+                "                   outcomes: {} ok, {} timeout, {} no-parse, {} no-result, {} panicked",
                 cold.stats.successes,
                 cold.stats.timeouts,
                 cold.stats.no_parse,
                 cold.stats.no_result,
+                cold.stats.panics,
             );
         }
         println!();

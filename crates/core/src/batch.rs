@@ -14,6 +14,21 @@
 //! to running [`Synthesizer::synthesize`] sequentially on each query, at
 //! any worker count (timings and memo counters aside).
 //!
+//! # Fault isolation
+//!
+//! One query must never take the batch down. Each query's synthesis runs
+//! under [`std::panic::catch_unwind`]; a panic becomes an
+//! [`Outcome::Panicked`] result carrying the panic message as
+//! [`crate::SynthesisError::Panicked`], and the worker moves on to its
+//! next query. The worker body itself is guarded too, so a panic escaping
+//! the per-query guard cannot re-panic out of `thread::scope`: any query
+//! claimed but never reported when the batch drains is filled in as
+//! `Panicked` rather than aborting. Deque locks recover from poisoning
+//! (a peer's panic leaves the deque itself intact — indices are popped
+//! before synthesis starts), and result/stat channel sends are no-ops
+//! once the receiver is gone. Tests inject faults deterministically via
+//! [`BatchEngine::set_fault_hook`].
+//!
 //! ```rust
 //! use nlquery_core::{BatchEngine, Domain, SynthesisConfig};
 //! use nlquery_grammar::GrammarGraph;
@@ -35,14 +50,62 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::memo::{CacheStats, SharedPathCache};
 use crate::pipeline::{Outcome, Synthesis, Synthesizer};
 use crate::{Domain, SynthesisConfig};
+
+/// A fault injected into one batch query, returned by a hook registered
+/// with [`BatchEngine::set_fault_hook`]. Exists so the engine's isolation
+/// machinery can be exercised deterministically (fault-injection tests,
+/// chaos harnesses) without planting bugs in the pipeline.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Panic with this message in place of synthesizing the query.
+    Panic(String),
+    /// Synthesize the query under this configuration instead of the
+    /// engine's — e.g. a zero [`SynthesisConfig::deadline`] to force a
+    /// deterministic `DeadlineExceeded`.
+    Config(SynthesisConfig),
+}
+
+/// Signature of a fault injector: `(input index, query) -> fault?`.
+type FaultFn = dyn Fn(usize, &str) -> Option<Fault> + Send + Sync;
+
+/// The injector behind [`BatchEngine::set_fault_hook`], wrapped so
+/// [`BatchEngine`] keeps deriving `Debug`.
+#[derive(Clone)]
+struct FaultHook(Arc<FaultFn>);
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
+}
+
+/// Locks a deque, recovering from poisoning: a worker that panicked while
+/// holding the lock can only have been mid-`pop` — the deque holds plain
+/// indices and is never left half-mutated, so the data is still sound.
+fn lock_deque(m: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// `&str` or formatted `String` covers practically all of std and ours).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Tuning knobs of a [`BatchEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +159,9 @@ pub struct BatchStats {
     pub no_parse: usize,
     /// Runs that finished without a valid tree.
     pub no_result: usize,
+    /// Runs that panicked; the panic was caught and isolated to that
+    /// query's result ([`Outcome::Panicked`]).
+    pub panics: usize,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
     /// Sum of per-query synthesis times (≈ CPU time across workers).
@@ -170,6 +236,7 @@ pub struct BatchEngine {
     workers: usize,
     co_schedule: bool,
     cache: Arc<SharedPathCache>,
+    fault_hook: Option<FaultHook>,
 }
 
 impl BatchEngine {
@@ -201,7 +268,20 @@ impl BatchEngine {
             workers,
             co_schedule: options.co_schedule,
             cache: Arc::new(SharedPathCache::with_shards(options.cache_capacity, shards)),
+            fault_hook: None,
         }
+    }
+
+    /// Registers a per-query fault injector, consulted with the query's
+    /// input index and text before each synthesis. Returning a [`Fault`]
+    /// makes that query panic or run under an alternate configuration;
+    /// `None` leaves it untouched. For fault-injection tests — production
+    /// batches should not set a hook.
+    pub fn set_fault_hook<F>(&mut self, hook: F)
+    where
+        F: Fn(usize, &str) -> Option<Fault> + Send + Sync + 'static,
+    {
+        self.fault_hook = Some(FaultHook(Arc::new(hook)));
     }
 
     /// The underlying sequential synthesizer.
@@ -241,33 +321,59 @@ impl BatchEngine {
                 let deques = &deques;
                 let cache = &self.cache;
                 let synthesizer = &self.synthesizer;
+                let fault_hook = &self.fault_hook;
                 scope.spawn(move || {
-                    let mut stats = WorkerStats::default();
-                    loop {
-                        // Own deque first (front), then steal (back).
-                        let mut claim = deques[worker].lock().expect("deque lock").pop_front();
-                        let mut stolen = false;
-                        if claim.is_none() {
-                            for victim in 1..workers {
-                                let v = (worker + victim) % workers;
-                                claim = deques[v].lock().expect("deque lock").pop_back();
-                                if claim.is_some() {
-                                    stolen = true;
-                                    break;
+                    // The worker body is guarded so a panic that escapes
+                    // the per-query guard cannot re-panic out of
+                    // `thread::scope` (scope re-raises panics of joined
+                    // threads). A dead worker's claimed query surfaces as
+                    // `Panicked` via the post-drain fill below.
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut stats = WorkerStats::default();
+                        loop {
+                            // Own deque first (front), then steal (back).
+                            let mut claim = lock_deque(&deques[worker]).pop_front();
+                            let mut stolen = false;
+                            if claim.is_none() {
+                                for victim in 1..workers {
+                                    let v = (worker + victim) % workers;
+                                    claim = lock_deque(&deques[v]).pop_back();
+                                    if claim.is_some() {
+                                        stolen = true;
+                                        break;
+                                    }
                                 }
                             }
+                            let Some(index) = claim else { break };
+                            let query = queries[index].as_ref();
+                            let t = Instant::now();
+                            let fault = fault_hook.as_ref().and_then(|h| (h.0)(index, query));
+                            let run = catch_unwind(AssertUnwindSafe(|| match fault {
+                                Some(Fault::Panic(message)) => panic!("{message}"),
+                                Some(Fault::Config(config)) => {
+                                    let mut alt = synthesizer.clone();
+                                    alt.set_config(config);
+                                    alt.synthesize_shared(query, cache)
+                                }
+                                None => synthesizer.synthesize_shared(query, cache),
+                            }));
+                            let synthesis = match run {
+                                Ok(synthesis) => synthesis,
+                                Err(payload) => {
+                                    Synthesis::panicked(panic_message(&*payload), t.elapsed())
+                                }
+                            };
+                            stats.busy += t.elapsed();
+                            stats.queries += 1;
+                            stats.stolen += usize::from(stolen);
+                            // No-op once the receiver is gone (shutdown).
+                            let _ = tx.send((worker, index, Box::new(synthesis)));
                         }
-                        let Some(index) = claim else { break };
-                        let t = Instant::now();
-                        let synthesis =
-                            synthesizer.synthesize_shared(queries[index].as_ref(), cache);
-                        stats.busy += t.elapsed();
-                        stats.queries += 1;
-                        stats.stolen += usize::from(stolen);
-                        tx.send((worker, index, Box::new(synthesis)))
-                            .expect("result channel open");
+                        stats
+                    }));
+                    if let Ok(stats) = body {
+                        let _ = stat_tx.send((worker, stats));
                     }
-                    stat_tx.send((worker, stats)).expect("stat channel open");
                 });
             }
             drop(tx);
@@ -280,9 +386,18 @@ impl BatchEngine {
             }
         });
 
+        // Every slot still empty after the drain belongs to a query a dying
+        // worker claimed but never reported: make the loss explicit.
         let results: Vec<Synthesis> = results
             .into_iter()
-            .map(|r| r.expect("every index synthesized"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Synthesis::panicked(
+                        "worker died before reporting this query".to_string(),
+                        Duration::ZERO,
+                    )
+                })
+            })
             .collect();
 
         let mut stats = BatchStats {
@@ -298,6 +413,7 @@ impl BatchEngine {
                 Outcome::Timeout => stats.timeouts += 1,
                 Outcome::NoParse => stats.no_parse += 1,
                 Outcome::NoResult => stats.no_result += 1,
+                Outcome::Panicked => stats.panics += 1,
             }
             stats.cpu += r.elapsed;
             stats.t_parse += r.stats.t_parse;
@@ -468,7 +584,10 @@ mod tests {
         let report = engine.synthesize_batch(&QUERIES);
         let s = &report.stats;
         assert_eq!(s.total, QUERIES.len());
-        assert_eq!(s.successes + s.timeouts + s.no_parse + s.no_result, s.total);
+        assert_eq!(
+            s.successes + s.timeouts + s.no_parse + s.no_result + s.panics,
+            s.total
+        );
         assert!(s.no_parse >= 1, "the empty query cannot parse");
         assert!(s.successes >= 4, "{s:?}");
         assert!(s.wall > Duration::ZERO);
@@ -534,6 +653,96 @@ mod tests {
         );
         assert!(second.stats.cache.hits > 0, "{:?}", second.stats.cache);
         for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.expression, b.expression);
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_query() {
+        let d = domain();
+        let sequential = Synthesizer::new(d.clone(), SynthesisConfig::default());
+        let expected: Vec<_> = QUERIES.iter().map(|q| sequential.synthesize(q)).collect();
+        for workers in [1, 2, 4] {
+            let mut engine = BatchEngine::with_options(
+                d.clone(),
+                SynthesisConfig::default(),
+                BatchOptions {
+                    workers,
+                    cache_capacity: 64,
+                    ..BatchOptions::default()
+                },
+            );
+            engine.set_fault_hook(|index, _query| {
+                (index == 1).then(|| Fault::Panic("injected fault".to_string()))
+            });
+            let report = engine.synthesize_batch(&QUERIES);
+            assert_eq!(report.results.len(), QUERIES.len());
+            assert_eq!(report.results[1].outcome, Outcome::Panicked);
+            assert_eq!(
+                report.results[1].error,
+                Some(crate::SynthesisError::Panicked {
+                    message: "injected fault".to_string()
+                })
+            );
+            assert_eq!(report.stats.panics, 1, "workers={workers}");
+            let s = &report.stats;
+            assert_eq!(
+                s.successes + s.timeouts + s.no_parse + s.no_result + s.panics,
+                s.total
+            );
+            for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
+                if i == 1 {
+                    continue;
+                }
+                assert_eq!(got.outcome, want.outcome, "workers={workers} query={i}");
+                assert_eq!(
+                    got.expression, want.expression,
+                    "workers={workers} query={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_config_overrides_one_query() {
+        let mut engine = BatchEngine::new(domain(), SynthesisConfig::default());
+        engine.set_fault_hook(|index, _query| {
+            (index == 0).then(|| Fault::Config(SynthesisConfig::default().deadline(Duration::ZERO)))
+        });
+        let report = engine.synthesize_batch(&QUERIES);
+        assert_eq!(report.results[0].outcome, Outcome::Timeout);
+        assert_eq!(
+            report.results[0].error,
+            Some(crate::SynthesisError::DeadlineExceeded)
+        );
+        // The rest run under the engine's own (unbounded-enough) config.
+        assert!(report.stats.successes >= 4, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn batch_survives_repeated_panics_across_batches() {
+        // Poisoned state (shared cache, deques) from one faulted batch must
+        // not leak into the next: the engine stays usable.
+        let mut engine = BatchEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 2,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        );
+        engine.set_fault_hook(|_, query| {
+            query
+                .contains("every")
+                .then(|| Fault::Panic("chaos".to_string()))
+        });
+        let first = engine.synthesize_batch(&QUERIES);
+        let second = engine.synthesize_batch(&QUERIES);
+        assert_eq!(first.stats.panics, 1);
+        assert_eq!(second.stats.panics, 1);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.outcome, b.outcome);
             assert_eq!(a.expression, b.expression);
         }
     }

@@ -18,7 +18,8 @@ pub enum Engine {
 /// Configuration of a [`crate::Synthesizer`].
 ///
 /// The defaults reproduce the paper's setup: DGGT with all three
-/// optimizations on and a 20-second timeout (scale it down for quick runs).
+/// optimizations on and a 20-second per-query deadline (scale it down for
+/// quick runs).
 ///
 /// # Example
 ///
@@ -28,7 +29,7 @@ pub enum Engine {
 ///
 /// let cfg = SynthesisConfig::default()
 ///     .engine(Engine::HiSyn)
-///     .timeout(Duration::from_secs(2))
+///     .deadline(Duration::from_secs(2))
 ///     .grammar_pruning(false);
 /// assert_eq!(cfg.engine, Engine::HiSyn);
 /// ```
@@ -36,9 +37,17 @@ pub enum Engine {
 pub struct SynthesisConfig {
     /// The step-5 algorithm.
     pub engine: Engine,
-    /// Wall-clock budget per query; exceeding it yields
-    /// [`crate::Outcome::Timeout`].
-    pub timeout: Duration,
+    /// Wall-clock budget per query. Exceeding it ends the run with
+    /// [`crate::Outcome::Timeout`] and
+    /// [`crate::SynthesisError::DeadlineExceeded`]; the check is threaded
+    /// from the pipeline's stage boundaries down into every hot loop
+    /// (EdgeToPath edge boundaries, combination enumeration, merge loops),
+    /// so an exploding query returns within roughly one poll stride — or
+    /// one bounded path search — of the budget instead of hogging its
+    /// worker. Searches a query has already started run to completion and
+    /// are memoized, keeping the shared cache warm for the rest of a batch
+    /// even when the query itself times out.
+    pub deadline: Duration,
     /// Grammar-based pruning of conflicting-"or" combinations (§V-A).
     pub grammar_pruning: bool,
     /// Size-based pruning of oversized combinations (§V-C).
@@ -69,7 +78,7 @@ impl Default for SynthesisConfig {
     fn default() -> Self {
         SynthesisConfig {
             engine: Engine::Dggt,
-            timeout: Duration::from_secs(20),
+            deadline: Duration::from_secs(20),
             grammar_pruning: true,
             size_pruning: true,
             orphan_relocation: true,
@@ -103,10 +112,16 @@ impl SynthesisConfig {
         self
     }
 
-    /// Sets the per-query timeout.
-    pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+    /// Sets the per-query deadline (wall-clock budget).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
         self
+    }
+
+    /// Alias of [`SynthesisConfig::deadline`], kept because the paper's
+    /// evaluation vocabulary calls the exceeded budget a "timeout".
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.deadline(timeout)
     }
 
     /// Toggles grammar-based pruning.
@@ -161,7 +176,7 @@ mod tests {
         let cfg = SynthesisConfig::default();
         assert_eq!(cfg.engine, Engine::Dggt);
         assert!(cfg.grammar_pruning && cfg.size_pruning && cfg.orphan_relocation);
-        assert_eq!(cfg.timeout, Duration::from_secs(20));
+        assert_eq!(cfg.deadline, Duration::from_secs(20));
     }
 
     #[test]
@@ -179,6 +194,13 @@ mod tests {
             .min_score(0.5)
             .timeout(Duration::from_millis(100));
         assert_eq!(cfg.max_candidates, 2);
-        assert_eq!(cfg.timeout, Duration::from_millis(100));
+        assert_eq!(cfg.deadline, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn deadline_and_timeout_builders_agree() {
+        let a = SynthesisConfig::default().deadline(Duration::from_millis(7));
+        let b = SynthesisConfig::default().timeout(Duration::from_millis(7));
+        assert_eq!(a, b);
     }
 }

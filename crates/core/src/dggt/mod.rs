@@ -30,6 +30,11 @@ use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats
 /// How often inner loops poll the deadline.
 const DEADLINE_STRIDE: u64 = 256;
 
+/// How often the final join polls it, counted in beam partials. Each
+/// partial can trigger up to 64 orphan-absorb trial merges, so a
+/// per-root-path check alone lets wide beams overshoot the budget.
+const JOIN_DEADLINE_STRIDE: u64 = 64;
+
 /// An optimal (or beam-kept) partial CGT recorded at a dynamic-grammar-graph
 /// node.
 #[derive(Debug, Clone, PartialEq)]
@@ -705,9 +710,14 @@ fn final_join(
     };
 
     let mut best_key: Option<(usize, usize, std::cmp::Reverse<u64>)> = None;
+    let mut polls: u64 = 0;
     for pc in &root_edge.paths {
         deadline.check()?;
         for partial in dyng.beam(root, pc.dep_api) {
+            polls += 1;
+            if polls.is_multiple_of(JOIN_DEADLINE_STRIDE) {
+                deadline.check()?;
+            }
             let mut cgt = partial.cgt.clone();
             cgt.absorb_path(&pc.path, graph);
             if !cgt.is_or_consistent(graph) {
@@ -825,10 +835,15 @@ fn final_join_kernel(
         .collect();
 
     let mut best_key: Option<(usize, usize, std::cmp::Reverse<u64>)> = None;
+    let mut polls: u64 = 0;
     for pc in &root_edge.paths {
         deadline.check()?;
         let path_bits = Cgt::from_path(&pc.path, graph).to_bits(layout);
         for partial in dyng.beam(root, pc.dep_api) {
+            polls += 1;
+            if polls.is_multiple_of(JOIN_DEADLINE_STRIDE) {
+                deadline.check()?;
+            }
             let bits = partial
                 .bits
                 .as_ref()

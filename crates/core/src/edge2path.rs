@@ -14,12 +14,16 @@
 //! so structurally repeated edges across queries resolve without touching
 //! the grammar at all.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId, PathId, SearchLimits};
+use nlquery_grammar::{
+    GrammarGraph, GrammarPath, NodeId, PathId, SearchDeadline, SearchLimits, SearchTimedOut,
+};
 use nlquery_nlp::DepRel;
 
+use crate::engine::{Deadline, TimedOut};
 use crate::memo::{Flight, FlightToken, MemoKey, RawPath, SharedPathCache};
 use crate::{Domain, QueryGraph, WordToApi};
 
@@ -82,27 +86,38 @@ impl PathCache {
         self.shared_dedup_waits
     }
 
+    /// Memoized API→API search. A timed-out search leaves no entry behind —
+    /// a list truncated by time rather than by [`SearchLimits`] would be
+    /// timing-dependent and must never be memoized.
     fn between(
         &mut self,
         graph: &GrammarGraph,
         from: NodeId,
         to: NodeId,
         limits: SearchLimits,
-    ) -> &[GrammarPath] {
-        self.between
-            .entry((from, to))
-            .or_insert_with(|| graph.paths_between(from, to, limits))
+        deadline: &SearchDeadline,
+    ) -> Result<&[GrammarPath], SearchTimedOut> {
+        if let Entry::Vacant(e) = self.between.entry((from, to)) {
+            let paths = graph.paths_between_deadline(from, to, limits, deadline)?;
+            e.insert(paths);
+        }
+        Ok(&self.between[&(from, to)])
     }
 
+    /// Memoized root→API search; same never-cache-a-timeout rule as
+    /// [`PathCache::between`].
     fn root_paths(
         &mut self,
         graph: &GrammarGraph,
         to: NodeId,
         limits: SearchLimits,
-    ) -> &[GrammarPath] {
-        self.from_root
-            .entry(to)
-            .or_insert_with(|| graph.paths_from_root(to, limits))
+        deadline: &SearchDeadline,
+    ) -> Result<&[GrammarPath], SearchTimedOut> {
+        if let Entry::Vacant(e) = self.from_root.entry(to) {
+            let paths = graph.paths_from_root_deadline(to, limits, deadline)?;
+            e.insert(paths);
+        }
+        Ok(&self.from_root[&to])
     }
 
     /// Cross-query single-flight lookup. With a shared cache attached this
@@ -232,22 +247,30 @@ fn sort_and_truncate(raw: &mut Vec<RawPath>, graph: &GrammarGraph, limits: Searc
 
 /// Memoized root-pseudo-edge search: every path from the grammar root to a
 /// candidate API of `node`.
+///
+/// Should a bounded `deadline` fire, the `?` drops the in-flight
+/// leadership token before any value is published, which removes the slot
+/// and promotes one blocked waiter to leader — an aborted search never
+/// wedges or poisons the shared cache. (The pipeline itself always passes
+/// an unbounded search deadline and bounds the query at edge boundaries
+/// instead — see [`compute_deadline`].)
 fn root_edge_paths(
     node: usize,
     w2a: &WordToApi,
     graph: &GrammarGraph,
     limits: SearchLimits,
     cache: &mut PathCache,
-) -> Arc<Vec<RawPath>> {
+    deadline: &SearchDeadline,
+) -> Result<Arc<Vec<RawPath>>, SearchTimedOut> {
     let apis = candidate_apis(w2a, node, graph);
     let key = MemoKey::from_root(&apis, limits);
     let token = match cache.begin_edge(key) {
-        EdgeFlight::Found(raw) => return raw,
+        EdgeFlight::Found(raw) => return Ok(raw),
         EdgeFlight::Compute(token) => token,
     };
     let mut raw = Vec::new();
     for &api in &apis {
-        for p in cache.root_paths(graph, api, limits) {
+        for p in cache.root_paths(graph, api, limits, deadline)? {
             raw.push(RawPath {
                 gov_api: None,
                 dep_api: api,
@@ -256,11 +279,11 @@ fn root_edge_paths(
         }
     }
     sort_and_truncate(&mut raw, graph, limits);
-    cache.finish_edge(token, raw)
+    Ok(cache.finish_edge(token, raw))
 }
 
 /// Memoized real-edge search: every path from a candidate API of `gov` to
-/// a candidate API of `dep`.
+/// a candidate API of `dep`. Timeout handling as in [`root_edge_paths`].
 fn between_edge_paths(
     gov: usize,
     dep: usize,
@@ -268,18 +291,19 @@ fn between_edge_paths(
     graph: &GrammarGraph,
     limits: SearchLimits,
     cache: &mut PathCache,
-) -> Arc<Vec<RawPath>> {
+    deadline: &SearchDeadline,
+) -> Result<Arc<Vec<RawPath>>, SearchTimedOut> {
     let gov_apis = candidate_apis(w2a, gov, graph);
     let dep_apis = candidate_apis(w2a, dep, graph);
     let key = MemoKey::between(&gov_apis, &dep_apis, limits);
     let token = match cache.begin_edge(key) {
-        EdgeFlight::Found(raw) => return raw,
+        EdgeFlight::Found(raw) => return Ok(raw),
         EdgeFlight::Compute(token) => token,
     };
     let mut raw = Vec::new();
     for &ga in &gov_apis {
         for &da in &dep_apis {
-            for p in cache.between(graph, ga, da, limits) {
+            for p in cache.between(graph, ga, da, limits, deadline)? {
                 raw.push(RawPath {
                     gov_api: Some(ga),
                     dep_api: da,
@@ -289,7 +313,7 @@ fn between_edge_paths(
         }
     }
     sort_and_truncate(&mut raw, graph, limits);
-    cache.finish_edge(token, raw)
+    Ok(cache.finish_edge(token, raw))
 }
 
 /// The cross-query memo keys the EdgeToPath step will request for a pruned
@@ -304,6 +328,13 @@ pub fn memo_keys(
     limits: SearchLimits,
 ) -> Vec<MemoKey> {
     let graph = domain.graph();
+    // Empty, whitespace-only, and unparseable queries prune to a graph with
+    // no nodes: no search will ever run for them, so their signature is
+    // empty. The batch engine feeds every raw query through here for
+    // co-scheduling, so this path must stay total — no panics.
+    if query.nodes.is_empty() {
+        return Vec::new();
+    }
     let mut keys = Vec::new();
     if let Some(root) = query.root {
         keys.push(MemoKey::from_root(
@@ -377,6 +408,48 @@ pub fn compute_cached(
     limits: SearchLimits,
     cache: &mut PathCache,
 ) -> EdgeToPath {
+    compute_inner(
+        query,
+        w2a,
+        domain,
+        limits,
+        cache,
+        &Deadline::new(std::time::Duration::MAX),
+    )
+    .expect("an unbounded deadline cannot expire")
+}
+
+/// [`compute_cached`] under a per-query [`Deadline`]: the wall-clock
+/// budget is polled at every *edge boundary*, so an expired query stops
+/// before the next edge's search begins — with nothing from unstarted
+/// edges cached — and surfaces `Err(TimedOut)`.
+///
+/// Each individual search still runs to completion (it is bounded by
+/// [`SearchLimits`], not wall-clock): a finished search always enters the
+/// memo, locally and cross-query. Aborting mid-search instead would leave
+/// the shared cache cold exactly when the machine is oversubscribed, and
+/// every co-scheduled query sharing the edge would redo — and re-abort —
+/// the same search, cascading timeouts across the batch.
+pub fn compute_deadline(
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    domain: &Domain,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+    deadline: &Deadline,
+) -> Result<EdgeToPath, TimedOut> {
+    compute_inner(query, w2a, domain, limits, cache, deadline)
+}
+
+fn compute_inner(
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    domain: &Domain,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+    deadline: &Deadline,
+) -> Result<EdgeToPath, TimedOut> {
+    let search = SearchDeadline::unbounded();
     let graph = domain.graph();
     let mut result = EdgeToPath::default();
     let mut edge_index = 0;
@@ -397,7 +470,9 @@ pub fn compute_cached(
 
     // Root pseudo-edge.
     if let Some(root) = query.root {
-        let raw = root_edge_paths(root, w2a, graph, limits, cache);
+        deadline.check()?;
+        let raw = root_edge_paths(root, w2a, graph, limits, cache, &search)
+            .map_err(|SearchTimedOut| TimedOut)?;
         if raw.is_empty() {
             result.orphans.push(root);
         } else {
@@ -413,7 +488,9 @@ pub fn compute_cached(
 
     // Real dependency edges.
     for qe in &query.edges {
-        let raw = between_edge_paths(qe.gov, qe.dep, w2a, graph, limits, cache);
+        deadline.check()?;
+        let raw = between_edge_paths(qe.gov, qe.dep, w2a, graph, limits, cache, &search)
+            .map_err(|SearchTimedOut| TimedOut)?;
         if raw.is_empty() {
             result.orphans.push(qe.dep);
         } else {
@@ -434,7 +511,7 @@ pub fn compute_cached(
             result.orphans.push(u);
         }
     }
-    result
+    Ok(result)
 }
 
 /// Adds a root pseudo-edge for an orphan node — the HISyn treatment
@@ -461,8 +538,43 @@ pub fn attach_orphan_to_root_cached(
     limits: SearchLimits,
     cache: &mut PathCache,
 ) {
+    attach_orphan_to_root_deadline(
+        map,
+        orphan,
+        w2a,
+        graph,
+        limits,
+        cache,
+        &Deadline::new(std::time::Duration::MAX),
+    )
+    .expect("unbounded search cannot time out")
+}
+
+/// [`attach_orphan_to_root_cached`] under a per-query [`Deadline`]: the
+/// budget is checked before the attachment search starts (an expired query
+/// leaves `map` untouched and nothing cached); a started search runs to
+/// completion and is memoized, as in [`compute_deadline`].
+#[allow(clippy::too_many_arguments)]
+pub fn attach_orphan_to_root_deadline(
+    map: &mut EdgeToPath,
+    orphan: usize,
+    w2a: &WordToApi,
+    graph: &GrammarGraph,
+    limits: SearchLimits,
+    cache: &mut PathCache,
+    deadline: &Deadline,
+) -> Result<(), TimedOut> {
+    deadline.check()?;
     let edge_index = map.edges.len();
-    let raw = root_edge_paths(orphan, w2a, graph, limits, cache);
+    let raw = root_edge_paths(
+        orphan,
+        w2a,
+        graph,
+        limits,
+        cache,
+        &SearchDeadline::unbounded(),
+    )
+    .map_err(|SearchTimedOut| TimedOut)?;
     if !raw.is_empty() {
         map.edges.push(EdgeCandidates {
             edge_index,
@@ -472,6 +584,7 @@ pub fn attach_orphan_to_root_cached(
         });
         map.orphans.retain(|&o| o != orphan);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -646,6 +759,75 @@ mod tests {
         assert_eq!(warm.shared_hits(), 3, "every edge is memoized");
         assert_eq!(warm.shared_misses(), 0);
         assert_eq!(a, b, "memoized results are identical to computed ones");
+    }
+
+    #[test]
+    fn memo_keys_of_empty_graph_are_empty() {
+        let d = domain();
+        let q = QueryGraph::default();
+        let w2a = WordToApi::default();
+        assert!(memo_keys(&q, &w2a, &d, SearchLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_stops_edge_search_before_it_starts() {
+        // 24 stacked diamonds: 2^24 root→SINK paths under a permissive
+        // max_paths. The edge-boundary poll must fire *before* the search
+        // is launched — once started, a search runs to completion, so an
+        // expired budget letting it start would hog the worker for ages.
+        let mut src = String::new();
+        for i in 0..24 {
+            let next = if i == 23 {
+                "last".to_string()
+            } else {
+                format!("s{}", i + 1)
+            };
+            src.push_str(&format!("s{i} ::= A{i} {next} | B{i} {next}\n"));
+        }
+        src.push_str("last ::= SINK\n");
+        let graph = GrammarGraph::parse(&src).unwrap();
+        let mut docs = vec![ApiDoc::new("SINK", &["sink"], "the sink", 0)];
+        for i in 0..24 {
+            docs.push(ApiDoc::new(&format!("A{i}"), &["alpha"], "left arm", 0));
+            docs.push(ApiDoc::new(&format!("B{i}"), &["beta"], "right arm", 0));
+        }
+        let d = Domain::builder("explode")
+            .graph(graph)
+            .docs(docs)
+            .build()
+            .unwrap();
+        let q = QueryGraph {
+            nodes: vec![qnode(0, "sink")],
+            edges: vec![],
+            root: Some(0),
+        };
+        let w2a = WordToApi {
+            candidates: vec![vec![cand("SINK")]],
+        };
+        let limits = SearchLimits {
+            max_paths: usize::MAX,
+            max_depth: 64,
+        };
+        let mut cache = PathCache::new();
+        let started = std::time::Instant::now();
+        let r = compute_deadline(
+            &q,
+            &w2a,
+            &d,
+            limits,
+            &mut cache,
+            &Deadline::new(std::time::Duration::ZERO),
+        );
+        assert_eq!(r, Err(TimedOut));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "timed-out search still ran {:?}",
+            started.elapsed()
+        );
+        assert!(
+            cache.from_root.is_empty() && cache.between.is_empty(),
+            "timed-out search must not be memoized"
+        );
     }
 
     #[test]

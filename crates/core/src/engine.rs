@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use nlquery_grammar::NodeId;
+use nlquery_grammar::{NodeId, SearchDeadline};
 
 use crate::Cgt;
 
@@ -60,6 +60,19 @@ impl Deadline {
             Ok(())
         }
     }
+
+    /// The absolute instant the budget runs out, or `None` when it is not
+    /// representable (e.g. a `Duration::MAX` budget) — in which case the
+    /// deadline is effectively unbounded.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.start.checked_add(self.budget)
+    }
+
+    /// A [`SearchDeadline`] covering this deadline's remaining budget, for
+    /// handing into the grammar crate's bounded all-path search.
+    pub fn search_deadline(&self) -> SearchDeadline {
+        SearchDeadline::until(self.expires_at())
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +99,19 @@ mod tests {
         let a = d.elapsed();
         let b = d.elapsed();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn max_budget_has_no_expiry_instant() {
+        let d = Deadline::new(Duration::MAX);
+        assert_eq!(d.expires_at(), None);
+        assert!(d.search_deadline().is_unbounded());
+    }
+
+    #[test]
+    fn finite_budget_has_expiry_instant() {
+        let d = Deadline::new(Duration::from_secs(5));
+        assert!(d.expires_at().is_some());
+        assert!(!d.search_deadline().is_unbounded());
     }
 }

@@ -1,13 +1,22 @@
-//! Synthesis error type.
+//! Synthesis error taxonomy.
 
 use std::error::Error;
 use std::fmt;
 
 /// Errors surfaced by the synthesis pipeline.
 ///
-/// A timeout is *not* an error here — the pipeline reports it through
-/// [`crate::Outcome::Timeout`] together with its statistics, because the
-/// paper's evaluation counts timeouts as wrong-but-measured cases.
+/// Every way a query can fail is a *value* of this enum, never a process
+/// event: a [`crate::Synthesis`] carries the variant in its `error` field
+/// alongside the coarse [`crate::Outcome`], so batch callers can tally and
+/// route failures without parsing panics out of worker threads.
+///
+/// The [`Outcome`](crate::Outcome) → `SynthesisError` mapping is:
+/// `Timeout` ↔ [`DeadlineExceeded`](SynthesisError::DeadlineExceeded),
+/// `NoParse` ↔ [`NoParse`](SynthesisError::NoParse), `NoResult` ↔
+/// [`NoApiCandidates`](SynthesisError::NoApiCandidates) or
+/// [`NoGrammarPath`](SynthesisError::NoGrammarPath), and `Panicked` ↔
+/// [`Panicked`](SynthesisError::Panicked) (only ever produced by the batch
+/// engine's fault isolation, never by a sequential run).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SynthesisError {
@@ -17,6 +26,24 @@ pub enum SynthesisError {
         /// Description of the inconsistency.
         message: String,
     },
+    /// The dependency parser produced no usable query graph (empty,
+    /// whitespace-only, or otherwise unparseable input).
+    NoParse,
+    /// The query parsed, but no word matched any documented API above the
+    /// configured score floor — step 3 (WordToAPI) came back empty.
+    NoApiCandidates,
+    /// API candidates existed, but no combination of grammar paths merged
+    /// into a valid code generation tree (steps 4–6 produced nothing).
+    NoGrammarPath,
+    /// The per-query deadline ([`crate::SynthesisConfig::deadline`]) expired
+    /// before a result was found.
+    DeadlineExceeded,
+    /// Synthesis of this query panicked on a batch worker; the panic was
+    /// caught and converted into this value so it costs exactly one result.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -24,6 +51,17 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::InvalidDomain { message } => {
                 write!(f, "invalid domain definition: {message}")
+            }
+            SynthesisError::NoParse => write!(f, "query did not parse into a query graph"),
+            SynthesisError::NoApiCandidates => {
+                write!(f, "no API candidates matched any query word")
+            }
+            SynthesisError::NoGrammarPath => {
+                write!(f, "no grammar-path combination merged into a valid tree")
+            }
+            SynthesisError::DeadlineExceeded => write!(f, "per-query deadline exceeded"),
+            SynthesisError::Panicked { message } => {
+                write!(f, "synthesis panicked: {message}")
             }
         }
     }
@@ -47,5 +85,26 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SynthesisError>();
+    }
+
+    #[test]
+    fn taxonomy_displays_are_distinct() {
+        let variants = [
+            SynthesisError::NoParse,
+            SynthesisError::NoApiCandidates,
+            SynthesisError::NoGrammarPath,
+            SynthesisError::DeadlineExceeded,
+            SynthesisError::Panicked {
+                message: "boom".to_string(),
+            },
+        ];
+        let rendered: Vec<String> = variants.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &rendered[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(rendered[4].contains("boom"));
     }
 }

@@ -21,6 +21,11 @@ use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats
 /// How often the inner loop polls the deadline.
 const DEADLINE_STRIDE: u64 = 256;
 
+/// How often the (much costlier) fuse path re-polls it. Merges dominate
+/// wall-clock on dense queries, so the enumeration-level stride alone
+/// would let a merge-heavy window overshoot its budget.
+const MERGE_DEADLINE_STRIDE: u64 = 64;
+
 /// Runs the exhaustive search, returning the smallest valid CGT.
 ///
 /// # Errors
@@ -162,6 +167,12 @@ pub fn synthesize(
             }
             if !skip {
                 stats.merged_combinations += 1;
+                if stats
+                    .merged_combinations
+                    .is_multiple_of(MERGE_DEADLINE_STRIDE)
+                {
+                    deadline.check()?;
+                }
                 // Fuse the chosen paths and keep the tree only when valid.
                 // Kernel and reference agree predicate-for-predicate; the
                 // kernel rejects without materializing set unions, and the

@@ -66,7 +66,7 @@ mod query;
 mod stats;
 pub mod word2api;
 
-pub use batch::{BatchEngine, BatchOptions, BatchReport, BatchStats, WorkerStats};
+pub use batch::{BatchEngine, BatchOptions, BatchReport, BatchStats, Fault, WorkerStats};
 pub use cgt::Cgt;
 pub use config::{Engine, SynthesisConfig};
 pub use domain::{Domain, DomainBuilder};

@@ -40,9 +40,18 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use nlquery_grammar::{GrammarPath, NodeId, SearchLimits};
+
+/// Locks a shard mutex, recovering from poisoning. Every critical section
+/// in this module restores the shard invariants (`ready` matches the map's
+/// Ready slots) before any fallible step, so state guarded by a lock that a
+/// dying worker left poisoned is still consistent — recovery keeps the
+/// cache serving the surviving workers instead of cascading the panic.
+fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default shard count of a [`SharedPathCache`] (clamped down when the
 /// capacity is smaller, so tiny caches keep their exact entry bound).
@@ -248,7 +257,7 @@ impl FlightToken {
     pub fn complete(mut self, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
         self.completed = true;
         let shard = &self.cache.shards[self.shard];
-        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut state = lock_shard(&shard.state);
         state.stamp += 1;
         let stamp = state.stamp;
         if let Some(Slot::Ready(existing)) = state.map.get_mut(&self.key) {
@@ -283,7 +292,7 @@ impl Drop for FlightToken {
             return;
         }
         let shard = &self.cache.shards[self.shard];
-        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut state = lock_shard(&shard.state);
         if matches!(state.map.get(&self.key), Some(Slot::InFlight)) {
             state.map.remove(&self.key);
         }
@@ -404,7 +413,7 @@ impl SharedPathCache {
     pub fn join(self: &Arc<Self>, key: MemoKey) -> Flight {
         let shard_index = self.shard_of(&key);
         let shard = &self.shards[shard_index];
-        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut state = lock_shard(&shard.state);
         let mut waited = false;
         loop {
             state.stamp += 1;
@@ -435,10 +444,13 @@ impl SharedPathCache {
                 }
                 Decision::Wait => {
                     waited = true;
+                    // Recover a lock poisoned by a dying leader: the loop
+                    // re-checks the slot, so a waiter woken this way is
+                    // promoted to the new leader instead of panicking.
                     state = shard
                         .resolved
                         .wait(state)
-                        .expect("cache shard lock poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 Decision::Lead => {
                     state.map.insert(key, Slot::InFlight);
@@ -460,7 +472,7 @@ impl SharedPathCache {
     /// never waits; use [`SharedPathCache::join`] for deduplication).
     pub fn get(&self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
         let shard = &self.shards[self.shard_of(&key)];
-        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut state = lock_shard(&shard.state);
         state.stamp += 1;
         let stamp = state.stamp;
         match state.map.get_mut(&key) {
@@ -485,7 +497,7 @@ impl SharedPathCache {
     /// key is in flight, the value resolves the flight and wakes waiters.
     pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
         let shard = &self.shards[self.shard_of(&key)];
-        let mut state = shard.state.lock().expect("cache shard lock");
+        let mut state = lock_shard(&shard.state);
         state.stamp += 1;
         let stamp = state.stamp;
         match state.map.get_mut(&key) {
@@ -527,11 +539,7 @@ impl SharedPathCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self
-            .shards
-            .iter()
-            .map(|s| s.state.lock().expect("cache shard lock").ready)
-            .sum();
+        let entries = self.shards.iter().map(|s| lock_shard(&s.state).ready).sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -547,7 +555,7 @@ impl SharedPathCache {
     /// their leaders republish on completion).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut state = shard.state.lock().expect("cache shard lock");
+            let mut state = lock_shard(&shard.state);
             state.map.retain(|_, slot| matches!(slot, Slot::InFlight));
             state.ready = 0;
         }
@@ -704,6 +712,52 @@ mod tests {
         token.complete(Vec::new());
         assert!(matches!(cache.join(key(1)), Flight::Hit(_)));
         assert_eq!(cache.stats().misses, 2, "both leaders count as misses");
+    }
+
+    #[test]
+    fn panicking_leader_promotes_blocked_waiter() {
+        // A leader that *panics* mid-computation (not just returns early)
+        // unwinds through the FlightToken Drop while waiters are blocked on
+        // the shard condvar. One waiter must be promoted to the new leader
+        // and the rest must resolve to its value — no deadlock, no
+        // poisoned-shard cascade.
+        let cache = Arc::new(SharedPathCache::new(64));
+        let api = some_api();
+        let k = key(99);
+        let leading = Arc::new(Barrier::new(5));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let leading = Arc::clone(&leading);
+            std::thread::spawn(move || {
+                let Flight::Miss(_token) = cache.join(k) else {
+                    panic!("cold cache: first join must lead");
+                };
+                leading.wait(); // waiters start joining now
+                std::thread::sleep(Duration::from_millis(50));
+                panic!("injected: leader dies while key is in flight");
+            })
+        };
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let leading = Arc::clone(&leading);
+            waiters.push(std::thread::spawn(move || {
+                leading.wait();
+                match cache.join(k) {
+                    Flight::Miss(token) => token.complete(value_of(3, api)).len(),
+                    Flight::Shared(v) | Flight::Hit(v) => v.len(),
+                }
+            }));
+        }
+        assert!(leader.join().is_err(), "leader thread panicked by design");
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter survives"), 3);
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "dead leader + promoted waiter");
+        assert_eq!(s.lookups(), 5);
+        // The cache stays fully usable after the panic.
+        assert!(matches!(cache.join(k), Flight::Hit(_)));
     }
 
     #[test]

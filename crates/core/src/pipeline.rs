@@ -11,7 +11,7 @@ use crate::memo::SharedPathCache;
 use crate::opt::orphan::relocation_variants;
 use crate::{
     dggt, edge2path, hisyn, prune, Cgt, Domain, EdgeToPath, Engine, QueryGraph, SynthesisConfig,
-    SynthesisStats, WordToApi,
+    SynthesisError, SynthesisStats, WordToApi,
 };
 
 /// How a synthesis run ended.
@@ -19,13 +19,16 @@ use crate::{
 pub enum Outcome {
     /// A codelet was produced.
     Success,
-    /// The wall-clock budget expired (counted as an error in the paper's
-    /// accuracy metric).
+    /// The wall-clock budget ([`SynthesisConfig::deadline`]) expired
+    /// (counted as an error in the paper's accuracy metric).
     Timeout,
     /// The query produced no usable dependency structure.
     NoParse,
     /// The search finished but found no valid code generation tree.
     NoResult,
+    /// Synthesis panicked on a batch worker; the panic was caught and
+    /// isolated to this result. Never produced by a sequential run.
+    Panicked,
 }
 
 /// The result of synthesizing one query.
@@ -41,6 +44,41 @@ pub struct Synthesis {
     pub stats: SynthesisStats,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// The structured failure, `None` on [`Outcome::Success`]. Always
+    /// populated for the other outcomes — failure is a value, not a process
+    /// event, so callers can tally and route it without string matching.
+    pub error: Option<SynthesisError>,
+}
+
+impl Synthesis {
+    /// A result carrying no tree: every non-success pipeline exit plus the
+    /// batch engine's fault placeholders.
+    fn failure(
+        outcome: Outcome,
+        error: SynthesisError,
+        stats: SynthesisStats,
+        elapsed: Duration,
+    ) -> Synthesis {
+        Synthesis {
+            outcome,
+            expression: None,
+            cgt: None,
+            stats,
+            elapsed,
+            error: Some(error),
+        }
+    }
+
+    /// The batch engine's fault placeholder for a query whose synthesis
+    /// panicked (or whose worker died before reporting).
+    pub(crate) fn panicked(message: String, elapsed: Duration) -> Synthesis {
+        Synthesis::failure(
+            Outcome::Panicked,
+            SynthesisError::Panicked { message },
+            SynthesisStats::default(),
+            elapsed,
+        )
+    }
 }
 
 /// An NLU-driven synthesizer for one domain.
@@ -113,11 +151,18 @@ impl Synthesizer {
     pub fn edge_memo_keys(&self, query: &str) -> Vec<crate::MemoKey> {
         let dep = self.parser.parse(query);
         let (qgraph, w2a, _) = prune::prune_timed(&dep, &self.domain, &self.config);
+        // The same graphs the pipeline rejects as NoParse have no signature.
+        // This guard keeps the method total on arbitrary input — empty,
+        // whitespace-only, and unparseable queries included — because the
+        // batch engine calls it on every raw query while co-scheduling.
+        if qgraph.root.is_none() || qgraph.nodes.is_empty() {
+            return Vec::new();
+        }
         edge2path::memo_keys(&qgraph, &w2a, &self.domain, self.config.search_limits)
     }
 
     fn run_pipeline(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {
-        let deadline = Deadline::new(self.config.timeout);
+        let deadline = Deadline::new(self.config.deadline);
         let mut stats = SynthesisStats::default();
 
         // Steps 1-2: dependency parsing + pruning (+3: WordToAPI).
@@ -129,34 +174,50 @@ impl Synthesizer {
         stats.t_word2api = prune_timing.t_word2api;
 
         if qgraph.root.is_none() || qgraph.nodes.is_empty() {
-            return Synthesis {
-                outcome: Outcome::NoParse,
-                expression: None,
-                cgt: None,
+            return Synthesis::failure(
+                Outcome::NoParse,
+                SynthesisError::NoParse,
                 stats,
-                elapsed: deadline.elapsed(),
-            };
+                deadline.elapsed(),
+            );
         }
+
+        // Which of the NoResult causes applies: did step 3 find *any*
+        // candidate API, for any word?
+        let no_result_error = || {
+            if w2a.candidates.iter().all(|c| c.is_empty()) {
+                SynthesisError::NoApiCandidates
+            } else {
+                SynthesisError::NoGrammarPath
+            }
+        };
+        let timeout = |stats: SynthesisStats, deadline: &Deadline| {
+            Synthesis::failure(
+                Outcome::Timeout,
+                SynthesisError::DeadlineExceeded,
+                stats,
+                deadline.elapsed(),
+            )
+        };
 
         if deadline.expired() {
-            return Synthesis {
-                outcome: Outcome::Timeout,
-                expression: None,
-                cgt: None,
-                stats,
-                elapsed: deadline.elapsed(),
-            };
+            return timeout(stats, &deadline);
         }
 
-        // Step 4: EdgeToPath.
+        // Step 4: EdgeToPath, under the deadline — the reversed all-path
+        // search is the first stage that can explode.
         let t2 = Instant::now();
-        let map = edge2path::compute_cached(
+        let map = match edge2path::compute_deadline(
             &qgraph,
             &w2a,
             &self.domain,
             self.config.search_limits,
             cache,
-        );
+            &deadline,
+        ) {
+            Ok(map) => map,
+            Err(_) => return timeout(stats, &deadline),
+        };
         stats.dep_edges = map.edges.len() + map.orphans.len();
         stats.orphans = map.orphans.len();
 
@@ -164,27 +225,26 @@ impl Synthesizer {
         // orphan to the grammar root.
         let mut root_attached = map.clone();
         for o in map.orphans.clone() {
-            edge2path::attach_orphan_to_root_cached(
+            if edge2path::attach_orphan_to_root_deadline(
                 &mut root_attached,
                 o,
                 &w2a,
                 self.domain.graph(),
                 self.config.search_limits,
                 cache,
-            );
+                &deadline,
+            )
+            .is_err()
+            {
+                return timeout(stats, &deadline);
+            }
         }
         stats.t_edge2path = t2.elapsed();
         stats.orig_paths = root_attached.total_paths();
         stats.orig_combinations = root_attached.combination_count();
 
         if deadline.expired() {
-            return Synthesis {
-                outcome: Outcome::Timeout,
-                expression: None,
-                cgt: None,
-                stats,
-                elapsed: deadline.elapsed(),
-            };
+            return timeout(stats, &deadline);
         }
 
         // Step 5: path merging.
@@ -202,15 +262,7 @@ impl Synthesizer {
 
         let (best, final_query) = match merged {
             Ok(result) => result,
-            Err(_) => {
-                return Synthesis {
-                    outcome: Outcome::Timeout,
-                    expression: None,
-                    cgt: None,
-                    stats,
-                    elapsed: deadline.elapsed(),
-                }
-            }
+            Err(_) => return timeout(stats, &deadline),
         };
 
         // Step 6: TreeToExpression.
@@ -245,25 +297,26 @@ impl Synthesizer {
                 }
                 let expression = render_expression(&self.domain, &best.cgt, &mut pool);
                 stats.t_print = t4.elapsed();
+                let (outcome, error) = if expression.is_some() {
+                    (Outcome::Success, None)
+                } else {
+                    (Outcome::NoResult, Some(no_result_error()))
+                };
                 Synthesis {
-                    outcome: if expression.is_some() {
-                        Outcome::Success
-                    } else {
-                        Outcome::NoResult
-                    },
+                    outcome,
                     expression,
                     cgt: Some(best.cgt),
                     stats,
                     elapsed: deadline.elapsed(),
+                    error,
                 }
             }
-            None => Synthesis {
-                outcome: Outcome::NoResult,
-                expression: None,
-                cgt: None,
+            None => Synthesis::failure(
+                Outcome::NoResult,
+                no_result_error(),
                 stats,
-                elapsed: deadline.elapsed(),
-            },
+                deadline.elapsed(),
+            ),
         }
     }
 
@@ -309,27 +362,29 @@ impl Synthesizer {
                     let mut best: Option<(BestCgt, QueryGraph)> = None;
                     let mut best_key: Option<(usize, usize)> = None;
                     for variant in &variants {
-                        let mut vmap = edge2path::compute_cached(
+                        let mut vmap = edge2path::compute_deadline(
                             &variant.graph,
                             w2a,
                             &self.domain,
                             self.config.search_limits,
                             cache,
-                        );
+                            deadline,
+                        )?;
                         for o in vmap.orphans.clone() {
                             // Orphans this variant deliberately dropped are
                             // excluded from the problem, not root-attached.
                             if variant.dropped.contains(&o) {
                                 continue;
                             }
-                            edge2path::attach_orphan_to_root_cached(
+                            edge2path::attach_orphan_to_root_deadline(
                                 &mut vmap,
                                 o,
                                 w2a,
                                 self.domain.graph(),
                                 self.config.search_limits,
                                 cache,
-                            );
+                                deadline,
+                            )?;
                         }
                         let mut vstats = SynthesisStats::default();
                         let result = dggt::synthesize(
@@ -519,5 +574,31 @@ mod tests {
         let synth = Synthesizer::new(domain(), cfg);
         let r = synth.synthesize("insert \":\" at the start of each line");
         assert_eq!(r.outcome, Outcome::Timeout);
+        assert_eq!(r.error, Some(SynthesisError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn errors_mirror_outcomes() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        let ok = synth.synthesize("insert \":\" at the start of each line");
+        assert_eq!(ok.outcome, Outcome::Success);
+        assert_eq!(ok.error, None);
+
+        let no_parse = synth.synthesize("");
+        assert_eq!(no_parse.outcome, Outcome::NoParse);
+        assert_eq!(no_parse.error, Some(SynthesisError::NoParse));
+    }
+
+    #[test]
+    fn edge_memo_keys_is_total_on_degenerate_queries() {
+        let synth = Synthesizer::new(domain(), SynthesisConfig::default());
+        assert!(synth.edge_memo_keys("").is_empty());
+        assert!(synth.edge_memo_keys("   \t  ").is_empty());
+        // Nonsense must not panic (whether it prunes to empty is up to the
+        // parser; totality is the contract).
+        let _ = synth.edge_memo_keys("zzz qqq xxx");
+        assert!(!synth
+            .edge_memo_keys("insert \":\" at the start of each line")
+            .is_empty());
     }
 }

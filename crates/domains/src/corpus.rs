@@ -96,7 +96,7 @@ pub fn evaluate(synth: &Synthesizer, cases: &[QueryCase]) -> CorpusReport {
         let r = synth.synthesize(&case.query);
         let timeout = r.outcome == Outcome::Timeout;
         let elapsed = if timeout {
-            synth.config().timeout
+            synth.config().deadline
         } else {
             r.elapsed
         };

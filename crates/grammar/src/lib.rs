@@ -45,5 +45,5 @@ pub use bnf::{Alternative, Grammar, Rule, Symbol};
 pub use error::GrammarError;
 pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind};
 pub use kernel::{BitCgt, CgtArena, CgtLayout};
-pub use path::{GrammarPath, PathId, SearchLimits};
+pub use path::{GrammarPath, PathId, SearchDeadline, SearchLimits, SearchTimedOut};
 pub use voted::{OrAlternative, PathVotedGraph, VoteCount};

@@ -13,10 +13,69 @@
 //! exactly the APIs that merging this path into a code generation tree drags
 //! into the final expression.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
 
 use crate::{GrammarGraph, NodeId};
+
+/// Upward steps between wall-clock polls in the bounded search. Checking
+/// `Instant::now()` on every step would dominate the walk; one poll per
+/// stride keeps the overshoot past a deadline to a few hundred node visits.
+const DEADLINE_POLL_STRIDE: u64 = 256;
+
+/// Signal: the bounded all-path search hit its deadline mid-walk.
+///
+/// Partial results are deliberately discarded — a list truncated *by time*
+/// (rather than by [`SearchLimits`]) would vary run to run and must never be
+/// cached or compared against a sequential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchTimedOut;
+
+/// A wall-clock cutoff polled (with a stride) inside the reversed all-path
+/// search, so a pathological search window returns [`SearchTimedOut`]
+/// instead of hogging its caller.
+#[derive(Debug, Default)]
+pub struct SearchDeadline {
+    at: Option<Instant>,
+    steps: Cell<u64>,
+}
+
+impl SearchDeadline {
+    /// A deadline that never fires; the bounded searches degrade to the
+    /// plain [`SearchLimits`]-only behaviour.
+    pub fn unbounded() -> SearchDeadline {
+        SearchDeadline::default()
+    }
+
+    /// A deadline firing once `at` has passed (`None` = unbounded, matching
+    /// an unrepresentable expiry instant such as a `Duration::MAX` budget).
+    pub fn until(at: Option<Instant>) -> SearchDeadline {
+        SearchDeadline {
+            at,
+            steps: Cell::new(0),
+        }
+    }
+
+    /// Whether this deadline can ever fire.
+    pub fn is_unbounded(&self) -> bool {
+        self.at.is_none()
+    }
+
+    /// Strided check: reads the clock every [`DEADLINE_POLL_STRIDE`]-th call
+    /// and returns `Err(SearchTimedOut)` once the cutoff has passed.
+    fn poll(&self) -> Result<(), SearchTimedOut> {
+        let Some(at) = self.at else { return Ok(()) };
+        let steps = self.steps.get().wrapping_add(1);
+        self.steps.set(steps);
+        if steps.is_multiple_of(DEADLINE_POLL_STRIDE) && Instant::now() >= at {
+            Err(SearchTimedOut)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Identifier for a grammar path within one synthesis problem.
 ///
@@ -184,11 +243,29 @@ impl GrammarGraph {
         to: NodeId,
         limits: SearchLimits,
     ) -> Vec<GrammarPath> {
+        self.paths_between_deadline(from, to, limits, &SearchDeadline::unbounded())
+            .expect("unbounded search cannot time out")
+    }
+
+    /// [`GrammarGraph::paths_between`] with a wall-clock cutoff: returns
+    /// `Err(SearchTimedOut)` — and no partial results — once `deadline`
+    /// fires mid-search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not an API node.
+    pub fn paths_between_deadline(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        limits: SearchLimits,
+        deadline: &SearchDeadline,
+    ) -> Result<Vec<GrammarPath>, SearchTimedOut> {
         assert!(
             self.is_api(from) && self.is_api(to),
             "endpoints must be API nodes"
         );
-        self.search_windows(Target::Api(from), to, limits)
+        self.search_windows(Target::Api(from), to, limits, deadline)
     }
 
     /// All simple downward paths from the grammar root to API `to`.
@@ -200,15 +277,38 @@ impl GrammarGraph {
     ///
     /// Panics if `to` is not an API node.
     pub fn paths_from_root(&self, to: NodeId, limits: SearchLimits) -> Vec<GrammarPath> {
+        self.paths_from_root_deadline(to, limits, &SearchDeadline::unbounded())
+            .expect("unbounded search cannot time out")
+    }
+
+    /// [`GrammarGraph::paths_from_root`] with a wall-clock cutoff: returns
+    /// `Err(SearchTimedOut)` — and no partial results — once `deadline`
+    /// fires mid-search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not an API node.
+    pub fn paths_from_root_deadline(
+        &self,
+        to: NodeId,
+        limits: SearchLimits,
+        deadline: &SearchDeadline,
+    ) -> Result<Vec<GrammarPath>, SearchTimedOut> {
         assert!(self.is_api(to), "sink must be an API node");
-        self.search_windows(Target::Root, to, limits)
+        self.search_windows(Target::Root, to, limits, deadline)
     }
 
     /// Iterative-deepening driver: explores chains in increasing length
     /// windows so that, when `limits.max_paths` truncates the result, the
     /// *shortest* paths are the ones kept. Dead branches are pruned with
     /// the precomputed downward-reachability relation.
-    fn search_windows(&self, target: Target, to: NodeId, limits: SearchLimits) -> Vec<GrammarPath> {
+    fn search_windows(
+        &self,
+        target: Target,
+        to: NodeId,
+        limits: SearchLimits,
+        deadline: &SearchDeadline,
+    ) -> Result<Vec<GrammarPath>, SearchTimedOut> {
         // Nodes worth stepping onto: those reachable downward from the
         // search's origins (the derivations containing the source API, or
         // the grammar root). The per-origin reachability rows are OR-ed
@@ -245,14 +345,15 @@ impl GrammarGraph {
                 (lo, hi),
                 limits.max_paths - results.len(),
                 &origin_reach,
+                deadline,
                 &mut window_results,
-            );
+            )?;
             window_results.sort();
             results.extend(window_results);
             lo = hi;
         }
         results.truncate(limits.max_paths);
-        results
+        Ok(results)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -265,12 +366,14 @@ impl GrammarGraph {
         window: (usize, usize),
         max_results: usize,
         origin_reach: &[u64],
+        deadline: &SearchDeadline,
         results: &mut Vec<GrammarPath>,
-    ) {
+    ) -> Result<(), SearchTimedOut> {
         let (emit_above, depth_cap) = window;
         if results.len() >= max_results || chain.len() >= depth_cap {
-            return;
+            return Ok(());
         }
+        deadline.poll()?;
         let current = *chain.last().expect("chain is never empty");
         // Walk to each parent. The chain is built in backward (sink-first)
         // order and reversed on emission.
@@ -328,7 +431,8 @@ impl GrammarGraph {
             }
 
             // "Until reaching": a matched branch stops; otherwise continue
-            // upward.
+            // upward. A timeout aborts the whole walk — the unwound
+            // chain state is dead anyway.
             if !matched {
                 self.search_up(
                     target,
@@ -338,13 +442,15 @@ impl GrammarGraph {
                     window,
                     max_results,
                     origin_reach,
+                    deadline,
                     results,
-                );
+                )?;
             }
 
             on_chain[parent.index()] = false;
             chain.pop();
         }
+        Ok(())
     }
 }
 
@@ -584,5 +690,73 @@ mod tests {
     fn path_id_renders_like_the_paper() {
         let id = PathId { edge: 1, path: 0 };
         assert_eq!(id.to_string(), "2.1");
+    }
+
+    /// `layers` stacked diamonds: every layer doubles the number of
+    /// root→SINK chains, so path count is 2^layers — an exploding search
+    /// space under a permissive `max_paths`.
+    fn diamond_grammar(layers: usize) -> GrammarGraph {
+        let mut src = String::new();
+        for i in 0..layers {
+            let next = if i + 1 == layers {
+                "last".to_string()
+            } else {
+                format!("s{}", i + 1)
+            };
+            src.push_str(&format!("s{i} ::= A{i} {next} | B{i} {next}\n"));
+        }
+        src.push_str("last ::= SINK\n");
+        GrammarGraph::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn unbounded_deadline_matches_plain_search() {
+        let g = paper_grammar();
+        let insert = g.api_node("INSERT").unwrap();
+        let string = g.api_node("STRING").unwrap();
+        let plain = g.paths_between(insert, string, SearchLimits::default());
+        let bounded = g
+            .paths_between_deadline(
+                insert,
+                string,
+                SearchLimits::default(),
+                &SearchDeadline::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(plain, bounded);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_exploding_search() {
+        let g = diamond_grammar(24);
+        let sink = g.api_node("SINK").unwrap();
+        let limits = SearchLimits {
+            max_paths: usize::MAX,
+            max_depth: 64,
+        };
+        let deadline = SearchDeadline::until(Some(Instant::now()));
+        let started = Instant::now();
+        let r = g.paths_from_root_deadline(sink, limits, &deadline);
+        assert_eq!(r, Err(SearchTimedOut));
+        // 2^24 paths would take far longer; the strided poll must abort the
+        // walk almost immediately once the cutoff has passed.
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "timed-out search still ran {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let g = paper_grammar();
+        let string = g.api_node("STRING").unwrap();
+        let deadline =
+            SearchDeadline::until(Instant::now().checked_add(std::time::Duration::from_secs(60)));
+        let r = g.paths_from_root_deadline(string, SearchLimits::default(), &deadline);
+        assert_eq!(
+            r.unwrap(),
+            g.paths_from_root(string, SearchLimits::default())
+        );
     }
 }

@@ -1,0 +1,197 @@
+//! Fault isolation: one bad query must never take a batch down.
+//!
+//! A 64-query batch seeded with one panicking query and one
+//! deadline-busting query must (a) terminate, (b) report the two faulted
+//! queries as [`Outcome::Panicked`] / [`Outcome::Timeout`] with their
+//! structured [`SynthesisError`]s, and (c) return every *other* query
+//! bitwise-identical to a sequential run — at any worker count.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{
+    BatchEngine, BatchOptions, Fault, Outcome, Synthesis, SynthesisConfig, SynthesisError,
+    Synthesizer,
+};
+
+/// Input index of the query whose synthesis panics.
+const PANIC_AT: usize = 13;
+/// Input index of the query that runs under a zero deadline.
+const DEADLINE_AT: usize = 40;
+/// Batch size (the textedit corpus, tiled).
+const BATCH: usize = 64;
+
+/// The comparable projection of a synthesis result: everything except
+/// wall-clock timings and memo counters (which legitimately vary).
+fn fingerprint(s: &Synthesis) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|edges={} orig_paths={} orphans={} variants={} merged={}",
+        s.outcome,
+        s.expression,
+        s.cgt,
+        s.error,
+        s.stats.dep_edges,
+        s.stats.orig_paths,
+        s.stats.orphans,
+        s.stats.orphan_variants,
+        s.stats.merged_combinations,
+    )
+}
+
+/// Installs (once, binary-wide) a panic hook that swallows the panics
+/// this suite injects on purpose, keeping test output readable. Real
+/// panics still print through the default hook.
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.starts_with("injected:") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn batch_queries() -> Vec<String> {
+    let corpus: Vec<String> = textedit::queries().into_iter().map(|c| c.query).collect();
+    assert!(!corpus.is_empty());
+    (0..BATCH)
+        .map(|i| corpus[i % corpus.len()].clone())
+        .collect()
+}
+
+#[test]
+fn faulted_batch_isolates_failures_at_any_worker_count() {
+    silence_injected_panics();
+    let domain = textedit::domain().expect("domain builds");
+    let config = SynthesisConfig::default();
+    let queries = batch_queries();
+
+    let sequential = Synthesizer::new(domain.clone(), config.clone());
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| fingerprint(&sequential.synthesize(q)))
+        .collect();
+
+    for workers in [1, 2, 4, 8] {
+        let mut engine = BatchEngine::with_options(
+            domain.clone(),
+            config.clone(),
+            BatchOptions {
+                workers,
+                cache_capacity: 1024,
+                ..BatchOptions::default()
+            },
+        );
+        engine.set_fault_hook(|index, _query| match index {
+            PANIC_AT => Some(Fault::Panic("injected: query synthesis panicked".into())),
+            DEADLINE_AT => Some(Fault::Config(
+                SynthesisConfig::default().deadline(Duration::ZERO),
+            )),
+            _ => None,
+        });
+        let report = engine.synthesize_batch(&queries);
+        assert_eq!(report.results.len(), BATCH);
+
+        // (b) The faulted slots carry structured failures.
+        let panicked = &report.results[PANIC_AT];
+        assert_eq!(panicked.outcome, Outcome::Panicked, "workers={workers}");
+        assert_eq!(
+            panicked.error,
+            Some(SynthesisError::Panicked {
+                message: "injected: query synthesis panicked".to_string()
+            })
+        );
+        let timed_out = &report.results[DEADLINE_AT];
+        assert_eq!(timed_out.outcome, Outcome::Timeout, "workers={workers}");
+        assert_eq!(timed_out.error, Some(SynthesisError::DeadlineExceeded));
+        // A busted deadline returns promptly instead of hogging the worker
+        // (generous bound for loaded CI hosts; the budget itself is zero).
+        assert!(
+            timed_out.elapsed < Duration::from_secs(2),
+            "workers={workers}: deadline-busted query took {:?}",
+            timed_out.elapsed
+        );
+
+        // (c) Every other query is bitwise-identical to the sequential run.
+        for (i, (got, want)) in report.results.iter().zip(&expected).enumerate() {
+            if i == PANIC_AT || i == DEADLINE_AT {
+                continue;
+            }
+            assert_eq!(
+                &fingerprint(got),
+                want,
+                "workers={workers} query #{i}: {:?}",
+                queries[i]
+            );
+        }
+
+        // The aggregate tallies cover all outcomes, faulted included.
+        let s = &report.stats;
+        assert_eq!(s.total, BATCH);
+        assert_eq!(s.panics, 1, "workers={workers}");
+        assert!(s.timeouts >= 1, "workers={workers}");
+        assert_eq!(
+            s.successes + s.timeouts + s.no_parse + s.no_result + s.panics,
+            s.total,
+            "workers={workers}"
+        );
+        // Worker accounting survives the faults: every query was handled
+        // by exactly one worker.
+        let worked: usize = s.workers.iter().map(|w| w.queries).sum();
+        assert_eq!(worked, BATCH, "workers={workers}");
+    }
+}
+
+#[test]
+fn edge_memo_keys_is_total_on_degenerate_queries_in_both_domains() {
+    // The co-scheduler calls `edge_memo_keys` on every raw input before
+    // workers start; a panic here would fault the whole batch, not one
+    // query. It must return an empty signature on degenerate input.
+    let domains = [
+        textedit::domain().expect("textedit builds"),
+        astmatcher::domain().expect("astmatcher builds"),
+    ];
+    for domain in domains {
+        let synth = Synthesizer::new(domain, SynthesisConfig::default());
+        assert!(synth.edge_memo_keys("").is_empty());
+        assert!(synth.edge_memo_keys("   \t \u{a0}  ").is_empty());
+        // Unparseable nonsense must not panic; whether it prunes to an
+        // empty signature is up to the parser.
+        let _ = synth.edge_memo_keys("qzx vbnm wret");
+        let _ = synth.edge_memo_keys("\"\" \"\" \"\"");
+    }
+}
+
+#[test]
+fn every_query_panicking_still_terminates() {
+    silence_injected_panics();
+    // The degenerate worst case: the whole batch is poison. The engine
+    // must drain it, tally it, and stay usable for the next batch.
+    let domain = textedit::domain().expect("domain builds");
+    let queries = batch_queries();
+    let mut engine = BatchEngine::with_options(
+        domain,
+        SynthesisConfig::default(),
+        BatchOptions {
+            workers: 4,
+            cache_capacity: 256,
+            ..BatchOptions::default()
+        },
+    );
+    engine.set_fault_hook(|_, _| Some(Fault::Panic("injected: total chaos".into())));
+    let report = engine.synthesize_batch(&queries);
+    assert_eq!(report.stats.panics, BATCH);
+    assert!(report
+        .results
+        .iter()
+        .all(|r| r.outcome == Outcome::Panicked && r.expression.is_none()));
+}

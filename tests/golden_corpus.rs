@@ -39,6 +39,7 @@ fn render_corpus(domain: Domain, queries: &[String]) -> String {
             Outcome::Timeout => "<timeout>".to_string(),
             Outcome::NoParse => "<no-parse>".to_string(),
             Outcome::NoResult => "<no-result>".to_string(),
+            Outcome::Panicked => "<panicked>".to_string(),
         };
         writeln!(out, "{query} => {rendered}").expect("string write");
     }
