@@ -1,9 +1,9 @@
 # Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
 # steps as the CI gate. Keep the two in sync.
 
-.PHONY: ci build test test-faults fmt clippy bench-batch bench-json bench-gate bless-golden
+.PHONY: ci build test test-faults test-serve fmt clippy bench-batch bench-json bench-gate bless-golden serve serve-stop load-gen load-gen-smoke
 
-ci: build test test-faults fmt clippy
+ci: build test test-faults test-serve fmt clippy
 
 build:
 	cargo build --release
@@ -19,6 +19,12 @@ test:
 test-faults:
 	timeout --signal=KILL 600 cargo test -q --test fault_injection
 	timeout --signal=KILL 300 cargo test -q -p nlquery-core --lib -- batch:: memo::
+
+# The serving-layer end-to-end suite: ephemeral-port boot, concurrent
+# clients, 429 shedding, structured deadline errors, graceful drain. A
+# wedged drain would hang forever, so it runs under a hard timeout too.
+test-serve:
+	timeout --signal=KILL 600 cargo test -q --test serve_integration
 
 fmt:
 	cargo fmt --all -- --check
@@ -36,6 +42,25 @@ bench-json:
 # timeout, non-zero exit if cold throughput degrades with workers.
 bench-gate:
 	NLQUERY_TIMEOUT_SECS=5 NLQUERY_BENCH_TILES=2 NLQUERY_BENCH_GATE=1 cargo run --release --bin batch_throughput
+
+# Run the resident query service on localhost (std-only HTTP/1.1; no
+# signal handler, so stop it with `make serve-stop` or POST /shutdown).
+serve:
+	cargo run --release --bin nlquery-serve -- --addr 127.0.0.1:7878
+
+serve-stop:
+	curl -s -X POST http://127.0.0.1:7878/shutdown || true
+
+# Loopback load generator: boots the server in-process on an ephemeral
+# port, drives it with concurrent keep-alive connections, and writes
+# BENCH_serve.json (p50/p95/p99 latency, qps, shed rate). Tune with
+# NLQUERY_LOAD_CONNS / NLQUERY_LOAD_REQUESTS / NLQUERY_LOAD_QUEUE_DEPTH.
+load-gen:
+	cargo run --release --bin load_gen
+
+# The CI smoke variant: small N under a hard wall-clock timeout.
+load-gen-smoke:
+	NLQUERY_LOAD_CONNS=2 NLQUERY_LOAD_REQUESTS=10 timeout --signal=KILL 300 cargo run --release --bin load_gen
 
 # Regenerate the golden corpus snapshots after a deliberate output change.
 bless-golden:

@@ -32,6 +32,7 @@
 use nlquery::domains::astmatcher;
 use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
 use nlquery_bench::{fmt_time, timeout};
+use nlquery_core::json::{batch_stats_json, JsonValue};
 
 /// Default corpus tiling factor (override with `NLQUERY_BENCH_TILES`).
 const DEFAULT_TILES: usize = 4;
@@ -82,61 +83,39 @@ struct JsonRow {
     report: BatchReport,
 }
 
-/// Serializes the collected rows as JSON by hand (the workspace is
-/// std-only; the schema is flat enough that string assembly is safe —
-/// every value is a number or a fixed keyword).
+/// Serializes the collected rows via the shared in-tree JSON writer
+/// (`nlquery_core::json`), so the bench schema and the server's wire
+/// schema come from one place (`batch_stats_json`).
 fn write_json(path: &str, rows: &[JsonRow], corpus_len: usize) {
     let shards = rows
         .first()
         .map(|r| r.report.stats.cache.shards)
         .unwrap_or(0);
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"bench\": \"batch_throughput\",\n  \"corpus\": \"astmatcher\",\n  \"corpus_queries\": {corpus_len},\n  \"tiles\": {},\n  \"shards\": {shards},\n  \"timeout_secs\": {},\n  \"rows\": [\n",
-        tiles(),
-        timeout().as_secs_f64(),
-    ));
-    for (i, row) in rows.iter().enumerate() {
-        let s = &row.report.stats;
-        out.push_str(&format!(
-            concat!(
-                "    {{\"workers\": {}, \"pass\": \"{}\", \"queries\": {}, ",
-                "\"wall_secs\": {:.6}, \"queries_per_sec\": {:.3}, ",
-                "\"worker_utilization\": {:.4}, ",
-                "\"successes\": {}, \"timeouts\": {}, \"no_parse\": {}, ",
-                "\"no_result\": {}, \"panics\": {}, ",
-                "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_dedup_waits\": {}, ",
-                "\"cache_hit_rate\": {:.4}, \"shards\": {}, ",
-                "\"stage_secs\": {{\"parse\": {:.6}, \"prune\": {:.6}, \"word2api\": {:.6}, ",
-                "\"edge2path\": {:.6}, \"merge\": {:.6}, \"print\": {:.6}}}}}{}\n",
-            ),
-            row.workers,
-            row.pass,
-            s.total,
-            s.wall.as_secs_f64(),
-            s.queries_per_sec(),
-            s.worker_utilization(),
-            s.successes,
-            s.timeouts,
-            s.no_parse,
-            s.no_result,
-            s.panics,
-            s.cache.hits,
-            s.cache.misses,
-            s.cache.dedup_waits,
-            s.cache.hit_rate(),
-            s.cache.shards,
-            s.t_parse.as_secs_f64(),
-            s.t_prune.as_secs_f64(),
-            s.t_word2api.as_secs_f64(),
-            s.t_edge2path.as_secs_f64(),
-            s.t_merge.as_secs_f64(),
-            s.t_print.as_secs_f64(),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    match std::fs::write(path, &out) {
+    let json_rows: Vec<JsonValue> = rows
+        .iter()
+        .map(|row| {
+            let mut doc = JsonValue::obj([
+                ("workers", JsonValue::from(row.workers)),
+                ("pass", JsonValue::from(row.pass)),
+            ]);
+            if let JsonValue::Object(fields) = batch_stats_json(&row.report.stats) {
+                for (key, value) in fields {
+                    doc.push_field(key, value);
+                }
+            }
+            doc
+        })
+        .collect();
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::from("batch_throughput")),
+        ("corpus", JsonValue::from("astmatcher")),
+        ("corpus_queries", JsonValue::from(corpus_len)),
+        ("tiles", JsonValue::from(tiles())),
+        ("shards", JsonValue::from(shards)),
+        ("timeout_secs", JsonValue::from(timeout().as_secs_f64())),
+        ("rows", JsonValue::Array(json_rows)),
+    ]);
+    match std::fs::write(path, doc.render_pretty()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -1,0 +1,221 @@
+//! Loopback load generator for `nlquery-serve`: boots the server
+//! in-process on an ephemeral port, drives it with N concurrent
+//! keep-alive connections replaying the astmatcher corpus, and writes a
+//! machine-readable `BENCH_serve.json` — p50/p95/p99 latency (from the
+//! shared log-bucketed [`LatencyHistogram`]), queries/sec, and the shed
+//! rate — so CI can archive the serving-layer perf trajectory alongside
+//! the batch numbers.
+//!
+//! Environment knobs:
+//!
+//! - `NLQUERY_LOAD_CONNS`: concurrent connections (default 4).
+//! - `NLQUERY_LOAD_REQUESTS`: requests per connection (default 50).
+//! - `NLQUERY_LOAD_QUEUE_DEPTH`: admission bound (default 64; set it
+//!   low to exercise shedding).
+//! - `NLQUERY_LOAD_WINDOW_US`: micro-batch window in µs (default 2000).
+//! - `NLQUERY_BENCH_JSON`: output path (default `BENCH_serve.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use nlquery_core::{JsonValue, LatencyHistogram, SynthesisConfig};
+use nlquery_domains::astmatcher;
+use nlquery_serve::{HttpClient, Server, ServerConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    successes: AtomicU64,
+    timeouts: AtomicU64,
+    failures: AtomicU64,
+}
+
+fn quantile_secs(snap: &nlquery_core::HistogramSnapshot, q: f64) -> f64 {
+    snap.quantile(q).map(|d| d.as_secs_f64()).unwrap_or(0.0)
+}
+
+fn main() {
+    let conns = env_usize("NLQUERY_LOAD_CONNS", 4);
+    let requests = env_usize("NLQUERY_LOAD_REQUESTS", 50);
+    let queue_depth = env_usize("NLQUERY_LOAD_QUEUE_DEPTH", 64);
+    let window_us = env_usize("NLQUERY_LOAD_WINDOW_US", 2000);
+
+    let domain = astmatcher::domain().expect("embedded domain builds");
+    let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    let server = Server::start(
+        domain,
+        SynthesisConfig::default(),
+        ServerConfig {
+            queue_depth,
+            batch_window: Duration::from_micros(window_us as u64),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server boots on an ephemeral loopback port");
+    let addr = server.local_addr();
+    println!(
+        "load_gen: {conns} connections x {requests} requests against http://{addr} \
+         ({} corpus queries, queue depth {queue_depth}, window {window_us}us)",
+        corpus.len(),
+    );
+
+    let latency = Arc::new(LatencyHistogram::new());
+    let tally = Arc::new(Tally::default());
+    let barrier = Arc::new(Barrier::new(conns + 1));
+
+    let workers: Vec<_> = (0..conns)
+        .map(|conn| {
+            let corpus = corpus.clone();
+            let latency = Arc::clone(&latency);
+            let tally = Arc::clone(&tally);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                barrier.wait();
+                for i in 0..requests {
+                    // Each connection walks the corpus at a coprime
+                    // stride so concurrent windows mix repeated and
+                    // distinct shapes, like real interactive traffic.
+                    let query = &corpus[(conn * 7919 + i) % corpus.len()];
+                    let start = Instant::now();
+                    match client.synthesize(query, None) {
+                        Ok(resp) if resp.status == 200 => {
+                            latency.record(start.elapsed());
+                            tally.ok.fetch_add(1, Ordering::Relaxed);
+                            match resp
+                                .json()
+                                .ok()
+                                .as_ref()
+                                .and_then(|d| d.get("outcome"))
+                                .and_then(JsonValue::as_str)
+                            {
+                                Some("success") => &tally.successes,
+                                Some("timeout") => &tally.timeouts,
+                                _ => &tally.failures,
+                            }
+                            .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if resp.status == 429 => {
+                            tally.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) | Err(_) => {
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            // The connection may be dead; reconnect.
+                            if let Ok(fresh) = HttpClient::connect(addr) {
+                                client = fresh;
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let begin = Instant::now();
+    for worker in workers {
+        worker.join().expect("load connection thread");
+    }
+    let wall = begin.elapsed();
+
+    // One scrape under our own load proves the exporter end-to-end.
+    let metrics_ok = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/metrics"))
+        .map(|r| r.status == 200 && r.body.contains("nlquery_jobs_completed_total"))
+        .unwrap_or(false);
+
+    server.shutdown();
+    server.join();
+
+    let snap = latency.snapshot();
+    let total = (conns * requests) as u64;
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let qps = ok as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = quantile_secs(&snap, 0.50);
+    let p95 = quantile_secs(&snap, 0.95);
+    let p99 = quantile_secs(&snap, 0.99);
+
+    println!(
+        "load_gen: {ok}/{total} ok, {shed} shed, {errors} errors in {:.2}s  {qps:.1} q/s  \
+         p50 {:.1}ms  p95 {:.1}ms  p99 {:.1}ms  metrics {}",
+        wall.as_secs_f64(),
+        p50 * 1e3,
+        p95 * 1e3,
+        p99 * 1e3,
+        if metrics_ok { "ok" } else { "FAILED" },
+    );
+
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::from("serve_load")),
+        ("corpus", JsonValue::from("astmatcher")),
+        ("connections", JsonValue::from(conns)),
+        ("requests_per_connection", JsonValue::from(requests)),
+        ("queue_depth", JsonValue::from(queue_depth)),
+        ("batch_window_us", JsonValue::from(window_us)),
+        ("total_requests", JsonValue::from(total)),
+        ("ok", JsonValue::from(ok)),
+        ("shed", JsonValue::from(shed)),
+        ("errors", JsonValue::from(errors)),
+        (
+            "shed_rate",
+            JsonValue::from(shed as f64 / total.max(1) as f64),
+        ),
+        ("wall_secs", JsonValue::from(wall.as_secs_f64())),
+        ("qps", JsonValue::from(qps)),
+        (
+            "latency_secs",
+            JsonValue::obj([
+                ("p50", JsonValue::from(p50)),
+                ("p95", JsonValue::from(p95)),
+                ("p99", JsonValue::from(p99)),
+                (
+                    "mean",
+                    JsonValue::from(snap.mean().map(|d| d.as_secs_f64()).unwrap_or(0.0)),
+                ),
+                ("count", JsonValue::from(snap.count)),
+            ]),
+        ),
+        (
+            "outcomes",
+            JsonValue::obj([
+                (
+                    "success",
+                    JsonValue::from(tally.successes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "timeout",
+                    JsonValue::from(tally.timeouts.load(Ordering::Relaxed)),
+                ),
+                (
+                    "other",
+                    JsonValue::from(tally.failures.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        ("metrics_scrape_ok", JsonValue::from(metrics_ok)),
+    ]);
+    let path =
+        std::env::var("NLQUERY_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    match std::fs::write(&path, doc.render_pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if errors > 0 || !metrics_ok {
+        eprintln!("load_gen: {errors} transport errors, metrics_ok={metrics_ok}");
+        std::process::exit(1);
+    }
+}

@@ -1,14 +1,14 @@
 //! Concurrent batch synthesis for one domain.
 //!
-//! [`BatchEngine`] synthesizes a slice of queries on a std-only
-//! work-stealing worker pool (`std::thread::scope` + `std::sync::mpsc`
-//! channels — no external dependencies): each worker owns a deque of query
-//! indices and steals from the back of its neighbours' deques when its own
-//! runs dry. All workers share one cross-query
-//! [`SharedPathCache`], so structurally repeated EdgeToPath searches —
-//! common in corpora where many queries exercise the same API
-//! neighbourhoods — resolve from the memo instead of re-searching the
-//! grammar graph.
+//! [`BatchEngine`] synthesizes a slice of queries on a **resident**
+//! std-only worker pool — it is a thin batch-shaped facade over
+//! [`ServiceEngine`](crate::ServiceEngine), which owns the long-lived
+//! workers and the cross-query [`SharedPathCache`]. Each worker pops from
+//! its own deque and steals from the back of its neighbours' deques when
+//! its own runs dry; all workers share one memo cache, so structurally
+//! repeated EdgeToPath searches — common in corpora where many queries
+//! exercise the same API neighbourhoods — resolve from the memo instead
+//! of re-searching the grammar graph.
 //!
 //! Results are written back by input index, so a batch is **bit-identical**
 //! to running [`Synthesizer::synthesize`] sequentially on each query, at
@@ -20,13 +20,9 @@
 //! under [`std::panic::catch_unwind`]; a panic becomes an
 //! [`Outcome::Panicked`] result carrying the panic message as
 //! [`crate::SynthesisError::Panicked`], and the worker moves on to its
-//! next query. The worker body itself is guarded too, so a panic escaping
-//! the per-query guard cannot re-panic out of `thread::scope`: any query
-//! claimed but never reported when the batch drains is filled in as
-//! `Panicked` rather than aborting. Deque locks recover from poisoning
-//! (a peer's panic leaves the deque itself intact — indices are popped
-//! before synthesis starts), and result/stat channel sends are no-ops
-//! once the receiver is gone. Tests inject faults deterministically via
+//! next query — resident workers **survive** panics rather than being
+//! respawned. Pool locks recover from poisoning, so one faulted batch
+//! never wedges the next. Tests inject faults deterministically via
 //! [`BatchEngine::set_fault_hook`].
 //!
 //! ```rust
@@ -49,30 +45,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::thread;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::memo::{CacheStats, SharedPathCache};
 use crate::pipeline::{Outcome, Synthesis, Synthesizer};
+use crate::service::{JobSpec, ServiceEngine};
 use crate::{Domain, SynthesisConfig};
 
-/// A fault injected into one batch query, returned by a hook registered
-/// with [`BatchEngine::set_fault_hook`]. Exists so the engine's isolation
-/// machinery can be exercised deterministically (fault-injection tests,
-/// chaos harnesses) without planting bugs in the pipeline.
-#[derive(Debug, Clone)]
-pub enum Fault {
-    /// Panic with this message in place of synthesizing the query.
-    Panic(String),
-    /// Synthesize the query under this configuration instead of the
-    /// engine's — e.g. a zero [`SynthesisConfig::deadline`] to force a
-    /// deterministic `DeadlineExceeded`.
-    Config(SynthesisConfig),
-}
+pub use crate::service::{Fault, WorkerStats};
 
 /// Signature of a fault injector: `(input index, query) -> fault?`.
 type FaultFn = dyn Fn(usize, &str) -> Option<Fault> + Send + Sync;
@@ -88,26 +69,8 @@ impl std::fmt::Debug for FaultHook {
     }
 }
 
-/// Locks a deque, recovering from poisoning: a worker that panicked while
-/// holding the lock can only have been mid-`pop` — the deque holds plain
-/// indices and is never left half-mutated, so the data is still sound.
-fn lock_deque(m: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Best-effort extraction of a panic payload's message (`panic!` with a
-/// `&str` or formatted `String` covers practically all of std and ours).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Tuning knobs of a [`BatchEngine`].
+/// Tuning knobs of a [`BatchEngine`] (and of the underlying
+/// [`ServiceEngine`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchOptions {
     /// Worker threads; 0 means `std::thread::available_parallelism()`.
@@ -133,17 +96,6 @@ impl Default for BatchOptions {
             co_schedule: true,
         }
     }
-}
-
-/// Per-worker utilization counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// Queries this worker synthesized.
-    pub queries: usize,
-    /// Queries it stole from other workers' deques.
-    pub stolen: usize,
-    /// Time it spent synthesizing (as opposed to idling on empty deques).
-    pub busy: Duration,
 }
 
 /// Aggregate statistics of one batch run.
@@ -181,7 +133,9 @@ pub struct BatchStats {
     /// Shared memo-cache activity **of this batch** (counter deltas between
     /// batch start and end; the `entries`/`capacity`/`shards` gauges are
     /// absolute). The cache itself persists across batches — see
-    /// [`BatchEngine::cache`] for cumulative counters.
+    /// [`BatchEngine::cache`] for cumulative counters. On an engine whose
+    /// [`ServiceEngine`] is serving other submissions concurrently, the
+    /// delta includes their activity too.
     pub cache: CacheStats,
     /// Per-worker utilization, indexed by worker id.
     pub workers: Vec<WorkerStats>,
@@ -227,15 +181,14 @@ pub struct BatchReport {
 
 /// A concurrent batch synthesizer for one domain.
 ///
-/// The engine owns a [`Synthesizer`] and a [`SharedPathCache`] that
-/// persists across [`BatchEngine::synthesize_batch`] calls — repeated
-/// batches over structurally similar queries get warmer and warmer.
+/// The engine owns a resident [`ServiceEngine`] — a [`Synthesizer`], a
+/// persistent worker pool, and a [`SharedPathCache`] that all persist
+/// across [`BatchEngine::synthesize_batch`] calls — repeated batches over
+/// structurally similar queries get warmer and warmer, and thread spawn
+/// is paid once at construction rather than per batch.
 #[derive(Debug)]
 pub struct BatchEngine {
-    synthesizer: Synthesizer,
-    workers: usize,
-    co_schedule: bool,
-    cache: Arc<SharedPathCache>,
+    service: ServiceEngine,
     fault_hook: Option<FaultHook>,
 }
 
@@ -251,32 +204,17 @@ impl BatchEngine {
         config: SynthesisConfig,
         options: BatchOptions,
     ) -> BatchEngine {
-        let workers = if options.workers == 0 {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            options.workers
-        };
-        let shards = if options.cache_shards == 0 {
-            crate::memo::DEFAULT_SHARDS
-        } else {
-            options.cache_shards
-        };
         BatchEngine {
-            synthesizer: Synthesizer::new(domain, config),
-            workers,
-            co_schedule: options.co_schedule,
-            cache: Arc::new(SharedPathCache::with_shards(options.cache_capacity, shards)),
+            service: ServiceEngine::with_options(domain, config, options),
             fault_hook: None,
         }
     }
 
     /// Registers a per-query fault injector, consulted with the query's
-    /// input index and text before each synthesis. Returning a [`Fault`]
-    /// makes that query panic or run under an alternate configuration;
-    /// `None` leaves it untouched. For fault-injection tests — production
-    /// batches should not set a hook.
+    /// input index and text as each batch is submitted. Returning a
+    /// [`Fault`] makes that query panic or run under an alternate
+    /// configuration; `None` leaves it untouched. For fault-injection
+    /// tests — production batches should not set a hook.
     pub fn set_fault_hook<F>(&mut self, hook: F)
     where
         F: Fn(usize, &str) -> Option<Fault> + Send + Sync + 'static,
@@ -286,17 +224,22 @@ impl BatchEngine {
 
     /// The underlying sequential synthesizer.
     pub fn synthesizer(&self) -> &Synthesizer {
-        &self.synthesizer
+        self.service.synthesizer()
+    }
+
+    /// The resident engine backing this batch facade.
+    pub fn service(&self) -> &ServiceEngine {
+        &self.service
     }
 
     /// The cross-query memo cache (shared across batches and workers).
     pub fn cache(&self) -> &Arc<SharedPathCache> {
-        &self.cache
+        self.service.cache()
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.service.workers()
     }
 
     /// Synthesizes every query concurrently; results come back in input
@@ -304,110 +247,32 @@ impl BatchEngine {
     /// output at any worker count.
     pub fn synthesize_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> BatchReport {
         let started = Instant::now();
-        let cache_before = self.cache.stats();
-        let workers = self.workers.min(queries.len()).max(1);
-        let deques = self.plan_deques(queries, workers);
-
-        let mut results: Vec<Option<Synthesis>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        let mut worker_stats = vec![WorkerStats::default(); workers];
-
-        thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, usize, Box<Synthesis>)>();
-            let (stat_tx, stat_rx) = mpsc::channel::<(usize, WorkerStats)>();
-            for worker in 0..workers {
-                let tx = tx.clone();
-                let stat_tx = stat_tx.clone();
-                let deques = &deques;
-                let cache = &self.cache;
-                let synthesizer = &self.synthesizer;
-                let fault_hook = &self.fault_hook;
-                scope.spawn(move || {
-                    // The worker body is guarded so a panic that escapes
-                    // the per-query guard cannot re-panic out of
-                    // `thread::scope` (scope re-raises panics of joined
-                    // threads). A dead worker's claimed query surfaces as
-                    // `Panicked` via the post-drain fill below.
-                    let body = catch_unwind(AssertUnwindSafe(|| {
-                        let mut stats = WorkerStats::default();
-                        loop {
-                            // Own deque first (front), then steal (back).
-                            let mut claim = lock_deque(&deques[worker]).pop_front();
-                            let mut stolen = false;
-                            if claim.is_none() {
-                                for victim in 1..workers {
-                                    let v = (worker + victim) % workers;
-                                    claim = lock_deque(&deques[v]).pop_back();
-                                    if claim.is_some() {
-                                        stolen = true;
-                                        break;
-                                    }
-                                }
-                            }
-                            let Some(index) = claim else { break };
-                            let query = queries[index].as_ref();
-                            let t = Instant::now();
-                            let fault = fault_hook.as_ref().and_then(|h| (h.0)(index, query));
-                            let run = catch_unwind(AssertUnwindSafe(|| match fault {
-                                Some(Fault::Panic(message)) => panic!("{message}"),
-                                Some(Fault::Config(config)) => {
-                                    let mut alt = synthesizer.clone();
-                                    alt.set_config(config);
-                                    alt.synthesize_shared(query, cache)
-                                }
-                                None => synthesizer.synthesize_shared(query, cache),
-                            }));
-                            let synthesis = match run {
-                                Ok(synthesis) => synthesis,
-                                Err(payload) => {
-                                    Synthesis::panicked(panic_message(&*payload), t.elapsed())
-                                }
-                            };
-                            stats.busy += t.elapsed();
-                            stats.queries += 1;
-                            stats.stolen += usize::from(stolen);
-                            // No-op once the receiver is gone (shutdown).
-                            let _ = tx.send((worker, index, Box::new(synthesis)));
-                        }
-                        stats
-                    }));
-                    if let Ok(stats) = body {
-                        let _ = stat_tx.send((worker, stats));
-                    }
-                });
-            }
-            drop(tx);
-            drop(stat_tx);
-            for (_, index, synthesis) in rx {
-                results[index] = Some(*synthesis);
-            }
-            for (worker, stats) in stat_rx {
-                worker_stats[worker] = stats;
-            }
-        });
-
-        // Every slot still empty after the drain belongs to a query a dying
-        // worker claimed but never reported: make the loss explicit.
-        let results: Vec<Synthesis> = results
-            .into_iter()
-            .map(|r| {
-                r.unwrap_or_else(|| {
-                    Synthesis::panicked(
-                        "worker died before reporting this query".to_string(),
-                        Duration::ZERO,
-                    )
-                })
+        let cache_before = self.service.cache().stats();
+        let jobs: Vec<JobSpec> = queries
+            .iter()
+            .enumerate()
+            .map(|(index, query)| {
+                let query = query.as_ref();
+                JobSpec {
+                    query: query.to_string(),
+                    config: None,
+                    fault: self
+                        .fault_hook
+                        .as_ref()
+                        .and_then(|hook| (hook.0)(index, query)),
+                }
             })
             .collect();
+        let report = self.service.submit(jobs).wait();
 
         let mut stats = BatchStats {
-            total: results.len(),
+            total: report.results.len(),
             wall: started.elapsed(),
-            cache: self.cache.stats().delta_since(&cache_before),
-            workers: worker_stats,
+            cache: self.service.cache().stats().delta_since(&cache_before),
+            workers: report.workers,
             ..BatchStats::default()
         };
-        for r in &results {
+        for r in &report.results {
             match r.outcome {
                 Outcome::Success => stats.successes += 1,
                 Outcome::Timeout => stats.timeouts += 1,
@@ -423,65 +288,9 @@ impl BatchEngine {
             stats.t_merge += r.stats.t_merge;
             stats.t_print += r.stats.t_print;
         }
-        BatchReport { results, stats }
-    }
-
-    /// Initial work distribution: one deque per worker. Workers pop their
-    /// own deque from the front and steal from the back of a neighbour's
-    /// when empty.
-    ///
-    /// With co-scheduling on (and a real pool to schedule over), queries
-    /// are first grouped by the memo-key *signature* of their pruned query
-    /// graph — the exact cache keys their EdgeToPath step will request,
-    /// derived from the cheap steps 1–3. Each group lands on one worker
-    /// (largest groups first, dealt to the least-loaded worker), so on a
-    /// cold cache the group's first query computes the searches and the
-    /// rest hit locally, while *other* workers make progress on disjoint
-    /// key groups instead of blocking on the same in-flight slots.
-    /// Otherwise the distribution is contiguous chunks in input order.
-    fn plan_deques<S: AsRef<str> + Sync>(
-        &self,
-        queries: &[S],
-        workers: usize,
-    ) -> Vec<Mutex<VecDeque<usize>>> {
-        if workers > 1 && self.co_schedule && queries.len() > workers {
-            use std::collections::HashMap;
-            use std::hash::{DefaultHasher, Hash, Hasher};
-            let mut groups: Vec<Vec<usize>> = Vec::new();
-            let mut by_signature: HashMap<u64, usize> = HashMap::new();
-            for (index, query) in queries.iter().enumerate() {
-                let keys = self.synthesizer.edge_memo_keys(query.as_ref());
-                let mut h = DefaultHasher::new();
-                keys.hash(&mut h);
-                let group = *by_signature.entry(h.finish()).or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
-                });
-                groups[group].push(index);
-            }
-            // Largest-first deal to the least-loaded worker (LPT): balances
-            // load while keeping each group on one worker. Ties break on
-            // group discovery order / lowest worker id — deterministic.
-            let mut order: Vec<usize> = (0..groups.len()).collect();
-            order.sort_by_key(|&g| (std::cmp::Reverse(groups[g].len()), g));
-            let mut loads = vec![0usize; workers];
-            let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
-            for g in order {
-                let w = (0..workers).min_by_key(|&w| (loads[w], w)).expect(">=1");
-                loads[w] += groups[g].len();
-                deques[w].extend(groups[g].iter().copied());
-            }
-            deques.into_iter().map(Mutex::new).collect()
-        } else {
-            let chunk = queries.len().div_ceil(workers);
-            (0..workers)
-                .map(|w| {
-                    Mutex::new(
-                        (w * chunk..((w + 1) * chunk).min(queries.len()))
-                            .collect::<VecDeque<usize>>(),
-                    )
-                })
-                .collect()
+        BatchReport {
+            results: report.results,
+            stats,
         }
     }
 }

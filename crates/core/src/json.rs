@@ -1,0 +1,812 @@
+//! Minimal std-only JSON: a value tree, a renderer, a parser, and the
+//! canonical JSON projections of this crate's statistics types.
+//!
+//! The workspace is offline-green (no registry dependencies), so the
+//! bench binaries used to hand-assemble their JSON summaries with string
+//! pushes. This module centralizes that: benches, the `nlquery-serve`
+//! HTTP responses, and the load generator all build [`JsonValue`] trees
+//! and render them, and stats serialization ([`batch_stats_json`],
+//! [`cache_stats_json`], [`synthesis_json`]) lives in exactly one place.
+//!
+//! The parser is for the small, trusted-shape request bodies the serve
+//! layer accepts (`{"query": "...", "deadline_ms": 100}`): full JSON
+//! grammar, string escapes, `\uXXXX` (including surrogate pairs), with a
+//! nesting-depth cap so hostile input cannot overflow the stack.
+
+use std::fmt::Write as _;
+
+use crate::batch::BatchStats;
+use crate::memo::CacheStats;
+use crate::pipeline::{Outcome, Synthesis};
+use crate::stats::SynthesisStats;
+use crate::SynthesisError;
+
+/// Maximum container nesting the parser accepts.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON document as a value tree. Objects preserve insertion order
+/// (they render deterministically), and integers are kept apart from
+/// floats so counters render without a decimal point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counters).
+    UInt(u64),
+    /// A float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object: ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> JsonValue {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> JsonValue {
+        JsonValue::Int(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> JsonValue {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> JsonValue {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> JsonValue {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> JsonValue {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> JsonValue {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Array(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> JsonValue {
+        v.map(Into::into).unwrap_or(JsonValue::Null)
+    }
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<JsonValue>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> JsonValue {
+        JsonValue::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Appends a field to an object (no-op with a debug assertion on
+    /// non-objects).
+    pub fn push_field(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) {
+        if let JsonValue::Object(fields) = self {
+            fields.push((key.into(), value.into()));
+        } else {
+            debug_assert!(false, "push_field on a non-object");
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integral payload, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            JsonValue::UInt(v) => Some(*v),
+            JsonValue::Float(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Renders compactly (no whitespace) — the wire format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation and a trailing newline — the
+    /// on-disk format of the `BENCH_*.json` artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest representation that
+                    // round-trips; integral floats get an explicit `.0`.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                write_container(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1);
+                });
+            }
+            JsonValue::Object(fields) => {
+                write_container(out, indent, level, '{', '}', fields.len(), |out, i| {
+                    let (key, value) = &fields[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1);
+                });
+            }
+        }
+    }
+
+    /// Parses a JSON document (must consume the full input).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing data after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_container(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("unescaped control character")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is &str, so byte
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| (b & 0xC0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pair?
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(combined).ok_or_else(|| self.err("invalid code point"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number characters");
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical JSON projections of the crate's statistics types: benches,
+// server responses, and the load generator all serialize through these.
+// ---------------------------------------------------------------------
+
+/// The stable lowercase label of an [`Outcome`] (used in JSON payloads
+/// and Prometheus label values).
+pub fn outcome_label(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Success => "success",
+        Outcome::Timeout => "timeout",
+        Outcome::NoParse => "no_parse",
+        Outcome::NoResult => "no_result",
+        Outcome::Panicked => "panicked",
+    }
+}
+
+/// A structured error object: `{"kind": "...", "message": "..."}`.
+pub fn error_json(error: &SynthesisError) -> JsonValue {
+    let kind = match error {
+        SynthesisError::InvalidDomain { .. } => "InvalidDomain",
+        SynthesisError::NoParse => "NoParse",
+        SynthesisError::NoApiCandidates => "NoApiCandidates",
+        SynthesisError::NoGrammarPath => "NoGrammarPath",
+        SynthesisError::DeadlineExceeded => "DeadlineExceeded",
+        SynthesisError::Panicked { .. } => "Panicked",
+    };
+    JsonValue::obj([
+        ("kind", JsonValue::from(kind)),
+        ("message", JsonValue::from(error.to_string())),
+    ])
+}
+
+/// Per-stage timings of one run, in seconds.
+pub fn stage_secs_json(stats: &SynthesisStats) -> JsonValue {
+    JsonValue::obj([
+        ("parse", stats.t_parse.as_secs_f64()),
+        ("prune", stats.t_prune.as_secs_f64()),
+        ("word2api", stats.t_word2api.as_secs_f64()),
+        ("edge2path", stats.t_edge2path.as_secs_f64()),
+        ("merge", stats.t_merge.as_secs_f64()),
+        ("print", stats.t_print.as_secs_f64()),
+    ])
+}
+
+/// The full wire form of one synthesis result: outcome, expression,
+/// structured error, wall-clock, per-stage timings, memo counters.
+pub fn synthesis_json(synthesis: &Synthesis) -> JsonValue {
+    JsonValue::obj([
+        ("outcome", JsonValue::from(outcome_label(synthesis.outcome))),
+        ("expression", JsonValue::from(synthesis.expression.clone())),
+        (
+            "error",
+            synthesis
+                .error
+                .as_ref()
+                .map(error_json)
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "elapsed_secs",
+            JsonValue::from(synthesis.elapsed.as_secs_f64()),
+        ),
+        ("stage_secs", stage_secs_json(&synthesis.stats)),
+        (
+            "memo",
+            JsonValue::obj([
+                ("hits", JsonValue::from(synthesis.stats.memo_hits)),
+                ("misses", JsonValue::from(synthesis.stats.memo_misses)),
+                (
+                    "dedup_waits",
+                    JsonValue::from(synthesis.stats.memo_dedup_waits),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The counters of a [`CacheStats`] snapshot.
+pub fn cache_stats_json(stats: &CacheStats) -> JsonValue {
+    JsonValue::obj([
+        ("hits", JsonValue::from(stats.hits)),
+        ("misses", JsonValue::from(stats.misses)),
+        ("dedup_waits", JsonValue::from(stats.dedup_waits)),
+        ("evictions", JsonValue::from(stats.evictions)),
+        ("hit_rate", JsonValue::from(stats.hit_rate())),
+        ("entries", JsonValue::from(stats.entries)),
+        ("capacity", JsonValue::from(stats.capacity)),
+        ("shards", JsonValue::from(stats.shards)),
+    ])
+}
+
+/// One batch's aggregate counters — the row body of
+/// `BENCH_throughput.json` (the bench prepends its own `workers`/`pass`
+/// discriminators).
+pub fn batch_stats_json(stats: &BatchStats) -> JsonValue {
+    JsonValue::obj([
+        ("queries", JsonValue::from(stats.total)),
+        ("wall_secs", JsonValue::from(stats.wall.as_secs_f64())),
+        ("queries_per_sec", JsonValue::from(stats.queries_per_sec())),
+        (
+            "worker_utilization",
+            JsonValue::from(stats.worker_utilization()),
+        ),
+        ("successes", JsonValue::from(stats.successes)),
+        ("timeouts", JsonValue::from(stats.timeouts)),
+        ("no_parse", JsonValue::from(stats.no_parse)),
+        ("no_result", JsonValue::from(stats.no_result)),
+        ("panics", JsonValue::from(stats.panics)),
+        ("cache_hits", JsonValue::from(stats.cache.hits)),
+        ("cache_misses", JsonValue::from(stats.cache.misses)),
+        (
+            "cache_dedup_waits",
+            JsonValue::from(stats.cache.dedup_waits),
+        ),
+        ("cache_hit_rate", JsonValue::from(stats.cache.hit_rate())),
+        ("shards", JsonValue::from(stats.cache.shards)),
+        (
+            "stage_secs",
+            JsonValue::obj([
+                ("parse", stats.t_parse.as_secs_f64()),
+                ("prune", stats.t_prune.as_secs_f64()),
+                ("word2api", stats.t_word2api.as_secs_f64()),
+                ("edge2path", stats.t_edge2path.as_secs_f64()),
+                ("merge", stats.t_merge.as_secs_f64()),
+                ("print", stats.t_print.as_secs_f64()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let doc = JsonValue::obj([
+            ("name", JsonValue::from("batch \"cold\"\n")),
+            ("count", JsonValue::from(42u64)),
+            ("ratio", JsonValue::from(0.125)),
+            ("negative", JsonValue::Int(-7)),
+            ("ok", JsonValue::from(true)),
+            ("missing", JsonValue::Null),
+            (
+                "rows",
+                JsonValue::Array(vec![JsonValue::from(1u64), JsonValue::from("two")]),
+            ),
+        ]);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let parsed = JsonValue::parse(&rendered).expect("own output parses");
+            assert_eq!(parsed, doc, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_standard_documents() {
+        let doc = JsonValue::parse(
+            r#" {"query": "delete the word", "deadline_ms": 250, "nested": {"a": [1, 2.5, -3]}, "esc": "a\u0041\n\u00e9"} "#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("query").and_then(JsonValue::as_str),
+            Some("delete the word")
+        );
+        assert_eq!(
+            doc.get("deadline_ms").and_then(JsonValue::as_u64),
+            Some(250)
+        );
+        let nested = doc.get("nested").and_then(|n| n.get("a")).unwrap();
+        assert_eq!(nested.as_array().unwrap().len(), 3);
+        assert_eq!(doc.get("esc").and_then(JsonValue::as_str), Some("aA\né"));
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let doc = JsonValue::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1,]",
+            "tru",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "\"\\ud800\"",
+            "01a",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(JsonValue::parse(&deep).is_err(), "hostile nesting rejected");
+    }
+
+    #[test]
+    fn numbers_keep_their_kind() {
+        let doc = JsonValue::parse("[18446744073709551615, -9, 1.5, 1e3]").unwrap();
+        let items = doc.as_array().unwrap();
+        assert_eq!(items[0], JsonValue::UInt(u64::MAX));
+        assert_eq!(items[1], JsonValue::Int(-9));
+        assert_eq!(items[2], JsonValue::Float(1.5));
+        assert_eq!(items[3], JsonValue::Float(1000.0));
+    }
+
+    #[test]
+    fn floats_render_finitely() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+        assert_eq!(JsonValue::UInt(2).render(), "2");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let s = JsonValue::from("\u{01}\t");
+        let rendered = s.render();
+        assert_eq!(rendered, "\"\\u0001\\t\"");
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), s);
+    }
+
+    #[test]
+    fn outcome_labels_are_distinct() {
+        let labels = [
+            outcome_label(Outcome::Success),
+            outcome_label(Outcome::Timeout),
+            outcome_label(Outcome::NoParse),
+            outcome_label(Outcome::NoResult),
+            outcome_label(Outcome::Panicked),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn error_json_carries_kind_and_message() {
+        let e = error_json(&SynthesisError::DeadlineExceeded);
+        assert_eq!(
+            e.get("kind").and_then(JsonValue::as_str),
+            Some("DeadlineExceeded")
+        );
+        assert!(e.get("message").and_then(JsonValue::as_str).is_some());
+    }
+
+    #[test]
+    fn batch_stats_json_has_the_bench_schema() {
+        let stats = BatchStats::default();
+        let row = batch_stats_json(&stats);
+        for key in [
+            "queries",
+            "wall_secs",
+            "queries_per_sec",
+            "worker_utilization",
+            "successes",
+            "cache_hits",
+            "stage_secs",
+        ] {
+            assert!(row.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -58,11 +58,13 @@ mod engine;
 mod error;
 pub mod expr;
 pub mod hisyn;
+pub mod json;
 pub mod memo;
 pub mod opt;
 mod pipeline;
 pub mod prune;
 mod query;
+pub mod service;
 mod stats;
 pub mod word2api;
 
@@ -73,10 +75,12 @@ pub use domain::{Domain, DomainBuilder};
 pub use edge2path::{EdgeCandidates, EdgeToPath, PathCache, PathCandidate};
 pub use engine::{BestCgt, Deadline, TimedOut};
 pub use error::SynthesisError;
+pub use json::{JsonError, JsonValue};
 pub use memo::{
     CacheStats, Flight, FlightToken, MemoDirection, MemoKey, SharedPathCache, DEFAULT_SHARDS,
 };
 pub use pipeline::{Outcome, Synthesis, Synthesizer};
 pub use query::{QueryEdge, QueryGraph, QueryNode};
-pub use stats::SynthesisStats;
+pub use service::{JobSpec, ServiceEngine, ServiceStats, SubmissionHandle, SubmissionReport};
+pub use stats::{HistogramSnapshot, LatencyHistogram, SynthesisStats, HISTOGRAM_BUCKETS};
 pub use word2api::WordToApi;

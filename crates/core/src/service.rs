@@ -1,0 +1,917 @@
+//! A resident synthesis engine: a long-lived worker pool serving
+//! submissions for one domain.
+//!
+//! [`ServiceEngine`] is the serving-layer refactor of the original
+//! per-call batch pool: workers are spawned **once**, at construction, and
+//! persist across submissions together with the shared
+//! [`SharedPathCache`] — the shape a resident query service needs, where
+//! requests arrive continuously instead of as one offline slice.
+//! [`crate::BatchEngine`] is reimplemented on top of it: a batch is one
+//! [`ServiceEngine::submit`] call followed by a blocking wait.
+//!
+//! # Scheduling
+//!
+//! Each worker owns a resident deque. A submission is *planned* onto the
+//! deques exactly like the original batch engine planned its per-call
+//! deques: queries whose pruned graphs request the same EdgeToPath memo
+//! keys are co-scheduled onto one worker (LPT over signature groups), so a
+//! cold cache is populated once per key group while other workers make
+//! progress on disjoint groups. Workers pop their own deque from the
+//! front and steal from the back of a neighbour's when idle; with no work
+//! anywhere they block on a condvar instead of spinning.
+//!
+//! A submission of `n` jobs on a pool of `w` workers is clamped to
+//! `min(w, n)` *eligible* workers — the same clamp the per-call pool
+//! applied by spawning fewer threads — so per-submission worker statistics
+//! keep their historical shape and a one-query submission never fans out.
+//!
+//! # Fault isolation
+//!
+//! Every job runs under [`std::panic::catch_unwind`]; a panic becomes an
+//! [`Outcome::Panicked`](crate::Outcome::Panicked) result for that job
+//! only, and the **worker thread survives** — a resident pool must never
+//! leak threads to bad queries. Completion callbacks (see
+//! [`ServiceEngine::submit_with`]) are guarded the same way.
+//!
+//! # Observability
+//!
+//! The engine keeps **monotonic** cumulative counters
+//! ([`ServiceEngine::stats`]): jobs submitted/completed, per-outcome
+//! tallies, and the shared cache's own cumulative [`CacheStats`]. They are
+//! never reset, so a Prometheus scraper can export them directly;
+//! [`ServiceStats::delta_since`] derives per-window deltas from two
+//! snapshots, exactly like [`CacheStats::delta_since`] does per batch.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::batch::BatchOptions;
+use crate::memo::{CacheStats, SharedPathCache};
+use crate::pipeline::{Outcome, Synthesis, Synthesizer};
+use crate::{Domain, SynthesisConfig};
+
+/// A fault injected into one job, either directly via
+/// [`JobSpec::fault`] or by a hook registered with
+/// [`crate::BatchEngine::set_fault_hook`]. Exists so the pool's isolation
+/// machinery can be exercised deterministically (fault-injection tests,
+/// chaos harnesses) without planting bugs in the pipeline.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Panic with this message in place of synthesizing the query.
+    Panic(String),
+    /// Synthesize the query under this configuration instead of the
+    /// engine's — e.g. a zero [`SynthesisConfig::deadline`] to force a
+    /// deterministic `DeadlineExceeded`.
+    Config(SynthesisConfig),
+}
+
+/// Per-worker utilization counters of one submission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Queries this worker synthesized.
+    pub queries: usize,
+    /// Queries it stole from other workers' deques.
+    pub stolen: usize,
+    /// Time it spent synthesizing (as opposed to idling on empty deques).
+    pub busy: Duration,
+}
+
+/// One query to synthesize, as handed to [`ServiceEngine::submit`].
+#[derive(Debug, Clone, Default)]
+pub struct JobSpec {
+    /// The natural-language query.
+    pub query: String,
+    /// Per-job configuration override (e.g. a request-scoped
+    /// [`SynthesisConfig::deadline`]). `None` runs under the engine's
+    /// configuration — the common, clone-free path.
+    pub config: Option<SynthesisConfig>,
+    /// Injected fault, for isolation tests. Production jobs leave this
+    /// `None`.
+    pub fault: Option<Fault>,
+}
+
+impl JobSpec {
+    /// A plain job: engine configuration, no fault.
+    pub fn new(query: impl Into<String>) -> JobSpec {
+        JobSpec {
+            query: query.into(),
+            config: None,
+            fault: None,
+        }
+    }
+}
+
+/// Completion callback: `(job index within the submission, result)`.
+/// Runs on the worker thread that finished the job; panics are caught and
+/// ignored so a bad callback cannot kill a resident worker.
+type NotifyFn = Box<dyn Fn(usize, &Synthesis) + Send + Sync>;
+
+/// Locks a mutex, recovering from poisoning. Every critical section in
+/// this module leaves its data consistent before any fallible step, so a
+/// lock poisoned by a dying thread still guards sound state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// `&str` or formatted `String` covers practically all of std and ours).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    submission: Arc<Submission>,
+    index: usize,
+    query: String,
+    config: Option<SynthesisConfig>,
+    fault: Option<Fault>,
+}
+
+/// Shared state of one submission: result slots, per-worker stats, and
+/// the completion latch.
+struct Submission {
+    results: Mutex<Vec<Option<Synthesis>>>,
+    worker_stats: Mutex<Vec<WorkerStats>>,
+    /// Jobs not yet recorded.
+    remaining: AtomicUsize,
+    /// Workers this submission may run on (`0..eligible`): the pool
+    /// clamped to the submission size, preserving the per-call engine's
+    /// "pool clamps to batch size" semantics and stats shape.
+    eligible: usize,
+    started: Instant,
+    /// Wall-clock from submit to the last recorded job.
+    wall: Mutex<Option<Duration>>,
+    done: Mutex<bool>,
+    finished: Condvar,
+    notify: Option<NotifyFn>,
+}
+
+impl Submission {
+    /// Records one finished job; the last record flips the latch.
+    ///
+    /// Ordering: the result is written and the engine's cumulative
+    /// counters are bumped **before** the remaining-count decrement, so
+    /// `wait()` returning implies the counters cover this submission, and
+    /// [`ServiceStats::outstanding`]` == 0` implies every result is
+    /// visible.
+    fn record(
+        &self,
+        shared: &PoolShared,
+        worker: usize,
+        index: usize,
+        synthesis: Synthesis,
+        stolen: bool,
+        busy: Duration,
+    ) {
+        if let Some(notify) = &self.notify {
+            // A panicking callback must not kill the resident worker (or
+            // leave the submission latch unflipped).
+            let _ = catch_unwind(AssertUnwindSafe(|| notify(index, &synthesis)));
+        }
+        {
+            let mut stats = lock(&self.worker_stats);
+            let slot = &mut stats[worker];
+            slot.queries += 1;
+            slot.stolen += usize::from(stolen);
+            slot.busy += busy;
+        }
+        shared.tally_outcome(&synthesis);
+        lock(&self.results)[index] = Some(synthesis);
+        shared.completed.fetch_add(1, Ordering::Release);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *lock(&self.wall) = Some(self.started.elapsed());
+            let mut done = lock(&self.done);
+            *done = true;
+            self.finished.notify_all();
+        }
+    }
+}
+
+/// The finished view of one submission.
+#[derive(Debug)]
+pub struct SubmissionReport {
+    /// One [`Synthesis`] per job, in submission order — identical to
+    /// sequential [`Synthesizer::synthesize`] output for un-faulted jobs.
+    pub results: Vec<Synthesis>,
+    /// Per-worker utilization, indexed by worker id over the submission's
+    /// eligible workers.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock from submit to the last completed job.
+    pub wall: Duration,
+}
+
+/// Handle to an in-flight submission. Results are collected with
+/// [`SubmissionHandle::wait`]; dropping the handle instead is fine — the
+/// jobs keep the submission alive and completion callbacks still fire.
+#[derive(Debug)]
+pub struct SubmissionHandle {
+    submission: Arc<Submission>,
+}
+
+impl std::fmt::Debug for Submission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Submission")
+            .field("remaining", &self.remaining.load(Ordering::Relaxed))
+            .field("eligible", &self.eligible)
+            .finish()
+    }
+}
+
+impl SubmissionHandle {
+    /// Blocks until every job of the submission has completed and returns
+    /// the collected results.
+    pub fn wait(self) -> SubmissionReport {
+        {
+            let mut done = lock(&self.submission.done);
+            while !*done {
+                done = self
+                    .submission
+                    .finished
+                    .wait(done)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let results: Vec<Synthesis> = lock(&self.submission.results)
+            .iter_mut()
+            .map(|slot| {
+                slot.take().unwrap_or_else(|| {
+                    // Unreachable with resident workers (the latch only
+                    // flips after every slot is written); kept as a
+                    // belt-and-braces placeholder rather than a panic.
+                    Synthesis::panicked(
+                        "worker died before reporting this query".to_string(),
+                        Duration::ZERO,
+                    )
+                })
+            })
+            .collect();
+        let workers = lock(&self.submission.worker_stats).clone();
+        let wall = lock(&self.submission.wall).unwrap_or_else(|| self.submission.started.elapsed());
+        SubmissionReport {
+            results,
+            workers,
+            wall,
+        }
+    }
+}
+
+/// Monotonic cumulative counters of a [`ServiceEngine`], plus two queue
+/// gauges. Counters are **never reset** — a Prometheus scraper exports
+/// them as-is, and [`ServiceStats::delta_since`] derives per-window
+/// activity from two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs ever submitted.
+    pub submitted: u64,
+    /// Jobs ever completed (recorded into their submission).
+    pub completed: u64,
+    /// Completed jobs that produced an expression.
+    pub successes: u64,
+    /// Completed jobs that hit their deadline.
+    pub timeouts: u64,
+    /// Completed jobs with no usable dependency structure.
+    pub no_parse: u64,
+    /// Completed jobs that finished without a valid tree.
+    pub no_result: u64,
+    /// Completed jobs whose synthesis panicked (caught and isolated).
+    pub panics: u64,
+    /// Jobs currently queued, not yet claimed by a worker (gauge).
+    pub queued: usize,
+    /// Jobs currently being synthesized (gauge).
+    pub running: usize,
+    /// The shared memo cache's cumulative counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Counter difference `self - earlier` (monotonic counters only; the
+    /// `queued` / `running` gauges and the cache gauges keep `self`'s
+    /// values). The per-window analogue of [`CacheStats::delta_since`].
+    pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            successes: self.successes.saturating_sub(earlier.successes),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            no_parse: self.no_parse.saturating_sub(earlier.no_parse),
+            no_result: self.no_result.saturating_sub(earlier.no_result),
+            panics: self.panics.saturating_sub(earlier.panics),
+            queued: self.queued,
+            running: self.running,
+            cache: self.cache.delta_since(&earlier.cache),
+        }
+    }
+
+    /// Jobs submitted but not yet completed (queued + running + being
+    /// recorded). Derived from the monotonic counters, so it never
+    /// transiently undercounts.
+    pub fn outstanding(&self) -> u64 {
+        self.submitted.saturating_sub(self.completed)
+    }
+}
+
+/// Resident pool state: one deque per worker plus the shutdown flag, under
+/// one mutex (claims and plants are microseconds; synthesis — the
+/// expensive part — runs outside the lock).
+struct PoolState {
+    deques: Vec<VecDeque<Job>>,
+    shutdown: bool,
+}
+
+/// State shared between the engine handle and its worker threads.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when work is planted or shutdown begins.
+    work: Condvar,
+    synthesizer: Synthesizer,
+    cache: Arc<SharedPathCache>,
+    co_schedule: bool,
+    workers: usize,
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    successes: AtomicU64,
+    timeouts: AtomicU64,
+    no_parse: AtomicU64,
+    no_result: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl PoolShared {
+    fn tally_outcome(&self, synthesis: &Synthesis) {
+        let counter = match synthesis.outcome {
+            Outcome::Success => &self.successes,
+            Outcome::Timeout => &self.timeouts,
+            Outcome::NoParse => &self.no_parse,
+            Outcome::NoResult => &self.no_result,
+            Outcome::Panicked => &self.panics,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A resident, concurrent synthesis engine for one domain.
+///
+/// Workers and the shared [`SharedPathCache`] persist across
+/// [`ServiceEngine::submit`] calls, so a long-lived process (a batch
+/// driver, the `nlquery-serve` HTTP service) pays thread spawn and cache
+/// warm-up once, not per call. Dropping the engine drains the queue,
+/// stops the workers and joins them.
+///
+/// ```rust
+/// use nlquery_core::{Domain, JobSpec, ServiceEngine, SynthesisConfig};
+/// use nlquery_grammar::GrammarGraph;
+/// use nlquery_nlp::ApiDoc;
+///
+/// let graph = GrammarGraph::parse("command ::= DELETE entity\nentity ::= WORD")?;
+/// let domain = Domain::builder("mini")
+///     .graph(graph)
+///     .docs(vec![
+///         ApiDoc::new("DELETE", &["delete"], "deletes an entity", 0),
+///         ApiDoc::new("WORD", &["word"], "a word", 0),
+///     ])
+///     .build()?;
+/// let engine = ServiceEngine::new(domain, SynthesisConfig::default());
+/// let report = engine
+///     .submit(vec![JobSpec::new("delete the word")])
+///     .wait();
+/// assert_eq!(report.results.len(), 1);
+/// assert_eq!(engine.stats().completed, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ServiceEngine {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("workers", &self.shared.workers)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ServiceEngine {
+    /// Creates an engine with default [`BatchOptions`].
+    pub fn new(domain: Domain, config: SynthesisConfig) -> ServiceEngine {
+        ServiceEngine::with_options(domain, config, BatchOptions::default())
+    }
+
+    /// Creates an engine with explicit worker count and cache shape, and
+    /// spawns the resident workers.
+    pub fn with_options(
+        domain: Domain,
+        config: SynthesisConfig,
+        options: BatchOptions,
+    ) -> ServiceEngine {
+        let workers = if options.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            options.workers
+        };
+        let shards = if options.cache_shards == 0 {
+            crate::memo::DEFAULT_SHARDS
+        } else {
+            options.cache_shards
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            synthesizer: Synthesizer::new(domain, config),
+            cache: Arc::new(SharedPathCache::with_shards(options.cache_capacity, shards)),
+            co_schedule: options.co_schedule,
+            workers,
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            no_parse: AtomicU64::new(0),
+            no_result: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("nlquery-worker-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn resident worker")
+            })
+            .collect();
+        ServiceEngine { shared, handles }
+    }
+
+    /// The underlying sequential synthesizer.
+    pub fn synthesizer(&self) -> &Synthesizer {
+        &self.shared.synthesizer
+    }
+
+    /// The cross-query memo cache (shared across submissions and workers).
+    pub fn cache(&self) -> &Arc<SharedPathCache> {
+        &self.shared.cache
+    }
+
+    /// The resident worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted but not yet completed. Zero means the engine is
+    /// fully drained.
+    pub fn outstanding(&self) -> u64 {
+        self.stats().outstanding()
+    }
+
+    /// Monotonic cumulative counters (never reset — safe to export to
+    /// Prometheus) plus queue gauges.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared;
+        // `completed` is read before `submitted` so a concurrent submit
+        // can only make `outstanding` over-, never under-estimate.
+        let completed = s.completed.load(Ordering::Acquire);
+        ServiceStats {
+            submitted: s.submitted.load(Ordering::Acquire),
+            completed,
+            successes: s.successes.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
+            no_parse: s.no_parse.load(Ordering::Relaxed),
+            no_result: s.no_result.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            queued: s.queued.load(Ordering::Relaxed),
+            running: s.running.load(Ordering::Relaxed),
+            cache: s.cache.stats(),
+        }
+    }
+
+    /// Submits a set of jobs for concurrent synthesis; returns a handle to
+    /// wait on. Results (in [`SubmissionReport::results`]) come back in
+    /// job order and are identical to sequential
+    /// [`Synthesizer::synthesize`] output for un-faulted jobs.
+    pub fn submit(&self, jobs: Vec<JobSpec>) -> SubmissionHandle {
+        self.submit_inner(jobs, None)
+    }
+
+    /// [`ServiceEngine::submit`] with a completion callback, invoked on
+    /// the worker thread as each job finishes — the serving layer uses
+    /// this to stream results back to waiting connections without holding
+    /// a thread per submission. The callback must be cheap and
+    /// non-blocking; panics in it are caught and ignored.
+    pub fn submit_with<F>(&self, jobs: Vec<JobSpec>, notify: F) -> SubmissionHandle
+    where
+        F: Fn(usize, &Synthesis) + Send + Sync + 'static,
+    {
+        self.submit_inner(jobs, Some(Box::new(notify)))
+    }
+
+    fn submit_inner(&self, jobs: Vec<JobSpec>, notify: Option<NotifyFn>) -> SubmissionHandle {
+        let n = jobs.len();
+        let eligible = self.shared.workers.min(n).max(1);
+        let mut results = Vec::new();
+        results.resize_with(n, || None);
+        let submission = Arc::new(Submission {
+            results: Mutex::new(results),
+            worker_stats: Mutex::new(vec![WorkerStats::default(); eligible]),
+            remaining: AtomicUsize::new(n),
+            eligible,
+            started: Instant::now(),
+            wall: Mutex::new(if n == 0 { Some(Duration::ZERO) } else { None }),
+            done: Mutex::new(n == 0),
+            finished: Condvar::new(),
+            notify,
+        });
+        if n == 0 {
+            return SubmissionHandle { submission };
+        }
+        let assignment = self.plan(&jobs, eligible);
+        self.shared.submitted.fetch_add(n as u64, Ordering::Release);
+        self.shared.queued.fetch_add(n, Ordering::Relaxed);
+        {
+            let mut state = lock(&self.shared.state);
+            for (index, (spec, worker)) in jobs.into_iter().zip(assignment).enumerate() {
+                state.deques[worker].push_back(Job {
+                    submission: Arc::clone(&submission),
+                    index,
+                    query: spec.query,
+                    config: spec.config,
+                    fault: spec.fault,
+                });
+            }
+        }
+        self.shared.work.notify_all();
+        SubmissionHandle { submission }
+    }
+
+    /// Plans the worker assignment of a submission over its eligible
+    /// workers — the same policy the per-call batch pool used for its
+    /// deques.
+    ///
+    /// With co-scheduling on (and a real pool to schedule over), jobs are
+    /// first grouped by the memo-key *signature* of their pruned query
+    /// graph — the exact cache keys their EdgeToPath step will request,
+    /// derived from the cheap steps 1–3. Each group lands on one worker
+    /// (largest groups first, dealt to the least-loaded worker), so on a
+    /// cold cache the group's first query computes the searches and the
+    /// rest hit locally, while *other* workers make progress on disjoint
+    /// key groups instead of blocking on the same in-flight slots.
+    /// Otherwise the distribution is contiguous chunks in job order.
+    fn plan(&self, jobs: &[JobSpec], eligible: usize) -> Vec<usize> {
+        if eligible > 1 && self.shared.co_schedule && jobs.len() > eligible {
+            use std::collections::HashMap;
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut by_signature: HashMap<u64, usize> = HashMap::new();
+            for (index, job) in jobs.iter().enumerate() {
+                let keys = self.shared.synthesizer.edge_memo_keys(&job.query);
+                let mut h = DefaultHasher::new();
+                keys.hash(&mut h);
+                let group = *by_signature.entry(h.finish()).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[group].push(index);
+            }
+            // Largest-first deal to the least-loaded worker (LPT): balances
+            // load while keeping each group on one worker. Ties break on
+            // group discovery order / lowest worker id — deterministic.
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&g| (std::cmp::Reverse(groups[g].len()), g));
+            let mut loads = vec![0usize; eligible];
+            let mut assignment = vec![0usize; jobs.len()];
+            for g in order {
+                let w = (0..eligible).min_by_key(|&w| (loads[w], w)).expect(">=1");
+                loads[w] += groups[g].len();
+                for &index in &groups[g] {
+                    assignment[index] = w;
+                }
+            }
+            assignment
+        } else {
+            let chunk = jobs.len().div_ceil(eligible);
+            (0..jobs.len()).map(|index| index / chunk).collect()
+        }
+    }
+}
+
+impl Drop for ServiceEngine {
+    /// Graceful pool shutdown: queued jobs are drained (workers only exit
+    /// on an *empty* queue), then the workers are joined.
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claims the next job for worker `w`: own deque first (front), then a
+/// steal (back) from the nearest neighbour holding a job this worker is
+/// eligible for. Returns the job and whether it was stolen.
+fn claim(state: &mut PoolState, w: usize) -> Option<(Job, bool)> {
+    if let Some(job) = state.deques[w].pop_front() {
+        return Some((job, false));
+    }
+    let n = state.deques.len();
+    for i in 1..n {
+        let v = (w + i) % n;
+        // A submission clamped to fewer workers than the pool restricts
+        // execution (and its stats vector) to workers `0..eligible`; a
+        // higher-id worker skips those jobs when stealing.
+        if let Some(pos) = state.deques[v]
+            .iter()
+            .rposition(|job| job.submission.eligible > w)
+        {
+            let job = state.deques[v].remove(pos).expect("position just found");
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+/// Runs one job under the engine's, the job's, or a fault's configuration.
+fn execute(shared: &PoolShared, job: &Job) -> Synthesis {
+    let alt_config = match &job.fault {
+        Some(Fault::Panic(message)) => panic!("{message}"),
+        Some(Fault::Config(config)) => Some(config),
+        None => job.config.as_ref(),
+    };
+    match alt_config {
+        Some(config) => {
+            let mut alt = shared.synthesizer.clone();
+            alt.set_config(config.clone());
+            alt.synthesize_shared(&job.query, &shared.cache)
+        }
+        None => shared
+            .synthesizer
+            .synthesize_shared(&job.query, &shared.cache),
+    }
+}
+
+/// The resident worker body: claim, synthesize under a panic guard,
+/// record, repeat; park on the condvar when idle; exit only when shutdown
+/// is flagged **and** no claimable work remains (drain-on-drop).
+fn worker_loop(shared: Arc<PoolShared>, w: usize) {
+    loop {
+        let claimed = {
+            let mut state = lock(&shared.state);
+            loop {
+                if let Some(c) = claim(&mut state, w) {
+                    break Some(c);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((job, stolen)) = claimed else { return };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| execute(&shared, &job)));
+        let synthesis = match run {
+            Ok(synthesis) => synthesis,
+            Err(payload) => Synthesis::panicked(panic_message(&*payload), t.elapsed()),
+        };
+        let busy = t.elapsed();
+        job.submission
+            .record(&shared, w, job.index, synthesis, stolen, busy);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg
+            insert_arg ::= string pos
+            delete_arg ::= entity
+            string     ::= STRING
+            entity     ::= STRING | WORDTOKEN
+            pos        ::= START | END
+            "#,
+        )
+        .unwrap();
+        Domain::builder("service-mini")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+                ApiDoc::new("DELETE", &["delete"], "deletes an entity", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("WORDTOKEN", &["word"], "a word token", 0),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    const QUERIES: [&str; 4] = [
+        "insert \":\" at the start",
+        "delete the word",
+        "insert \"-\" at the end",
+        "delete every word",
+    ];
+
+    fn specs() -> Vec<JobSpec> {
+        QUERIES.iter().map(|q| JobSpec::new(*q)).collect()
+    }
+
+    #[test]
+    fn resident_pool_survives_many_submissions() {
+        let engine = ServiceEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 2,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        );
+        let sequential = Synthesizer::new(domain(), SynthesisConfig::default());
+        let expected: Vec<_> = QUERIES.iter().map(|q| sequential.synthesize(q)).collect();
+        for round in 0..3 {
+            let report = engine.submit(specs()).wait();
+            assert_eq!(report.results.len(), QUERIES.len());
+            for (got, want) in report.results.iter().zip(&expected) {
+                assert_eq!(got.outcome, want.outcome, "round={round}");
+                assert_eq!(got.expression, want.expression, "round={round}");
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 3 * QUERIES.len() as u64);
+        assert_eq!(stats.completed, stats.submitted);
+        assert_eq!(stats.outstanding(), 0);
+        // Counters are cumulative and monotonic: the second snapshot can
+        // only grow.
+        let later = engine.stats();
+        assert!(later.submitted >= stats.submitted);
+        assert!(later.cache.lookups() >= stats.cache.lookups());
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        let engine = ServiceEngine::new(domain(), SynthesisConfig::default());
+        engine.submit(specs()).wait();
+        let before = engine.stats();
+        engine.submit(specs()).wait();
+        let delta = engine.stats().delta_since(&before);
+        assert_eq!(delta.submitted, QUERIES.len() as u64);
+        assert_eq!(delta.completed, QUERIES.len() as u64);
+        // The second window runs warm: no cache misses inside it.
+        assert_eq!(delta.cache.misses, 0, "{:?}", delta.cache);
+        assert!(delta.cache.hits > 0);
+    }
+
+    #[test]
+    fn submit_with_streams_results_in_any_order() {
+        use std::sync::mpsc;
+        let engine = ServiceEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 2,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel::<(usize, Option<String>)>();
+        let handle = engine.submit_with(specs(), move |index, synthesis| {
+            let _ = tx.send((index, synthesis.expression.clone()));
+        });
+        let report = handle.wait();
+        let mut streamed: Vec<(usize, Option<String>)> = rx.try_iter().collect();
+        streamed.sort_by_key(|(i, _)| *i);
+        assert_eq!(streamed.len(), QUERIES.len());
+        for (index, expression) in streamed {
+            assert_eq!(expression, report.results[index].expression);
+        }
+    }
+
+    #[test]
+    fn panicking_notify_does_not_kill_workers() {
+        let engine = ServiceEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 1,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        );
+        let report = engine
+            .submit_with(specs(), |_, _| panic!("bad callback"))
+            .wait();
+        assert_eq!(report.results.len(), QUERIES.len());
+        // The single worker survived the panicking callbacks and still
+        // serves further submissions.
+        let again = engine.submit(specs()).wait();
+        assert_eq!(again.results.len(), QUERIES.len());
+    }
+
+    #[test]
+    fn per_job_config_override() {
+        let engine = ServiceEngine::new(domain(), SynthesisConfig::default());
+        let mut jobs = specs();
+        jobs[0].config = Some(SynthesisConfig::default().deadline(Duration::ZERO));
+        let report = engine.submit(jobs).wait();
+        assert_eq!(report.results[0].outcome, Outcome::Timeout);
+        assert_eq!(
+            report.results[0].error,
+            Some(crate::SynthesisError::DeadlineExceeded)
+        );
+        assert_eq!(report.results[1].outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn empty_submission_completes_immediately() {
+        let engine = ServiceEngine::new(domain(), SynthesisConfig::default());
+        let report = engine.submit(Vec::new()).wait();
+        assert!(report.results.is_empty());
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(engine.stats().submitted, 0);
+    }
+
+    #[test]
+    fn small_submission_stays_on_eligible_workers() {
+        let engine = ServiceEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 8,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        );
+        let report = engine.submit(vec![JobSpec::new("delete the word")]).wait();
+        assert_eq!(report.workers.len(), 1, "clamped to submission size");
+        assert_eq!(report.workers[0].queries, 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_interleave_correctly() {
+        let engine = Arc::new(ServiceEngine::with_options(
+            domain(),
+            SynthesisConfig::default(),
+            BatchOptions {
+                workers: 4,
+                cache_capacity: 64,
+                ..BatchOptions::default()
+            },
+        ));
+        let sequential = Synthesizer::new(domain(), SynthesisConfig::default());
+        let expected: Vec<_> = QUERIES.iter().map(|q| sequential.synthesize(q)).collect();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            joins.push(thread::spawn(move || engine.submit(specs()).wait()));
+        }
+        for join in joins {
+            let report = join.join().expect("submitter survives");
+            for (got, want) in report.results.iter().zip(&expected) {
+                assert_eq!(got.outcome, want.outcome);
+                assert_eq!(got.expression, want.expression);
+            }
+        }
+        assert_eq!(engine.stats().completed, 4 * QUERIES.len() as u64);
+    }
+}

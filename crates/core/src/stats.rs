@@ -4,6 +4,7 @@
 //! theoretical combination counts, the effect of orphan relocation, and how
 //! many combinations each pruning stage removed.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Counters recorded during one synthesis run.
@@ -82,6 +83,116 @@ impl SynthesisStats {
     }
 }
 
+/// Number of finite histogram buckets. Bucket `i` holds samples in
+/// `(bound(i-1), bound(i)]` nanoseconds with `bound(i) = 1000 << i`,
+/// spanning 1 µs .. ~33.6 s; slower samples land in the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+/// A fixed log-bucketed latency histogram, safe for concurrent recording.
+///
+/// Buckets double from 1 µs to ~33.6 s (plus an overflow bucket), which
+/// covers everything from a warm cache hit to a query that blows its
+/// deadline. Counters are monotonic `AtomicU64`s — never reset — so the
+/// `/metrics` endpoint can export them directly as a Prometheus
+/// cumulative histogram, and [`HistogramSnapshot::quantile`] estimates
+/// p50/p95/p99 for the load generator.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+/// The inclusive upper bound, in nanoseconds, of finite bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    1000u64 << i
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let index = (0..HISTOGRAM_BUCKETS)
+            .position(|i| nanos <= bucket_bound(i))
+            .unwrap_or(HISTOGRAM_BUCKETS);
+        if index < HISTOGRAM_BUCKETS {
+            self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]'s counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Samples slower than the last finite bucket bound.
+    pub overflow: u64,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, in nanoseconds (saturating).
+    pub sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive upper bound of finite bucket `i`, in seconds
+    /// (Prometheus `le` label value).
+    pub fn bound_secs(i: usize) -> f64 {
+        bucket_bound(i) as f64 / 1e9
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the upper bound of
+    /// the bucket containing the target rank — a conservative
+    /// (over-)estimate, like Prometheus's `histogram_quantile`. Returns
+    /// `None` when empty or when the rank falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Duration::from_nanos(bucket_bound(i)));
+            }
+        }
+        None
+    }
+
+    /// Mean latency, or `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(self.sum_nanos / self.count))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +221,103 @@ mod tests {
         let s = SynthesisStats::default();
         assert_eq!(s.dep_edges, 0);
         assert_eq!(s.orig_combinations, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(500)); // below first bound → bucket 0
+        h.record(Duration::from_micros(1)); // exactly bound 0
+        h.record(Duration::from_micros(3)); // bucket 2 (bound 4 µs)
+        h.record(Duration::from_millis(1)); // bucket 10 (bound ~1.024 ms)
+        h.record(Duration::from_secs(60)); // beyond last bound → overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.buckets.iter().sum::<u64>() + snap.overflow, snap.count);
+    }
+
+    #[test]
+    fn histogram_bounds_double_from_one_microsecond() {
+        assert_eq!(bucket_bound(0), 1_000);
+        assert_eq!(bucket_bound(1), 2_000);
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), 1_000 << 25);
+        assert!(bucket_bound(HISTOGRAM_BUCKETS - 1) > 33_000_000_000);
+        assert!((HistogramSnapshot::bound_secs(0) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10)); // bucket 4 (bound 16 µs)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10)); // bucket 14 (bound ~16.4 ms)
+        }
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.quantile(0.5),
+            Some(Duration::from_nanos(bucket_bound(4)))
+        );
+        assert_eq!(
+            snap.quantile(0.9),
+            Some(Duration::from_nanos(bucket_bound(4)))
+        );
+        assert_eq!(
+            snap.quantile(0.99),
+            Some(Duration::from_nanos(bucket_bound(14)))
+        );
+        assert_eq!(
+            snap.quantile(1.0),
+            Some(Duration::from_nanos(bucket_bound(14)))
+        );
+    }
+
+    #[test]
+    fn histogram_empty_and_overflow_quantiles() {
+        let empty = LatencyHistogram::new().snapshot();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), None);
+
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3600));
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), None, "overflow rank has no bound");
+        assert_eq!(snap.overflow, 1);
+    }
+
+    #[test]
+    fn histogram_mean_is_sum_over_count() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(2));
+        h.record(Duration::from_micros(4));
+        let snap = h.snapshot();
+        assert_eq!(snap.mean(), Some(Duration::from_micros(3)));
+        assert_eq!(snap.sum_nanos, 6_000);
+    }
+
+    #[test]
+    fn histogram_is_safe_to_record_concurrently() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(1 + (i % 7) * 1000 * (t + 1)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>() + snap.overflow, 4000);
     }
 }

@@ -1,0 +1,139 @@
+//! A tiny blocking HTTP/1.1 client for loopback use: the `load_gen`
+//! bench and the integration tests drive the server with it, reusing
+//! one keep-alive connection per [`HttpClient`].
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use nlquery_core::{JsonError, JsonValue};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, as UTF-8 text (this service only emits text bodies).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header with this name (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<JsonValue, JsonError> {
+        JsonValue::parse(&self.body)
+    }
+}
+
+/// A keep-alive connection to an `nlquery-serve` instance.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects (with a generous read timeout so a wedged server fails a
+    /// test instead of hanging it).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: nlquery\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &JsonValue) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(&body.render()))
+    }
+
+    /// `POST /synthesize` for `query`, optionally with a request-scoped
+    /// deadline in milliseconds.
+    pub fn synthesize(
+        &mut self,
+        query: &str,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<HttpResponse> {
+        let mut doc = JsonValue::obj([("query", JsonValue::from(query))]);
+        if let Some(ms) = deadline_ms {
+            doc.push_field("deadline_ms", ms);
+        }
+        self.post_json("/synthesize", &doc)
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            let (name, value) = trimmed.split_once(':').ok_or_else(|| bad("bad header"))?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("missing Content-Length"))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

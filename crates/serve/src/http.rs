@@ -1,0 +1,352 @@
+//! A minimal HTTP/1.1 message layer over `std::io`.
+//!
+//! The workspace is offline-green (no registry dependencies), so the
+//! service speaks just enough HTTP itself: request-line + headers +
+//! `Content-Length` bodies, keep-alive by default, explicit size limits
+//! on every input. No chunked transfer, no TLS, no HTTP/2 — this is a
+//! loopback/sidecar service surface, not an edge server.
+
+use std::io::{self, BufRead, Write};
+
+use nlquery_core::JsonValue;
+
+/// Maximum accepted request-line + header block, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Maximum accepted header count.
+pub const MAX_HEADERS: usize = 100;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// The request target (path + optional query string), as sent.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this name (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The path portion of the target (everything before `?`).
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map(|(path, _)| path)
+            .unwrap_or(&self.target)
+    }
+}
+
+/// What [`read_request`] found on the wire.
+#[derive(Debug)]
+pub enum RequestOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes were not a parseable HTTP/1.1 request (respond 400 and
+    /// close).
+    Malformed(&'static str),
+    /// The head or body exceeded its size limit (respond 413 and close).
+    TooLarge,
+}
+
+/// Reads one request from the stream. Blocks until a full request
+/// arrives, the peer closes, or the stream's read timeout fires (which
+/// surfaces as `Err(WouldBlock | TimedOut)`).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<RequestOutcome> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+
+    // Request line; tolerate a leading empty line (robustness, RFC 9112).
+    let request_line = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(RequestOutcome::Closed);
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(RequestOutcome::TooLarge);
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if !trimmed.is_empty() {
+            break trimmed.to_string();
+        }
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(RequestOutcome::Malformed("bad request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Ok(RequestOutcome::Malformed("bad request line"));
+    }
+    let method = method.to_string();
+    let target = target.to_string();
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(RequestOutcome::Malformed("connection closed mid-headers"));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES || headers.len() > MAX_HEADERS {
+            return Ok(RequestOutcome::TooLarge);
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(RequestOutcome::Malformed("header without ':'"));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Ok(RequestOutcome::Malformed("chunked bodies unsupported"));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Ok(RequestOutcome::Malformed("bad Content-Length")),
+        },
+    };
+    if length > MAX_BODY_BYTES {
+        return Ok(RequestOutcome::TooLarge);
+    }
+    let mut request = request;
+    if length > 0 {
+        request.body = vec![0u8; length];
+        if let Err(e) = reader.read_exact(&mut request.body) {
+            return if e.kind() == io::ErrorKind::UnexpectedEof {
+                Ok(RequestOutcome::Malformed(
+                    "body shorter than Content-Length",
+                ))
+            } else {
+                Err(e)
+            };
+        }
+    }
+    Ok(RequestOutcome::Request(request))
+}
+
+/// One HTTP response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers beyond the standard set.
+    pub extra_headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &JsonValue) -> Response {
+        Response::raw_json(status, value.render())
+    }
+
+    /// A JSON response from an already-rendered document.
+    pub fn raw_json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response. `keep_alive` controls the `Connection`
+    /// header; the caller closes the stream when it is `false`.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> RequestOutcome {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec())).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let out = parse(
+            "POST /synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 17\r\n\r\n{\"query\": \"noop\"}",
+        );
+        let RequestOutcome::Request(req) = out else {
+            panic!("expected a request, got {out:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/synthesize");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body_str(), Some("{\"query\": \"noop\"}"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_strips_query_string() {
+        let out = parse("GET /metrics?window=5 HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let RequestOutcome::Request(req) = out else {
+            panic!("expected a request, got {out:?}");
+        };
+        assert_eq!(req.path(), "/metrics");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(""), RequestOutcome::Closed));
+    }
+
+    #[test]
+    fn malformed_inputs_are_flagged_not_errors() {
+        for raw in [
+            "NONSENSE\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), RequestOutcome::Malformed(_)),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge_header), RequestOutcome::TooLarge));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&huge_body), RequestOutcome::TooLarge));
+    }
+
+    #[test]
+    fn responses_serialize_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, &JsonValue::obj([("ok", true)]))
+            .header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let length: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(length, "{\"ok\":true}".len());
+    }
+
+    #[test]
+    fn close_responses_say_so() {
+        let mut out = Vec::new();
+        Response::text(503, "draining")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+    }
+}

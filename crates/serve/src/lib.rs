@@ -1,0 +1,38 @@
+//! `nlquery-serve`: a resident HTTP query service over the DGGT
+//! synthesis engine.
+//!
+//! The paper's headline claim is *near real-time* NLU-driven
+//! programming; this crate is where that claim meets traffic. It wraps
+//! the resident [`ServiceEngine`](nlquery_core::ServiceEngine) — workers
+//! and the shared path cache persist across requests — in a std-only
+//! HTTP/1.1 surface (the workspace is offline-green, so no external
+//! HTTP or async dependencies):
+//!
+//! - `POST /synthesize` — `{"query": "...", "deadline_ms": n?}` in;
+//!   expression, outcome, structured error taxonomy, and per-stage
+//!   timings out.
+//! - `GET /healthz` — liveness plus drain state.
+//! - `GET /metrics` — Prometheus text format: monotonic engine/cache
+//!   counters, admission gauges, shed count, and a request-latency
+//!   histogram.
+//! - `POST /shutdown` — begin a graceful drain (finish in-flight
+//!   queries, then exit).
+//!
+//! Overload is handled by an admission controller (bounded in-flight
+//! count; excess requests shed with HTTP 429 + `Retry-After`), and
+//! concurrent requests arriving within a ~2 ms micro-batching window
+//! are co-scheduled as one engine submission so they share single-flight
+//! path-cache population, exactly like offline batches. See
+//! [`server`] for the drain invariants and DESIGN.md §9 for the
+//! architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+mod metrics;
+pub mod server;
+
+pub use client::{HttpClient, HttpResponse};
+pub use server::{Server, ServerConfig};

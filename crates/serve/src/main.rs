@@ -1,0 +1,104 @@
+//! The `nlquery-serve` binary: boot a resident query service and run
+//! until drained.
+//!
+//! ```text
+//! nlquery-serve [--addr 127.0.0.1:7878] [--domain astmatcher|textedit]
+//!               [--workers N] [--queue-depth N] [--window-us N]
+//!               [--max-batch N] [--deadline-ms N]
+//! ```
+//!
+//! The process is std-only, so there is no signal handler: shut it down
+//! with `POST /shutdown` (or `make serve-stop`), which drains in-flight
+//! queries before the process exits.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nlquery_core::SynthesisConfig;
+use nlquery_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nlquery-serve [--addr HOST:PORT] [--domain astmatcher|textedit]\n\
+         \x20                    [--workers N] [--queue-depth N] [--window-us N]\n\
+         \x20                    [--max-batch N] [--deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("nlquery-serve: {flag} needs a valid value");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut domain_name = "astmatcher".to_string();
+    let mut deadline_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse(&arg, args.next()),
+            "--domain" => domain_name = parse(&arg, args.next()),
+            "--workers" => config.workers = parse(&arg, args.next()),
+            "--queue-depth" => config.queue_depth = parse(&arg, args.next()),
+            "--window-us" => config.batch_window = Duration::from_micros(parse(&arg, args.next())),
+            "--max-batch" => config.max_batch = parse(&arg, args.next()),
+            "--deadline-ms" => deadline_ms = Some(parse(&arg, args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("nlquery-serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let domain = match domain_name.as_str() {
+        "astmatcher" => nlquery_domains::astmatcher::domain(),
+        "textedit" => nlquery_domains::textedit::domain(),
+        other => {
+            eprintln!("nlquery-serve: unknown domain {other} (astmatcher|textedit)");
+            return ExitCode::from(2);
+        }
+    };
+    let domain = match domain {
+        Ok(domain) => domain,
+        Err(e) => {
+            eprintln!("nlquery-serve: domain failed to build: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut synthesis_config = SynthesisConfig::default();
+    if let Some(ms) = deadline_ms {
+        synthesis_config = synthesis_config.deadline(Duration::from_millis(ms));
+    }
+
+    let server = match Server::start(domain, synthesis_config, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("nlquery-serve: could not bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "nlquery-serve listening on http://{} (domain {domain_name}, {} workers, queue depth {}, window {:?})",
+        server.local_addr(),
+        server.engine().workers(),
+        config.queue_depth,
+        config.batch_window,
+    );
+    println!(
+        "shut down with: curl -X POST http://{}/shutdown",
+        server.local_addr()
+    );
+    server.join();
+    println!("nlquery-serve: drained, exiting");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,237 @@
+//! The `GET /metrics` exposition: Prometheus text format (0.0.4).
+//!
+//! Everything exported as a `counter` here is **monotonic** — the
+//! engine's cumulative [`ServiceStats`](nlquery_core::ServiceStats), the
+//! shared cache's cumulative counters, the server's HTTP tallies, and
+//! the request-latency histogram are never reset — so scrapes compose
+//! with `rate()`/`increase()` without counter-reset artifacts. Queue
+//! depth, running jobs, and the admission gauge are exported as gauges.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use nlquery_core::{HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+use crate::server::ServerShared;
+
+/// Appends one `# HELP`/`# TYPE` header pair.
+fn head(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends a single unlabelled sample.
+fn sample(out: &mut String, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+    head(out, name, kind, help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the full exposition for one scrape.
+pub(crate) fn render(shared: &ServerShared) -> String {
+    let stats = shared.engine.stats();
+    let mut out = String::with_capacity(4096);
+
+    sample(
+        &mut out,
+        "nlquery_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+        format_args!("{:.3}", shared.started.elapsed().as_secs_f64()),
+    );
+
+    // Engine job counters.
+    sample(
+        &mut out,
+        "nlquery_jobs_submitted_total",
+        "counter",
+        "Jobs ever submitted to the resident engine.",
+        stats.submitted,
+    );
+    sample(
+        &mut out,
+        "nlquery_jobs_completed_total",
+        "counter",
+        "Jobs ever completed by the resident engine.",
+        stats.completed,
+    );
+    head(
+        &mut out,
+        "nlquery_jobs_outcome_total",
+        "counter",
+        "Completed jobs by outcome.",
+    );
+    for (label, value) in [
+        ("success", stats.successes),
+        ("timeout", stats.timeouts),
+        ("no_parse", stats.no_parse),
+        ("no_result", stats.no_result),
+        ("panicked", stats.panics),
+    ] {
+        let _ = writeln!(
+            out,
+            "nlquery_jobs_outcome_total{{outcome=\"{label}\"}} {value}"
+        );
+    }
+
+    // Engine gauges.
+    sample(
+        &mut out,
+        "nlquery_queue_depth",
+        "gauge",
+        "Jobs planted on worker deques, not yet claimed.",
+        stats.queued,
+    );
+    sample(
+        &mut out,
+        "nlquery_jobs_running",
+        "gauge",
+        "Jobs currently being synthesized.",
+        stats.running,
+    );
+
+    // Shared path-cache counters (cumulative across all submissions).
+    sample(
+        &mut out,
+        "nlquery_cache_hits_total",
+        "counter",
+        "EdgeToPath memo-cache hits.",
+        stats.cache.hits,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_misses_total",
+        "counter",
+        "EdgeToPath memo-cache misses.",
+        stats.cache.misses,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_dedup_waits_total",
+        "counter",
+        "Lookups that waited on another worker's in-flight computation.",
+        stats.cache.dedup_waits,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_evictions_total",
+        "counter",
+        "Memo-cache LRU evictions.",
+        stats.cache.evictions,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_entries",
+        "gauge",
+        "Live memo-cache entries.",
+        stats.cache.entries,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_capacity",
+        "gauge",
+        "Memo-cache capacity (entries).",
+        stats.cache.capacity,
+    );
+
+    // HTTP-layer counters and the admission gauge.
+    sample(
+        &mut out,
+        "nlquery_http_requests_total",
+        "counter",
+        "POST /synthesize requests received.",
+        shared.requests.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_http_shed_total",
+        "counter",
+        "Requests shed with 429 by the admission controller.",
+        shared.shed.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_http_bad_requests_total",
+        "counter",
+        "Requests rejected with 400.",
+        shared.bad_requests.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_admitted",
+        "gauge",
+        "Requests admitted and not yet answered.",
+        shared.admitted.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_microbatches_total",
+        "counter",
+        "Micro-batch submissions made by the batching window.",
+        shared.batches.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_microbatched_jobs_total",
+        "counter",
+        "Jobs carried by micro-batch submissions.",
+        shared.batched_jobs.load(Ordering::Relaxed),
+    );
+
+    // Request latency, as a cumulative Prometheus histogram.
+    let snap = shared.latency.snapshot();
+    render_histogram(
+        &mut out,
+        "nlquery_request_duration_seconds",
+        "End-to-end /synthesize latency (admission to response).",
+        &snap,
+    );
+
+    out
+}
+
+/// Renders one [`HistogramSnapshot`] as a Prometheus histogram: the
+/// buckets become cumulative `le` samples, plus `+Inf`, `_sum`, `_count`.
+fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    head(out, name, "histogram", help);
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        cumulative += snap.buckets[i];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            HistogramSnapshot::bound_secs(i),
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {:.9}", snap.sum_nanos as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_core::LatencyHistogram;
+    use std::time::Duration;
+
+    #[test]
+    fn histograms_render_cumulatively() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_secs(60)); // overflow
+        let mut out = String::new();
+        render_histogram(&mut out, "x_seconds", "help text", &h.snapshot());
+        assert!(out.contains("# TYPE x_seconds histogram"));
+        assert!(out.contains("x_seconds_bucket{le=\"0.000001\"} 1"), "{out}");
+        assert!(out.contains("x_seconds_bucket{le=\"0.000004\"} 2"), "{out}");
+        assert!(out.contains("x_seconds_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("x_seconds_count 3"), "{out}");
+        // Cumulative: every bucket line is monotonically non-decreasing.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("x_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,519 @@
+//! The resident HTTP server: accept loop, admission control,
+//! micro-batching, and graceful drain around a [`ServiceEngine`].
+//!
+//! # Request path
+//!
+//! A connection thread parses `POST /synthesize`, and the request passes
+//! the **admission controller**: a bounded count of admitted-but-
+//! unanswered requests ([`ServerConfig::queue_depth`]). At the bound the
+//! request is shed immediately — HTTP 429 with `Retry-After` — instead
+//! of growing an unbounded backlog; under overload the server stays
+//! responsive and tells clients when to come back.
+//!
+//! Admitted requests enter the **micro-batcher**: a single thread that
+//! collects everything arriving within [`ServerConfig::batch_window`]
+//! (default 2 ms) into one [`ServiceEngine`] submission. Concurrent
+//! users thereby share co-scheduling and single-flight path-cache
+//! population exactly like an offline batch; a lone request waits at
+//! most one window. Results stream back per-job via the submission's
+//! completion callback — no thread waits on a whole batch.
+//!
+//! A request-scoped `deadline_ms` maps onto
+//! [`SynthesisConfig::deadline`], clamped to the server's own deadline:
+//! a slow query returns a structured `DeadlineExceeded` JSON error
+//! rather than stalling the connection.
+//!
+//! # Drain invariants
+//!
+//! [`Server::shutdown`] flips the draining flag and wakes the accept
+//! loop; from then on new `/synthesize` requests get 503 and new
+//! connections are refused. [`Server::join`] then waits until every
+//! admitted request has been answered and the engine is idle before
+//! stopping the batcher — in-flight queries always complete with real
+//! results.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use nlquery_core::json::synthesis_json;
+use nlquery_core::{
+    BatchOptions, Domain, JobSpec, JsonValue, LatencyHistogram, ServiceEngine, SynthesisConfig,
+};
+
+use crate::http::{read_request, Request, RequestOutcome, Response};
+use crate::metrics;
+
+/// Tuning knobs of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Engine worker threads; 0 means `available_parallelism()`.
+    pub workers: usize,
+    /// Admission bound: maximum requests admitted but not yet answered.
+    /// Beyond it requests are shed with HTTP 429.
+    pub queue_depth: usize,
+    /// Micro-batching window: requests arriving within this interval of
+    /// each other coalesce into one engine submission.
+    pub batch_window: Duration,
+    /// Maximum jobs per micro-batch (the window closes early when hit).
+    pub max_batch: usize,
+    /// Per-connection socket read timeout (idle keep-alive connections
+    /// are dropped after this).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (the guarded state is left
+/// consistent before any fallible step).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One admitted request travelling from its connection thread to the
+/// micro-batcher: the job plus the channel its rendered result returns
+/// on.
+struct Pending {
+    spec: JobSpec,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by the accept loop, connection threads, the batcher, and
+/// the [`Server`] handle.
+pub(crate) struct ServerShared {
+    pub(crate) engine: ServiceEngine,
+    base_config: SynthesisConfig,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    /// `None` once the batcher has been told to stop (post-drain).
+    queue: Mutex<Option<mpsc::Sender<Pending>>>,
+    /// Requests admitted and not yet answered (the admission gauge).
+    pub(crate) admitted: AtomicUsize,
+    /// Requests currently inside a handler (response not yet written).
+    inflight: AtomicUsize,
+    pub(crate) requests: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+    shutting_down: AtomicBool,
+    pub(crate) started: Instant,
+}
+
+impl ServerShared {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+}
+
+/// A running `nlquery-serve` instance: a bound listener, its accept
+/// thread, the micro-batcher, and the resident engine.
+///
+/// ```no_run
+/// use nlquery_serve::{Server, ServerConfig};
+/// use nlquery_core::SynthesisConfig;
+///
+/// let domain = nlquery_domains::astmatcher::domain()?;
+/// let server = Server::start(domain, SynthesisConfig::default(), ServerConfig::default())?;
+/// println!("listening on http://{}", server.local_addr());
+/// server.join(); // blocks until POST /shutdown, then drains
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the resident engine, the micro-batcher, and the
+    /// accept loop, and returns immediately.
+    pub fn start(
+        domain: Domain,
+        config: SynthesisConfig,
+        server_config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&server_config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = ServiceEngine::with_options(
+            domain,
+            config.clone(),
+            BatchOptions {
+                workers: server_config.workers,
+                ..BatchOptions::default()
+            },
+        );
+        let (queue_tx, queue_rx) = mpsc::channel::<Pending>();
+        let shared = Arc::new(ServerShared {
+            engine,
+            base_config: config,
+            config: server_config,
+            local_addr,
+            queue: Mutex::new(Some(queue_tx)),
+            admitted: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("nlquery-batcher".to_string())
+                .spawn(move || batcher_loop(&shared, queue_rx))
+                .expect("spawn micro-batcher")
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("nlquery-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The resident engine (for tests and embedding).
+    pub fn engine(&self) -> &ServiceEngine {
+        &self.shared.engine
+    }
+
+    /// Begins a graceful drain: stop admitting, wake the accept loop so
+    /// it exits, let in-flight requests finish. Idempotent; returns
+    /// immediately — [`Server::join`] completes the drain.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully drained: the accept loop has
+    /// exited (a `POST /shutdown` or [`Server::shutdown`] call triggers
+    /// that), every admitted request has been answered, and the engine
+    /// is idle. Then stops the micro-batcher and returns.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Every admitted request must receive its real result before the
+        // batcher may stop: the drain invariant.
+        while self.shared.admitted.load(Ordering::Acquire) > 0
+            || self.shared.inflight.load(Ordering::Acquire) > 0
+            || self.shared.engine.outstanding() > 0
+        {
+            thread::sleep(Duration::from_millis(2));
+        }
+        *lock(&self.shared.queue) = None;
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped-without-join server (test teardown, early error
+        // return) still stops its threads: flag the drain, wake the
+        // accept loop, close the queue.
+        initiate_shutdown(&self.shared);
+        *lock(&self.shared.queue) = None;
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+/// Flips the draining flag and wakes the accept loop with a throwaway
+/// self-connection (std's blocking `accept` has no other wake-up).
+fn initiate_shutdown(shared: &ServerShared) {
+    if !shared.shutting_down.swap(true, Ordering::AcqRel) {
+        let _ = TcpStream::connect(shared.local_addr);
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            // The wake-up (or an unlucky late client) — refuse and exit;
+            // the listener closes when this loop returns.
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("nlquery-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+        if spawned.is_err() {
+            // Thread exhaustion: drop the connection rather than die.
+            continue;
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // An Err from `read_request` (read timeout, connection error) ends
+    // the connection.
+    while let Ok(outcome) = read_request(&mut reader) {
+        match outcome {
+            RequestOutcome::Closed => break,
+            RequestOutcome::Malformed(message) => {
+                let response = Response::json(
+                    400,
+                    &JsonValue::obj([("kind", "BadRequest"), ("message", message)]),
+                );
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+            RequestOutcome::TooLarge => {
+                let response = Response::json(
+                    413,
+                    &JsonValue::obj([("kind", "TooLarge"), ("message", "request too large")]),
+                );
+                let _ = response.write_to(&mut writer, false);
+                break;
+            }
+            RequestOutcome::Request(request) => {
+                shared.inflight.fetch_add(1, Ordering::AcqRel);
+                let response = dispatch(shared, &request);
+                // Close once draining so keep-alive connections cannot
+                // outlive the drain.
+                let close = request.wants_close() || shared.draining();
+                let written = response.write_to(&mut writer, !close);
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                if written.is_err() || close {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<ServerShared>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/synthesize") => synthesize(shared, request),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => {
+            let mut response = Response::text(200, metrics::render(shared));
+            response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            response
+        }
+        ("POST", "/shutdown") => {
+            initiate_shutdown(shared);
+            Response::json(200, &JsonValue::obj([("status", "draining")]))
+        }
+        (_, "/synthesize" | "/healthz" | "/metrics" | "/shutdown") => {
+            Response::json(405, &JsonValue::obj([("kind", "MethodNotAllowed")]))
+        }
+        _ => Response::json(404, &JsonValue::obj([("kind", "NotFound")])),
+    }
+}
+
+fn healthz(shared: &ServerShared) -> Response {
+    let stats = shared.engine.stats();
+    Response::json(
+        200,
+        &JsonValue::obj([
+            (
+                "status",
+                JsonValue::from(if shared.draining() { "draining" } else { "ok" }),
+            ),
+            ("workers", JsonValue::from(shared.engine.workers())),
+            ("outstanding", JsonValue::from(stats.outstanding())),
+            (
+                "admitted",
+                JsonValue::from(shared.admitted.load(Ordering::Relaxed)),
+            ),
+        ]),
+    )
+}
+
+/// The `POST /synthesize` handler: validate, admit (or shed), enqueue
+/// into the micro-batcher, wait for this request's result.
+fn synthesize(shared: &Arc<ServerShared>, request: &Request) -> Response {
+    let start = Instant::now();
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.draining() {
+        return Response::json(
+            503,
+            &JsonValue::obj([
+                ("kind", "ShuttingDown"),
+                ("message", "server is draining; request not admitted"),
+            ]),
+        );
+    }
+    let spec = match parse_synthesize_body(shared, request) {
+        Ok(spec) => spec,
+        Err(message) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                400,
+                &JsonValue::obj([
+                    ("kind", JsonValue::from("BadRequest")),
+                    ("message", JsonValue::from(message)),
+                ]),
+            );
+        }
+    };
+
+    // Admission: reserve a slot below `queue_depth` or shed.
+    let admitted = shared
+        .admitted
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < shared.config.queue_depth).then_some(n + 1)
+        });
+    if admitted.is_err() {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            429,
+            &JsonValue::obj([
+                ("kind", "Overloaded"),
+                ("message", "admission queue full; retry shortly"),
+            ]),
+        )
+        .header("Retry-After", "1");
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let enqueued = match lock(&shared.queue).as_ref() {
+        Some(tx) => tx
+            .send(Pending {
+                spec,
+                reply: reply_tx,
+            })
+            .is_ok(),
+        None => false,
+    };
+    if !enqueued {
+        shared.admitted.fetch_sub(1, Ordering::AcqRel);
+        return Response::json(
+            503,
+            &JsonValue::obj([("kind", "ShuttingDown"), ("message", "queue closed")]),
+        );
+    }
+
+    // The engine records every job (deadlines enforced, panics isolated),
+    // so the reply always arrives; the timeout is a defensive backstop.
+    let backstop = shared.base_config.deadline * (shared.config.queue_depth as u32 + 2)
+        + Duration::from_secs(30);
+    let response = match reply_rx.recv_timeout(backstop) {
+        Ok(body) => {
+            shared.latency.record(start.elapsed());
+            Response::raw_json(200, body)
+        }
+        Err(_) => Response::json(
+            500,
+            &JsonValue::obj([("kind", "Internal"), ("message", "result channel stalled")]),
+        ),
+    };
+    shared.admitted.fetch_sub(1, Ordering::AcqRel);
+    response
+}
+
+/// Parses `{"query": "...", "deadline_ms": n?}` into a [`JobSpec`]. A
+/// request deadline can only tighten the server's own deadline.
+fn parse_synthesize_body(shared: &ServerShared, request: &Request) -> Result<JobSpec, String> {
+    let body = request.body_str().ok_or("body is not UTF-8")?;
+    let doc = JsonValue::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let query = doc
+        .get("query")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"query\"")?;
+    if query.trim().is_empty() {
+        return Err("\"query\" must be non-empty".to_string());
+    }
+    let mut spec = JobSpec::new(query);
+    if let Some(value) = doc.get("deadline_ms") {
+        let ms = value
+            .as_u64()
+            .ok_or("\"deadline_ms\" must be a non-negative integer")?;
+        let requested = Duration::from_millis(ms);
+        let clamped = requested.min(shared.base_config.deadline);
+        spec.config = Some(shared.base_config.clone().deadline(clamped));
+    }
+    Ok(spec)
+}
+
+/// The micro-batcher: drains the admission channel in windows of
+/// [`ServerConfig::batch_window`] (closing early at
+/// [`ServerConfig::max_batch`]) and submits each window as one
+/// co-scheduled engine submission. Results stream back per-job through
+/// the submission callback.
+fn batcher_loop(shared: &Arc<ServerShared>, rx: mpsc::Receiver<Pending>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(pending) => pending,
+            Err(_) => return, // queue closed and drained
+        };
+        let mut batch = vec![first];
+        let window_end = Instant::now() + shared.config.batch_window;
+        let mut closed = false;
+        while batch.len() < shared.config.max_batch {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            match rx.recv_timeout(window_end - now) {
+                Ok(pending) => batch.push(pending),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .batched_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let replies: Vec<mpsc::Sender<String>> = batch.iter().map(|p| p.reply.clone()).collect();
+        let jobs: Vec<JobSpec> = batch.into_iter().map(|p| p.spec).collect();
+        // Fire and forget: the per-job callback renders and delivers each
+        // result to its waiting connection; nobody blocks on the batch.
+        drop(shared.engine.submit_with(jobs, move |index, synthesis| {
+            let _ = replies[index].send(synthesis_json(synthesis).render());
+        }));
+        if closed {
+            return;
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! End-to-end tests of `nlquery-serve` over loopback: boot the server
+//! on an ephemeral port, drive it with real HTTP clients, and check the
+//! service-level invariants — bitwise parity with sequential synthesis,
+//! structured deadline errors, 429 load shedding, monotonic metrics,
+//! and graceful drain.
+
+use std::thread;
+use std::time::Duration;
+
+use nlquery_core::{JsonValue, SynthesisConfig, Synthesizer};
+use nlquery_domains::astmatcher;
+use nlquery_serve::{HttpClient, Server, ServerConfig};
+
+fn start(config: ServerConfig) -> Server {
+    let domain = astmatcher::domain().expect("embedded domain builds");
+    Server::start(domain, SynthesisConfig::default(), config).expect("server boots")
+}
+
+fn corpus(n: usize) -> Vec<String> {
+    astmatcher::queries()
+        .into_iter()
+        .map(|case| case.query)
+        .take(n)
+        .collect()
+}
+
+fn expression_of(doc: &JsonValue) -> Option<String> {
+    doc.get("expression")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+}
+
+/// The value of an unlabelled Prometheus sample in an exposition body.
+fn metric(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+        })
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn concurrent_requests_match_sequential_synthesis() {
+    let server = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let queries = corpus(8);
+
+    let domain = astmatcher::domain().unwrap();
+    let sequential = Synthesizer::new(domain, SynthesisConfig::default());
+    let expected: Vec<Option<String>> = queries
+        .iter()
+        .map(|q| sequential.synthesize(q).expression)
+        .collect();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let queries = queries.clone();
+            thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                queries
+                    .iter()
+                    .map(|q| {
+                        let resp = client.synthesize(q, None).expect("request");
+                        assert_eq!(resp.status, 200, "body: {}", resp.body);
+                        let doc = resp.json().expect("JSON body");
+                        assert!(doc.get("outcome").is_some());
+                        assert!(doc.get("stage_secs").is_some());
+                        expression_of(&doc)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for client in clients {
+        let got = client.join().expect("client thread");
+        assert_eq!(
+            got, expected,
+            "served results must match sequential synthesis"
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn zero_deadline_yields_structured_deadline_error() {
+    let server = start(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let query = corpus(1).remove(0);
+
+    let resp = client.synthesize(&query, Some(0)).unwrap();
+    assert_eq!(
+        resp.status, 200,
+        "a deadline miss is a result, not an HTTP error"
+    );
+    let doc = resp.json().unwrap();
+    assert_eq!(
+        doc.get("outcome").and_then(JsonValue::as_str),
+        Some("timeout"),
+        "body: {}",
+        resp.body
+    );
+    let error = doc.get("error").expect("structured error object");
+    assert_eq!(
+        error.get("kind").and_then(JsonValue::as_str),
+        Some("DeadlineExceeded")
+    );
+    assert!(error.get("message").and_then(JsonValue::as_str).is_some());
+    assert!(doc.get("expression").unwrap().is_null());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_admission_queue_sheds_with_429() {
+    // One admission slot and a long micro-batch window: the first
+    // request is admitted and parks in the window, so a second request
+    // arriving mid-window deterministically finds the queue full.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        batch_window: Duration::from_millis(1000),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let queries = corpus(2);
+
+    let held_query = queries[0].clone();
+    let holder = thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.synthesize(&held_query, None).unwrap()
+    });
+    thread::sleep(Duration::from_millis(250));
+
+    let mut client = HttpClient::connect(addr).unwrap();
+    let shed = client.synthesize(&queries[1], None).unwrap();
+    assert_eq!(shed.status, 429, "body: {}", shed.body);
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+    assert_eq!(
+        shed.json().unwrap().get("kind").and_then(JsonValue::as_str),
+        Some("Overloaded")
+    );
+
+    let held = holder.join().unwrap();
+    assert_eq!(held.status, 200, "the admitted request still completes");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_queries() {
+    // A long window keeps the in-flight request visibly in the system
+    // while the drain begins.
+    let server = start(ServerConfig {
+        batch_window: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let query = corpus(1).remove(0);
+
+    let domain = astmatcher::domain().unwrap();
+    let expected = Synthesizer::new(domain, SynthesisConfig::default())
+        .synthesize(&query)
+        .expression;
+
+    let in_flight = {
+        let query = query.clone();
+        thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.synthesize(&query, None).unwrap()
+        })
+    };
+    thread::sleep(Duration::from_millis(150)); // admitted, parked in the window
+
+    // Drain over the wire, as an operator would.
+    let mut ops = HttpClient::connect(addr).unwrap();
+    let ack = ops
+        .post_json("/shutdown", &JsonValue::obj([("reason", "test")]))
+        .unwrap();
+    assert_eq!(ack.status, 200);
+    assert_eq!(
+        ack.json()
+            .unwrap()
+            .get("status")
+            .and_then(JsonValue::as_str),
+        Some("draining")
+    );
+    server.join();
+
+    let resp = in_flight.join().unwrap();
+    assert_eq!(
+        resp.status, 200,
+        "in-flight request completes through the drain"
+    );
+    assert_eq!(expression_of(&resp.json().unwrap()), expected);
+
+    // The listener is gone: new work is refused, not queued.
+    match HttpClient::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            let refused = late.synthesize(&query, None);
+            assert!(
+                refused.is_err() || refused.unwrap().status >= 500,
+                "post-drain requests must not be served"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_are_monotonic_and_errors_are_structured() {
+    let server = start(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let query = corpus(1).remove(0);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health
+            .json()
+            .unwrap()
+            .get("status")
+            .and_then(JsonValue::as_str),
+        Some("ok")
+    );
+
+    let before = client.get("/metrics").unwrap();
+    assert_eq!(before.status, 200);
+    assert!(before
+        .header("Content-Type")
+        .unwrap()
+        .starts_with("text/plain"));
+    let completed_before = metric(&before.body, "nlquery_jobs_completed_total").unwrap();
+    let requests_before = metric(&before.body, "nlquery_http_requests_total").unwrap();
+
+    let ok = client.synthesize(&query, None).unwrap();
+    assert_eq!(ok.status, 200);
+
+    let after = client.get("/metrics").unwrap();
+    let completed_after = metric(&after.body, "nlquery_jobs_completed_total").unwrap();
+    let requests_after = metric(&after.body, "nlquery_http_requests_total").unwrap();
+    assert!(
+        completed_after >= completed_before + 1.0,
+        "completed counter must be monotonic: {completed_before} -> {completed_after}"
+    );
+    assert!(requests_after >= requests_before + 1.0);
+    assert!(metric(&after.body, "nlquery_request_duration_seconds_count").unwrap() >= 1.0);
+    assert!(after
+        .body
+        .contains("nlquery_request_duration_seconds_bucket{le=\"+Inf\"}"));
+    assert!(after.body.contains("nlquery_cache_hits_total"));
+    assert!(after.body.contains("nlquery_http_shed_total"));
+
+    // Error taxonomy over the wire.
+    let bad = client
+        .request("POST", "/synthesize", Some("{not json"))
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        bad.json().unwrap().get("kind").and_then(JsonValue::as_str),
+        Some("BadRequest")
+    );
+    let missing = client
+        .post_json("/synthesize", &JsonValue::obj([("nope", true)]))
+        .unwrap();
+    assert_eq!(missing.status, 400);
+    let lost = client.get("/nope").unwrap();
+    assert_eq!(lost.status, 404);
+    let wrong_verb = client.get("/synthesize").unwrap();
+    assert_eq!(wrong_verb.status, 405);
+
+    server.shutdown();
+    server.join();
+}
