@@ -1,9 +1,18 @@
 # Local mirror of .github/workflows/ci.yml — `make ci` runs the exact same
 # steps as the CI gate. Keep the two in sync.
 
-.PHONY: ci build test test-faults test-serve fmt clippy bench-batch bench-json bench-gate bless-golden serve serve-stop load-gen load-gen-smoke
+# Repo-wide test-harness parallelism knob: set NLQUERY_TEST_THREADS=N to
+# cap libtest's parallelism for every test target below (libtest reads
+# RUST_TEST_THREADS). The CI runners report few hardware threads and the
+# fault/serve suites spin worker pools of their own — see DESIGN.md §10
+# ("Single-core hosts") for the one canonical writeup of the caveat.
+ifdef NLQUERY_TEST_THREADS
+export RUST_TEST_THREADS := $(NLQUERY_TEST_THREADS)
+endif
 
-ci: build test test-faults test-serve fmt clippy
+.PHONY: ci build test test-faults test-serve test-merge-memo fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop load-gen load-gen-smoke
+
+ci: build test test-faults test-merge-memo test-serve fmt clippy
 
 build:
 	cargo build --release
@@ -18,7 +27,14 @@ test:
 # terminate.
 test-faults:
 	timeout --signal=KILL 600 cargo test -q --test fault_injection
-	timeout --signal=KILL 300 cargo test -q -p nlquery-core --lib -- batch:: memo::
+	timeout --signal=KILL 300 cargo test -q -p nlquery-core --lib -- batch:: memo:: merge_memo::
+
+# The merge-memo differential suite: memo-on vs memo-off bitwise
+# equivalence across both domains at 1/2/4/8 workers, exactly-once
+# computation per merge signature under concurrency, and
+# never-cache-a-timeout at the memo layer.
+test-merge-memo:
+	timeout --signal=KILL 600 cargo test -q --test merge_memo_differential
 
 # The serving-layer end-to-end suite: ephemeral-port boot, concurrent
 # clients, 429 shedding, structured deadline errors, graceful drain. A
@@ -38,10 +54,18 @@ bench-batch:
 bench-json:
 	NLQUERY_BENCH_JSON=BENCH_throughput.json cargo run --release --bin batch_throughput
 
-# The CI cold-scaling gate, locally: reduced tiling, short per-query
-# timeout, non-zero exit if cold throughput degrades with workers.
+# The CI perf gates, locally: reduced tiling, short per-query timeout,
+# non-zero exit if cold throughput degrades with workers OR the warm
+# pass blows its merge-time budget / drops below the warm qps floor
+# (budgets live in crates/bench/src/bin/batch_throughput.rs; override
+# with NLQUERY_BENCH_WARM_MERGE_FRACTION / NLQUERY_BENCH_WARM_QPS_FLOOR).
 bench-gate:
 	NLQUERY_TIMEOUT_SECS=5 NLQUERY_BENCH_TILES=2 NLQUERY_BENCH_GATE=1 cargo run --release --bin batch_throughput
+
+# Markdown delta table of the last bench run against the committed
+# baseline (CI appends this to the job summary).
+bench-delta:
+	python3 scripts/bench_delta.py BENCH_throughput.json BENCH_throughput.json
 
 # Run the resident query service on localhost (std-only HTTP/1.1; no
 # signal handler, so stop it with `make serve-stop` or POST /shutdown).

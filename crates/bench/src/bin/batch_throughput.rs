@@ -9,9 +9,8 @@
 //! the engine is reused, and the per-batch counter deltas reported by
 //! `BatchStats` never mix passes. Cold-pass scaling isolates the worker
 //! pool plus the single-flight dedup; the warm pass shows the cross-query
-//! memoization win. On single-core hosts the pool cannot speed anything
-//! up — the memo cache is then the only lever, and the warm rows still
-//! show it.
+//! memoization win. (Single-core hosts: see the canonical caveat in
+//! DESIGN.md §10.)
 //!
 //! Besides the human-readable table, every run writes a machine-readable
 //! summary (q/s, per-stage timings, memo hit/miss/dedup counters per row)
@@ -28,6 +27,12 @@
 //!   requires cold qps at 4 workers ≥ cold qps at 1 worker; on
 //!   single-threaded hosts (where a work-conserving pool cannot beat one
 //!   worker) it allows a 0.85× tolerance for scheduling overhead.
+//!   The gate additionally checks the **warm pass** at 1 worker: merge
+//!   time must stay under [`WARM_MERGE_FRACTION_BUDGET`] of warm wall
+//!   time (the merge memo's whole job is absorbing warm merges) and warm
+//!   throughput must not drop below [`WARM_QPS_FLOOR`]. Override with
+//!   `NLQUERY_BENCH_WARM_MERGE_FRACTION` / `NLQUERY_BENCH_WARM_QPS_FLOOR`
+//!   on unusual hosts.
 
 use nlquery::domains::astmatcher;
 use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
@@ -36,6 +41,25 @@ use nlquery_core::json::{batch_stats_json, JsonValue};
 
 /// Default corpus tiling factor (override with `NLQUERY_BENCH_TILES`).
 const DEFAULT_TILES: usize = 4;
+
+/// Warm-pass merge budget: with the merge memo on, merging must cost at
+/// most this fraction of warm wall time at 1 worker (it was ~0.95 before
+/// the memo landed). Recorded in-repo so CI fails loudly if the memo
+/// stops absorbing warm merges.
+const WARM_MERGE_FRACTION_BUDGET: f64 = 0.50;
+
+/// Warm-pass throughput floor (queries/sec at 1 worker). The memoized
+/// warm pass measures ~2400 q/s on the 1-CPU CI box (the pre-memo state
+/// was ~129 q/s), so 400 sits far under measurement noise while still
+/// catching any regression toward recompute-every-merge.
+const WARM_QPS_FLOOR: f64 = 400.0;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default)
+}
 
 fn tiles() -> usize {
     std::env::var("NLQUERY_BENCH_TILES")
@@ -60,6 +84,15 @@ fn report_line(label: &str, report: &BatchReport, baseline_qps: Option<f64>) {
         s.cache.misses,
         s.cache.dedup_waits,
         s.cache.hit_rate() * 100.0,
+    );
+    println!(
+        "                   merge memo: {:>6} hits / {:>6} misses / {:>5} dedup ({:>5.1}% hit rate)  merge {} of {} wall",
+        s.merge.hits,
+        s.merge.misses,
+        s.merge.dedup_waits,
+        s.merge.hit_rate() * 100.0,
+        fmt_time(s.t_merge),
+        fmt_time(s.wall),
     );
 }
 
@@ -144,6 +177,42 @@ fn check_gate(rows: &[JsonRow], available: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// The warm-pass merge gate (`NLQUERY_BENCH_GATE=1`): at 1 worker the
+/// warm pass must spend at most [`WARM_MERGE_FRACTION_BUDGET`] of its
+/// wall time merging, and must clear [`WARM_QPS_FLOOR`] queries/sec.
+fn check_warm_gate(rows: &[JsonRow]) -> Result<(), String> {
+    let warm = rows
+        .iter()
+        .find(|r| r.workers == 1 && r.pass == "warm")
+        .ok_or("gate needs a warm row at 1 worker")?;
+    let s = &warm.report.stats;
+    let wall = s.wall.as_secs_f64();
+    let fraction = if wall > 0.0 {
+        s.t_merge.as_secs_f64() / wall
+    } else {
+        0.0
+    };
+    let budget = env_f64(
+        "NLQUERY_BENCH_WARM_MERGE_FRACTION",
+        WARM_MERGE_FRACTION_BUDGET,
+    );
+    if fraction > budget {
+        return Err(format!(
+            "warm merge regression: merging is {:.0}% of warm wall time (budget {:.0}%) — is the merge memo off?",
+            fraction * 100.0,
+            budget * 100.0
+        ));
+    }
+    let floor = env_f64("NLQUERY_BENCH_WARM_QPS_FLOOR", WARM_QPS_FLOOR);
+    let qps = s.queries_per_sec();
+    if qps < floor {
+        return Err(format!(
+            "warm throughput regression: {qps:.1} q/s at 1 worker < floor {floor:.1} q/s"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let domain = astmatcher::domain().expect("embedded domain builds");
     let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
@@ -180,9 +249,10 @@ fn main() {
                 ..BatchOptions::default()
             },
         );
-        // Belt and braces: a cold row must start from an empty cache with
+        // Belt and braces: a cold row must start from empty caches with
         // zeroed counters, whether or not the engine saw earlier batches.
         engine.cache().reset();
+        engine.merge_memo().reset();
         let cold = engine.synthesize_batch(&queries);
         let warm = engine.synthesize_batch(&queries);
         report_line(&format!("{workers} worker(s) cold"), &cold, cold_baseline);
@@ -223,6 +293,13 @@ fn main() {
     if std::env::var("NLQUERY_BENCH_GATE").is_ok_and(|v| v == "1") {
         match check_gate(&rows, available) {
             Ok(()) => println!("gate: cold throughput is non-degrading in worker count"),
+            Err(msg) => {
+                eprintln!("gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        match check_warm_gate(&rows) {
+            Ok(()) => println!("gate: warm merge time and throughput within budget"),
             Err(msg) => {
                 eprintln!("gate FAILED: {msg}");
                 std::process::exit(1);

@@ -49,6 +49,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::memo::{CacheStats, SharedPathCache};
+use crate::merge_memo::MergeMemo;
 use crate::pipeline::{Outcome, Synthesis, Synthesizer};
 use crate::service::{JobSpec, ServiceEngine};
 use crate::{Domain, SynthesisConfig};
@@ -137,6 +138,11 @@ pub struct BatchStats {
     /// [`ServiceEngine`] is serving other submissions concurrently, the
     /// delta includes their activity too.
     pub cache: CacheStats,
+    /// Cross-query merge-memo activity **of this batch** (counter deltas,
+    /// same window semantics as [`BatchStats::cache`]). The memo persists
+    /// across batches — see [`BatchEngine::merge_memo`] for cumulative
+    /// counters.
+    pub merge: CacheStats,
     /// Per-worker utilization, indexed by worker id.
     pub workers: Vec<WorkerStats>,
 }
@@ -237,6 +243,11 @@ impl BatchEngine {
         self.service.cache()
     }
 
+    /// The cross-query merge memo (shared across batches and workers).
+    pub fn merge_memo(&self) -> &Arc<MergeMemo> {
+        self.service.merge_memo()
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.service.workers()
@@ -248,6 +259,7 @@ impl BatchEngine {
     pub fn synthesize_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> BatchReport {
         let started = Instant::now();
         let cache_before = self.service.cache().stats();
+        let merge_before = self.service.merge_memo().stats();
         let jobs: Vec<JobSpec> = queries
             .iter()
             .enumerate()
@@ -269,6 +281,7 @@ impl BatchEngine {
             total: report.results.len(),
             wall: started.elapsed(),
             cache: self.service.cache().stats().delta_since(&cache_before),
+            merge: self.service.merge_memo().stats().delta_since(&merge_before),
             workers: report.workers,
             ..BatchStats::default()
         };
@@ -461,6 +474,15 @@ mod tests {
             second.stats.cache
         );
         assert!(second.stats.cache.hits > 0, "{:?}", second.stats.cache);
+        // The merge memo warms the same way: the first batch pays the
+        // run-level misses, the second replays them as hits.
+        assert!(first.stats.merge.misses > 0, "{:?}", first.stats.merge);
+        assert_eq!(
+            second.stats.merge.misses, 0,
+            "warm batch re-merges nothing: {:?}",
+            second.stats.merge
+        );
+        assert!(second.stats.merge.hits > 0, "{:?}", second.stats.merge);
         for (a, b) in first.results.iter().zip(&second.results) {
             assert_eq!(a.expression, b.expression);
         }

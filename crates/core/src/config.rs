@@ -72,6 +72,12 @@ pub struct SynthesisConfig {
     /// reference representation. Purely a representation switch: results
     /// are bit-identical either way.
     pub cgt_kernel: bool,
+    /// Consult the cross-query [`MergeMemo`](crate::MergeMemo) when one is
+    /// attached (resident service / batch paths). Purely a caching switch:
+    /// memoized results are bit-identical to recomputed ones. Off, the
+    /// merge stage always recomputes — the ablation / differential-test
+    /// path.
+    pub merge_memo: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -88,6 +94,7 @@ impl Default for SynthesisConfig {
             max_orphan_variants: 8,
             dggt_beam: 12,
             cgt_kernel: true,
+            merge_memo: true,
         }
     }
 }
@@ -163,6 +170,13 @@ impl SynthesisConfig {
     /// Toggles the bitset CGT merge kernel.
     pub fn cgt_kernel(mut self, on: bool) -> Self {
         self.cgt_kernel = on;
+        self
+    }
+
+    /// Toggles cross-query merge memoization (no effect unless a
+    /// [`MergeMemo`](crate::MergeMemo) is attached by the caller).
+    pub fn merge_memo(mut self, on: bool) -> Self {
+        self.merge_memo = on;
         self
     }
 }

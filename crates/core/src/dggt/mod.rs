@@ -24,7 +24,12 @@ use std::collections::BTreeMap;
 use nlquery_grammar::{BitCgt, CgtArena, CgtLayout, NodeId};
 
 use crate::engine::{BestCgt, Deadline, TimedOut};
+use crate::merge_memo::{
+    config_domain_hash, edge_content_hash, node_signature, run_signature, MergeFlight, MergeKey,
+    MergeKind, MergeMemo, MergeValue, MergeWork,
+};
 use crate::opt::grammar_prune::{combination_conflicts, or_signature};
+use crate::opt::size_prune::seed_min_upper;
 use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats, WordToApi};
 
 /// How often inner loops poll the deadline.
@@ -190,6 +195,24 @@ impl DynamicGrammarGraph {
             }
         }
     }
+
+    /// Collects `node`'s per-API beams in key order — the payload of a
+    /// [`MergeKind::NodeBeams`] memo entry.
+    fn node_entries(&self, node: usize) -> Vec<(NodeId, Vec<PartialCgt>)> {
+        self.entries
+            .range((node, NodeId::from_index(0))..(node + 1, NodeId::from_index(0)))
+            .map(|(&(_, api), beam)| (api, beam.clone()))
+            .collect()
+    }
+
+    /// Installs memoized beams for `node`, bypassing per-partial insertion
+    /// (the cached lists already went through beam selection when first
+    /// computed, so re-filtering them would be redundant work).
+    fn adopt(&mut self, node: usize, beams: &[(NodeId, Vec<PartialCgt>)]) {
+        for (api, beam) in beams {
+            self.entries.insert((node, *api), beam.clone());
+        }
+    }
 }
 
 /// Runs DGGT, returning the smallest valid CGT.
@@ -215,6 +238,79 @@ pub fn synthesize(
     Ok(best)
 }
 
+/// Like [`synthesize`], consulting (and feeding) a cross-query
+/// [`MergeMemo`] when one is supplied.
+///
+/// Two memo granularities apply: the whole run is keyed by
+/// [`run_signature`] under [`MergeKind::FinalJoin`] — a repeat of a
+/// structurally identical query returns the cached [`BestCgt`] without
+/// touching the DP — and, on a run-level miss, every dynamic-grammar-graph
+/// node is keyed by its subtree signature under [`MergeKind::NodeBeams`],
+/// so queries that only *share a subtree* still skip its re-merging. Both
+/// layers use single-flight tokens: a deadline error propagates with `?`
+/// while a token is held, abandoning the flight, so timeouts are never
+/// cached.
+///
+/// # Errors
+///
+/// Returns [`TimedOut`] when the deadline expires.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_memo(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+    memo: Option<&MergeMemo>,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let Some(memo) = memo else {
+        return synthesize(domain, query, w2a, map, config, deadline, stats);
+    };
+    let key = MergeKey {
+        sig: run_signature(domain, query, w2a, map, config),
+        kind: MergeKind::FinalJoin,
+    };
+    match memo.join(key) {
+        MergeFlight::Hit(v) => {
+            stats.merge_memo_hits += 1;
+            let MergeValue::Best(best, work) = &*v else {
+                unreachable!("FinalJoin keys only store MergeValue::Best");
+            };
+            work.replay(stats);
+            Ok(best.clone())
+        }
+        MergeFlight::Shared(v) => {
+            stats.merge_memo_dedup_waits += 1;
+            let MergeValue::Best(best, work) = &*v else {
+                unreachable!("FinalJoin keys only store MergeValue::Best");
+            };
+            work.replay(stats);
+            Ok(best.clone())
+        }
+        MergeFlight::Miss(token) => {
+            stats.merge_memo_misses += 1;
+            let before = MergeWork::snapshot(stats);
+            let (_dyng, best) = synthesize_with_graph_memo(
+                domain,
+                query,
+                w2a,
+                map,
+                config,
+                deadline,
+                stats,
+                Some(memo),
+            )?;
+            token.complete(MergeValue::Best(
+                best.clone(),
+                MergeWork::since(stats, &before),
+            ));
+            Ok(best)
+        }
+    }
+}
+
 /// Like [`synthesize`], additionally returning the dynamic grammar graph
 /// for inspection (tests, diagnostics, benchmarks).
 ///
@@ -229,6 +325,20 @@ pub fn synthesize_with_graph(
     config: &SynthesisConfig,
     deadline: &Deadline,
     stats: &mut SynthesisStats,
+) -> Result<(DynamicGrammarGraph, Option<BestCgt>), TimedOut> {
+    synthesize_with_graph_memo(domain, query, w2a, map, config, deadline, stats, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synthesize_with_graph_memo(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+    memo: Option<&MergeMemo>,
 ) -> Result<(DynamicGrammarGraph, Option<BestCgt>), TimedOut> {
     let graph = domain.graph();
     // With the kernel on, trial merges run on bitset words; `None` selects
@@ -255,6 +365,10 @@ pub fn synthesize_with_graph(
 
     let mut dyng = DynamicGrammarGraph::default();
     let mut polls: u64 = 0;
+    // Per-node subtree signatures (memo runs only), filled bottom-up so a
+    // node's signature can fold in its children's.
+    let base_sig = memo.map(|_| config_domain_hash(domain, config));
+    let mut node_sigs: Vec<u64> = vec![0; n];
 
     for &node in &order {
         deadline.check()?;
@@ -274,95 +388,230 @@ pub fn synthesize_with_graph(
             })
             .collect();
 
-        if kids.is_empty() {
-            // "For each leaf node … the algorithm generates API nodes."
-            for (api, score) in candidate_apis {
-                let cgt = Cgt::singleton(api);
-                dyng.insert(
-                    (node, api),
-                    PartialCgt {
-                        bits: kernel.map(|l| cgt.to_bits(l)),
-                        cgt,
-                        size: 1,
-                        path_len: 0,
-                        score_milli: score,
-                        top: Some(api),
-                        claimed: Vec::new(),
-                        node_claims: Vec::new(),
-                        assignment: vec![(node, api)],
-                    },
-                    config.dggt_beam,
-                );
+        if let (Some(memo), Some(base)) = (memo, base_sig) {
+            // Subtree signature: the node's candidates plus, per map-child
+            // in order, the connecting edge's content hash and the child's
+            // own subtree signature.
+            let kid_sigs: Vec<(u64, u64)> = kids
+                .iter()
+                .map(|&child| {
+                    let edge_hash = map.edge_for(child).map(edge_content_hash).unwrap_or(0);
+                    (edge_hash, node_sigs[child])
+                })
+                .collect();
+            let sig = node_signature(base, node, &candidate_apis, &kid_sigs);
+            node_sigs[node] = sig;
+            let key = MergeKey {
+                sig,
+                kind: MergeKind::NodeBeams,
+            };
+            match memo.join(key) {
+                MergeFlight::Hit(v) => {
+                    stats.merge_memo_hits += 1;
+                    let MergeValue::Beams(beams, work) = &*v else {
+                        unreachable!("NodeBeams keys only store MergeValue::Beams");
+                    };
+                    work.replay(stats);
+                    dyng.adopt(node, beams);
+                }
+                MergeFlight::Shared(v) => {
+                    stats.merge_memo_dedup_waits += 1;
+                    let MergeValue::Beams(beams, work) = &*v else {
+                        unreachable!("NodeBeams keys only store MergeValue::Beams");
+                    };
+                    work.replay(stats);
+                    dyng.adopt(node, beams);
+                }
+                MergeFlight::Miss(token) => {
+                    stats.merge_memo_misses += 1;
+                    let before = MergeWork::snapshot(stats);
+                    // `?` drops the token on timeout: the flight is
+                    // abandoned (waiters promoted) and nothing is cached.
+                    compute_node(
+                        graph,
+                        kernel,
+                        &mut arena,
+                        map,
+                        &mut dyng,
+                        node,
+                        kids,
+                        &candidate_apis,
+                        config,
+                        deadline,
+                        stats,
+                        &mut polls,
+                    )?;
+                    token.complete(MergeValue::Beams(
+                        dyng.node_entries(node),
+                        MergeWork::since(stats, &before),
+                    ));
+                }
             }
             continue;
         }
 
-        for &(api, api_score) in &candidate_apis {
-            // Options per child: (prepared path, child dep-api).
-            let mut options: Vec<Vec<Option_>> = Vec::with_capacity(kids.len());
-            let mut feasible = true;
-            for &child in kids {
-                let Some(edge) = map.edge_for(child) else {
-                    feasible = false;
-                    break;
+        compute_node(
+            graph,
+            kernel,
+            &mut arena,
+            map,
+            &mut dyng,
+            node,
+            kids,
+            &candidate_apis,
+            config,
+            deadline,
+            stats,
+            &mut polls,
+        )?;
+    }
+
+    // Final join: grammar-root path + root entry (+ root-attached orphans).
+    let best = match kernel {
+        Some(layout) => final_join_kernel(graph, layout, &mut arena, map, &dyng, root, deadline)?,
+        None => final_join(graph, map, &dyng, root, deadline)?,
+    };
+    Ok((dyng, best))
+}
+
+/// Fills one query node's dynamic-grammar-graph entries: the leaf rule, or
+/// the per-API sibling-combination enumeration with pruning and child
+/// joins. Extracted from the bottom-up loop so the NodeBeams memo can wrap
+/// exactly one node's computation under a single-flight token.
+#[allow(clippy::too_many_arguments)]
+fn compute_node(
+    graph: &nlquery_grammar::GrammarGraph,
+    kernel: Option<&CgtLayout>,
+    arena: &mut CgtArena,
+    map: &EdgeToPath,
+    dyng: &mut DynamicGrammarGraph,
+    node: usize,
+    kids: &[usize],
+    candidate_apis: &[(NodeId, u64)],
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+    polls: &mut u64,
+) -> Result<(), TimedOut> {
+    if kids.is_empty() {
+        // "For each leaf node … the algorithm generates API nodes."
+        for &(api, score) in candidate_apis {
+            let cgt = Cgt::singleton(api);
+            dyng.insert(
+                (node, api),
+                PartialCgt {
+                    bits: kernel.map(|l| cgt.to_bits(l)),
+                    cgt,
+                    size: 1,
+                    path_len: 0,
+                    score_milli: score,
+                    top: Some(api),
+                    claimed: Vec::new(),
+                    node_claims: Vec::new(),
+                    assignment: vec![(node, api)],
+                },
+                config.dggt_beam,
+            );
+        }
+        return Ok(());
+    }
+
+    for &(api, api_score) in candidate_apis {
+        // Options per child: (prepared path, child dep-api).
+        let mut options: Vec<Vec<Option_>> = Vec::with_capacity(kids.len());
+        let mut feasible = true;
+        for &child in kids {
+            let Some(edge) = map.edge_for(child) else {
+                feasible = false;
+                break;
+            };
+            let mut opts = Vec::new();
+            for pc in &edge.paths {
+                if pc.gov_api != Some(api) {
+                    continue;
+                }
+                let Some(child_best) = dyng.best(child, pc.dep_api) else {
+                    continue;
                 };
-                let mut opts = Vec::new();
-                for pc in &edge.paths {
-                    if pc.gov_api != Some(api) {
-                        continue;
-                    }
-                    let Some(child_best) = dyng.best(child, pc.dep_api) else {
-                        continue;
-                    };
-                    let cgt = Cgt::from_path(&pc.path, graph);
-                    opts.push(Option_ {
-                        child,
-                        dep_api: pc.dep_api,
-                        claim: sink_claim(&pc.path),
-                        chain: pc.path.chain.clone(),
-                        bits: kernel.map(|l| cgt.to_bits(l)),
-                        cgt,
-                        size_excl_sink: pc.path.size_excluding_sink(graph),
-                        path_size: pc.path.size(graph),
-                        bonus_milli: pc.bonus_milli,
-                        sig: or_signature(&pc.path, graph),
-                        child_best_size: child_best.size,
-                    });
-                }
-                if opts.is_empty() {
-                    feasible = false;
-                    break;
-                }
-                options.push(opts);
+                let cgt = Cgt::from_path(&pc.path, graph);
+                opts.push(Option_ {
+                    child,
+                    dep_api: pc.dep_api,
+                    claim: sink_claim(&pc.path),
+                    chain: pc.path.chain.clone(),
+                    bits: kernel.map(|l| cgt.to_bits(l)),
+                    cgt,
+                    size_excl_sink: pc.path.size_excluding_sink(graph),
+                    path_size: pc.path.size(graph),
+                    bonus_milli: pc.bonus_milli,
+                    sig: or_signature(&pc.path, graph),
+                    child_best_size: child_best.size,
+                });
             }
-            if !feasible {
-                continue;
+            if opts.is_empty() {
+                feasible = false;
+                break;
             }
+            options.push(opts);
+        }
+        if !feasible {
+            continue;
+        }
 
-            let product: u64 = options
+        let product: u64 = options
+            .iter()
+            .map(|o| o.len() as u64)
+            .try_fold(1u64, |acc, l| acc.checked_mul(l))
+            .unwrap_or(u64::MAX);
+        if kids.len() >= 2 {
+            stats.sibling_combinations = stats.sibling_combinations.saturating_add(product);
+        }
+
+        // Streaming enumeration with grammar- and size-based pruning. The
+        // running upper bound is seeded from the per-child cheapest options
+        // (see `seed_min_upper`) so dominated combinations die on their
+        // lower bound before any chain comparison, conflict scan, or merge.
+        let mut running_min_upper = if config.size_pruning {
+            let min_costs: Vec<usize> = options
                 .iter()
-                .map(|o| o.len() as u64)
-                .try_fold(1u64, |acc, l| acc.checked_mul(l))
-                .unwrap_or(u64::MAX);
-            if kids.len() >= 2 {
-                stats.sibling_combinations = stats.sibling_combinations.saturating_add(product);
+                .map(|opts| {
+                    opts.iter()
+                        .map(|o| o.size_excl_sink + o.child_best_size)
+                        .min()
+                        .expect("options lists are non-empty")
+                })
+                .collect();
+            seed_min_upper(&min_costs)
+        } else {
+            usize::MAX
+        };
+        let mut indices = vec![0usize; options.len()];
+        // One reusable scratch list per sibling group instead of one Vec
+        // allocation per combination.
+        let mut chosen: Vec<&Option_> = Vec::with_capacity(options.len());
+        'combos: loop {
+            *polls += 1;
+            if polls.is_multiple_of(DEADLINE_STRIDE) {
+                deadline.check()?;
             }
+            chosen.clear();
+            chosen.extend(indices.iter().zip(&options).map(|(&i, opts)| &opts[i]));
 
-            // Streaming enumeration with grammar- and size-based pruning.
-            let mut running_min_upper = usize::MAX;
-            let mut indices = vec![0usize; options.len()];
-            'combos: loop {
-                polls += 1;
-                if polls.is_multiple_of(DEADLINE_STRIDE) {
-                    deadline.check()?;
+            let mut skip = false;
+            // Dominated-combination check first: it is the cheapest test,
+            // and putting it before the chain/conflict scans means a pruned
+            // combination costs a few adds. The visited-combination outcome
+            // is unchanged — the bound is only tightened by combinations
+            // that survive *all* checks, exactly as before.
+            if config.size_pruning {
+                let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
+                let lower = chosen.iter().map(|o| o.size_excl_sink).max().unwrap_or(0) + child_sum;
+                if lower > running_min_upper {
+                    stats.pruned_size += 1;
+                    skip = true;
                 }
-                let chosen: Vec<&Option_> = indices
-                    .iter()
-                    .zip(&options)
-                    .map(|(&i, opts)| &opts[i])
-                    .collect();
-
-                let mut skip = false;
+            }
+            if !skip {
                 // Two sibling dependents must not ride the *identical*
                 // grammar path: a codelet mentions each of them separately
                 // ("replace A with B" needs both string slots).
@@ -376,102 +625,89 @@ pub fn synthesize_with_graph(
                 if skip {
                     stats.pruned_grammar += 1;
                 }
-                if !skip && config.grammar_pruning && chosen.len() >= 2 {
-                    let sigs: Vec<&Vec<(NodeId, NodeId)>> = chosen.iter().map(|o| &o.sig).collect();
-                    if combination_conflicts(&sigs) {
-                        stats.pruned_grammar += 1;
-                        skip = true;
-                    }
+            }
+            if !skip && config.grammar_pruning && chosen.len() >= 2 {
+                let sigs: Vec<&Vec<(NodeId, NodeId)>> = chosen.iter().map(|o| &o.sig).collect();
+                if combination_conflicts(&sigs) {
+                    stats.pruned_grammar += 1;
+                    skip = true;
                 }
-                if !skip && config.size_pruning {
+            }
+            if !skip {
+                if config.size_pruning {
                     let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
-                    let lower =
-                        chosen.iter().map(|o| o.size_excl_sink).max().unwrap_or(0) + child_sum;
-                    if lower > running_min_upper {
-                        stats.pruned_size += 1;
-                        skip = true;
-                    } else {
-                        let sum: usize = chosen.iter().map(|o| o.size_excl_sink).sum();
-                        let upper = sum - (chosen.len() - 1).min(sum) + child_sum;
-                        running_min_upper = running_min_upper.min(upper);
-                    }
+                    let sum: usize = chosen.iter().map(|o| o.size_excl_sink).sum();
+                    let upper = sum - (chosen.len() - 1).min(sum) + child_sum;
+                    running_min_upper = running_min_upper.min(upper);
                 }
-                if !skip {
-                    stats.merged_combinations += 1;
-                    if let Some(layout) = kernel {
-                        // Merge the prefix tree of the chosen paths; each
-                        // path is individually or-consistent, so sequential
-                        // incremental try-merges succeed exactly when the
-                        // full union is or-consistent.
-                        let mut prefix = arena.alloc(layout);
-                        let consistent = chosen.iter().all(|o| {
-                            let bits = o.bits.as_ref().expect("kernel options carry bits");
-                            prefix.try_merge(bits, layout)
-                        });
-                        if consistent {
-                            // Join with each child's best consistent partial.
-                            if let Some(partial) = join_children_kernel(
-                                layout,
-                                &mut arena,
-                                node,
-                                api,
-                                api_score,
-                                &prefix,
-                                &chosen,
-                                &dyng,
-                                config.dggt_beam,
-                            ) {
-                                dyng.insert((node, api), partial, config.dggt_beam);
-                            }
+                stats.merged_combinations += 1;
+                if let Some(layout) = kernel {
+                    // Merge the prefix tree of the chosen paths; each
+                    // path is individually or-consistent, so sequential
+                    // incremental try-merges succeed exactly when the
+                    // full union is or-consistent.
+                    let mut prefix = arena.alloc(layout);
+                    let consistent = chosen.iter().all(|o| {
+                        let bits = o.bits.as_ref().expect("kernel options carry bits");
+                        prefix.try_merge(bits, layout)
+                    });
+                    if consistent {
+                        // Join with each child's best consistent partial.
+                        if let Some(partial) = join_children_kernel(
+                            layout,
+                            arena,
+                            node,
+                            api,
+                            api_score,
+                            &prefix,
+                            &chosen,
+                            dyng,
+                            config.dggt_beam,
+                        ) {
+                            dyng.insert((node, api), partial, config.dggt_beam);
                         }
-                        arena.release(prefix);
-                    } else {
-                        // Merge the prefix tree of the chosen paths.
-                        let mut prefix = Cgt::new();
-                        for o in &chosen {
-                            prefix.merge(&o.cgt);
-                        }
-                        if prefix.is_or_consistent(graph) {
-                            // Join with each child's best consistent partial.
-                            if let Some(partial) = join_children(
-                                graph,
-                                node,
-                                api,
-                                api_score,
-                                &prefix,
-                                &chosen,
-                                &dyng,
-                                config.dggt_beam,
-                            ) {
-                                dyng.insert((node, api), partial, config.dggt_beam);
-                            }
+                    }
+                    arena.release(prefix);
+                } else {
+                    // Merge the prefix tree of the chosen paths.
+                    let mut prefix = Cgt::new();
+                    for o in &chosen {
+                        prefix.merge(&o.cgt);
+                    }
+                    if prefix.is_or_consistent(graph) {
+                        // Join with each child's best consistent partial.
+                        if let Some(partial) = join_children(
+                            graph,
+                            node,
+                            api,
+                            api_score,
+                            &prefix,
+                            &chosen,
+                            dyng,
+                            config.dggt_beam,
+                        ) {
+                            dyng.insert((node, api), partial, config.dggt_beam);
                         }
                     }
                 }
+            }
 
-                // Odometer.
-                let mut pos = indices.len();
-                loop {
-                    if pos == 0 {
-                        break 'combos;
-                    }
-                    pos -= 1;
-                    indices[pos] += 1;
-                    if indices[pos] < options[pos].len() {
-                        break;
-                    }
-                    indices[pos] = 0;
+            // Odometer.
+            let mut pos = indices.len();
+            loop {
+                if pos == 0 {
+                    break 'combos;
                 }
+                pos -= 1;
+                indices[pos] += 1;
+                if indices[pos] < options[pos].len() {
+                    break;
+                }
+                indices[pos] = 0;
             }
         }
     }
-
-    // Final join: grammar-root path + root entry (+ root-attached orphans).
-    let best = match kernel {
-        Some(layout) => final_join_kernel(graph, layout, &mut arena, map, &dyng, root, deadline)?,
-        None => final_join(graph, map, &dyng, root, deadline)?,
-    };
-    Ok((dyng, best))
+    Ok(())
 }
 
 struct Option_ {

@@ -15,6 +15,9 @@
 use nlquery_grammar::{BitCgt, CgtArena, CgtLayout, NodeId};
 
 use crate::engine::{BestCgt, Deadline, TimedOut};
+use crate::merge_memo::{
+    run_signature, MergeFlight, MergeKey, MergeKind, MergeMemo, MergeValue, MergeWork,
+};
 use crate::opt::grammar_prune::{combination_conflicts, or_signature};
 use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats, WordToApi};
 
@@ -25,6 +28,64 @@ const DEADLINE_STRIDE: u64 = 256;
 /// wall-clock on dense queries, so the enumeration-level stride alone
 /// would let a merge-heavy window overshoot its budget.
 const MERGE_DEADLINE_STRIDE: u64 = 64;
+
+/// Like [`synthesize`], consulting (and feeding) a cross-query
+/// [`MergeMemo`] when one is supplied: the whole exhaustive run is keyed
+/// by [`run_signature`] under [`MergeKind::HisynFuse`], so a structurally
+/// repeated query returns the cached fuse result without re-enumerating.
+/// The single-flight token is held across the run and dropped by `?` on
+/// timeout, so timeouts are never cached.
+///
+/// # Errors
+///
+/// Returns [`TimedOut`] when the deadline expires mid-enumeration.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_memo(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+    deadline: &Deadline,
+    stats: &mut SynthesisStats,
+    memo: Option<&MergeMemo>,
+) -> Result<Option<BestCgt>, TimedOut> {
+    let Some(memo) = memo else {
+        return synthesize(domain, query, w2a, map, config, deadline, stats);
+    };
+    let key = MergeKey {
+        sig: run_signature(domain, query, w2a, map, config),
+        kind: MergeKind::HisynFuse,
+    };
+    match memo.join(key) {
+        MergeFlight::Hit(v) => {
+            stats.merge_memo_hits += 1;
+            let MergeValue::Best(best, work) = &*v else {
+                unreachable!("HisynFuse keys only store MergeValue::Best");
+            };
+            work.replay(stats);
+            Ok(best.clone())
+        }
+        MergeFlight::Shared(v) => {
+            stats.merge_memo_dedup_waits += 1;
+            let MergeValue::Best(best, work) = &*v else {
+                unreachable!("HisynFuse keys only store MergeValue::Best");
+            };
+            work.replay(stats);
+            Ok(best.clone())
+        }
+        MergeFlight::Miss(token) => {
+            stats.merge_memo_misses += 1;
+            let before = MergeWork::snapshot(stats);
+            let best = synthesize(domain, query, w2a, map, config, deadline, stats)?;
+            token.complete(MergeValue::Best(
+                best.clone(),
+                MergeWork::since(stats, &before),
+            ));
+            Ok(best)
+        }
+    }
+}
 
 /// Runs the exhaustive search, returning the smallest valid CGT.
 ///

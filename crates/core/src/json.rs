@@ -625,6 +625,7 @@ pub fn cache_stats_json(stats: &CacheStats) -> JsonValue {
         ("evictions", JsonValue::from(stats.evictions)),
         ("hit_rate", JsonValue::from(stats.hit_rate())),
         ("entries", JsonValue::from(stats.entries)),
+        ("bytes", JsonValue::from(stats.bytes)),
         ("capacity", JsonValue::from(stats.capacity)),
         ("shards", JsonValue::from(stats.shards)),
     ])
@@ -655,6 +656,17 @@ pub fn batch_stats_json(stats: &BatchStats) -> JsonValue {
         ),
         ("cache_hit_rate", JsonValue::from(stats.cache.hit_rate())),
         ("shards", JsonValue::from(stats.cache.shards)),
+        ("merge_memo_hits", JsonValue::from(stats.merge.hits)),
+        ("merge_memo_misses", JsonValue::from(stats.merge.misses)),
+        (
+            "merge_memo_dedup_waits",
+            JsonValue::from(stats.merge.dedup_waits),
+        ),
+        (
+            "merge_memo_hit_rate",
+            JsonValue::from(stats.merge.hit_rate()),
+        ),
+        ("merge_memo_bytes", JsonValue::from(stats.merge.bytes)),
         (
             "stage_secs",
             JsonValue::obj([
@@ -804,6 +816,8 @@ mod tests {
             "worker_utilization",
             "successes",
             "cache_hits",
+            "merge_memo_hits",
+            "merge_memo_bytes",
             "stage_secs",
         ] {
             assert!(row.get(key).is_some(), "missing {key}");

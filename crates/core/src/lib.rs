@@ -60,6 +60,7 @@ pub mod expr;
 pub mod hisyn;
 pub mod json;
 pub mod memo;
+pub mod merge_memo;
 pub mod opt;
 mod pipeline;
 pub mod prune;
@@ -77,7 +78,12 @@ pub use engine::{BestCgt, Deadline, TimedOut};
 pub use error::SynthesisError;
 pub use json::{JsonError, JsonValue};
 pub use memo::{
-    CacheStats, Flight, FlightToken, MemoDirection, MemoKey, SharedPathCache, DEFAULT_SHARDS,
+    CacheStats, Flight, FlightToken, MemoBytes, MemoDirection, MemoKey, ShardHash,
+    ShardedFlightCache, SharedPathCache, DEFAULT_SHARDS,
+};
+pub use merge_memo::{
+    run_signature, MergeFlight, MergeFlightToken, MergeKey, MergeKind, MergeMemo, MergeValue,
+    MergeWork, DEFAULT_MERGE_CAPACITY,
 };
 pub use pipeline::{Outcome, Synthesis, Synthesizer};
 pub use query::{QueryEdge, QueryGraph, QueryNode};

@@ -1,4 +1,5 @@
-//! Cross-query memoization of EdgeToPath search results.
+//! Cross-query memoization: the sharded single-flight cache core and the
+//! EdgeToPath path cache built on it.
 //!
 //! The grammar graph is immutable per domain, so the set of grammar paths
 //! connecting one candidate-API set to another never changes between
@@ -9,30 +10,37 @@
 //! `(governor candidate-set hash, dependent candidate-set hash, direction)`
 //! with an LRU bound and hit/miss/eviction counters.
 //!
+//! The same recurrence holds one stage later: PathMerging re-derives the
+//! same beams and joins for structurally repeated queries. The caching
+//! machinery is therefore generic — [`ShardedFlightCache`] is the reusable
+//! core, instantiated here for edge path lists and by
+//! [`merge_memo`](crate::merge_memo) for merge results.
+//!
 //! # Sharding and single-flight
 //!
 //! The cache is **sharded**: keys hash to one of N independent
 //! mutex-protected shards, so concurrent workers touching different keys
 //! never contend on one lock. Each shard is additionally a **single-flight**
 //! domain: a miss installs an *in-flight* slot before the caller goes off to
-//! run the expensive grammar search, and every other worker that requests
-//! the same key while the search runs *blocks on the one computation*
+//! run the expensive computation, and every other worker that requests
+//! the same key while it runs *blocks on the one computation*
 //! instead of racing to duplicate it. The blocked lookups resolve to the
 //! leader's value and are counted as `dedup_waits` — a third lookup outcome
 //! next to `hits` and `misses`, so that
 //! `hits + misses + dedup_waits == total lookups` and **every unique key is
 //! computed exactly once** while it stays resident.
 //!
-//! The single-flight entry point is [`SharedPathCache::join`]: it returns a
-//! [`Flight`] telling the caller whether the value was ready
-//! ([`Flight::Hit`]), was computed by another worker while this one waited
-//! ([`Flight::Shared`]), or must be computed by this caller
-//! ([`Flight::Miss`] carrying a [`FlightToken`] to publish the result
-//! through). Dropping the token without completing it (e.g. on a panic in
-//! the search) wakes all waiters; one of them is promoted to the new
-//! leader, so abandonment never wedges the cache.
+//! The single-flight entry point is [`ShardedFlightCache::join`]: it
+//! returns a [`CacheFlight`] telling the caller whether the value was ready
+//! ([`CacheFlight::Hit`]), was computed by another worker while this one
+//! waited ([`CacheFlight::Shared`]), or must be computed by this caller
+//! ([`CacheFlight::Miss`] carrying a [`CacheFlightToken`] to publish the
+//! result through). Dropping the token without completing it (e.g. on a
+//! panic or a timeout in the computation) wakes all waiters; one of them is
+//! promoted to the new leader, so abandonment never wedges the cache — and
+//! a timed-out computation is never published.
 //!
-//! Cached values are *raw* candidates: sorted, truncated to the search
+//! Cached path values are *raw* candidates: sorted, truncated to the search
 //! limits, but without relation-affinity bonuses or path ids — both depend
 //! on the specific dependency edge, so they are applied at retrieval time
 //! by [`edge2path`](crate::edge2path).
@@ -53,9 +61,41 @@ fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Default shard count of a [`SharedPathCache`] (clamped down when the
+/// Default shard count of a [`ShardedFlightCache`] (clamped down when the
 /// capacity is smaller, so tiny caches keep their exact entry bound).
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Approximate heap footprint of a memoized value, for the `bytes` gauge
+/// in [`CacheStats`]. An estimate is enough — the gauge exists so capacity
+/// tuning and `/metrics` dashboards can see *relative* residency, not for
+/// allocator-exact accounting.
+pub trait MemoBytes {
+    /// Approximate bytes this value holds (excluding the `Arc` header).
+    fn memo_bytes(&self) -> usize;
+}
+
+impl MemoBytes for Vec<RawPath> {
+    fn memo_bytes(&self) -> usize {
+        std::mem::size_of::<RawPath>() * self.len()
+            + self
+                .iter()
+                .map(|rp| rp.path.chain.len() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+    }
+}
+
+/// The 64-bit value a key spreads over lock shards with (fed to one
+/// multiply-shift in the cache). The default runs the key's standard
+/// hash; keys whose fields are already well-mixed hashes can return a
+/// cheap xor-fold instead and skip the SipHash pass.
+pub trait ShardHash: Hash {
+    /// A well-mixed value determining the key's shard.
+    fn shard_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
 
 /// Which kind of path search a memo entry holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,6 +120,18 @@ pub struct MemoKey {
     pub dep: u64,
     /// Search direction.
     pub direction: MemoDirection,
+}
+
+impl ShardHash for MemoKey {
+    /// Key fields are already well-mixed candidate-set hashes; one
+    /// xor-rotate spreads them without a SipHash pass.
+    fn shard_hash(&self) -> u64 {
+        let dir = match self.direction {
+            MemoDirection::FromRoot => 0x9E37_79B9_7F4A_7C15u64,
+            MemoDirection::Between => 0xC2B2_AE3D_27D4_EB4Fu64,
+        };
+        self.gov ^ self.dep.rotate_left(32) ^ dir
+    }
 }
 
 /// One memoized candidate path: finalized order, no per-edge metadata.
@@ -107,6 +159,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently held (ready entries across all shards).
     pub entries: usize,
+    /// Approximate bytes held by ready entries across all shards.
+    pub bytes: u64,
     /// Maximum entries held.
     pub capacity: usize,
     /// Number of independent lock shards.
@@ -132,8 +186,9 @@ impl CacheStats {
     }
 
     /// Counter difference `self - earlier` (monotonic counters only; the
-    /// gauges `entries` / `capacity` / `shards` keep `self`'s values). Used
-    /// to report per-batch cache activity from cumulative engine counters.
+    /// gauges `entries` / `bytes` / `capacity` / `shards` keep `self`'s
+    /// values). Used to report per-batch cache activity from cumulative
+    /// engine counters.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
@@ -141,6 +196,7 @@ impl CacheStats {
             dedup_waits: self.dedup_waits.saturating_sub(earlier.dedup_waits),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             entries: self.entries,
+            bytes: self.bytes,
             capacity: self.capacity,
             shards: self.shards,
         }
@@ -178,38 +234,42 @@ impl MemoKey {
     }
 }
 
-struct Entry {
-    value: Arc<Vec<RawPath>>,
+struct Entry<V> {
+    value: Arc<V>,
     stamp: u64,
+    bytes: usize,
 }
 
-enum Slot {
+enum Slot<V> {
     /// A finished computation.
-    Ready(Entry),
+    Ready(Entry<V>),
     /// A leader is computing this key; waiters block on the shard condvar.
     InFlight,
 }
 
-struct ShardState {
-    map: HashMap<MemoKey, Slot>,
+struct ShardState<K, V> {
+    map: HashMap<K, Slot<V>>,
     /// Ready entries in `map` (in-flight slots don't count toward the LRU
     /// bound — they hold no value yet).
     ready: usize,
+    /// Approximate bytes across ready entries.
+    bytes: u64,
     stamp: u64,
 }
 
-struct Shard {
-    state: Mutex<ShardState>,
+struct Shard<K, V> {
+    state: Mutex<ShardState<K, V>>,
     /// Signalled whenever an in-flight slot resolves (or is abandoned).
     resolved: Condvar,
 }
 
-impl Shard {
-    fn new() -> Shard {
+impl<K, V> Shard<K, V> {
+    fn new() -> Shard<K, V> {
         Shard {
             state: Mutex::new(ShardState {
                 map: HashMap::new(),
                 ready: 0,
+                bytes: 0,
                 stamp: 0,
             }),
             resolved: Condvar::new(),
@@ -217,44 +277,51 @@ impl Shard {
     }
 }
 
-/// Outcome of a single-flight lookup ([`SharedPathCache::join`]).
+/// Outcome of a single-flight lookup ([`ShardedFlightCache::join`]).
 #[derive(Debug)]
-pub enum Flight {
+pub enum CacheFlight<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> {
     /// The value was ready; counted as a hit.
-    Hit(Arc<Vec<RawPath>>),
+    Hit(Arc<V>),
     /// Another worker was computing the key; this lookup blocked until the
     /// leader published and shares its value. Counted as a `dedup_wait`.
-    Shared(Arc<Vec<RawPath>>),
+    Shared(Arc<V>),
     /// This lookup is the computing leader; counted as a miss. Run the
-    /// search and publish it with [`FlightToken::complete`].
-    Miss(FlightToken),
+    /// computation and publish it with [`CacheFlightToken::complete`].
+    Miss(CacheFlightToken<K, V>),
 }
+
+/// Outcome of a [`SharedPathCache`] single-flight lookup.
+pub type Flight = CacheFlight<MemoKey, Vec<RawPath>>;
 
 /// Leadership over one in-flight cache key.
 ///
-/// Obtained from [`Flight::Miss`]; the holder is the only worker computing
-/// the key. [`FlightToken::complete`] publishes the value and wakes every
-/// waiter. Dropping the token without completing it (panic, early return)
-/// removes the in-flight slot and wakes the waiters so one of them can take
-/// over — single-flight never deadlocks on an abandoned leader.
+/// Obtained from [`CacheFlight::Miss`]; the holder is the only worker
+/// computing the key. [`CacheFlightToken::complete`] publishes the value
+/// and wakes every waiter. Dropping the token without completing it
+/// (panic, timeout, early return) removes the in-flight slot and wakes the
+/// waiters so one of them can take over — single-flight never deadlocks on
+/// an abandoned leader, and an aborted computation is never published.
 #[derive(Debug)]
-pub struct FlightToken {
-    cache: Arc<SharedPathCache>,
+pub struct CacheFlightToken<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> {
+    cache: Arc<ShardedFlightCache<K, V>>,
     shard: usize,
-    key: MemoKey,
+    key: K,
     completed: bool,
 }
 
-impl FlightToken {
+/// Leadership over one in-flight [`SharedPathCache`] key.
+pub type FlightToken = CacheFlightToken<MemoKey, Vec<RawPath>>;
+
+impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> CacheFlightToken<K, V> {
     /// The key this token leads.
-    pub fn key(&self) -> MemoKey {
+    pub fn key(&self) -> K {
         self.key
     }
 
     /// Publishes the computed value, waking all waiters. Returns the shared
     /// handle (the already-stored value in the unusual case that a direct
-    /// [`SharedPathCache::insert`] raced this flight and won).
-    pub fn complete(mut self, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+    /// [`ShardedFlightCache::insert`] raced this flight and won).
+    pub fn complete(mut self, value: V) -> Arc<V> {
         self.completed = true;
         let shard = &self.cache.shards[self.shard];
         let mut state = lock_shard(&shard.state);
@@ -268,25 +335,28 @@ impl FlightToken {
             return value;
         }
         self.cache.evict_to_fit(&mut state);
+        let bytes = value.memo_bytes();
         let value = Arc::new(value);
         let previous = state.map.insert(
             self.key,
             Slot::Ready(Entry {
                 value: Arc::clone(&value),
                 stamp,
+                bytes,
             }),
         );
         // The slot was InFlight (the normal case) or removed by `clear`;
         // either way a Ready entry was added.
         debug_assert!(!matches!(previous, Some(Slot::Ready(_))));
         state.ready += 1;
+        state.bytes += bytes as u64;
         drop(state);
         shard.resolved.notify_all();
         value
     }
 }
 
-impl Drop for FlightToken {
+impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> Drop for CacheFlightToken<K, V> {
     fn drop(&mut self) {
         if self.completed {
             return;
@@ -302,32 +372,16 @@ impl Drop for FlightToken {
     }
 }
 
-/// Thread-safe, sharded, LRU-bounded single-flight memo cache for
-/// EdgeToPath search results, shared across queries (and across batch
-/// workers) of one domain.
+/// Thread-safe, sharded, LRU-bounded single-flight memo cache: the generic
+/// core behind [`SharedPathCache`] (EdgeToPath results) and
+/// [`MergeMemo`](crate::merge_memo::MergeMemo) (PathMerging results).
 ///
 /// Keys hash to one of [`CacheStats::shards`] independent lock domains, so
 /// workers on disjoint keys never contend; within a shard, concurrent
 /// lookups of one missing key resolve to **one** computation via
-/// [`SharedPathCache::join`] (single-flight).
-///
-/// ```rust
-/// use std::sync::Arc;
-/// use nlquery_core::memo::{Flight, MemoKey, SharedPathCache};
-/// use nlquery_grammar::SearchLimits;
-///
-/// let cache = Arc::new(SharedPathCache::new(128));
-/// let key = MemoKey::from_root(&[], SearchLimits::default());
-/// // First join leads the computation…
-/// let Flight::Miss(token) = cache.join(key) else { panic!("cold cache") };
-/// token.complete(Vec::new());
-/// // …subsequent joins hit.
-/// assert!(matches!(cache.join(key), Flight::Hit(_)));
-/// assert_eq!(cache.stats().hits, 1);
-/// assert_eq!(cache.stats().misses, 1);
-/// ```
-pub struct SharedPathCache {
-    shards: Vec<Shard>,
+/// [`ShardedFlightCache::join`] (single-flight).
+pub struct ShardedFlightCache<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> {
+    shards: Vec<Shard<K, V>>,
     /// Per-shard ready-entry bound (`capacity` split across shards).
     shard_capacity: usize,
     capacity: usize,
@@ -337,29 +391,29 @@ pub struct SharedPathCache {
     evictions: AtomicU64,
 }
 
-impl std::fmt::Debug for SharedPathCache {
+impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> std::fmt::Debug for ShardedFlightCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedPathCache")
+        f.debug_struct("ShardedFlightCache")
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-impl SharedPathCache {
+impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
     /// Creates a cache holding at most `capacity` entries (minimum 1),
     /// sharded over [`DEFAULT_SHARDS`] lock domains (fewer when `capacity`
     /// is smaller, so the entry bound stays exact).
-    pub fn new(capacity: usize) -> SharedPathCache {
-        SharedPathCache::with_shards(capacity, DEFAULT_SHARDS)
+    pub fn new(capacity: usize) -> ShardedFlightCache<K, V> {
+        ShardedFlightCache::with_shards(capacity, DEFAULT_SHARDS)
     }
 
     /// Creates a cache with an explicit shard count (clamped to
     /// `1..=capacity`). One shard reproduces a single global LRU domain —
     /// useful for deterministic eviction-order tests.
-    pub fn with_shards(capacity: usize, shards: usize) -> SharedPathCache {
+    pub fn with_shards(capacity: usize, shards: usize) -> ShardedFlightCache<K, V> {
         let capacity = capacity.max(1);
         let shards = shards.clamp(1, capacity);
-        SharedPathCache {
+        ShardedFlightCache {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             shard_capacity: capacity.div_ceil(shards),
             capacity,
@@ -370,47 +424,44 @@ impl SharedPathCache {
         }
     }
 
-    /// The shard a key belongs to. Key fields are already well-mixed
-    /// hashes; one multiply-shift spreads them over the shards.
-    fn shard_of(&self, key: &MemoKey) -> usize {
-        let dir = match key.direction {
-            MemoDirection::FromRoot => 0x9E37_79B9_7F4A_7C15u64,
-            MemoDirection::Between => 0xC2B2_AE3D_27D4_EB4Fu64,
-        };
-        let mixed = (key.gov ^ key.dep.rotate_left(32) ^ dir).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    /// The shard a key belongs to: the key's [`ShardHash`] spread by one
+    /// multiply-shift.
+    fn shard_of(&self, key: &K) -> usize {
+        let mixed = key.shard_hash().wrapping_mul(0x2545_F491_4F6C_DD1D);
         ((mixed >> 32) as usize) % self.shards.len()
     }
 
     /// Evicts least-recently-used ready entries until the shard has room
     /// for one more. Caller holds the shard lock.
-    fn evict_to_fit(&self, state: &mut ShardState) {
+    fn evict_to_fit(&self, state: &mut ShardState<K, V>) {
         while state.ready >= self.shard_capacity {
             let oldest = state
                 .map
                 .iter()
                 .filter_map(|(k, slot)| match slot {
-                    Slot::Ready(e) => Some((*k, e.stamp)),
+                    Slot::Ready(e) => Some((*k, e.stamp, e.bytes)),
                     Slot::InFlight => None,
                 })
-                .min_by_key(|&(_, stamp)| stamp)
-                .map(|(k, _)| k);
-            let Some(oldest) = oldest else { break };
+                .min_by_key(|&(_, stamp, _)| stamp)
+                .map(|(k, _, bytes)| (k, bytes));
+            let Some((oldest, bytes)) = oldest else { break };
             state.map.remove(&oldest);
             state.ready -= 1;
+            state.bytes = state.bytes.saturating_sub(bytes as u64);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Single-flight lookup: returns the value if ready ([`Flight::Hit`]),
-    /// blocks on a concurrent computation of the same key and shares its
-    /// result ([`Flight::Shared`]), or makes this caller the computing
-    /// leader ([`Flight::Miss`]).
+    /// Single-flight lookup: returns the value if ready
+    /// ([`CacheFlight::Hit`]), blocks on a concurrent computation of the
+    /// same key and shares its result ([`CacheFlight::Shared`]), or makes
+    /// this caller the computing leader ([`CacheFlight::Miss`]).
     ///
     /// Every call resolves to exactly one of the three outcomes and
     /// increments exactly one of the `hits` / `dedup_waits` / `misses`
     /// counters, so their sum equals the number of `join` (plus `get`)
     /// calls.
-    pub fn join(self: &Arc<Self>, key: MemoKey) -> Flight {
+    pub fn join(self: &Arc<Self>, key: K) -> CacheFlight<K, V> {
         let shard_index = self.shard_of(&key);
         let shard = &self.shards[shard_index];
         let mut state = lock_shard(&shard.state);
@@ -418,8 +469,8 @@ impl SharedPathCache {
         loop {
             state.stamp += 1;
             let stamp = state.stamp;
-            enum Decision {
-                Ready(Arc<Vec<RawPath>>),
+            enum Decision<V> {
+                Ready(Arc<V>),
                 Wait,
                 Lead,
             }
@@ -436,10 +487,10 @@ impl SharedPathCache {
                     drop(state);
                     return if waited {
                         self.dedup_waits.fetch_add(1, Ordering::Relaxed);
-                        Flight::Shared(value)
+                        CacheFlight::Shared(value)
                     } else {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        Flight::Hit(value)
+                        CacheFlight::Hit(value)
                     };
                 }
                 Decision::Wait => {
@@ -456,7 +507,7 @@ impl SharedPathCache {
                     state.map.insert(key, Slot::InFlight);
                     drop(state);
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    return Flight::Miss(FlightToken {
+                    return CacheFlight::Miss(CacheFlightToken {
                         cache: Arc::clone(self),
                         shard: shard_index,
                         key,
@@ -469,8 +520,8 @@ impl SharedPathCache {
 
     /// Non-blocking lookup, refreshing the entry's LRU stamp. Counts a hit,
     /// or a miss when the key is absent *or still in flight* (this call
-    /// never waits; use [`SharedPathCache::join`] for deduplication).
-    pub fn get(&self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
+    /// never waits; use [`ShardedFlightCache::join`] for deduplication).
+    pub fn get(&self, key: K) -> Option<Arc<V>> {
         let shard = &self.shards[self.shard_of(&key)];
         let mut state = lock_shard(&shard.state);
         state.stamp += 1;
@@ -491,11 +542,11 @@ impl SharedPathCache {
         }
     }
 
-    /// Memoizes a search result directly, evicting the least-recently-used
-    /// entry of the key's shard when full. Returns the shared handle (the
-    /// stored value if another thread raced this insert and won). If the
-    /// key is in flight, the value resolves the flight and wakes waiters.
-    pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+    /// Memoizes a result directly, evicting the least-recently-used entry
+    /// of the key's shard when full. Returns the shared handle (the stored
+    /// value if another thread raced this insert and won). If the key is in
+    /// flight, the value resolves the flight and wakes waiters.
+    pub fn insert(&self, key: K, value: V) -> Arc<V> {
         let shard = &self.shards[self.shard_of(&key)];
         let mut state = lock_shard(&shard.state);
         state.stamp += 1;
@@ -509,15 +560,18 @@ impl SharedPathCache {
             }
             Some(Slot::InFlight) => {
                 self.evict_to_fit(&mut state);
+                let bytes = value.memo_bytes();
                 let value = Arc::new(value);
                 state.map.insert(
                     key,
                     Slot::Ready(Entry {
                         value: Arc::clone(&value),
                         stamp,
+                        bytes,
                     }),
                 );
                 state.ready += 1;
+                state.bytes += bytes as u64;
                 drop(state);
                 shard.resolved.notify_all();
                 return value;
@@ -525,27 +579,36 @@ impl SharedPathCache {
             None => {}
         }
         self.evict_to_fit(&mut state);
+        let bytes = value.memo_bytes();
         let value = Arc::new(value);
         state.map.insert(
             key,
             Slot::Ready(Entry {
                 value: Arc::clone(&value),
                 stamp,
+                bytes,
             }),
         );
         state.ready += 1;
+        state.bytes += bytes as u64;
         value
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.shards.iter().map(|s| lock_shard(&s.state).ready).sum();
+        let (mut entries, mut bytes) = (0usize, 0u64);
+        for s in &self.shards {
+            let state = lock_shard(&s.state);
+            entries += state.ready;
+            bytes += state.bytes;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
+            bytes,
             capacity: self.capacity,
             shards: self.shards.len(),
         }
@@ -558,6 +621,7 @@ impl SharedPathCache {
             let mut state = lock_shard(&shard.state);
             state.map.retain(|_, slot| matches!(slot, Slot::InFlight));
             state.ready = 0;
+            state.bytes = 0;
         }
     }
 
@@ -570,6 +634,84 @@ impl SharedPathCache {
         self.misses.store(0, Ordering::Relaxed);
         self.dedup_waits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Thread-safe, sharded, LRU-bounded single-flight memo cache for
+/// EdgeToPath search results, shared across queries (and across batch
+/// workers) of one domain — a thin wrapper over [`ShardedFlightCache`]
+/// keyed by [`MemoKey`].
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use nlquery_core::memo::{Flight, MemoKey, SharedPathCache};
+/// use nlquery_grammar::SearchLimits;
+///
+/// let cache = Arc::new(SharedPathCache::new(128));
+/// let key = MemoKey::from_root(&[], SearchLimits::default());
+/// // First join leads the computation…
+/// let Flight::Miss(token) = cache.join(key) else { panic!("cold cache") };
+/// token.complete(Vec::new());
+/// // …subsequent joins hit.
+/// assert!(matches!(cache.join(key), Flight::Hit(_)));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+pub struct SharedPathCache {
+    inner: Arc<ShardedFlightCache<MemoKey, Vec<RawPath>>>,
+}
+
+impl std::fmt::Debug for SharedPathCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPathCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedPathCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1),
+    /// sharded over [`DEFAULT_SHARDS`] lock domains.
+    pub fn new(capacity: usize) -> SharedPathCache {
+        SharedPathCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to
+    /// `1..=capacity`).
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedPathCache {
+        SharedPathCache {
+            inner: Arc::new(ShardedFlightCache::with_shards(capacity, shards)),
+        }
+    }
+
+    /// Single-flight lookup; see [`ShardedFlightCache::join`].
+    pub fn join(&self, key: MemoKey) -> Flight {
+        self.inner.join(key)
+    }
+
+    /// Non-blocking lookup; see [`ShardedFlightCache::get`].
+    pub fn get(&self, key: MemoKey) -> Option<Arc<Vec<RawPath>>> {
+        self.inner.get(key)
+    }
+
+    /// Direct insert; see [`ShardedFlightCache::insert`].
+    pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
+        self.inner.insert(key, value)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Drops every ready entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+
+    /// Drops every ready entry **and** zeroes all counters.
+    pub fn reset(&self) {
+        self.inner.reset()
     }
 }
 
@@ -680,6 +822,22 @@ mod tests {
         cache.reset();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.dedup_waits, s.evictions), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn bytes_gauge_tracks_residency() {
+        let api = some_api();
+        let cache = SharedPathCache::with_shards(2, 1);
+        assert_eq!(cache.stats().bytes, 0);
+        cache.insert(key(1), value_of(3, api));
+        let populated = cache.stats().bytes;
+        assert!(populated > 0, "non-empty values occupy bytes");
+        // Evicting key(1) by filling the single-shard LRU returns its bytes.
+        cache.insert(key(2), Vec::new());
+        cache.insert(key(3), Vec::new());
+        assert!(cache.stats().bytes < populated, "evicted bytes released");
+        cache.clear();
+        assert_eq!(cache.stats().bytes, 0, "clear zeroes the gauge");
     }
 
     #[test]
@@ -946,7 +1104,7 @@ mod tests {
             Some(oldest)
         }
 
-        /// Mirrors `insert` and `FlightToken::complete`: both bump the
+        /// Mirrors `insert` and `CacheFlightToken::complete`: both bump the
         /// shard stamp exactly once (a led flight's *join* bump is
         /// mirrored by the `lookup` call at the join site).
         fn insert(&mut self, shard: usize, key: MemoKey, len: usize) {
@@ -992,7 +1150,7 @@ mod tests {
 
             for step in 0..600 {
                 let k = universe[rng.below(universe.len())];
-                let shard = cache.shard_of(&k);
+                let shard = cache.inner.shard_of(&k);
                 match rng.below(20) {
                     0 => {
                         cache.clear();
@@ -1025,7 +1183,7 @@ mod tests {
 
                 // Full-state equivalence: per shard, the same keys with the
                 // same stamps (LRU order) and the same values.
-                for (si, shard_ref) in cache.shards.iter().enumerate() {
+                for (si, shard_ref) in cache.inner.shards.iter().enumerate() {
                     let state = shard_ref.state.lock().unwrap();
                     let mut got: Vec<(MemoKey, u64, usize)> = state
                         .map

@@ -1,0 +1,405 @@
+//! Cross-query memoization of PathMerging results (the merge memo).
+//!
+//! After PR 3 cached EdgeToPath, the warm-pass profile flipped: ~95 % of
+//! warm wall time was *merge* — DGGT beams and joins re-derived from
+//! scratch for every structurally repeated query. The merge memo closes
+//! that gap with the same machinery: a sharded single-flight LRU cache
+//! ([`ShardedFlightCache`]) keyed by canonical **run signatures** — hashes
+//! over everything the merge stage reads (domain, query shape, WordToAPI
+//! candidates with scores, the full EdgeToPath candidate lists, and the
+//! config knobs that steer the DP) — so two queries sharing the inputs of
+//! a merge share its outcome bit-for-bit.
+//!
+//! Three result granularities are memoized, discriminated by
+//! [`MergeKind`]:
+//!
+//! - [`MergeKind::FinalJoin`] — a whole DGGT run: the final
+//!   [`BestCgt`]. A warm repeat of a query skips the entire DP.
+//! - [`MergeKind::NodeBeams`] — one dynamic-grammar-graph node's beams
+//!   (the per-`(query node, API)` [`PartialCgt`] lists produced by the
+//!   sibling-combination enumeration and `join_children`). Keys hash the
+//!   node's *subtree* recursively, so distinct queries sharing a subtree
+//!   still skip its re-merging.
+//! - [`MergeKind::HisynFuse`] — a whole HISyn exhaustive run.
+//!
+//! # Invalidation and correctness
+//!
+//! There is nothing to invalidate: the grammar is immutable per domain and
+//! every mutable input is hashed into the key — a change in candidates,
+//! paths, or config produces a *different* signature, and stale entries
+//! age out of the LRU. Timeouts are never cached: the single-flight token
+//! is held across the fallible computation and `?`-dropping it on
+//! [`TimedOut`](crate::engine::TimedOut) abandons the flight (waiters are
+//! promoted, nothing is published). The memo-off path
+//! ([`SynthesisConfig::merge_memo`] `= false`) bypasses this module
+//! entirely and is proven bitwise-identical by the differential suite.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+use nlquery_grammar::NodeId;
+
+use crate::dggt::PartialCgt;
+use crate::engine::BestCgt;
+use crate::memo::{
+    CacheFlight, CacheFlightToken, CacheStats, MemoBytes, ShardHash, ShardedFlightCache,
+};
+use crate::{Domain, EdgeCandidates, EdgeToPath, QueryGraph, SynthesisConfig, WordToApi};
+
+use crate::SynthesisStats;
+
+/// Default entry capacity of a [`MergeMemo`]. Merge values are heavier
+/// than path lists (beams carry whole partial CGTs), so the default is
+/// smaller than the path cache's.
+pub const DEFAULT_MERGE_CAPACITY: usize = 2048;
+
+/// Which merge granularity a memo entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MergeKind {
+    /// One DGGT node's beams, keyed by its subtree signature.
+    NodeBeams,
+    /// A whole DGGT run (final join result), keyed by the run signature.
+    FinalJoin,
+    /// A whole HISyn exhaustive run, keyed by the run signature.
+    HisynFuse,
+}
+
+/// Cache key of one memoized merge result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MergeKey {
+    /// Canonical signature over every input the computation reads.
+    pub sig: u64,
+    /// Result granularity (also keeps the key spaces disjoint).
+    pub kind: MergeKind,
+}
+
+impl ShardHash for MergeKey {}
+
+/// Merge-stage work counters accumulated while computing one memoized
+/// value, captured as a delta over the leader's [`SynthesisStats`] and
+/// **replayed on every hit** — so a memoized run reports the same
+/// Table-III counters (`merged_combinations`, pruning tallies, …) as a
+/// memo-less run. The memo stays invisible at the stats level, not just
+/// the result level; the batch-determinism suite compares these counters
+/// byte for byte against the sequential synthesizer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeWork {
+    /// Sibling-level combinations considered.
+    pub sibling_combinations: u64,
+    /// Combinations removed by grammar-based pruning.
+    pub pruned_grammar: u64,
+    /// Combinations removed by size-based pruning.
+    pub pruned_size: u64,
+    /// Combinations merged into prefix trees.
+    pub merged_combinations: u64,
+    /// Combinations the HISyn enumeration visited.
+    pub enumerated_combinations: u64,
+}
+
+impl MergeWork {
+    /// Snapshot of the replayable counters of `stats` (taken before a
+    /// leader starts computing).
+    pub fn snapshot(stats: &SynthesisStats) -> MergeWork {
+        MergeWork {
+            sibling_combinations: stats.sibling_combinations,
+            pruned_grammar: stats.pruned_grammar,
+            pruned_size: stats.pruned_size,
+            merged_combinations: stats.merged_combinations,
+            enumerated_combinations: stats.enumerated_combinations,
+        }
+    }
+
+    /// The work accumulated in `stats` since the `before` snapshot.
+    /// Nested memo hits replay their own work into `stats` first, so the
+    /// delta of an outer computation is the *full* cost of a memo-less
+    /// recomputation — capture and replay compose across the
+    /// FinalJoin-over-NodeBeams layering.
+    pub fn since(stats: &SynthesisStats, before: &MergeWork) -> MergeWork {
+        MergeWork {
+            sibling_combinations: stats.sibling_combinations - before.sibling_combinations,
+            pruned_grammar: stats.pruned_grammar - before.pruned_grammar,
+            pruned_size: stats.pruned_size - before.pruned_size,
+            merged_combinations: stats.merged_combinations - before.merged_combinations,
+            enumerated_combinations: stats.enumerated_combinations - before.enumerated_combinations,
+        }
+    }
+
+    /// Adds this work to `stats`, as if the memoized computation had run.
+    pub fn replay(&self, stats: &mut SynthesisStats) {
+        stats.sibling_combinations += self.sibling_combinations;
+        stats.pruned_grammar += self.pruned_grammar;
+        stats.pruned_size += self.pruned_size;
+        stats.merged_combinations += self.merged_combinations;
+        stats.enumerated_combinations += self.enumerated_combinations;
+    }
+}
+
+/// One memoized merge result, paired with the [`MergeWork`] its
+/// computation accumulated.
+#[derive(Debug, Clone)]
+pub enum MergeValue {
+    /// Per-API beams of one dynamic-grammar-graph node.
+    Beams(Vec<(NodeId, Vec<PartialCgt>)>, MergeWork),
+    /// The best CGT of a whole run (`None` when the run proved there is no
+    /// valid CGT — a negative result worth caching too).
+    Best(Option<BestCgt>, MergeWork),
+}
+
+fn partial_bytes(p: &PartialCgt) -> usize {
+    std::mem::size_of::<PartialCgt>()
+        + (p.cgt.nodes.len() + 2 * p.cgt.edges.len()) * std::mem::size_of::<NodeId>()
+        + p.claimed.len() * std::mem::size_of::<(NodeId, NodeId)>()
+        + p.node_claims.len() * std::mem::size_of::<(usize, (NodeId, NodeId))>()
+        + p.assignment.len() * std::mem::size_of::<(usize, NodeId)>()
+}
+
+impl MemoBytes for MergeValue {
+    fn memo_bytes(&self) -> usize {
+        match self {
+            MergeValue::Beams(beams, _) => {
+                beams
+                    .iter()
+                    .map(|(_, ps)| ps.iter().map(partial_bytes).sum::<usize>())
+                    .sum::<usize>()
+                    + beams.len() * std::mem::size_of::<(NodeId, Vec<PartialCgt>)>()
+            }
+            MergeValue::Best(best, _) => {
+                std::mem::size_of::<Option<BestCgt>>()
+                    + best
+                        .as_ref()
+                        .map(|b| {
+                            (b.cgt.nodes.len() + 2 * b.cgt.edges.len())
+                                * std::mem::size_of::<NodeId>()
+                                + b.assignment.len() * std::mem::size_of::<(usize, NodeId)>()
+                                + b.node_claims.len()
+                                    * std::mem::size_of::<(usize, (NodeId, NodeId))>()
+                        })
+                        .unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Outcome of a [`MergeMemo`] single-flight lookup.
+pub type MergeFlight = CacheFlight<MergeKey, MergeValue>;
+
+/// Leadership over one in-flight [`MergeMemo`] key.
+pub type MergeFlightToken = CacheFlightToken<MergeKey, MergeValue>;
+
+/// Thread-safe cross-query memo of PathMerging results, shared across the
+/// workers and submissions of a [`ServiceEngine`](crate::ServiceEngine) —
+/// the merge-stage sibling of [`SharedPathCache`](crate::SharedPathCache).
+pub struct MergeMemo {
+    inner: Arc<ShardedFlightCache<MergeKey, MergeValue>>,
+}
+
+impl std::fmt::Debug for MergeMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeMemo")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for MergeMemo {
+    fn default() -> Self {
+        MergeMemo::new(DEFAULT_MERGE_CAPACITY)
+    }
+}
+
+impl MergeMemo {
+    /// Creates a memo holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> MergeMemo {
+        MergeMemo {
+            inner: Arc::new(ShardedFlightCache::new(capacity)),
+        }
+    }
+
+    /// Creates a memo with an explicit shard count (clamped to
+    /// `1..=capacity`).
+    pub fn with_shards(capacity: usize, shards: usize) -> MergeMemo {
+        MergeMemo {
+            inner: Arc::new(ShardedFlightCache::with_shards(capacity, shards)),
+        }
+    }
+
+    /// Single-flight lookup; see
+    /// [`ShardedFlightCache::join`](crate::memo::ShardedFlightCache::join).
+    pub fn join(&self, key: MergeKey) -> MergeFlight {
+        self.inner.join(key)
+    }
+
+    /// Non-blocking lookup (no dedup wait).
+    pub fn get(&self, key: MergeKey) -> Option<Arc<MergeValue>> {
+        self.inner.get(key)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Drops every ready entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+
+    /// Drops every ready entry **and** zeroes all counters.
+    pub fn reset(&self) {
+        self.inner.reset()
+    }
+}
+
+/// Hashes the inputs shared by every merge computation of one run: the
+/// domain (its grammar is immutable and named uniquely) and the config
+/// knobs that steer enumeration, pruning and representation.
+pub fn config_domain_hash(domain: &Domain, config: &SynthesisConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    domain.name().hash(&mut h);
+    config.grammar_pruning.hash(&mut h);
+    config.size_pruning.hash(&mut h);
+    config.dggt_beam.hash(&mut h);
+    config.cgt_kernel.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes one edge's full candidate list — everything the merge stage
+/// reads from it (ids, endpoint APIs, affinity bonus, and the grammar
+/// path itself).
+pub fn edge_content_hash(edge: &EdgeCandidates) -> u64 {
+    let mut h = DefaultHasher::new();
+    edge.gov.hash(&mut h);
+    edge.dep.hash(&mut h);
+    edge.paths.len().hash(&mut h);
+    for pc in &edge.paths {
+        pc.id.edge.hash(&mut h);
+        pc.id.path.hash(&mut h);
+        pc.gov_api.hash(&mut h);
+        pc.dep_api.hash(&mut h);
+        pc.bonus_milli.hash(&mut h);
+        pc.path.source.hash(&mut h);
+        pc.path.sink.hash(&mut h);
+        pc.path.chain.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Signature of one DGGT node's *subtree*: the node itself, its candidate
+/// APIs with positional scores, and — per map-child in order — the child
+/// edge's content hash and the child's own subtree signature. Two query
+/// nodes (from any queries) with equal signatures produce identical beams.
+pub fn node_signature(base: u64, node: usize, apis: &[(NodeId, u64)], kids: &[(u64, u64)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    base.hash(&mut h);
+    node.hash(&mut h);
+    apis.hash(&mut h);
+    kids.hash(&mut h);
+    h.finish()
+}
+
+/// Signature of a whole merge run: [`config_domain_hash`] plus the query
+/// shape (node count, root), the per-node WordToAPI candidate lists with
+/// score bits, and the complete EdgeToPath content (edges *and* residual
+/// orphans). Literal values are deliberately excluded — they only affect
+/// TreeToExpression, which is not memoized.
+pub fn run_signature(
+    domain: &Domain,
+    query: &QueryGraph,
+    w2a: &WordToApi,
+    map: &EdgeToPath,
+    config: &SynthesisConfig,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    config_domain_hash(domain, config).hash(&mut h);
+    query.nodes.len().hash(&mut h);
+    query.root.hash(&mut h);
+    for node in 0..query.nodes.len() {
+        let cands = w2a.of(node);
+        cands.len().hash(&mut h);
+        for c in cands {
+            c.api.hash(&mut h);
+            c.score.to_bits().hash(&mut h);
+        }
+    }
+    map.edges.len().hash(&mut h);
+    for edge in &map.edges {
+        edge_content_hash(edge).hash(&mut h);
+    }
+    map.orphans.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain(name: &str) -> Domain {
+        let graph = GrammarGraph::parse("command ::= API\n").unwrap();
+        Domain::builder(name)
+            .graph(graph)
+            .docs(vec![ApiDoc::new("API", &["api"], "the api", 0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn signature_depends_on_domain_and_config() {
+        let q = QueryGraph::default();
+        let w2a = WordToApi::default();
+        let map = EdgeToPath::default();
+        let cfg = SynthesisConfig::default();
+        let a = run_signature(&domain("a"), &q, &w2a, &map, &cfg);
+        let b = run_signature(&domain("b"), &q, &w2a, &map, &cfg);
+        assert_ne!(a, b, "domain name is part of the signature");
+        let cfg_nokernel = SynthesisConfig::default().cgt_kernel(false);
+        let c = run_signature(&domain("a"), &q, &w2a, &map, &cfg_nokernel);
+        assert_ne!(a, c, "config knobs are part of the signature");
+        let again = run_signature(&domain("a"), &q, &w2a, &map, &cfg);
+        assert_eq!(a, again, "signatures are deterministic");
+    }
+
+    #[test]
+    fn memo_single_flight_and_stats() {
+        let memo = MergeMemo::new(16);
+        let key = MergeKey {
+            sig: 42,
+            kind: MergeKind::FinalJoin,
+        };
+        let MergeFlight::Miss(token) = memo.join(key) else {
+            panic!("cold memo must lead");
+        };
+        token.complete(MergeValue::Best(None, MergeWork::default()));
+        match memo.join(key) {
+            MergeFlight::Hit(v) => assert!(matches!(&*v, MergeValue::Best(None, _))),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Same signature, different kind: a distinct key space.
+        let other = MergeKey {
+            sig: 42,
+            kind: MergeKind::HisynFuse,
+        };
+        assert!(matches!(memo.join(other), MergeFlight::Miss(_)));
+    }
+
+    #[test]
+    fn abandoned_flight_is_not_cached() {
+        // The timeout discipline: a leader that errors out drops its token,
+        // abandoning the flight. Nothing is published and the next caller
+        // leads again.
+        let memo = MergeMemo::new(16);
+        let key = MergeKey {
+            sig: 7,
+            kind: MergeKind::NodeBeams,
+        };
+        let MergeFlight::Miss(token) = memo.join(key) else {
+            panic!("cold memo must lead");
+        };
+        drop(token);
+        assert!(matches!(memo.join(key), MergeFlight::Miss(_)));
+        assert_eq!(memo.stats().entries, 0);
+    }
+}

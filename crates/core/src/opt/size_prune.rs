@@ -40,6 +40,25 @@ pub fn bounds(path_sizes: &[usize]) -> ComboBounds {
     }
 }
 
+/// Seeds the DGGT sibling-enumeration's running upper bound *before* the
+/// first combination is visited.
+///
+/// `min_costs[i]` is the cheapest combined cost (`size_excluding_sink +
+/// child_best_size`) of any option for sibling `i`; picking each sibling's
+/// cheapest option independently yields the smallest per-combination upper
+/// bound `Σ cost_i − (n − 1)` the enumeration could ever reach, so
+/// combinations whose lower bound already exceeds it die on arrival
+/// instead of after `O(product)` odometer steps each tightening the bound
+/// from `usize::MAX`. Returns `usize::MAX` for an empty slice (nothing to
+/// bound).
+pub fn seed_min_upper(min_costs: &[usize]) -> usize {
+    if min_costs.is_empty() {
+        return usize::MAX;
+    }
+    let sum: usize = min_costs.iter().sum();
+    sum.saturating_sub(min_costs.len() - 1)
+}
+
 /// Returns the indices of combinations that survive size-based pruning:
 /// those whose lower bound does not exceed the smallest upper bound
 /// (`C.min_size` in the paper's notation).
@@ -98,6 +117,15 @@ mod tests {
     #[test]
     fn empty_input_yields_no_survivors() {
         assert!(survivors(&[]).is_empty());
+    }
+
+    #[test]
+    fn seed_is_cheapest_reachable_upper() {
+        // Three siblings whose cheapest options cost 3, 2, 4:
+        // upper = 9 - 2 = 7.
+        assert_eq!(seed_min_upper(&[3, 2, 4]), 7);
+        assert_eq!(seed_min_upper(&[5]), 5);
+        assert_eq!(seed_min_upper(&[]), usize::MAX);
     }
 
     #[test]

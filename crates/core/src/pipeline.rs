@@ -8,6 +8,7 @@ use nlquery_nlp::DepParser;
 use crate::engine::{BestCgt, Deadline};
 use crate::expr::{render_expression, LiteralPool};
 use crate::memo::SharedPathCache;
+use crate::merge_memo::MergeMemo;
 use crate::opt::orphan::relocation_variants;
 use crate::{
     dggt, edge2path, hisyn, prune, Cgt, Domain, EdgeToPath, Engine, QueryGraph, SynthesisConfig,
@@ -119,7 +120,7 @@ impl Synthesizer {
     /// Runs the full pipeline on a natural-language query.
     pub fn synthesize(&self, query: &str) -> Synthesis {
         let mut cache = edge2path::PathCache::new();
-        self.synthesize_with(query, &mut cache)
+        self.synthesize_with(query, &mut cache, None)
     }
 
     /// [`Synthesizer::synthesize`] backed by a cross-query
@@ -131,12 +132,37 @@ impl Synthesizer {
     /// the timings differ.
     pub fn synthesize_shared(&self, query: &str, shared: &Arc<SharedPathCache>) -> Synthesis {
         let mut cache = edge2path::PathCache::with_shared(Arc::clone(shared));
-        self.synthesize_with(query, &mut cache)
+        self.synthesize_with(query, &mut cache, None)
     }
 
-    /// The pipeline body, generic over the path-cache layering.
-    fn synthesize_with(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {
-        let mut synthesis = self.run_pipeline(query, cache);
+    /// [`Synthesizer::synthesize_shared`] additionally backed by a
+    /// cross-query [`MergeMemo`]: PathMerging work whose run (or subtree)
+    /// signature was already resolved — by an earlier query, or
+    /// concurrently by another worker — is served from the memo. Results
+    /// are bit-identical to [`Synthesizer::synthesize`]; only
+    /// [`SynthesisStats::merge_memo_hits`] /
+    /// [`SynthesisStats::merge_memo_misses`] and the timings differ. The
+    /// memo is bypassed (never read, never written) when
+    /// [`SynthesisConfig::merge_memo`] is off.
+    pub fn synthesize_memoized(
+        &self,
+        query: &str,
+        shared: &Arc<SharedPathCache>,
+        memo: &MergeMemo,
+    ) -> Synthesis {
+        let mut cache = edge2path::PathCache::with_shared(Arc::clone(shared));
+        self.synthesize_with(query, &mut cache, self.config.merge_memo.then_some(memo))
+    }
+
+    /// The pipeline body, generic over the path-cache layering and the
+    /// optional merge memo.
+    fn synthesize_with(
+        &self,
+        query: &str,
+        cache: &mut edge2path::PathCache,
+        memo: Option<&MergeMemo>,
+    ) -> Synthesis {
+        let mut synthesis = self.run_pipeline(query, cache, memo);
         synthesis.stats.memo_hits = cache.shared_hits();
         synthesis.stats.memo_misses = cache.shared_misses();
         synthesis.stats.memo_dedup_waits = cache.shared_dedup_waits();
@@ -161,7 +187,12 @@ impl Synthesizer {
         edge2path::memo_keys(&qgraph, &w2a, &self.domain, self.config.search_limits)
     }
 
-    fn run_pipeline(&self, query: &str, cache: &mut edge2path::PathCache) -> Synthesis {
+    fn run_pipeline(
+        &self,
+        query: &str,
+        cache: &mut edge2path::PathCache,
+        memo: Option<&MergeMemo>,
+    ) -> Synthesis {
         let deadline = Deadline::new(self.config.deadline);
         let mut stats = SynthesisStats::default();
 
@@ -257,6 +288,7 @@ impl Synthesizer {
             cache,
             &deadline,
             &mut stats,
+            memo,
         );
         stats.t_merge = t3.elapsed();
 
@@ -332,11 +364,12 @@ impl Synthesizer {
         cache: &mut edge2path::PathCache,
         deadline: &Deadline,
         stats: &mut SynthesisStats,
+        memo: Option<&MergeMemo>,
     ) -> Result<(Option<BestCgt>, QueryGraph), crate::TimedOut> {
         match self.config.engine {
             Engine::HiSyn => {
                 stats.paths_after_relocation = root_attached.total_paths();
-                let best = hisyn::synthesize(
+                let best = hisyn::synthesize_memo(
                     &self.domain,
                     qgraph,
                     w2a,
@@ -344,6 +377,7 @@ impl Synthesizer {
                     &self.config,
                     deadline,
                     stats,
+                    memo,
                 )?;
                 Ok((best, qgraph.clone()))
             }
@@ -387,7 +421,7 @@ impl Synthesizer {
                             )?;
                         }
                         let mut vstats = SynthesisStats::default();
-                        let result = dggt::synthesize(
+                        let result = dggt::synthesize_memo(
                             &self.domain,
                             &variant.graph,
                             w2a,
@@ -395,6 +429,7 @@ impl Synthesizer {
                             &self.config,
                             deadline,
                             &mut vstats,
+                            memo,
                         )?;
                         stats.absorb(&vstats);
                         if let Some(candidate) = result {
@@ -411,7 +446,7 @@ impl Synthesizer {
                     }
                     // Fallback: no variant succeeded — HISyn treatment.
                     stats.paths_after_relocation = root_attached.total_paths();
-                    let best = dggt::synthesize(
+                    let best = dggt::synthesize_memo(
                         &self.domain,
                         qgraph,
                         w2a,
@@ -419,11 +454,12 @@ impl Synthesizer {
                         &self.config,
                         deadline,
                         stats,
+                        memo,
                     )?;
                     Ok((best, qgraph.clone()))
                 } else {
                     stats.paths_after_relocation = root_attached.total_paths();
-                    let best = dggt::synthesize(
+                    let best = dggt::synthesize_memo(
                         &self.domain,
                         qgraph,
                         w2a,
@@ -431,6 +467,7 @@ impl Synthesizer {
                         &self.config,
                         deadline,
                         stats,
+                        memo,
                     )?;
                     Ok((best, qgraph.clone()))
                 }

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use crate::batch::BatchOptions;
 use crate::memo::{CacheStats, SharedPathCache};
+use crate::merge_memo::MergeMemo;
 use crate::pipeline::{Outcome, Synthesis, Synthesizer};
 use crate::{Domain, SynthesisConfig};
 
@@ -292,6 +293,8 @@ pub struct ServiceStats {
     pub running: usize,
     /// The shared memo cache's cumulative counters.
     pub cache: CacheStats,
+    /// The cross-query merge memo's cumulative counters.
+    pub merge: CacheStats,
 }
 
 impl ServiceStats {
@@ -310,6 +313,7 @@ impl ServiceStats {
             queued: self.queued,
             running: self.running,
             cache: self.cache.delta_since(&earlier.cache),
+            merge: self.merge.delta_since(&earlier.merge),
         }
     }
 
@@ -336,6 +340,7 @@ struct PoolShared {
     work: Condvar,
     synthesizer: Synthesizer,
     cache: Arc<SharedPathCache>,
+    merge_memo: Arc<MergeMemo>,
     co_schedule: bool,
     workers: usize,
     queued: AtomicUsize,
@@ -438,6 +443,7 @@ impl ServiceEngine {
             work: Condvar::new(),
             synthesizer: Synthesizer::new(domain, config),
             cache: Arc::new(SharedPathCache::with_shards(options.cache_capacity, shards)),
+            merge_memo: Arc::new(MergeMemo::with_shards(options.cache_capacity, shards)),
             co_schedule: options.co_schedule,
             workers,
             queued: AtomicUsize::new(0),
@@ -470,6 +476,11 @@ impl ServiceEngine {
     /// The cross-query memo cache (shared across submissions and workers).
     pub fn cache(&self) -> &Arc<SharedPathCache> {
         &self.shared.cache
+    }
+
+    /// The cross-query merge memo (shared across submissions and workers).
+    pub fn merge_memo(&self) -> &Arc<MergeMemo> {
+        &self.shared.merge_memo
     }
 
     /// The resident worker count.
@@ -506,6 +517,7 @@ impl ServiceEngine {
             queued: s.queued.load(Ordering::Relaxed),
             running: s.running.load(Ordering::Relaxed),
             cache: s.cache.stats(),
+            merge: s.merge_memo.stats(),
         }
     }
 
@@ -668,11 +680,13 @@ fn execute(shared: &PoolShared, job: &Job) -> Synthesis {
         Some(config) => {
             let mut alt = shared.synthesizer.clone();
             alt.set_config(config.clone());
-            alt.synthesize_shared(&job.query, &shared.cache)
+            alt.synthesize_memoized(&job.query, &shared.cache, &shared.merge_memo)
         }
-        None => shared
-            .synthesizer
-            .synthesize_shared(&job.query, &shared.cache),
+        None => {
+            shared
+                .synthesizer
+                .synthesize_memoized(&job.query, &shared.cache, &shared.merge_memo)
+        }
     }
 }
 

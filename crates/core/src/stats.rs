@@ -57,6 +57,15 @@ pub struct SynthesisStats {
     /// computation of the same key instead of duplicating it (single-flight
     /// deduplication; 0 outside a concurrent batch).
     pub memo_dedup_waits: u64,
+    /// Cross-query merge-memo hits during this run's PathMerging stage
+    /// (0 unless the synthesizer ran with a [`crate::MergeMemo`]).
+    pub merge_memo_hits: u64,
+    /// Cross-query merge-memo misses during this run's PathMerging stage.
+    pub merge_memo_misses: u64,
+    /// Merge-stage lookups that blocked on another worker's in-flight
+    /// computation of the same merge signature (single-flight
+    /// deduplication; 0 outside a concurrent batch).
+    pub merge_memo_dedup_waits: u64,
 }
 
 impl SynthesisStats {
@@ -80,6 +89,9 @@ impl SynthesisStats {
         self.pruned_size += other.pruned_size;
         self.merged_combinations += other.merged_combinations;
         self.enumerated_combinations += other.enumerated_combinations;
+        self.merge_memo_hits += other.merge_memo_hits;
+        self.merge_memo_misses += other.merge_memo_misses;
+        self.merge_memo_dedup_waits += other.merge_memo_dedup_waits;
     }
 }
 

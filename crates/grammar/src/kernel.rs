@@ -67,6 +67,10 @@ pub struct CgtLayout {
     /// Per-group contiguous edge-index range `[start, end)`. Alternatives
     /// of one non-terminal share a source node, so they sort contiguously.
     groups: Vec<(u32, u32)>,
+    /// Edge mask of edges that belong to *some* or-group. Most grammar
+    /// edges belong to none, so the trial-merge conflict scan ANDs with
+    /// this mask and skips whole words of group-free new edges.
+    grouped: Vec<u64>,
     /// Per grammar node, the mask (over edge indices) of its out-edges.
     out_edges: Vec<Vec<u64>>,
     /// Node mask of API nodes.
@@ -115,6 +119,12 @@ impl CgtLayout {
             }
             i = j;
         }
+        let mut grouped = vec![0u64; edge_words];
+        for (e, &g) in edge_group.iter().enumerate() {
+            if g != NO_GROUP {
+                grouped[e / 64] |= 1u64 << (e % 64);
+            }
+        }
 
         let mut out_edges = vec![vec![0u64; edge_words]; n];
         let mut api_edges = vec![0u64; edge_words];
@@ -137,6 +147,7 @@ impl CgtLayout {
             edges,
             edge_group,
             groups,
+            grouped,
             out_edges,
             api_nodes,
             api_edges,
@@ -199,15 +210,10 @@ impl BitCgt {
 
     /// Zeroes all words (keeping capacity).
     pub fn clear(&mut self) {
-        for w in self
-            .nodes
-            .iter_mut()
-            .chain(&mut self.edges)
-            .chain(&mut self.targets)
-            .chain(&mut self.covered)
-        {
-            *w = 0;
-        }
+        self.nodes.fill(0);
+        self.edges.fill(0);
+        self.targets.fill(0);
+        self.covered.fill(0);
     }
 
     /// Overwrites this CGT with a copy of `other` (equal widths assumed).
@@ -258,17 +264,14 @@ impl BitCgt {
     /// unions of per-edge/per-node contributions, so OR preserves the
     /// derived `targets`/`covered` invariants exactly.
     pub fn merge(&mut self, other: &BitCgt) {
-        for (a, b) in self.nodes.iter_mut().zip(&other.nodes) {
-            *a |= b;
-        }
         for (a, b) in self.edges.iter_mut().zip(&other.edges) {
             *a |= b;
         }
-        for (a, b) in self.targets.iter_mut().zip(&other.targets) {
-            *a |= b;
-        }
-        for (a, b) in self.covered.iter_mut().zip(&other.covered) {
-            *a |= b;
+        // The three node-width bitsets share one fused pass.
+        for i in 0..self.nodes.len() {
+            self.nodes[i] |= other.nodes[i];
+            self.targets[i] |= other.targets[i];
+            self.covered[i] |= other.covered[i];
         }
     }
 
@@ -283,7 +286,9 @@ impl BitCgt {
     /// equivalent to re-validating the whole union.
     pub fn try_merge(&mut self, other: &BitCgt, layout: &CgtLayout) -> bool {
         for (w, (&ow, &sw)) in other.edges.iter().zip(&self.edges).enumerate() {
-            let mut new = ow & !sw;
+            // Only group members can conflict; the mask skips whole words
+            // of group-free new edges without entering the bit loop.
+            let mut new = (ow & !sw) & layout.grouped[w];
             while new != 0 {
                 let e = w * 64 + new.trailing_zeros() as usize;
                 let g = layout.edge_group[e];

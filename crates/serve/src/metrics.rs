@@ -132,6 +132,64 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         "Memo-cache capacity (entries).",
         stats.cache.capacity,
     );
+    sample(
+        &mut out,
+        "nlquery_cache_bytes",
+        "gauge",
+        "Approximate bytes held by live memo-cache entries.",
+        stats.cache.bytes,
+    );
+
+    // Cross-query merge-memo counters (cumulative across all submissions).
+    sample(
+        &mut out,
+        "nlquery_merge_memo_hits_total",
+        "counter",
+        "Merge-memo hits (beam/fuse results replayed).",
+        stats.merge.hits,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_misses_total",
+        "counter",
+        "Merge-memo misses (merges computed and cached).",
+        stats.merge.misses,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_dedup_waits_total",
+        "counter",
+        "Merge lookups that waited on another worker's in-flight merge.",
+        stats.merge.dedup_waits,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_evictions_total",
+        "counter",
+        "Merge-memo LRU evictions.",
+        stats.merge.evictions,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_entries",
+        "gauge",
+        "Live merge-memo entries.",
+        stats.merge.entries,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_capacity",
+        "gauge",
+        "Merge-memo capacity (entries).",
+        stats.merge.capacity,
+    );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_bytes",
+        "gauge",
+        "Approximate bytes held by live merge-memo entries.",
+        stats.merge.bytes,
+    );
 
     // HTTP-layer counters and the admission gauge.
     sample(

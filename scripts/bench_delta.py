@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Render a markdown delta table between two batch_throughput JSON dumps.
+
+Usage: bench_delta.py BASELINE.json CURRENT.json
+
+Prints a GitHub-flavored markdown table (for $GITHUB_STEP_SUMMARY)
+comparing cold/warm queries-per-second and merge seconds row-by-row
+against the committed baseline, plus each warm row's merge share of wall
+time. Only the standard library is used; exits 0 even when the baseline
+is missing or malformed so the perf summary never fails the job.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"> could not read `{path}`: {e}")
+        return None
+
+
+def rows_by_key(doc):
+    return {
+        (row.get("workers"), row.get("pass")): row
+        for row in (doc.get("rows") or [])
+    }
+
+
+def merge_secs(row):
+    return float((row.get("stage_secs") or {}).get("merge", 0.0))
+
+
+def fmt_delta(base, cur, unit="", invert=False):
+    if base is None:
+        return "n/a"
+    delta = cur - base
+    arrow = ""
+    if abs(delta) > 1e-9:
+        better = (delta < 0) if invert else (delta > 0)
+        arrow = " ✅" if better else " ⚠️"
+    return f"{delta:+.2f}{unit}{arrow}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_delta.py BASELINE.json CURRENT.json")
+        return 0
+    baseline, current = load(sys.argv[1]), load(sys.argv[2])
+    if current is None:
+        return 0
+
+    print("## batch_throughput vs committed baseline\n")
+    if baseline is not None:
+        knobs = [("tiles", "tiling"), ("timeout_secs", "per-query timeout")]
+        for key, label in knobs:
+            if baseline.get(key) != current.get(key):
+                print(
+                    f"> note: {label} differs (baseline {baseline.get(key)}, "
+                    f"current {current.get(key)}) — absolute numbers are not "
+                    "directly comparable; the merge-share column is."
+                )
+        print()
+
+    base_rows = rows_by_key(baseline) if baseline is not None else {}
+    print(
+        "> merge share = summed per-query merge CPU ÷ wall; it can exceed "
+        "100% at >1 worker. The CI gate checks the 1-worker warm row.\n"
+    )
+    print(
+        "| workers | pass | q/s | Δ q/s | merge s | Δ merge s | "
+        "merge share of wall |"
+    )
+    print("|---:|---|---:|---:|---:|---:|---:|")
+    for row in current.get("rows") or []:
+        key = (row.get("workers"), row.get("pass"))
+        base = base_rows.get(key)
+        qps = float(row.get("queries_per_sec", 0.0))
+        merge = merge_secs(row)
+        wall = float(row.get("wall_secs", 0.0))
+        share = f"{merge / wall * 100.0:.0f}%" if wall > 0 else "n/a"
+        print(
+            f"| {key[0]} | {key[1]} | {qps:.1f} | "
+            f"{fmt_delta(base and float(base.get('queries_per_sec', 0.0)), qps)} | "
+            f"{merge:.2f} | "
+            f"{fmt_delta(base and merge_secs(base), merge, 's', invert=True)} | "
+            f"{share} |"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

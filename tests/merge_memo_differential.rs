@@ -1,0 +1,188 @@
+//! Differential suite for the cross-query merge memo: a memoized engine
+//! must be **observationally invisible** — bitwise-identical expressions
+//! to a memo-off engine and to the sequential synthesizer, across both
+//! evaluation domains and at every worker count — while computing each
+//! merge signature exactly once and never caching a timed-out run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{
+    BatchEngine, BatchOptions, Domain, MergeFlight, MergeKey, MergeKind, MergeMemo, Outcome,
+    SharedPathCache, SynthesisConfig, Synthesizer,
+};
+
+/// Worker counts the suite sweeps (the 8-worker row oversubscribes every
+/// CI box we use; that is the point — oversubscription shakes out
+/// interleavings single-flight must survive).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn corpus_slice(queries: Vec<nlquery::domains::QueryCase>, step: usize) -> Vec<String> {
+    queries.into_iter().step_by(step).map(|c| c.query).collect()
+}
+
+/// Memo-on and memo-off engines (and the plain sequential synthesizer)
+/// must agree expression-for-expression at every worker count. Queries
+/// are tiled ×2 so run-level memo hits occur *within* one batch, not just
+/// across batches.
+fn assert_memo_transparent(domain: Domain, queries: &[String]) {
+    let on = SynthesisConfig::default();
+    let off = SynthesisConfig::default().merge_memo(false);
+    let sequential = Synthesizer::new(domain.clone(), off.clone());
+    let expected: Vec<_> = queries.iter().map(|q| sequential.synthesize(q)).collect();
+
+    let tiled: Vec<String> = queries.iter().chain(queries.iter()).cloned().collect();
+    let expected_tiled: Vec<_> = expected.iter().chain(expected.iter()).collect();
+
+    for workers in WORKER_COUNTS {
+        let options = BatchOptions {
+            workers,
+            cache_capacity: 4096,
+            ..BatchOptions::default()
+        };
+        let memo_on = BatchEngine::with_options(domain.clone(), on.clone(), options);
+        let memo_off = BatchEngine::with_options(domain.clone(), off.clone(), options);
+        let got_on = memo_on.synthesize_batch(&tiled);
+        let got_off = memo_off.synthesize_batch(&tiled);
+
+        assert!(
+            got_on.stats.merge.hits > 0,
+            "tiled batch must replay run-level merges: {:?}",
+            got_on.stats.merge
+        );
+        assert_eq!(
+            got_off.stats.merge.lookups(),
+            0,
+            "memo-off engines must never consult the merge memo: {:?}",
+            got_off.stats.merge
+        );
+
+        for (i, want) in expected_tiled.iter().enumerate() {
+            let a = &got_on.results[i];
+            let b = &got_off.results[i];
+            assert_eq!(a.outcome, want.outcome, "workers={workers} query={i}");
+            assert_eq!(
+                a.expression, want.expression,
+                "memo-on diverged: workers={workers} query={i}"
+            );
+            assert_eq!(
+                b.expression, want.expression,
+                "memo-off diverged: workers={workers} query={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn textedit_memo_is_transparent_at_every_worker_count() {
+    let domain = textedit::domain().unwrap();
+    let queries = corpus_slice(textedit::queries(), 7);
+    assert!(queries.len() >= 20);
+    assert_memo_transparent(domain, &queries);
+}
+
+#[test]
+fn astmatcher_memo_is_transparent_at_every_worker_count() {
+    let domain = astmatcher::domain().unwrap();
+    let queries = corpus_slice(astmatcher::queries(), 5);
+    assert!(queries.len() >= 20);
+    assert_memo_transparent(domain, &queries);
+}
+
+/// A batch of identical queries computes each merge signature exactly
+/// once — a fresh single-query run establishes how many unique merge
+/// computations the query needs, and concurrent repeats must add hits
+/// and dedup-waits but **zero** further misses.
+#[test]
+fn identical_queries_compute_each_signature_exactly_once() {
+    let domain = textedit::domain().unwrap();
+    let config = SynthesisConfig::default();
+    let single = BatchEngine::with_options(
+        domain.clone(),
+        config.clone(),
+        BatchOptions {
+            workers: 1,
+            cache_capacity: 4096,
+            ..BatchOptions::default()
+        },
+    );
+    let baseline = single.synthesize_batch(&["delete every word"]);
+    let unique = baseline.stats.merge.misses;
+    assert!(unique > 0, "a fresh run must populate the memo");
+
+    for workers in [2, 4, 8] {
+        let engine = BatchEngine::with_options(
+            domain.clone(),
+            config.clone(),
+            BatchOptions {
+                workers,
+                cache_capacity: 4096,
+                ..BatchOptions::default()
+            },
+        );
+        let repeats = vec!["delete every word".to_string(); 24];
+        let report = engine.synthesize_batch(&repeats);
+        let merge = &report.stats.merge;
+        assert_eq!(
+            merge.misses, unique,
+            "workers={workers}: every signature computes exactly once: {merge:?}"
+        );
+        assert!(
+            merge.hits + merge.dedup_waits >= repeats.len() as u64 - 1,
+            "workers={workers}: repeats must resolve from the memo: {merge:?}"
+        );
+    }
+}
+
+/// A timed-out run leaves nothing behind in the merge memo: the flight is
+/// abandoned, waiters are re-promoted, and a later healthy run computes
+/// (and then caches) the real value.
+#[test]
+fn timed_out_runs_are_never_cached() {
+    let domain = textedit::domain().unwrap();
+    let cache = Arc::new(SharedPathCache::new(1024));
+    let memo = MergeMemo::new(1024);
+
+    let strangled = Synthesizer::new(
+        domain.clone(),
+        SynthesisConfig::default().deadline(Duration::ZERO),
+    );
+    let timed_out = strangled.synthesize_memoized("delete every word", &cache, &memo);
+    assert_eq!(timed_out.outcome, Outcome::Timeout);
+    let after_timeout = memo.stats();
+    assert_eq!(
+        after_timeout.entries, 0,
+        "a timed-out run must cache nothing: {after_timeout:?}"
+    );
+
+    let healthy = Synthesizer::new(domain, SynthesisConfig::default());
+    let ok = healthy.synthesize_memoized("delete every word", &cache, &memo);
+    assert_eq!(ok.outcome, Outcome::Success);
+    let after_ok = memo.stats();
+    assert!(
+        after_ok.entries > 0 && after_ok.misses > after_timeout.misses,
+        "the healthy run computes and caches for real: {after_ok:?}"
+    );
+}
+
+/// The abandonment contract at the memo layer itself: dropping a miss
+/// token without completing (what `?` on a deadline error does) caches
+/// nothing and leaves the key computable, not poisoned.
+#[test]
+fn abandoned_flight_caches_nothing_and_key_stays_computable() {
+    let memo = MergeMemo::new(64);
+    let key = MergeKey {
+        sig: 0xDEAD_BEEF,
+        kind: MergeKind::FinalJoin,
+    };
+    match memo.join(key) {
+        MergeFlight::Miss(token) => drop(token), // simulated timeout
+        other => panic!("fresh memo must miss, got {other:?}"),
+    }
+    assert_eq!(memo.stats().entries, 0);
+    assert!(
+        matches!(memo.join(key), MergeFlight::Miss(_)),
+        "an abandoned key must be recomputable"
+    );
+}
