@@ -10,9 +10,9 @@ ifdef NLQUERY_TEST_THREADS
 export RUST_TEST_THREADS := $(NLQUERY_TEST_THREADS)
 endif
 
-.PHONY: ci build test test-faults test-serve test-merge-memo fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop load-gen load-gen-smoke
+.PHONY: ci build test test-faults test-serve test-merge-memo test-snapshot fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop serve-warm snapshot load-gen load-gen-smoke
 
-ci: build test test-faults test-merge-memo test-serve fmt clippy
+ci: build test test-faults test-merge-memo test-snapshot test-serve fmt clippy
 
 build:
 	cargo build --release
@@ -35,6 +35,13 @@ test-faults:
 # never-cache-a-timeout at the memo layer.
 test-merge-memo:
 	timeout --signal=KILL 600 cargo test -q --test merge_memo_differential
+
+# The warm-state integrity suite: snapshot restore and AOT seeding must
+# be observationally invisible (bitwise-identical results on both
+# domains across worker counts), and stale/damaged snapshots must fall
+# back to a cold boot with a rendered reason.
+test-snapshot:
+	timeout --signal=KILL 900 cargo test -q --test snapshot_integrity
 
 # The serving-layer end-to-end suite: ephemeral-port boot, concurrent
 # clients, 429 shedding, structured deadline errors, graceful drain. A
@@ -74,6 +81,21 @@ serve:
 
 serve-stop:
 	curl -s -X POST http://127.0.0.1:7878/shutdown || true
+
+# Produce a warm-state snapshot (path cache + merge memo) by replaying
+# the domain corpus twice; `make serve-warm` restores it at boot. Tune
+# with NLQUERY_SNAPSHOT_DOMAIN / NLQUERY_SNAPSHOT_PATH.
+snapshot:
+	cargo run --release --bin warm_snapshot
+
+# Boot the resident service warm: restore warm_state.json (written by
+# `make snapshot` or a previous drain), seed the AOT-compiled path
+# table from a persistent artifact cache, rewrite the snapshot every
+# 60 s and on graceful drain.
+serve-warm:
+	cargo run --release --bin nlquery-serve -- --addr 127.0.0.1:7878 \
+		--snapshot warm_state.json --snapshot-interval-secs 60 \
+		--aot --aot-cache aot_cache.json
 
 # Loopback load generator: boots the server in-process on an ephemeral
 # port, drives it with concurrent keep-alive connections, and writes

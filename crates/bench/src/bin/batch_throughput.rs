@@ -33,11 +33,32 @@
 //!   throughput must not drop below [`WARM_QPS_FLOOR`]. Override with
 //!   `NLQUERY_BENCH_WARM_MERGE_FRACTION` / `NLQUERY_BENCH_WARM_QPS_FLOOR`
 //!   on unusual hosts.
+//!
+//! Two extra 1-worker rows measure the **boot tier** (the 23× cold-start
+//! penalty the AOT + snapshot work attacks):
+//!
+//! - `cold_aot`: a fresh engine seeded from an AOT-compiled domain
+//!   ([`nlquery_core::CompiledDomain`]) — the corpus-pruned, lexicon-
+//!   pre-resolved artifact with its compiled path table. Compile time is
+//!   reported separately (it amortizes across boots via the disk cache).
+//! - `warm_boot`: a fresh engine restored from a warm-state snapshot
+//!   that round-trips through disk (`BENCH_warm_state.json`, override
+//!   with `NLQUERY_BENCH_SNAPSHOT`) — the first pass a restarted server
+//!   would serve.
+//!
+//! Under `NLQUERY_BENCH_GATE=1` the boot gate requires `warm_boot` qps ≥
+//! [`COLD_BOOT_FACTOR`]× the plain cold qps (override with
+//! `NLQUERY_BENCH_COLD_BOOT_FACTOR`) and `cold_aot` qps ≥
+//! [`AOT_FACTOR`]× the plain cold qps (`NLQUERY_BENCH_AOT_FACTOR`).
+
+use std::path::Path;
+use std::time::Instant;
 
 use nlquery::domains::astmatcher;
-use nlquery::{BatchEngine, BatchOptions, BatchReport, SynthesisConfig};
+use nlquery::{BatchEngine, BatchOptions, BatchReport, CompiledDomain, SynthesisConfig};
 use nlquery_bench::{fmt_time, timeout};
 use nlquery_core::json::{batch_stats_json, JsonValue};
+use nlquery_core::snapshot;
 
 /// Default corpus tiling factor (override with `NLQUERY_BENCH_TILES`).
 const DEFAULT_TILES: usize = 4;
@@ -53,6 +74,18 @@ const WARM_MERGE_FRACTION_BUDGET: f64 = 0.50;
 /// was ~129 q/s), so 400 sits far under measurement noise while still
 /// catching any regression toward recompute-every-merge.
 const WARM_QPS_FLOOR: f64 = 400.0;
+
+/// Boot gate: warm-boot-from-snapshot first-pass throughput must be at
+/// least this multiple of the plain (no-snapshot) cold pass. The 1-CPU
+/// CI box measures ~97 q/s cold and >2000 q/s warm-booted, so 5× leaves
+/// a wide noise margin while still catching a broken restore.
+const COLD_BOOT_FACTOR: f64 = 5.0;
+
+/// Boot gate: the AOT-seeded cold pass must beat the plain cold pass by
+/// at least this factor. Seeding the compiled path table removes the
+/// EdgeToPath searches (~75% of 1-worker cold wall on the CI box, ~4×),
+/// so 1.5× is conservative yet meaningful.
+const AOT_FACTOR: f64 = 1.5;
 
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
@@ -177,6 +210,35 @@ fn check_gate(rows: &[JsonRow], available: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// The boot gate (`NLQUERY_BENCH_GATE=1`): at 1 worker, warm-boot-from-
+/// snapshot must be ≥ [`COLD_BOOT_FACTOR`]× the plain cold pass and the
+/// AOT-seeded cold pass ≥ [`AOT_FACTOR`]× — the cold-start penalty must
+/// stay killed.
+fn check_boot_gate(rows: &[JsonRow]) -> Result<(), String> {
+    let qps = |pass: &str| {
+        rows.iter()
+            .find(|r| r.workers == 1 && r.pass == pass)
+            .map(|r| r.report.stats.queries_per_sec())
+            .ok_or_else(|| format!("gate needs a {pass} row at 1 worker"))
+    };
+    let cold = qps("cold")?;
+    let warm_boot = qps("warm_boot")?;
+    let boot_factor = env_f64("NLQUERY_BENCH_COLD_BOOT_FACTOR", COLD_BOOT_FACTOR);
+    if warm_boot < cold * boot_factor {
+        return Err(format!(
+            "warm-boot regression: {warm_boot:.1} q/s from snapshot < {boot_factor}x of {cold:.1} q/s cold — is restore broken?"
+        ));
+    }
+    let cold_aot = qps("cold_aot")?;
+    let aot_factor = env_f64("NLQUERY_BENCH_AOT_FACTOR", AOT_FACTOR);
+    if cold_aot < cold * aot_factor {
+        return Err(format!(
+            "AOT regression: {cold_aot:.1} q/s seeded < {aot_factor}x of {cold:.1} q/s cold — is the compiled path table empty?"
+        ));
+    }
+    Ok(())
+}
+
 /// The warm-pass merge gate (`NLQUERY_BENCH_GATE=1`): at 1 worker the
 /// warm pass must spend at most [`WARM_MERGE_FRACTION_BUDGET`] of its
 /// wall time merging, and must clear [`WARM_QPS_FLOOR`] queries/sec.
@@ -286,6 +348,88 @@ fn main() {
         });
     }
 
+    // ---- Boot tier (1 worker): AOT-seeded cold pass and warm-boot-
+    // from-snapshot first pass. ----
+    let boot_options = BatchOptions {
+        workers: 1,
+        cache_capacity: 4096,
+        ..BatchOptions::default()
+    };
+    let corpus_refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+
+    // cold_aot: the engine runs the pre-resolved compiled domain with the
+    // compiled path table seeded — the state a server booting from an AOT
+    // disk cache starts in. Compile time is printed separately: it is
+    // build-time work, amortized across boots by the disk cache.
+    let compile_start = Instant::now();
+    let compiled = CompiledDomain::compile(&domain, &corpus_refs, &config);
+    let compile_time = compile_start.elapsed();
+    let aot_engine =
+        BatchEngine::with_options(compiled.domain().clone(), config.clone(), boot_options);
+    aot_engine.cache().reset();
+    aot_engine.merge_memo().reset();
+    let seeded = compiled.seed(aot_engine.cache());
+    let cold_aot = aot_engine.synthesize_batch(&queries);
+    report_line("1 worker cold+AOT", &cold_aot, cold_baseline);
+    println!(
+        "                   AOT: compiled in {} ({} path entries seeded, {} vocabulary words, grammar {}→{} nodes)\n",
+        fmt_time(compile_time),
+        seeded,
+        compiled.vocabulary_words(),
+        compiled.pruned().graph().len() + compiled.pruned().dropped_nodes(),
+        compiled.pruned().graph().len(),
+    );
+    rows.push(JsonRow {
+        workers: 1,
+        pass: "cold_aot",
+        report: cold_aot,
+    });
+
+    // warm_boot: warm a donor engine, snapshot it, round-trip the
+    // snapshot through disk into a fresh engine, and measure that
+    // engine's first pass — the restart path a resident server takes.
+    let snapshot_path =
+        std::env::var("NLQUERY_BENCH_SNAPSHOT").unwrap_or_else(|_| "BENCH_warm_state.json".into());
+    let donor = BatchEngine::with_options(domain.clone(), config.clone(), boot_options);
+    donor.cache().reset();
+    donor.merge_memo().reset();
+    let _ = donor.synthesize_batch(&queries);
+    let saved = snapshot::save(
+        Path::new(&snapshot_path),
+        &domain,
+        &config,
+        donor.cache(),
+        donor.merge_memo(),
+    )
+    .expect("warm-state snapshot must save");
+    let restored_engine = BatchEngine::with_options(domain.clone(), config.clone(), boot_options);
+    restored_engine.cache().reset();
+    restored_engine.merge_memo().reset();
+    let restored = snapshot::load(
+        Path::new(&snapshot_path),
+        &domain,
+        &config,
+        restored_engine.cache(),
+        restored_engine.merge_memo(),
+    )
+    .expect("warm-state snapshot must round-trip");
+    assert_eq!(
+        (restored.path_entries, restored.merge_entries),
+        (saved.path_entries, saved.merge_entries),
+        "snapshot round-trip must restore exactly what was saved"
+    );
+    let warm_boot = restored_engine.synthesize_batch(&queries);
+    report_line("1 worker warm-boot", &warm_boot, cold_baseline);
+    println!(
+        "                   snapshot: {snapshot_path} ({} bytes, {} path + {} merge entries restored)\n",
+        saved.bytes, restored.path_entries, restored.merge_entries,
+    );
+    rows.push(JsonRow {
+        workers: 1,
+        pass: "warm_boot",
+        report: warm_boot,
+    });
+
     let json_path =
         std::env::var("NLQUERY_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());
     write_json(&json_path, &rows, corpus.len());
@@ -300,6 +444,13 @@ fn main() {
         }
         match check_warm_gate(&rows) {
             Ok(()) => println!("gate: warm merge time and throughput within budget"),
+            Err(msg) => {
+                eprintln!("gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        match check_boot_gate(&rows) {
+            Ok(()) => println!("gate: AOT and warm-boot first passes clear the cold-start factors"),
             Err(msg) => {
                 eprintln!("gate FAILED: {msg}");
                 std::process::exit(1);

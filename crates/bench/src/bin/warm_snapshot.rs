@@ -1,0 +1,91 @@
+//! Produces a warm-state snapshot for a domain: boots a batch engine,
+//! replays the domain's corpus twice (so the merge memo holds genuinely
+//! warm traffic, not just first-touch misses), and saves the resulting
+//! path cache + merge memo with [`nlquery_core::snapshot::save`].
+//!
+//! `make snapshot` uses this to write `warm_state.json`, which
+//! `make serve-warm` (or `nlquery-serve --snapshot warm_state.json`)
+//! restores at boot — the first request then runs at warm-pass speed.
+//!
+//! Environment knobs:
+//!
+//! - `NLQUERY_SNAPSHOT_DOMAIN`: `astmatcher` (default) or `textedit`.
+//! - `NLQUERY_SNAPSHOT_PATH`: output file (default `warm_state.json`).
+//! - `NLQUERY_SNAPSHOT_WORKERS`: engine workers for the replay
+//!   (default 0 = available parallelism).
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{BatchEngine, BatchOptions, SynthesisConfig};
+use nlquery_bench::{fmt_time, timeout};
+use nlquery_core::snapshot;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() -> ExitCode {
+    let domain_name = env_or("NLQUERY_SNAPSHOT_DOMAIN", "astmatcher");
+    let path = env_or("NLQUERY_SNAPSHOT_PATH", "warm_state.json");
+    let workers: usize = env_or("NLQUERY_SNAPSHOT_WORKERS", "0").parse().unwrap_or(0);
+
+    let (domain, corpus) = match domain_name.as_str() {
+        "astmatcher" => (
+            astmatcher::domain().expect("embedded domain builds"),
+            astmatcher::queries(),
+        ),
+        "textedit" => (
+            textedit::domain().expect("embedded domain builds"),
+            textedit::queries(),
+        ),
+        other => {
+            eprintln!("warm_snapshot: unknown domain {other} (astmatcher|textedit)");
+            return ExitCode::from(2);
+        }
+    };
+    let queries: Vec<String> = corpus.into_iter().map(|c| c.query).collect();
+    let config = SynthesisConfig::default().timeout(timeout());
+
+    let engine = BatchEngine::with_options(
+        domain.clone(),
+        config.clone(),
+        BatchOptions {
+            workers,
+            cache_capacity: 4096,
+            ..BatchOptions::default()
+        },
+    );
+    let start = Instant::now();
+    let cold = engine.synthesize_batch(&queries);
+    let warm = engine.synthesize_batch(&queries);
+    println!(
+        "warm_snapshot: replayed {} {domain_name} queries twice in {} ({:.1} q/s cold, {:.1} q/s warm)",
+        queries.len(),
+        fmt_time(start.elapsed()),
+        cold.stats.queries_per_sec(),
+        warm.stats.queries_per_sec(),
+    );
+
+    match snapshot::save(
+        Path::new(&path),
+        &domain,
+        &config,
+        engine.cache(),
+        engine.merge_memo(),
+    ) {
+        Ok(summary) => {
+            println!(
+                "warm_snapshot: wrote {path} ({} bytes, {} path entries, {} merge entries)",
+                summary.bytes, summary.path_entries, summary.merge_entries,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("warm_snapshot: could not write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

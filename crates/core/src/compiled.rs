@@ -1,0 +1,402 @@
+//! Ahead-of-time domain compilation: a [`CompiledDomain`] artifact built
+//! once per domain at load time so the *first* query pays lookup cost,
+//! not construction cost.
+//!
+//! Compilation runs the full synthesis pipeline over the domain's corpus
+//! queries against a private [`SharedPathCache`] and keeps three
+//! artifacts:
+//!
+//! 1. **The seeded path table** — every EdgeToPath search any corpus
+//!    query (including its orphan-relocation variants) performs, exported
+//!    as `(key, paths)` entries. [`CompiledDomain::seed`] inserts them
+//!    into a fresh engine's cache, so a cold boot starts with the corpus
+//!    working set resident. Merge results are deliberately *not* part of
+//!    the artifact — warm merge state belongs to the
+//!    [snapshot](crate::snapshot) tier, which captures real traffic.
+//! 2. **A pre-resolved lexicon** — the corpus vocabulary's WordToAPI
+//!    candidate lists, installed into the domain's matcher
+//!    ([`Domain::preresolve_lexicon`]); lookups are provably identical to
+//!    the live path.
+//! 3. **A corpus-pruned grammar graph** ([`PrunedGraph`]) — the grammar
+//!    packed to the region reachable from the corpus's API candidates.
+//!    Runtime queries stay on the full graph (the reversed all-path
+//!    search only ever visits nodes that reach its live sink, so masking
+//!    buys nothing and a packed graph would re-key every cache); the
+//!    artifact quantifies how much of the grammar the corpus can touch
+//!    and is differentially validated against the full graph.
+//!
+//! The path table can be cached to disk ([`CompiledDomain::save_cache`] /
+//! [`CompiledDomain::load_or_compile`]) with the same validated header as
+//! warm-state snapshots — magic, version, domain, content hash, hasher
+//! probe — so a stale cache recompiles instead of mis-seeding. The
+//! lexicon and pruned graph are always recomputed at load: they are cheap
+//! and contain floats that must never round-trip through a file.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use nlquery_grammar::{NodeId, PrunedGraph};
+use nlquery_nlp::DepParser;
+
+use crate::json::JsonValue;
+use crate::memo::{MemoKey, RawPath, SharedPathCache};
+use crate::snapshot::{self, hasher_probe, warm_content_hash, SnapshotError, SNAPSHOT_VERSION};
+use crate::{Domain, SynthesisConfig, Synthesizer};
+
+/// First bytes of an AOT path-table cache file (distinct from warm-state
+/// snapshots — the two artifacts are not interchangeable).
+pub const AOT_CACHE_MAGIC: &str = "nlquery-aot-cache";
+
+/// Capacity of the private cache compilation fills. Generous on purpose:
+/// an eviction during compilation would silently shrink the artifact.
+const COMPILE_CACHE_CAPACITY: usize = 65_536;
+
+/// A domain compiled ahead of time against its corpus. Build one with
+/// [`CompiledDomain::compile`] (or [`CompiledDomain::load_or_compile`]),
+/// then construct engines from [`CompiledDomain::domain`] and warm their
+/// caches with [`CompiledDomain::seed`].
+#[derive(Debug, Clone)]
+pub struct CompiledDomain {
+    domain: Domain,
+    pruned: PrunedGraph,
+    paths: Vec<(MemoKey, Vec<RawPath>)>,
+    corpus_queries: usize,
+    vocabulary_words: usize,
+    from_cache: bool,
+}
+
+impl CompiledDomain {
+    /// Compiles `domain` against `corpus` under `config`: collects the
+    /// corpus vocabulary, pre-resolves the lexicon, prunes the grammar to
+    /// the corpus-live region, and runs the full pipeline per corpus
+    /// query to capture every EdgeToPath search in the path table.
+    pub fn compile(domain: &Domain, corpus: &[&str], config: &SynthesisConfig) -> CompiledDomain {
+        let (compiled_domain, pruned, vocabulary_words) = prepare(domain, corpus);
+
+        // Full-pipeline warm-up into a private cache. The pipeline itself
+        // decides which searches matter — including the searches of every
+        // orphan-relocation variant it explores — so the export is exactly
+        // the set a cold run of the corpus would compute.
+        let cache = Arc::new(SharedPathCache::new(COMPILE_CACHE_CAPACITY));
+        let synthesizer = Synthesizer::new(compiled_domain.clone(), config.clone());
+        for query in corpus {
+            let _ = synthesizer.synthesize_shared(query, &cache);
+        }
+        let paths: Vec<(MemoKey, Vec<RawPath>)> = cache
+            .export()
+            .into_iter()
+            .map(|(key, value)| (key, (*value).clone()))
+            .collect();
+
+        CompiledDomain {
+            domain: compiled_domain,
+            pruned,
+            paths,
+            corpus_queries: corpus.len(),
+            vocabulary_words,
+            from_cache: false,
+        }
+    }
+
+    /// The domain with the pre-resolved lexicon installed — build
+    /// [`Synthesizer`]s and engines from this one, not the original.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The corpus-pruned grammar artifact.
+    pub fn pruned(&self) -> &PrunedGraph {
+        &self.pruned
+    }
+
+    /// Number of path-table entries in the artifact.
+    pub fn path_entries(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of corpus queries compilation ran.
+    pub fn corpus_queries(&self) -> usize {
+        self.corpus_queries
+    }
+
+    /// Number of vocabulary words with a pre-resolved candidate list.
+    pub fn vocabulary_words(&self) -> usize {
+        self.vocabulary_words
+    }
+
+    /// Whether this artifact was loaded from a disk cache rather than
+    /// compiled in-process.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// Seeds a fresh engine's shared path cache with the compiled path
+    /// table; returns the number of entries inserted. Seeding bumps no
+    /// hit/miss counters — the first real query reports ordinary hits.
+    pub fn seed(&self, cache: &SharedPathCache) -> usize {
+        cache.restore(self.paths.iter().cloned())
+    }
+
+    /// Writes the path table to `path` (atomic temp-file + rename) under
+    /// the same validated header scheme as warm-state snapshots.
+    pub fn save_cache(&self, path: &Path, config: &SynthesisConfig) -> Result<u64, SnapshotError> {
+        let arcs: Vec<(MemoKey, Arc<Vec<RawPath>>)> = self
+            .paths
+            .iter()
+            .map(|(key, value)| (*key, Arc::new(value.clone())))
+            .collect();
+        let json = JsonValue::obj([
+            ("magic", JsonValue::from(AOT_CACHE_MAGIC)),
+            ("version", JsonValue::from(SNAPSHOT_VERSION)),
+            ("hasher_probe", JsonValue::from(hasher_probe())),
+            ("domain", JsonValue::from(self.domain.name())),
+            (
+                "content_hash",
+                JsonValue::from(warm_content_hash(&self.domain, config)),
+            ),
+            (
+                "paths",
+                JsonValue::Array(
+                    arcs.iter()
+                        .map(|(key, value)| snapshot::path_entry_json(key, value))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let text = json.render();
+        let tmp = snapshot::tmp_path(path);
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(text.len() as u64)
+    }
+
+    /// Loads the path table from a disk cache written by
+    /// [`CompiledDomain::save_cache`], recomputing the lexicon and pruned
+    /// graph in-process. Fails (→ recompile) on any header or parse
+    /// mismatch, exactly like snapshot restore.
+    pub fn load_cache(
+        path: &Path,
+        domain: &Domain,
+        corpus: &[&str],
+        config: &SynthesisConfig,
+    ) -> Result<CompiledDomain, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        let root = JsonValue::parse(&text).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let magic = snapshot::get_str(&root, "magic")?;
+        if magic != AOT_CACHE_MAGIC {
+            return Err(SnapshotError::WrongMagic {
+                found: magic.to_string(),
+            });
+        }
+        let version = snapshot::get_u64(&root, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if snapshot::get_u64(&root, "hasher_probe")? != hasher_probe() {
+            return Err(SnapshotError::HasherMismatch);
+        }
+        let snap_domain = snapshot::get_str(&root, "domain")?;
+        if snap_domain != domain.name() {
+            return Err(SnapshotError::DomainMismatch {
+                found: snap_domain.to_string(),
+                expected: domain.name().to_string(),
+            });
+        }
+        // Hash against the *pre-resolved* domain: preresolution changes no
+        // matcher inputs, so this equals the hash of the original domain,
+        // and it is the domain engines will actually run with.
+        let (compiled_domain, pruned, vocabulary_words) = prepare(domain, corpus);
+        let found_hash = snapshot::get_u64(&root, "content_hash")?;
+        let expected_hash = warm_content_hash(&compiled_domain, config);
+        if found_hash != expected_hash {
+            return Err(SnapshotError::ContentHashMismatch {
+                found: found_hash,
+                expected: expected_hash,
+            });
+        }
+        let mut paths = Vec::new();
+        for entry in snapshot::get_arr(&root, "paths")? {
+            paths.push(snapshot::path_entry_from(entry, compiled_domain.graph())?);
+        }
+        Ok(CompiledDomain {
+            domain: compiled_domain,
+            pruned,
+            corpus_queries: corpus.len(),
+            vocabulary_words,
+            paths,
+            from_cache: true,
+        })
+    }
+
+    /// [`CompiledDomain::load_cache`] with compile-and-save fallback: a
+    /// valid cache loads in milliseconds; a missing or stale one triggers
+    /// a fresh compile whose result is written back to `path` (best
+    /// effort — a failed write still returns the compiled artifact).
+    /// Returns the artifact and the load error that forced a recompile,
+    /// if any.
+    pub fn load_or_compile(
+        path: &Path,
+        domain: &Domain,
+        corpus: &[&str],
+        config: &SynthesisConfig,
+    ) -> (CompiledDomain, Option<SnapshotError>) {
+        match CompiledDomain::load_cache(path, domain, corpus, config) {
+            Ok(compiled) => (compiled, None),
+            Err(err) => {
+                let compiled = CompiledDomain::compile(domain, corpus, config);
+                let _ = compiled.save_cache(path, config);
+                (compiled, Some(err))
+            }
+        }
+    }
+}
+
+/// The deterministic, cheap part of compilation: corpus vocabulary →
+/// pre-resolved domain clone + corpus-pruned grammar.
+fn prepare(domain: &Domain, corpus: &[&str]) -> (Domain, PrunedGraph, usize) {
+    let parser = DepParser::new();
+    let mut vocabulary: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for query in corpus {
+        for node in parser.parse(query).nodes() {
+            vocabulary.insert(node.lemma.clone());
+        }
+    }
+
+    // Corpus-live APIs: every API any vocabulary word can reach at any
+    // score (phrase merging averages per-word scores, so the union of the
+    // unfiltered per-word lists is a superset of every phrase candidate),
+    // plus the literal API when the domain routes literals standalone.
+    let graph = domain.graph();
+    let mut live: Vec<NodeId> = vocabulary
+        .iter()
+        .flat_map(|word| domain.matcher().candidates(word, usize::MAX, 0.0))
+        .filter_map(|c| graph.api_node(&c.api))
+        .collect();
+    if let Some(api) = domain.literal_api() {
+        live.extend(graph.api_node(api));
+    }
+    live.sort_unstable();
+    live.dedup();
+    let pruned = graph.prune_to_corpus(&live);
+
+    let mut compiled_domain = domain.clone();
+    let words = vocabulary.len();
+    compiled_domain.preresolve_lexicon(vocabulary);
+    (compiled_domain, pruned, words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Outcome;
+    use nlquery_grammar::GrammarGraph;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            r#"
+            command    ::= INSERT insert_arg | DELETE delete_arg | MOVE move_arg
+            insert_arg ::= string pos
+            delete_arg ::= string
+            move_arg   ::= string pos
+            string     ::= STRING
+            pos        ::= START | END
+            "#,
+        )
+        .unwrap();
+        Domain::builder("aot-test")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string at a position", 0),
+                ApiDoc::new("DELETE", &["delete"], "deletes a string", 0),
+                ApiDoc::new("MOVE", &["move"], "moves a string to a position", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .literal_api("STRING")
+            .build()
+            .unwrap()
+    }
+
+    const CORPUS: &[&str] = &[
+        "insert \":\" at the start",
+        "delete \"x\"",
+        "insert \"-\" at the end",
+    ];
+
+    #[test]
+    fn compile_builds_all_three_artifacts() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let compiled = CompiledDomain::compile(&d, CORPUS, &cfg);
+        assert_eq!(compiled.corpus_queries(), CORPUS.len());
+        assert!(compiled.vocabulary_words() > 0);
+        assert!(compiled.path_entries() > 0, "corpus must seed searches");
+        assert!(!compiled.from_cache());
+        // "move" never appears in the corpus: MOVE and its private
+        // derivation chain are pruned (synonyms may or may not reach it —
+        // just require *some* pruning signal to exist when it is dead).
+        assert!(compiled.pruned().graph().len() <= d.graph().len());
+        assert!(compiled.pruned().exact());
+    }
+
+    #[test]
+    fn seeded_engine_answers_corpus_queries_identically_without_misses() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let compiled = CompiledDomain::compile(&d, CORPUS, &cfg);
+
+        // Cold reference run.
+        let plain = Synthesizer::new(d.clone(), cfg.clone());
+        // Seeded run: fresh cache, seeded, then the corpus again.
+        let seeded_cache = Arc::new(SharedPathCache::new(1024));
+        let inserted = compiled.seed(&seeded_cache);
+        assert_eq!(inserted, compiled.path_entries());
+        let warm = Synthesizer::new(compiled.domain().clone(), cfg.clone());
+        for query in CORPUS {
+            let a = plain.synthesize(query);
+            let b = warm.synthesize_shared(query, &seeded_cache);
+            assert_eq!(a.outcome, b.outcome, "{query}");
+            assert_eq!(a.expression, b.expression, "{query}");
+            assert_eq!(a.cgt, b.cgt, "{query}");
+            assert_eq!(a.outcome, Outcome::Success, "{query}");
+        }
+        // Every search the corpus performs was pre-seeded.
+        let stats = seeded_cache.stats();
+        assert_eq!(stats.misses, 0, "seeded cache must absorb all searches");
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_rejects_staleness() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let compiled = CompiledDomain::compile(&d, CORPUS, &cfg);
+        let dir = std::env::temp_dir().join("nlquery-aot-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("aot.json");
+
+        let bytes = compiled.save_cache(&file, &cfg).unwrap();
+        assert!(bytes > 0);
+        let loaded = CompiledDomain::load_cache(&file, &d, CORPUS, &cfg).unwrap();
+        assert!(loaded.from_cache());
+        assert_eq!(loaded.path_entries(), compiled.path_entries());
+        assert_eq!(loaded.paths, compiled.paths);
+
+        // A config change invalidates the cache and forces a recompile.
+        let other = SynthesisConfig::default().max_candidates(3);
+        let err = CompiledDomain::load_cache(&file, &d, CORPUS, &other).unwrap_err();
+        assert!(matches!(err, SnapshotError::ContentHashMismatch { .. }));
+        let (recompiled, reason) = CompiledDomain::load_or_compile(&file, &d, CORPUS, &other);
+        assert!(!recompiled.from_cache());
+        assert!(reason.is_some());
+        // The fallback wrote the new artifact back.
+        let reloaded = CompiledDomain::load_cache(&file, &d, CORPUS, &other).unwrap();
+        assert!(reloaded.from_cache());
+        std::fs::remove_file(&file).ok();
+    }
+}

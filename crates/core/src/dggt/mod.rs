@@ -272,6 +272,9 @@ pub fn synthesize_memo(
         sig: run_signature(domain, query, w2a, map, config),
         kind: MergeKind::FinalJoin,
     };
+    // One FinalJoin signature per run — the run-level contribution to the
+    // merge-signature cardinality this query exposes to the memo.
+    stats.merge_memo_unique_signatures += 1;
     match memo.join(key) {
         MergeFlight::Hit(v) => {
             stats.merge_memo_hits += 1;
@@ -369,6 +372,9 @@ fn synthesize_with_graph_memo(
     // node's signature can fold in its children's.
     let base_sig = memo.map(|_| config_domain_hash(domain, config));
     let mut node_sigs: Vec<u64> = vec![0; n];
+    // Distinct NodeBeams signatures consulted this run (repeated subtrees
+    // within one query share a signature and count once).
+    let mut seen_sigs: std::collections::HashSet<u64> = std::collections::HashSet::new();
 
     for &node in &order {
         deadline.check()?;
@@ -401,6 +407,9 @@ fn synthesize_with_graph_memo(
                 .collect();
             let sig = node_signature(base, node, &candidate_apis, &kid_sigs);
             node_sigs[node] = sig;
+            if seen_sigs.insert(sig) {
+                stats.merge_memo_unique_signatures += 1;
+            }
             let key = MergeKey {
                 sig,
                 kind: MergeKind::NodeBeams,

@@ -91,6 +91,15 @@ impl Domain {
     pub fn api_count(&self) -> usize {
         self.matcher.docs().len()
     }
+
+    /// Pre-resolves the word↔API lexicon for a known vocabulary (see
+    /// [`SemanticMatcher::preresolve`]): WordToAPI lookups for those words
+    /// become table lookups with results identical to the live path.
+    /// Used by ahead-of-time domain compilation with the corpus
+    /// vocabulary.
+    pub fn preresolve_lexicon(&mut self, vocabulary: impl IntoIterator<Item = String>) {
+        self.matcher.preresolve(vocabulary);
+    }
 }
 
 /// Builder for [`Domain`] (see [`Domain::builder`]).

@@ -57,6 +57,8 @@ pub fn synthesize_memo(
         sig: run_signature(domain, query, w2a, map, config),
         kind: MergeKind::HisynFuse,
     };
+    // One HisynFuse signature per run (merge-signature cardinality).
+    stats.merge_memo_unique_signatures += 1;
     match memo.join(key) {
         MergeFlight::Hit(v) => {
             stats.merge_memo_hits += 1;

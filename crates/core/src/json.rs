@@ -623,6 +623,10 @@ pub fn cache_stats_json(stats: &CacheStats) -> JsonValue {
         ("misses", JsonValue::from(stats.misses)),
         ("dedup_waits", JsonValue::from(stats.dedup_waits)),
         ("evictions", JsonValue::from(stats.evictions)),
+        (
+            "unique_signatures",
+            JsonValue::from(stats.unique_signatures),
+        ),
         ("hit_rate", JsonValue::from(stats.hit_rate())),
         ("entries", JsonValue::from(stats.entries)),
         ("bytes", JsonValue::from(stats.bytes)),
@@ -667,6 +671,10 @@ pub fn batch_stats_json(stats: &BatchStats) -> JsonValue {
             JsonValue::from(stats.merge.hit_rate()),
         ),
         ("merge_memo_bytes", JsonValue::from(stats.merge.bytes)),
+        (
+            "merge_memo_unique_signatures",
+            JsonValue::from(stats.merge.unique_signatures),
+        ),
         (
             "stage_secs",
             JsonValue::obj([
@@ -818,6 +826,7 @@ mod tests {
             "cache_hits",
             "merge_memo_hits",
             "merge_memo_bytes",
+            "merge_memo_unique_signatures",
             "stage_secs",
         ] {
             assert!(row.get(key).is_some(), "missing {key}");

@@ -50,6 +50,7 @@
 
 pub mod batch;
 mod cgt;
+pub mod compiled;
 mod config;
 pub mod dggt;
 mod domain;
@@ -66,11 +67,13 @@ mod pipeline;
 pub mod prune;
 mod query;
 pub mod service;
+pub mod snapshot;
 mod stats;
 pub mod word2api;
 
 pub use batch::{BatchEngine, BatchOptions, BatchReport, BatchStats, Fault, WorkerStats};
 pub use cgt::Cgt;
+pub use compiled::{CompiledDomain, AOT_CACHE_MAGIC};
 pub use config::{Engine, SynthesisConfig};
 pub use domain::{Domain, DomainBuilder};
 pub use edge2path::{EdgeCandidates, EdgeToPath, PathCache, PathCandidate};
@@ -88,5 +91,6 @@ pub use merge_memo::{
 pub use pipeline::{Outcome, Synthesis, Synthesizer};
 pub use query::{QueryEdge, QueryGraph, QueryNode};
 pub use service::{JobSpec, ServiceEngine, ServiceStats, SubmissionHandle, SubmissionReport};
+pub use snapshot::{SnapshotError, SnapshotSummary, SNAPSHOT_VERSION};
 pub use stats::{HistogramSnapshot, LatencyHistogram, SynthesisStats, HISTOGRAM_BUCKETS};
 pub use word2api::WordToApi;

@@ -65,6 +65,14 @@ fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// capacity is smaller, so tiny caches keep their exact entry bound).
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// Cap on the number of distinct keys tracked for the
+/// [`CacheStats::unique_signatures`] counter, summed across shards. Past
+/// the cap new keys stop being recorded and the counter saturates into an
+/// undercount — the gauge exists to size workloads (e.g. "the cold pass
+/// touches 282 distinct merge signatures"), not to be an exact census of
+/// an unbounded key stream.
+pub const UNIQUE_TRACK_CAP: usize = 65_536;
+
 /// Approximate heap footprint of a memoized value, for the `bytes` gauge
 /// in [`CacheStats`]. An estimate is enough — the gauge exists so capacity
 /// tuning and `/metrics` dashboards can see *relative* residency, not for
@@ -157,6 +165,11 @@ pub struct CacheStats {
     pub dedup_waits: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
+    /// Distinct keys ever published into the cache (survives eviction and
+    /// [`ShardedFlightCache::clear`]; zeroed by
+    /// [`ShardedFlightCache::reset`]). Tracking is capped at
+    /// [`UNIQUE_TRACK_CAP`] keys, past which the counter undercounts.
+    pub unique_signatures: u64,
     /// Entries currently held (ready entries across all shards).
     pub entries: usize,
     /// Approximate bytes held by ready entries across all shards.
@@ -195,6 +208,9 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             dedup_waits: self.dedup_waits.saturating_sub(earlier.dedup_waits),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            unique_signatures: self
+                .unique_signatures
+                .saturating_sub(earlier.unique_signatures),
             entries: self.entries,
             bytes: self.bytes,
             capacity: self.capacity,
@@ -255,6 +271,10 @@ struct ShardState<K, V> {
     /// Approximate bytes across ready entries.
     bytes: u64,
     stamp: u64,
+    /// Keys ever published into this shard, for the
+    /// [`CacheStats::unique_signatures`] counter. Survives eviction and
+    /// `clear`; capped (see [`UNIQUE_TRACK_CAP`]).
+    seen: std::collections::HashSet<K>,
 }
 
 struct Shard<K, V> {
@@ -271,6 +291,7 @@ impl<K, V> Shard<K, V> {
                 ready: 0,
                 bytes: 0,
                 stamp: 0,
+                seen: std::collections::HashSet::new(),
             }),
             resolved: Condvar::new(),
         }
@@ -350,6 +371,7 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> CacheFlightToken<K, V> {
         debug_assert!(!matches!(previous, Some(Slot::Ready(_))));
         state.ready += 1;
         state.bytes += bytes as u64;
+        self.cache.note_unique(&mut state, self.key);
         drop(state);
         shard.resolved.notify_all();
         value
@@ -389,6 +411,10 @@ pub struct ShardedFlightCache<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> {
     misses: AtomicU64,
     dedup_waits: AtomicU64,
     evictions: AtomicU64,
+    unique: AtomicU64,
+    /// Per-shard cap on the `seen` tracking set ([`UNIQUE_TRACK_CAP`]
+    /// split across shards).
+    seen_capacity: usize,
 }
 
 impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> std::fmt::Debug for ShardedFlightCache<K, V> {
@@ -421,6 +447,21 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
             misses: AtomicU64::new(0),
             dedup_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            unique: AtomicU64::new(0),
+            seen_capacity: UNIQUE_TRACK_CAP.div_ceil(shards),
+        }
+    }
+
+    /// Records a key's first-ever publication into its shard, bumping the
+    /// `unique_signatures` counter. Caller holds the shard lock. Past the
+    /// per-shard tracking cap new keys are silently skipped (the counter
+    /// saturates into an undercount rather than growing memory unboundedly).
+    fn note_unique(&self, state: &mut ShardState<K, V>, key: K) {
+        if state.seen.len() >= self.seen_capacity && !state.seen.contains(&key) {
+            return;
+        }
+        if state.seen.insert(key) {
+            self.unique.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -572,6 +613,7 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
                 );
                 state.ready += 1;
                 state.bytes += bytes as u64;
+                self.note_unique(&mut state, key);
                 drop(state);
                 shard.resolved.notify_all();
                 return value;
@@ -591,7 +633,48 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
         );
         state.ready += 1;
         state.bytes += bytes as u64;
+        self.note_unique(&mut state, key);
         value
+    }
+
+    /// Exports every ready entry, ordered least- to most-recently-used
+    /// within each shard (in-flight slots are skipped — they hold no value
+    /// yet). Re-inserting the entries in the returned order into an empty
+    /// cache reproduces each shard's LRU recency, which is what
+    /// [`ShardedFlightCache::restore`] does — the snapshot/warm-boot path.
+    pub fn export(&self) -> Vec<(K, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut entries: Vec<(u64, K, Arc<V>)> = {
+                let state = lock_shard(&shard.state);
+                state
+                    .map
+                    .iter()
+                    .filter_map(|(k, slot)| match slot {
+                        Slot::Ready(e) => Some((e.stamp, *k, Arc::clone(&e.value))),
+                        Slot::InFlight => None,
+                    })
+                    .collect()
+            };
+            entries.sort_by_key(|&(stamp, _, _)| stamp);
+            out.extend(entries.into_iter().map(|(_, k, v)| (k, v)));
+        }
+        out
+    }
+
+    /// Bulk-seeds the cache with pre-computed entries (a disk snapshot, an
+    /// AOT compilation artifact). Entries are inserted in iteration order —
+    /// pair with [`ShardedFlightCache::export`]'s LRU ordering to restore
+    /// recency — and, like [`ShardedFlightCache::insert`], bump **no**
+    /// hit/miss counters, so a warm boot starts with clean lookup stats.
+    /// Returns the number of entries inserted.
+    pub fn restore(&self, entries: impl IntoIterator<Item = (K, V)>) -> usize {
+        let mut n = 0usize;
+        for (key, value) in entries {
+            self.insert(key, value);
+            n += 1;
+        }
+        n
     }
 
     /// Current counters.
@@ -607,6 +690,7 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            unique_signatures: self.unique.load(Ordering::Relaxed),
             entries,
             bytes,
             capacity: self.capacity,
@@ -630,10 +714,14 @@ impl<K: Copy + Eq + Hash + ShardHash, V: MemoBytes> ShardedFlightCache<K, V> {
     /// while no batch is running.
     pub fn reset(&self) {
         self.clear();
+        for shard in &self.shards {
+            lock_shard(&shard.state).seen.clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.dedup_waits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.unique.store(0, Ordering::Relaxed);
     }
 }
 
@@ -697,6 +785,18 @@ impl SharedPathCache {
     /// Direct insert; see [`ShardedFlightCache::insert`].
     pub fn insert(&self, key: MemoKey, value: Vec<RawPath>) -> Arc<Vec<RawPath>> {
         self.inner.insert(key, value)
+    }
+
+    /// Exports every ready entry in per-shard LRU order; see
+    /// [`ShardedFlightCache::export`].
+    pub fn export(&self) -> Vec<(MemoKey, Arc<Vec<RawPath>>)> {
+        self.inner.export()
+    }
+
+    /// Bulk-seeds the cache (snapshot restore, AOT warm-up); see
+    /// [`ShardedFlightCache::restore`].
+    pub fn restore(&self, entries: impl IntoIterator<Item = (MemoKey, Vec<RawPath>)>) -> usize {
+        self.inner.restore(entries)
     }
 
     /// Current counters.
@@ -1011,6 +1111,65 @@ mod tests {
             MemoKey::from_root(&[], tighter),
             "limits are part of the key"
         );
+    }
+
+    #[test]
+    fn unique_signatures_counts_distinct_published_keys() {
+        let cache = SharedPathCache::new(8);
+        cache.insert(key(1), Vec::new());
+        cache.insert(key(2), Vec::new());
+        cache.insert(key(1), Vec::new()); // re-publication: not unique
+        assert_eq!(cache.stats().unique_signatures, 2);
+        // Eviction and clear don't forget a key…
+        cache.clear();
+        cache.insert(key(1), Vec::new());
+        assert_eq!(cache.stats().unique_signatures, 2);
+        // …single-flight publication counts too…
+        let arc = Arc::new(SharedPathCache::new(8));
+        let Flight::Miss(token) = arc.join(key(9)) else {
+            panic!("cold cache leads");
+        };
+        token.complete(Vec::new());
+        assert_eq!(arc.stats().unique_signatures, 1);
+        // …and reset starts a fresh census.
+        cache.reset();
+        assert_eq!(cache.stats().unique_signatures, 0);
+        cache.insert(key(1), Vec::new());
+        assert_eq!(cache.stats().unique_signatures, 1);
+    }
+
+    #[test]
+    fn export_restore_round_trips_entries_and_lru_order() {
+        let api = some_api();
+        // One shard so LRU eviction order is exact and observable.
+        let cache = SharedPathCache::with_shards(3, 1);
+        cache.insert(key(1), value_of(1, api));
+        cache.insert(key(2), value_of(2, api));
+        cache.insert(key(3), value_of(3, api));
+        // Touch 1 so the LRU order is 2 < 3 < 1.
+        assert!(cache.get(key(1)).is_some());
+
+        let exported = cache.export();
+        assert_eq!(exported.len(), 3);
+        let order: Vec<MemoKey> = exported.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![key(2), key(3), key(1)], "LRU→MRU order");
+
+        let fresh = SharedPathCache::with_shards(3, 1);
+        let n = fresh.restore(exported.into_iter().map(|(k, v)| (k, (*v).clone())));
+        assert_eq!(n, 3);
+        let s = fresh.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!((s.hits, s.misses), (0, 0), "restore bumps no counters");
+        assert_eq!(s.unique_signatures, 3, "restored keys register as seen");
+        // Same values…
+        assert_eq!(fresh.get(key(3)).unwrap().len(), 3);
+        // …and the restored LRU order matches: inserting one more evicts
+        // key(2), the least recently used at export time.
+        let fresh = SharedPathCache::with_shards(3, 1);
+        fresh.restore(cache.export().into_iter().map(|(k, v)| (k, (*v).clone())));
+        fresh.insert(key(4), Vec::new());
+        assert!(fresh.get(key(2)).is_none(), "restored LRU evicts first");
+        assert!(fresh.get(key(1)).is_some());
     }
 
     #[test]

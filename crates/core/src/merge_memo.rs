@@ -234,6 +234,24 @@ impl MergeMemo {
         self.inner.get(key)
     }
 
+    /// Direct insert (snapshot restore); see
+    /// [`ShardedFlightCache::insert`](crate::memo::ShardedFlightCache::insert).
+    pub fn insert(&self, key: MergeKey, value: MergeValue) -> Arc<MergeValue> {
+        self.inner.insert(key, value)
+    }
+
+    /// Exports every ready entry in per-shard LRU order; see
+    /// [`ShardedFlightCache::export`](crate::memo::ShardedFlightCache::export).
+    pub fn export(&self) -> Vec<(MergeKey, Arc<MergeValue>)> {
+        self.inner.export()
+    }
+
+    /// Bulk-seeds the memo (snapshot restore); see
+    /// [`ShardedFlightCache::restore`](crate::memo::ShardedFlightCache::restore).
+    pub fn restore(&self, entries: impl IntoIterator<Item = (MergeKey, MergeValue)>) -> usize {
+        self.inner.restore(entries)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.stats()

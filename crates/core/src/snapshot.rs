@@ -1,0 +1,1057 @@
+//! Persistent warm-state snapshots: save/restore the cross-query caches.
+//!
+//! The 23× cold-start penalty of a fresh process is almost entirely cache
+//! re-warming — the [`SharedPathCache`] (EdgeToPath results) and the
+//! [`MergeMemo`] (PathMerging results) start empty and every query pays
+//! the full search until the working set is resident. This module makes
+//! warm state *survive restarts*: [`save`] serializes both caches to one
+//! JSON file (written atomically: temp file + rename), and [`load`]
+//! restores them into fresh caches at boot.
+//!
+//! # Validity, not freshness
+//!
+//! A snapshot is only usable against the exact domain + configuration it
+//! was captured under: cache keys are hashes over candidate sets, grammar
+//! paths and config knobs, so replaying them against a changed grammar
+//! would serve *wrong answers*, not stale ones. The header therefore
+//! binds the snapshot to
+//!
+//! - a magic string and format [`SNAPSHOT_VERSION`],
+//! - the domain name,
+//! - a [content hash](warm_content_hash) over the grammar structure
+//!   ([`GrammarGraph::content_hash`]), the full API documentation, the
+//!   domain's literal/stopword policy and every config knob that feeds a
+//!   cache key — deliberately *over*-broad: a hash mismatch merely costs
+//!   a cold boot, an undetected mismatch would cost correctness,
+//! - a [hasher probe](hasher_probe): cache signatures use
+//!   [`std::hash::DefaultHasher`], whose algorithm may change between
+//!   Rust releases. The probe (the hash of a fixed string) detects a
+//!   binary built with a different hasher and rejects the snapshot.
+//!
+//! **Any** validation or parse failure yields a typed [`SnapshotError`]
+//! and restores *nothing* — parsing is all-or-nothing, so a truncated or
+//! corrupt file can never seed a half-warm cache. Callers log the reason
+//! and fall back to a cold boot; a snapshot problem is never an outage.
+//!
+//! Floats never touch the disk format: scores live in the caches as
+//! milli-unit integers ([`PartialCgt::score_milli`]), node ids as `u32`
+//! indices, and the kernel bitsets ([`PartialCgt::bits`]) are stored as a
+//! presence flag and rebuilt from the restored tree via
+//! [`Cgt::to_bits`] against the live grammar's layout.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId};
+
+use crate::dggt::PartialCgt;
+use crate::engine::BestCgt;
+use crate::json::JsonValue;
+use crate::memo::{MemoDirection, MemoKey, RawPath, SharedPathCache};
+use crate::merge_memo::{MergeKey, MergeKind, MergeMemo, MergeValue, MergeWork};
+use crate::{Cgt, Domain, SynthesisConfig};
+
+/// First bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "nlquery-warm-state";
+
+/// Format version; bumped on any change to the serialized shape.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// What [`save`] wrote or [`load`] restored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Path-cache entries written/restored.
+    pub path_entries: usize,
+    /// Merge-memo entries written/restored.
+    pub merge_entries: usize,
+    /// Size of the snapshot file in bytes.
+    pub bytes: u64,
+}
+
+/// Why a snapshot could not be written or restored.
+///
+/// Every variant is a *cold-boot* signal, not a correctness hazard: on
+/// [`load`] failure nothing has been inserted into either cache.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure (including a missing snapshot file).
+    Io(std::io::Error),
+    /// The file is not valid JSON or is missing/mistyping fields —
+    /// truncation and bit rot land here.
+    Corrupt(String),
+    /// The file is JSON but not a snapshot.
+    WrongMagic {
+        /// What the magic field held instead.
+        found: String,
+    },
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version in the file.
+        found: u64,
+        /// Version this binary writes.
+        expected: u64,
+    },
+    /// The snapshot was written by a binary whose `DefaultHasher`
+    /// disagrees with this one — its signatures are meaningless here.
+    HasherMismatch,
+    /// The snapshot belongs to a different domain.
+    DomainMismatch {
+        /// Domain name in the file.
+        found: String,
+        /// Domain name expected.
+        expected: String,
+    },
+    /// Domain or configuration content changed since the capture.
+    ContentHashMismatch {
+        /// Hash in the file.
+        found: u64,
+        /// Hash of the live domain + config.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt(m) => write!(f, "snapshot corrupt: {m}"),
+            SnapshotError::WrongMagic { found } => {
+                write!(f, "not a snapshot file (magic `{found}`)")
+            }
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found}, this binary writes {expected}")
+            }
+            SnapshotError::HasherMismatch => {
+                write!(f, "snapshot written by a binary with a different hasher")
+            }
+            SnapshotError::DomainMismatch { found, expected } => {
+                write!(f, "snapshot is for domain `{found}`, not `{expected}`")
+            }
+            SnapshotError::ContentHashMismatch { found, expected } => {
+                write!(
+                    f,
+                    "snapshot content hash {found:#x} does not match live domain/config {expected:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Hash of a fixed string under this binary's `DefaultHasher`. Snapshot
+/// signatures (cache keys) are `DefaultHasher`-based; two binaries that
+/// disagree on this probe disagree on every signature.
+pub fn hasher_probe() -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    "nlquery-hasher-probe-v1".hash(&mut h);
+    h.finish()
+}
+
+/// The snapshot-binding content hash: everything that feeds a cache key
+/// or shapes a cached value. Grammar structure, full API documentation,
+/// domain literal/word policy, and every config knob the pipeline reads.
+/// Over-invalidation is free (one cold boot); under-invalidation is a
+/// wrong answer — when in doubt a field is hashed.
+pub fn warm_content_hash(domain: &Domain, config: &SynthesisConfig) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    domain.name().hash(&mut h);
+    domain.graph().content_hash().hash(&mut h);
+    for doc in domain.matcher().docs() {
+        doc.name.hash(&mut h);
+        doc.keywords.hash(&mut h);
+        doc.description.hash(&mut h);
+        doc.literal_slots.hash(&mut h);
+    }
+    domain.literal_api().hash(&mut h);
+    domain.quote_literals().hash(&mut h);
+    domain.intent_verbs().hash(&mut h);
+    domain.stopwords().hash(&mut h);
+    (config.engine == crate::Engine::Dggt).hash(&mut h);
+    config.grammar_pruning.hash(&mut h);
+    config.size_pruning.hash(&mut h);
+    config.orphan_relocation.hash(&mut h);
+    config.max_candidates.hash(&mut h);
+    config.min_score.to_bits().hash(&mut h);
+    config.search_limits.max_paths.hash(&mut h);
+    config.search_limits.max_depth.hash(&mut h);
+    config.max_orphan_variants.hash(&mut h);
+    config.dggt_beam.hash(&mut h);
+    config.cgt_kernel.hash(&mut h);
+    h.finish()
+}
+
+/// Captures both caches and writes them atomically to `path` (temp file
+/// in the same directory, then rename) — a reader never observes a
+/// half-written snapshot, and a crash mid-write leaves the previous
+/// snapshot intact.
+pub fn save(
+    path: &Path,
+    domain: &Domain,
+    config: &SynthesisConfig,
+    cache: &SharedPathCache,
+    memo: &MergeMemo,
+) -> Result<SnapshotSummary, SnapshotError> {
+    let paths = cache.export();
+    let merges = memo.export();
+    let summary_counts = (paths.len(), merges.len());
+
+    let json = JsonValue::obj([
+        ("magic", JsonValue::from(SNAPSHOT_MAGIC)),
+        ("version", JsonValue::from(SNAPSHOT_VERSION)),
+        ("hasher_probe", JsonValue::from(hasher_probe())),
+        ("domain", JsonValue::from(domain.name())),
+        (
+            "content_hash",
+            JsonValue::from(warm_content_hash(domain, config)),
+        ),
+        (
+            "paths",
+            JsonValue::Array(
+                paths
+                    .iter()
+                    .map(|(key, value)| path_entry_json(key, value))
+                    .collect(),
+            ),
+        ),
+        (
+            "merges",
+            JsonValue::Array(
+                merges
+                    .iter()
+                    .map(|(key, value)| merge_entry_json(key, value))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let text = json.render();
+    let tmp = tmp_path(path);
+    fs::write(&tmp, &text)?;
+    fs::rename(&tmp, path)?;
+    Ok(SnapshotSummary {
+        path_entries: summary_counts.0,
+        merge_entries: summary_counts.1,
+        bytes: text.len() as u64,
+    })
+}
+
+/// Validates the snapshot at `path` against the live domain + config and
+/// restores every entry into `cache` and `memo`. Entries are restored in
+/// capture order (per-shard LRU order), so eviction behavior after a
+/// restore matches the process that wrote the snapshot.
+///
+/// # Errors
+///
+/// Any validation or parse failure returns before anything is inserted —
+/// the caches are untouched and the caller boots cold.
+pub fn load(
+    path: &Path,
+    domain: &Domain,
+    config: &SynthesisConfig,
+    cache: &SharedPathCache,
+    memo: &MergeMemo,
+) -> Result<SnapshotSummary, SnapshotError> {
+    let text = fs::read_to_string(path)?;
+    let bytes = text.len() as u64;
+    let root = JsonValue::parse(&text).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+
+    let magic = get_str(&root, "magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::WrongMagic {
+            found: magic.to_string(),
+        });
+    }
+    let version = get_u64(&root, "version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    if get_u64(&root, "hasher_probe")? != hasher_probe() {
+        return Err(SnapshotError::HasherMismatch);
+    }
+    let snap_domain = get_str(&root, "domain")?;
+    if snap_domain != domain.name() {
+        return Err(SnapshotError::DomainMismatch {
+            found: snap_domain.to_string(),
+            expected: domain.name().to_string(),
+        });
+    }
+    let found_hash = get_u64(&root, "content_hash")?;
+    let expected_hash = warm_content_hash(domain, config);
+    if found_hash != expected_hash {
+        return Err(SnapshotError::ContentHashMismatch {
+            found: found_hash,
+            expected: expected_hash,
+        });
+    }
+
+    // Parse *everything* before touching either cache: a failure halfway
+    // through a truncated file must leave the caches cold, not half-warm.
+    let graph = domain.graph();
+    let mut path_entries: Vec<(MemoKey, Vec<RawPath>)> = Vec::new();
+    for entry in get_arr(&root, "paths")? {
+        path_entries.push(path_entry_from(entry, graph)?);
+    }
+    let mut merge_entries: Vec<(MergeKey, MergeValue)> = Vec::new();
+    for entry in get_arr(&root, "merges")? {
+        merge_entries.push(merge_entry_from(entry, graph)?);
+    }
+
+    let summary = SnapshotSummary {
+        path_entries: path_entries.len(),
+        merge_entries: merge_entries.len(),
+        bytes,
+    };
+    cache.restore(path_entries);
+    memo.restore(merge_entries);
+    Ok(summary)
+}
+
+/// The temp-file sibling used by [`save`]'s atomic write.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+// ---------------------------------------------------------------------
+// Serialization (structs → JsonValue).
+// ---------------------------------------------------------------------
+
+fn nid(id: NodeId) -> JsonValue {
+    JsonValue::from(id.index())
+}
+
+fn opt_nid(id: Option<NodeId>) -> JsonValue {
+    match id {
+        Some(id) => nid(id),
+        None => JsonValue::Null,
+    }
+}
+
+fn nid_pair((a, b): (NodeId, NodeId)) -> JsonValue {
+    JsonValue::Array(vec![nid(a), nid(b)])
+}
+
+pub(crate) fn path_entry_json(key: &MemoKey, value: &Arc<Vec<RawPath>>) -> JsonValue {
+    JsonValue::obj([
+        ("gov", JsonValue::from(key.gov)),
+        ("dep", JsonValue::from(key.dep)),
+        (
+            "dir",
+            JsonValue::from(match key.direction {
+                MemoDirection::FromRoot => "root",
+                MemoDirection::Between => "between",
+            }),
+        ),
+        (
+            "paths",
+            JsonValue::Array(value.iter().map(raw_path_json).collect()),
+        ),
+    ])
+}
+
+fn raw_path_json(raw: &RawPath) -> JsonValue {
+    JsonValue::obj([
+        ("gov_api", opt_nid(raw.gov_api)),
+        ("dep_api", nid(raw.dep_api)),
+        ("source", opt_nid(raw.path.source)),
+        ("sink", nid(raw.path.sink)),
+        (
+            "chain",
+            JsonValue::Array(raw.path.chain.iter().map(|&id| nid(id)).collect()),
+        ),
+    ])
+}
+
+fn work_json(work: &MergeWork) -> JsonValue {
+    JsonValue::obj([
+        ("sibling_combinations", work.sibling_combinations),
+        ("pruned_grammar", work.pruned_grammar),
+        ("pruned_size", work.pruned_size),
+        ("merged_combinations", work.merged_combinations),
+        ("enumerated_combinations", work.enumerated_combinations),
+    ])
+}
+
+fn cgt_json(cgt: &Cgt) -> JsonValue {
+    JsonValue::obj([
+        (
+            "nodes",
+            JsonValue::Array(cgt.nodes.iter().map(|&id| nid(id)).collect()),
+        ),
+        (
+            "edges",
+            JsonValue::Array(cgt.edges.iter().map(|&e| nid_pair(e)).collect()),
+        ),
+    ])
+}
+
+fn claims_json(claims: &[(usize, (NodeId, NodeId))]) -> JsonValue {
+    JsonValue::Array(
+        claims
+            .iter()
+            .map(|&(qnode, occ)| JsonValue::Array(vec![JsonValue::from(qnode), nid_pair(occ)]))
+            .collect(),
+    )
+}
+
+fn assignment_json(assignment: &[(usize, NodeId)]) -> JsonValue {
+    JsonValue::Array(
+        assignment
+            .iter()
+            .map(|&(qnode, api)| JsonValue::Array(vec![JsonValue::from(qnode), nid(api)]))
+            .collect(),
+    )
+}
+
+fn partial_json(p: &PartialCgt) -> JsonValue {
+    JsonValue::obj([
+        ("cgt", cgt_json(&p.cgt)),
+        // The kernel bitset is a pure function of the tree and the live
+        // grammar's layout — store only its presence and rebuild on load.
+        ("bits", JsonValue::from(p.bits.is_some())),
+        ("size", JsonValue::from(p.size)),
+        ("path_len", JsonValue::from(p.path_len)),
+        ("score_milli", JsonValue::from(p.score_milli)),
+        ("top", opt_nid(p.top)),
+        (
+            "claimed",
+            JsonValue::Array(p.claimed.iter().map(|&e| nid_pair(e)).collect()),
+        ),
+        ("node_claims", claims_json(&p.node_claims)),
+        ("assignment", assignment_json(&p.assignment)),
+    ])
+}
+
+fn best_json(best: &BestCgt) -> JsonValue {
+    JsonValue::obj([
+        ("cgt", cgt_json(&best.cgt)),
+        ("size", JsonValue::from(best.size)),
+        ("assignment", assignment_json(&best.assignment)),
+        ("node_claims", claims_json(&best.node_claims)),
+    ])
+}
+
+fn merge_entry_json(key: &MergeKey, value: &Arc<MergeValue>) -> JsonValue {
+    let mut obj = JsonValue::obj([
+        ("sig", JsonValue::from(key.sig)),
+        (
+            "kind",
+            JsonValue::from(match key.kind {
+                MergeKind::NodeBeams => "beams",
+                MergeKind::FinalJoin => "final_join",
+                MergeKind::HisynFuse => "hisyn_fuse",
+            }),
+        ),
+    ]);
+    match &**value {
+        MergeValue::Beams(beams, work) => {
+            obj.push_field("work", work_json(work));
+            obj.push_field(
+                "beams",
+                JsonValue::Array(
+                    beams
+                        .iter()
+                        .map(|(node, partials)| {
+                            JsonValue::obj([
+                                ("node", nid(*node)),
+                                (
+                                    "partials",
+                                    JsonValue::Array(partials.iter().map(partial_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        MergeValue::Best(best, work) => {
+            obj.push_field("work", work_json(work));
+            obj.push_field(
+                "best",
+                match best {
+                    Some(b) => best_json(b),
+                    None => JsonValue::Null,
+                },
+            );
+        }
+    }
+    obj
+}
+
+// ---------------------------------------------------------------------
+// Deserialization (JsonValue → structs), bounds-checked against the live
+// grammar so a forged or mismatched file cannot index out of range.
+// ---------------------------------------------------------------------
+
+fn corrupt(message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(message.into())
+}
+
+fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| corrupt(format!("missing `{key}`")))
+}
+
+pub(crate) fn get_u64(v: &JsonValue, key: &str) -> Result<u64, SnapshotError> {
+    get(v, key)?
+        .as_u64()
+        .ok_or_else(|| corrupt(format!("`{key}` is not an unsigned integer")))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, SnapshotError> {
+    Ok(get_u64(v, key)? as usize)
+}
+
+pub(crate) fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, SnapshotError> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| corrupt(format!("`{key}` is not a string")))
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, SnapshotError> {
+    get(v, key)?
+        .as_bool()
+        .ok_or_else(|| corrupt(format!("`{key}` is not a bool")))
+}
+
+pub(crate) fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], SnapshotError> {
+    get(v, key)?
+        .as_array()
+        .ok_or_else(|| corrupt(format!("`{key}` is not an array")))
+}
+
+fn node_from(v: &JsonValue, graph: &GrammarGraph) -> Result<NodeId, SnapshotError> {
+    let raw = v
+        .as_u64()
+        .ok_or_else(|| corrupt("node id is not an unsigned integer"))?;
+    let index = raw as usize;
+    if index >= graph.len() {
+        return Err(corrupt(format!(
+            "node id {index} out of range for grammar of {} nodes",
+            graph.len()
+        )));
+    }
+    Ok(NodeId::from_index(index))
+}
+
+fn opt_node_from(v: &JsonValue, graph: &GrammarGraph) -> Result<Option<NodeId>, SnapshotError> {
+    if v.is_null() {
+        Ok(None)
+    } else {
+        node_from(v, graph).map(Some)
+    }
+}
+
+fn node_pair_from(v: &JsonValue, graph: &GrammarGraph) -> Result<(NodeId, NodeId), SnapshotError> {
+    let pair = v.as_array().ok_or_else(|| corrupt("edge is not a pair"))?;
+    if pair.len() != 2 {
+        return Err(corrupt("edge is not a pair"));
+    }
+    Ok((node_from(&pair[0], graph)?, node_from(&pair[1], graph)?))
+}
+
+pub(crate) fn path_entry_from(
+    v: &JsonValue,
+    graph: &GrammarGraph,
+) -> Result<(MemoKey, Vec<RawPath>), SnapshotError> {
+    let direction = match get_str(v, "dir")? {
+        "root" => MemoDirection::FromRoot,
+        "between" => MemoDirection::Between,
+        other => return Err(corrupt(format!("unknown direction `{other}`"))),
+    };
+    let key = MemoKey {
+        gov: get_u64(v, "gov")?,
+        dep: get_u64(v, "dep")?,
+        direction,
+    };
+    let mut paths = Vec::new();
+    for raw in get_arr(v, "paths")? {
+        let mut chain = Vec::new();
+        for id in get_arr(raw, "chain")? {
+            chain.push(node_from(id, graph)?);
+        }
+        paths.push(RawPath {
+            gov_api: opt_node_from(get(raw, "gov_api")?, graph)?,
+            dep_api: node_from(get(raw, "dep_api")?, graph)?,
+            path: GrammarPath {
+                source: opt_node_from(get(raw, "source")?, graph)?,
+                sink: node_from(get(raw, "sink")?, graph)?,
+                chain,
+            },
+        });
+    }
+    Ok((key, paths))
+}
+
+fn work_from(v: &JsonValue) -> Result<MergeWork, SnapshotError> {
+    let w = get(v, "work")?;
+    Ok(MergeWork {
+        sibling_combinations: get_u64(w, "sibling_combinations")?,
+        pruned_grammar: get_u64(w, "pruned_grammar")?,
+        pruned_size: get_u64(w, "pruned_size")?,
+        merged_combinations: get_u64(w, "merged_combinations")?,
+        enumerated_combinations: get_u64(w, "enumerated_combinations")?,
+    })
+}
+
+fn cgt_from(v: &JsonValue, graph: &GrammarGraph) -> Result<Cgt, SnapshotError> {
+    let mut cgt = Cgt::new();
+    for node in get_arr(v, "nodes")? {
+        cgt.nodes.insert(node_from(node, graph)?);
+    }
+    for edge in get_arr(v, "edges")? {
+        cgt.edges.insert(node_pair_from(edge, graph)?);
+    }
+    Ok(cgt)
+}
+
+/// A merge-conflict claim as stored on disk: the claiming path's index
+/// plus the contested grammar edge.
+type PathClaim = (usize, (NodeId, NodeId));
+
+fn claims_from(
+    v: &JsonValue,
+    key: &str,
+    graph: &GrammarGraph,
+) -> Result<Vec<PathClaim>, SnapshotError> {
+    let mut claims = Vec::new();
+    for item in get_arr(v, key)? {
+        let pair = item
+            .as_array()
+            .ok_or_else(|| corrupt("claim is not a pair"))?;
+        if pair.len() != 2 {
+            return Err(corrupt("claim is not a pair"));
+        }
+        let qnode = pair[0]
+            .as_u64()
+            .ok_or_else(|| corrupt("claim query node is not an unsigned integer"))?;
+        claims.push((qnode as usize, node_pair_from(&pair[1], graph)?));
+    }
+    Ok(claims)
+}
+
+fn assignment_from(
+    v: &JsonValue,
+    graph: &GrammarGraph,
+) -> Result<Vec<(usize, NodeId)>, SnapshotError> {
+    let mut assignment = Vec::new();
+    for item in get_arr(v, "assignment")? {
+        let pair = item
+            .as_array()
+            .ok_or_else(|| corrupt("assignment is not a pair"))?;
+        if pair.len() != 2 {
+            return Err(corrupt("assignment is not a pair"));
+        }
+        let qnode = pair[0]
+            .as_u64()
+            .ok_or_else(|| corrupt("assignment query node is not an unsigned integer"))?;
+        assignment.push((qnode as usize, node_from(&pair[1], graph)?));
+    }
+    Ok(assignment)
+}
+
+fn partial_from(v: &JsonValue, graph: &GrammarGraph) -> Result<PartialCgt, SnapshotError> {
+    let cgt = cgt_from(get(v, "cgt")?, graph)?;
+    let bits = get_bool(v, "bits")?.then(|| cgt.to_bits(graph.cgt_layout()));
+    let mut claimed = Vec::new();
+    for edge in get_arr(v, "claimed")? {
+        claimed.push(node_pair_from(edge, graph)?);
+    }
+    Ok(PartialCgt {
+        bits,
+        size: get_usize(v, "size")?,
+        path_len: get_usize(v, "path_len")?,
+        score_milli: get_u64(v, "score_milli")?,
+        top: opt_node_from(get(v, "top")?, graph)?,
+        claimed,
+        node_claims: claims_from(v, "node_claims", graph)?,
+        assignment: assignment_from(v, graph)?,
+        cgt,
+    })
+}
+
+fn best_from(v: &JsonValue, graph: &GrammarGraph) -> Result<BestCgt, SnapshotError> {
+    Ok(BestCgt {
+        cgt: cgt_from(get(v, "cgt")?, graph)?,
+        size: get_usize(v, "size")?,
+        assignment: assignment_from(v, graph)?,
+        node_claims: claims_from(v, "node_claims", graph)?,
+    })
+}
+
+fn merge_entry_from(
+    v: &JsonValue,
+    graph: &GrammarGraph,
+) -> Result<(MergeKey, MergeValue), SnapshotError> {
+    let kind = match get_str(v, "kind")? {
+        "beams" => MergeKind::NodeBeams,
+        "final_join" => MergeKind::FinalJoin,
+        "hisyn_fuse" => MergeKind::HisynFuse,
+        other => return Err(corrupt(format!("unknown merge kind `{other}`"))),
+    };
+    let key = MergeKey {
+        sig: get_u64(v, "sig")?,
+        kind,
+    };
+    let work = work_from(v)?;
+    let value = if kind == MergeKind::NodeBeams {
+        let mut beams = Vec::new();
+        for beam in get_arr(v, "beams")? {
+            let node = node_from(get(beam, "node")?, graph)?;
+            let mut partials = Vec::new();
+            for partial in get_arr(beam, "partials")? {
+                partials.push(partial_from(partial, graph)?);
+            }
+            beams.push((node, partials));
+        }
+        MergeValue::Beams(beams, work)
+    } else {
+        let best = get(v, "best")?;
+        let best = if best.is_null() {
+            None
+        } else {
+            Some(best_from(best, graph)?)
+        };
+        MergeValue::Best(best, work)
+    };
+    Ok((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memo::Flight;
+    use crate::merge_memo::MergeFlight;
+    use nlquery_nlp::ApiDoc;
+
+    fn domain() -> Domain {
+        let graph = GrammarGraph::parse(
+            "command ::= INSERT string pos\n\
+             string  ::= STRING\n\
+             pos     ::= START | END",
+        )
+        .unwrap();
+        Domain::builder("snap-test")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn sample_state(domain: &Domain) -> (SharedPathCache, MergeMemo) {
+        let graph = domain.graph();
+        let cache = SharedPathCache::new(64);
+        let start = graph.api_node("START").unwrap();
+        let insert = graph.api_node("INSERT").unwrap();
+        let key = MemoKey::from_root(&[start], Default::default());
+        let Flight::Miss(token) = cache.join(key) else {
+            panic!("cold cache must lead");
+        };
+        token.complete(
+            graph
+                .paths_from_root(start, Default::default())
+                .into_iter()
+                .map(|path| RawPath {
+                    gov_api: None,
+                    dep_api: start,
+                    path,
+                })
+                .collect(),
+        );
+
+        let memo = MergeMemo::new(64);
+        let best_key = MergeKey {
+            sig: 7,
+            kind: MergeKind::FinalJoin,
+        };
+        let MergeFlight::Miss(token) = memo.join(best_key) else {
+            panic!("cold memo must lead");
+        };
+        let mut cgt = Cgt::singleton(insert);
+        cgt.absorb_path(&graph.paths_from_root(insert, Default::default())[0], graph);
+        token.complete(MergeValue::Best(
+            Some(BestCgt {
+                size: cgt.api_count(graph),
+                assignment: vec![(0, insert)],
+                node_claims: vec![(0, (graph.node(insert).parents[0], insert))],
+                cgt,
+            }),
+            MergeWork {
+                sibling_combinations: 3,
+                pruned_grammar: 1,
+                pruned_size: 0,
+                merged_combinations: 2,
+                enumerated_combinations: 0,
+            },
+        ));
+
+        let beam_key = MergeKey {
+            sig: 9,
+            kind: MergeKind::NodeBeams,
+        };
+        let MergeFlight::Miss(token) = memo.join(beam_key) else {
+            panic!("cold memo must lead");
+        };
+        let pcgt = Cgt::singleton(start);
+        token.complete(MergeValue::Beams(
+            vec![(
+                start,
+                vec![PartialCgt {
+                    bits: Some(pcgt.to_bits(graph.cgt_layout())),
+                    size: 1,
+                    path_len: 2,
+                    score_milli: 950,
+                    top: Some(start),
+                    claimed: vec![(graph.node(start).parents[0], start)],
+                    node_claims: vec![(1, (graph.node(start).parents[0], start))],
+                    assignment: vec![(1, start)],
+                    cgt: pcgt,
+                }],
+            )],
+            MergeWork::default(),
+        ));
+        (cache, memo)
+    }
+
+    fn values_of(memo: &MergeMemo) -> Vec<(MergeKey, MergeValue)> {
+        memo.export()
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect()
+    }
+
+    #[test]
+    fn save_load_round_trips_both_caches() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let (cache, memo) = sample_state(&d);
+        let dir = std::env::temp_dir().join("nlquery-snap-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("warm.json");
+
+        let saved = save(&file, &d, &cfg, &cache, &memo).unwrap();
+        assert_eq!(saved.path_entries, 1);
+        assert_eq!(saved.merge_entries, 2);
+        assert!(saved.bytes > 0);
+
+        let cache2 = SharedPathCache::new(64);
+        let memo2 = MergeMemo::new(64);
+        let loaded = load(&file, &d, &cfg, &cache2, &memo2).unwrap();
+        assert_eq!(loaded, saved);
+
+        // Path entries are byte-for-byte equal.
+        let a = cache.export();
+        let b = cache2.export();
+        assert_eq!(a.len(), b.len());
+        for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(&**va, &**vb);
+        }
+        // Merge values round-trip including the rebuilt kernel bitsets.
+        let ma = values_of(&memo);
+        let mb = values_of(&memo2);
+        assert_eq!(ma.len(), mb.len());
+        for ((ka, va), (kb, vb)) in ma.iter().zip(&mb) {
+            assert_eq!(ka, kb);
+            match (va, vb) {
+                (MergeValue::Best(a, wa), MergeValue::Best(b, wb)) => {
+                    assert_eq!(a, b);
+                    assert_eq!(wa, wb);
+                }
+                (MergeValue::Beams(a, wa), MergeValue::Beams(b, wb)) => {
+                    assert_eq!(wa, wb);
+                    assert_eq!(a.len(), b.len());
+                    for ((na, psa), (nb, psb)) in a.iter().zip(b) {
+                        assert_eq!(na, nb);
+                        assert_eq!(psa.len(), psb.len());
+                        for (pa, pb) in psa.iter().zip(psb) {
+                            assert_eq!(pa.cgt, pb.cgt);
+                            assert_eq!(pa.bits.is_some(), pb.bits.is_some());
+                            assert_eq!(
+                                (pa.size, pa.path_len, pa.score_milli, pa.top),
+                                (pb.size, pb.path_len, pb.score_milli, pb.top)
+                            );
+                            assert_eq!(pa.claimed, pb.claimed);
+                            assert_eq!(pa.node_claims, pb.node_claims);
+                            assert_eq!(pa.assignment, pb.assignment);
+                        }
+                    }
+                }
+                _ => panic!("value kinds diverged"),
+            }
+        }
+        // Restores bump no hit/miss counters.
+        let s = cache2.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn stale_or_damaged_snapshots_restore_nothing() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let (cache, memo) = sample_state(&d);
+        let dir = std::env::temp_dir().join("nlquery-snap-reject");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("warm.json");
+        save(&file, &d, &cfg, &cache, &memo).unwrap();
+        let text = fs::read_to_string(&file).unwrap();
+
+        let fresh = || (SharedPathCache::new(64), MergeMemo::new(64));
+        let assert_cold =
+            |err: SnapshotError, cache: &SharedPathCache, memo: &MergeMemo, what: &str| {
+                assert_eq!(
+                    cache.stats().entries,
+                    0,
+                    "{what}: path cache must stay cold"
+                );
+                assert_eq!(memo.stats().entries, 0, "{what}: merge memo must stay cold");
+                // Every rejection renders a loggable reason.
+                assert!(!err.to_string().is_empty(), "{what}");
+            };
+
+        // Truncation (mid-file) → corrupt, nothing restored.
+        let truncated = dir.join("truncated.json");
+        fs::write(&truncated, &text[..text.len() / 2]).unwrap();
+        let (c, m) = fresh();
+        let err = load(&truncated, &d, &cfg, &c, &m).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+        assert_cold(err, &c, &m, "truncated");
+
+        // Garbage bytes → corrupt.
+        let garbage = dir.join("garbage.json");
+        fs::write(&garbage, "not json at all {{{").unwrap();
+        let (c, m) = fresh();
+        let err = load(&garbage, &d, &cfg, &c, &m).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+        assert_cold(err, &c, &m, "garbage");
+
+        // Version bump → version mismatch.
+        let versioned = dir.join("versioned.json");
+        fs::write(&versioned, text.replace("\"version\":1", "\"version\":999")).unwrap();
+        let (c, m) = fresh();
+        let err = load(&versioned, &d, &cfg, &c, &m).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::VersionMismatch { found: 999, .. }),
+            "{err}"
+        );
+        assert_cold(err, &c, &m, "version");
+
+        // Different config → content-hash mismatch.
+        let (c, m) = fresh();
+        let other_cfg = SynthesisConfig::default().cgt_kernel(false);
+        let err = load(&file, &d, &other_cfg, &c, &m).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::ContentHashMismatch { .. }),
+            "{err}"
+        );
+        assert_cold(err, &c, &m, "config change");
+
+        // Different domain name → domain mismatch.
+        let graph = GrammarGraph::parse(
+            "command ::= INSERT string pos\n\
+             string  ::= STRING\n\
+             pos     ::= START | END",
+        )
+        .unwrap();
+        let other_domain = Domain::builder("other-domain")
+            .graph(graph)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .build()
+            .unwrap();
+        let (c, m) = fresh();
+        let err = load(&file, &other_domain, &cfg, &c, &m).unwrap_err();
+        assert!(matches!(err, SnapshotError::DomainMismatch { .. }), "{err}");
+        assert_cold(err, &c, &m, "domain");
+
+        // Missing file → io error.
+        let (c, m) = fresh();
+        let err = load(&dir.join("missing.json"), &d, &cfg, &c, &m).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+        assert_cold(err, &c, &m, "missing");
+
+        fs::remove_file(&file).ok();
+        fs::remove_file(&truncated).ok();
+        fs::remove_file(&garbage).ok();
+        fs::remove_file(&versioned).ok();
+    }
+
+    #[test]
+    fn content_hash_tracks_grammar_and_config() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let base = warm_content_hash(&d, &cfg);
+        assert_eq!(base, warm_content_hash(&d, &cfg), "hash is deterministic");
+        assert_ne!(
+            base,
+            warm_content_hash(&d, &SynthesisConfig::default().max_candidates(5)),
+            "config knobs invalidate"
+        );
+        let regrown = GrammarGraph::parse(
+            "command ::= INSERT string pos\n\
+             string  ::= STRING\n\
+             pos     ::= END | START",
+        )
+        .unwrap();
+        let d2 = Domain::builder("snap-test")
+            .graph(regrown)
+            .docs(vec![
+                ApiDoc::new("INSERT", &["insert"], "inserts a string", 0),
+                ApiDoc::new("STRING", &["string"], "a string constant", 1),
+                ApiDoc::new("START", &["start"], "the start", 0),
+                ApiDoc::new("END", &["end"], "the end", 0),
+            ])
+            .build()
+            .unwrap();
+        assert_ne!(
+            base,
+            warm_content_hash(&d2, &cfg),
+            "grammar reordering invalidates"
+        );
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let d = domain();
+        let cfg = SynthesisConfig::default();
+        let (cache, memo) = sample_state(&d);
+        let dir = std::env::temp_dir().join("nlquery-snap-atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("warm.json");
+        save(&file, &d, &cfg, &cache, &memo).unwrap();
+        assert!(file.exists());
+        assert!(!tmp_path(&file).exists());
+        fs::remove_file(&file).ok();
+    }
+}

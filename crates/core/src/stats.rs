@@ -66,6 +66,12 @@ pub struct SynthesisStats {
     /// computation of the same merge signature (single-flight
     /// deduplication; 0 outside a concurrent batch).
     pub merge_memo_dedup_waits: u64,
+    /// Distinct merge signatures this run consulted the merge memo for
+    /// (FinalJoin/HisynFuse runs plus deduplicated per-node beam
+    /// signatures). 0 when the merge memo is off — the counter measures
+    /// signature cardinality, the upper bound on cold-pass merge work a
+    /// warm memo can absorb.
+    pub merge_memo_unique_signatures: u64,
 }
 
 impl SynthesisStats {
@@ -92,6 +98,7 @@ impl SynthesisStats {
         self.merge_memo_hits += other.merge_memo_hits;
         self.merge_memo_misses += other.merge_memo_misses;
         self.merge_memo_dedup_waits += other.merge_memo_dedup_waits;
+        self.merge_memo_unique_signatures += other.merge_memo_unique_signatures;
     }
 }
 

@@ -491,6 +491,144 @@ impl GrammarGraph {
         reach
     }
 
+    /// A stable hash of the graph's full structure: every node's kind,
+    /// label and ordered child edges, plus the root. Two graphs built from
+    /// the same BNF hash equally; any rule change — added alternative,
+    /// reordered symbol, renamed API — changes the hash. Used to bind
+    /// on-disk artifacts (warm-state snapshots, AOT compilation caches) to
+    /// the grammar they were computed against.
+    ///
+    /// The hash is [`std::hash::DefaultHasher`]-based: stable within one
+    /// compiled binary, not guaranteed across Rust releases — exactly the
+    /// stability snapshot invalidation needs (an artifact from a different
+    /// build is rejected and recomputed).
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.nodes.len().hash(&mut h);
+        self.root.0.hash(&mut h);
+        for node in &self.nodes {
+            let kind: u8 = match node.kind {
+                NodeKind::NonTerminal { .. } => 0,
+                NodeKind::Derivation { .. } => 1,
+                NodeKind::Api { .. } => 2,
+            };
+            kind.hash(&mut h);
+            node.label.hash(&mut h);
+            node.children.len().hash(&mut h);
+            for child in &node.children {
+                child.0.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Corpus-driven graph packing (ahead-of-time domain compilation).
+    ///
+    /// Given the set of API nodes any corpus query can actually target
+    /// (`live_apis`), builds a packed copy of the graph containing only the
+    /// nodes that both (a) can derive at least one live API and (b) are
+    /// reachable from the root — every other grammar region is dead weight
+    /// for this corpus. Node order is preserved under the remap, and all
+    /// derived tables (reachability, descendants, direct arguments, the
+    /// bitset-kernel layout) are recomputed eagerly on the packed graph.
+    ///
+    /// Correctness note: a grammar path whose sink is a live API can only
+    /// visit nodes that reach that API, i.e. live nodes — so for live
+    /// endpoints, path searches over the packed graph are (modulo the node
+    /// remap) identical to searches over the full graph. The differential
+    /// tests assert exactly this.
+    ///
+    /// The root is always kept (a graph must have one) even when the live
+    /// set is empty.
+    pub fn prune_to_corpus(&self, live_apis: &[NodeId]) -> PrunedGraph {
+        let n = self.nodes.len();
+        // live[i] ⇔ node i derives (reaches) at least one live API.
+        let mut live = vec![false; n];
+        for (i, slot) in live.iter_mut().enumerate() {
+            let from = NodeId(i as u32);
+            *slot = live_apis.iter().any(|&api| self.reaches(from, api));
+        }
+        let root_unreachable_live = (0..n)
+            .filter(|&i| live[i] && !self.reaches(self.root, NodeId(i as u32)))
+            .count();
+        let kept: Vec<bool> = (0..n)
+            .map(|i| {
+                NodeId(i as u32) == self.root
+                    || (live[i] && self.reaches(self.root, NodeId(i as u32)))
+            })
+            .collect();
+
+        // Order-preserving remap.
+        let mut full_to_packed: Vec<Option<NodeId>> = vec![None; n];
+        let mut packed_to_full: Vec<NodeId> = Vec::new();
+        for i in 0..n {
+            if kept[i] {
+                full_to_packed[i] = Some(NodeId(packed_to_full.len() as u32));
+                packed_to_full.push(NodeId(i as u32));
+            }
+        }
+
+        let full_edges: usize = self.nodes.iter().map(|node| node.children.len()).sum();
+        let mut packed_edges = 0usize;
+        let nodes: Vec<GrammarNode> = packed_to_full
+            .iter()
+            .map(|&full_id| {
+                let node = &self.nodes[full_id.index()];
+                let children: Vec<NodeId> = node
+                    .children
+                    .iter()
+                    .filter_map(|c| full_to_packed[c.index()])
+                    .collect();
+                packed_edges += children.len();
+                let parents: Vec<NodeId> = node
+                    .parents
+                    .iter()
+                    .filter_map(|p| full_to_packed[p.index()])
+                    .collect();
+                GrammarNode {
+                    kind: node.kind.clone(),
+                    children,
+                    parents,
+                    label: node.label.clone(),
+                }
+            })
+            .collect();
+
+        let remap_index = |index: &[(String, NodeId)]| -> Vec<(String, NodeId)> {
+            index
+                .iter()
+                .filter_map(|(name, id)| {
+                    full_to_packed[id.index()].map(|packed| (name.clone(), packed))
+                })
+                .collect()
+        };
+
+        let mut graph = GrammarGraph {
+            nodes,
+            root: full_to_packed[self.root.index()].expect("root is always kept"),
+            api_index: remap_index(&self.api_index),
+            nt_index: remap_index(&self.nt_index),
+            descendants: Vec::new(),
+            direct_args: Vec::new(),
+            reach: Vec::new(),
+            layout: crate::CgtLayout::default(),
+        };
+        graph.reach = graph.compute_reach();
+        graph.descendants = graph.compute_descendants();
+        graph.direct_args = graph.compute_direct_args();
+        graph.layout = crate::CgtLayout::build(&graph);
+
+        PrunedGraph {
+            dropped_nodes: n - packed_to_full.len(),
+            dropped_edges: full_edges - packed_edges,
+            exact: root_unreachable_live == 0,
+            graph,
+            full_to_packed,
+            packed_to_full,
+        }
+    }
+
     fn compute_descendants(&self) -> Vec<BTreeSet<NodeId>> {
         // First compute, for every node, the set of API nodes reachable by
         // walking downward (through or- and concat-edges). Iterate to a
@@ -538,6 +676,63 @@ impl GrammarGraph {
             result[id.index()] = set;
         }
         result
+    }
+}
+
+/// The result of [`GrammarGraph::prune_to_corpus`]: a packed graph over the
+/// corpus-live region, plus the node remap between the full and packed id
+/// spaces and the pruning census.
+///
+/// The packed graph is a fully functional [`GrammarGraph`] — same derived
+/// tables, same invariants — over a (usually much) smaller node set. The
+/// remap vectors translate between the two id spaces so results computed on
+/// one can be compared against the other.
+#[derive(Debug, Clone)]
+pub struct PrunedGraph {
+    graph: GrammarGraph,
+    /// `full_to_packed[full.index()]` is the packed id of that node, or
+    /// `None` when the node was dropped.
+    full_to_packed: Vec<Option<NodeId>>,
+    /// `packed_to_full[packed.index()]` is the full-graph id the packed
+    /// node came from. Strictly increasing (the remap preserves order).
+    packed_to_full: Vec<NodeId>,
+    dropped_nodes: usize,
+    dropped_edges: usize,
+    exact: bool,
+}
+
+impl PrunedGraph {
+    /// The packed graph.
+    pub fn graph(&self) -> &GrammarGraph {
+        &self.graph
+    }
+
+    /// Maps a packed node id back to its full-graph id.
+    pub fn to_full(&self, packed: NodeId) -> NodeId {
+        self.packed_to_full[packed.index()]
+    }
+
+    /// Maps a full-graph node id to its packed id, or `None` if the node
+    /// was pruned away.
+    pub fn to_packed(&self, full: NodeId) -> Option<NodeId> {
+        self.full_to_packed.get(full.index()).copied().flatten()
+    }
+
+    /// How many full-graph nodes the pruning dropped.
+    pub fn dropped_nodes(&self) -> usize {
+        self.dropped_nodes
+    }
+
+    /// How many full-graph edges the pruning dropped.
+    pub fn dropped_edges(&self) -> usize {
+        self.dropped_edges
+    }
+
+    /// `true` when every corpus-live node survived — i.e. no live node was
+    /// unreachable from the root. Always expected in practice; `false`
+    /// signals a malformed grammar region worth surfacing.
+    pub fn exact(&self) -> bool {
+        self.exact
     }
 }
 
@@ -671,5 +866,151 @@ mod tests {
         let d = g.node(r).children[0];
         let kids: Vec<String> = g.api_children(d).map(|c| g.node(c).label()).collect();
         assert_eq!(kids, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_structure_sensitive() {
+        let a = example();
+        let b = example();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Reordering alternatives changes the structure.
+        let reordered = GrammarGraph::parse(
+            r#"
+            command    ::= DELETE delete_arg | INSERT insert_arg
+            insert_arg ::= string pos iter
+            delete_arg ::= string
+            string     ::= STRING
+            pos        ::= POSITION | START
+            iter       ::= LINESCOPE
+            "#,
+        )
+        .unwrap();
+        assert_ne!(a.content_hash(), reordered.content_hash());
+        // A non-terminal and an API with the same name are distinct shapes.
+        let nt = GrammarGraph::parse("r ::= FOO\nfoo ::= FOO").unwrap();
+        let api = GrammarGraph::parse("r ::= FOO\nfoo ::= BAR").unwrap();
+        assert_ne!(nt.content_hash(), api.content_hash());
+    }
+
+    #[test]
+    fn prune_keeps_only_the_live_region() {
+        let g = example();
+        let live = vec![g.api_node("DELETE").unwrap(), g.api_node("STRING").unwrap()];
+        let pruned = g.prune_to_corpus(&live);
+        let p = pruned.graph();
+        assert!(pruned.exact());
+        // The INSERT/pos/iter region is dead: INSERT itself, pos + 2
+        // derivations + POSITION + START, iter + 1 derivation + LINESCOPE.
+        assert_eq!(pruned.dropped_nodes(), 9);
+        assert!(pruned.dropped_edges() > 0);
+        assert_eq!(p.len(), g.len() - 9);
+        assert!(p.api_node("DELETE").is_some());
+        assert!(p.api_node("STRING").is_some());
+        assert!(p.api_node("INSERT").is_none());
+        assert!(p.api_node("POSITION").is_none());
+        assert!(p.nonterminal_node("pos").is_none());
+        // The `insert_arg` chain survives: its derivation reaches STRING.
+        assert!(p.nonterminal_node("insert_arg").is_some());
+        // Remap round-trips and preserves node identity.
+        for packed in p.node_ids() {
+            let full = pruned.to_full(packed);
+            assert_eq!(pruned.to_packed(full), Some(packed));
+            assert_eq!(p.node(packed).label_str(), g.node(full).label_str());
+        }
+        assert_eq!(pruned.to_packed(g.api_node("INSERT").unwrap()), None);
+        // The remap preserves order.
+        let fulls: Vec<u32> = p.node_ids().map(|id| pruned.to_full(id).0).collect();
+        assert!(fulls.windows(2).all(|w| w[0] < w[1]), "{fulls:?}");
+    }
+
+    #[test]
+    fn prune_with_all_apis_live_is_the_identity() {
+        let g = example();
+        let live: Vec<NodeId> = g.api_nodes().iter().map(|&(_, id)| id).collect();
+        let pruned = g.prune_to_corpus(&live);
+        assert_eq!(pruned.dropped_nodes(), 0);
+        assert_eq!(pruned.dropped_edges(), 0);
+        assert!(pruned.exact());
+        assert_eq!(pruned.graph().content_hash(), g.content_hash());
+    }
+
+    #[test]
+    fn prune_with_empty_corpus_keeps_only_the_root() {
+        let g = example();
+        let pruned = g.prune_to_corpus(&[]);
+        assert_eq!(pruned.graph().len(), 1);
+        assert_eq!(pruned.to_full(pruned.graph().root()), g.root());
+        assert!(pruned.exact());
+    }
+
+    /// Paths with live endpoints must be identical (modulo the remap) on
+    /// the packed and full graphs — the correctness contract AOT packing
+    /// rests on.
+    #[test]
+    fn packed_searches_match_full_graph_for_live_endpoints() {
+        let g = example();
+        let limits = crate::SearchLimits::default();
+        let live = vec![
+            g.api_node("INSERT").unwrap(),
+            g.api_node("STRING").unwrap(),
+            g.api_node("START").unwrap(),
+        ];
+        let pruned = g.prune_to_corpus(&live);
+        let p = pruned.graph();
+        let key = |path: &crate::GrammarPath, remap: bool| -> (Option<u32>, u32, Vec<u32>) {
+            let m = |id: NodeId| if remap { pruned.to_full(id).0 } else { id.0 };
+            (
+                path.source.map(m),
+                m(path.sink),
+                path.chain.iter().map(|&id| m(id)).collect(),
+            )
+        };
+        let normalize = |mut keys: Vec<(Option<u32>, u32, Vec<u32>)>| {
+            keys.sort();
+            keys
+        };
+        for &sink in &live {
+            let full = normalize(
+                g.paths_from_root(sink, limits)
+                    .iter()
+                    .map(|path| key(path, false))
+                    .collect(),
+            );
+            let packed = normalize(
+                p.paths_from_root(pruned.to_packed(sink).unwrap(), limits)
+                    .iter()
+                    .map(|path| key(path, true))
+                    .collect(),
+            );
+            assert_eq!(full, packed, "root → {}", g.node(sink).label_str());
+            for &source in &live {
+                if source == sink {
+                    continue;
+                }
+                let full = normalize(
+                    g.paths_between(source, sink, limits)
+                        .iter()
+                        .map(|path| key(path, false))
+                        .collect(),
+                );
+                let packed = normalize(
+                    p.paths_between(
+                        pruned.to_packed(source).unwrap(),
+                        pruned.to_packed(sink).unwrap(),
+                        limits,
+                    )
+                    .iter()
+                    .map(|path| key(path, true))
+                    .collect(),
+                );
+                assert_eq!(
+                    full,
+                    packed,
+                    "{} → {}",
+                    g.node(source).label_str(),
+                    g.node(sink).label_str()
+                );
+            }
+        }
     }
 }

@@ -43,7 +43,7 @@ mod voted;
 
 pub use bnf::{Alternative, Grammar, Rule, Symbol};
 pub use error::GrammarError;
-pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind};
+pub use graph::{EdgeKind, GrammarGraph, GrammarNode, NodeId, NodeKind, PrunedGraph};
 pub use kernel::{BitCgt, CgtArena, CgtLayout};
 pub use path::{GrammarPath, PathId, SearchDeadline, SearchLimits, SearchTimedOut};
 pub use voted::{OrAlternative, PathVotedGraph, VoteCount};

@@ -61,6 +61,10 @@ pub struct SemanticMatcher {
     index: BTreeMap<String, Vec<(usize, f64)>>,
     docs: Vec<ApiDoc>,
     synonyms: SynonymLexicon,
+    /// word → full ranked candidate list, precomputed by
+    /// [`SemanticMatcher::preresolve`] for a known vocabulary (AOT domain
+    /// compilation). Lookups for other words fall back to the live path.
+    resolved: BTreeMap<String, Vec<ApiCandidate>>,
 }
 
 /// Weight of a keyword hit.
@@ -105,12 +109,35 @@ impl SemanticMatcher {
             index,
             docs,
             synonyms,
+            resolved: BTreeMap::new(),
         }
     }
 
     /// The documentation this matcher was built over.
     pub fn docs(&self) -> &[ApiDoc] {
         &self.docs
+    }
+
+    /// Precomputes the full ranked candidate list of every word in
+    /// `vocabulary`, so later [`SemanticMatcher::candidates`] calls for
+    /// those words reduce to a map lookup plus filter/truncate. The
+    /// lookup is *exactly* equivalent to the live path: the score filter
+    /// and the deterministic total order (descending score, ascending API
+    /// name) commute, so filtering the precomputed full ranking yields
+    /// the same list the live computation produces. Unknown words keep
+    /// taking the live path.
+    pub fn preresolve(&mut self, vocabulary: impl IntoIterator<Item = String>) {
+        for word in vocabulary {
+            if !self.resolved.contains_key(&word) {
+                let ranked = self.ranked(&word);
+                self.resolved.insert(word, ranked);
+            }
+        }
+    }
+
+    /// Number of words with a precomputed candidate list.
+    pub fn preresolved_words(&self) -> usize {
+        self.resolved.len()
     }
 
     /// The top-`k` candidate APIs for a query word, sorted by descending
@@ -120,6 +147,24 @@ impl SemanticMatcher {
     /// synonyms at [`SYNONYM_FACTOR`] weight. Candidates scoring below
     /// `min_score` are dropped.
     pub fn candidates(&self, word: &str, k: usize, min_score: f64) -> Vec<ApiCandidate> {
+        if let Some(full) = self.resolved.get(word) {
+            return full
+                .iter()
+                .filter(|c| c.score >= min_score)
+                .take(k)
+                .cloned()
+                .collect();
+        }
+        let mut ranked = self.ranked(word);
+        ranked.retain(|c| c.score >= min_score);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The full ranked candidate list of a word — every API with a
+    /// non-zero score, sorted by descending score (ties broken by API name
+    /// for determinism), with no score filter and no truncation.
+    fn ranked(&self, word: &str) -> Vec<ApiCandidate> {
         let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
         for (rank, s) in self.synonyms.expand(word).into_iter().enumerate() {
             let factor = if rank == 0 { 1.0 } else { SYNONYM_FACTOR };
@@ -132,7 +177,6 @@ impl SemanticMatcher {
         }
         let mut ranked: Vec<ApiCandidate> = scores
             .into_iter()
-            .filter(|&(_, score)| score >= min_score)
             .map(|(i, score)| ApiCandidate {
                 api: self.docs[i].name.clone(),
                 score,
@@ -144,7 +188,6 @@ impl SemanticMatcher {
                 .expect("scores are finite")
                 .then_with(|| a.api.cmp(&b.api))
         });
-        ranked.truncate(k);
         ranked
     }
 
@@ -248,5 +291,35 @@ mod tests {
         let a = m.candidates("start", 4, 0.1);
         let b = m.candidates("start", 4, 0.1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preresolved_lookups_equal_live_lookups() {
+        let live = matcher();
+        let mut pre = matcher();
+        let vocab = [
+            "insert",
+            "delete",
+            "start",
+            "append",
+            "position",
+            "lines",
+            "xylophone",
+        ];
+        pre.preresolve(vocab.iter().map(|w| w.to_string()));
+        assert_eq!(pre.preresolved_words(), vocab.len());
+        // Every (word, k, min_score) combination — preresolved words and
+        // fallback words alike — must match the live path exactly.
+        for word in vocab.iter().chain(["from", "every"].iter()) {
+            for k in [0, 1, 2, 4, 100] {
+                for min in [0.0, 0.1, 0.3, 0.7, 0.9, 1.1] {
+                    assert_eq!(
+                        pre.candidates(word, k, min),
+                        live.candidates(word, k, min),
+                        "word={word} k={k} min={min}"
+                    );
+                }
+            }
+        }
     }
 }

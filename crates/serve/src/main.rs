@@ -5,7 +5,18 @@
 //! nlquery-serve [--addr 127.0.0.1:7878] [--domain astmatcher|textedit]
 //!               [--workers N] [--queue-depth N] [--window-us N]
 //!               [--max-batch N] [--deadline-ms N]
+//!               [--snapshot PATH] [--snapshot-interval-secs N]
+//!               [--aot] [--aot-cache PATH]
 //! ```
+//!
+//! `--snapshot PATH` restores warm state (path cache + merge memo) from
+//! `PATH` at boot when the file exists — a stale or damaged snapshot is
+//! rejected with a logged reason and the boot proceeds cold — and
+//! rewrites it atomically on graceful drain (plus every
+//! `--snapshot-interval-secs` when set). `--aot` compiles the domain
+//! against its bundled corpus at boot and seeds the path cache with the
+//! compiled path table; `--aot-cache PATH` persists that artifact so
+//! later boots load it instead of recompiling (implies `--aot`).
 //!
 //! The process is std-only, so there is no signal handler: shut it down
 //! with `POST /shutdown` (or `make serve-stop`), which drains in-flight
@@ -21,7 +32,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: nlquery-serve [--addr HOST:PORT] [--domain astmatcher|textedit]\n\
          \x20                    [--workers N] [--queue-depth N] [--window-us N]\n\
-         \x20                    [--max-batch N] [--deadline-ms N]"
+         \x20                    [--max-batch N] [--deadline-ms N]\n\
+         \x20                    [--snapshot PATH] [--snapshot-interval-secs N]\n\
+         \x20                    [--aot] [--aot-cache PATH]"
     );
     std::process::exit(2);
 }
@@ -40,6 +53,7 @@ fn main() -> ExitCode {
     };
     let mut domain_name = "astmatcher".to_string();
     let mut deadline_ms: Option<u64> = None;
+    let mut aot = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +65,15 @@ fn main() -> ExitCode {
             "--window-us" => config.batch_window = Duration::from_micros(parse(&arg, args.next())),
             "--max-batch" => config.max_batch = parse(&arg, args.next()),
             "--deadline-ms" => deadline_ms = Some(parse(&arg, args.next())),
+            "--snapshot" => config.snapshot_path = Some(parse::<String>(&arg, args.next()).into()),
+            "--snapshot-interval-secs" => {
+                config.snapshot_interval = Some(Duration::from_secs(parse(&arg, args.next())));
+            }
+            "--aot" => aot = true,
+            "--aot-cache" => {
+                config.aot_cache_path = Some(parse::<String>(&arg, args.next()).into());
+                aot = true;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("nlquery-serve: unknown flag {other}");
@@ -58,15 +81,28 @@ fn main() -> ExitCode {
             }
         }
     }
+    if config.snapshot_interval.is_some() && config.snapshot_path.is_none() {
+        eprintln!("nlquery-serve: --snapshot-interval-secs needs --snapshot PATH");
+        usage();
+    }
 
-    let domain = match domain_name.as_str() {
-        "astmatcher" => nlquery_domains::astmatcher::domain(),
-        "textedit" => nlquery_domains::textedit::domain(),
+    let (domain, corpus) = match domain_name.as_str() {
+        "astmatcher" => (
+            nlquery_domains::astmatcher::domain(),
+            nlquery_domains::astmatcher::queries(),
+        ),
+        "textedit" => (
+            nlquery_domains::textedit::domain(),
+            nlquery_domains::textedit::queries(),
+        ),
         other => {
             eprintln!("nlquery-serve: unknown domain {other} (astmatcher|textedit)");
             return ExitCode::from(2);
         }
     };
+    if aot {
+        config.aot_corpus = corpus.into_iter().map(|c| c.query).collect();
+    }
     let domain = match domain {
         Ok(domain) => domain,
         Err(e) => {

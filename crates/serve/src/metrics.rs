@@ -190,6 +190,71 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         "Approximate bytes held by live merge-memo entries.",
         stats.merge.bytes,
     );
+    sample(
+        &mut out,
+        "nlquery_merge_memo_unique_signatures_total",
+        "counter",
+        "Distinct merge signatures ever published into the merge memo (capped census; survives eviction).",
+        stats.merge.unique_signatures,
+    );
+    sample(
+        &mut out,
+        "nlquery_cache_unique_signatures_total",
+        "counter",
+        "Distinct EdgeToPath memo keys ever published into the path cache (capped census; survives eviction).",
+        stats.cache.unique_signatures,
+    );
+
+    // Warm-state tier: boot restore, snapshot writes, AOT seeding.
+    sample(
+        &mut out,
+        "nlquery_snapshot_restored_path_entries",
+        "gauge",
+        "Path-cache entries restored from the boot snapshot.",
+        shared.snapshot_restored_paths.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_snapshot_restored_merge_entries",
+        "gauge",
+        "Merge-memo entries restored from the boot snapshot.",
+        shared.snapshot_restored_merges.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_snapshot_rejected_total",
+        "counter",
+        "Boot snapshots rejected as stale or damaged (fell back to cold boot).",
+        shared.snapshot_rejected.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_snapshot_writes_total",
+        "counter",
+        "Warm-state snapshots written (periodic snapshotter plus drain).",
+        shared.snapshot_writes.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_snapshot_write_errors_total",
+        "counter",
+        "Snapshot writes that failed.",
+        shared.snapshot_write_errors.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_snapshot_last_bytes",
+        "gauge",
+        "Size in bytes of the last snapshot written.",
+        shared.snapshot_last_bytes.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_aot_seeded_path_entries",
+        "gauge",
+        "Path-cache entries seeded from the AOT-compiled path table at boot.",
+        shared.aot_seeded_paths.load(Ordering::Relaxed),
+    );
 
     // HTTP-layer counters and the admission gauge.
     sample(

@@ -34,6 +34,7 @@
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -42,7 +43,8 @@ use std::time::{Duration, Instant};
 
 use nlquery_core::json::synthesis_json;
 use nlquery_core::{
-    BatchOptions, Domain, JobSpec, JsonValue, LatencyHistogram, ServiceEngine, SynthesisConfig,
+    snapshot, BatchOptions, CompiledDomain, Domain, JobSpec, JsonValue, LatencyHistogram,
+    ServiceEngine, SynthesisConfig,
 };
 
 use crate::http::{read_request, Request, RequestOutcome, Response};
@@ -66,6 +68,26 @@ pub struct ServerConfig {
     /// Per-connection socket read timeout (idle keep-alive connections
     /// are dropped after this).
     pub read_timeout: Duration,
+    /// Warm-state snapshot file. When set, an existing snapshot is
+    /// restored at boot (a stale or damaged one is rejected with a
+    /// logged reason and boot proceeds cold — never wrong answers), the
+    /// file is rewritten atomically on graceful drain, and — when
+    /// [`ServerConfig::snapshot_interval`] is also set — by a periodic
+    /// background snapshotter.
+    pub snapshot_path: Option<PathBuf>,
+    /// Interval of the background snapshotter (`None` disables it; the
+    /// drain-time write still happens whenever `snapshot_path` is set).
+    pub snapshot_interval: Option<Duration>,
+    /// Corpus queries for ahead-of-time domain compilation. When
+    /// non-empty, boot compiles the domain against this corpus (or loads
+    /// the artifact from [`ServerConfig::aot_cache_path`]), builds the
+    /// engine from the pre-resolved domain, and seeds the path cache
+    /// with the compiled path table before the first request can arrive.
+    pub aot_corpus: Vec<String>,
+    /// Disk cache for the AOT artifact (see
+    /// [`CompiledDomain::load_or_compile`]); a missing or stale cache
+    /// triggers an in-process recompile and best-effort write-back.
+    pub aot_cache_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +99,10 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             read_timeout: Duration::from_secs(30),
+            snapshot_path: None,
+            snapshot_interval: None,
+            aot_corpus: Vec::new(),
+            aot_cache_path: None,
         }
     }
 }
@@ -116,6 +142,20 @@ pub(crate) struct ServerShared {
     pub(crate) latency: LatencyHistogram,
     shutting_down: AtomicBool,
     pub(crate) started: Instant,
+    /// Path-cache entries restored from the boot snapshot.
+    pub(crate) snapshot_restored_paths: AtomicU64,
+    /// Merge-memo entries restored from the boot snapshot.
+    pub(crate) snapshot_restored_merges: AtomicU64,
+    /// Boot snapshots rejected (stale, corrupt, unreadable) → cold boot.
+    pub(crate) snapshot_rejected: AtomicU64,
+    /// Snapshot files written (periodic + drain).
+    pub(crate) snapshot_writes: AtomicU64,
+    /// Snapshot writes that failed.
+    pub(crate) snapshot_write_errors: AtomicU64,
+    /// Size in bytes of the last snapshot written.
+    pub(crate) snapshot_last_bytes: AtomicU64,
+    /// Path-cache entries seeded from the AOT-compiled path table.
+    pub(crate) aot_seeded_paths: AtomicU64,
 }
 
 impl ServerShared {
@@ -141,11 +181,18 @@ pub struct Server {
     shared: Arc<ServerShared>,
     accept: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds, spawns the resident engine, the micro-batcher, and the
     /// accept loop, and returns immediately.
+    ///
+    /// When [`ServerConfig::aot_corpus`] is non-empty the engine is built
+    /// from the AOT-compiled domain and its path cache is seeded with the
+    /// compiled path table; when [`ServerConfig::snapshot_path`] names an
+    /// existing snapshot it is restored on top. Both happen before the
+    /// accept loop spawns, so the first request already runs warm.
     pub fn start(
         domain: Domain,
         config: SynthesisConfig,
@@ -153,8 +200,40 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(&server_config.addr)?;
         let local_addr = listener.local_addr()?;
+
+        // AOT compilation happens before the engine exists: the engine
+        // must be built from the pre-resolved domain for the lexicon win
+        // to apply to live traffic.
+        let compiled = if server_config.aot_corpus.is_empty() {
+            None
+        } else {
+            let corpus: Vec<&str> = server_config
+                .aot_corpus
+                .iter()
+                .map(String::as_str)
+                .collect();
+            Some(match &server_config.aot_cache_path {
+                Some(path) => {
+                    let (compiled, fallback) =
+                        CompiledDomain::load_or_compile(path, &domain, &corpus, &config);
+                    if let Some(err) = fallback {
+                        eprintln!(
+                            "nlquery-serve: AOT cache {} unusable ({err}); recompiled",
+                            path.display()
+                        );
+                    }
+                    compiled
+                }
+                None => CompiledDomain::compile(&domain, &corpus, &config),
+            })
+        };
+        let engine_domain = compiled
+            .as_ref()
+            .map(|c| c.domain().clone())
+            .unwrap_or(domain);
+
         let engine = ServiceEngine::with_options(
-            domain,
+            engine_domain,
             config.clone(),
             BatchOptions {
                 workers: server_config.workers,
@@ -178,7 +257,55 @@ impl Server {
             latency: LatencyHistogram::new(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
+            snapshot_restored_paths: AtomicU64::new(0),
+            snapshot_restored_merges: AtomicU64::new(0),
+            snapshot_rejected: AtomicU64::new(0),
+            snapshot_writes: AtomicU64::new(0),
+            snapshot_write_errors: AtomicU64::new(0),
+            snapshot_last_bytes: AtomicU64::new(0),
+            aot_seeded_paths: AtomicU64::new(0),
         });
+
+        // Warm the caches before any request thread exists: AOT seed
+        // first, snapshot on top (restored traffic state wins on key
+        // collisions — it is the fresher of the two).
+        if let Some(compiled) = &compiled {
+            let seeded = compiled.seed(shared.engine.cache());
+            shared
+                .aot_seeded_paths
+                .store(seeded as u64, Ordering::Relaxed);
+            println!(
+                "nlquery-serve: AOT-compiled domain ({} corpus queries, {} vocabulary words, \
+                 {} path entries seeded, grammar pruned {}→{} nodes{})",
+                compiled.corpus_queries(),
+                compiled.vocabulary_words(),
+                seeded,
+                compiled.pruned().graph().len() + compiled.pruned().dropped_nodes(),
+                compiled.pruned().graph().len(),
+                if compiled.from_cache() {
+                    ", from disk cache"
+                } else {
+                    ""
+                },
+            );
+        }
+        restore_boot_snapshot(&shared);
+
+        let snapshotter = match (
+            &shared.config.snapshot_path,
+            shared.config.snapshot_interval,
+        ) {
+            (Some(_), Some(interval)) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("nlquery-snapshot".to_string())
+                        .spawn(move || snapshotter_loop(&shared, interval))
+                        .expect("spawn snapshotter"),
+                )
+            }
+            _ => None,
+        };
         let batcher = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -197,6 +324,7 @@ impl Server {
             shared,
             accept: Some(accept),
             batcher: Some(batcher),
+            snapshotter,
         })
     }
 
@@ -220,7 +348,8 @@ impl Server {
     /// Blocks until the server has fully drained: the accept loop has
     /// exited (a `POST /shutdown` or [`Server::shutdown`] call triggers
     /// that), every admitted request has been answered, and the engine
-    /// is idle. Then stops the micro-batcher and returns.
+    /// is idle. Then stops the micro-batcher, writes a final warm-state
+    /// snapshot (when configured), and returns.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -237,6 +366,12 @@ impl Server {
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
         }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
+        }
+        // The drain-time snapshot: written after the engine went idle,
+        // so it captures the final warm state of this process.
+        write_snapshot(&self.shared);
     }
 }
 
@@ -252,6 +387,102 @@ impl Drop for Server {
         }
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
+        }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
+        }
+    }
+}
+
+/// Restores the boot snapshot into the engine's caches, when one is
+/// configured and present. Any rejection — stale header, corrupt file,
+/// mismatched domain or config — logs its reason and leaves the caches
+/// exactly as they were (the restore is all-or-nothing): a cold boot,
+/// never wrong answers. A missing file is a normal first boot, not a
+/// rejection.
+fn restore_boot_snapshot(shared: &ServerShared) {
+    let Some(path) = &shared.config.snapshot_path else {
+        return;
+    };
+    if !path.exists() {
+        return;
+    }
+    match snapshot::load(
+        path,
+        shared.engine.synthesizer().domain(),
+        &shared.base_config,
+        shared.engine.cache(),
+        shared.engine.merge_memo(),
+    ) {
+        Ok(summary) => {
+            shared
+                .snapshot_restored_paths
+                .store(summary.path_entries as u64, Ordering::Relaxed);
+            shared
+                .snapshot_restored_merges
+                .store(summary.merge_entries as u64, Ordering::Relaxed);
+            println!(
+                "nlquery-serve: restored warm state from {} ({} path entries, {} merge entries)",
+                path.display(),
+                summary.path_entries,
+                summary.merge_entries,
+            );
+        }
+        Err(err) => {
+            shared.snapshot_rejected.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "nlquery-serve: snapshot {} rejected ({err}); booting cold",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Writes the current warm state to the configured snapshot path
+/// (atomic temp-file + rename inside [`snapshot::save`]). No-op without
+/// a configured path; failures are counted and logged, never fatal.
+fn write_snapshot(shared: &ServerShared) {
+    let Some(path) = &shared.config.snapshot_path else {
+        return;
+    };
+    match snapshot::save(
+        path,
+        shared.engine.synthesizer().domain(),
+        &shared.base_config,
+        shared.engine.cache(),
+        shared.engine.merge_memo(),
+    ) {
+        Ok(summary) => {
+            shared.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+            shared
+                .snapshot_last_bytes
+                .store(summary.bytes, Ordering::Relaxed);
+        }
+        Err(err) => {
+            shared.snapshot_write_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "nlquery-serve: snapshot write to {} failed: {err}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The periodic snapshotter: rewrites the snapshot every `interval`
+/// until the server starts draining (the drain-time write in
+/// [`Server::join`] then captures the final state). Sleeps in short
+/// ticks so drain is never delayed by a long interval.
+fn snapshotter_loop(shared: &Arc<ServerShared>, interval: Duration) {
+    let tick = Duration::from_millis(50).min(interval);
+    let mut next = Instant::now() + interval;
+    while !shared.draining() {
+        thread::sleep(tick);
+        if shared.draining() {
+            return;
+        }
+        if Instant::now() >= next {
+            write_snapshot(shared);
+            next = Instant::now() + interval;
         }
     }
 }

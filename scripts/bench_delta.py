@@ -6,8 +6,12 @@ Usage: bench_delta.py BASELINE.json CURRENT.json
 Prints a GitHub-flavored markdown table (for $GITHUB_STEP_SUMMARY)
 comparing cold/warm queries-per-second and merge seconds row-by-row
 against the committed baseline, plus each warm row's merge share of wall
-time. Only the standard library is used; exits 0 even when the baseline
-is missing or malformed so the perf summary never fails the job.
+time. The two dumps need not have the same shape: rows or fields present
+in only one side are tolerated and called out explicitly — a row with no
+baseline counterpart is marked "new", rows that vanished are listed
+after the table, and added/removed field names are summarized up front.
+Only the standard library is used; exits 0 even when the baseline is
+missing or malformed so the perf summary never fails the job.
 """
 
 import json
@@ -30,13 +34,20 @@ def rows_by_key(doc):
     }
 
 
+def field_names(doc):
+    names = set()
+    for row in (doc or {}).get("rows") or []:
+        names.update(row.keys())
+    return names
+
+
 def merge_secs(row):
     return float((row.get("stage_secs") or {}).get("merge", 0.0))
 
 
 def fmt_delta(base, cur, unit="", invert=False):
     if base is None:
-        return "n/a"
+        return "new"
     delta = cur - base
     arrow = ""
     if abs(delta) > 1e-9:
@@ -63,9 +74,16 @@ def main():
                     f"current {current.get(key)}) — absolute numbers are not "
                     "directly comparable; the merge-share column is."
                 )
+        added = sorted(field_names(current) - field_names(baseline))
+        removed = sorted(field_names(baseline) - field_names(current))
+        if added:
+            print(f"> fields added since baseline: {', '.join(f'`{f}`' for f in added)}")
+        if removed:
+            print(f"> fields removed since baseline: {', '.join(f'`{f}`' for f in removed)}")
         print()
 
     base_rows = rows_by_key(baseline) if baseline is not None else {}
+    current_rows = rows_by_key(current)
     print(
         "> merge share = summed per-query merge CPU ÷ wall; it can exceed "
         "100% at >1 worker. The CI gate checks the 1-worker warm row.\n"
@@ -89,6 +107,10 @@ def main():
             f"{fmt_delta(base and merge_secs(base), merge, 's', invert=True)} | "
             f"{share} |"
         )
+    gone = sorted(k for k in base_rows if k not in current_rows)
+    if gone:
+        listed = ", ".join(f"{w} workers/{p}" for w, p in gone)
+        print(f"\n> rows in the baseline with no current counterpart: {listed}")
     return 0
 
 

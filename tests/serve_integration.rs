@@ -278,3 +278,139 @@ fn metrics_are_monotonic_and_errors_are_structured() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn warm_boot_restores_the_previous_process_state() {
+    let dir = std::env::temp_dir().join("nlquery-serve-warm-boot");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot = dir.join("state.json");
+    std::fs::remove_file(&snapshot).ok();
+    let queries = corpus(4);
+
+    // First process: cold boot (no snapshot exists yet), serve traffic,
+    // drain — join() writes the snapshot.
+    let first = start(ServerConfig {
+        workers: 1,
+        snapshot_path: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = first.local_addr();
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let expected: Vec<Option<String>> = queries
+        .iter()
+        .map(|q| {
+            let resp = client.synthesize(q, None).expect("request");
+            assert_eq!(resp.status, 200);
+            expression_of(&resp.json().expect("JSON body"))
+        })
+        .collect();
+    let body = client.get("/metrics").expect("metrics").body;
+    assert_eq!(
+        metric(&body, "nlquery_snapshot_restored_path_entries"),
+        Some(0.0),
+        "first boot is cold"
+    );
+    first.shutdown();
+    first.join();
+    assert!(snapshot.exists(), "drain must write the snapshot");
+
+    // Second process: restore the first one's warm state, answer the
+    // same queries identically without a single path-cache miss.
+    let second = start(ServerConfig {
+        workers: 1,
+        snapshot_path: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = second.local_addr();
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let got: Vec<Option<String>> = queries
+        .iter()
+        .map(|q| {
+            let resp = client.synthesize(q, None).expect("request");
+            assert_eq!(resp.status, 200);
+            expression_of(&resp.json().expect("JSON body"))
+        })
+        .collect();
+    assert_eq!(expected, got, "restored state must not change answers");
+    let body = client.get("/metrics").expect("metrics").body;
+    assert!(
+        metric(&body, "nlquery_snapshot_restored_path_entries").unwrap_or(0.0) > 0.0,
+        "second boot must restore path entries: {body}"
+    );
+    assert!(
+        metric(&body, "nlquery_snapshot_restored_merge_entries").unwrap_or(0.0) > 0.0,
+        "second boot must restore merge entries"
+    );
+    assert_eq!(
+        metric(&body, "nlquery_cache_misses_total"),
+        Some(0.0),
+        "restored cache must absorb every search of the replayed corpus"
+    );
+    drop(second);
+
+    // Third process: a damaged snapshot must reject, boot cold, and
+    // still answer correctly.
+    std::fs::write(&snapshot, "garbage {{{").expect("corrupt the file");
+    let third = start(ServerConfig {
+        workers: 1,
+        snapshot_path: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = HttpClient::connect(third.local_addr()).expect("connect");
+    let resp = client.synthesize(&queries[0], None).expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(expression_of(&resp.json().expect("JSON body")), expected[0]);
+    let body = client.get("/metrics").expect("metrics").body;
+    assert_eq!(
+        metric(&body, "nlquery_snapshot_rejected_total"),
+        Some(1.0),
+        "damaged snapshot must count as rejected: {body}"
+    );
+    assert_eq!(
+        metric(&body, "nlquery_snapshot_restored_path_entries"),
+        Some(0.0)
+    );
+    std::fs::remove_file(&snapshot).ok();
+}
+
+#[test]
+fn aot_boot_seeds_the_path_cache_before_the_first_request() {
+    let queries = corpus(4);
+    let server = {
+        let domain = astmatcher::domain().expect("embedded domain builds");
+        let aot_corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+        Server::start(
+            domain,
+            SynthesisConfig::default(),
+            ServerConfig {
+                workers: 1,
+                aot_corpus,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server boots")
+    };
+    let domain = astmatcher::domain().unwrap();
+    let sequential = Synthesizer::new(domain, SynthesisConfig::default());
+
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    for q in &queries {
+        let resp = client.synthesize(q, None).expect("request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            expression_of(&resp.json().expect("JSON body")),
+            sequential.synthesize(q).expression,
+            "AOT-seeded answers must match the plain path: {q}"
+        );
+    }
+    let body = client.get("/metrics").expect("metrics").body;
+    assert!(
+        metric(&body, "nlquery_aot_seeded_path_entries").unwrap_or(0.0) > 0.0,
+        "boot must seed the compiled path table: {body}"
+    );
+    assert_eq!(
+        metric(&body, "nlquery_cache_misses_total"),
+        Some(0.0),
+        "corpus requests must hit the seeded table: {body}"
+    );
+}

@@ -1,0 +1,284 @@
+//! Integrity suite for the persistent warm-state tier and AOT domain
+//! compilation: a snapshot restore (or an AOT seed) must be
+//! **observationally invisible** — bitwise-identical results to a
+//! never-restarted engine, across both evaluation domains and worker
+//! counts — and a stale or damaged snapshot must always fall back to a
+//! cold boot (empty caches, a rendered reason), never wrong answers.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{
+    BatchEngine, BatchOptions, CompiledDomain, Domain, MergeMemo, SharedPathCache, SnapshotError,
+    SynthesisConfig, Synthesizer,
+};
+use nlquery_core::snapshot;
+
+/// Worker counts the differential sweeps cover. 8 oversubscribes every
+/// CI box we use — deliberately, to shake out interleavings.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn corpus_slice(queries: Vec<nlquery::domains::QueryCase>, step: usize) -> Vec<String> {
+    queries.into_iter().step_by(step).map(|c| c.query).collect()
+}
+
+fn both_domains() -> Vec<(Domain, Vec<String>)> {
+    vec![
+        (
+            astmatcher::domain().expect("astmatcher builds"),
+            corpus_slice(astmatcher::queries(), 4),
+        ),
+        (
+            textedit::domain().expect("textedit builds"),
+            corpus_slice(textedit::queries(), 8),
+        ),
+    ]
+}
+
+fn engine(domain: &Domain, config: &SynthesisConfig, workers: usize) -> BatchEngine {
+    BatchEngine::with_options(
+        domain.clone(),
+        config.clone(),
+        BatchOptions {
+            workers,
+            cache_capacity: 4096,
+            ..BatchOptions::default()
+        },
+    )
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nlquery-snapshot-integrity");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Restore → synthesize must be bitwise-identical to a never-restarted
+/// engine: engine A runs the corpus, snapshots, runs it again (the
+/// reference warm pass); engine B restores A's snapshot from disk and
+/// runs the corpus once. B's pass must equal A's second pass result for
+/// result, and B must not recompute anything A already knew.
+#[test]
+fn restored_engine_is_bitwise_identical_to_a_resident_one() {
+    let config = SynthesisConfig::default();
+    for (domain, queries) in both_domains() {
+        for workers in [1usize, 4] {
+            let file = temp_file(&format!("roundtrip-{}-{workers}.json", domain.name()));
+
+            let resident = engine(&domain, &config, workers);
+            let _ = resident.synthesize_batch(&queries);
+            snapshot::save(
+                &file,
+                &domain,
+                &config,
+                resident.cache(),
+                resident.merge_memo(),
+            )
+            .expect("snapshot saves");
+            let reference = resident.synthesize_batch(&queries);
+
+            let restored = engine(&domain, &config, workers);
+            let summary = snapshot::load(
+                &file,
+                &domain,
+                &config,
+                restored.cache(),
+                restored.merge_memo(),
+            )
+            .expect("snapshot restores");
+            assert!(summary.path_entries > 0, "warm state must not be empty");
+            let got = restored.synthesize_batch(&queries);
+
+            assert_eq!(reference.results.len(), got.results.len());
+            for (a, b) in reference.results.iter().zip(&got.results) {
+                assert_eq!(a.outcome, b.outcome, "{} w={workers}", domain.name());
+                assert_eq!(a.expression, b.expression, "{} w={workers}", domain.name());
+                assert_eq!(a.cgt, b.cgt, "{} w={workers}", domain.name());
+            }
+            // The restored engine replays, never recomputes: every
+            // EdgeToPath search the resident warm pass hit must hit here.
+            assert_eq!(
+                got.stats.cache.misses,
+                0,
+                "{} w={workers}: restored cache must absorb all searches",
+                domain.name()
+            );
+            fs::remove_file(&file).ok();
+        }
+    }
+}
+
+/// Every damaged or stale snapshot shape must be rejected with a
+/// rendered reason and restore *nothing* — the caches stay cold rather
+/// than half-warm or wrong.
+#[test]
+fn damaged_or_stale_snapshots_fall_back_to_cold_boot() {
+    let config = SynthesisConfig::default();
+    let domain = astmatcher::domain().expect("astmatcher builds");
+    let queries = corpus_slice(astmatcher::queries(), 8);
+
+    let donor = engine(&domain, &config, 1);
+    let _ = donor.synthesize_batch(&queries);
+    let file = temp_file("integrity-donor.json");
+    snapshot::save(&file, &domain, &config, donor.cache(), donor.merge_memo())
+        .expect("snapshot saves");
+    let good = fs::read_to_string(&file).expect("snapshot readable");
+
+    let other_domain = textedit::domain().expect("textedit builds");
+    let stale_config = SynthesisConfig::default().max_candidates(2);
+    let cases: Vec<(&str, String, Option<&Domain>, Option<&SynthesisConfig>)> = vec![
+        ("truncated", good[..good.len() / 2].to_string(), None, None),
+        ("garbage", "not json at all {{{".to_string(), None, None),
+        (
+            "version-mismatch",
+            good.replace("\"version\":1", "\"version\":999"),
+            None,
+            None,
+        ),
+        ("wrong-domain", good.clone(), Some(&other_domain), None),
+        ("config-drift", good.clone(), None, Some(&stale_config)),
+    ];
+    for (name, text, load_domain, load_config) in cases {
+        let case_file = temp_file(&format!("integrity-{name}.json"));
+        fs::write(&case_file, text).expect("write case");
+        let cache = SharedPathCache::new(1024);
+        let memo = MergeMemo::new(2048);
+        let err = snapshot::load(
+            &case_file,
+            load_domain.unwrap_or(&domain),
+            load_config.unwrap_or(&config),
+            &cache,
+            &memo,
+        )
+        .expect_err(name);
+        assert!(!err.to_string().is_empty(), "{name}: reason must render");
+        assert_eq!(
+            cache.stats().entries,
+            0,
+            "{name}: path cache must stay cold"
+        );
+        assert_eq!(memo.stats().entries, 0, "{name}: merge memo must stay cold");
+        fs::remove_file(&case_file).ok();
+    }
+
+    // A missing file is an Io rejection, not a panic or a half-restore.
+    let missing = temp_file("integrity-does-not-exist.json");
+    let cache = SharedPathCache::new(1024);
+    let memo = MergeMemo::new(2048);
+    let err = snapshot::load(&missing, &domain, &config, &cache, &memo)
+        .expect_err("missing file rejects");
+    assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    assert_eq!(cache.stats().entries, 0);
+
+    fs::remove_file(&file).ok();
+}
+
+/// The AOT path — compiled (pruned, pre-resolved, pre-seeded) domain —
+/// must be bitwise-identical to the unpruned, snapshot-free path on
+/// both domains at 1/2/4/8 workers.
+#[test]
+fn aot_compiled_engines_match_plain_engines_at_every_worker_count() {
+    let config = SynthesisConfig::default();
+    for (domain, queries) in both_domains() {
+        let corpus_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let compiled = CompiledDomain::compile(&domain, &corpus_refs, &config);
+        assert!(compiled.path_entries() > 0);
+
+        // Sequential reference on the plain, uncompiled domain.
+        let sequential = Synthesizer::new(domain.clone(), config.clone());
+        let expected: Vec<_> = queries.iter().map(|q| sequential.synthesize(q)).collect();
+
+        for workers in WORKER_COUNTS {
+            let aot = engine(compiled.domain(), &config, workers);
+            let seeded = compiled.seed(aot.cache());
+            assert_eq!(seeded, compiled.path_entries());
+            let got = aot.synthesize_batch(&queries);
+            assert_eq!(expected.len(), got.results.len());
+            for (q, (a, b)) in queries.iter().zip(expected.iter().zip(&got.results)) {
+                assert_eq!(a.outcome, b.outcome, "{} w={workers}: {q}", domain.name());
+                assert_eq!(
+                    a.expression,
+                    b.expression,
+                    "{} w={workers}: {q}",
+                    domain.name()
+                );
+                assert_eq!(a.cgt, b.cgt, "{} w={workers}: {q}", domain.name());
+            }
+            assert_eq!(
+                got.stats.cache.misses,
+                0,
+                "{} w={workers}: the compiled path table must absorb every corpus search",
+                domain.name()
+            );
+        }
+    }
+}
+
+/// Seeding and restoring compose: an AOT-seeded engine restored from a
+/// snapshot of real traffic still answers identically.
+#[test]
+fn aot_seed_plus_snapshot_restore_compose() {
+    let config = SynthesisConfig::default();
+    let domain = astmatcher::domain().expect("astmatcher builds");
+    let queries = corpus_slice(astmatcher::queries(), 8);
+    let corpus_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let compiled = CompiledDomain::compile(&domain, &corpus_refs, &config);
+
+    let donor = engine(compiled.domain(), &config, 2);
+    let _ = donor.synthesize_batch(&queries);
+    let file = temp_file("compose.json");
+    snapshot::save(
+        &file,
+        compiled.domain(),
+        &config,
+        donor.cache(),
+        donor.merge_memo(),
+    )
+    .expect("snapshot saves");
+    let reference = donor.synthesize_batch(&queries);
+
+    let warm = engine(compiled.domain(), &config, 2);
+    let seeded = compiled.seed(warm.cache());
+    assert!(seeded > 0);
+    snapshot::load(
+        &file,
+        compiled.domain(),
+        &config,
+        warm.cache(),
+        warm.merge_memo(),
+    )
+    .expect("snapshot restores over the AOT seed");
+    let got = warm.synthesize_batch(&queries);
+    for (a, b) in reference.results.iter().zip(&got.results) {
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.expression, b.expression);
+        assert_eq!(a.cgt, b.cgt);
+    }
+    fs::remove_file(&file).ok();
+}
+
+/// The sequential shared-cache path agrees too (ties the suite back to
+/// `Synthesizer::synthesize_shared`, which serving and compilation use).
+#[test]
+fn seeded_shared_cache_synthesis_matches_plain_synthesis() {
+    let config = SynthesisConfig::default();
+    let domain = textedit::domain().expect("textedit builds");
+    let queries = corpus_slice(textedit::queries(), 10);
+    let corpus_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let compiled = CompiledDomain::compile(&domain, &corpus_refs, &config);
+
+    let plain = Synthesizer::new(domain.clone(), config.clone());
+    let warm = Synthesizer::new(compiled.domain().clone(), config.clone());
+    let cache = Arc::new(SharedPathCache::new(4096));
+    compiled.seed(&cache);
+    for q in &queries {
+        let a = plain.synthesize(q);
+        let b = warm.synthesize_shared(q, &cache);
+        assert_eq!(a.outcome, b.outcome, "{q}");
+        assert_eq!(a.expression, b.expression, "{q}");
+        assert_eq!(a.cgt, b.cgt, "{q}");
+    }
+    assert_eq!(cache.stats().misses, 0);
+}
