@@ -10,9 +10,9 @@ ifdef NLQUERY_TEST_THREADS
 export RUST_TEST_THREADS := $(NLQUERY_TEST_THREADS)
 endif
 
-.PHONY: ci build test test-faults test-serve test-merge-memo test-snapshot fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop serve-warm snapshot load-gen load-gen-smoke
+.PHONY: cache-sweep ci build test test-faults test-serve test-merge-memo test-snapshot test-synthetic fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop serve-warm snapshot load-gen load-gen-smoke
 
-ci: build test test-faults test-merge-memo test-snapshot test-serve fmt clippy
+ci: build test test-faults test-merge-memo test-snapshot test-synthetic test-serve fmt clippy
 
 build:
 	cargo build --release
@@ -42,6 +42,22 @@ test-merge-memo:
 # back to a cold boot with a rendered reason.
 test-snapshot:
 	timeout --signal=KILL 900 cargo test -q --test snapshot_integrity
+
+# The synthetic differential suite: 10k grammar-walking generated
+# queries per domain (nlquery_domains::gen), each with a ground-truth
+# expression proven at construction — byte-identical corpora per seed,
+# 100% pipeline agreement with the memo on and off, and bitwise
+# identity across 1/2/4/8 workers — plus the zipfian long-tail cache
+# stress suite (exactly-once under eviction, counter partition).
+# Release mode: the 10k corpus is ~60x the debug-default size.
+test-synthetic:
+	NLQUERY_SYNTH_COUNT=10000 timeout --signal=KILL 1200 cargo test -q --release --test synthetic_differential
+	timeout --signal=KILL 600 cargo test -q --release --test synthetic_cache_stress
+
+# Cache-sizing sweep: capacity x shards over the synthetic zipf corpus;
+# conclusions recorded in EXPERIMENTS.md (defaults cite it).
+cache-sweep:
+	./scripts/cache_sweep.sh
 
 # The serving-layer end-to-end suite: ephemeral-port boot, concurrent
 # clients, 429 shedding, structured deadline errors, graceful drain. A

@@ -50,11 +50,18 @@
 //! [`COLD_BOOT_FACTOR`]× the plain cold qps (override with
 //! `NLQUERY_BENCH_COLD_BOOT_FACTOR`) and `cold_aot` qps ≥
 //! [`AOT_FACTOR`]× the plain cold qps (`NLQUERY_BENCH_AOT_FACTOR`).
+//!
+//! Two more 1-worker rows, `synthetic_cold` / `synthetic_warm`, replay a
+//! grammar-walking generated corpus (`nlquery_domains::gen`,
+//! `NLQUERY_BENCH_SYNTH` queries, zipf-skewed templates) through the same
+//! engine — cache behaviour under a long tail of distinct query shapes
+//! rather than exact corpus repeats.
 
 use std::path::Path;
 use std::time::Instant;
 
 use nlquery::domains::astmatcher;
+use nlquery::domains::gen::{self, GenSpec};
 use nlquery::{BatchEngine, BatchOptions, BatchReport, CompiledDomain, SynthesisConfig};
 use nlquery_bench::{fmt_time, timeout};
 use nlquery_core::json::{batch_stats_json, JsonValue};
@@ -100,6 +107,20 @@ fn tiles() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&t| t > 0)
         .unwrap_or(DEFAULT_TILES)
+}
+
+/// Synthetic-corpus size for the `synthetic_cold`/`synthetic_warm` rows
+/// (override with `NLQUERY_BENCH_SYNTH`). Unlike the hand-written corpus,
+/// the generated one stresses the caches with a long zipf tail of distinct
+/// query shapes rather than `tiles()` exact repeats.
+const DEFAULT_SYNTH: usize = 400;
+
+fn synth_count() -> usize {
+    std::env::var("NLQUERY_BENCH_SYNTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(DEFAULT_SYNTH)
 }
 
 fn report_line(label: &str, report: &BatchReport, baseline_qps: Option<f64>) {
@@ -428,6 +449,44 @@ fn main() {
         workers: 1,
         pass: "warm_boot",
         report: warm_boot,
+    });
+
+    // ---- Synthetic tier (1 worker): the grammar-walking generated
+    // corpus (`nlquery_domains::gen`) through the unchanged string
+    // pipeline. The zipf-skewed template mix repeats popular shapes and
+    // trails off into rare ones, so unlike the tiled hand corpus the warm
+    // pass here measures cache behaviour under a realistic long tail. ----
+    let synth = gen::generate(
+        &domain,
+        &config,
+        &GenSpec {
+            seed: 0x5EED_CAFE,
+            count: synth_count(),
+            ..GenSpec::default()
+        },
+    );
+    let synth_queries: Vec<String> = synth.queries.iter().map(|q| q.surface.clone()).collect();
+    let synth_engine = BatchEngine::with_options(domain.clone(), config.clone(), boot_options);
+    synth_engine.cache().reset();
+    synth_engine.merge_memo().reset();
+    let synthetic_cold = synth_engine.synthesize_batch(&synth_queries);
+    let synthetic_warm = synth_engine.synthesize_batch(&synth_queries);
+    report_line("1 worker synth cold", &synthetic_cold, cold_baseline);
+    report_line("1 worker synth warm", &synthetic_warm, None);
+    println!(
+        "                   synthetic: {} generated queries over {} zipf-ranked templates (seed 0x5EED_CAFE)\n",
+        synth.queries.len(),
+        synth.template_count,
+    );
+    rows.push(JsonRow {
+        workers: 1,
+        pass: "synthetic_cold",
+        report: synthetic_cold,
+    });
+    rows.push(JsonRow {
+        workers: 1,
+        pass: "synthetic_warm",
+        report: synthetic_warm,
     });
 
     let json_path =

@@ -1,0 +1,135 @@
+//! Empirical sizing sweep for the shared EdgeToPath cache and the merge
+//! memo: capacity × shard grid over the grammar-walking synthetic corpus
+//! (`nlquery_domains::gen`), whose zipf-skewed template mix exercises the
+//! LRU the way real traffic would — a popular head that must stay
+//! resident and a long tail that churns the eviction clock.
+//!
+//! For each grid point the corpus runs twice on a fresh `BatchEngine`
+//! (the service construction path, which sizes the merge memo from the
+//! same capacity knob): a cold pass to fill, a warm pass to measure. The
+//! warm row is the decision signal — hit rate, evictions and q/s as a
+//! function of (capacity, shards). Results go to
+//! `BENCH_cache_sweep.json` (`NLQUERY_BENCH_JSON` overrides) and the
+//! conclusions are recorded in EXPERIMENTS.md, which is where the
+//! defaults in `BatchOptions::default()` and `DEFAULT_MERGE_CAPACITY`
+//! come from.
+//!
+//! Environment knobs:
+//!
+//! - `NLQUERY_SWEEP_COUNT`: generated queries per domain (default 600).
+//! - `NLQUERY_SWEEP_WORKERS`: worker threads (default 4).
+//! - `NLQUERY_BENCH_JSON`: output path.
+
+use nlquery::domains::gen::{self, GenSpec};
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{BatchEngine, BatchOptions, SynthesisConfig};
+use nlquery_bench::timeout;
+use nlquery_core::json::JsonValue;
+
+/// Capacity grid (entries). Spans starvation (128) to effectively
+/// unbounded for the sweep corpus (16384).
+const CAPACITIES: [usize; 6] = [128, 512, 1024, 2048, 4096, 16384];
+
+/// Shard grid. 1 = one global lock; 64 ≫ any worker count we run.
+const SHARDS: [usize; 4] = [1, 4, 16, 64];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("cache_sweep: {name} must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let count = env_usize("NLQUERY_SWEEP_COUNT", 600);
+    let workers = env_usize("NLQUERY_SWEEP_WORKERS", 4);
+    let config = SynthesisConfig::default().timeout(timeout());
+
+    let domains = [
+        textedit::domain().expect("embedded domain builds"),
+        astmatcher::domain().expect("embedded domain builds"),
+    ];
+
+    let mut json_rows: Vec<JsonValue> = Vec::new();
+    for domain in &domains {
+        let corpus = gen::generate(
+            domain,
+            &config,
+            &GenSpec {
+                seed: 0x5EED_CAFE,
+                count,
+                ..GenSpec::default()
+            },
+        );
+        let queries: Vec<String> = corpus.queries.iter().map(|q| q.surface.clone()).collect();
+        println!(
+            "\n{}: {} generated queries over {} zipf-ranked templates, {workers} workers",
+            domain.name(),
+            queries.len(),
+            corpus.template_count,
+        );
+        println!(
+            "{:>9} {:>7} | {:>9} {:>9} | {:>7} {:>9} {:>10}",
+            "capacity", "shards", "cold q/s", "warm q/s", "hit %", "evictions", "memo hit %"
+        );
+
+        for &capacity in &CAPACITIES {
+            for &shards in &SHARDS {
+                let engine = BatchEngine::with_options(
+                    domain.clone(),
+                    config.clone(),
+                    BatchOptions {
+                        workers,
+                        cache_capacity: capacity,
+                        cache_shards: shards,
+                        ..BatchOptions::default()
+                    },
+                );
+                engine.cache().reset();
+                engine.merge_memo().reset();
+                let cold = engine.synthesize_batch(&queries);
+                let warm = engine.synthesize_batch(&queries);
+                let w = &warm.stats;
+                println!(
+                    "{capacity:>9} {shards:>7} | {:>9.1} {:>9.1} | {:>6.1}% {:>9} {:>9.1}%",
+                    cold.stats.queries_per_sec(),
+                    w.queries_per_sec(),
+                    w.cache.hit_rate() * 100.0,
+                    w.cache.evictions,
+                    w.merge.hit_rate() * 100.0,
+                );
+                json_rows.push(JsonValue::obj([
+                    ("domain", JsonValue::from(domain.name())),
+                    ("capacity", JsonValue::from(capacity)),
+                    ("shards", JsonValue::from(shards)),
+                    ("cold_qps", JsonValue::from(cold.stats.queries_per_sec())),
+                    ("warm_qps", JsonValue::from(w.queries_per_sec())),
+                    ("warm_hit_rate", JsonValue::from(w.cache.hit_rate())),
+                    ("warm_evictions", JsonValue::from(w.cache.evictions)),
+                    ("warm_memo_hit_rate", JsonValue::from(w.merge.hit_rate())),
+                    ("cache_bytes", JsonValue::from(engine.cache().stats().bytes)),
+                ]));
+            }
+        }
+    }
+
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::from("cache_sweep")),
+        ("corpus", JsonValue::from("synthetic")),
+        ("queries_per_domain", JsonValue::from(count)),
+        ("workers", JsonValue::from(workers)),
+        ("rows", JsonValue::Array(json_rows)),
+    ]);
+    let path =
+        std::env::var("NLQUERY_BENCH_JSON").unwrap_or_else(|_| "BENCH_cache_sweep.json".into());
+    match std::fs::write(&path, doc.render_pretty()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -6,13 +6,21 @@
 //! rate — so CI can archive the serving-layer perf trajectory alongside
 //! the batch numbers.
 //!
-//! Environment knobs:
+//! Environment knobs (malformed values are rejected with an error — a
+//! typo must not silently fall back to defaults and publish numbers for
+//! a configuration nobody asked for):
 //!
 //! - `NLQUERY_LOAD_CONNS`: concurrent connections (default 4).
 //! - `NLQUERY_LOAD_REQUESTS`: requests per connection (default 50).
 //! - `NLQUERY_LOAD_QUEUE_DEPTH`: admission bound (default 64; set it
 //!   low to exercise shedding).
 //! - `NLQUERY_LOAD_WINDOW_US`: micro-batch window in µs (default 2000).
+//! - `NLQUERY_LOAD_CORPUS`: `corpus` (default) replays the hand-written
+//!   astmatcher corpus; `synthetic` replays a grammar-walking generated
+//!   corpus (`nlquery_domains::gen`) whose zipf-skewed template mix
+//!   models real traffic's popular-head/long-tail shape.
+//! - `NLQUERY_LOAD_SYNTH_COUNT`: generated-corpus size (default 256;
+//!   only meaningful with `NLQUERY_LOAD_CORPUS=synthetic`).
 //! - `NLQUERY_BENCH_JSON`: output path (default `BENCH_serve.json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,14 +29,58 @@ use std::time::{Duration, Instant};
 
 use nlquery_core::{JsonValue, LatencyHistogram, SynthesisConfig};
 use nlquery_domains::astmatcher;
+use nlquery_domains::gen::{self, GenSpec};
 use nlquery_serve::{HttpClient, Server, ServerConfig};
 
+/// Reads a positive-integer knob. A set-but-malformed value is a hard
+/// error: silently falling back to the default would let a typo (say
+/// `NLQUERY_LOAD_CONNS=4O`) publish bench numbers for a configuration
+/// nobody asked for.
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("load_gen: {name} must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// The replay corpus: the hand-written astmatcher corpus, or the
+/// grammar-walking generated one (`NLQUERY_LOAD_CORPUS=synthetic`).
+/// Returns the corpus label for the JSON summary alongside the queries.
+fn load_corpus(domain: &nlquery_core::Domain) -> (&'static str, Vec<String>) {
+    match std::env::var("NLQUERY_LOAD_CORPUS").as_deref() {
+        Err(_) | Ok("corpus") => (
+            "astmatcher",
+            astmatcher::queries().into_iter().map(|c| c.query).collect(),
+        ),
+        Ok("synthetic") => {
+            let count = env_usize("NLQUERY_LOAD_SYNTH_COUNT", 256);
+            let generated = gen::generate(
+                domain,
+                &SynthesisConfig::default(),
+                &GenSpec {
+                    seed: 0x5EED_CAFE,
+                    count,
+                    ..GenSpec::default()
+                },
+            );
+            (
+                "synthetic",
+                generated.queries.into_iter().map(|q| q.surface).collect(),
+            )
+        }
+        Ok(other) => {
+            eprintln!(
+                "load_gen: NLQUERY_LOAD_CORPUS must be `corpus` or `synthetic`, got {other:?}"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 #[derive(Default)]
@@ -52,7 +104,7 @@ fn main() {
     let window_us = env_usize("NLQUERY_LOAD_WINDOW_US", 2000);
 
     let domain = astmatcher::domain().expect("embedded domain builds");
-    let corpus: Vec<String> = astmatcher::queries().into_iter().map(|c| c.query).collect();
+    let (corpus_label, corpus) = load_corpus(&domain);
     let server = Server::start(
         domain,
         SynthesisConfig::default(),
@@ -66,7 +118,7 @@ fn main() {
     let addr = server.local_addr();
     println!(
         "load_gen: {conns} connections x {requests} requests against http://{addr} \
-         ({} corpus queries, queue depth {queue_depth}, window {window_us}us)",
+         ({} {corpus_label} queries, queue depth {queue_depth}, window {window_us}us)",
         corpus.len(),
     );
 
@@ -160,7 +212,7 @@ fn main() {
 
     let doc = JsonValue::obj([
         ("bench", JsonValue::from("serve_load")),
-        ("corpus", JsonValue::from("astmatcher")),
+        ("corpus", JsonValue::from(corpus_label)),
         ("connections", JsonValue::from(conns)),
         ("requests_per_connection", JsonValue::from(requests)),
         ("queue_depth", JsonValue::from(queue_depth)),

@@ -105,6 +105,18 @@ impl Cgt {
                 .count()
     }
 
+    /// The "or" choices this tree makes: every non-terminal → derivation
+    /// edge, in sorted order (the edge set is a `BTreeSet`). Two trees
+    /// with equal signatures are interchangeable merge contexts; trees
+    /// with different signatures conflict on at least one alternation.
+    pub fn or_edges(&self, graph: &GrammarGraph) -> Vec<(NodeId, NodeId)> {
+        self.edges
+            .iter()
+            .filter(|&&(from, to)| graph.is_nonterminal(from) && graph.is_derivation(to))
+            .copied()
+            .collect()
+    }
+
     /// Whether every non-terminal selects at most one "or" alternative.
     pub fn is_or_consistent(&self, graph: &GrammarGraph) -> bool {
         let mut chosen: BTreeMap<NodeId, NodeId> = BTreeMap::new();

@@ -29,7 +29,6 @@ use crate::merge_memo::{
     MergeKind, MergeMemo, MergeValue, MergeWork,
 };
 use crate::opt::grammar_prune::{combination_conflicts, or_signature};
-use crate::opt::size_prune::seed_min_upper;
 use crate::{Cgt, Domain, EdgeToPath, QueryGraph, SynthesisConfig, SynthesisStats, WordToApi};
 
 /// How often inner loops poll the deadline.
@@ -60,8 +59,14 @@ pub struct PartialCgt {
     pub score_milli: u64,
     /// The partial tree's top grammar node — the occurrence context a
     /// parent path must share to merge connectedly. The beam keeps
-    /// alternatives per distinct top.
+    /// alternatives per distinct (top, or-signature) context.
     pub top: Option<NodeId>,
+    /// The "or" choices made inside this partial (sorted non-terminal →
+    /// derivation edges). Two same-top partials with different signatures
+    /// are *not* interchangeable: a sibling's path through the same
+    /// grammar region merges with one and conflicts with the other, so
+    /// the beam must keep both to stay lossless.
+    pub or_sig: Vec<(NodeId, NodeId)>,
     /// Grammar occurrences (derivation → API edges) *claimed* by query
     /// nodes in this partial, sorted. Two query words must not be
     /// explained by one occurrence — ':' and '-' cannot both be the same
@@ -148,27 +153,29 @@ impl DynamicGrammarGraph {
         self.entries.is_empty()
     }
 
-    /// How many partials the beam keeps per distinct top node. Different
-    /// tops are different grammar occurrence contexts; a parent path can
-    /// only merge with a matching context, so diversity across tops matters
-    /// more than depth within one.
-    const PER_TOP: usize = 2;
+    /// How many partials the beam keeps per distinct merge context — a
+    /// (top node, or-signature) pair. Different tops are different grammar
+    /// occurrence contexts, and same-top partials with different "or"
+    /// choices conflict with different sibling paths; a parent can only
+    /// merge with a compatible context, so diversity across contexts
+    /// matters more than depth within one.
+    const PER_CONTEXT: usize = 2;
 
     fn insert(&mut self, key: (usize, NodeId), partial: PartialCgt, beam: usize) {
         let slot = self.entries.entry(key).or_default();
         if slot.iter().any(|p| p.cgt == partial.cgt) {
             return;
         }
-        let same_top = slot.iter().filter(|p| p.top == partial.top).count();
-        if same_top >= Self::PER_TOP {
-            // Replace the worst same-top entry if the new one is better.
+        let same_context = |p: &PartialCgt| p.top == partial.top && p.or_sig == partial.or_sig;
+        if slot.iter().filter(|p| same_context(p)).count() >= Self::PER_CONTEXT {
+            // Replace the worst same-context entry if the new one is better.
             let worst = slot
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.top == partial.top)
+                .filter(|(_, p)| same_context(p))
                 .max_by_key(|(_, p)| p.key())
                 .map(|(i, _)| i)
-                .expect("same_top > 0");
+                .expect("same_context > 0");
             if partial.key() < slot[worst].key() {
                 slot.remove(worst);
             } else {
@@ -179,12 +186,19 @@ impl DynamicGrammarGraph {
             .binary_search_by(|p| p.key().cmp(&partial.key()))
             .unwrap_or_else(|e| e);
         slot.insert(pos, partial);
-        // Evict overall-worst entries, but never below one entry per top.
+        // Evict overall-worst entries, but never below one entry per
+        // context — losing a context's only representative can lose the
+        // only globally consistent tree.
         while slot.len() > beam {
             let mut removed = false;
             for i in (0..slot.len()).rev() {
-                let top = slot[i].top;
-                if slot.iter().filter(|p| p.top == top).count() > 1 {
+                let (top, sig) = (slot[i].top, slot[i].or_sig.clone());
+                if slot
+                    .iter()
+                    .filter(|p| p.top == top && p.or_sig == sig)
+                    .count()
+                    > 1
+                {
                     slot.remove(i);
                     removed = true;
                     break;
@@ -515,6 +529,7 @@ fn compute_node(
                     path_len: 0,
                     score_milli: score,
                     top: Some(api),
+                    or_sig: Vec::new(),
                     claimed: Vec::new(),
                     node_claims: Vec::new(),
                     assignment: vec![(node, api)],
@@ -577,23 +592,14 @@ fn compute_node(
         }
 
         // Streaming enumeration with grammar- and size-based pruning. The
-        // running upper bound is seeded from the per-child cheapest options
-        // (see `seed_min_upper`) so dominated combinations die on their
-        // lower bound before any chain comparison, conflict scan, or merge.
-        let mut running_min_upper = if config.size_pruning {
-            let min_costs: Vec<usize> = options
-                .iter()
-                .map(|opts| {
-                    opts.iter()
-                        .map(|o| o.size_excl_sink + o.child_best_size)
-                        .min()
-                        .expect("options lists are non-empty")
-                })
-                .collect();
-            seed_min_upper(&min_costs)
-        } else {
-            usize::MAX
-        };
+        // running upper bound may only be tightened by combinations that
+        // actually produced a joined partial: a combination that is cheap on
+        // paper can still be or-inconsistent (or fail the child join), in
+        // which case its upper bound is unachievable and pruning against it
+        // would drop the only valid — larger — combination. Seeding from the
+        // per-child independent minima has the same flaw (the argmin options
+        // need not form a consistent combination), so the bound starts open.
+        let mut running_min_upper = usize::MAX;
         let mut indices = vec![0usize; options.len()];
         // One reusable scratch list per sibling group instead of one Vec
         // allocation per combination.
@@ -609,9 +615,7 @@ fn compute_node(
             let mut skip = false;
             // Dominated-combination check first: it is the cheapest test,
             // and putting it before the chain/conflict scans means a pruned
-            // combination costs a few adds. The visited-combination outcome
-            // is unchanged — the bound is only tightened by combinations
-            // that survive *all* checks, exactly as before.
+            // combination costs a few adds.
             if config.size_pruning {
                 let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
                 let lower = chosen.iter().map(|o| o.size_excl_sink).max().unwrap_or(0) + child_sum;
@@ -643,13 +647,8 @@ fn compute_node(
                 }
             }
             if !skip {
-                if config.size_pruning {
-                    let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
-                    let sum: usize = chosen.iter().map(|o| o.size_excl_sink).sum();
-                    let upper = sum - (chosen.len() - 1).min(sum) + child_sum;
-                    running_min_upper = running_min_upper.min(upper);
-                }
                 stats.merged_combinations += 1;
+                let mut produced = false;
                 if let Some(layout) = kernel {
                     // Merge the prefix tree of the chosen paths; each
                     // path is individually or-consistent, so sequential
@@ -663,17 +662,10 @@ fn compute_node(
                     if consistent {
                         // Join with each child's best consistent partial.
                         if let Some(partial) = join_children_kernel(
-                            layout,
-                            arena,
-                            node,
-                            api,
-                            api_score,
-                            &prefix,
-                            &chosen,
-                            dyng,
-                            config.dggt_beam,
+                            graph, layout, arena, node, api, api_score, &prefix, &chosen, dyng,
                         ) {
                             dyng.insert((node, api), partial, config.dggt_beam);
+                            produced = true;
                         }
                     }
                     arena.release(prefix);
@@ -685,19 +677,22 @@ fn compute_node(
                     }
                     if prefix.is_or_consistent(graph) {
                         // Join with each child's best consistent partial.
-                        if let Some(partial) = join_children(
-                            graph,
-                            node,
-                            api,
-                            api_score,
-                            &prefix,
-                            &chosen,
-                            dyng,
-                            config.dggt_beam,
-                        ) {
+                        if let Some(partial) =
+                            join_children(graph, node, api, api_score, &prefix, &chosen, dyng)
+                        {
                             dyng.insert((node, api), partial, config.dggt_beam);
+                            produced = true;
                         }
                     }
+                }
+                // Tighten only on combinations that yielded a partial — their
+                // upper bound is witnessed by an actual entry in the dynamic
+                // grammar graph, so pruning against it is lossless.
+                if produced && config.size_pruning {
+                    let child_sum: usize = chosen.iter().map(|o| o.child_best_size).sum();
+                    let sum: usize = chosen.iter().map(|o| o.size_excl_sink).sum();
+                    let upper = sum - (chosen.len() - 1).min(sum) + child_sum;
+                    running_min_upper = running_min_upper.min(upper);
                 }
             }
 
@@ -776,6 +771,63 @@ fn bottom_up_order(n: usize, children: &[Vec<usize>]) -> Vec<usize> {
     order
 }
 
+/// Trial-merge budget for one sibling combination's joint beam search.
+///
+/// Picking each child's partial independently (first-fit in beam order)
+/// is incomplete: one child's or-choice can foreclose a later sibling's
+/// only consistent option, so the per-child choice must backtrack. The
+/// search visits candidates in beam (key) order and returns the first
+/// fully consistent assignment — identical to the old greedy walk
+/// whenever greedy succeeds — and this cap bounds the worst case so an
+/// adversarial grammar cannot make one combination exponential. The
+/// default beams (12 entries, small fanout) stay far under it.
+const JOIN_BACKTRACK_CAP: usize = 65_536;
+
+/// A successful joint choice: the merged tree, the accumulated claims,
+/// and the chosen partials in **reverse** child order (unwound from the
+/// recursion).
+type Joined<'a, T> = (T, Vec<(NodeId, NodeId)>, Vec<&'a PartialCgt>);
+
+/// Depth-first joint choice of one beam partial per child: merges
+/// candidates in beam order, backtracking when a later sibling has no
+/// claim-disjoint or-consistent option.
+fn join_search<'a>(
+    graph: &nlquery_grammar::GrammarGraph,
+    dyng: &'a DynamicGrammarGraph,
+    chosen: &[&Option_],
+    depth: usize,
+    cgt: &Cgt,
+    claimed: &[(NodeId, NodeId)],
+    budget: &mut usize,
+) -> Option<Joined<'a, Cgt>> {
+    let Some(o) = chosen.get(depth) else {
+        return Some((cgt.clone(), claimed.to_vec(), Vec::new()));
+    };
+    for partial in dyng.beam(o.child, o.dep_api).iter() {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let Some(new_claims) = merge_claims(claimed, &partial.claimed) else {
+            continue;
+        };
+        let mut trial = cgt.clone();
+        trial.merge(&partial.cgt);
+        // The child's partial must land in the same grammar occurrence
+        // the prefix path chose; or-consistency alone cannot see a
+        // dangling duplicate context (API nodes are shared).
+        if trial.is_or_consistent(graph) && trial.is_connected(graph) {
+            if let Some((out, out_claims, mut picks)) =
+                join_search(graph, dyng, chosen, depth + 1, &trial, &new_claims, budget)
+            {
+                picks.push(partial);
+                return Some((out, out_claims, picks));
+            }
+        }
+    }
+    None
+}
+
 #[allow(clippy::too_many_arguments)]
 fn join_children(
     graph: &nlquery_grammar::GrammarGraph,
@@ -785,88 +837,7 @@ fn join_children(
     prefix: &Cgt,
     chosen: &[&Option_],
     dyng: &DynamicGrammarGraph,
-    beam: usize,
 ) -> Option<PartialCgt> {
-    let mut cgt = prefix.clone();
-    let mut assignment = vec![(node, api)];
-    let mut node_claims: Vec<(usize, (NodeId, NodeId))> = Vec::new();
-    let mut path_len = 0usize;
-    let mut score_milli = api_score;
-    // Claims of the chosen paths themselves: each child's sink occupies
-    // one grammar occurrence.
-    let mut claimed: Vec<(NodeId, NodeId)> = Vec::new();
-    for o in chosen {
-        let mut with_claim = claimed.clone();
-        match merge_claims(&with_claim, &[o.claim]) {
-            Some(c) => with_claim = c,
-            None => return None,
-        }
-        claimed = with_claim;
-    }
-    for o in chosen {
-        path_len += o.path_size;
-        score_milli += o.bonus_milli;
-        // Try the child's beam until one merges or-consistently with
-        // disjoint occurrence claims.
-        let mut merged = false;
-        for partial in dyng.beam(o.child, o.dep_api).iter().take(beam) {
-            let Some(new_claims) = merge_claims(&claimed, &partial.claimed) else {
-                continue;
-            };
-            let mut trial = cgt.clone();
-            trial.merge(&partial.cgt);
-            // The child's partial must land in the same grammar occurrence
-            // the prefix path chose; or-consistency alone cannot see a
-            // dangling duplicate context (API nodes are shared).
-            if trial.is_or_consistent(graph) && trial.is_connected(graph) {
-                cgt = trial;
-                claimed = new_claims;
-                assignment.extend(partial.assignment.iter().copied());
-                node_claims.push((o.child, o.claim));
-                node_claims.extend(partial.node_claims.iter().copied());
-                path_len += partial.path_len;
-                score_milli += partial.score_milli;
-                merged = true;
-                break;
-            }
-        }
-        if !merged {
-            return None;
-        }
-    }
-    let size = cgt.api_count(graph);
-    let top = cgt.top(graph);
-    Some(PartialCgt {
-        cgt,
-        bits: None,
-        size,
-        path_len,
-        score_milli,
-        top,
-        claimed,
-        node_claims,
-        assignment,
-    })
-}
-
-/// Kernel counterpart of [`join_children`]: identical enumeration and
-/// claim handling, with trial merges run as bitset try-merges plus the
-/// arena connectivity check. The reference `Cgt` is materialized once, on
-/// acceptance.
-#[allow(clippy::too_many_arguments)]
-fn join_children_kernel(
-    layout: &CgtLayout,
-    arena: &mut CgtArena,
-    node: usize,
-    api: NodeId,
-    api_score: u64,
-    prefix: &BitCgt,
-    chosen: &[&Option_],
-    dyng: &DynamicGrammarGraph,
-    beam: usize,
-) -> Option<PartialCgt> {
-    let mut cgt = arena.alloc(layout);
-    cgt.copy_from(prefix);
     let mut assignment = vec![(node, api)];
     let mut node_claims: Vec<(usize, (NodeId, NodeId))> = Vec::new();
     let mut path_len = 0usize;
@@ -877,58 +848,156 @@ fn join_children_kernel(
     for o in chosen {
         match merge_claims(&claimed, &[o.claim]) {
             Some(c) => claimed = c,
-            None => {
-                arena.release(cgt);
-                return None;
-            }
+            None => return None,
         }
     }
-    for o in chosen {
-        path_len += o.path_size;
-        score_milli += o.bonus_milli;
-        // Try the child's beam until one merges or-consistently with
-        // disjoint occurrence claims.
-        let mut merged = false;
-        for partial in dyng.beam(o.child, o.dep_api).iter().take(beam) {
-            let Some(new_claims) = merge_claims(&claimed, &partial.claimed) else {
-                continue;
-            };
-            let bits = partial
-                .bits
-                .as_ref()
-                .expect("kernel beam entries carry bits");
-            let mut trial = arena.alloc(layout);
-            trial.copy_from(&cgt);
-            // The child's partial must land in the same grammar occurrence
-            // the prefix path chose; or-consistency alone cannot see a
-            // dangling duplicate context (API nodes are shared).
-            if trial.try_merge(bits, layout) && arena.is_connected(&trial, layout) {
-                arena.release(std::mem::replace(&mut cgt, trial));
-                claimed = new_claims;
-                assignment.extend(partial.assignment.iter().copied());
-                node_claims.push((o.child, o.claim));
-                node_claims.extend(partial.node_claims.iter().copied());
-                path_len += partial.path_len;
-                score_milli += partial.score_milli;
-                merged = true;
-                break;
-            }
-            arena.release(trial);
-        }
-        if !merged {
-            arena.release(cgt);
+    let mut budget = JOIN_BACKTRACK_CAP;
+    let (cgt, claimed, mut picks) =
+        join_search(graph, dyng, chosen, 0, prefix, &claimed, &mut budget)?;
+    picks.reverse();
+    for (o, partial) in chosen.iter().zip(&picks) {
+        path_len += o.path_size + partial.path_len;
+        score_milli += o.bonus_milli + partial.score_milli;
+        assignment.extend(partial.assignment.iter().copied());
+        node_claims.push((o.child, o.claim));
+        node_claims.extend(partial.node_claims.iter().copied());
+    }
+    let size = cgt.api_count(graph);
+    let top = cgt.top(graph);
+    let or_sig = cgt.or_edges(graph);
+    Some(PartialCgt {
+        cgt,
+        bits: None,
+        size,
+        path_len,
+        score_milli,
+        top,
+        or_sig,
+        claimed,
+        node_claims,
+        assignment,
+    })
+}
+
+/// Kernel counterpart of [`join_search`]: the same backtracking joint
+/// choice with trial merges run as arena-backed bitset try-merges. The
+/// returned tree is a fresh arena allocation; every intermediate trial
+/// is released on unwind.
+#[allow(clippy::too_many_arguments)]
+fn join_search_kernel<'a>(
+    layout: &CgtLayout,
+    arena: &mut CgtArena,
+    dyng: &'a DynamicGrammarGraph,
+    chosen: &[&Option_],
+    depth: usize,
+    cgt: &BitCgt,
+    claimed: &[(NodeId, NodeId)],
+    budget: &mut usize,
+) -> Option<Joined<'a, BitCgt>> {
+    if chosen.get(depth).is_none() {
+        let mut out = arena.alloc(layout);
+        out.copy_from(cgt);
+        return Some((out, claimed.to_vec(), Vec::new()));
+    }
+    let o = chosen[depth];
+    for partial in dyng.beam(o.child, o.dep_api).iter() {
+        if *budget == 0 {
             return None;
         }
+        *budget -= 1;
+        let Some(new_claims) = merge_claims(claimed, &partial.claimed) else {
+            continue;
+        };
+        let bits = partial
+            .bits
+            .as_ref()
+            .expect("kernel beam entries carry bits");
+        let mut trial = arena.alloc(layout);
+        trial.copy_from(cgt);
+        // The child's partial must land in the same grammar occurrence
+        // the prefix path chose; or-consistency alone cannot see a
+        // dangling duplicate context (API nodes are shared).
+        if trial.try_merge(bits, layout) && arena.is_connected(&trial, layout) {
+            if let Some((out, out_claims, mut picks)) = join_search_kernel(
+                layout,
+                arena,
+                dyng,
+                chosen,
+                depth + 1,
+                &trial,
+                &new_claims,
+                budget,
+            ) {
+                arena.release(trial);
+                picks.push(partial);
+                return Some((out, out_claims, picks));
+            }
+        }
+        arena.release(trial);
+    }
+    None
+}
+
+/// Kernel counterpart of [`join_children`]: identical enumeration and
+/// claim handling, with trial merges run as bitset try-merges plus the
+/// arena connectivity check. The reference `Cgt` is materialized once, on
+/// acceptance.
+#[allow(clippy::too_many_arguments)]
+fn join_children_kernel(
+    graph: &nlquery_grammar::GrammarGraph,
+    layout: &CgtLayout,
+    arena: &mut CgtArena,
+    node: usize,
+    api: NodeId,
+    api_score: u64,
+    prefix: &BitCgt,
+    chosen: &[&Option_],
+    dyng: &DynamicGrammarGraph,
+) -> Option<PartialCgt> {
+    let mut assignment = vec![(node, api)];
+    let mut node_claims: Vec<(usize, (NodeId, NodeId))> = Vec::new();
+    let mut path_len = 0usize;
+    let mut score_milli = api_score;
+    // Claims of the chosen paths themselves: each child's sink occupies
+    // one grammar occurrence.
+    let mut claimed: Vec<(NodeId, NodeId)> = Vec::new();
+    for o in chosen {
+        match merge_claims(&claimed, &[o.claim]) {
+            Some(c) => claimed = c,
+            None => return None,
+        }
+    }
+    let mut budget = JOIN_BACKTRACK_CAP;
+    let (cgt, claimed, mut picks) = join_search_kernel(
+        layout,
+        arena,
+        dyng,
+        chosen,
+        0,
+        prefix,
+        &claimed,
+        &mut budget,
+    )?;
+    picks.reverse();
+    for (o, partial) in chosen.iter().zip(&picks) {
+        path_len += o.path_size + partial.path_len;
+        score_milli += o.bonus_milli + partial.score_milli;
+        assignment.extend(partial.assignment.iter().copied());
+        node_claims.push((o.child, o.claim));
+        node_claims.extend(partial.node_claims.iter().copied());
     }
     let size = cgt.api_count(layout);
     let top = cgt.top(layout);
+    let reference = Cgt::from_bits(&cgt, layout);
+    let or_sig = reference.or_edges(graph);
     Some(PartialCgt {
-        cgt: Cgt::from_bits(&cgt, layout),
+        cgt: reference,
         bits: Some(cgt),
         size,
         path_len,
         score_milli,
         top,
+        or_sig,
         claimed,
         node_claims,
         assignment,
@@ -1432,6 +1501,7 @@ mod tests {
                     path_len: 0,
                     score_milli: 0,
                     top: None,
+                    or_sig: vec![],
                     claimed: vec![],
                     node_claims: vec![],
                     assignment: vec![],
@@ -1463,6 +1533,7 @@ mod tests {
                     path_len: 0,
                     score_milli: 0,
                     top: Some(NodeId::from_index(top)),
+                    or_sig: vec![],
                     claimed: vec![],
                     node_claims: vec![],
                     assignment: vec![],

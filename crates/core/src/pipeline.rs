@@ -169,6 +169,72 @@ impl Synthesizer {
         synthesis
     }
 
+    /// Runs steps 3–6 on a pre-built query graph, skipping the dependency
+    /// parser and the graph-rewriting prune phases (steps 1–2). The graph
+    /// must already be in *pruned form* — the shape [`prune::prune`]
+    /// produces — as emitted e.g. by the synthetic corpus generator.
+    /// WordToAPI candidates are computed with exactly the rules of the
+    /// string pipeline ([`prune::graph_candidates`]), so a graph that
+    /// round-trips through the parser synthesizes identically either way.
+    pub fn synthesize_graph(&self, query: &QueryGraph) -> Synthesis {
+        let mut cache = edge2path::PathCache::new();
+        self.synthesize_graph_with(query, &mut cache, None)
+    }
+
+    /// [`Synthesizer::synthesize_graph`] backed by a cross-query
+    /// [`SharedPathCache`] (see [`Synthesizer::synthesize_shared`]).
+    pub fn synthesize_graph_shared(
+        &self,
+        query: &QueryGraph,
+        shared: &Arc<SharedPathCache>,
+    ) -> Synthesis {
+        let mut cache = edge2path::PathCache::with_shared(Arc::clone(shared));
+        self.synthesize_graph_with(query, &mut cache, None)
+    }
+
+    /// [`Synthesizer::synthesize_graph_shared`] additionally backed by a
+    /// cross-query [`MergeMemo`] (see [`Synthesizer::synthesize_memoized`];
+    /// the memo is bypassed when [`SynthesisConfig::merge_memo`] is off).
+    pub fn synthesize_graph_memoized(
+        &self,
+        query: &QueryGraph,
+        shared: &Arc<SharedPathCache>,
+        memo: &MergeMemo,
+    ) -> Synthesis {
+        let mut cache = edge2path::PathCache::with_shared(Arc::clone(shared));
+        self.synthesize_graph_with(query, &mut cache, self.config.merge_memo.then_some(memo))
+    }
+
+    /// The graph-entry body: candidate lookup + the shared post-prune
+    /// pipeline, with the memo counters folded in as in
+    /// [`Synthesizer::synthesize_with`].
+    fn synthesize_graph_with(
+        &self,
+        query: &QueryGraph,
+        cache: &mut edge2path::PathCache,
+        memo: Option<&MergeMemo>,
+    ) -> Synthesis {
+        let deadline = Deadline::new(self.config.deadline);
+        let mut stats = SynthesisStats::default();
+        let t0 = Instant::now();
+        let w2a = prune::graph_candidates(query, &self.domain, &self.config);
+        stats.t_word2api = t0.elapsed();
+        let mut synthesis = if query.root.is_none() || query.nodes.is_empty() {
+            Synthesis::failure(
+                Outcome::NoParse,
+                SynthesisError::NoParse,
+                stats,
+                deadline.elapsed(),
+            )
+        } else {
+            self.run_prepared(query, &w2a, cache, memo, &deadline, stats)
+        };
+        synthesis.stats.memo_hits = cache.shared_hits();
+        synthesis.stats.memo_misses = cache.shared_misses();
+        synthesis.stats.memo_dedup_waits = cache.shared_dedup_waits();
+        synthesis
+    }
+
     /// The cross-query memo keys this query's EdgeToPath step will request,
     /// computed from steps 1–3 only (parse + prune + WordToAPI — no grammar
     /// search). Queries with equal key sets resolve from the same cache
@@ -213,6 +279,22 @@ impl Synthesizer {
             );
         }
 
+        self.run_prepared(&qgraph, &w2a, cache, memo, &deadline, stats)
+    }
+
+    /// Steps 4–6 on a pruned query graph with its WordToAPI map — the body
+    /// shared by the string pipeline ([`Synthesizer::run_pipeline`]) and
+    /// the graph entry ([`Synthesizer::synthesize_graph`]). `stats` arrives
+    /// carrying whatever step 1–3 timings the caller measured.
+    fn run_prepared(
+        &self,
+        qgraph: &QueryGraph,
+        w2a: &WordToApi,
+        cache: &mut edge2path::PathCache,
+        memo: Option<&MergeMemo>,
+        deadline: &Deadline,
+        mut stats: SynthesisStats,
+    ) -> Synthesis {
         // Which of the NoResult causes applies: did step 3 find *any*
         // candidate API, for any word?
         let no_result_error = || {
@@ -232,22 +314,22 @@ impl Synthesizer {
         };
 
         if deadline.expired() {
-            return timeout(stats, &deadline);
+            return timeout(stats, deadline);
         }
 
         // Step 4: EdgeToPath, under the deadline — the reversed all-path
         // search is the first stage that can explode.
         let t2 = Instant::now();
         let map = match edge2path::compute_deadline(
-            &qgraph,
-            &w2a,
+            qgraph,
+            w2a,
             &self.domain,
             self.config.search_limits,
             cache,
-            &deadline,
+            deadline,
         ) {
             Ok(map) => map,
-            Err(_) => return timeout(stats, &deadline),
+            Err(_) => return timeout(stats, deadline),
         };
         stats.dep_edges = map.edges.len() + map.orphans.len();
         stats.orphans = map.orphans.len();
@@ -259,15 +341,15 @@ impl Synthesizer {
             if edge2path::attach_orphan_to_root_deadline(
                 &mut root_attached,
                 o,
-                &w2a,
+                w2a,
                 self.domain.graph(),
                 self.config.search_limits,
                 cache,
-                &deadline,
+                deadline,
             )
             .is_err()
             {
-                return timeout(stats, &deadline);
+                return timeout(stats, deadline);
             }
         }
         stats.t_edge2path = t2.elapsed();
@@ -275,18 +357,18 @@ impl Synthesizer {
         stats.orig_combinations = root_attached.combination_count();
 
         if deadline.expired() {
-            return timeout(stats, &deadline);
+            return timeout(stats, deadline);
         }
 
         // Step 5: path merging.
         let t3 = Instant::now();
         let merged = self.run_engine(
-            &qgraph,
-            &w2a,
+            qgraph,
+            w2a,
             &map,
             &root_attached,
             cache,
-            &deadline,
+            deadline,
             &mut stats,
             memo,
         );
@@ -294,7 +376,7 @@ impl Synthesizer {
 
         let (best, final_query) = match merged {
             Ok(result) => result,
-            Err(_) => return timeout(stats, &deadline),
+            Err(_) => return timeout(stats, deadline),
         };
 
         // Step 6: TreeToExpression.

@@ -70,6 +70,53 @@ pub fn prune_timed(
     (graph, w2a, timing)
 }
 
+/// Computes the WordToAPI map for a query graph that is *already* in
+/// pruned form (e.g. emitted by a synthetic generator rather than by the
+/// dependency parser). Applies exactly the candidate rules of
+/// [`prune`]'s step 3: function-word POS classes get no candidates,
+/// domain stopwords are filtered out of the phrase before the semantic
+/// lookup, and literal nodes in domains with a literal API get that API
+/// as a fixed full-score candidate.
+pub fn graph_candidates(
+    query: &QueryGraph,
+    domain: &Domain,
+    config: &SynthesisConfig,
+) -> WordToApi {
+    let candidates = query
+        .nodes
+        .iter()
+        .map(|node| {
+            if matches!(node.pos, Pos::Literal | Pos::Num) {
+                if let Some(api) = domain.literal_api() {
+                    return vec![ApiCandidate {
+                        api: api.to_string(),
+                        score: 1.0,
+                    }];
+                }
+            }
+            if matches!(
+                node.pos,
+                Pos::Prep | Pos::Wh | Pos::Aux | Pos::Conj | Pos::Pron | Pos::Adv
+            ) {
+                return Vec::new();
+            }
+            let words: Vec<String> = node
+                .words
+                .iter()
+                .filter(|w| !domain.stopwords().iter().any(|s| s == *w))
+                .cloned()
+                .collect();
+            phrase_candidates(
+                domain.matcher(),
+                &words,
+                config.max_candidates,
+                config.min_score,
+            )
+        })
+        .collect();
+    WordToApi { candidates }
+}
+
 #[derive(Debug, Clone)]
 struct WorkNode {
     words: Vec<(usize, String)>, // (original index, lemma) kept in query order

@@ -678,12 +678,16 @@ fn partial_from(v: &JsonValue, graph: &GrammarGraph) -> Result<PartialCgt, Snaps
     for edge in get_arr(v, "claimed")? {
         claimed.push(node_pair_from(edge, graph)?);
     }
+    // The or-signature is a pure function of the CGT and grammar, so it is
+    // not serialized — recompute it on load.
+    let or_sig = cgt.or_edges(graph);
     Ok(PartialCgt {
         bits,
         size: get_usize(v, "size")?,
         path_len: get_usize(v, "path_len")?,
         score_milli: get_u64(v, "score_milli")?,
         top: opt_node_from(get(v, "top")?, graph)?,
+        or_sig,
         claimed,
         node_claims: claims_from(v, "node_claims", graph)?,
         assignment: assignment_from(v, graph)?,
@@ -828,6 +832,7 @@ mod tests {
                     path_len: 2,
                     score_milli: 950,
                     top: Some(start),
+                    or_sig: vec![],
                     claimed: vec![(graph.node(start).parents[0], start)],
                     node_claims: vec![(1, (graph.node(start).parents[0], start))],
                     assignment: vec![(1, start)],

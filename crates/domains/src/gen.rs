@@ -1,0 +1,894 @@
+//! Seeded grammar-walking synthetic corpus generator.
+//!
+//! The hand-written corpora (212 queries across both domains) cannot
+//! exercise million-user behavior: LRU eviction under a long-tail key
+//! population, merge-memo signature churn at thousands of distinct
+//! signatures, or mixed easy/hard deadline distributions. This module
+//! turns corpus scale from an authoring problem into a sampling problem
+//! by walking a *real* domain's grammar graph:
+//!
+//! 1. **Vocabulary probing** — for every API, every documented keyword
+//!    (plus its verified synonym-lexicon expansions) is probed through the
+//!    production WordToAPI lookup ([`phrase_candidates`]); only spellings
+//!    that resolve to *exactly* that API at the active config's
+//!    `max_candidates`/`min_score` survive. Generated queries therefore
+//!    have singleton candidate sets — the WordToAPI step is exact by
+//!    construction, never hoped-for.
+//! 2. **Template sampling** — a seeded walk picks a root API reachable
+//!    from the grammar root, then grows a dependency tree whose edges
+//!    follow API dominance in the grammar ([`GrammarGraph::descendant_apis`]),
+//!    at dialable depth and fan-out, optionally attaching one literal
+//!    (a standalone literal node in domains with a literal API, a slot
+//!    payload on a slot-bearing node otherwise).
+//! 3. **Ground-truth oracle** — for each template, the oracle re-runs the
+//!    *same* bounded path searches the pipeline's EdgeToPath step will run
+//!    (same [`SearchLimits`], same sort, same truncation) and exhaustively
+//!    enumerates every one-path-per-edge combination, keeping valid
+//!    minimal-API-count merges. Templates whose minimal trees render to
+//!    more than one distinct expression are rejected (tie ambiguity), as
+//!    are templates whose enumeration exceeds a hard combination cap or
+//!    whose literal API occurs more than once — what remains has a unique,
+//!    provable expected expression that any lossless engine must produce.
+//! 4. **Skewed emission** — queries are drawn from the template pool with
+//!    zipfian popularity (tunable exponent) and per-emission synonym
+//!    substitution / literal variation, so a 10k-query corpus has the
+//!    long-tail key population of real traffic: hot templates hit the
+//!    shared path cache, synonym variants churn merge-memo signatures
+//!    without adding path-cache keys.
+//!
+//! Everything is deterministic from [`GenSpec::seed`] — two runs of the
+//! same binary emit byte-identical corpora.
+
+use std::collections::{BTreeSet, HashMap};
+
+use nlquery_core::expr::{render_expression, LiteralPool};
+use nlquery_core::word2api::phrase_candidates;
+use nlquery_core::{Cgt, Domain, QueryEdge, QueryGraph, QueryNode, SynthesisConfig};
+use nlquery_grammar::{GrammarGraph, GrammarPath, NodeId, SearchLimits};
+use nlquery_nlp::{DepRel, Pos, SynonymLexicon};
+
+/// Hard cap on the per-template combination product the oracle will
+/// enumerate. Templates above the cap are resampled — the generator only
+/// emits queries whose ground truth is provable by exhaustive enumeration.
+const MAX_ORACLE_COMBINATIONS: u64 = 200_000;
+
+/// How many sampling attempts each requested template is worth before the
+/// generator settles for fewer templates.
+const TRIES_PER_TEMPLATE: usize = 60;
+
+/// Literal payloads cycled through emissions (varied so rendered
+/// expressions differ across instances of one template; literals are
+/// excluded from merge-memo signatures, so this does not perturb memo
+/// behavior).
+const LITERAL_POOL: &[&str] = &[
+    ":", "-", "x", "y", "foo", "bar", "baz", "tmp", "42", "7", "PI", "main", "count", "idx", "N",
+    "_",
+];
+
+/// Probe literal used only for the oracle's render-uniqueness check.
+const PROBE_LITERAL: &str = "\u{1}probe\u{1}";
+
+/// Parameters of a generated corpus. All sampling decisions flow from
+/// `seed`; equal specs produce byte-identical corpora.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenSpec {
+    /// PRNG seed (zero is remapped internally; still deterministic).
+    pub seed: u64,
+    /// Number of queries to emit.
+    pub count: usize,
+    /// Number of distinct templates to sample (the realized count can be
+    /// lower on small grammars; at least one is guaranteed).
+    pub templates: usize,
+    /// Maximum dependency-tree depth below the root (≥ 1).
+    pub max_depth: usize,
+    /// Maximum children per dependency node (≥ 1).
+    pub max_fanout: usize,
+    /// Zipf exponent for template popularity (0.0 = uniform; ~1.0 =
+    /// realistic long tail).
+    pub zipf_exponent: f64,
+    /// Per-node probability of swapping a keyword for a verified synonym
+    /// at emission time.
+    pub synonym_prob: f64,
+    /// Per-template probability of carrying a literal.
+    pub literal_prob: f64,
+}
+
+impl Default for GenSpec {
+    fn default() -> GenSpec {
+        GenSpec {
+            seed: 1,
+            count: 1000,
+            templates: 96,
+            max_depth: 3,
+            max_fanout: 3,
+            zipf_exponent: 1.1,
+            synonym_prob: 0.3,
+            literal_prob: 0.35,
+        }
+    }
+}
+
+/// One generated query with its provable ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Index of the template this query was instantiated from (templates
+    /// are zipf-ranked: lower index = more popular).
+    pub template: usize,
+    /// The query in pruned form, ready for
+    /// [`Synthesizer::synthesize_graph`](nlquery_core::Synthesizer::synthesize_graph).
+    pub query: QueryGraph,
+    /// A flat surface rendering (keywords in tree order, literals quoted)
+    /// for load generators that feed the string pipeline. Throughput-grade:
+    /// the heuristic dependency parser is not guaranteed to reconstruct
+    /// `query` from it.
+    pub surface: String,
+    /// The provably-minimal expected expression.
+    pub expected: String,
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    /// The emitted queries, in emission order.
+    pub queries: Vec<GeneratedQuery>,
+    /// Number of distinct templates realized.
+    pub template_count: usize,
+}
+
+impl GeneratedCorpus {
+    /// Queries grouped per template — the realized popularity histogram.
+    pub fn template_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.template_count];
+        for q in &self.queries {
+            hist[q.template] += 1;
+        }
+        hist
+    }
+}
+
+/// Deterministic xorshift64* generator (private copy of the bench crate's
+/// — `nlquery-domains` must not depend on the bench harness).
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is empty");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// One usable API: its grammar node plus every spelling verified to map to
+/// it — and only it — through the production WordToAPI lookup.
+#[derive(Debug, Clone)]
+struct VocabApi {
+    node: NodeId,
+    literal_slots: usize,
+    /// Verified spellings; index 0 is the canonical keyword, the rest are
+    /// synonym-lexicon variants.
+    words: Vec<String>,
+}
+
+/// Builds the probed vocabulary for a domain under a config's candidate
+/// thresholds.
+fn build_vocab(domain: &Domain, config: &SynthesisConfig) -> Vec<VocabApi> {
+    let graph = domain.graph();
+    let lex = SynonymLexicon::new();
+    let mut vocab = Vec::new();
+    for doc in domain.matcher().docs() {
+        if domain.literal_api() == Some(doc.name.as_str()) {
+            // The literal API is reached through literal nodes (fixed
+            // candidates), never through keyword nodes.
+            continue;
+        }
+        let Some(node) = graph.api_node(&doc.name) else {
+            continue;
+        };
+        let mut words: Vec<String> = Vec::new();
+        for keyword in &doc.keywords {
+            for spelling in lex.expand(keyword) {
+                if words.contains(&spelling) {
+                    continue;
+                }
+                if domain.stopwords().contains(&spelling) {
+                    continue;
+                }
+                if maps_only_to(domain, config, &spelling, node) {
+                    words.push(spelling);
+                }
+            }
+        }
+        if !words.is_empty() {
+            vocab.push(VocabApi {
+                node,
+                literal_slots: doc.literal_slots,
+                words,
+            });
+        }
+    }
+    vocab
+}
+
+/// Whether `word`, pushed through the production WordToAPI lookup at the
+/// active thresholds, resolves to exactly `{target}` (after the same
+/// name→node mapping and dedup the EdgeToPath step applies).
+fn maps_only_to(domain: &Domain, config: &SynthesisConfig, word: &str, target: NodeId) -> bool {
+    let cands = phrase_candidates(
+        domain.matcher(),
+        std::slice::from_ref(&word.to_string()),
+        config.max_candidates,
+        config.min_score,
+    );
+    let mut apis: Vec<NodeId> = cands
+        .iter()
+        .filter_map(|c| domain.graph().api_node(&c.api))
+        .collect();
+    apis.sort_unstable();
+    apis.dedup();
+    apis == [target]
+}
+
+/// Memoized bounded path searches, finalized exactly as the pipeline's
+/// EdgeToPath step finalizes them: sorted by `(size, chain, source)` and
+/// truncated to `max_paths`. With singleton candidate sets this is the
+/// per-edge list the pipeline will see, path for path.
+struct PathOracle<'a> {
+    graph: &'a GrammarGraph,
+    limits: SearchLimits,
+    between: HashMap<(NodeId, NodeId), Vec<GrammarPath>>,
+    from_root: HashMap<NodeId, Vec<GrammarPath>>,
+}
+
+impl<'a> PathOracle<'a> {
+    fn new(graph: &'a GrammarGraph, limits: SearchLimits) -> PathOracle<'a> {
+        PathOracle {
+            graph,
+            limits,
+            between: HashMap::new(),
+            from_root: HashMap::new(),
+        }
+    }
+
+    fn finalize(&self, mut paths: Vec<GrammarPath>) -> Vec<GrammarPath> {
+        paths.sort_by_key(|p| (p.size(self.graph), p.chain.clone(), p.source));
+        paths.truncate(self.limits.max_paths);
+        paths
+    }
+
+    fn root_paths(&mut self, to: NodeId) -> &[GrammarPath] {
+        if !self.from_root.contains_key(&to) {
+            let paths = self.finalize(self.graph.paths_from_root(to, self.limits));
+            self.from_root.insert(to, paths);
+        }
+        &self.from_root[&to]
+    }
+
+    fn between_paths(&mut self, from: NodeId, to: NodeId) -> &[GrammarPath] {
+        if !self.between.contains_key(&(from, to)) {
+            let paths = self.finalize(self.graph.paths_between(from, to, self.limits));
+            self.between.insert((from, to), paths);
+        }
+        &self.between[&(from, to)]
+    }
+}
+
+/// A sampled template: tree shape, per-node APIs and spellings, and the
+/// oracle-proved minimal CGT.
+#[derive(Debug, Clone)]
+struct Template {
+    /// Per node: (api node, verified spellings, pos). Index 0 is the root.
+    nodes: Vec<TemplateNode>,
+    /// Tree edges `(gov, dep)` over node indices.
+    edges: Vec<(usize, usize)>,
+    /// Node index carrying the literal, if any.
+    literal_node: Option<usize>,
+    /// API the literal binds to (the literal API, or the slot-bearing
+    /// node's API).
+    literal_api: Option<NodeId>,
+    /// The provably-minimal CGT (unique expected rendering).
+    cgt: Cgt,
+}
+
+#[derive(Debug, Clone)]
+struct TemplateNode {
+    api: NodeId,
+    words: Vec<String>,
+    pos: Pos,
+}
+
+/// Exhaustively enumerates every one-path-per-edge combination of
+/// `edge_paths`, mirroring the engines' search space, and returns the
+/// minimal valid CGT — or `None` when the template must be rejected: no
+/// valid combination, combination cap exceeded, minimal trees render
+/// ambiguously, or the literal API occurs more than once in a minimal
+/// tree.
+fn oracle_minimal(
+    domain: &Domain,
+    edge_paths: &[Vec<Cgt>],
+    literal_api: Option<NodeId>,
+) -> Option<Cgt> {
+    let graph = domain.graph();
+    let product: u64 = edge_paths
+        .iter()
+        .map(|p| p.len() as u64)
+        .try_fold(1u64, u64::checked_mul)?;
+    if product == 0 || product > MAX_ORACLE_COMBINATIONS {
+        return None;
+    }
+
+    struct Search<'a> {
+        graph: &'a GrammarGraph,
+        domain: &'a Domain,
+        edge_paths: &'a [Vec<Cgt>],
+        literal_api: Option<NodeId>,
+        best_count: usize,
+        best: Option<(Cgt, String)>,
+        ambiguous: bool,
+        literal_repeated: bool,
+    }
+
+    impl Search<'_> {
+        fn probe_render(&self, cgt: &Cgt) -> Option<String> {
+            let mut pool = LiteralPool::new();
+            if let Some(api) = self.literal_api {
+                pool.bind(api, PROBE_LITERAL.to_string());
+            }
+            render_expression(self.domain, cgt, &mut pool)
+        }
+
+        fn visit(&mut self, edge: usize, acc: &Cgt) {
+            if self.ambiguous || self.literal_repeated {
+                return;
+            }
+            // API count only grows under merging — branches already at or
+            // beyond the incumbent can still tie (ambiguity matters), but
+            // branches strictly beyond it cannot win.
+            if acc.api_count(self.graph) > self.best_count {
+                return;
+            }
+            if edge == self.edge_paths.len() {
+                if !acc.is_valid(self.graph) {
+                    return;
+                }
+                let count = acc.api_count(self.graph);
+                if count > self.best_count {
+                    return;
+                }
+                if let Some(api) = self.literal_api {
+                    let occurrences = acc
+                        .edges
+                        .iter()
+                        .filter(|&&(from, to)| to == api && self.graph.is_derivation(from))
+                        .count()
+                        .max(usize::from(acc.nodes.contains(&api)));
+                    if occurrences > 1 {
+                        self.literal_repeated = true;
+                        return;
+                    }
+                }
+                let Some(rendering) = self.probe_render(acc) else {
+                    return;
+                };
+                match &self.best {
+                    Some((_, best_rendering)) if count == self.best_count => {
+                        if *best_rendering != rendering {
+                            self.ambiguous = true;
+                        }
+                    }
+                    _ => {
+                        self.best_count = count;
+                        self.best = Some((acc.clone(), rendering));
+                    }
+                }
+                return;
+            }
+            for path_cgt in &self.edge_paths[edge] {
+                let mut merged = acc.clone();
+                merged.merge(path_cgt);
+                // Or-conflicts are permanent under further merging.
+                if !merged.is_or_consistent(self.graph) {
+                    continue;
+                }
+                self.visit(edge + 1, &merged);
+            }
+        }
+    }
+
+    let mut search = Search {
+        graph,
+        domain,
+        edge_paths,
+        literal_api,
+        best_count: usize::MAX,
+        best: None,
+        ambiguous: false,
+        literal_repeated: false,
+    };
+    search.visit(0, &Cgt::new());
+    if search.ambiguous || search.literal_repeated {
+        return None;
+    }
+    search.best.map(|(cgt, _)| cgt)
+}
+
+/// Samples one template; `None` when this attempt dead-ends (unreachable
+/// root, no connectable children, oracle rejection).
+#[allow(clippy::too_many_arguments)]
+fn sample_template(
+    rng: &mut XorShift64,
+    domain: &Domain,
+    spec: &GenSpec,
+    vocab: &[VocabApi],
+    oracle: &mut PathOracle<'_>,
+) -> Option<Template> {
+    let graph = domain.graph();
+
+    // Root: any vocab API reachable from the grammar root.
+    let root_vocab = rng.below(vocab.len());
+    let root_api = vocab[root_vocab].node;
+    if oracle.root_paths(root_api).is_empty() {
+        return None;
+    }
+
+    let mut nodes = vec![TemplateNode {
+        api: root_api,
+        words: vocab[root_vocab].words.clone(),
+        pos: Pos::Verb,
+    }];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut used: BTreeSet<NodeId> = BTreeSet::from([root_api]);
+    let mut slots: Vec<usize> = Vec::new(); // node indices with literal slots
+    if vocab[root_vocab].literal_slots > 0 {
+        slots.push(0);
+    }
+
+    let target_depth = 1 + rng.below(spec.max_depth);
+    let mut frontier = vec![0usize];
+    for depth in 1..=target_depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            // The first expansion always tries at least one child so depth
+            // 1 templates are trees, not bare roots.
+            let want = if depth == 1 && parent == 0 {
+                1 + rng.below(spec.max_fanout)
+            } else {
+                rng.below(spec.max_fanout + 1)
+            };
+            let parent_api = nodes[parent].api;
+            for _ in 0..want {
+                let descendants = graph.descendant_apis(parent_api);
+                let candidates: Vec<usize> = (0..vocab.len())
+                    .filter(|&i| {
+                        descendants.contains(&vocab[i].node) && !used.contains(&vocab[i].node)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let pick = candidates[rng.below(candidates.len())];
+                let child_api = vocab[pick].node;
+                // Dominance in the grammar does not guarantee a bounded
+                // path — verify with the searches the pipeline will run.
+                if oracle.between_paths(parent_api, child_api).is_empty() {
+                    continue;
+                }
+                let id = nodes.len();
+                nodes.push(TemplateNode {
+                    api: child_api,
+                    words: vocab[pick].words.clone(),
+                    pos: Pos::Noun,
+                });
+                edges.push((parent, id));
+                used.insert(child_api);
+                if vocab[pick].literal_slots > 0 {
+                    slots.push(id);
+                }
+                next.push(id);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    // Literal attachment.
+    let mut literal_node = None;
+    let mut literal_api = None;
+    if rng.chance(spec.literal_prob) {
+        match domain.literal_api() {
+            Some(name) => {
+                // Standalone literal node (e.g. STRING in the text-editing
+                // DSL) under a dominating parent.
+                if let Some(api) = graph.api_node(name) {
+                    if !used.contains(&api) {
+                        let parent = rng.below(nodes.len());
+                        if !oracle.between_paths(nodes[parent].api, api).is_empty() {
+                            let id = nodes.len();
+                            nodes.push(TemplateNode {
+                                api,
+                                words: Vec::new(),
+                                pos: Pos::Literal,
+                            });
+                            edges.push((parent, id));
+                            used.insert(api);
+                            literal_node = Some(id);
+                            literal_api = Some(api);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Slot payload on a slot-bearing node (e.g. hasName("…")).
+                if !slots.is_empty() {
+                    let node = slots[rng.below(slots.len())];
+                    literal_node = Some(node);
+                    literal_api = Some(nodes[node].api);
+                }
+            }
+        }
+    }
+
+    // Oracle: the pipeline's per-edge lists (root pseudo-edge first, then
+    // query edges in order), exhaustively merged.
+    let mut edge_paths: Vec<Vec<Cgt>> = Vec::with_capacity(1 + edges.len());
+    edge_paths.push(
+        oracle
+            .root_paths(root_api)
+            .iter()
+            .map(|p| Cgt::from_path(p, graph))
+            .collect(),
+    );
+    for &(gov, dep) in &edges {
+        let paths = oracle.between_paths(nodes[gov].api, nodes[dep].api);
+        if paths.is_empty() {
+            return None;
+        }
+        edge_paths.push(paths.iter().map(|p| Cgt::from_path(p, graph)).collect());
+    }
+    let cgt = oracle_minimal(domain, &edge_paths, literal_api)?;
+
+    Some(Template {
+        nodes,
+        edges,
+        literal_node,
+        literal_api,
+        cgt,
+    })
+}
+
+/// Instantiates one emission of a template: seeded keyword/synonym and
+/// literal choices, the pruned-form query graph, a surface string, and the
+/// expected expression rendered from the template's proved CGT.
+fn instantiate(
+    template_id: usize,
+    template: &Template,
+    rng: &mut XorShift64,
+    domain: &Domain,
+    spec: &GenSpec,
+) -> GeneratedQuery {
+    let literal_value = template
+        .literal_node
+        .map(|_| LITERAL_POOL[rng.below(LITERAL_POOL.len())].to_string());
+
+    let mut nodes = Vec::with_capacity(template.nodes.len());
+    for (id, tnode) in template.nodes.iter().enumerate() {
+        let (words, literal) = if template.literal_node == Some(id) {
+            let value = literal_value.clone().expect("literal value sampled");
+            if tnode.pos == Pos::Literal {
+                // Standalone literal node: the value is the word.
+                (vec![value.clone()], Some(value))
+            } else {
+                // Slot payload on a keyword node.
+                (vec![pick_word(tnode, rng, spec)], Some(value))
+            }
+        } else {
+            (vec![pick_word(tnode, rng, spec)], None)
+        };
+        nodes.push(QueryNode {
+            id,
+            words,
+            pos: tnode.pos,
+            literal,
+        });
+    }
+    let edges = template
+        .edges
+        .iter()
+        .map(|&(gov, dep)| QueryEdge {
+            gov,
+            dep,
+            rel: if nodes[dep].pos == Pos::Literal {
+                DepRel::Lit
+            } else {
+                DepRel::Obj
+            },
+        })
+        .collect();
+    let query = QueryGraph {
+        nodes,
+        edges,
+        root: Some(0),
+    };
+
+    let surface = query
+        .nodes
+        .iter()
+        .map(|n| match (&n.literal, n.pos) {
+            (Some(lit), Pos::Literal) => format!("\"{lit}\""),
+            (Some(lit), _) => format!("{} \"{lit}\"", n.phrase()),
+            (None, _) => n.phrase(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let mut pool = LiteralPool::new();
+    if let (Some(api), Some(value)) = (template.literal_api, &literal_value) {
+        pool.bind(api, value.clone());
+    }
+    let expected = render_expression(domain, &template.cgt, &mut pool)
+        .expect("template CGT rendered during oracle probing");
+
+    GeneratedQuery {
+        template: template_id,
+        query,
+        surface,
+        expected,
+    }
+}
+
+fn pick_word(node: &TemplateNode, rng: &mut XorShift64, spec: &GenSpec) -> String {
+    if node.words.len() > 1 && rng.chance(spec.synonym_prob) {
+        node.words[1 + rng.below(node.words.len() - 1)].clone()
+    } else {
+        node.words[0].clone()
+    }
+}
+
+/// Generates a corpus for `domain` under `config`'s candidate thresholds
+/// and search limits.
+///
+/// # Panics
+///
+/// Panics when `spec` is degenerate (zero depth/fan-out) or when the
+/// domain's probed vocabulary cannot support a single template — both are
+/// caller errors, not data-dependent conditions.
+pub fn generate(domain: &Domain, config: &SynthesisConfig, spec: &GenSpec) -> GeneratedCorpus {
+    assert!(
+        spec.max_depth >= 1 && spec.max_fanout >= 1,
+        "generator depth and fan-out must be positive"
+    );
+    let vocab = build_vocab(domain, config);
+    assert!(
+        !vocab.is_empty(),
+        "domain {:?} has no unambiguous vocabulary at the active thresholds",
+        domain.name()
+    );
+
+    let mut oracle = PathOracle::new(domain.graph(), config.search_limits);
+    let mut rng = XorShift64::new(spec.seed);
+
+    // Template pool. Deduplicate by (API multiset + shape) via the query
+    // signature so zipf ranks are over genuinely distinct templates.
+    let mut templates: Vec<Template> = Vec::new();
+    let mut seen: BTreeSet<Vec<(usize, usize, u32)>> = BTreeSet::new();
+    let budget = spec.templates.max(1) * TRIES_PER_TEMPLATE;
+    let mut tries = 0;
+    while templates.len() < spec.templates.max(1) && tries < budget {
+        tries += 1;
+        let Some(template) = sample_template(&mut rng, domain, spec, &vocab, &mut oracle) else {
+            continue;
+        };
+        let signature: Vec<(usize, usize, u32)> = template
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let parent = template
+                    .edges
+                    .iter()
+                    .find(|&&(_, dep)| dep == i)
+                    .map(|&(gov, _)| gov + 1)
+                    .unwrap_or(0);
+                (parent, i, n.api.index() as u32)
+            })
+            .collect();
+        if seen.insert(signature) {
+            templates.push(template);
+        }
+    }
+    assert!(
+        !templates.is_empty(),
+        "no oracle-provable template found for domain {:?}",
+        domain.name()
+    );
+
+    // Zipf weights over template rank (creation order).
+    let weights: Vec<f64> = (0..templates.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_exponent))
+        .collect();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut total = 0.0;
+    for w in &weights {
+        total += w;
+        cumulative.push(total);
+    }
+
+    let mut queries = Vec::with_capacity(spec.count);
+    for _ in 0..spec.count {
+        let u = rng.unit() * total;
+        let t = cumulative
+            .partition_point(|&c| c < u)
+            .min(templates.len() - 1);
+        queries.push(instantiate(t, &templates[t], &mut rng, domain, spec));
+    }
+
+    GeneratedCorpus {
+        queries,
+        template_count: templates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlquery_core::{Outcome, Synthesizer};
+
+    fn spec(count: usize) -> GenSpec {
+        GenSpec {
+            count,
+            templates: 24,
+            ..GenSpec::default()
+        }
+    }
+
+    #[test]
+    fn textedit_corpus_is_deterministic() {
+        let domain = crate::textedit::domain().unwrap();
+        let config = SynthesisConfig::default();
+        let a = generate(&domain, &config, &spec(64));
+        let b = generate(&domain, &config, &spec(64));
+        assert_eq!(a.template_count, b.template_count);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.template, qb.template);
+            assert_eq!(qa.query, qb.query);
+            assert_eq!(qa.surface, qb.surface);
+            assert_eq!(qa.expected, qb.expected);
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let domain = crate::textedit::domain().unwrap();
+        let config = SynthesisConfig::default();
+        let a = generate(&domain, &config, &spec(64));
+        let b = generate(
+            &domain,
+            &config,
+            &GenSpec {
+                seed: 2,
+                ..spec(64)
+            },
+        );
+        let surfaces = |c: &GeneratedCorpus| {
+            c.queries
+                .iter()
+                .map(|q| q.surface.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(surfaces(&a), surfaces(&b));
+    }
+
+    #[test]
+    fn pipeline_agrees_with_ground_truth_smoke() {
+        for domain in [
+            crate::textedit::domain().unwrap(),
+            crate::astmatcher::domain().unwrap(),
+        ] {
+            let config = SynthesisConfig::default();
+            let corpus = generate(&domain, &config, &spec(48));
+            let synth = Synthesizer::new(domain.clone(), config);
+            for q in &corpus.queries {
+                let r = synth.synthesize_graph(&q.query);
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Success,
+                    "{:?} {}",
+                    domain.name(),
+                    q.query.render()
+                );
+                assert_eq!(
+                    r.expression.as_deref(),
+                    Some(q.expected.as_str()),
+                    "{:?} template {} query {}",
+                    domain.name(),
+                    q.template,
+                    q.query.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_template_popularity() {
+        let domain = crate::textedit::domain().unwrap();
+        let config = SynthesisConfig::default();
+        let corpus = generate(
+            &domain,
+            &config,
+            &GenSpec {
+                count: 2000,
+                zipf_exponent: 1.2,
+                ..GenSpec::default()
+            },
+        );
+        let hist = corpus.template_histogram();
+        assert!(corpus.template_count > 8, "{}", corpus.template_count);
+        // The most popular template must dominate the median one.
+        let max = *hist.iter().max().unwrap();
+        let mut sorted = hist.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max >= median.max(1) * 4,
+            "no skew: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn vocabulary_is_unambiguous_by_construction() {
+        let domain = crate::astmatcher::domain().unwrap();
+        let config = SynthesisConfig::default();
+        let vocab = build_vocab(&domain, &config);
+        assert!(vocab.len() >= 20, "{}", vocab.len());
+        for api in &vocab {
+            for word in &api.words {
+                assert!(maps_only_to(&domain, &config, word, api.node), "{word}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        let domain = crate::textedit::domain().unwrap();
+        let _ = generate(
+            &domain,
+            &SynthesisConfig::default(),
+            &GenSpec {
+                max_depth: 0,
+                ..GenSpec::default()
+            },
+        );
+    }
+}

@@ -10,7 +10,10 @@
 //!   100-query corpus;
 //! * [`workload`] — parameterized synthetic grammars/queries that sweep
 //!   dependency depth, sibling fan-out and paths-per-edge for the
-//!   complexity experiments (§VI).
+//!   complexity experiments (§VI);
+//! * [`gen`] — a seeded grammar-walking query synthesizer over the real
+//!   domains, emitting zipf-skewed corpora with construction-proven
+//!   ground-truth expressions for differential testing at scale.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 
 pub mod astmatcher;
 mod corpus;
+pub mod gen;
 pub mod textedit;
 pub mod workload;
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the cache-sizing sweep (capacity × shards over the synthetic
+# zipf corpus) and drops BENCH_cache_sweep.json in the repo root.
+# Conclusions belong in EXPERIMENTS.md — the defaults in
+# `BatchOptions::default()` and `DEFAULT_MERGE_CAPACITY` cite it.
+#
+# Usage: scripts/cache_sweep.sh [count] [workers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NLQUERY_SWEEP_COUNT="${1:-600}" \
+NLQUERY_SWEEP_WORKERS="${2:-4}" \
+cargo run --release -p nlquery-bench --bin cache_sweep

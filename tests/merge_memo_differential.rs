@@ -27,8 +27,14 @@ fn corpus_slice(queries: Vec<nlquery::domains::QueryCase>, step: usize) -> Vec<S
 /// are tiled ×2 so run-level memo hits occur *within* one batch, not just
 /// across batches.
 fn assert_memo_transparent(domain: Domain, queries: &[String]) {
-    let on = SynthesisConfig::default();
-    let off = SynthesisConfig::default().merge_memo(false);
+    // Ample deadline: with a bounded wall-clock budget, host load (debug
+    // builds, the oversubscribed 8-worker row) can flip a query to
+    // `Timeout` in one engine but not another, breaking the bitwise
+    // differential nondeterministically. Deadline behavior has its own
+    // dedicated tests below.
+    let ample = Duration::from_secs(600);
+    let on = SynthesisConfig::default().deadline(ample);
+    let off = SynthesisConfig::default().deadline(ample).merge_memo(false);
     let sequential = Synthesizer::new(domain.clone(), off.clone());
     let expected: Vec<_> = queries.iter().map(|q| sequential.synthesize(q)).collect();
 

@@ -212,3 +212,65 @@ fn pruning_preserves_dggt_result() {
         );
     }
 }
+
+#[test]
+fn combination_count_formula_matches_actual_work_counters() {
+    // `WorkloadSpec::combination_count` is the paper's theoretical HISyn
+    // cost `Π_l p^{e_l}`. On generated workloads it must agree with (a)
+    // the edge map's measured product and (b) the number of combinations
+    // HISyn's odometer actually enumerates; DGGT's sibling-combination
+    // count must stay at or below it (the Π-vs-Σ claim).
+    for spec in workload_shapes() {
+        let w = generate(spec).expect("workload builds");
+        let theoretical = spec.combination_count();
+        let map = edge2path::compute(
+            &w.query,
+            &w.w2a,
+            &w.domain,
+            SynthesisConfig::default().search_limits,
+        );
+        assert!(
+            (map.combination_count() - theoretical).abs() <= theoretical * 1e-12,
+            "spec {spec:?}: edge map product {} vs formula {theoretical}",
+            map.combination_count()
+        );
+
+        let deadline = Deadline::new(Duration::from_secs(20));
+        let mut hs = SynthesisStats::default();
+        let _ = hisyn::synthesize(
+            &w.domain,
+            &w.query,
+            &w.w2a,
+            &map,
+            &SynthesisConfig::hisyn_baseline(),
+            &deadline,
+            &mut hs,
+        )
+        .expect("no timeout");
+        assert_eq!(
+            hs.enumerated_combinations as f64, theoretical,
+            "spec {spec:?}: HISyn must enumerate exactly the theoretical product"
+        );
+
+        let mut ds = SynthesisStats::default();
+        let _ = dggt::synthesize(
+            &w.domain,
+            &w.query,
+            &w.w2a,
+            &map,
+            &SynthesisConfig::default(),
+            &deadline,
+            &mut ds,
+        )
+        .expect("no timeout");
+        // With one path per edge the product degenerates to 1 while the
+        // per-node sum counts nodes, so Π-vs-Σ only bites from p >= 2.
+        if spec.paths_per_edge >= 2 {
+            assert!(
+                (ds.sibling_combinations as f64) <= theoretical,
+                "spec {spec:?}: DGGT sibling combinations {} exceed the HISyn product {theoretical}",
+                ds.sibling_combinations
+            );
+        }
+    }
+}

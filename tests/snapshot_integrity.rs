@@ -259,6 +259,83 @@ fn aot_seed_plus_snapshot_restore_compose() {
     fs::remove_file(&file).ok();
 }
 
+/// Snapshot round trip at corpus scale: warm state built from the
+/// grammar-walking synthetic generator (zipfian template mix, synonym
+/// and literal variation) must restore observationally invisibly —
+/// bitwise-identical replay with zero path-cache misses — on both
+/// domains. `NLQUERY_SYNTH_COUNT` scales the corpus; `make
+/// test-synthetic` runs the 10k configuration.
+#[test]
+fn generated_corpus_snapshot_round_trip_at_scale() {
+    use nlquery::domains::gen::{generate, GenSpec};
+
+    let count =
+        match std::env::var("NLQUERY_SYNTH_COUNT") {
+            Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                panic!("NLQUERY_SYNTH_COUNT must be a positive integer, got {v:?}")
+            }),
+            Err(_) => 150,
+        };
+    // Ample deadline: a load-induced `Timeout` during the warm pass would
+    // change which entries the snapshot captures and flake the
+    // zero-restored-miss assertion.
+    let config = SynthesisConfig::default().deadline(std::time::Duration::from_secs(600));
+    for (domain, _) in both_domains() {
+        let corpus = generate(
+            &domain,
+            &config,
+            &GenSpec {
+                seed: 0x5AFE_C0DE,
+                count,
+                ..GenSpec::default()
+            },
+        );
+        let queries: Vec<String> = corpus.queries.iter().map(|q| q.surface.clone()).collect();
+        let file = temp_file(&format!("generated-roundtrip-{}.json", domain.name()));
+
+        let resident = engine(&domain, &config, 4);
+        let _ = resident.synthesize_batch(&queries);
+        snapshot::save(
+            &file,
+            &domain,
+            &config,
+            resident.cache(),
+            resident.merge_memo(),
+        )
+        .expect("snapshot saves");
+        let reference = resident.synthesize_batch(&queries);
+
+        let restored = engine(&domain, &config, 4);
+        let summary = snapshot::load(
+            &file,
+            &domain,
+            &config,
+            restored.cache(),
+            restored.merge_memo(),
+        )
+        .expect("snapshot restores");
+        assert!(
+            summary.path_entries > 0,
+            "generated warm state is non-empty"
+        );
+        let got = restored.synthesize_batch(&queries);
+
+        assert_eq!(reference.results.len(), got.results.len());
+        for (i, (a, b)) in reference.results.iter().zip(&got.results).enumerate() {
+            assert_eq!(a.outcome, b.outcome, "{} #{i}", domain.name());
+            assert_eq!(a.expression, b.expression, "{} #{i}", domain.name());
+            assert_eq!(a.cgt, b.cgt, "{} #{i}", domain.name());
+        }
+        assert_eq!(
+            got.stats.cache.misses,
+            0,
+            "{}: restored cache must absorb every replayed search",
+            domain.name()
+        );
+        fs::remove_file(&file).ok();
+    }
+}
+
 /// The sequential shared-cache path agrees too (ties the suite back to
 /// `Synthesizer::synthesize_shared`, which serving and compilation use).
 #[test]

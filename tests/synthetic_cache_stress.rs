@@ -1,0 +1,267 @@
+//! Long-tail cache stress: a zipfian key population drawn from the
+//! grammar-walking synthetic corpus drives [`SharedPathCache`] into
+//! eviction and churns [`MergeMemo`] signatures, while the invariants
+//! that matter at scale must keep holding:
+//!
+//! - **exactly-once in flight**: even with eviction recycling keys, no
+//!   key ever has two concurrent leaders computing it;
+//! - **outcome partition**: `hits + misses + dedup_waits == lookups`, on
+//!   the cache's own counters and as summed from per-query stats;
+//! - **correctness under pressure**: a capacity-starved engine still
+//!   reproduces the generator's ground truth on every query.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use nlquery::domains::gen::{generate, GenSpec};
+use nlquery::domains::textedit;
+use nlquery::grammar::{GrammarGraph, GrammarPath, NodeId};
+use nlquery::memo::RawPath;
+use nlquery::{
+    edge2path, prune, Flight, MemoKey, MergeMemo, SharedPathCache, SynthesisConfig, Synthesizer,
+};
+
+/// xorshift64* with a fixed seed — deterministic, dependency-free.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Default pipeline settings with an ample deadline, so host load can
+/// never flip a query to `Timeout` mid-suite and perturb the key stream
+/// or the ground-truth comparison.
+fn ample_config() -> SynthesisConfig {
+    SynthesisConfig::default().deadline(Duration::from_secs(600))
+}
+
+fn zipf_spec(count: usize) -> GenSpec {
+    GenSpec {
+        seed: 0x10C0_FFEE,
+        count,
+        // A steep exponent concentrates mass on few templates while the
+        // tail stays long — the shape that makes LRU behavior interesting.
+        zipf_exponent: 1.4,
+        ..GenSpec::default()
+    }
+}
+
+/// The real EdgeToPath key population of a generated corpus, in emission
+/// order (so its frequency profile is the corpus's zipfian profile).
+fn key_stream(count: usize) -> Vec<MemoKey> {
+    let domain = textedit::domain().expect("textedit builds");
+    let config = ample_config();
+    let corpus = generate(&domain, &config, &zipf_spec(count));
+    let mut stream = Vec::new();
+    for q in &corpus.queries {
+        let w2a = prune::graph_candidates(&q.query, &domain, &config);
+        stream.extend(edge2path::memo_keys(
+            &q.query,
+            &w2a,
+            &domain,
+            config.search_limits,
+        ));
+    }
+    stream
+}
+
+fn some_api() -> NodeId {
+    let graph = GrammarGraph::parse("command ::= API\n").expect("mini grammar parses");
+    graph.api_node("API").expect("API node exists")
+}
+
+/// Deterministic per-key value, so recomputation after eviction must
+/// reproduce the original bytes.
+fn value_of(key: &MemoKey, api: NodeId) -> Vec<RawPath> {
+    let n = (key.gov % 3 + 1) as usize;
+    (0..n)
+        .map(|i| RawPath {
+            gov_api: Some(api),
+            dep_api: api,
+            path: GrammarPath {
+                source: Some(api),
+                sink: api,
+                chain: vec![api; (key.dep % 4 + 1) as usize + i],
+            },
+        })
+        .collect()
+}
+
+/// Single-flight discipline survives eviction: 8 threads over a zipfian
+/// key stream and a cache far smaller than the key population. Keys get
+/// evicted and recomputed — but never by two leaders at once, the
+/// outcome counters always partition the lookups, and every value read
+/// matches the deterministic reference.
+#[test]
+fn single_flight_is_exactly_once_under_eviction() {
+    let api = some_api();
+    let stream = key_stream(300);
+    let universe: Vec<MemoKey> = {
+        let mut seen = std::collections::BTreeSet::new();
+        stream
+            .iter()
+            .filter(|k| seen.insert(**k))
+            .copied()
+            .collect()
+    };
+    assert!(
+        universe.len() > 24,
+        "population too small to stress eviction: {}",
+        universe.len()
+    );
+    let reference: BTreeMap<MemoKey, Vec<RawPath>> =
+        universe.iter().map(|k| (*k, value_of(k, api))).collect();
+
+    // Capacity well below the unique-key population forces LRU churn.
+    let cache = Arc::new(SharedPathCache::with_shards(universe.len() / 4, 4));
+    let inflight: BTreeMap<MemoKey, AtomicU64> =
+        universe.iter().map(|k| (*k, AtomicU64::new(0))).collect();
+    let threads = 8;
+    let start = Barrier::new(threads);
+    let (hits, misses, waits) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = Arc::clone(&cache);
+            let (stream, reference, inflight) = (&stream, &reference, &inflight);
+            let (start, hits, misses, waits) = (&start, &hits, &misses, &waits);
+            scope.spawn(move || {
+                let mut rng = XorShift64::new(0xCA11 + t as u64);
+                start.wait();
+                // Each thread replays a seeded sample of the zipfian
+                // stream, preserving its popularity profile.
+                for _ in 0..stream.len() / 2 {
+                    let key = stream[rng.below(stream.len())];
+                    let value = match cache.join(key) {
+                        Flight::Hit(v) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            v
+                        }
+                        Flight::Shared(v) => {
+                            waits.fetch_add(1, Ordering::Relaxed);
+                            v
+                        }
+                        Flight::Miss(token) => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            let gauge = &inflight[&key];
+                            let racing = gauge.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(racing, 0, "two concurrent leaders computed the same key");
+                            // Widen the in-flight window so racing lookups
+                            // actually contend with the leader.
+                            thread::sleep(Duration::from_micros(50));
+                            let v = token.complete(value_of(&key, api));
+                            gauge.fetch_sub(1, Ordering::SeqCst);
+                            v
+                        }
+                    };
+                    assert_eq!(value.as_ref(), &reference[&key], "torn or mixed-up value");
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let total = (threads * (stream.len() / 2)) as u64;
+    assert_eq!(
+        stats.hits + stats.misses + stats.dedup_waits,
+        total,
+        "outcomes must partition the lookups under eviction: {stats:?}"
+    );
+    assert_eq!(stats.lookups(), total);
+    assert_eq!(stats.hits, hits.load(Ordering::Relaxed));
+    assert_eq!(stats.misses, misses.load(Ordering::Relaxed));
+    assert_eq!(stats.dedup_waits, waits.load(Ordering::Relaxed));
+    assert!(
+        stats.evictions > 0,
+        "the zipfian tail must overflow the cache: {stats:?}"
+    );
+    // Eviction means recomputation: strictly more misses than unique keys.
+    assert!(
+        stats.misses > universe.len() as u64 / 4,
+        "expected recomputation churn: {stats:?}"
+    );
+}
+
+/// A capacity-starved engine — path cache and merge memo both far below
+/// the working set — still answers every generated query with its
+/// ground-truth expression, and the per-query memo counters sum exactly
+/// to the shared cache's totals.
+#[test]
+fn starved_engine_stays_correct_and_counters_partition() {
+    let domain = textedit::domain().expect("textedit builds");
+    let config = ample_config();
+    let corpus = generate(&domain, &config, &zipf_spec(200));
+    let synth = Synthesizer::new(domain.clone(), config.clone());
+
+    // Tiny tiers: the path cache sees eviction, the merge memo sees
+    // signature churn from synonym/literal variation across emissions.
+    let cache = Arc::new(SharedPathCache::with_shards(8, 2));
+    let memo = MergeMemo::with_shards(16, 2);
+    let threads = 4;
+
+    let per_query: u64 = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (synth, corpus, cache, memo) = (&synth, &corpus, &cache, &memo);
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    for q in corpus.queries.iter().skip(t).step_by(threads) {
+                        let r = synth.synthesize_graph_memoized(&q.query, cache, memo);
+                        assert_eq!(
+                            r.expression.as_deref(),
+                            Some(q.expected.as_str()),
+                            "template {}: starved caches must never change answers",
+                            q.template
+                        );
+                        sum += r.stats.memo_hits + r.stats.memo_misses + r.stats.memo_dedup_waits;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.dedup_waits,
+        stats.lookups(),
+        "{stats:?}"
+    );
+    assert_eq!(
+        per_query,
+        stats.lookups(),
+        "per-query memo counters must sum to the cache totals: {stats:?}"
+    );
+    assert!(
+        stats.evictions > 0,
+        "a capacity-8 cache must evict under this corpus: {stats:?}"
+    );
+    let mstats = memo.stats();
+    assert!(
+        mstats.evictions > 0 || mstats.entries <= 16,
+        "merge memo must churn within its capacity: {mstats:?}"
+    );
+}

@@ -1,0 +1,225 @@
+//! Differential suite over the grammar-walking synthetic corpus
+//! (`nlquery_domains::gen`): every generated query carries a ground-truth
+//! expression proven by construction, so the full pipeline must agree on
+//! **100%** of them — with the merge memo on and off, and at 1/2/4/8
+//! workers sharing one path cache, all bitwise-identical.
+//!
+//! `NLQUERY_SYNTH_COUNT` scales the corpus (default keeps tier-1 fast;
+//! `make test-synthetic` runs the 10k-per-domain release configuration).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nlquery::domains::gen::{generate, GenSpec, GeneratedCorpus};
+use nlquery::domains::{astmatcher, textedit};
+use nlquery::{Domain, MergeMemo, SharedPathCache, SynthesisConfig, Synthesizer};
+
+/// Default pipeline settings with an ample deadline: the suite asserts
+/// bitwise identity, which a bounded wall-clock budget would make
+/// nondeterministic — host load (debug builds, the oversubscribed
+/// 8-worker sweep) could flip a query to `Timeout` in one run but not
+/// another.
+fn config() -> SynthesisConfig {
+    SynthesisConfig::default().deadline(Duration::from_secs(600))
+}
+
+/// Corpus size per domain. The default is sized for debug-mode tier-1
+/// runs; CI's `make test-synthetic` sets `NLQUERY_SYNTH_COUNT=10000`.
+fn synth_count() -> usize {
+    match std::env::var("NLQUERY_SYNTH_COUNT") {
+        Ok(v) => {
+            v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                panic!("NLQUERY_SYNTH_COUNT must be a positive integer, got {v:?}")
+            })
+        }
+        Err(_) => 160,
+    }
+}
+
+fn spec(count: usize) -> GenSpec {
+    GenSpec {
+        seed: 0x5EED_CAFE,
+        count,
+        ..GenSpec::default()
+    }
+}
+
+fn both_domains() -> Vec<Domain> {
+    vec![
+        textedit::domain().expect("textedit builds"),
+        astmatcher::domain().expect("astmatcher builds"),
+    ]
+}
+
+/// Stable textual fingerprint of a corpus — template ids, rendered query
+/// graphs, surfaces and expected expressions.
+fn fingerprint(corpus: &GeneratedCorpus) -> String {
+    let mut out = String::new();
+    for q in &corpus.queries {
+        out.push_str(&format!(
+            "{}\x1f{}\x1f{}\x1f{}\n",
+            q.template,
+            q.query.render(),
+            q.surface,
+            q.expected
+        ));
+    }
+    out
+}
+
+/// A fixed seed must reproduce the corpus byte-for-byte, and a different
+/// seed must not.
+#[test]
+fn corpora_are_byte_identical_for_a_fixed_seed() {
+    let config = config();
+    for domain in both_domains() {
+        let n = synth_count();
+        let a = generate(&domain, &config, &spec(n));
+        let b = generate(&domain, &config, &spec(n));
+        assert_eq!(a.queries.len(), n, "{}", domain.name());
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{}: same seed must reproduce the corpus byte-for-byte",
+            domain.name()
+        );
+        let other = generate(
+            &domain,
+            &config,
+            &GenSpec {
+                seed: 0xBAD_5EED,
+                count: n,
+                ..GenSpec::default()
+            },
+        );
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&other),
+            "{}: different seeds must diverge",
+            domain.name()
+        );
+    }
+}
+
+/// The full pipeline (WordToAPI → EdgeToPath → PathMerging →
+/// TreeToExpression) must reproduce the generator's ground truth on every
+/// query, with the merge memo off and on.
+#[test]
+fn pipeline_agrees_with_ground_truth_memo_off_and_on() {
+    let config = config();
+    for domain in both_domains() {
+        let corpus = generate(&domain, &config, &spec(synth_count()));
+        let synth = Synthesizer::new(domain.clone(), config.clone());
+
+        // Memo off: a fresh private path cache per query.
+        for q in &corpus.queries {
+            let r = synth.synthesize_graph(&q.query);
+            assert_eq!(
+                r.expression.as_deref(),
+                Some(q.expected.as_str()),
+                "{} template {}: memo-off pipeline disagrees with ground truth for {:?} ({:?})",
+                domain.name(),
+                q.template,
+                q.surface,
+                r.error,
+            );
+        }
+
+        // Memo on: one shared path cache + merge memo across the corpus.
+        let cache = Arc::new(SharedPathCache::new(4096));
+        let memo = MergeMemo::new(2048);
+        for q in &corpus.queries {
+            let r = synth.synthesize_graph_memoized(&q.query, &cache, &memo);
+            assert_eq!(
+                r.expression.as_deref(),
+                Some(q.expected.as_str()),
+                "{} template {}: memoized pipeline disagrees with ground truth for {:?} ({:?})",
+                domain.name(),
+                q.template,
+                q.surface,
+                r.error,
+            );
+        }
+    }
+}
+
+/// 1/2/4/8 workers sharing one path cache and merge memo must be
+/// bitwise-identical to the sequential memo-off reference — outcome,
+/// expression and CGT — on the whole generated corpus.
+#[test]
+fn worker_sweep_is_bitwise_identical_to_the_sequential_reference() {
+    let config = config();
+    for domain in both_domains() {
+        let corpus = generate(&domain, &config, &spec(synth_count()));
+        let synth = Synthesizer::new(domain.clone(), config.clone());
+        let reference: Vec<_> = corpus
+            .queries
+            .iter()
+            .map(|q| synth.synthesize_graph(&q.query))
+            .collect();
+
+        for workers in [1usize, 2, 4, 8] {
+            let cache = Arc::new(SharedPathCache::new(4096));
+            let memo = MergeMemo::new(2048);
+            let mut results: Vec<Option<nlquery::Synthesis>> = Vec::new();
+            results.resize_with(corpus.queries.len(), || None);
+
+            // Striped partition over plain threads: worker `t` takes
+            // indices t, t+workers, … — deterministic and ownerless.
+            let stripes: Vec<Vec<(usize, Option<nlquery::Synthesis>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> =
+                        (0..workers)
+                            .map(|t| {
+                                let (synth, corpus, cache, memo) = (&synth, &corpus, &cache, &memo);
+                                scope.spawn(move || {
+                                    corpus
+                                        .queries
+                                        .iter()
+                                        .enumerate()
+                                        .skip(t)
+                                        .step_by(workers)
+                                        .map(|(i, q)| {
+                                            (
+                                                i,
+                                                Some(synth.synthesize_graph_memoized(
+                                                    &q.query, cache, memo,
+                                                )),
+                                            )
+                                        })
+                                        .collect()
+                                })
+                            })
+                            .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker"))
+                        .collect()
+                });
+            for stripe in stripes {
+                for (i, r) in stripe {
+                    results[i] = r;
+                }
+            }
+
+            for (i, (a, b)) in reference.iter().zip(&results).enumerate() {
+                let b = b.as_ref().expect("every index filled");
+                let q = &corpus.queries[i];
+                assert_eq!(a.outcome, b.outcome, "{} w={workers} #{i}", domain.name());
+                assert_eq!(
+                    a.expression,
+                    b.expression,
+                    "{} w={workers} #{i}",
+                    domain.name()
+                );
+                assert_eq!(a.cgt, b.cgt, "{} w={workers} #{i}", domain.name());
+                assert_eq!(
+                    b.expression.as_deref(),
+                    Some(q.expected.as_str()),
+                    "{} w={workers} #{i}: ground truth must hold under sharing",
+                    domain.name()
+                );
+            }
+        }
+    }
+}
