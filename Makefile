@@ -10,9 +10,9 @@ ifdef NLQUERY_TEST_THREADS
 export RUST_TEST_THREADS := $(NLQUERY_TEST_THREADS)
 endif
 
-.PHONY: cache-sweep ci build test test-faults test-serve test-merge-memo test-snapshot test-synthetic fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop serve-warm snapshot load-gen load-gen-smoke
+.PHONY: cache-sweep ci build test test-faults test-serve test-http-conformance test-merge-memo test-snapshot test-synthetic fmt clippy bench-batch bench-json bench-gate bench-delta bless-golden serve serve-stop serve-warm snapshot load-gen load-gen-smoke load-gen-churn
 
-ci: build test test-faults test-merge-memo test-snapshot test-synthetic test-serve fmt clippy
+ci: build test test-faults test-merge-memo test-snapshot test-synthetic test-serve test-http-conformance fmt clippy
 
 build:
 	cargo build --release
@@ -60,10 +60,17 @@ cache-sweep:
 	./scripts/cache_sweep.sh
 
 # The serving-layer end-to-end suite: ephemeral-port boot, concurrent
-# clients, 429 shedding, structured deadline errors, graceful drain. A
-# wedged drain would hang forever, so it runs under a hard timeout too.
+# clients, 429 shedding, structured deadline errors, graceful drain,
+# front-end parity, connection budget, per-client fairness. A wedged
+# drain would hang forever, so it runs under a hard timeout too.
 test-serve:
 	timeout --signal=KILL 600 cargo test -q --test serve_integration
+
+# The HTTP/1.x conformance suite: table-driven raw-byte requests
+# (duplicate Content-Length, HTTP/1.0 semantics, exact header limits,
+# pipelining, mid-body disconnect) against both connection front ends.
+test-http-conformance:
+	timeout --signal=KILL 300 cargo test -q --test http_conformance
 
 fmt:
 	cargo fmt --all -- --check
@@ -114,15 +121,26 @@ serve-warm:
 		--aot --aot-cache aot_cache.json
 
 # Loopback load generator: boots the server in-process on an ephemeral
-# port, drives it with concurrent keep-alive connections, and writes
-# BENCH_serve.json (p50/p95/p99 latency, qps, shed rate). Tune with
-# NLQUERY_LOAD_CONNS / NLQUERY_LOAD_REQUESTS / NLQUERY_LOAD_QUEUE_DEPTH.
+# port, drives it with concurrent keep-alive connections (the
+# event-driven front end by default), and writes BENCH_serve.json
+# (p50/p95/p99 latency, qps, shed rate, rejected/dropped connection
+# counts; exits non-zero on any silently-dropped connection). Tune with
+# NLQUERY_LOAD_CONNS / NLQUERY_LOAD_REQUESTS / NLQUERY_LOAD_QUEUE_DEPTH /
+# NLQUERY_LOAD_MODE / NLQUERY_LOAD_FRONT_END / NLQUERY_LOAD_MAX_CONNS.
 load-gen:
 	cargo run --release --bin load_gen
 
 # The CI smoke variant: small N under a hard wall-clock timeout.
 load-gen-smoke:
 	NLQUERY_LOAD_CONNS=2 NLQUERY_LOAD_REQUESTS=10 timeout --signal=KILL 300 cargo run --release --bin load_gen
+
+# The CI connection-churn variant: a fresh connection per request
+# through the event-driven front end; gates on zero silently-dropped
+# connections and writes BENCH_serve_churn.json.
+load-gen-churn:
+	NLQUERY_LOAD_CONNS=8 NLQUERY_LOAD_REQUESTS=25 NLQUERY_LOAD_MODE=churn \
+		NLQUERY_BENCH_JSON=BENCH_serve_churn.json \
+		timeout --signal=KILL 300 cargo run --release --bin load_gen
 
 # Regenerate the golden corpus snapshots after a deliberate output change.
 bless-golden:

@@ -12,6 +12,17 @@
 //!
 //! - `NLQUERY_LOAD_CONNS`: concurrent connections (default 4).
 //! - `NLQUERY_LOAD_REQUESTS`: requests per connection (default 50).
+//! - `NLQUERY_LOAD_MODE`: `keepalive` (default) reuses one connection
+//!   per worker; `churn` opens a fresh connection for every request,
+//!   exercising the accept path and the connection budget. In either
+//!   mode a connection that dies without an HTTP response is counted
+//!   as `dropped` — the bench exits non-zero if any connection was
+//!   silently dropped (answered 503 rejections count as `rejected`,
+//!   not drops).
+//! - `NLQUERY_LOAD_FRONT_END`: `event` (default) drives the
+//!   event-driven poller front end; `threads` the legacy
+//!   thread-per-connection path.
+//! - `NLQUERY_LOAD_MAX_CONNS`: server connection budget (default 1024).
 //! - `NLQUERY_LOAD_QUEUE_DEPTH`: admission bound (default 64; set it
 //!   low to exercise shedding).
 //! - `NLQUERY_LOAD_WINDOW_US`: micro-batch window in µs (default 2000).
@@ -83,14 +94,87 @@ fn load_corpus(domain: &nlquery_core::Domain) -> (&'static str, Vec<String>) {
     }
 }
 
+/// Reads a knob constrained to an enumerated set of values.
+fn env_choice(name: &str, default: &'static str, allowed: &[&'static str]) -> &'static str {
+    match std::env::var(name) {
+        Ok(v) => match allowed.iter().find(|&&a| a == v) {
+            Some(choice) => choice,
+            None => {
+                eprintln!("load_gen: {name} must be one of {allowed:?}, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 #[derive(Default)]
 struct Tally {
     ok: AtomicU64,
     shed: AtomicU64,
+    /// Connections answered with 503 (`ConnectionLimit`) — an
+    /// *accounted* rejection, distinct from a silent drop.
+    rejected: AtomicU64,
+    /// Connections that died without any HTTP response: the failure
+    /// mode the front end exists to eliminate. CI gates on zero.
+    dropped: AtomicU64,
     errors: AtomicU64,
     successes: AtomicU64,
     timeouts: AtomicU64,
     failures: AtomicU64,
+}
+
+/// Classifies one exchange's result into the tally; returns `false`
+/// when the connection should be considered dead.
+fn classify(
+    tally: &Tally,
+    latency: &LatencyHistogram,
+    started: Instant,
+    result: std::io::Result<nlquery_serve::HttpResponse>,
+) -> bool {
+    match result {
+        Ok(resp) if resp.status == 200 => {
+            latency.record(started.elapsed());
+            tally.ok.fetch_add(1, Ordering::Relaxed);
+            match resp
+                .json()
+                .ok()
+                .as_ref()
+                .and_then(|d| d.get("outcome"))
+                .and_then(JsonValue::as_str)
+            {
+                Some("success") => &tally.successes,
+                Some("timeout") => &tally.timeouts,
+                _ => &tally.failures,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Ok(resp) if resp.status == 429 => {
+            tally.shed.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Ok(resp) if resp.status == 503 => {
+            // An answered rejection (connection budget or drain):
+            // explicitly not a silent drop. The connection closes.
+            tally.rejected.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Ok(_) => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            // The connection closed without a single response byte —
+            // the silent drop the event front end must never produce.
+            tally.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(_) => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
 }
 
 fn quantile_secs(snap: &nlquery_core::HistogramSnapshot, q: f64) -> f64 {
@@ -102,6 +186,9 @@ fn main() {
     let requests = env_usize("NLQUERY_LOAD_REQUESTS", 50);
     let queue_depth = env_usize("NLQUERY_LOAD_QUEUE_DEPTH", 64);
     let window_us = env_usize("NLQUERY_LOAD_WINDOW_US", 2000);
+    let max_connections = env_usize("NLQUERY_LOAD_MAX_CONNS", 1024);
+    let mode = env_choice("NLQUERY_LOAD_MODE", "keepalive", &["keepalive", "churn"]);
+    let front_end = env_choice("NLQUERY_LOAD_FRONT_END", "event", &["event", "threads"]);
 
     let domain = astmatcher::domain().expect("embedded domain builds");
     let (corpus_label, corpus) = load_corpus(&domain);
@@ -111,14 +198,17 @@ fn main() {
         ServerConfig {
             queue_depth,
             batch_window: Duration::from_micros(window_us as u64),
+            event_driven: front_end == "event",
+            max_connections,
             ..ServerConfig::default()
         },
     )
     .expect("server boots on an ephemeral loopback port");
     let addr = server.local_addr();
     println!(
-        "load_gen: {conns} connections x {requests} requests against http://{addr} \
-         ({} {corpus_label} queries, queue depth {queue_depth}, window {window_us}us)",
+        "load_gen: {conns} connections x {requests} requests ({mode}, {front_end} front end) \
+         against http://{addr} ({} {corpus_label} queries, queue depth {queue_depth}, \
+         window {window_us}us, max {max_connections} connections)",
         corpus.len(),
     );
 
@@ -133,41 +223,34 @@ fn main() {
             let tally = Arc::clone(&tally);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut client = Some(HttpClient::connect(addr).expect("connect"));
                 barrier.wait();
                 for i in 0..requests {
                     // Each connection walks the corpus at a coprime
                     // stride so concurrent windows mix repeated and
                     // distinct shapes, like real interactive traffic.
                     let query = &corpus[(conn * 7919 + i) % corpus.len()];
+                    if mode == "churn" {
+                        // Connection churn: a fresh accept for every
+                        // request.
+                        client = None;
+                    }
+                    if client.is_none() {
+                        // A refused connect is a silent drop: the server
+                        // never answered this connection at all.
+                        match HttpClient::connect(addr) {
+                            Ok(fresh) => client = Some(fresh),
+                            Err(_) => {
+                                tally.dropped.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    let live = client.as_mut().expect("connected above");
                     let start = Instant::now();
-                    match client.synthesize(query, None) {
-                        Ok(resp) if resp.status == 200 => {
-                            latency.record(start.elapsed());
-                            tally.ok.fetch_add(1, Ordering::Relaxed);
-                            match resp
-                                .json()
-                                .ok()
-                                .as_ref()
-                                .and_then(|d| d.get("outcome"))
-                                .and_then(JsonValue::as_str)
-                            {
-                                Some("success") => &tally.successes,
-                                Some("timeout") => &tally.timeouts,
-                                _ => &tally.failures,
-                            }
-                            .fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(resp) if resp.status == 429 => {
-                            tally.shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(_) | Err(_) => {
-                            tally.errors.fetch_add(1, Ordering::Relaxed);
-                            // The connection may be dead; reconnect.
-                            if let Ok(fresh) = HttpClient::connect(addr) {
-                                client = fresh;
-                            }
-                        }
+                    let result = live.synthesize(query, None);
+                    if !classify(&tally, &latency, start, result) {
+                        client = None; // dead; reconnect on the next request
                     }
                 }
             })
@@ -194,6 +277,8 @@ fn main() {
     let total = (conns * requests) as u64;
     let ok = tally.ok.load(Ordering::Relaxed);
     let shed = tally.shed.load(Ordering::Relaxed);
+    let rejected = tally.rejected.load(Ordering::Relaxed);
+    let dropped = tally.dropped.load(Ordering::Relaxed);
     let errors = tally.errors.load(Ordering::Relaxed);
     let qps = ok as f64 / wall.as_secs_f64().max(1e-9);
     let p50 = quantile_secs(&snap, 0.50);
@@ -201,7 +286,8 @@ fn main() {
     let p99 = quantile_secs(&snap, 0.99);
 
     println!(
-        "load_gen: {ok}/{total} ok, {shed} shed, {errors} errors in {:.2}s  {qps:.1} q/s  \
+        "load_gen: {ok}/{total} ok, {shed} shed, {rejected} rejected, {dropped} dropped, \
+         {errors} errors in {:.2}s  {qps:.1} q/s  \
          p50 {:.1}ms  p95 {:.1}ms  p99 {:.1}ms  metrics {}",
         wall.as_secs_f64(),
         p50 * 1e3,
@@ -213,13 +299,18 @@ fn main() {
     let doc = JsonValue::obj([
         ("bench", JsonValue::from("serve_load")),
         ("corpus", JsonValue::from(corpus_label)),
+        ("mode", JsonValue::from(mode)),
+        ("front_end", JsonValue::from(front_end)),
         ("connections", JsonValue::from(conns)),
         ("requests_per_connection", JsonValue::from(requests)),
         ("queue_depth", JsonValue::from(queue_depth)),
         ("batch_window_us", JsonValue::from(window_us)),
+        ("max_connections", JsonValue::from(max_connections)),
         ("total_requests", JsonValue::from(total)),
         ("ok", JsonValue::from(ok)),
         ("shed", JsonValue::from(shed)),
+        ("rejected", JsonValue::from(rejected)),
+        ("dropped", JsonValue::from(dropped)),
         ("errors", JsonValue::from(errors)),
         (
             "shed_rate",
@@ -266,8 +357,14 @@ fn main() {
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
-    if errors > 0 || !metrics_ok {
-        eprintln!("load_gen: {errors} transport errors, metrics_ok={metrics_ok}");
+    // Hard gates: transport errors, a dead exporter, or — the one the
+    // connection front end exists to guarantee — any silently-dropped
+    // connection fails the bench.
+    if errors > 0 || dropped > 0 || !metrics_ok {
+        eprintln!(
+            "load_gen: {errors} transport errors, {dropped} silently dropped connections, \
+             metrics_ok={metrics_ok}"
+        );
         std::process::exit(1);
     }
 }

@@ -161,11 +161,12 @@ struct Submission {
 impl Submission {
     /// Records one finished job; the last record flips the latch.
     ///
-    /// Ordering: the result is written and the engine's cumulative
-    /// counters are bumped **before** the remaining-count decrement, so
-    /// `wait()` returning implies the counters cover this submission, and
-    /// [`ServiceStats::outstanding`]` == 0` implies every result is
-    /// visible.
+    /// Ordering: the engine's cumulative counters are bumped **before**
+    /// the completion callback runs, so anything a callback makes
+    /// observable (e.g. an HTTP response delivered by the serving layer)
+    /// is already covered by the counters; the result is written
+    /// **before** the remaining-count decrement, so `wait()` returning
+    /// implies every result of this submission is visible.
     fn record(
         &self,
         shared: &PoolShared,
@@ -175,11 +176,6 @@ impl Submission {
         stolen: bool,
         busy: Duration,
     ) {
-        if let Some(notify) = &self.notify {
-            // A panicking callback must not kill the resident worker (or
-            // leave the submission latch unflipped).
-            let _ = catch_unwind(AssertUnwindSafe(|| notify(index, &synthesis)));
-        }
         {
             let mut stats = lock(&self.worker_stats);
             let slot = &mut stats[worker];
@@ -188,8 +184,13 @@ impl Submission {
             slot.busy += busy;
         }
         shared.tally_outcome(&synthesis);
-        lock(&self.results)[index] = Some(synthesis);
         shared.completed.fetch_add(1, Ordering::Release);
+        if let Some(notify) = &self.notify {
+            // A panicking callback must not kill the resident worker (or
+            // leave the submission latch unflipped).
+            let _ = catch_unwind(AssertUnwindSafe(|| notify(index, &synthesis)));
+        }
+        lock(&self.results)[index] = Some(synthesis);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             *lock(&self.wall) = Some(self.started.elapsed());
             let mut done = lock(&self.done);

@@ -61,12 +61,28 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<HttpResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Sends one request with extra headers (e.g. `X-Client-Id` for
+    /// fairness keying) and reads its response.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<HttpResponse> {
         let body = body.unwrap_or("");
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: nlquery\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: nlquery\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len(),
         )?;
+        for (name, value) in extra_headers {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        write!(self.writer, "\r\n{body}")?;
         self.writer.flush()?;
         self.read_response()
     }

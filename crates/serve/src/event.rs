@@ -1,0 +1,519 @@
+//! The event-driven connection front end: one thread, nonblocking
+//! sockets, a `poll(2)` readiness loop (via [`crate::sys`]).
+//!
+//! Each connection is a small state machine — a resumable
+//! [`RequestParser`], an output buffer, and at most one in-flight
+//! `/synthesize` — so concurrency is bounded by memory and the
+//! configured connection budget, not by thread count. The loop:
+//!
+//! - accepts in bursts while under [`ServerConfig::max_connections`]
+//!   (`crate::server::ServerConfig`); over budget, connections are
+//!   answered with an accounted `503` and closed, never silently
+//!   dropped;
+//! - reads whatever bytes are available into each connection's parser
+//!   and admits complete requests through the same
+//!   [`admit_synthesize`] path as the legacy front end;
+//! - parks a connection with a `/synthesize` in flight (no read
+//!   interest) until the micro-batcher delivers its result through the
+//!   [`Completions`] queue, whose waker socket is part of the poll set
+//!   — requests on one connection are answered strictly in order, so
+//!   pipelining is safe;
+//! - reaps idle keep-alive connections past the read timeout, and
+//!   applies the same capped reply backstop as the legacy path to a
+//!   wedged result channel.
+//!
+//! On drain the listener closes, idle connections are shed, in-flight
+//! requests finish, and the loop exits once every admitted request has
+//! been answered — [`Server::join`](crate::Server::join) relies on
+//! that ordering.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nlquery_core::JsonValue;
+
+use crate::http::{Parsed, RequestParser, Response};
+use crate::server::{
+    admit_synthesize, dispatch_immediate, is_synthesize, lock, reject_connection, reply_backstop,
+    ReplySink, ServerShared, ROUTE_SYNTHESIZE,
+};
+use crate::sys::{self, PollFd};
+
+/// How long one `poll` waits when nothing is ready: the tick that
+/// drives backstop and idle reaping.
+const POLL_TICK_MS: i32 = 50;
+/// Upper bound on accepts per loop iteration, so one accept storm
+/// cannot starve established connections of service.
+const ACCEPT_BURST: usize = 128;
+/// Upper bound on 8 KiB reads per connection per iteration, so one
+/// fire-hose client cannot starve the rest.
+const READ_BURST: usize = 16;
+
+/// The bridge from the micro-batcher's completion callbacks into the
+/// poll loop: a queue of `(request id, rendered body)` pairs plus a
+/// waker socket that is part of the loop's poll set.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<(u64, String)>>,
+    waker: UnixStream,
+}
+
+impl Completions {
+    /// Builds the queue and its waker socketpair; returns the shared
+    /// handle (for reply sinks and [`Completions::wake`]) and the read
+    /// end the event loop polls.
+    pub(crate) fn pair() -> io::Result<(Arc<Completions>, UnixStream)> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        Ok((
+            Arc::new(Completions {
+                queue: Mutex::new(Vec::new()),
+                waker: wake_tx,
+            }),
+            wake_rx,
+        ))
+    }
+
+    /// Delivers one rendered result and wakes the loop.
+    pub(crate) fn deliver(&self, request: u64, body: String) {
+        lock(&self.queue).push((request, body));
+        self.wake();
+    }
+
+    /// Wakes the poll loop. A full waker buffer is fine to ignore: the
+    /// loop drains the queue on every wake-up and ticks regardless.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.waker).write(&[1u8]);
+    }
+
+    fn take(&self) -> Vec<(u64, String)> {
+        std::mem::take(&mut *lock(&self.queue))
+    }
+}
+
+/// A `/synthesize` in flight on a connection.
+struct Await {
+    /// The request id keyed into the loop's pending map.
+    request: u64,
+    /// Admission time, for the latency histograms.
+    start: Instant,
+    /// The capped reply backstop (see [`reply_backstop`]).
+    deadline: Instant,
+    /// Whether the response closes the connection.
+    close: bool,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    peer: IpAddr,
+    parser: RequestParser,
+    /// Serialized responses not yet written to the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// The in-flight `/synthesize`, if any. While set, the connection
+    /// has no read interest: requests are handled strictly in order.
+    awaiting: Option<Await>,
+    /// Close once `out` drains (error responses, `Connection: close`,
+    /// drain).
+    close_after_flush: bool,
+    /// The peer finished sending (read returned 0).
+    eof: bool,
+    last_activity: Instant,
+}
+
+/// Runs the readiness loop until the server drains. `wake_rx` is the
+/// read end of the [`Completions`] waker.
+pub(crate) fn event_loop(shared: &Arc<ServerShared>, listener: TcpListener, wake_rx: UnixStream) {
+    if listener.set_nonblocking(true).is_err() {
+        // Cannot run a readiness loop over a blocking listener; drain
+        // immediately rather than serve wrong.
+        return;
+    }
+    let completions = lock(&shared.event)
+        .as_ref()
+        .map(Arc::clone)
+        .expect("event front end requires a completion channel");
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // `request id -> connection id` for admitted requests. An entry
+    // outlives its connection when the peer vanishes mid-request: the
+    // eventual completion still decrements the admission gauge exactly
+    // once, whoever removes the entry.
+    let mut pending: HashMap<u64, u64> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    let mut next_request: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut order: Vec<u64> = Vec::new();
+
+    loop {
+        // Drain: close the listener, shed idle connections, let
+        // in-flight work finish, exit once everything is answered.
+        if shared.draining() {
+            listener = None;
+            for conn in conns.values_mut() {
+                conn.close_after_flush = true;
+            }
+            conns.retain(|_, c| c.awaiting.is_some() || !c.out.is_empty());
+            if conns.is_empty() && pending.is_empty() {
+                shared.conns_open.store(0, Ordering::Release);
+                return;
+            }
+        }
+
+        // Build the poll set: waker, listener, then connections.
+        fds.clear();
+        order.clear();
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), sys::POLLIN));
+        let listener_slot = listener.as_ref().map(|l| {
+            fds.push(PollFd::new(l.as_raw_fd(), sys::POLLIN));
+            fds.len() - 1
+        });
+        let conn_base = fds.len();
+        for (&id, conn) in &conns {
+            let mut events = 0i16;
+            if conn.out_pos < conn.out.len() {
+                events |= sys::POLLOUT;
+            }
+            if conn.awaiting.is_none() && !conn.eof && !conn.close_after_flush {
+                events |= sys::POLLIN;
+            }
+            // events may be 0 (parked awaiting a reply): POLLHUP and
+            // POLLERR are reported regardless, so a vanished peer still
+            // surfaces.
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            order.push(id);
+        }
+
+        if sys::poll_fds(&mut fds, POLL_TICK_MS).is_err() {
+            // A failed poll (fd pressure) must not spin the CPU.
+            std::thread::sleep(Duration::from_millis(POLL_TICK_MS as u64));
+            continue;
+        }
+
+        // Waker + completions: deliver finished syntheses to their
+        // connections.
+        if fds[0].revents & sys::POLLIN != 0 {
+            let mut sink = [0u8; 64];
+            while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        for (request, body) in completions.take() {
+            let Some(conn_id) = pending.remove(&request) else {
+                continue; // already reaped by the backstop
+            };
+            shared.admitted.fetch_sub(1, Ordering::AcqRel);
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue; // peer vanished mid-request; gauge settled above
+            };
+            let Some(waited) = conn.awaiting.take() else {
+                continue;
+            };
+            let elapsed = waited.start.elapsed();
+            shared.latency.record(elapsed);
+            shared.route_latency[ROUTE_SYNTHESIZE].record(elapsed);
+            queue_response(
+                conn,
+                &Response::raw_json(200, body),
+                waited.close || shared.draining(),
+            );
+            drive(
+                shared,
+                conn_id,
+                conn,
+                &mut pending,
+                &mut next_request,
+                &completions,
+            );
+            if !settle(conn) {
+                conns.remove(&conn_id);
+            }
+        }
+
+        // Accept burst.
+        if let (Some(l), Some(slot)) = (&listener, listener_slot) {
+            if fds[slot].revents & sys::POLLIN != 0 {
+                for _ in 0..ACCEPT_BURST {
+                    match l.accept() {
+                        Ok((stream, addr)) => {
+                            shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                            if shared.draining() || conns.len() >= shared.config.max_connections {
+                                // Accepted sockets start blocking (the
+                                // listener's nonblocking flag is not
+                                // inherited), which is what the
+                                // timeout-bounded rejection write wants.
+                                reject_connection(shared, stream);
+                                continue;
+                            }
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let id = next_conn;
+                            next_conn += 1;
+                            conns.insert(
+                                id,
+                                Conn {
+                                    stream,
+                                    peer: addr.ip(),
+                                    parser: RequestParser::new(),
+                                    out: Vec::new(),
+                                    out_pos: 0,
+                                    awaiting: None,
+                                    close_after_flush: false,
+                                    eof: false,
+                                    last_activity: Instant::now(),
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // Per-connection I/O.
+        for (slot, &id) in order.iter().enumerate() {
+            let revents = fds[conn_base + slot].revents;
+            if revents == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&id) else {
+                continue; // removed by the completion pass
+            };
+            if revents & (sys::POLLERR | sys::POLLNVAL) != 0 {
+                conns.remove(&id);
+                continue;
+            }
+            if revents & sys::POLLHUP != 0 && conn.awaiting.is_some() {
+                // The peer vanished while its request is in the engine.
+                // Drop the connection now (POLLHUP reports every tick)
+                // but leave the pending entry: the completion settles
+                // the admission gauge.
+                conns.remove(&id);
+                continue;
+            }
+            let mut alive = true;
+            if revents & (sys::POLLIN | sys::POLLHUP) != 0 && conn.awaiting.is_none() {
+                alive = read_into_parser(conn);
+                if alive {
+                    drive(
+                        shared,
+                        id,
+                        conn,
+                        &mut pending,
+                        &mut next_request,
+                        &completions,
+                    );
+                }
+            }
+            if !alive || !settle(conn) {
+                conns.remove(&id);
+            }
+        }
+
+        // Backstop: the engine records every admitted job, so replies
+        // always arrive; if one ever did not, release the slot and
+        // answer 500 instead of parking the connection forever.
+        let now = Instant::now();
+        for conn in conns.values_mut() {
+            let expired = matches!(&conn.awaiting, Some(w) if now >= w.deadline);
+            if expired {
+                let waited = conn.awaiting.take().expect("checked above");
+                if pending.remove(&waited.request).is_some() {
+                    shared.admitted.fetch_sub(1, Ordering::AcqRel);
+                }
+                queue_response(
+                    conn,
+                    &Response::json(
+                        500,
+                        &JsonValue::obj([
+                            ("kind", "Internal"),
+                            ("message", "result channel stalled"),
+                        ]),
+                    ),
+                    waited.close,
+                );
+            }
+        }
+        // Idle reap: keep-alive connections with nothing buffered, in
+        // flight, or unsent past the read timeout.
+        conns.retain(|_, conn| {
+            let idle = conn.awaiting.is_none() && conn.out.is_empty() && conn.parser.is_idle();
+            if idle && now.duration_since(conn.last_activity) > shared.config.read_timeout {
+                shared.conns_idle_reaped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        });
+
+        shared.conns_open.store(conns.len(), Ordering::Release);
+    }
+}
+
+/// Parses and handles every complete request buffered on `conn`, until
+/// the parser needs more bytes, a `/synthesize` goes in flight, or the
+/// connection is marked to close. Responses for immediate routes are
+/// queued directly; `/synthesize` goes through [`admit_synthesize`]
+/// with an event reply sink.
+fn drive(
+    shared: &Arc<ServerShared>,
+    conn_id: u64,
+    conn: &mut Conn,
+    pending: &mut HashMap<u64, u64>,
+    next_request: &mut u64,
+    completions: &Arc<Completions>,
+) {
+    while conn.awaiting.is_none() && !conn.close_after_flush {
+        match conn.parser.next_request() {
+            Parsed::NeedMore => {
+                if conn.eof && !conn.parser.is_idle() {
+                    // Mid-request disconnect: mirror the legacy path's
+                    // 400 (the write usually fails — the peer is gone —
+                    // but a half-closed client can still read it).
+                    queue_response(
+                        conn,
+                        &Response::json(
+                            400,
+                            &JsonValue::obj([
+                                ("kind", "BadRequest"),
+                                ("message", "connection closed mid-request"),
+                            ]),
+                        ),
+                        true,
+                    );
+                }
+                return;
+            }
+            Parsed::Malformed(message) => {
+                queue_response(
+                    conn,
+                    &Response::json(
+                        400,
+                        &JsonValue::obj([("kind", "BadRequest"), ("message", message)]),
+                    ),
+                    true,
+                );
+                return;
+            }
+            Parsed::TooLarge => {
+                queue_response(
+                    conn,
+                    &Response::json(
+                        413,
+                        &JsonValue::obj([("kind", "TooLarge"), ("message", "request too large")]),
+                    ),
+                    true,
+                );
+                return;
+            }
+            Parsed::Request(request) => {
+                conn.last_activity = Instant::now();
+                let close = request.wants_close() || shared.draining();
+                if is_synthesize(&request) {
+                    let id = *next_request;
+                    *next_request += 1;
+                    let sink = ReplySink::Event {
+                        completions: Arc::clone(completions),
+                        request: id,
+                    };
+                    match admit_synthesize(shared, &request, conn.peer, sink) {
+                        Ok(()) => {
+                            pending.insert(id, conn_id);
+                            conn.awaiting = Some(Await {
+                                request: id,
+                                start: Instant::now(),
+                                deadline: Instant::now() + reply_backstop(shared),
+                                close,
+                            });
+                        }
+                        Err(response) => queue_response(conn, &response, close),
+                    }
+                } else {
+                    let response = dispatch_immediate(shared, &request);
+                    queue_response(conn, &response, close);
+                }
+            }
+        }
+    }
+}
+
+/// Reads available bytes into the parser, up to [`READ_BURST`] chunks.
+/// Returns `false` on a fatal transport error (drop the connection).
+fn read_into_parser(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 8 * 1024];
+    for _ in 0..READ_BURST {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.parser.feed(&chunk[..n]);
+                conn.last_activity = Instant::now();
+                if n < chunk.len() {
+                    return true; // socket drained
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Serializes `response` into the connection's output buffer;
+/// `close` marks the connection to close once the buffer drains.
+fn queue_response(conn: &mut Conn, response: &Response, close: bool) {
+    // Writing into a Vec cannot fail.
+    let _ = response.write_to(&mut conn.out, !close);
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Flushes what the socket will take and decides whether the
+/// connection stays: `false` means drop it (write error, close-after-
+/// flush completed, or clean EOF with nothing left to do).
+fn settle(conn: &mut Conn) -> bool {
+    if !flush_out(conn) {
+        return false;
+    }
+    let flushed = conn.out.is_empty();
+    if flushed && conn.close_after_flush {
+        return false;
+    }
+    if conn.eof && conn.awaiting.is_none() && flushed {
+        return false;
+    }
+    true
+}
+
+/// Writes buffered output until the socket would block. Returns `false`
+/// on a fatal write error. A fully-drained buffer is reset to empty.
+fn flush_out(conn: &mut Conn) -> bool {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.out_pos >= conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    true
+}

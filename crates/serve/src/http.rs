@@ -1,10 +1,20 @@
-//! A minimal HTTP/1.1 message layer over `std::io`.
+//! A minimal HTTP/1.x message layer over `std::io`.
 //!
 //! The workspace is offline-green (no registry dependencies), so the
 //! service speaks just enough HTTP itself: request-line + headers +
-//! `Content-Length` bodies, keep-alive by default, explicit size limits
-//! on every input. No chunked transfer, no TLS, no HTTP/2 — this is a
-//! loopback/sidecar service surface, not an edge server.
+//! `Content-Length` bodies, keep-alive by default (HTTP/1.0 defaults to
+//! close, per RFC 9112 §9.3), explicit size limits on every input. No
+//! chunked transfer, no TLS, no HTTP/2 — this is a loopback/sidecar
+//! service surface, not an edge server.
+//!
+//! The core of the module is [`RequestParser`], a *resumable* parser:
+//! bytes are [fed](RequestParser::feed) in whatever chunks the
+//! transport produces (a blocking `BufRead` fill or a nonblocking
+//! socket read) and [`RequestParser::next`] yields a request exactly
+//! when one is complete. Pipelined bytes beyond the first request stay
+//! buffered inside the parser for the next `next` call, which is what
+//! lets both the thread-per-connection path and the event-driven
+//! connection layer share one implementation of the protocol rules.
 
 use std::io::{self, BufRead, Write};
 
@@ -14,7 +24,8 @@ use nlquery_core::JsonValue;
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Maximum accepted request body, in bytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
-/// Maximum accepted header count.
+/// Maximum accepted header count (exact: request number
+/// `MAX_HEADERS + 1` is rejected).
 pub const MAX_HEADERS: usize = 100;
 
 /// One parsed HTTP request.
@@ -24,6 +35,9 @@ pub struct Request {
     pub method: String,
     /// The request target (path + optional query string), as sent.
     pub target: String,
+    /// Whether the request line said `HTTP/1.0` (affects the default
+    /// connection disposition; see [`Request::wants_close`]).
+    pub http_1_0: bool,
     /// Header `(name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
@@ -39,11 +53,30 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to close the connection after this
-    /// exchange (`Connection: close`).
+    /// Whether the connection closes after this exchange.
+    ///
+    /// `Connection` is parsed as a comma-separated token list across
+    /// every `Connection` header (`keep-alive, close` closes): a `close`
+    /// token always closes; otherwise HTTP/1.1 defaults to keep-alive
+    /// and HTTP/1.0 defaults to close unless the client opted in with a
+    /// `keep-alive` token.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        let mut keep_alive = false;
+        for (name, value) in &self.headers {
+            if !name.eq_ignore_ascii_case("connection") {
+                continue;
+            }
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return true;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        self.http_1_0 && !keep_alive
     }
 
     /// The body as UTF-8, if valid.
@@ -60,6 +93,22 @@ impl Request {
     }
 }
 
+/// What [`RequestParser::next`] found in the buffered bytes.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffered bytes do not yet hold a complete request; feed more.
+    NeedMore,
+    /// A complete, well-formed request (pipelined bytes beyond it remain
+    /// buffered for the next call).
+    Request(Request),
+    /// The bytes were not a parseable HTTP/1.x request (respond 400 and
+    /// close). The parser is poisoned: it keeps reporting this.
+    Malformed(&'static str),
+    /// The head, header count, or declared body exceeded its size limit
+    /// (respond 413 and close). The parser is poisoned.
+    TooLarge,
+}
+
 /// What [`read_request`] found on the wire.
 #[derive(Debug)]
 pub enum RequestOutcome {
@@ -67,100 +116,295 @@ pub enum RequestOutcome {
     Request(Request),
     /// The peer closed the connection cleanly between requests.
     Closed,
-    /// The bytes were not a parseable HTTP/1.1 request (respond 400 and
+    /// The bytes were not a parseable HTTP/1.x request (respond 400 and
     /// close).
     Malformed(&'static str),
     /// The head or body exceeded its size limit (respond 413 and close).
     TooLarge,
 }
 
-/// Reads one request from the stream. Blocks until a full request
-/// arrives, the peer closes, or the stream's read timeout fires (which
-/// surfaces as `Err(WouldBlock | TimedOut)`).
-pub fn read_request(reader: &mut impl BufRead) -> io::Result<RequestOutcome> {
-    let mut head_bytes = 0usize;
-    let mut line = String::new();
+/// Internal parser position: before/inside a head, or collecting a
+/// declared body.
+#[derive(Debug)]
+enum ParseState {
+    /// Waiting for a complete request-line + header block.
+    Head,
+    /// Head parsed; collecting `remaining` body bytes.
+    Body { head: Request, remaining: usize },
+    /// A protocol or size error was reported; the connection is done.
+    Poisoned(PoisonKind),
+}
 
-    // Request line; tolerate a leading empty line (robustness, RFC 9112).
-    let request_line = loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(RequestOutcome::Closed);
-        }
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Ok(RequestOutcome::TooLarge);
-        }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if !trimmed.is_empty() {
-            break trimmed.to_string();
-        }
-    };
-    let mut parts = request_line.split_ascii_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Ok(RequestOutcome::Malformed("bad request line"));
-    };
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
-        return Ok(RequestOutcome::Malformed("bad request line"));
+#[derive(Debug, Clone, Copy)]
+enum PoisonKind {
+    Malformed(&'static str),
+    TooLarge,
+}
+
+/// A resumable HTTP/1.x request parser over externally-fed bytes.
+///
+/// One parser instance lives for the whole life of a connection: feed
+/// it every chunk the socket produces and call [`RequestParser::next`]
+/// until it returns [`Parsed::NeedMore`]. Bytes belonging to pipelined
+/// follow-up requests are retained across calls.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+    state: ParseState,
+}
+
+impl Default for RequestParser {
+    fn default() -> RequestParser {
+        RequestParser::new()
     }
-    let method = method.to_string();
-    let target = target.to_string();
+}
 
-    // Headers.
-    let mut headers = Vec::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(RequestOutcome::Malformed("connection closed mid-headers"));
+impl RequestParser {
+    /// A fresh parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            start: 0,
+            state: ParseState::Head,
         }
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES || headers.len() > MAX_HEADERS {
-            return Ok(RequestOutcome::TooLarge);
-        }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
-            break;
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Ok(RequestOutcome::Malformed("header without ':'"));
-        };
-        headers.push((name.trim().to_string(), value.trim().to_string()));
     }
 
-    let request = Request {
-        method,
-        target,
-        headers,
-        body: Vec::new(),
-    };
-    if request.header("transfer-encoding").is_some() {
-        return Ok(RequestOutcome::Malformed("chunked bodies unsupported"));
+    /// Appends transport bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
-    let length = match request.header("content-length") {
-        None => 0,
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => return Ok(RequestOutcome::Malformed("bad Content-Length")),
-        },
-    };
-    if length > MAX_BODY_BYTES {
-        return Ok(RequestOutcome::TooLarge);
+
+    /// True when the parser sits at a request boundary with nothing
+    /// buffered but (at most) blank lines — the state in which a peer
+    /// EOF is a clean close rather than a truncated request.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::Head)
+            && self.buf[self.start..]
+                .iter()
+                .all(|&b| b == b'\r' || b == b'\n')
     }
-    let mut request = request;
-    if length > 0 {
-        request.body = vec![0u8; length];
-        if let Err(e) = reader.read_exact(&mut request.body) {
-            return if e.kind() == io::ErrorKind::UnexpectedEof {
-                Ok(RequestOutcome::Malformed(
-                    "body shorter than Content-Length",
-                ))
-            } else {
-                Err(e)
+
+    /// Bytes currently buffered and not yet consumed by a parse.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to produce the next request from the buffered bytes.
+    pub fn next_request(&mut self) -> Parsed {
+        loop {
+            match &mut self.state {
+                ParseState::Poisoned(PoisonKind::Malformed(m)) => return Parsed::Malformed(m),
+                ParseState::Poisoned(PoisonKind::TooLarge) => return Parsed::TooLarge,
+                ParseState::Head => match self.parse_head() {
+                    HeadStep::NeedMore => return Parsed::NeedMore,
+                    HeadStep::Parsed => continue, // state advanced to Body
+                    HeadStep::Fail(kind) => {
+                        self.state = ParseState::Poisoned(kind);
+                        continue;
+                    }
+                },
+                ParseState::Body { head, remaining } => {
+                    let available = self.buf.len() - self.start;
+                    if available < *remaining {
+                        return Parsed::NeedMore;
+                    }
+                    let mut request = std::mem::replace(head, empty_request());
+                    let body_len = *remaining;
+                    request.body = self.buf[self.start..self.start + body_len].to_vec();
+                    self.start += body_len;
+                    self.state = ParseState::Head;
+                    self.compact();
+                    return Parsed::Request(request);
+                }
+            }
+        }
+    }
+
+    /// Reclaims the consumed prefix of the buffer once it dominates.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > MAX_HEAD_BYTES {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Attempts to parse one request-line + header block starting at
+    /// `self.start`. On success the state advances to
+    /// [`ParseState::Body`] (possibly with zero remaining bytes) and the
+    /// consumed head bytes are released.
+    fn parse_head(&mut self) -> HeadStep {
+        let mut pos = self.start;
+
+        // Request line; tolerate leading empty lines (robustness,
+        // RFC 9112 §2.2).
+        let request_line = loop {
+            let Some((line, next)) = take_line(&self.buf, pos) else {
+                return self.head_stalled();
             };
+            if next - self.start > MAX_HEAD_BYTES {
+                return HeadStep::Fail(PoisonKind::TooLarge);
+            }
+            pos = next;
+            if !line.is_empty() {
+                break line;
+            }
+        };
+        let Ok(request_line) = std::str::from_utf8(request_line) else {
+            return HeadStep::Fail(PoisonKind::Malformed("bad request line"));
+        };
+        let mut parts = request_line.split_ascii_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return HeadStep::Fail(PoisonKind::Malformed("bad request line"));
+        };
+        if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+            return HeadStep::Fail(PoisonKind::Malformed("bad request line"));
+        }
+        let http_1_0 = version == "HTTP/1.0";
+        let method = method.to_string();
+        let target = target.to_string();
+
+        // Headers. The limit is exact: header number `MAX_HEADERS + 1`
+        // is rejected before it is stored.
+        let mut headers: Vec<(String, String)> = Vec::new();
+        loop {
+            let Some((line, next)) = take_line(&self.buf, pos) else {
+                return self.head_stalled();
+            };
+            if next - self.start > MAX_HEAD_BYTES {
+                return HeadStep::Fail(PoisonKind::TooLarge);
+            }
+            pos = next;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() == MAX_HEADERS {
+                return HeadStep::Fail(PoisonKind::TooLarge);
+            }
+            let Ok(line) = std::str::from_utf8(line) else {
+                return HeadStep::Fail(PoisonKind::Malformed("header is not UTF-8"));
+            };
+            let Some((name, value)) = line.split_once(':') else {
+                return HeadStep::Fail(PoisonKind::Malformed("header without ':'"));
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+
+        let head = Request {
+            method,
+            target,
+            http_1_0,
+            headers,
+            body: Vec::new(),
+        };
+        if head.header("transfer-encoding").is_some() {
+            return HeadStep::Fail(PoisonKind::Malformed("chunked bodies unsupported"));
+        }
+
+        // `Content-Length`: exactly zero or one header. Duplicate or
+        // conflicting values are a request-smuggling vector (RFC 9112
+        // §6.3) and are rejected outright, even when they agree.
+        let mut lengths = head
+            .headers
+            .iter()
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.as_str());
+        let length = match (lengths.next(), lengths.next()) {
+            (_, Some(_)) => {
+                return HeadStep::Fail(PoisonKind::Malformed("duplicate Content-Length"))
+            }
+            (None, None) => 0,
+            (Some(v), None) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return HeadStep::Fail(PoisonKind::Malformed("bad Content-Length")),
+            },
+        };
+        if length > MAX_BODY_BYTES {
+            return HeadStep::Fail(PoisonKind::TooLarge);
+        }
+
+        self.start = pos;
+        self.state = ParseState::Body {
+            head,
+            remaining: length,
+        };
+        HeadStep::Parsed
+    }
+
+    /// An incomplete head: `NeedMore`, unless the unterminated tail has
+    /// already blown the head budget.
+    fn head_stalled(&self) -> HeadStep {
+        if self.buf.len() - self.start > MAX_HEAD_BYTES {
+            return HeadStep::Fail(PoisonKind::TooLarge);
+        }
+        HeadStep::NeedMore
+    }
+}
+
+enum HeadStep {
+    NeedMore,
+    Parsed,
+    Fail(PoisonKind),
+}
+
+/// Placeholder request used while moving a parsed head out of the state
+/// machine.
+fn empty_request() -> Request {
+    Request {
+        method: String::new(),
+        target: String::new(),
+        http_1_0: false,
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+/// The next complete line at `pos`: its content (trailing `\r` removed)
+/// and the position just past the `\n`.
+fn take_line(buf: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    let nl = buf[pos..].iter().position(|&b| b == b'\n')?;
+    let mut line = &buf[pos..pos + nl];
+    if let [head @ .., b'\r'] = line {
+        line = head;
+    }
+    Some((line, pos + nl + 1))
+}
+
+/// Reads one request from a blocking stream through `parser` (which
+/// retains pipelined bytes across calls — use one parser per
+/// connection). Blocks until a full request arrives, the peer closes,
+/// or the stream's read timeout fires (which surfaces as
+/// `Err(WouldBlock | TimedOut)`).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    parser: &mut RequestParser,
+) -> io::Result<RequestOutcome> {
+    loop {
+        match parser.next_request() {
+            Parsed::Request(request) => return Ok(RequestOutcome::Request(request)),
+            Parsed::Malformed(message) => return Ok(RequestOutcome::Malformed(message)),
+            Parsed::TooLarge => return Ok(RequestOutcome::TooLarge),
+            Parsed::NeedMore => {
+                let chunk = reader.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(if parser.is_idle() {
+                        RequestOutcome::Closed
+                    } else {
+                        RequestOutcome::Malformed("connection closed mid-request")
+                    });
+                }
+                let n = chunk.len();
+                parser.feed(chunk);
+                reader.consume(n);
+            }
         }
     }
-    Ok(RequestOutcome::Request(request))
 }
 
 /// One HTTP response to serialize.
@@ -250,7 +494,8 @@ mod tests {
     use std::io::Cursor;
 
     fn parse(raw: &str) -> RequestOutcome {
-        read_request(&mut Cursor::new(raw.as_bytes().to_vec())).unwrap()
+        let mut parser = RequestParser::new();
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut parser).unwrap()
     }
 
     #[test]
@@ -266,6 +511,7 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body_str(), Some("{\"query\": \"noop\"}"));
+        assert!(!req.http_1_0);
         assert!(!req.wants_close());
     }
 
@@ -283,6 +529,8 @@ mod tests {
     #[test]
     fn clean_eof_is_closed() {
         assert!(matches!(parse(""), RequestOutcome::Closed));
+        // Stray blank lines before EOF are still a clean close.
+        assert!(matches!(parse("\r\n\r\n"), RequestOutcome::Closed));
     }
 
     #[test]
@@ -303,6 +551,55 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_content_length_is_a_smuggling_vector() {
+        // Conflicting values: the classic desync shape.
+        let conflicting = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 30\r\n\r\nabc";
+        // Even *agreeing* duplicates are rejected: downstream parsers
+        // disagree about which one wins, so none may pass through.
+        let agreeing = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        // Comma-joined values inside one header are equally malformed.
+        let joined = "POST / HTTP/1.1\r\nContent-Length: 3, 3\r\n\r\nabc";
+        for raw in [conflicting, agreeing, joined] {
+            assert!(
+                matches!(parse(raw), RequestOutcome::Malformed(_)),
+                "{raw:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_unless_keep_alive() {
+        let plain = parse("GET / HTTP/1.0\r\n\r\n");
+        let RequestOutcome::Request(req) = plain else {
+            panic!("1.0 requests parse");
+        };
+        assert!(req.http_1_0);
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+
+        let opted_in = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        let RequestOutcome::Request(req) = opted_in else {
+            panic!("1.0 requests parse");
+        };
+        assert!(!req.wants_close(), "1.0 + keep-alive stays open");
+    }
+
+    #[test]
+    fn connection_token_lists_are_parsed() {
+        // `close` wins no matter where it appears in the list.
+        let listed = parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n");
+        let RequestOutcome::Request(req) = listed else {
+            panic!("request parses");
+        };
+        assert!(req.wants_close(), "a close token always closes");
+
+        let multi = parse("GET / HTTP/1.0\r\nConnection: foo\r\nConnection: Keep-Alive\r\n\r\n");
+        let RequestOutcome::Request(req) = multi else {
+            panic!("request parses");
+        };
+        assert!(!req.wants_close(), "keep-alive found across headers");
+    }
+
+    #[test]
     fn oversized_inputs_are_rejected() {
         let huge_header = format!(
             "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
@@ -314,6 +611,79 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         assert!(matches!(parse(&huge_body), RequestOutcome::TooLarge));
+
+        // The header-count limit is exact: MAX_HEADERS is accepted,
+        // MAX_HEADERS + 1 is not.
+        let headers = |n: usize| {
+            let mut raw = String::from("GET / HTTP/1.1\r\n");
+            for i in 0..n {
+                raw.push_str(&format!("X-{i}: v\r\n"));
+            }
+            raw.push_str("\r\n");
+            raw
+        };
+        assert!(
+            matches!(parse(&headers(MAX_HEADERS)), RequestOutcome::Request(_)),
+            "exactly MAX_HEADERS headers are accepted"
+        );
+        assert!(
+            matches!(parse(&headers(MAX_HEADERS + 1)), RequestOutcome::TooLarge),
+            "MAX_HEADERS + 1 headers are rejected"
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_are_retained_across_calls() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+              GET /b HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let Parsed::Request(first) = parser.next_request() else {
+            panic!("first pipelined request parses");
+        };
+        assert_eq!(first.path(), "/a");
+        assert_eq!(first.body_str(), Some("hi"));
+        let Parsed::Request(second) = parser.next_request() else {
+            panic!("second pipelined request parses");
+        };
+        assert_eq!(second.path(), "/b");
+        assert!(second.wants_close());
+        assert!(matches!(parser.next_request(), Parsed::NeedMore));
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_feeding_resumes_mid_request() {
+        // Byte-at-a-time delivery: the parser must never lose its place.
+        let raw = b"POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut parser = RequestParser::new();
+        let mut produced = None;
+        for &b in raw.iter() {
+            parser.feed(&[b]);
+            match parser.next_request() {
+                Parsed::NeedMore => continue,
+                Parsed::Request(req) => {
+                    produced = Some(req);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let req = produced.expect("request completes on the final byte");
+        assert_eq!(req.body_str(), Some("body"));
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn poisoned_parsers_stay_poisoned() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / SPDY/3\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+        assert!(matches!(parser.next_request(), Parsed::Malformed(_)));
+        // A malformed request ends the connection; later bytes must not
+        // resurrect the stream.
+        assert!(matches!(parser.next_request(), Parsed::Malformed(_)));
+        assert!(!parser.is_idle());
     }
 
     #[test]

@@ -18,21 +18,33 @@
 //! - `POST /shutdown` — begin a graceful drain (finish in-flight
 //!   queries, then exit).
 //!
+//! Connections are carried by an event-driven front end by default:
+//! nonblocking sockets behind a `poll(2)` readiness loop (one thread,
+//! per-connection state machines, keep-alive reuse, a bounded
+//! connection budget with accounted 503 rejection, and per-client
+//! fairness on admission). The legacy thread-per-connection path
+//! remains available as a fallback via
+//! [`ServerConfig::event_driven`].
+//!
 //! Overload is handled by an admission controller (bounded in-flight
 //! count; excess requests shed with HTTP 429 + `Retry-After`), and
 //! concurrent requests arriving within a ~2 ms micro-batching window
 //! are co-scheduled as one engine submission so they share single-flight
 //! path-cache population, exactly like offline batches. See
-//! [`server`] for the drain invariants and DESIGN.md §9 for the
+//! [`server`] for the drain invariants and DESIGN.md §9/§13 for the
 //! architecture.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one module:
+// `sys`, the thin FFI wrapper over `poll(2)`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod event;
 pub mod http;
 mod metrics;
 pub mod server;
+mod sys;
 
 pub use client::{HttpClient, HttpResponse};
 pub use server::{Server, ServerConfig};

@@ -5,9 +5,21 @@
 //! nlquery-serve [--addr 127.0.0.1:7878] [--domain astmatcher|textedit]
 //!               [--workers N] [--queue-depth N] [--window-us N]
 //!               [--max-batch N] [--deadline-ms N]
+//!               [--event-driven | --threaded] [--max-connections N]
+//!               [--client-rate R] [--client-burst B]
 //!               [--snapshot PATH] [--snapshot-interval-secs N]
 //!               [--aot] [--aot-cache PATH]
 //! ```
+//!
+//! Connections are carried by the event-driven front end by default
+//! (`--event-driven`; one poller thread over nonblocking sockets).
+//! `--threaded` selects the legacy thread-per-connection path, kept as
+//! a fallback for one release. `--max-connections` bounds open
+//! connections on either path: beyond it new connections are answered
+//! with an accounted 503, never silently dropped. `--client-rate`
+//! enables per-client admission fairness (a token bucket of R
+//! requests/second with burst B, keyed by the `X-Client-Id` header or
+//! the peer IP).
 //!
 //! `--snapshot PATH` restores warm state (path cache + merge memo) from
 //! `PATH` at boot when the file exists — a stale or damaged snapshot is
@@ -33,6 +45,8 @@ fn usage() -> ! {
         "usage: nlquery-serve [--addr HOST:PORT] [--domain astmatcher|textedit]\n\
          \x20                    [--workers N] [--queue-depth N] [--window-us N]\n\
          \x20                    [--max-batch N] [--deadline-ms N]\n\
+         \x20                    [--event-driven | --threaded] [--max-connections N]\n\
+         \x20                    [--client-rate R] [--client-burst B]\n\
          \x20                    [--snapshot PATH] [--snapshot-interval-secs N]\n\
          \x20                    [--aot] [--aot-cache PATH]"
     );
@@ -65,6 +79,11 @@ fn main() -> ExitCode {
             "--window-us" => config.batch_window = Duration::from_micros(parse(&arg, args.next())),
             "--max-batch" => config.max_batch = parse(&arg, args.next()),
             "--deadline-ms" => deadline_ms = Some(parse(&arg, args.next())),
+            "--event-driven" => config.event_driven = true,
+            "--threaded" => config.event_driven = false,
+            "--max-connections" => config.max_connections = parse(&arg, args.next()),
+            "--client-rate" => config.client_rate = parse(&arg, args.next()),
+            "--client-burst" => config.client_burst = parse(&arg, args.next()),
             "--snapshot" => config.snapshot_path = Some(parse::<String>(&arg, args.next()).into()),
             "--snapshot-interval-secs" => {
                 config.snapshot_interval = Some(Duration::from_secs(parse(&arg, args.next())));
@@ -124,11 +143,18 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "nlquery-serve listening on http://{} (domain {domain_name}, {} workers, queue depth {}, window {:?})",
+        "nlquery-serve listening on http://{} (domain {domain_name}, {} front end, \
+         {} workers, queue depth {}, window {:?}, max {} connections)",
         server.local_addr(),
+        if config.event_driven {
+            "event-driven"
+        } else {
+            "thread-per-connection"
+        },
         server.engine().workers(),
         config.queue_depth,
         config.batch_window,
+        config.max_connections,
     );
     println!(
         "shut down with: curl -X POST http://{}/shutdown",

@@ -12,7 +12,7 @@ use std::sync::atomic::Ordering;
 
 use nlquery_core::{HistogramSnapshot, HISTOGRAM_BUCKETS};
 
-use crate::server::ServerShared;
+use crate::server::{ServerShared, ROUTE_NAMES};
 
 /// Appends one `# HELP`/`# TYPE` header pair.
 fn head(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -300,6 +300,57 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         shared.batched_jobs.load(Ordering::Relaxed),
     );
 
+    // Connection front end: open/accepted/rejected/idle-reaped, plus
+    // per-client fairness. Rejected is the load-bearing one — every
+    // connection the server cannot take is *answered* (503) and counted
+    // here, never silently dropped.
+    sample(
+        &mut out,
+        "nlquery_connections_open",
+        "gauge",
+        "Connections currently open.",
+        shared.conns_open.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_connections_accepted_total",
+        "counter",
+        "Connections ever accepted from the listener.",
+        shared.conns_accepted.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_connections_rejected_total",
+        "counter",
+        "Connections answered with 503 and closed (budget exhaustion or thread-spawn failure); never a silent drop.",
+        shared.conns_rejected.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_connections_idle_reaped_total",
+        "counter",
+        "Idle keep-alive connections reaped by the read timeout.",
+        shared.conns_idle_reaped.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_quota_denied_total",
+        "counter",
+        "Requests denied with 429 by per-client fairness.",
+        shared.quota_denied.load(Ordering::Relaxed),
+    );
+    sample(
+        &mut out,
+        "nlquery_quota_tracked_clients",
+        "gauge",
+        "Client token buckets currently tracked by the fairness limiter.",
+        shared
+            .fairness
+            .as_ref()
+            .map(|f| f.tracked_clients())
+            .unwrap_or(0),
+    );
+
     // Request latency, as a cumulative Prometheus histogram.
     let snap = shared.latency.snapshot();
     render_histogram(
@@ -309,7 +360,50 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         &snap,
     );
 
+    // Per-route latency, labeled by route.
+    head(
+        &mut out,
+        "nlquery_route_duration_seconds",
+        "histogram",
+        "Request handling latency by route.",
+    );
+    for (index, route) in ROUTE_NAMES.iter().enumerate() {
+        let snap = shared.route_latency[index].snapshot();
+        render_labeled_histogram_samples(
+            &mut out,
+            "nlquery_route_duration_seconds",
+            &format!("route=\"{route}\""),
+            &snap,
+        );
+    }
+
     out
+}
+
+/// Renders one labeled histogram series (bucket/sum/count samples only;
+/// the caller emits the shared `# HELP`/`# TYPE` header once).
+fn render_labeled_histogram_samples(
+    out: &mut String,
+    name: &str,
+    label: &str,
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        cumulative += snap.buckets[i];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{label},le=\"{}\"}} {cumulative}",
+            HistogramSnapshot::bound_secs(i),
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{label},le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(
+        out,
+        "{name}_sum{{{label}}} {:.9}",
+        snap.sum_nanos as f64 / 1e9
+    );
+    let _ = writeln!(out, "{name}_count{{{label}}} {}", snap.count);
 }
 
 /// Renders one [`HistogramSnapshot`] as a Prometheus histogram: the

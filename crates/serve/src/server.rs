@@ -1,14 +1,37 @@
-//! The resident HTTP server: accept loop, admission control,
-//! micro-batching, and graceful drain around a [`ServiceEngine`].
+//! The resident HTTP server: connection front ends, admission control,
+//! per-client fairness, micro-batching, and graceful drain around a
+//! [`ServiceEngine`].
+//!
+//! # Connection front ends
+//!
+//! Two front ends feed the same request path ([`ServerConfig::event_driven`]
+//! picks one; results are bitwise-identical either way):
+//!
+//! - **Event-driven** (default): one thread runs a readiness loop over
+//!   nonblocking sockets ([`crate::sys`] wraps `poll(2)`; see
+//!   [`crate::event`]). Connections are per-socket state machines — a
+//!   resumable [`RequestParser`](crate::http::RequestParser), an output
+//!   buffer, and at most one in-flight `/synthesize` — so a million
+//!   idle keep-alive connections cost memory, not threads. The
+//!   connection count is bounded by [`ServerConfig::max_connections`]:
+//!   beyond it new connections are *answered* with 503 and counted,
+//!   never silently dropped.
+//! - **Thread-per-connection** (fallback, kept for one PR): the
+//!   original blocking accept loop. It honors the same connection
+//!   budget, and a failed connection-thread spawn is now an accounted
+//!   503 rejection instead of a silent drop.
 //!
 //! # Request path
 //!
-//! A connection thread parses `POST /synthesize`, and the request passes
-//! the **admission controller**: a bounded count of admitted-but-
-//! unanswered requests ([`ServerConfig::queue_depth`]). At the bound the
-//! request is shed immediately — HTTP 429 with `Retry-After` — instead
-//! of growing an unbounded backlog; under overload the server stays
-//! responsive and tells clients when to come back.
+//! A parsed `POST /synthesize` passes **per-client fairness** (a token
+//! bucket keyed by `X-Client-Id` or peer IP when
+//! [`ServerConfig::client_rate`] is set — one hot tenant exhausts its
+//! own bucket, not the admission queue) and then the **admission
+//! controller**: a bounded count of admitted-but-unanswered requests
+//! ([`ServerConfig::queue_depth`]). At the bound the request is shed
+//! immediately — HTTP 429 with `Retry-After` — instead of growing an
+//! unbounded backlog; under overload the server stays responsive and
+//! tells clients when to come back.
 //!
 //! Admitted requests enter the **micro-batcher**: a single thread that
 //! collects everything arriving within [`ServerConfig::batch_window`]
@@ -25,15 +48,16 @@
 //!
 //! # Drain invariants
 //!
-//! [`Server::shutdown`] flips the draining flag and wakes the accept
-//! loop; from then on new `/synthesize` requests get 503 and new
+//! [`Server::shutdown`] flips the draining flag and wakes the front
+//! end; from then on new `/synthesize` requests get 503 and new
 //! connections are refused. [`Server::join`] then waits until every
 //! admitted request has been answered and the engine is idle before
 //! stopping the batcher — in-flight queries always complete with real
 //! results.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -47,7 +71,8 @@ use nlquery_core::{
     ServiceEngine, SynthesisConfig,
 };
 
-use crate::http::{read_request, Request, RequestOutcome, Response};
+use crate::event::{self, Completions};
+use crate::http::{read_request, Request, RequestOutcome, RequestParser, Response};
 use crate::metrics;
 
 /// Tuning knobs of one [`Server`].
@@ -57,6 +82,19 @@ pub struct ServerConfig {
     pub addr: String,
     /// Engine worker threads; 0 means `available_parallelism()`.
     pub workers: usize,
+    /// Use the event-driven connection front end (nonblocking sockets
+    /// behind `poll(2)`). `false` selects the legacy
+    /// thread-per-connection path, kept as a fallback for one PR.
+    pub event_driven: bool,
+    /// Connection budget: beyond this many open connections, new ones
+    /// are answered with an accounted `503` + `Retry-After` and closed
+    /// — never silently dropped.
+    pub max_connections: usize,
+    /// Per-client admission rate in requests/second (token bucket keyed
+    /// by `X-Client-Id` header, else peer IP). `0.0` disables fairness.
+    pub client_rate: f64,
+    /// Per-client token-bucket burst capacity (clamped to ≥ 1).
+    pub client_burst: f64,
     /// Admission bound: maximum requests admitted but not yet answered.
     /// Beyond it requests are shed with HTTP 429.
     pub queue_depth: usize,
@@ -65,8 +103,9 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Maximum jobs per micro-batch (the window closes early when hit).
     pub max_batch: usize,
-    /// Per-connection socket read timeout (idle keep-alive connections
-    /// are dropped after this).
+    /// Per-connection idle timeout (idle keep-alive connections are
+    /// reaped after this; on the legacy path it doubles as the socket
+    /// read timeout).
     pub read_timeout: Duration,
     /// Warm-state snapshot file. When set, an existing snapshot is
     /// restored at boot (a stale or damaged one is rejected with a
@@ -95,6 +134,10 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
+            event_driven: true,
+            max_connections: 1024,
+            client_rate: 0.0,
+            client_burst: 8.0,
             queue_depth: 64,
             batch_window: Duration::from_millis(2),
             max_batch: 32,
@@ -109,24 +152,153 @@ impl Default for ServerConfig {
 
 /// Locks a mutex, recovering from poisoning (the guarded state is left
 /// consistent before any fallible step).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One admitted request travelling from its connection thread to the
-/// micro-batcher: the job plus the channel its rendered result returns
-/// on.
-struct Pending {
-    spec: JobSpec,
-    reply: mpsc::Sender<String>,
+/// The hard cap on the defensive reply backstop. The engine records
+/// every admitted job, so the backstop should never fire; the cap just
+/// keeps a huge configured deadline from producing a nonsensical (or,
+/// before saturating arithmetic, panicking) wait.
+const BACKSTOP_CAP: Duration = Duration::from_secs(3600);
+
+/// How long a handler may wait for an admitted request's reply before
+/// concluding the result channel is wedged. The engine enforces
+/// deadlines and isolates panics, so the reply always arrives; this is
+/// a defensive backstop, computed with saturating arithmetic so a large
+/// configured deadline cannot overflow `Duration` (a panic here took
+/// down connection threads before).
+pub(crate) fn reply_backstop(shared: &ServerShared) -> Duration {
+    let slots = u32::try_from(shared.config.queue_depth.saturating_add(2)).unwrap_or(u32::MAX);
+    shared
+        .base_config
+        .deadline
+        .saturating_mul(slots)
+        .saturating_add(Duration::from_secs(30))
+        .min(BACKSTOP_CAP)
 }
 
-/// State shared by the accept loop, connection threads, the batcher, and
-/// the [`Server`] handle.
+/// Where an admitted request's rendered result is delivered: the
+/// blocking connection thread's channel (legacy path) or the event
+/// loop's completion queue.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Thread-per-connection path: the handler blocks on the receiver.
+    Channel(mpsc::Sender<String>),
+    /// Event-driven path: push into the completion queue and wake the
+    /// poll loop.
+    Event {
+        /// The loop's completion queue + waker.
+        completions: Arc<Completions>,
+        /// The request id the loop used to track this admission.
+        request: u64,
+    },
+}
+
+impl ReplySink {
+    /// Delivers one rendered result body.
+    pub(crate) fn deliver(&self, body: String) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(body);
+            }
+            ReplySink::Event {
+                completions,
+                request,
+            } => completions.deliver(*request, body),
+        }
+    }
+}
+
+/// One admitted request travelling from its connection to the
+/// micro-batcher: the job plus the sink its rendered result returns on.
+struct Pending {
+    spec: JobSpec,
+    reply: ReplySink,
+}
+
+/// Per-client admission fairness: one lazily-refilled token bucket per
+/// client key, so a hot tenant exhausts its own budget instead of the
+/// shared admission queue. Keys are the `X-Client-Id` header when the
+/// client sends one (trusted-sidecar deployments), else the peer IP.
+pub(crate) struct Fairness {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Above this many tracked clients, fully-refilled (i.e. long-idle)
+/// buckets are evicted before inserting a new one — fairness state must
+/// not become an unbounded per-IP memory map.
+const MAX_TRACKED_CLIENTS: usize = 16 * 1024;
+
+impl Fairness {
+    fn new(rate: f64, burst: f64) -> Fairness {
+        Fairness {
+            rate,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `key`'s bucket (refilled at `rate`/sec up to
+    /// `burst`). A brand-new key starts with a full bucket.
+    fn admit(&self, key: &str) -> bool {
+        let mut buckets = lock(&self.buckets);
+        let now = Instant::now();
+        if buckets.len() >= MAX_TRACKED_CLIENTS && !buckets.contains_key(key) {
+            let (rate, burst) = (self.rate, self.burst);
+            buckets.retain(|_, b| now.duration_since(b.last).as_secs_f64() * rate < burst);
+        }
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let refill = now.duration_since(bucket.last).as_secs_f64() * self.rate;
+        bucket.tokens = (bucket.tokens + refill).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of client buckets currently tracked (the quota gauge).
+    pub(crate) fn tracked_clients(&self) -> usize {
+        lock(&self.buckets).len()
+    }
+}
+
+/// The client key a request is rate-accounted under.
+fn client_key(request: &Request, peer: IpAddr) -> String {
+    match request.header("x-client-id") {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => peer.to_string(),
+    }
+}
+
+/// Route indices into [`ServerShared::route_latency`].
+pub(crate) const ROUTE_SYNTHESIZE: usize = 0;
+const ROUTE_HEALTHZ: usize = 1;
+const ROUTE_METRICS: usize = 2;
+const ROUTE_SHUTDOWN: usize = 3;
+const ROUTE_OTHER: usize = 4;
+/// Route label per index, for the metrics exposition.
+pub(crate) const ROUTE_NAMES: [&str; 5] = ["synthesize", "healthz", "metrics", "shutdown", "other"];
+
+/// State shared by the connection front end, the batcher, and the
+/// [`Server`] handle.
 pub(crate) struct ServerShared {
     pub(crate) engine: ServiceEngine,
-    base_config: SynthesisConfig,
-    config: ServerConfig,
+    pub(crate) base_config: SynthesisConfig,
+    pub(crate) config: ServerConfig,
     local_addr: SocketAddr,
     /// `None` once the batcher has been told to stop (post-drain).
     queue: Mutex<Option<mpsc::Sender<Pending>>>,
@@ -140,6 +312,24 @@ pub(crate) struct ServerShared {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_jobs: AtomicU64,
     pub(crate) latency: LatencyHistogram,
+    /// Per-route latency histograms, indexed by `ROUTE_*`.
+    pub(crate) route_latency: [LatencyHistogram; ROUTE_NAMES.len()],
+    /// Connections currently open (gauge; both front ends maintain it).
+    pub(crate) conns_open: AtomicUsize,
+    /// Connections ever accepted from the listener.
+    pub(crate) conns_accepted: AtomicU64,
+    /// Connections answered with 503 and closed: budget exhaustion or a
+    /// failed connection-thread spawn. Never a silent drop.
+    pub(crate) conns_rejected: AtomicU64,
+    /// Idle keep-alive connections reaped by the read timeout.
+    pub(crate) conns_idle_reaped: AtomicU64,
+    /// Requests denied by per-client fairness (429 `QuotaExceeded`).
+    pub(crate) quota_denied: AtomicU64,
+    /// The fairness limiter, when [`ServerConfig::client_rate`] is set.
+    pub(crate) fairness: Option<Fairness>,
+    /// The event loop's completion queue + waker (event-driven front
+    /// end only; used by [`initiate_shutdown`] to wake the poll loop).
+    pub(crate) event: Mutex<Option<Arc<Completions>>>,
     shutting_down: AtomicBool,
     pub(crate) started: Instant,
     /// Path-cache entries restored from the boot snapshot.
@@ -164,8 +354,8 @@ impl ServerShared {
     }
 }
 
-/// A running `nlquery-serve` instance: a bound listener, its accept
-/// thread, the micro-batcher, and the resident engine.
+/// A running `nlquery-serve` instance: a bound listener, its connection
+/// front end, the micro-batcher, and the resident engine.
 ///
 /// ```no_run
 /// use nlquery_serve::{Server, ServerConfig};
@@ -186,13 +376,13 @@ pub struct Server {
 
 impl Server {
     /// Binds, spawns the resident engine, the micro-batcher, and the
-    /// accept loop, and returns immediately.
+    /// connection front end, and returns immediately.
     ///
     /// When [`ServerConfig::aot_corpus`] is non-empty the engine is built
     /// from the AOT-compiled domain and its path cache is seeded with the
     /// compiled path table; when [`ServerConfig::snapshot_path`] names an
     /// existing snapshot it is restored on top. Both happen before the
-    /// accept loop spawns, so the first request already runs warm.
+    /// front end spawns, so the first request already runs warm.
     pub fn start(
         domain: Domain,
         config: SynthesisConfig,
@@ -241,6 +431,13 @@ impl Server {
             },
         );
         let (queue_tx, queue_rx) = mpsc::channel::<Pending>();
+        let event_channel = if server_config.event_driven {
+            Some(Completions::pair()?)
+        } else {
+            None
+        };
+        let fairness = (server_config.client_rate > 0.0)
+            .then(|| Fairness::new(server_config.client_rate, server_config.client_burst));
         let shared = Arc::new(ServerShared {
             engine,
             base_config: config,
@@ -255,6 +452,14 @@ impl Server {
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            route_latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            conns_open: AtomicUsize::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            conns_idle_reaped: AtomicU64::new(0),
+            quota_denied: AtomicU64::new(0),
+            fairness,
+            event: Mutex::new(event_channel.as_ref().map(|(c, _)| Arc::clone(c))),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
             snapshot_restored_paths: AtomicU64::new(0),
@@ -315,10 +520,16 @@ impl Server {
         };
         let accept = {
             let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("nlquery-accept".to_string())
-                .spawn(move || accept_loop(&shared, listener))
-                .expect("spawn accept loop")
+            match event_channel {
+                Some((_, wake_rx)) => thread::Builder::new()
+                    .name("nlquery-event".to_string())
+                    .spawn(move || event::event_loop(&shared, listener, wake_rx))
+                    .expect("spawn event loop"),
+                None => thread::Builder::new()
+                    .name("nlquery-accept".to_string())
+                    .spawn(move || accept_loop(&shared, listener))
+                    .expect("spawn accept loop"),
+            }
         };
         Ok(Server {
             shared,
@@ -338,18 +549,18 @@ impl Server {
         &self.shared.engine
     }
 
-    /// Begins a graceful drain: stop admitting, wake the accept loop so
+    /// Begins a graceful drain: stop admitting, wake the front end so
     /// it exits, let in-flight requests finish. Idempotent; returns
     /// immediately — [`Server::join`] completes the drain.
     pub fn shutdown(&self) {
         initiate_shutdown(&self.shared);
     }
 
-    /// Blocks until the server has fully drained: the accept loop has
-    /// exited (a `POST /shutdown` or [`Server::shutdown`] call triggers
-    /// that), every admitted request has been answered, and the engine
-    /// is idle. Then stops the micro-batcher, writes a final warm-state
-    /// snapshot (when configured), and returns.
+    /// Blocks until the server has fully drained: the connection front
+    /// end has exited (a `POST /shutdown` or [`Server::shutdown`] call
+    /// triggers that), every admitted request has been answered, and
+    /// the engine is idle. Then stops the micro-batcher, writes a final
+    /// warm-state snapshot (when configured), and returns.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -379,12 +590,12 @@ impl Drop for Server {
     fn drop(&mut self) {
         // A dropped-without-join server (test teardown, early error
         // return) still stops its threads: flag the drain, wake the
-        // accept loop, close the queue.
+        // front end, close the queue.
         initiate_shutdown(&self.shared);
-        *lock(&self.shared.queue) = None;
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        *lock(&self.shared.queue) = None;
         if let Some(batcher) = self.batcher.take() {
             let _ = batcher.join();
         }
@@ -487,14 +698,40 @@ fn snapshotter_loop(shared: &Arc<ServerShared>, interval: Duration) {
     }
 }
 
-/// Flips the draining flag and wakes the accept loop with a throwaway
-/// self-connection (std's blocking `accept` has no other wake-up).
+/// Flips the draining flag and wakes the front end: the event loop via
+/// its waker socket, the legacy blocking `accept` via a throwaway
+/// self-connection (std's blocking accept has no other wake-up).
 fn initiate_shutdown(shared: &ServerShared) {
     if !shared.shutting_down.swap(true, Ordering::AcqRel) {
+        if let Some(completions) = lock(&shared.event).as_ref() {
+            completions.wake();
+        }
         let _ = TcpStream::connect(shared.local_addr);
     }
 }
 
+/// Answers a connection the server cannot take — budget exhaustion or a
+/// failed connection-thread spawn — with an *accounted* `503` and
+/// closes it. The old behavior here was a silent drop: the client saw a
+/// reset with no status and no metric moved.
+pub(crate) fn reject_connection(shared: &ServerShared, stream: TcpStream) {
+    shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let _ = Response::json(
+        503,
+        &JsonValue::obj([
+            ("kind", "ConnectionLimit"),
+            ("message", "connection budget exhausted; retry shortly"),
+        ]),
+    )
+    .header("Retry-After", "1")
+    .write_to(&mut stream, false);
+}
+
+/// The legacy thread-per-connection front end, kept as a fallback for
+/// one PR (`event_driven: false`). It shares the connection budget and
+/// accounted rejection with the event loop.
 fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
     for stream in listener.incoming() {
         if shared.draining() {
@@ -503,18 +740,45 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
+        shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let reserved = shared
+            .conns_open
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < shared.config.max_connections).then_some(n + 1)
+            });
+        if reserved.is_err() {
+            reject_connection(shared, stream);
+            continue;
+        }
+        // If the thread spawn fails the stream is lost inside the
+        // dropped closure; this duplicate handle lets the rejection
+        // still be answered and counted rather than silently dropped.
+        let reject_handle = stream.try_clone().ok();
+        let conn_shared = Arc::clone(shared);
         let spawned = thread::Builder::new()
             .name("nlquery-conn".to_string())
-            .spawn(move || handle_connection(&shared, stream));
+            .spawn(move || {
+                handle_connection(&conn_shared, stream);
+                conn_shared.conns_open.fetch_sub(1, Ordering::AcqRel);
+            });
         if spawned.is_err() {
-            // Thread exhaustion: drop the connection rather than die.
-            continue;
+            // Thread exhaustion: answer 503 rather than die or drop.
+            shared.conns_open.fetch_sub(1, Ordering::AcqRel);
+            match reject_handle {
+                Some(stream) => reject_connection(shared, stream),
+                None => {
+                    shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
 
 fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -522,9 +786,25 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    // An Err from `read_request` (read timeout, connection error) ends
-    // the connection.
-    while let Ok(outcome) = read_request(&mut reader) {
+    // One parser per connection: pipelined bytes beyond the current
+    // request stay buffered inside it.
+    let mut parser = RequestParser::new();
+    loop {
+        let outcome = match read_request(&mut reader, &mut parser) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // A read timeout on an idle keep-alive connection is the
+                // reaper; anything else is a transport error.
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) && parser.is_idle()
+                {
+                    shared.conns_idle_reaped.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        };
         match outcome {
             RequestOutcome::Closed => break,
             RequestOutcome::Malformed(message) => {
@@ -545,7 +825,7 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
             }
             RequestOutcome::Request(request) => {
                 shared.inflight.fetch_add(1, Ordering::AcqRel);
-                let response = dispatch(shared, &request);
+                let response = dispatch(shared, &request, peer);
                 // Close once draining so keep-alive connections cannot
                 // outlive the drain.
                 let close = request.wants_close() || shared.draining();
@@ -559,24 +839,162 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     }
 }
 
-fn dispatch(shared: &Arc<ServerShared>, request: &Request) -> Response {
-    match (request.method.as_str(), request.path()) {
-        ("POST", "/synthesize") => synthesize(shared, request),
-        ("GET", "/healthz") => healthz(shared),
+/// True for the one route that takes the asynchronous admission path.
+pub(crate) fn is_synthesize(request: &Request) -> bool {
+    request.method == "POST" && request.path() == "/synthesize"
+}
+
+/// Routes one request on the legacy path (blocking `/synthesize`).
+fn dispatch(shared: &Arc<ServerShared>, request: &Request, peer: IpAddr) -> Response {
+    if is_synthesize(request) {
+        synthesize(shared, request, peer)
+    } else {
+        dispatch_immediate(shared, request)
+    }
+}
+
+/// Handles every route except `POST /synthesize` (whose reply is
+/// asynchronous) and records the per-route latency. Shared by both
+/// front ends.
+pub(crate) fn dispatch_immediate(shared: &Arc<ServerShared>, request: &Request) -> Response {
+    let start = Instant::now();
+    let (route, response) = match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => (ROUTE_HEALTHZ, healthz(shared)),
         ("GET", "/metrics") => {
             let mut response = Response::text(200, metrics::render(shared));
             response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-            response
+            (ROUTE_METRICS, response)
         }
         ("POST", "/shutdown") => {
             initiate_shutdown(shared);
-            Response::json(200, &JsonValue::obj([("status", "draining")]))
+            (
+                ROUTE_SHUTDOWN,
+                Response::json(200, &JsonValue::obj([("status", "draining")])),
+            )
         }
-        (_, "/synthesize" | "/healthz" | "/metrics" | "/shutdown") => {
-            Response::json(405, &JsonValue::obj([("kind", "MethodNotAllowed")]))
-        }
-        _ => Response::json(404, &JsonValue::obj([("kind", "NotFound")])),
+        (_, "/synthesize" | "/healthz" | "/metrics" | "/shutdown") => (
+            ROUTE_OTHER,
+            Response::json(405, &JsonValue::obj([("kind", "MethodNotAllowed")])),
+        ),
+        _ => (
+            ROUTE_OTHER,
+            Response::json(404, &JsonValue::obj([("kind", "NotFound")])),
+        ),
+    };
+    shared.route_latency[route].record(start.elapsed());
+    response
+}
+
+/// Validates and admits one `POST /synthesize` request, enqueuing it
+/// into the micro-batcher with `reply` as its result sink. Returns the
+/// error response (400 / 429 / 503) when the request is not admitted.
+/// On `Ok(())` the admission gauge has been incremented; whoever
+/// consumes the reply decrements it.
+pub(crate) fn admit_synthesize(
+    shared: &Arc<ServerShared>,
+    request: &Request,
+    peer: IpAddr,
+    reply: ReplySink,
+) -> Result<(), Response> {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.draining() {
+        return Err(Response::json(
+            503,
+            &JsonValue::obj([
+                ("kind", "ShuttingDown"),
+                ("message", "server is draining; request not admitted"),
+            ]),
+        ));
     }
+    let spec = match parse_synthesize_body(shared, request) {
+        Ok(spec) => spec,
+        Err(message) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::json(
+                400,
+                &JsonValue::obj([
+                    ("kind", JsonValue::from("BadRequest")),
+                    ("message", JsonValue::from(message)),
+                ]),
+            ));
+        }
+    };
+
+    // Per-client fairness runs before the shared admission queue: a hot
+    // tenant burns its own bucket, not everyone's slots.
+    if let Some(fairness) = &shared.fairness {
+        if !fairness.admit(&client_key(request, peer)) {
+            shared.quota_denied.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::json(
+                429,
+                &JsonValue::obj([
+                    ("kind", "QuotaExceeded"),
+                    ("message", "per-client rate exceeded; retry shortly"),
+                ]),
+            )
+            .header("Retry-After", "1"));
+        }
+    }
+
+    // Admission: reserve a slot below `queue_depth` or shed.
+    let admitted = shared
+        .admitted
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < shared.config.queue_depth).then_some(n + 1)
+        });
+    if admitted.is_err() {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::json(
+            429,
+            &JsonValue::obj([
+                ("kind", "Overloaded"),
+                ("message", "admission queue full; retry shortly"),
+            ]),
+        )
+        .header("Retry-After", "1"));
+    }
+
+    let enqueued = match lock(&shared.queue).as_ref() {
+        Some(tx) => tx.send(Pending { spec, reply }).is_ok(),
+        None => false,
+    };
+    if !enqueued {
+        shared.admitted.fetch_sub(1, Ordering::AcqRel);
+        return Err(Response::json(
+            503,
+            &JsonValue::obj([("kind", "ShuttingDown"), ("message", "queue closed")]),
+        ));
+    }
+    Ok(())
+}
+
+/// The legacy-path `POST /synthesize` handler: admit (or reject),
+/// then block this connection thread until the micro-batcher delivers
+/// the result.
+fn synthesize(shared: &Arc<ServerShared>, request: &Request, peer: IpAddr) -> Response {
+    let start = Instant::now();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if let Err(response) = admit_synthesize(shared, request, peer, ReplySink::Channel(reply_tx)) {
+        return response;
+    }
+
+    // The engine records every job (deadlines enforced, panics
+    // isolated), so the reply always arrives; the timeout is a
+    // defensive backstop (saturating, capped — see `reply_backstop`).
+    let response = match reply_rx.recv_timeout(reply_backstop(shared)) {
+        Ok(body) => {
+            let elapsed = start.elapsed();
+            shared.latency.record(elapsed);
+            shared.route_latency[ROUTE_SYNTHESIZE].record(elapsed);
+            Response::raw_json(200, body)
+        }
+        Err(_) => Response::json(
+            500,
+            &JsonValue::obj([("kind", "Internal"), ("message", "result channel stalled")]),
+        ),
+    };
+    shared.admitted.fetch_sub(1, Ordering::AcqRel);
+    response
 }
 
 fn healthz(shared: &ServerShared) -> Response {
@@ -596,88 +1014,6 @@ fn healthz(shared: &ServerShared) -> Response {
             ),
         ]),
     )
-}
-
-/// The `POST /synthesize` handler: validate, admit (or shed), enqueue
-/// into the micro-batcher, wait for this request's result.
-fn synthesize(shared: &Arc<ServerShared>, request: &Request) -> Response {
-    let start = Instant::now();
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    if shared.draining() {
-        return Response::json(
-            503,
-            &JsonValue::obj([
-                ("kind", "ShuttingDown"),
-                ("message", "server is draining; request not admitted"),
-            ]),
-        );
-    }
-    let spec = match parse_synthesize_body(shared, request) {
-        Ok(spec) => spec,
-        Err(message) => {
-            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Response::json(
-                400,
-                &JsonValue::obj([
-                    ("kind", JsonValue::from("BadRequest")),
-                    ("message", JsonValue::from(message)),
-                ]),
-            );
-        }
-    };
-
-    // Admission: reserve a slot below `queue_depth` or shed.
-    let admitted = shared
-        .admitted
-        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-            (n < shared.config.queue_depth).then_some(n + 1)
-        });
-    if admitted.is_err() {
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        return Response::json(
-            429,
-            &JsonValue::obj([
-                ("kind", "Overloaded"),
-                ("message", "admission queue full; retry shortly"),
-            ]),
-        )
-        .header("Retry-After", "1");
-    }
-
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let enqueued = match lock(&shared.queue).as_ref() {
-        Some(tx) => tx
-            .send(Pending {
-                spec,
-                reply: reply_tx,
-            })
-            .is_ok(),
-        None => false,
-    };
-    if !enqueued {
-        shared.admitted.fetch_sub(1, Ordering::AcqRel);
-        return Response::json(
-            503,
-            &JsonValue::obj([("kind", "ShuttingDown"), ("message", "queue closed")]),
-        );
-    }
-
-    // The engine records every job (deadlines enforced, panics isolated),
-    // so the reply always arrives; the timeout is a defensive backstop.
-    let backstop = shared.base_config.deadline * (shared.config.queue_depth as u32 + 2)
-        + Duration::from_secs(30);
-    let response = match reply_rx.recv_timeout(backstop) {
-        Ok(body) => {
-            shared.latency.record(start.elapsed());
-            Response::raw_json(200, body)
-        }
-        Err(_) => Response::json(
-            500,
-            &JsonValue::obj([("kind", "Internal"), ("message", "result channel stalled")]),
-        ),
-    };
-    shared.admitted.fetch_sub(1, Ordering::AcqRel);
-    response
 }
 
 /// Parses `{"query": "...", "deadline_ms": n?}` into a [`JobSpec`]. A
@@ -708,7 +1044,7 @@ fn parse_synthesize_body(shared: &ServerShared, request: &Request) -> Result<Job
 /// [`ServerConfig::batch_window`] (closing early at
 /// [`ServerConfig::max_batch`]) and submits each window as one
 /// co-scheduled engine submission. Results stream back per-job through
-/// the submission callback.
+/// the submission callback into each request's [`ReplySink`].
 fn batcher_loop(shared: &Arc<ServerShared>, rx: mpsc::Receiver<Pending>) {
     loop {
         let first = match rx.recv() {
@@ -736,15 +1072,73 @@ fn batcher_loop(shared: &Arc<ServerShared>, rx: mpsc::Receiver<Pending>) {
         shared
             .batched_jobs
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        let replies: Vec<mpsc::Sender<String>> = batch.iter().map(|p| p.reply.clone()).collect();
+        let replies: Vec<ReplySink> = batch.iter().map(|p| p.reply.clone()).collect();
         let jobs: Vec<JobSpec> = batch.into_iter().map(|p| p.spec).collect();
         // Fire and forget: the per-job callback renders and delivers each
         // result to its waiting connection; nobody blocks on the batch.
         drop(shared.engine.submit_with(jobs, move |index, synthesis| {
-            let _ = replies[index].send(synthesis_json(synthesis).render());
+            replies[index].deliver(synthesis_json(synthesis).render());
         }));
         if closed {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a minimal `ServerShared`-free check: the backstop math
+    /// itself must be total over any configured deadline.
+    fn backstop_of(deadline: Duration, queue_depth: usize) -> Duration {
+        let slots = u32::try_from(queue_depth.saturating_add(2)).unwrap_or(u32::MAX);
+        deadline
+            .saturating_mul(slots)
+            .saturating_add(Duration::from_secs(30))
+            .min(BACKSTOP_CAP)
+    }
+
+    #[test]
+    fn reply_backstop_saturates_instead_of_panicking() {
+        // The old expression `deadline * (queue_depth + 2) + 30s`
+        // panicked on Duration overflow for large configured deadlines.
+        let huge = Duration::MAX;
+        assert_eq!(backstop_of(huge, 64), BACKSTOP_CAP);
+        assert_eq!(
+            backstop_of(Duration::from_secs(u64::MAX / 2), usize::MAX),
+            BACKSTOP_CAP
+        );
+        // Sane configurations keep their exact value (under the cap).
+        assert_eq!(
+            backstop_of(Duration::from_secs(2), 8),
+            Duration::from_secs(2 * 10 + 30)
+        );
+    }
+
+    #[test]
+    fn fairness_buckets_refill_and_deny() {
+        let fairness = Fairness::new(1000.0, 2.0);
+        assert!(fairness.admit("a"), "fresh bucket starts full");
+        assert!(fairness.admit("a"), "burst of 2 admits twice");
+        // The third immediate request may only pass via refill; at
+        // 1000/s the bucket regains a token within a few ms.
+        let denied_then_refilled = !fairness.admit("a") || {
+            std::thread::sleep(Duration::from_millis(5));
+            fairness.admit("a")
+        };
+        assert!(denied_then_refilled);
+        // Another client is unaffected by `a`'s spend.
+        assert!(fairness.admit("b"));
+        assert_eq!(fairness.tracked_clients(), 2);
+    }
+
+    #[test]
+    fn fairness_denies_a_drained_bucket() {
+        // Effectively no refill: after the burst, deny deterministically.
+        let fairness = Fairness::new(1e-9, 1.0);
+        assert!(fairness.admit("hot"));
+        assert!(!fairness.admit("hot"), "drained bucket denies");
+        assert!(fairness.admit("cold"), "other clients unaffected");
     }
 }

@@ -1,0 +1,125 @@
+//! A thin in-tree wrapper over `poll(2)`.
+//!
+//! The workspace is offline-green — no `libc`, `mio`, or async runtime
+//! crates — so the event-driven connection layer declares the one libc
+//! entry point it needs itself. `poll` is in POSIX, present in every
+//! libc Rust links against on unix, and its ABI (fd/events/revents
+//! triples) has been stable for decades; everything else the event loop
+//! touches (nonblocking sockets, `UnixStream::pair` for the waker) goes
+//! through `std`.
+//!
+//! This module is the only place in the crate allowed to use `unsafe`
+//! (the crate root is `#![deny(unsafe_code)]`), and the unsafety is
+//! confined to the FFI call itself: the safe [`poll_fds`] wrapper owns
+//! the pointer/length pairing and retries `EINTR`.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_ulong};
+
+/// One entry of a `poll(2)` set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel, per POSIX).
+    pub fd: RawFd,
+    /// Requested readiness events (`POLL*` bits).
+    pub events: i16,
+    /// Kernel-reported readiness events; `POLLERR`/`POLLHUP`/`POLLNVAL`
+    /// can appear here even when not requested.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest bits.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition on the descriptor (always reported).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (always reported).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always reported).
+pub const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout)` — on
+    /// every unix libc Rust targets, `nfds_t` is an unsigned integer of
+    /// platform word width (`c_ulong` on the Linux targets this repo
+    /// builds for).
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Waits until at least one entry in `fds` is ready, or `timeout_ms`
+/// elapses (`-1` blocks indefinitely, `0` polls). Returns the number of
+/// entries with non-zero `revents`. `EINTR` is retried transparently.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs, and the length passed is
+        // exactly the slice length; the kernel writes only `revents`
+        // within those bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readability_and_timeouts() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+
+        // Nothing written yet: a zero-timeout poll returns no entries.
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0);
+        assert_eq!(fds[0].revents & POLLIN, 0);
+
+        (&b).write_all(b"x").expect("write side");
+        let ready = poll_fds(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0, "readable after a write");
+    }
+
+    #[test]
+    fn poll_reports_writability_and_hangup() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let ready = poll_fds(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0, "fresh socket is writable");
+
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        poll_fds(&mut fds, 1000).expect("poll");
+        assert_ne!(
+            fds[0].revents & (POLLIN | POLLHUP),
+            0,
+            "peer close surfaces as readable EOF or hangup"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! HTTP/1.x conformance suite: table-driven raw-byte requests over a
+//! real socket, asserting the expected outcome, status, and connection
+//! disposition — under **both** connection front ends (event-driven and
+//! thread-per-connection), which must behave identically.
+//!
+//! Covers the protocol fixes that rode along with the event-driven
+//! front end: duplicate/conflicting `Content-Length` rejection
+//! (request smuggling), HTTP/1.0 connection semantics, the exact
+//! `MAX_HEADERS` limit, plus pipelined keep-alive requests and
+//! mid-body client disconnect.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use nlquery_core::SynthesisConfig;
+use nlquery_serve::http::MAX_HEADERS;
+use nlquery_serve::{Server, ServerConfig};
+
+fn start(event_driven: bool) -> Server {
+    let domain = nlquery_domains::astmatcher::domain().expect("embedded domain builds");
+    Server::start(
+        domain,
+        SynthesisConfig::default(),
+        ServerConfig {
+            workers: 1,
+            event_driven,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server boots")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// One parsed response off the wire: status, the `Connection` header
+/// value, and the body.
+struct WireResponse {
+    status: u16,
+    connection: String,
+    body: String,
+}
+
+/// Reads exactly one framed response (status line, headers,
+/// `Content-Length` body) from the reader.
+fn read_response(reader: &mut impl BufRead) -> Option<WireResponse> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = line.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    let mut connection = String::new();
+    let mut length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':')?;
+        if name.eq_ignore_ascii_case("connection") {
+            connection = value.trim().to_string();
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            length = value.trim().parse().ok()?;
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).ok()?;
+    Some(WireResponse {
+        status,
+        connection,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Writes `raw`, half-closes the sending side, and reads the first
+/// response.
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> WireResponse {
+    let mut stream = connect(addr);
+    stream.write_all(raw).expect("send request bytes");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader).expect("a response before EOF")
+}
+
+struct Case {
+    name: &'static str,
+    raw: Vec<u8>,
+    status: u16,
+    /// Expected `Connection` response header ("close" / "keep-alive").
+    connection: &'static str,
+}
+
+fn conformance_table() -> Vec<Case> {
+    let headers = |n: usize| {
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..n {
+            raw.push_str(&format!("X-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        raw.into_bytes()
+    };
+    vec![
+        Case {
+            name: "conflicting Content-Length is rejected (smuggling vector)",
+            raw: b"POST /synthesize HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 30\r\n\r\nabc"
+                .to_vec(),
+            status: 400,
+            connection: "close",
+        },
+        Case {
+            name: "agreeing duplicate Content-Length is still rejected",
+            raw: b"POST /synthesize HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"
+                .to_vec(),
+            status: 400,
+            connection: "close",
+        },
+        Case {
+            name: "comma-joined Content-Length is rejected",
+            raw: b"POST /synthesize HTTP/1.1\r\nContent-Length: 3, 3\r\n\r\nabc".to_vec(),
+            status: 400,
+            connection: "close",
+        },
+        Case {
+            name: "Transfer-Encoding is rejected alongside the Content-Length rules",
+            raw: b"POST /synthesize HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            status: 400,
+            connection: "close",
+        },
+        Case {
+            name: "a garbage request line is 400",
+            raw: b"NONSENSE\r\n\r\n".to_vec(),
+            status: 400,
+            connection: "close",
+        },
+        Case {
+            name: "HTTP/1.0 defaults to Connection: close",
+            raw: b"GET /healthz HTTP/1.0\r\n\r\n".to_vec(),
+            status: 200,
+            connection: "close",
+        },
+        Case {
+            name: "HTTP/1.0 with keep-alive opt-in stays open",
+            raw: b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n".to_vec(),
+            status: 200,
+            connection: "keep-alive",
+        },
+        Case {
+            name: "a close token in a Connection list always closes",
+            raw: b"GET /healthz HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n".to_vec(),
+            status: 200,
+            connection: "close",
+        },
+        Case {
+            name: "exactly MAX_HEADERS headers are accepted",
+            raw: headers(MAX_HEADERS),
+            status: 200,
+            connection: "keep-alive",
+        },
+        Case {
+            name: "MAX_HEADERS + 1 headers are rejected",
+            raw: headers(MAX_HEADERS + 1),
+            status: 413,
+            connection: "close",
+        },
+        Case {
+            name: "an oversized body declaration is rejected before upload",
+            raw: b"POST /synthesize HTTP/1.1\r\nContent-Length: 10485770\r\n\r\n".to_vec(),
+            status: 413,
+            connection: "close",
+        },
+    ]
+}
+
+fn run_conformance_table(event_driven: bool) {
+    let server = start(event_driven);
+    let addr = server.local_addr();
+    for case in conformance_table() {
+        let response = roundtrip(addr, &case.raw);
+        assert_eq!(
+            response.status, case.status,
+            "[event_driven={event_driven}] {}: status (body: {})",
+            case.name, response.body
+        );
+        assert_eq!(
+            response.connection, case.connection,
+            "[event_driven={event_driven}] {}: connection disposition",
+            case.name
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn conformance_table_event_driven() {
+    run_conformance_table(true);
+}
+
+#[test]
+fn conformance_table_thread_per_connection() {
+    run_conformance_table(false);
+}
+
+fn run_pipelined_keep_alive(event_driven: bool) {
+    let server = start(event_driven);
+    let mut stream = connect(server.local_addr());
+    // Two requests in one write: responses must come back in order on
+    // the same connection.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .expect("pipelined write");
+    let mut reader = BufReader::new(stream);
+    let first = read_response(&mut reader).expect("first pipelined response");
+    assert_eq!(first.status, 200, "[event_driven={event_driven}]");
+    assert_eq!(first.connection, "keep-alive");
+    let second = read_response(&mut reader).expect("second pipelined response");
+    assert_eq!(second.status, 200, "[event_driven={event_driven}]");
+    assert_eq!(second.connection, "close");
+    assert!(
+        read_response(&mut reader).is_none(),
+        "the close token ends the connection"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn pipelined_keep_alive_event_driven() {
+    run_pipelined_keep_alive(true);
+}
+
+#[test]
+fn pipelined_keep_alive_thread_per_connection() {
+    run_pipelined_keep_alive(false);
+}
+
+fn run_mid_body_disconnect(event_driven: bool) {
+    let server = start(event_driven);
+    let addr = server.local_addr();
+    // A client that promises 100 body bytes, sends 7, and vanishes.
+    {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"POST /synthesize HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")
+            .expect("truncated write");
+        stream.shutdown(Shutdown::Both).expect("vanish");
+    }
+    // The server must neither hang nor wedge: a fresh connection is
+    // served immediately.
+    let response = roundtrip(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(response.status, 200, "[event_driven={event_driven}]");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_body_disconnect_event_driven() {
+    run_mid_body_disconnect(true);
+}
+
+#[test]
+fn mid_body_disconnect_thread_per_connection() {
+    run_mid_body_disconnect(false);
+}

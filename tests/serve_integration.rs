@@ -280,6 +280,190 @@ fn metrics_are_monotonic_and_errors_are_structured() {
 }
 
 #[test]
+fn both_front_ends_serve_identical_results() {
+    // The event-driven and thread-per-connection front ends are two
+    // transports over one request path: the same queries must produce
+    // the same expressions and outcomes, both matching sequential
+    // synthesis exactly.
+    let queries = corpus(6);
+    let domain = astmatcher::domain().unwrap();
+    let sequential = Synthesizer::new(domain, SynthesisConfig::default());
+    let expected: Vec<Option<String>> = queries
+        .iter()
+        .map(|q| sequential.synthesize(q).expression)
+        .collect();
+
+    for event_driven in [true, false] {
+        let server = start(ServerConfig {
+            workers: 2,
+            event_driven,
+            ..ServerConfig::default()
+        });
+        let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+        let got: Vec<Option<String>> = queries
+            .iter()
+            .map(|q| {
+                let resp = client.synthesize(q, None).expect("request");
+                assert_eq!(resp.status, 200, "event_driven={event_driven}");
+                let doc = resp.json().expect("JSON body");
+                assert!(doc.get("outcome").is_some());
+                expression_of(&doc)
+            })
+            .collect();
+        assert_eq!(
+            got, expected,
+            "front end event_driven={event_driven} must match sequential synthesis"
+        );
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn connection_budget_rejects_with_accounted_503() {
+    for event_driven in [true, false] {
+        let server = start(ServerConfig {
+            workers: 1,
+            event_driven,
+            max_connections: 2,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+
+        // Fill the budget with two live keep-alive connections.
+        let mut first = HttpClient::connect(addr).unwrap();
+        assert_eq!(first.get("/healthz").unwrap().status, 200);
+        let mut second = HttpClient::connect(addr).unwrap();
+        assert_eq!(second.get("/healthz").unwrap().status, 200);
+
+        // The third connection is *answered* — 503 with a structured
+        // body and Retry-After, written as soon as the budget check
+        // fails — not silently dropped. Read it without sending
+        // anything (a write could race the server's close into a
+        // broken pipe).
+        let rejected = {
+            use std::io::Read as _;
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).unwrap();
+            raw
+        };
+        assert!(
+            rejected.starts_with("HTTP/1.1 503 "),
+            "event_driven={event_driven}: got {rejected:?}"
+        );
+        assert!(rejected.contains("Retry-After: 1"));
+        assert!(rejected.contains("\"kind\":\"ConnectionLimit\""));
+        assert!(rejected.contains("Connection: close"));
+
+        // The rejection is accounted and the budget recovers: close one
+        // admitted connection and a newcomer gets in.
+        let body = first.get("/metrics").unwrap().body;
+        assert!(
+            metric(&body, "nlquery_connections_rejected_total").unwrap_or(0.0) >= 1.0,
+            "event_driven={event_driven}: rejection must be counted"
+        );
+        assert!(
+            metric(&body, "nlquery_connections_accepted_total").unwrap_or(0.0) >= 3.0,
+            "event_driven={event_driven}: accepts are counted"
+        );
+        drop(second);
+        thread::sleep(Duration::from_millis(200));
+        let mut fourth = HttpClient::connect(addr).unwrap();
+        assert_eq!(
+            fourth.get("/healthz").unwrap().status,
+            200,
+            "event_driven={event_driven}: budget frees on close"
+        );
+
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn per_client_fairness_quotas_hot_tenants() {
+    for event_driven in [true, false] {
+        // Burst of 1 and a glacial refill: the second request from the
+        // same client key is deterministically quota-denied, while a
+        // different key sails through.
+        let server = start(ServerConfig {
+            workers: 1,
+            event_driven,
+            client_rate: 1e-6,
+            client_burst: 1.0,
+            ..ServerConfig::default()
+        });
+        let query = corpus(1).remove(0);
+        let body = JsonValue::obj([("query", JsonValue::from(query.as_str()))]).render();
+
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let first = client
+            .request_with_headers(
+                "POST",
+                "/synthesize",
+                Some(&body),
+                &[("X-Client-Id", "hot")],
+            )
+            .unwrap();
+        assert_eq!(first.status, 200, "event_driven={event_driven}");
+
+        let denied = client
+            .request_with_headers(
+                "POST",
+                "/synthesize",
+                Some(&body),
+                &[("X-Client-Id", "hot")],
+            )
+            .unwrap();
+        assert_eq!(
+            denied.status, 429,
+            "event_driven={event_driven}: body {}",
+            denied.body
+        );
+        assert_eq!(
+            denied
+                .json()
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("QuotaExceeded"),
+            "fairness denial is distinguishable from queue shedding"
+        );
+        assert_eq!(denied.header("Retry-After"), Some("1"));
+
+        let other = client
+            .request_with_headers(
+                "POST",
+                "/synthesize",
+                Some(&body),
+                &[("X-Client-Id", "cold")],
+            )
+            .unwrap();
+        assert_eq!(
+            other.status, 200,
+            "event_driven={event_driven}: other clients are unaffected"
+        );
+
+        let metrics = client.get("/metrics").unwrap().body;
+        assert!(
+            metric(&metrics, "nlquery_quota_denied_total").unwrap_or(0.0) >= 1.0,
+            "event_driven={event_driven}: denial must be counted"
+        );
+        assert!(
+            metric(&metrics, "nlquery_quota_tracked_clients").unwrap_or(0.0) >= 2.0,
+            "event_driven={event_driven}: both client buckets tracked"
+        );
+
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
 fn warm_boot_restores_the_previous_process_state() {
     let dir = std::env::temp_dir().join("nlquery-serve-warm-boot");
     std::fs::create_dir_all(&dir).expect("temp dir");
